@@ -1,0 +1,117 @@
+// Reproduces the §5 Methodology II table: the log4j AsyncAppender stall.
+//
+// For each of the four contended site pairs, the conflict is resolved in
+// both orders; the table reports the fraction of runs that stalled and
+// the fraction in which the breakpoint was actually hit — the numbers
+// from which the paper infers that the (236 -> 309) resolution is the
+// bug.  A no-breakpoint row reports the natural stall rate ("5 out of
+// 100 test executions" in the paper).
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/logging/async_appender.h"
+#include "bench_util.h"
+#include "harness/experiment.h"
+
+namespace {
+
+using cbp::apps::logging::MethodologyIIOptions;
+using cbp::apps::logging::run_methodology2;
+using cbp::apps::logging::Site;
+
+struct OrderedPair {
+  Site first;
+  Site second;
+};
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::kAppend: return "100";
+    case Site::kSetBufferSize: return "236";
+    case Site::kClose: return "277";
+    case Site::kDispatch: return "309";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cbp;
+  std::printf("=== §5 Methodology II: log4j AsyncAppender missed-notify "
+              "stall ===\n");
+  const auto config = bench::setup(argc, argv, /*default_runs=*/40);
+
+  const OrderedPair pairs[] = {
+      {Site::kAppend, Site::kDispatch},
+      {Site::kDispatch, Site::kAppend},
+      {Site::kSetBufferSize, Site::kDispatch},
+      {Site::kDispatch, Site::kSetBufferSize},
+      {Site::kAppend, Site::kSetBufferSize},
+      {Site::kSetBufferSize, Site::kAppend},
+      {Site::kDispatch, Site::kClose},
+      {Site::kClose, Site::kDispatch},
+  };
+
+  // Paper's table, §5 step 3 (stall %, BP hit %), in the same order.
+  const int paper_stall[] = {0, 0, 100, 0, 0, 0, 97, 99};
+  const int paper_hit[] = {100, 100, 100, 100, 100, 100, 3, 1};
+
+  harness::TextTable table({"Conflict resolve order", "System stall (%)",
+                            "BP hit (%)", "Paper stall", "Paper hit"});
+
+  auto& engine = Engine::instance();
+  int index = 0;
+  for (const OrderedPair& pair : pairs) {
+    int stalls = 0;
+    int hits = 0;
+    for (int run = 0; run < config.runs; ++run) {
+      engine.reset();
+      MethodologyIIOptions options;
+      options.first = pair.first;
+      options.second = pair.second;
+      options.pause = std::chrono::milliseconds(200);
+      options.stall_after = std::chrono::milliseconds(2000);
+      options.seed = static_cast<std::uint64_t>(run + 1);
+      const auto outcome = run_methodology2(options);
+      stalls += outcome.stalled ? 1 : 0;
+      hits += outcome.breakpoint_hit ? 1 : 0;
+    }
+    table.add_row({std::string(site_name(pair.first)) + " -> " +
+                       site_name(pair.second),
+                   std::to_string(100 * stalls / config.runs),
+                   std::to_string(100 * hits / config.runs),
+                   std::to_string(paper_stall[index]),
+                   std::to_string(paper_hit[index])});
+    ++index;
+  }
+
+  // Natural (no breakpoint) stall rate — the paper's starting
+  // observation: "in 5 out of 100 test executions, the program would
+  // stall".
+  int natural_stalls = 0;
+  const int natural_runs = config.runs * 3;
+  for (int run = 0; run < natural_runs; ++run) {
+    engine.reset();
+    MethodologyIIOptions options;
+    options.breakpoints = false;
+    options.pause = std::chrono::milliseconds(0);
+    options.stall_after = std::chrono::milliseconds(2000);
+    // Calibrated scheduling jitter: reproduces the paper's observation
+    // that the stock program stalls in roughly 5 of 100 stress runs.
+    options.jitter = std::chrono::microseconds(180'000);
+    options.seed = static_cast<std::uint64_t>(run + 1);
+    natural_stalls += run_methodology2(options).stalled ? 1 : 0;
+  }
+  table.add_row({"(no breakpoint)",
+                 std::to_string(100 * natural_stalls / natural_runs), "-",
+                 "~5", "-"});
+
+  table.print(std::cout);
+  std::printf("\nInference (paper §5 step 4): the 236 -> 309 resolution "
+              "always stalls with the breakpoint always hit — that pair "
+              "IS the bug; the 309 -> 277 / 277 -> 309 rows stall without "
+              "hitting, so close() is not the cause.\n");
+  return 0;
+}

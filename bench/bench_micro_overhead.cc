@@ -1,0 +1,147 @@
+// Micro-benchmarks (google-benchmark) backing the paper's "light-weight"
+// claim (§1, §4): the cost of a breakpoint call in each regime, and the
+// cost of the instrumentation layer.
+//
+//   * disabled breakpoints are a few nanoseconds (runtime switch);
+//   * a local-predicate reject never enters the engine's slow path;
+//   * an unmatched arrival costs its postponement (dominated by T);
+//   * a matched pair costs the rendezvous + ordering delay;
+//   * SharedVar / TrackedMutex add only the hub check when no analysis
+//     listener is attached.
+
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+#include <thread>
+
+#include "core/cbp.h"
+#include "instrument/shared_var.h"
+#include "instrument/tracked_mutex.h"
+#include "runtime/clock.h"
+#include "runtime/latch.h"
+
+namespace {
+
+using namespace cbp;
+
+void BM_TriggerDisabled(benchmark::State& state) {
+  Config::set_enabled(false);
+  int obj = 0;
+  for (auto _ : state) {
+    ConflictTrigger trigger("micro-disabled", &obj);
+    benchmark::DoNotOptimize(
+        trigger.trigger_here(true, std::chrono::milliseconds(100)));
+  }
+  Config::set_enabled(true);
+}
+BENCHMARK(BM_TriggerDisabled);
+
+void BM_TriggerLocalReject(benchmark::State& state) {
+  Config::set_enabled(true);
+  Engine::instance().reset();
+  PredicateTrigger trigger(
+      "micro-reject", [] { return false; },
+      [](const BTrigger&) { return true; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trigger.trigger_here(true, std::chrono::milliseconds(100)));
+  }
+  Engine::instance().reset();
+}
+BENCHMARK(BM_TriggerLocalReject);
+
+void BM_TriggerBoundedOut(benchmark::State& state) {
+  // After the bound is exhausted the call is a counter check.
+  Config::set_enabled(true);
+  Engine::instance().reset();
+  int obj = 0;
+  for (auto _ : state) {
+    ConflictTrigger trigger("micro-bounded", &obj);
+    trigger.bound(0);
+    benchmark::DoNotOptimize(
+        trigger.trigger_here(true, std::chrono::milliseconds(100)));
+  }
+  Engine::instance().reset();
+}
+BENCHMARK(BM_TriggerBoundedOut);
+
+void BM_TriggerUnmatchedTimeout(benchmark::State& state) {
+  // Dominated by the postponement itself; measured at T = the range arg.
+  Config::set_enabled(true);
+  Engine::instance().reset();
+  int obj = 0;
+  const auto timeout = std::chrono::microseconds(state.range(0));
+  for (auto _ : state) {
+    ConflictTrigger trigger("micro-timeout", &obj);
+    benchmark::DoNotOptimize(trigger.trigger_here(
+        true, std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::microseconds(timeout))));
+  }
+  Engine::instance().reset();
+}
+BENCHMARK(BM_TriggerUnmatchedTimeout)->Arg(1000)->Arg(5000);
+
+void BM_TriggerMatchedPair(benchmark::State& state) {
+  // Two threads rendezvous per iteration: measures hit + ordering cost.
+  Config::set_enabled(true);
+  Config::set_order_delay(std::chrono::microseconds(50));
+  Engine::instance().reset();
+  rt::TimeScale::set(1.0);
+  int obj = 0;
+  std::atomic<bool> stop{false};
+  std::thread peer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ConflictTrigger trigger("micro-pair", &obj);
+      (void)trigger.trigger_here(false, std::chrono::milliseconds(50));
+    }
+  });
+  for (auto _ : state) {
+    ConflictTrigger trigger("micro-pair", &obj);
+    benchmark::DoNotOptimize(
+        trigger.trigger_here(true, std::chrono::milliseconds(1000)));
+  }
+  stop.store(true, std::memory_order_release);
+  peer.join();
+  Engine::instance().reset();
+}
+BENCHMARK(BM_TriggerMatchedPair)->Unit(benchmark::kMicrosecond);
+
+void BM_SharedVarNoListener(benchmark::State& state) {
+  instr::SharedVar<int> var(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(var.read());
+    var.write(2);
+  }
+}
+BENCHMARK(BM_SharedVarNoListener);
+
+void BM_PlainAtomicBaseline(benchmark::State& state) {
+  std::atomic<int> var{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(var.load(std::memory_order_relaxed));
+    var.store(2, std::memory_order_relaxed);
+  }
+}
+BENCHMARK(BM_PlainAtomicBaseline);
+
+void BM_TrackedMutexNoListener(benchmark::State& state) {
+  instr::TrackedMutex mu;
+  for (auto _ : state) {
+    instr::TrackedLock lock(mu);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TrackedMutexNoListener);
+
+void BM_StdMutexBaseline(benchmark::State& state) {
+  std::mutex mu;
+  for (auto _ : state) {
+    std::scoped_lock lock(mu);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_StdMutexBaseline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Reproduces §6.3: refining the local predicate removes useless pausing
+// without sacrificing the hit.
+//
+//   * cache4j atomicity1: ignoreFirst=<warmup> skips the warm-up
+//     constructor postponements (the paper's ignoreFirst=7200);
+//   * moldyn race1: bound=4 stops the breakpoint after the bug has been
+//     exhibited (the site fires hundreds of times per run);
+//   * swing deadlock1: isLockTypeHeld("BasicCaret") pauses only in the
+//     one context where the deadlock is possible.
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/cache/cache.h"
+#include "apps/kernels/kernels.h"
+#include "apps/swinglike/swing.h"
+#include "bench_util.h"
+#include "harness/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace cbp;
+  std::printf("=== §6.3: local-predicate precision refinements ===\n");
+  const auto config = bench::setup(argc, argv, /*default_runs=*/15);
+
+  harness::TextTable table({"Subject", "Refinement", "Runtime(s)", "P(bug)",
+                            "Speedup"});
+
+  apps::RunOptions options;
+  options.pause = std::chrono::milliseconds(100);
+  options.stall_after = std::chrono::milliseconds(8000);
+
+  // --- cache4j: ignoreFirst -------------------------------------------------
+  {
+    auto unrefined = [](const apps::RunOptions& o) {
+      return apps::cache::run_atomicity1(o, 0);
+    };
+    auto refined = [](const apps::RunOptions& o) {
+      return apps::cache::run_atomicity1(o,
+                                         apps::cache::kWarmupConstructions);
+    };
+    const auto base = harness::run_repeated(unrefined, options, config.runs);
+    const auto fast = harness::run_repeated(refined, options, config.runs);
+    table.add_row({"cache4j atomicity1", "none",
+                   harness::fmt_seconds(base.mean_runtime_s),
+                   harness::fmt_prob(base.bug_probability()), "1.0x"});
+    table.add_row(
+        {"cache4j atomicity1",
+         "ignoreFirst=" + std::to_string(apps::cache::kWarmupConstructions),
+         harness::fmt_seconds(fast.mean_runtime_s),
+         harness::fmt_prob(fast.bug_probability()),
+         harness::fmt_percent(base.mean_runtime_s /
+                              std::max(1e-9, fast.mean_runtime_s)) +
+             "x"});
+  }
+
+  // --- moldyn: bound ---------------------------------------------------------
+  {
+    auto unbounded = [](const apps::RunOptions& o) {
+      return apps::kernels::run_moldyn_race1(o, UINT64_MAX);
+    };
+    auto bounded = [](const apps::RunOptions& o) {
+      return apps::kernels::run_moldyn_race1(o,
+                                             apps::kernels::kMoldynRace1Bound);
+    };
+    const auto base = harness::run_repeated(unbounded, options, config.runs);
+    const auto fast = harness::run_repeated(bounded, options, config.runs);
+    table.add_row({"moldyn race1", "none",
+                   harness::fmt_seconds(base.mean_runtime_s),
+                   harness::fmt_prob(base.bug_probability()), "1.0x"});
+    table.add_row({"moldyn race1", "bound=4",
+                   harness::fmt_seconds(fast.mean_runtime_s),
+                   harness::fmt_prob(fast.bug_probability()),
+                   harness::fmt_percent(base.mean_runtime_s /
+                                        std::max(1e-9,
+                                                 fast.mean_runtime_s)) +
+                       "x"});
+  }
+
+  // --- swing: isLockTypeHeld -------------------------------------------------
+  {
+    auto unrefined = [](const apps::RunOptions& o) {
+      apps::swinglike::SwingOptions swing;
+      swing.base = o;
+      swing.refined = false;
+      return apps::swinglike::run_deadlock1(swing);
+    };
+    auto refined = [](const apps::RunOptions& o) {
+      apps::swinglike::SwingOptions swing;
+      swing.base = o;
+      swing.refined = true;
+      return apps::swinglike::run_deadlock1(swing);
+    };
+    apps::RunOptions swing_options = options;
+    swing_options.pause = std::chrono::milliseconds(500);
+    const auto base =
+        harness::run_repeated(unrefined, swing_options, config.runs);
+    const auto fast =
+        harness::run_repeated(refined, swing_options, config.runs);
+    table.add_row({"swing deadlock1", "none",
+                   harness::fmt_seconds(base.mean_runtime_s),
+                   harness::fmt_prob(base.bug_probability()), "1.0x"});
+    table.add_row({"swing deadlock1", "isLockTypeHeld(BasicCaret)",
+                   harness::fmt_seconds(fast.mean_runtime_s),
+                   harness::fmt_prob(fast.bug_probability()),
+                   harness::fmt_percent(base.mean_runtime_s /
+                                        std::max(1e-9,
+                                                 fast.mean_runtime_s)) +
+                       "x"});
+  }
+
+  table.print(std::cout);
+  std::printf("\nShape to check: each refinement cuts the runtime sharply "
+              "while P(bug) stays at (or rises to) ~1.0 — §6.3's claim.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Ablation: concurrent breakpoints vs record/replay (the paper's §7
+// positioning, quantified on our own substrates).
+//
+// Subject: a two-thread counter workload with one racy lost-update
+// window.  Three ways to make the bug reproducible:
+//   * breakpoint  — two trigger_here calls at the conflict (this paper);
+//   * record      — run with full access/lock recording (the trace that
+//                   replay needs), bug forced once via the breakpoint;
+//   * replay      — re-run under the recorded trace, breakpoints off.
+//
+// Reported per technique: P(bug reproduced), runtime, and the mechanism
+// footprint (how many program events the mechanism had to intercept —
+// breakpoints touch 2 sites; replay gates EVERY shared access).
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <thread>
+
+#include "bench_util.h"
+#include "harness/experiment.h"
+#include "instrument/shared_var.h"
+#include "replay/recorder.h"
+#include "replay/replayer.h"
+#include "runtime/latch.h"
+
+namespace {
+
+using namespace cbp;
+
+constexpr int kOpsPerThread = 40;
+
+/// The workload: each thread does kOpsPerThread increments; one chosen
+/// increment per thread goes through the racy (breakpoint-widened)
+/// window.  Returns final counter value (bug <=> < 2*kOpsPerThread).
+int run_workload(bool armed, instr::Listener* listener, int* events_out) {
+  instr::SharedVar<int> counter{0};
+  std::unique_ptr<instr::ScopedListener> registration;
+  if (listener != nullptr) {
+    registration = std::make_unique<instr::ScopedListener>(*listener);
+  }
+  rt::StartGate gate;
+  auto worker = [&](int role) {
+    if (auto* replayer = dynamic_cast<replay::Replayer*>(listener)) {
+      replayer->bind_this_thread(role);
+    }
+    if (auto* recorder = dynamic_cast<replay::Recorder*>(listener)) {
+      recorder->bind_this_thread(role);
+    }
+    gate.wait();
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      const int value = counter.read();
+      if (armed && i == kOpsPerThread / 2) {
+        ConflictTrigger trigger("ablation-race", counter.address());
+        trigger.trigger_here(true, std::chrono::milliseconds(200));
+      }
+      counter.write(value + 1);
+    }
+  };
+  std::thread a(worker, 0);
+  std::thread b(worker, 1);
+  gate.open();
+  a.join();
+  b.join();
+  if (events_out != nullptr) *events_out = 2 * 2 * kOpsPerThread;
+  return counter.peek();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation: breakpoint vs record/replay for bug "
+              "reproduction ===\n");
+  const auto config = bench::setup(argc, argv, /*default_runs=*/30);
+
+  harness::TextTable table({"Technique", "P(bug)", "Mean run(s)",
+                            "Intercepted events", "Notes"});
+  const int expected = 2 * kOpsPerThread;
+
+  // --- plain stress ---------------------------------------------------------
+  {
+    Config::set_enabled(false);
+    int buggy = 0;
+    rt::Stopwatch clock;
+    for (int i = 0; i < config.runs; ++i) {
+      if (run_workload(false, nullptr, nullptr) < expected) ++buggy;
+    }
+    table.add_row({"stress", harness::fmt_prob(1.0 * buggy / config.runs),
+                   harness::fmt_seconds(clock.elapsed_seconds() /
+                                        config.runs),
+                   "0", "bug essentially never recurs"});
+  }
+
+  // --- breakpoint -------------------------------------------------------------
+  {
+    Config::set_enabled(true);
+    int buggy = 0;
+    rt::Stopwatch clock;
+    for (int i = 0; i < config.runs; ++i) {
+      Engine::instance().reset();
+      if (run_workload(true, nullptr, nullptr) < expected) ++buggy;
+    }
+    table.add_row({"breakpoint (this paper)",
+                   harness::fmt_prob(1.0 * buggy / config.runs),
+                   harness::fmt_seconds(clock.elapsed_seconds() /
+                                        config.runs),
+                   "2", "two trigger_here sites"});
+  }
+
+  // --- record once, replay many ----------------------------------------------
+  replay::Trace trace;
+  {
+    Config::set_enabled(true);
+    Engine::instance().reset();
+    replay::Recorder recorder;
+    int events = 0;
+    rt::Stopwatch clock;
+    const int result = run_workload(true, &recorder, &events);
+    trace = recorder.trace();
+    table.add_row({"record (one buggy run)",
+                   result < expected ? "1.00" : "0.00",
+                   harness::fmt_seconds(clock.elapsed_seconds()),
+                   std::to_string(trace.size()),
+                   "full access trace captured"});
+  }
+  {
+    Config::set_enabled(false);
+    int buggy = 0;
+    int diverged = 0;
+    rt::Stopwatch clock;
+    for (int i = 0; i < config.runs; ++i) {
+      replay::Replayer replayer(trace);
+      if (run_workload(false, &replayer, nullptr) < expected) ++buggy;
+      diverged += replayer.diverged() ? 1 : 0;
+    }
+    table.add_row({"replay (no breakpoints)",
+                   harness::fmt_prob(1.0 * buggy / config.runs),
+                   harness::fmt_seconds(clock.elapsed_seconds() /
+                                        config.runs),
+                   std::to_string(trace.size()),
+                   std::to_string(diverged) + " divergences"});
+  }
+  Config::set_enabled(true);
+
+  table.print(std::cout);
+  std::printf("\nBoth mechanisms reproduce the bug ~always; the breakpoint "
+              "intercepts 2 events and needs no recording, the replayer "
+              "gates every shared access of every run (%zu here) and "
+              "needs the trace — the paper's light-weight argument.\n",
+              trace.size());
+  return 0;
+}

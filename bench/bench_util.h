@@ -1,0 +1,36 @@
+// Shared setup for the experiment benches: scales the paper's nominal
+// pause times down so the full evaluation runs in seconds, and parses
+// the optional CLI overrides  <runs> <time_scale>.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cbp.h"
+#include "runtime/clock.h"
+
+namespace cbp::bench {
+
+struct BenchConfig {
+  int runs = 30;            ///< per-configuration repetitions
+  double time_scale = 0.02; ///< nominal 100 ms pause -> 2 ms
+};
+
+inline BenchConfig setup(int argc, char** argv, int default_runs = 30,
+                         double default_scale = 0.02) {
+  BenchConfig config;
+  config.runs = default_runs;
+  config.time_scale = default_scale;
+  if (argc > 1) config.runs = std::atoi(argv[1]);
+  if (argc > 2) config.time_scale = std::atof(argv[2]);
+  rt::TimeScale::set(config.time_scale);
+  Config::set_enabled(true);
+  Config::set_order_delay(std::chrono::microseconds(200));
+  Config::set_guard_wait_cap(std::chrono::milliseconds(2000));
+  std::printf("(runs=%d per configuration, time_scale=%.3f: the paper's "
+              "nominal waits run %.0fx faster)\n\n",
+              config.runs, config.time_scale, 1.0 / config.time_scale);
+  return config;
+}
+
+}  // namespace cbp::bench

@@ -1,0 +1,96 @@
+// Quickstart: the paper's Figure 4 program.
+//
+// Thread 1 runs foo(o): it does a long stretch of work under a lock and
+// then checks `o->x == 0` — reaching that check late in the execution.
+// Thread 2 runs bar(o): it writes `o->x = 1` as its very first action.
+// The buggy state requires thread 1 to perform its check *before*
+// thread 2's very first write — a schedule that essentially never occurs
+// naturally.  The concurrent breakpoint (8, 10, t1.o1 == t2.o2) with
+// thread 1 ordered first makes it nearly certain.
+//
+// Usage: quickstart [runs]
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "core/cbp.h"
+#include "runtime/clock.h"
+
+namespace {
+
+struct XObject {
+  // Relaxed atomic: the race is real at the logical level but is not
+  // undefined behaviour in the replica.
+  std::atomic<int> x{0};
+};
+
+volatile int sink = 0;  // defeats optimization of the filler work
+
+void filler_work(int iterations) {
+  for (int i = 0; i < iterations; ++i) sink = sink + 1;
+}
+
+// "line 8" of Fig. 4: the check at the end of foo.
+bool foo(XObject* o1, bool with_breakpoint) {
+  {
+    // lines 1-7: f1()..f5() under the lock — a long prefix.
+    filler_work(2'000'000);
+  }
+  if (with_breakpoint) {
+    cbp::ConflictTrigger trigger("fig4", o1);
+    trigger.trigger_here(/*is_first_action=*/true,
+                         std::chrono::milliseconds(100));
+  }
+  if (o1->x.load(std::memory_order_relaxed) == 0) {
+    return true;  // line 9: ERROR
+  }
+  return false;
+}
+
+// "line 10" of Fig. 4: the write at the start of bar.
+void bar(XObject* o2, bool with_breakpoint) {
+  if (with_breakpoint) {
+    cbp::ConflictTrigger trigger("fig4", o2);
+    trigger.trigger_here(/*is_first_action=*/false,
+                         std::chrono::milliseconds(100));
+  }
+  o2->x.store(1, std::memory_order_relaxed);
+  {
+    filler_work(1'000);  // line 11-13: f6() under the lock
+  }
+}
+
+int run_trials(int runs, bool with_breakpoint) {
+  int errors = 0;
+  for (int i = 0; i < runs; ++i) {
+    XObject o;
+    bool error = false;
+    std::thread t1([&] { error = foo(&o, with_breakpoint); });
+    std::thread t2([&] { bar(&o, with_breakpoint); });
+    t1.join();
+    t2.join();
+    if (error) ++errors;
+  }
+  return errors;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int runs = argc > 1 ? std::atoi(argv[1]) : 50;
+
+  std::printf("Figure 4 program, %d runs per configuration\n", runs);
+
+  const int plain = run_trials(runs, /*with_breakpoint=*/false);
+  std::printf("  without breakpoint: ERROR reached in %d/%d runs (%.0f%%)\n",
+              plain, runs, 100.0 * plain / runs);
+
+  const int with_bp = run_trials(runs, /*with_breakpoint=*/true);
+  const auto stats = cbp::Engine::instance().stats("fig4");
+  std::printf("  with breakpoint:    ERROR reached in %d/%d runs (%.0f%%), "
+              "breakpoint hit %llu times\n",
+              with_bp, runs, 100.0 * with_bp / runs,
+              static_cast<unsigned long long>(stats.hits));
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Concurrent breakpoints as regression tests, and schedule pinning
+// (paper §1 "breakpoints as regression test cases" and §8 "constrain the
+// thread scheduler").
+//
+//   Part 1 — regression: a fixed bank-account class is re-checked under
+//   the exact schedule that used to break the buggy version.  The same
+//   breakpoint pair that reproduced the bug now demonstrates its
+//   absence.
+//
+//   Part 2 — schedule pinning: cbp::schedule::pin* forces a chosen
+//   interleaving of three threads, turning a nondeterministic test into
+//   a deterministic one (including the k-thread generalization of §2).
+//
+// Usage: regression_suite [runs]
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "core/cbp.h"
+#include "core/schedule.h"
+#include "instrument/shared_var.h"
+#include "instrument/tracked_mutex.h"
+
+namespace {
+
+using namespace cbp;
+
+// ---------------------------------------------------------------------------
+// Part 1: a withdraw/deposit atomicity bug, buggy and fixed versions.
+// ---------------------------------------------------------------------------
+
+class Account {
+ public:
+  explicit Account(bool fixed) : fixed_(fixed) {}
+
+  void deposit(int amount) {
+    if (fixed_) {
+      instr::TrackedLock lock(mu_);
+      balance_.write(balance_.read() + amount);
+      return;
+    }
+    // Buggy: read-modify-write with a breakpoint-widened window.
+    const int value = balance_.read();
+    AtomicityTrigger trigger("account-rmw", balance_.address());
+    trigger.trigger_here(/*is_first_action=*/true);
+    balance_.write(value + amount);
+  }
+
+  [[nodiscard]] int balance() const { return balance_.peek(); }
+
+ private:
+  bool fixed_;
+  mutable instr::TrackedMutex mu_{"Account"};
+  instr::SharedVar<int> balance_{0};
+};
+
+int lost_updates(bool fixed, int runs) {
+  int lost_runs = 0;
+  for (int i = 0; i < runs; ++i) {
+    Engine::instance().reset();
+    Account account(fixed);
+    auto worker = [&] {
+      for (int j = 0; j < 4; ++j) account.deposit(1);
+    };
+    std::thread a(worker), b(worker);
+    a.join();
+    b.join();
+    if (account.balance() != 8) ++lost_runs;
+  }
+  return lost_runs;
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: deterministic three-thread interleaving via schedule pins.
+// ---------------------------------------------------------------------------
+
+std::vector<int> pinned_three_thread_order() {
+  Engine::instance().reset();
+  std::vector<int> order;
+  instr::TrackedMutex order_mu;
+  auto record = [&](int id) {
+    instr::TrackedLock lock(order_mu);
+    order.push_back(id);
+  };
+  std::vector<std::thread> threads;
+  for (int id = 0; id < 3; ++id) {
+    threads.emplace_back([&, id] {
+      // Without the pin, the arrival order of these three appends is
+      // arbitrary; the ranked pin makes it always 0, 1, 2.
+      auto result = schedule::pin_ranked_scoped("abc-order", id, 3);
+      record(id);
+      result.guard.release();
+    });
+  }
+  for (auto& t : threads) t.join();
+  return order;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int runs = argc > 1 ? std::atoi(argv[1]) : 25;
+  Config::set_default_timeout(std::chrono::milliseconds(100));
+
+  std::printf("Part 1: the breakpoint as a concurrency regression test\n");
+  const int buggy = lost_updates(/*fixed=*/false, runs);
+  std::printf("  buggy Account + breakpoint:  lost updates in %d/%d runs "
+              "(the bug, on demand)\n", buggy, runs);
+  const int fixed = lost_updates(/*fixed=*/true, runs);
+  std::printf("  fixed Account + same breakpoint: lost updates in %d/%d "
+              "runs (regression test passes)\n\n", fixed, runs);
+
+  std::printf("Part 2: pinning a 3-thread schedule (§2 k-thread "
+              "generalization + §8)\n");
+  int deterministic = 0;
+  for (int i = 0; i < runs; ++i) {
+    const auto order = pinned_three_thread_order();
+    if (order == std::vector<int>{0, 1, 2}) ++deterministic;
+  }
+  std::printf("  pinned order 0,1,2 observed in %d/%d runs\n", deterministic,
+              runs);
+
+  std::printf("\nOne mechanism, three uses: reproduce a bug, guard against "
+              "its return, and pin schedules in concurrent unit tests.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Replica of cache4j, a "fast thread-safe implementation for caching
+// Java objects" whose speed comes from leaving some bookkeeping
+// unsynchronized — the seeded bugs of the Table 1 cache4j rows:
+//
+//   race1      — unsynchronized size counter (lost updates in put)
+//   race2      — unsynchronized hit statistics (lost updates in get)
+//   race3      — unsynchronized eviction counter (lost updates on evict)
+//   atomicity1 — CacheObject is published to the table before its
+//                payload is initialized; a concurrent get() observes the
+//                half-constructed object.  The constructor runs
+//                thousands of times during warm-up, which is why the
+//                paper refines this breakpoint with ignoreFirst=7200.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "apps/replica.h"
+#include "instrument/shared_var.h"
+#include "instrument/tracked_mutex.h"
+
+namespace cbp::apps::cache {
+
+/// A cached entry.  `ready` is set at the END of initialization; the
+/// atomicity bug publishes the object before that.
+struct CacheObject {
+  explicit CacheObject(int key_in) : key(key_in) {}
+  int key = 0;
+  instr::SharedVar<int> payload;  ///< initialized after publication (bug)
+  instr::SharedVar<bool> ready;   ///< true once payload is valid
+};
+
+class Cache {
+ public:
+  explicit Cache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Inserts (or replaces) an entry.  The CacheObject is constructed,
+  /// PUBLISHED into the table, and only then initialized — the seeded
+  /// atomicity violation (paper: constructor of CacheObject).
+  void put(int key, int payload);
+
+  /// Looks up an entry; returns the payload or -1 on miss.  Reading a
+  /// published-but-uninitialized entry returns the poison value -999.
+  int get(int key);
+
+  /// Unsynchronized bookkeeping reads.
+  [[nodiscard]] std::int64_t approx_size() const { return size_.peek(); }
+  [[nodiscard]] std::int64_t hit_count() const { return hits_.peek(); }
+  [[nodiscard]] std::int64_t eviction_count() const {
+    return evictions_.peek();
+  }
+
+  /// Selects which seeded bug's breakpoint is inserted ("race1",
+  /// "race2", "race3", "atomicity1", or "" for none), and the
+  /// ignore-first refinement for atomicity1.
+  void arm(std::string bug, std::uint64_t ignore_first = 0);
+
+ private:
+  const std::size_t capacity_;
+  std::string armed_;               // which breakpoint is compiled "in"
+  std::uint64_t ignore_first_ = 0;  // §6.3 refinement for atomicity1
+  instr::TrackedMutex table_mu_{"cache4j-table"};
+  std::unordered_map<int, std::shared_ptr<CacheObject>> table_;  // guarded
+
+  // Deliberately unsynchronized counters (the cache4j "fast" part).
+  instr::SharedVar<std::int64_t> size_{0};       // race1
+  instr::SharedVar<std::int64_t> hits_{0};       // race2
+  instr::SharedVar<std::int64_t> evictions_{0};  // race3
+};
+
+/// Multi-threaded put/get mix arming the race1 breakpoint on the size
+/// counter update; the artifact is the racy state itself (error column
+/// blank in the paper), observed as a lost update.
+RunOutcome run_race1(const RunOptions& options);
+/// Same workload, race2 breakpoint on the hit counter.
+RunOutcome run_race2(const RunOptions& options);
+/// Same workload, race3 breakpoint on the last-access timestamp.
+RunOutcome run_race3(const RunOptions& options);
+/// Warm-up constructs many CacheObjects, then two threads race a put
+/// against a get of the same key; with the breakpoint the reader
+/// observes the half-constructed object.  `ignore_first` (scaled
+/// equivalent of the paper's 7200) suppresses warm-up postponement.
+RunOutcome run_atomicity1(const RunOptions& options,
+                          std::uint64_t ignore_first);
+
+inline constexpr const char* kRace1 = "cache4j-race1";
+inline constexpr const char* kRace2 = "cache4j-race2";
+inline constexpr const char* kRace3 = "cache4j-race3";
+inline constexpr const char* kAtomicity1 = "cache4j-atomicity1";
+
+/// Number of warm-up constructions run_atomicity1 performs (the scaled
+/// analogue of the paper's 7200 constructor calls).
+inline constexpr int kWarmupConstructions = 300;
+
+}  // namespace cbp::apps::cache

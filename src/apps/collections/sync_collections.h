@@ -1,0 +1,97 @@
+// Replicas of java.util.Collections$SynchronizedList / Map / Set.
+//
+// Each wrapper synchronizes every individual operation (as the JDK
+// does), which leaves two seeded bug patterns:
+//   * atomicity1 — compound client operations (size-then-get,
+//     contains-then-put/add) are not atomic: a concurrent clear() or
+//     put() in the window yields an exception or a stale/lost update.
+//   * deadlock1 — add_all(other) locks `this` then `other`; two threads
+//     running list_a.add_all(list_b) and list_b.add_all(list_a) cross.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/replica.h"
+#include "instrument/tracked_mutex.h"
+
+namespace cbp::apps::collections {
+
+/// Synchronized vector wrapper (the $SynchronizedList replica).
+class SyncList {
+ public:
+  explicit SyncList(std::string lock_tag = "SynchronizedList")
+      : mu_(std::move(lock_tag)) {}
+
+  [[nodiscard]] int size() const;
+  [[nodiscard]] int get(int index) const;  ///< throws std::out_of_range
+  void add(int value);
+  void clear();
+
+  /// Locks this, then source (the crossed-order deadlock seed).  Inner
+  /// acquisition declares a stall after `stall_after`.
+  void add_all(const SyncList& source, std::chrono::milliseconds stall_after);
+
+  [[nodiscard]] const void* id() const { return this; }
+
+ private:
+  mutable instr::TrackedMutex mu_;
+  std::vector<int> items_;  // guarded by mu_
+};
+
+/// Synchronized map wrapper (the $SynchronizedMap replica).
+class SyncMap {
+ public:
+  [[nodiscard]] bool contains(int key) const;
+  [[nodiscard]] int get_or(int key, int fallback) const;
+  void put(int key, int value);
+  [[nodiscard]] int size() const;
+
+  void put_all(const SyncMap& source, std::chrono::milliseconds stall_after);
+
+ private:
+  mutable instr::TrackedMutex mu_{"SynchronizedMap"};
+  std::map<int, int> items_;  // guarded by mu_
+};
+
+/// Synchronized set wrapper (the $SynchronizedSet replica).  `add`
+/// enforces the set invariant strictly: inserting a duplicate throws —
+/// the exception artifact of the Table 1 synchronizedSet row.
+class SyncSet {
+ public:
+  [[nodiscard]] bool contains(int value) const;
+  void add(int value);  ///< throws std::logic_error on duplicate
+  [[nodiscard]] int size() const;
+
+  void add_all(const SyncSet& source, std::chrono::milliseconds stall_after);
+
+ private:
+  mutable instr::TrackedMutex mu_{"SynchronizedSet"};
+  std::set<int> items_;  // guarded by mu_
+};
+
+// ---- Table 1 scenarios ----------------------------------------------------
+
+/// size-then-get vs clear -> std::out_of_range (error: exception).
+RunOutcome run_list_atomicity1(const RunOptions& options);
+/// crossed add_all -> stall.
+RunOutcome run_list_deadlock1(const RunOptions& options);
+/// contains-then-put vs put -> lost update (error column blank).
+RunOutcome run_map_atomicity1(const RunOptions& options);
+/// crossed put_all -> stall.
+RunOutcome run_map_deadlock1(const RunOptions& options);
+/// contains-then-add vs add -> duplicate insert throws (exception).
+RunOutcome run_set_atomicity1(const RunOptions& options);
+/// crossed add_all -> stall.
+RunOutcome run_set_deadlock1(const RunOptions& options);
+
+inline constexpr const char* kListAtomicity1 = "synclist-atomicity1";
+inline constexpr const char* kListDeadlock1 = "synclist-deadlock1";
+inline constexpr const char* kMapAtomicity1 = "syncmap-atomicity1";
+inline constexpr const char* kMapDeadlock1 = "syncmap-deadlock1";
+inline constexpr const char* kSetAtomicity1 = "syncset-atomicity1";
+inline constexpr const char* kSetDeadlock1 = "syncset-deadlock1";
+
+}  // namespace cbp::apps::collections

@@ -1,0 +1,24 @@
+// Replica of the pbzip2 0.9.4 crash (Table 2 row 1).
+//
+// In the original, the main thread tears down the output queue while the
+// consumer thread is still draining it; the consumer then dereferences a
+// freed/null OutputBuffer pointer and crashes.  The replica reproduces
+// the exact shape: a producer fills block slots, a consumer drains them,
+// and the terminator frees the slot array as soon as it *believes* the
+// consumer is done — a belief read racily.  Two concurrent breakpoints
+// (#CBR = 2, matching the paper) steer the schedule into the crash:
+//   pbzip2-bp1: the terminator's stale "consumer done" read happens
+//               right before the consumer's last-block fetch;
+//   pbzip2-bp2: the free executes before the consumer's dereference.
+#pragma once
+
+#include "apps/replica.h"
+
+namespace cbp::apps::compress {
+
+RunOutcome run_crash(const RunOptions& options);
+
+inline constexpr const char* kBp1 = "pbzip2-bp1";
+inline constexpr const char* kBp2 = "pbzip2-bp2";
+
+}  // namespace cbp::apps::compress

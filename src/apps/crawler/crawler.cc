@@ -1,0 +1,138 @@
+#include "apps/crawler/crawler.h"
+
+#include <set>
+#include <string>
+#include <thread>
+
+#include "core/cbp.h"
+#include "instrument/shared_var.h"
+#include "instrument/tracked_mutex.h"
+#include "runtime/clock.h"
+#include "runtime/latch.h"
+#include "runtime/rng.h"
+
+namespace cbp::apps::crawler {
+namespace {
+
+void configure(const RunOptions& options) {
+  Config::set_enabled(options.breakpoints);
+  Config::set_default_timeout(options.pause);
+}
+
+/// Sleeps a uniform random duration in [0, jitter_multiple * 100ms),
+/// TimeScale-adjusted — the synthetic "network".
+void network_jitter(rt::Rng& rng, double jitter_multiple) {
+  const auto window = rt::TimeScale::apply(
+      std::chrono::duration_cast<rt::Duration>(
+          std::chrono::duration<double, std::milli>(100.0 * jitter_multiple)));
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(window).count();
+  if (ns <= 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(
+      rng.next_below(static_cast<std::uint64_t>(ns) + 1)));
+}
+
+/// A crawl task whose buffer the canceller frees.
+struct Task {
+  instr::SharedVar<bool> cancelled{false};
+  instr::SharedVar<bool> buffer_valid{true};
+};
+
+}  // namespace
+
+RunOutcome run_race1(const RunOptions& options) {
+  configure(options);
+  RunOutcome outcome;
+  rt::Stopwatch clock;
+  rt::Rng rng(options.seed);
+
+  Task task;
+  bool used_freed_buffer = false;
+  rt::StartGate gate;
+
+  rt::Rng worker_rng = rng.split();
+  std::thread worker([&] {
+    gate.wait();
+    network_jitter(worker_rng, kRace1JitterOver100ms);
+    // Racy read of the cancellation flag — the stale decision is already
+    // made; the canceller's invalidation is ordered FIRST from the
+    // conflict state so the worker then uses the freed buffer.
+    const bool cancelled = task.cancelled.read();
+    ConflictTrigger trigger(kRace1, task.cancelled.address());
+    trigger.trigger_here(/*is_first_action=*/false);
+    if (!cancelled) {
+      // Process the task: with the canceller ordered in between, the
+      // buffer is gone by now.
+      if (!task.buffer_valid.read()) used_freed_buffer = true;
+    }
+  });
+
+  rt::Rng canceller_rng = rng.split();
+  std::thread canceller([&] {
+    gate.wait();
+    network_jitter(canceller_rng, kRace1JitterOver100ms);
+    ConflictTrigger trigger(kRace1, task.cancelled.address());
+    trigger.trigger_here(/*is_first_action=*/true);
+    task.cancelled.write(true);
+    task.buffer_valid.write(false);  // free the buffer
+  });
+
+  gate.open();
+  worker.join();
+  canceller.join();
+
+  outcome.runtime_seconds = clock.elapsed_seconds();
+  if (used_freed_buffer) {
+    outcome.artifact = rt::Artifact::kRaceObserved;
+    outcome.detail = "worker processed a cancelled task's freed buffer";
+  }
+  return outcome;
+}
+
+RunOutcome run_race2(const RunOptions& options) {
+  configure(options);
+  RunOutcome outcome;
+  rt::Stopwatch clock;
+  rt::Rng rng(options.seed);
+
+  // Visited-set with per-operation locking; the compound check+insert in
+  // the workers below is the race.
+  instr::TrackedMutex visited_mu("visited-set");
+  std::set<std::string> visited;
+  instr::SharedVar<int> fetches{0};
+  const std::string url = "http://example.org/duplicated";
+
+  rt::StartGate gate;
+  auto worker_body = [&](rt::Rng worker_rng) {
+    gate.wait();
+    network_jitter(worker_rng, kRace2JitterOver100ms);
+    bool fresh = false;
+    {
+      instr::TrackedLock lock(visited_mu);
+      fresh = visited.count(url) == 0;
+    }
+    ConflictTrigger trigger(kRace2, &visited_mu);
+    trigger.trigger_here(/*is_first_action=*/true);  // symmetric sites
+    if (fresh) {
+      {
+        instr::TrackedLock lock(visited_mu);
+        visited.insert(url);
+      }
+      fetches.racy_update([](int n) { return n + 1; });
+    }
+  };
+  std::thread a(worker_body, rng.split());
+  std::thread b(worker_body, rng.split());
+  gate.open();
+  a.join();
+  b.join();
+
+  outcome.runtime_seconds = clock.elapsed_seconds();
+  if (fetches.peek() > 1) {
+    outcome.artifact = rt::Artifact::kRaceObserved;
+    outcome.detail = "URL fetched twice (visited-set check was stale)";
+  }
+  return outcome;
+}
+
+}  // namespace cbp::apps::crawler

@@ -1,0 +1,34 @@
+// Replica of hedc, the ETH web crawler (Table 1 rows hedc race1/race2).
+//
+//   race1 — a task's `cancelled` flag is read without synchronization by
+//     the worker about to process it while the canceller sets it and
+//     invalidates the task's buffer: a stale read makes the worker use a
+//     freed buffer (the bug).  This is the paper's §6.2 pause-time-sweep
+//     subject: the two sides reach their sites with a random skew, so the
+//     hit probability rises from ~0.87 at T=100ms to 1.0 at T=1s.
+//   race2 — the visited-set "contains then insert" compound is not
+//     atomic: two workers both claim the same URL and fetch it twice.
+//
+// "Network" latency is synthetic jitter from a seeded RNG; the paper
+// itself notes hedc's runtimes fluctuate with the network.
+#pragma once
+
+#include <chrono>
+
+#include "apps/replica.h"
+
+namespace cbp::apps::crawler {
+
+/// Nominal site-arrival jitter windows, expressed as multiples of the
+/// nominal 100 ms pause so the paper's probabilities are reproduced:
+/// P(hit) = 1 - (1 - T/J)^2 for uniform independent arrivals in [0, J].
+inline constexpr double kRace1JitterOver100ms = 1.56;  // -> 0.87 at 100 ms
+inline constexpr double kRace2JitterOver100ms = 12.0;  // -> 0.96 at 1 s
+
+RunOutcome run_race1(const RunOptions& options);
+RunOutcome run_race2(const RunOptions& options);
+
+inline constexpr const char* kRace1 = "hedc-race1";
+inline constexpr const char* kRace2 = "hedc-race2";
+
+}  // namespace cbp::apps::crawler

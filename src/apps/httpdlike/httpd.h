@@ -1,0 +1,51 @@
+// Replica of the two Apache httpd 2.0.45 bugs of Table 2:
+//
+//   log corruption (Apache bug #25520) — the access logger emits one
+//     request as two buffer appends (request part, status part) without
+//     holding the buffer lock across both; interleaved workers produce
+//     garbled lines.  One breakpoint (#CBR = 1) parks a worker between
+//     its two appends while a peer writes.
+//
+//   server crash (buffer overflow) — the connection buffer uses a
+//     check-then-append on a shared length field; two workers passing
+//     the check together overflow the fixed buffer.  Three breakpoints
+//     (#CBR = 3, as in the paper) steer the schedule: align the two
+//     capacity checks, order the first append before the second check's
+//     thread appends, and order the length publications.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/replica.h"
+#include "instrument/shared_var.h"
+#include "instrument/tracked_mutex.h"
+
+namespace cbp::apps::httpdlike {
+
+/// Access log whose lines are written in two unsynchronized halves.
+class AccessLog {
+ public:
+  /// Appends "REQ<id> " then "OK<id>;" as two separate locked appends —
+  /// the seeded non-atomicity.
+  void log_request(int id, bool armed);
+
+  /// Lines split on ';'.  A line is corrupt when its REQ and OK ids
+  /// disagree.
+  [[nodiscard]] std::vector<std::string> lines() const;
+  [[nodiscard]] int corrupt_lines() const;
+
+ private:
+  mutable instr::TrackedMutex mu_{"access-log"};
+  std::string buffer_;  // guarded by mu_
+};
+
+RunOutcome run_log_corruption(const RunOptions& options);
+RunOutcome run_buffer_overflow(const RunOptions& options);
+
+inline constexpr const char* kLogBp = "httpd-log-bp";
+inline constexpr const char* kOvfBp1 = "httpd-ovf-bp1";
+inline constexpr const char* kOvfBp2 = "httpd-ovf-bp2";
+inline constexpr const char* kOvfBp3 = "httpd-ovf-bp3";
+
+}  // namespace cbp::apps::httpdlike

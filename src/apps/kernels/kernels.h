@@ -1,0 +1,51 @@
+// Replicas of the three Java Grande Forum compute kernels of Table 1:
+// moldyn (molecular dynamics), montecarlo (option pricing), raytracer.
+//
+// Each kernel parallelizes a loop over two worker threads that
+// accumulate into shared reduction variables with unsynchronized
+// read-modify-write — the seeded races.  Because the accumulation sites
+// execute hundreds of times per run, the paper bounds the breakpoints
+// (`bound=4`, `bound=10`, §6.3) so they stop pausing after the bug has
+// been exhibited; the run functions take the bound explicitly so the
+// precision bench can ablate it.
+//
+// raytracer validates its image checksum at the end, so its races
+// surface as "test fail" (kWrongResult); moldyn/montecarlo report the
+// racy state itself (blank error column -> kRaceObserved).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/replica.h"
+
+namespace cbp::apps::kernels {
+
+// moldyn: potential-energy (race1) and virial (race2) reductions.
+RunOutcome run_moldyn_race1(const RunOptions& options, std::uint64_t bound);
+RunOutcome run_moldyn_race2(const RunOptions& options, std::uint64_t bound);
+
+// montecarlo: global price-sum reduction (race1).
+RunOutcome run_montecarlo_race1(const RunOptions& options,
+                                std::uint64_t bound);
+
+// raytracer: checksum (race1), pixel counter (race2), depth statistic
+// (race3), shared RNG state (race4).
+RunOutcome run_raytracer_race1(const RunOptions& options);
+RunOutcome run_raytracer_race2(const RunOptions& options);
+RunOutcome run_raytracer_race3(const RunOptions& options);
+RunOutcome run_raytracer_race4(const RunOptions& options);
+
+inline constexpr const char* kMoldynRace1 = "moldyn-race1";
+inline constexpr const char* kMoldynRace2 = "moldyn-race2";
+inline constexpr const char* kMontecarloRace1 = "montecarlo-race1";
+inline constexpr const char* kRaytracerRace1 = "raytracer-race1";
+inline constexpr const char* kRaytracerRace2 = "raytracer-race2";
+inline constexpr const char* kRaytracerRace3 = "raytracer-race3";
+inline constexpr const char* kRaytracerRace4 = "raytracer-race4";
+
+/// Paper-matching default bounds (Table 1 comments column).
+inline constexpr std::uint64_t kMoldynRace1Bound = 4;
+inline constexpr std::uint64_t kMoldynRace2Bound = 10;
+inline constexpr std::uint64_t kMontecarloBound = 10;
+
+}  // namespace cbp::apps::kernels

@@ -1,0 +1,130 @@
+// Replica of log4j 1.2.13's AsyncAppender and its missed-notification
+// stall — the worked example of the paper's Methodology II (§5).
+//
+// The appender synchronizes append / setBufferSize / close / the
+// dispatcher loop on one buffer lock, with two seeded defects faithful
+// to the original bug class:
+//   * set_buffer_size() grows the buffer without notifying threads
+//     blocked on "buffer full";
+//   * the dispatcher's space notification fires only when
+//     queue.size() == buffer_size - 1, a threshold computed from the
+//     *current* buffer size.
+// Consequence: if set_buffer_size acquires the lock between the appender
+// blocking on a full buffer and the dispatcher's next pop (the paper's
+// "236 -> 309" resolution order), the blocked appender is never woken —
+// the system stalls.  In the opposite order the notification fires and
+// everything drains.
+//
+// The four lock-contention site pairs of the paper's §5 table map to the
+// four site ids below; arm_contention_pair() inserts a ConflictTrigger
+// on the buffer lock before the two chosen sites with a chosen
+// resolution order, exactly as Methodology II prescribes.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "apps/replica.h"
+#include "instrument/shared_var.h"
+#include "instrument/tracked_mutex.h"
+
+namespace cbp::apps::logging {
+
+/// The four synchronized sites of the replica, named after the paper's
+/// AsyncAppender line numbers.
+enum class Site : int {
+  kAppend = 100,      ///< append(): wait-for-space / push / notify
+  kSetBufferSize = 236,  ///< setBufferSize(): grow WITHOUT notify (bug)
+  kClose = 277,       ///< close(): set closed / notify
+  kDispatch = 309,    ///< dispatcher: wait-for-items / pop / maybe-notify
+};
+
+class AsyncAppender {
+ public:
+  explicit AsyncAppender(int buffer_size) : buffer_size_(buffer_size) {}
+
+  /// Blocks while the buffer is full; throws rt::StallError if blocked
+  /// past `stall_after` (the paper's large-timeout stall detection).
+  void append(int event, std::chrono::milliseconds stall_after);
+
+  /// Grows/shrinks the buffer.  Seeded bug: no notification.
+  void set_buffer_size(int new_size);
+
+  /// Marks the appender closed and wakes everyone.
+  void close();
+
+  /// One dispatcher pass: waits for an item (or close), pops one event,
+  /// and issues the (buggy, threshold-based) space notification.
+  /// Returns false when closed and drained.
+  bool dispatch_one();
+
+  [[nodiscard]] std::vector<int> dispatched() const;
+
+  /// Inserts the Methodology-II breakpoint pair: before the lock
+  /// acquisition at `first` and at `second`, resolving the contention so
+  /// the `first` site's thread proceeds first.  Pass the same site pair
+  /// with swapped arguments to test the opposite resolution order.
+  void arm_contention_pair(Site first, Site second);
+
+  /// Identity of the buffer lock (the contended object).
+  [[nodiscard]] const void* lock_id() const { return &mu_; }
+
+ private:
+  /// Runs the armed breakpoint side for `site` (no-op if not armed).
+  void trigger_if_armed(Site site);
+
+  mutable instr::TrackedMutex mu_{"AsyncAppender.buffer"};
+  instr::TrackedCondVar cv_;
+  std::deque<int> queue_;        // guarded by mu_
+  int buffer_size_;              // guarded by mu_
+  bool closed_ = false;          // guarded by mu_
+  std::vector<int> dispatched_;  // guarded by mu_
+
+  bool armed_ = false;
+  Site first_site_{};
+  Site second_site_{};
+};
+
+/// Options for one Methodology-II experiment run.
+struct MethodologyIIOptions {
+  bool breakpoints = true;
+  Site first = Site::kSetBufferSize;
+  Site second = Site::kDispatch;
+  std::chrono::milliseconds pause{100};
+  std::chrono::milliseconds stall_after{1500};
+  std::uint64_t seed = 1;
+  int events = 6;
+  int initial_buffer = 2;
+  int grown_buffer = 10;
+  /// Natural scheduling jitter (scaled): the config thread fires
+  /// set_buffer_size at a random offset, and the dispatcher dawdles a
+  /// little before each pass — this produces the paper's ~5% natural
+  /// stall rate without any breakpoint.
+  std::chrono::microseconds jitter{400};
+  /// Pacing between appends (events arrive at some rate, they are not
+  /// an instantaneous burst).  Must exceed the engine's order delay so
+  /// a breakpoint-ordered "dispatch before grow" resolution leaves the
+  /// appender unblocked when the grow lands.
+  std::chrono::milliseconds append_gap{15};
+};
+
+struct MethodologyIIOutcome {
+  bool stalled = false;
+  bool breakpoint_hit = false;
+  double runtime_seconds = 0.0;
+};
+
+/// One full run of the §5 workload: an appender thread pushing events, a
+/// config thread growing the buffer at a random time, a dispatcher
+/// draining, and a final close.
+MethodologyIIOutcome run_methodology2(const MethodologyIIOptions& options);
+
+/// The breakpoint name used by arm_contention_pair.
+inline constexpr const char* kContentionBreakpoint = "log4j-contention";
+
+/// Table 1 row "log4j missed-notify1": the same workload with the
+/// (236, 309) breakpoint; stall expected with probability ~1.
+RunOutcome run_missed_notify1(const RunOptions& options);
+
+}  // namespace cbp::apps::logging

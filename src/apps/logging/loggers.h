@@ -1,0 +1,69 @@
+// Replicas of the remaining logging bugs of Table 1:
+//   * log4j deadlock1 — Category.callAppenders (category -> appender
+//     lock order) vs AsyncAppender.close (appender -> category): a
+//     classic crossed-lock deadlock.
+//   * log4j race2 — an unsynchronized "events logged" counter.
+//   * java.util.logging deadlock1 — Logger.addHandler (logger ->
+//     manager) vs LogManager.readConfiguration (manager -> logger).
+#pragma once
+
+#include "apps/replica.h"
+#include "instrument/shared_var.h"
+#include "instrument/tracked_mutex.h"
+
+namespace cbp::apps::logging {
+
+/// Minimal log4j category/appender pair with the crossed-lock seed.
+class Log4jHierarchy {
+ public:
+  /// Locks category, then appender (Category.callAppenders).
+  void log(int event, std::chrono::milliseconds stall_after);
+
+  /// Locks appender, then category (AsyncAppender.close removing itself
+  /// from its category).
+  void close_appender(std::chrono::milliseconds stall_after);
+
+  /// Unsynchronized statistics update (race2 seed).
+  void count_event(bool armed);
+
+  [[nodiscard]] std::int64_t events_counted() const {
+    return event_count_.peek();
+  }
+
+  void arm_deadlock(bool on) { deadlock_armed_ = on; }
+
+ private:
+  instr::TrackedMutex category_mu_{"Category"};
+  instr::TrackedMutex appender_mu_{"Appender"};
+  instr::SharedVar<std::int64_t> event_count_{0};
+  int sink_ = 0;  // guarded by both locks in the respective paths
+  bool deadlock_armed_ = false;
+};
+
+/// Minimal java.util.logging manager/logger pair with the crossed seed.
+class JulManager {
+ public:
+  /// Locks logger, then manager (Logger.addHandler).
+  void add_handler(std::chrono::milliseconds stall_after);
+
+  /// Locks manager, then logger (LogManager.readConfiguration).
+  void read_configuration(std::chrono::milliseconds stall_after);
+
+  void arm_deadlock(bool on) { deadlock_armed_ = on; }
+
+ private:
+  instr::TrackedMutex logger_mu_{"Logger"};
+  instr::TrackedMutex manager_mu_{"LogManager"};
+  int handlers_ = 0;  // guarded by both locks
+  bool deadlock_armed_ = false;
+};
+
+RunOutcome run_log4j_deadlock1(const RunOptions& options);
+RunOutcome run_log4j_race2(const RunOptions& options);
+RunOutcome run_jul_deadlock1(const RunOptions& options);
+
+inline constexpr const char* kLog4jDeadlock1 = "log4j-deadlock1";
+inline constexpr const char* kLog4jRace2 = "log4j-race2";
+inline constexpr const char* kJulDeadlock1 = "jul-deadlock1";
+
+}  // namespace cbp::apps::logging

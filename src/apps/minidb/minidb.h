@@ -1,0 +1,69 @@
+// Replica of the three MySQL bugs of Table 2, built around a miniature
+// transactional engine with a binary log:
+//
+//   MySQL 4.0.12 — log omission (bug #791): a binlog write checks the
+//     log generation racily; a concurrent rotation between the check and
+//     the append sends the event to the closed log — it vanishes.
+//     Two breakpoints (#CBR = 2).
+//   MySQL 3.23.56 — log disorder (bug #169): transactions commit to the
+//     storage engine in one order but append to the binlog in another;
+//     replication replays the wrong order.  One breakpoint (#CBR = 1).
+//   MySQL 4.0.19 — server crash (bug #3596): a connection teardown frees
+//     the THD while a query on that connection is still executing: null
+//     pointer dereference.  Three breakpoints (#CBR = 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/replica.h"
+#include "instrument/shared_var.h"
+#include "instrument/tracked_mutex.h"
+
+namespace cbp::apps::minidb {
+
+/// Rotating binary log.  Entries live in the current generation; a
+/// rotation archives them.  The generation check in write_event is
+/// deliberately split from the append (the #791 seed).
+class Binlog {
+ public:
+  /// Appends an event; returns false when the event was silently lost
+  /// to a concurrent rotation (written "to the closed log").
+  bool write_event(int event, bool armed);
+
+  /// Archives the current generation and opens a new one.
+  void rotate(bool armed);
+
+  /// Total events that actually made it into any generation.
+  [[nodiscard]] std::int64_t logged_total() const;
+
+  /// Events in the current (unarchived) generation.
+  [[nodiscard]] std::vector<int> current() const;
+
+ private:
+  mutable instr::TrackedMutex mu_{"binlog"};
+  instr::SharedVar<int> generation_{0};
+  std::vector<int> entries_;            // guarded by mu_
+  std::int64_t archived_count_ = 0;     // guarded by mu_
+};
+
+RunOutcome run_log_omission(const RunOptions& options);   // 4.0.12 / #791
+RunOutcome run_log_disorder(const RunOptions& options);   // 3.23.56 / #169
+RunOutcome run_crash(const RunOptions& options);          // 4.0.19 / #3596
+
+/// Extension (paper §2: breakpoints "easily extended" to k threads): a
+/// group-commit accounting bug that needs THREE threads in the conflict
+/// state at once — two committers inside the unsynchronized pending-
+/// counter update while the group leader flushes.  Armed with a single
+/// 3-ary concurrent breakpoint (trigger_here_ranked, arity 3).
+RunOutcome run_group_commit_race(const RunOptions& options);
+
+inline constexpr const char* kOmissionBp1 = "mysql-omission-bp1";
+inline constexpr const char* kOmissionBp2 = "mysql-omission-bp2";
+inline constexpr const char* kDisorderBp = "mysql-disorder-bp";
+inline constexpr const char* kCrashBp1 = "mysql-crash-bp1";
+inline constexpr const char* kCrashBp2 = "mysql-crash-bp2";
+inline constexpr const char* kCrashBp3 = "mysql-crash-bp3";
+inline constexpr const char* kGroupCommitBp = "mysql-group-commit-bp";
+
+}  // namespace cbp::apps::minidb

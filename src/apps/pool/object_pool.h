@@ -1,0 +1,43 @@
+// Replica of the commons-pool missed-notification stall (Table 1 row
+// pool missed-notify1, inserted via Methodology II in the paper).
+//
+// The pool signals "an object was returned" through a non-latching
+// notification gated on a registered waiter: if return_object() runs in
+// the window between a borrower's empty-check and its wait
+// registration, the wake-up is dropped and the borrower waits forever.
+#pragma once
+
+#include <vector>
+
+#include "apps/replica.h"
+#include "instrument/tracked_mutex.h"
+
+namespace cbp::apps::pool {
+
+class ObjectPool {
+ public:
+  explicit ObjectPool(int objects) : idle_(objects) {}
+
+  /// Takes an object, blocking while the pool is empty.  Throws
+  /// rt::StallError if blocked past `stall_after` (the missed notify).
+  int borrow(std::chrono::milliseconds stall_after, bool armed);
+
+  /// Returns an object.  SEEDED BUG: the wake-up is only delivered to a
+  /// waiter that has already registered.
+  void return_object(bool armed);
+
+  [[nodiscard]] int idle() const;
+
+ private:
+  mutable instr::TrackedMutex mu_{"GenericObjectPool"};
+  instr::TrackedCondVar cv_;
+  int idle_;                     // guarded by mu_
+  bool waiter_present_ = false;  // guarded by mu_
+  bool returned_signal_ = false; // guarded by mu_
+};
+
+RunOutcome run_missed_notify1(const RunOptions& options);
+
+inline constexpr const char* kMissedNotify1 = "pool-missed-notify1";
+
+}  // namespace cbp::apps::pool

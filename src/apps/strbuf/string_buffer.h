@@ -1,0 +1,63 @@
+// Replica of java.lang.StringBuffer and its classic append/setLength
+// atomicity violation (paper Fig. 3).
+//
+// Every public method is individually synchronized (as in the JDK), but
+// append(StringBuffer&) reads the source length and then copies the
+// characters in two separate critical sections: a concurrent
+// set_length(0) in between makes the cached length stale and the copy
+// throws — the paper's breakpoint (239, 449, t1.sb == t2.this).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "apps/replica.h"
+#include "instrument/tracked_mutex.h"
+
+namespace cbp::apps::strbuf {
+
+class StringBuffer {
+ public:
+  StringBuffer() = default;
+  explicit StringBuffer(std::string initial) : data_(std::move(initial)) {}
+
+  /// Synchronized length (JDK line 143).
+  [[nodiscard]] int length() const;
+
+  /// Synchronized character copy (JDK line 322).  Throws
+  /// std::out_of_range when [begin, end) is not within the buffer — the
+  /// StringIndexOutOfBoundsException of the original.
+  void get_chars(int begin, int end, std::string& dst) const;
+
+  /// Synchronized append of a single character.
+  void append(char c);
+
+  /// Synchronized truncation/extension (JDK line 239 region).
+  void set_length(int new_length);
+
+  /// Synchronized append of another buffer (JDK lines 437-449).  This is
+  /// the non-atomic victim: length() at "line 444", get_chars at "line
+  /// 449" are separate critical sections on `source`.
+  void append(const StringBuffer& source);
+
+  /// Uninstrumented snapshot for assertions.
+  [[nodiscard]] std::string str() const;
+
+  /// Identity used by breakpoint predicates (the Java `this`).
+  [[nodiscard]] const void* id() const { return this; }
+
+ private:
+  mutable instr::TrackedMutex mu_{"StringBuffer"};
+  std::string data_;  // guarded by mu_
+};
+
+/// Runs the paper's atomicity-violation scenario once: one thread
+/// appends a shared buffer into an accumulator while another calls
+/// set_length(0) on it.  With the breakpoint armed, the interleaving is
+/// forced and append throws (Artifact::kException).
+RunOutcome run_atomicity1(const RunOptions& options);
+
+/// Breakpoint name used by run_atomicity1 (exposed for stats queries).
+inline constexpr const char* kAtomicity1Breakpoint = "strbuf-atomicity1";
+
+}  // namespace cbp::apps::strbuf

@@ -1,0 +1,116 @@
+#include "apps/swinglike/swing.h"
+
+#include <atomic>
+#include <thread>
+
+#include "core/cbp.h"
+#include "runtime/clock.h"
+#include "runtime/latch.h"
+#include "runtime/rng.h"
+
+namespace cbp::apps::swinglike {
+namespace {
+
+void jitter_sleep(rt::Rng& rng, double multiple_of_100ms) {
+  const auto window = rt::TimeScale::apply(
+      std::chrono::duration_cast<rt::Duration>(
+          std::chrono::duration<double, std::milli>(100.0 *
+                                                    multiple_of_100ms)));
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(window).count();
+  if (ns <= 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(
+      rng.next_below(static_cast<std::uint64_t>(ns) + 1)));
+}
+
+}  // namespace
+
+void RepaintManager::add_dirty_region(std::chrono::milliseconds stall_after,
+                                      bool armed, bool refined) {
+  if (armed) {
+    if (refined) {
+      // §6.3: the context predicate — only pause when this thread holds
+      // a BasicCaret lock, i.e. when the deadlock is actually possible.
+      LockTypeHeldRefinement<OrderTrigger> trigger("BasicCaret", kDeadlock1);
+      trigger.trigger_here(/*is_first_action=*/true);
+    } else {
+      OrderTrigger trigger(kDeadlock1);
+      trigger.trigger_here(/*is_first_action=*/true);
+    }
+  }
+  rm_mu_.lock_or_stall(stall_after);
+  ++dirty_regions_;
+  rm_mu_.unlock();
+}
+
+void RepaintManager::paint(instr::TrackedMutex& caret_mu,
+                           std::chrono::milliseconds stall_after,
+                           bool armed) {
+  instr::TrackedLock rm(rm_mu_);
+  if (armed) {
+    OrderTrigger trigger(kDeadlock1);
+    trigger.trigger_here(/*is_first_action=*/false);
+  }
+  caret_mu.lock_or_stall(stall_after);
+  // paint the caret region
+  caret_mu.unlock();
+}
+
+RunOutcome run_deadlock1(const SwingOptions& options) {
+  const RunOptions& base = options.base;
+  Config::set_enabled(base.breakpoints);
+  Config::set_default_timeout(base.pause);
+
+  RunOutcome outcome;
+  rt::Stopwatch clock;
+  rt::Rng rng(base.seed);
+
+  RepaintManager manager;
+  instr::TrackedMutex caret_mu("BasicCaret");
+  std::atomic<bool> stalled{false};
+  rt::StartGate gate;
+
+  rt::Rng component_rng = rng.split();
+  std::thread component([&] {
+    gate.wait();
+    try {
+      // Many caret-free contexts first: without the refinement each of
+      // these pauses for the full T (the §6.3 overhead story).
+      for (int i = 0; i < options.caret_free_calls; ++i) {
+        manager.add_dirty_region(base.stall_after, base.breakpoints,
+                                 options.refined);
+      }
+      jitter_sleep(component_rng, kJitterOver100ms);
+      // The dangerous context: caret held, then repaint manager.
+      instr::TrackedLock caret(caret_mu);
+      manager.add_dirty_region(base.stall_after, base.breakpoints,
+                               options.refined);
+    } catch (const rt::StallError&) {
+      stalled = true;
+    }
+  });
+
+  rt::Rng edt_rng = rng.split();
+  std::thread event_dispatch([&] {
+    gate.wait();
+    try {
+      jitter_sleep(edt_rng, kJitterOver100ms);
+      manager.paint(caret_mu, base.stall_after, base.breakpoints);
+    } catch (const rt::StallError&) {
+      stalled = true;
+    }
+  });
+
+  gate.open();
+  component.join();
+  event_dispatch.join();
+
+  outcome.runtime_seconds = clock.elapsed_seconds();
+  if (stalled.load()) {
+    outcome.artifact = rt::Artifact::kStall;
+    outcome.detail = "caret/repaint-manager lock order crossed";
+  }
+  return outcome;
+}
+
+}  // namespace cbp::apps::swinglike

@@ -1,0 +1,55 @@
+// Replica of the javax.swing deadlock (Table 1 swing deadlock1) and the
+// paper's two refinement stories about it:
+//   * §6.2 — at T=100ms the deadlock triggers with probability ~0.63,
+//     at T=1s with ~0.99 (at much higher runtime overhead);
+//   * §6.3 — RepaintManager.addDirtyRegion() is called from many
+//     contexts, but the deadlock is only possible when the caller holds
+//     the BasicCaret lock; gating the breakpoint's local predicate on
+//     isLockTypeHeld("BasicCaret") removes the useless pauses.
+//
+// Structure: a component thread takes the caret lock and calls
+// add_dirty_region (caret -> repaint-manager order) amid many
+// caret-free add_dirty_region calls; the event-dispatch thread paints
+// (repaint-manager -> caret order).  Crossed -> stall.
+#pragma once
+
+#include "apps/replica.h"
+#include "instrument/tracked_mutex.h"
+
+namespace cbp::apps::swinglike {
+
+class RepaintManager {
+ public:
+  /// Called from many contexts; only deadlocks when the caller already
+  /// holds the caret lock.  `refined` selects whether the breakpoint's
+  /// local predicate is gated on isLockTypeHeld("BasicCaret").
+  void add_dirty_region(std::chrono::milliseconds stall_after, bool armed,
+                        bool refined);
+
+  /// The event-dispatch thread's paint pass: repaint-manager lock, then
+  /// the caret lock.
+  void paint(instr::TrackedMutex& caret_mu,
+             std::chrono::milliseconds stall_after, bool armed);
+
+  [[nodiscard]] instr::TrackedMutex& lock() { return rm_mu_; }
+
+ private:
+  instr::TrackedMutex rm_mu_{"RepaintManager"};
+  int dirty_regions_ = 0;  // guarded by rm_mu_
+};
+
+struct SwingOptions {
+  RunOptions base;
+  bool refined = true;  ///< gate on isLockTypeHeld (the §6.3 refinement)
+  int caret_free_calls = 24;  ///< addDirtyRegion calls without the caret
+};
+
+RunOutcome run_deadlock1(const SwingOptions& options);
+
+inline constexpr const char* kDeadlock1 = "swing-deadlock1";
+
+/// Arrival-jitter window (multiple of the nominal 100 ms pause) tuned so
+/// P(hit) = 1-(1-T/J)^2 gives ~0.63 at T=100ms and ~1 at T=1s.
+inline constexpr double kJitterOver100ms = 2.56;
+
+}  // namespace cbp::apps::swinglike

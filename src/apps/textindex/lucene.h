@@ -1,0 +1,36 @@
+// Replica of the lucene deadlock (Table 1 row lucene deadlock1).
+//
+// IndexWriter.close() holds the writer's commit lock and then acquires
+// the directory lock to release its file handles; a concurrent
+// SearcherManager.maybe_refresh() holds the directory lock (enumerating
+// segments) and then acquires the commit lock to read the commit point:
+// crossed order, stall.
+#pragma once
+
+#include "apps/replica.h"
+#include "instrument/tracked_mutex.h"
+
+namespace cbp::apps::textindex {
+
+class Index {
+ public:
+  /// commit lock -> directory lock.
+  void writer_close(std::chrono::milliseconds stall_after);
+
+  /// directory lock -> commit lock.
+  void maybe_refresh(std::chrono::milliseconds stall_after);
+
+  void arm_deadlock(bool on) { armed_ = on; }
+
+ private:
+  instr::TrackedMutex commit_mu_{"IndexWriter.commitLock"};
+  instr::TrackedMutex directory_mu_{"Directory"};
+  int segments_ = 3;  // guarded by both locks in the respective paths
+  bool armed_ = false;
+};
+
+RunOutcome run_deadlock1(const RunOptions& options);
+
+inline constexpr const char* kDeadlock1 = "lucene-deadlock1";
+
+}  // namespace cbp::apps::textindex

@@ -1,0 +1,110 @@
+// Replica of W3C Jigsaw's SocketClientFactory and the five Table 1
+// jigsaw bugs:
+//
+//   deadlock1 — the paper's Fig. 2: killClients holds the factory
+//     monitor ("this", line 867) and acquires csList (line 872), while
+//     clientConnectionFinished holds csList (line 623) and calls the
+//     synchronized decrIdleCount ("this", line 574/626): crossed order.
+//   deadlock2 — a second crossing between the admin-config and
+//     status-reporting monitors.
+//   missed-notify1 — the shutdown event is delivered through a
+//     non-latching one-shot event: a notify issued before the waiter
+//     registers is dropped, stranding the waiter (Methodology II bug).
+//   race1 — a racy read of the `stopping` flag lets a worker enter its
+//     idle wait with a stale "not stopping" decision: stall.
+//   race2 — unsynchronized request counter: lost updates (blank error).
+#pragma once
+
+#include <vector>
+
+#include "apps/replica.h"
+#include "instrument/shared_var.h"
+#include "instrument/tracked_mutex.h"
+
+namespace cbp::apps::webserver {
+
+/// Non-latching one-shot event (the missed-notify seed): notify() is
+/// dropped unless a waiter has already registered.
+class DroppableEvent {
+ public:
+  /// Registers as waiter and blocks until delivered (or stall).
+  void wait(std::chrono::milliseconds stall_after, bool armed);
+
+  /// Delivers the event — ONLY if someone is already waiting (bug).
+  void notify(bool armed);
+
+ private:
+  instr::TrackedMutex mu_{"shutdown-event"};
+  instr::TrackedCondVar cv_;
+  bool waiter_present_ = false;  // guarded by mu_
+  bool delivered_ = false;       // guarded by mu_
+};
+
+class SocketClientFactory {
+ public:
+  /// Fig. 2 lines 618-626: locks csList, then the factory monitor.
+  void client_connection_finished(std::chrono::milliseconds stall_after);
+
+  /// Fig. 2 lines 867-872: locks the factory monitor, then csList.
+  void kill_clients(std::chrono::milliseconds stall_after);
+
+  /// deadlock2 legs: admin reconfiguration (config -> status) vs status
+  /// reporting (status -> config).
+  void reconfigure(std::chrono::milliseconds stall_after);
+  void report_status(std::chrono::milliseconds stall_after);
+
+  /// race1: worker idle path — reads `stopping` (racily), then waits for
+  /// work; a stale false strands it.  Throws rt::StallError on strand.
+  void worker_idle(std::chrono::milliseconds stall_after);
+  /// race1: shutdown writes `stopping` and wakes workers.
+  void begin_shutdown();
+
+  /// race2: unsynchronized request statistics.
+  void count_request();
+  [[nodiscard]] std::int64_t requests_counted() const {
+    return request_count_.peek();
+  }
+
+  /// Which bug's breakpoints are inserted:
+  /// "deadlock1", "deadlock2", "race1", "race2", or "".
+  void arm(std::string bug) { armed_ = std::move(bug); }
+
+ private:
+  std::string armed_;
+
+  instr::TrackedMutex factory_mu_{"this"};
+  instr::TrackedMutex cs_list_mu_{"csList"};
+  instr::TrackedMutex config_mu_{"config"};
+  instr::TrackedMutex status_mu_{"status"};
+  int idle_count_ = 0;        // guarded by factory_mu_
+  std::vector<int> clients_;  // guarded by cs_list_mu_
+  int config_epoch_ = 0;      // guarded by config_mu_ (+ status for report)
+
+  instr::TrackedMutex worker_mu_{"worker-queue"};
+  instr::TrackedCondVar worker_cv_;
+  int wake_epoch_ = 0;                          // guarded by worker_mu_
+  instr::SharedVar<bool> stopping_{false};      // race1: racy flag
+  instr::SharedVar<std::int64_t> request_count_{0};  // race2
+};
+
+RunOutcome run_deadlock1(const RunOptions& options);
+RunOutcome run_deadlock2(const RunOptions& options);
+RunOutcome run_missed_notify1(const RunOptions& options);
+RunOutcome run_race1(const RunOptions& options);
+RunOutcome run_race2(const RunOptions& options);
+
+/// The paper's Jigsaw test harness in miniature: several client threads
+/// make simultaneous "web page requests" (request counting + connection
+/// teardown through csList) while an admin thread sends the
+/// killClients control command mid-run — the Fig. 2 deadlock armed and
+/// hit under realistic concurrent load rather than a bare two-thread
+/// scenario.
+RunOutcome run_server_stress(const RunOptions& options, int clients = 4);
+
+inline constexpr const char* kDeadlock1 = "jigsaw-deadlock1";
+inline constexpr const char* kDeadlock2 = "jigsaw-deadlock2";
+inline constexpr const char* kMissedNotify1 = "jigsaw-missed-notify1";
+inline constexpr const char* kRace1 = "jigsaw-race1";
+inline constexpr const char* kRace2 = "jigsaw-race2";
+
+}  // namespace cbp::apps::webserver

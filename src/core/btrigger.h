@@ -1,0 +1,146 @@
+// The concurrent-breakpoint primitive (paper §2, §4).
+//
+// A concurrent breakpoint (l1, l2, phi) is expressed by inserting two
+// calls to `trigger_here` — one just before l1 with is_first_action=true,
+// one just before l2 with is_first_action=false — on subclasses of
+// BTrigger that carry the thread-local state needed to evaluate phi.
+// Two BTrigger instances with the same *name* belong to the same
+// breakpoint.  phi is split (paper §3) into:
+//   * predicate_local()        — phi_t1 / phi_t2, over this thread only;
+//   * predicate_global(other)  — phi_t1t2, over both threads' states.
+//
+// trigger_here implements BTRIGGER: a thread whose local predicate holds
+// is postponed for up to `timeout`; if a complementary thread arrives
+// whose joint predicate matches, the breakpoint is *hit*, both calls
+// return true, and the pair is ordered (first-action thread executes its
+// next instruction first).  A postponed thread always times out
+// eventually, so breakpoints never introduce a deadlock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace cbp {
+
+namespace internal {
+struct GroupState;
+}  // namespace internal
+
+/// RAII marker for the deterministic-ordering API.  A thread that hit a
+/// breakpoint through trigger_here_scoped() must keep the guard alive
+/// across its "next instruction"; destroying (or release()-ing) it is the
+/// signal that lets later-ordered threads proceed.  Without the scoped
+/// API, ordering falls back to Config::order_delay().
+class [[nodiscard]] OrderingGuard {
+ public:
+  OrderingGuard() = default;
+  OrderingGuard(std::shared_ptr<internal::GroupState> group, int rank);
+  ~OrderingGuard();
+
+  OrderingGuard(OrderingGuard&& other) noexcept;
+  OrderingGuard& operator=(OrderingGuard&& other) noexcept;
+  OrderingGuard(const OrderingGuard&) = delete;
+  OrderingGuard& operator=(const OrderingGuard&) = delete;
+
+  /// True if this guard corresponds to an actual breakpoint hit.
+  [[nodiscard]] bool active() const { return group_ != nullptr; }
+
+  /// Rank of this thread within the hit (0 executes first).
+  [[nodiscard]] int rank() const { return rank_; }
+
+  /// Signals completion of the guarded instruction early.
+  void release();
+
+ private:
+  std::shared_ptr<internal::GroupState> group_;
+  int rank_ = -1;
+};
+
+/// Result of a scoped trigger call.
+struct TriggerResult {
+  bool hit = false;
+  OrderingGuard guard;  ///< active iff hit
+
+  explicit operator bool() const { return hit; }
+};
+
+/// Abstract concurrent breakpoint (mirrors the paper's Fig. 5 API).
+class BTrigger {
+ public:
+  explicit BTrigger(std::string name) : name_(std::move(name)) {}
+  virtual ~BTrigger() = default;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// phi restricted to this thread's local state.  Default: true.
+  [[nodiscard]] virtual bool predicate_local() const { return true; }
+
+  /// phi over this thread's and `other`'s states.  The engine guarantees
+  /// `other` has the same breakpoint name and belongs to a different,
+  /// currently-postponed thread whose state is quiescent.
+  [[nodiscard]] virtual bool predicate_global(const BTrigger& other) const = 0;
+
+  /// One-line description for hit reports ("Conflict", "Deadlock", ...).
+  [[nodiscard]] virtual std::string describe() const { return name_; }
+
+  // ---- Paper API -------------------------------------------------------
+
+  /// Returns true iff the breakpoint was hit (both local and global
+  /// predicates satisfied by this thread and a peer).  `timeout` is the
+  /// nominal postponement time T; rt::TimeScale::apply() is applied.
+  bool trigger_here(bool is_first_action, std::chrono::milliseconds timeout);
+
+  /// Same, with Config::default_timeout().
+  bool trigger_here(bool is_first_action);
+
+  // ---- Deterministic-ordering extension ---------------------------------
+
+  /// Like trigger_here, but on a hit the later-ordered thread is released
+  /// only when the earlier thread's OrderingGuard is destroyed, making
+  /// the paper's "t1's next instruction executes before t2's" exact.
+  TriggerResult trigger_here_scoped(bool is_first_action,
+                                    std::chrono::milliseconds timeout);
+  TriggerResult trigger_here_scoped(bool is_first_action);
+
+  // ---- k-thread generalization (paper §2: "easily extended") -----------
+
+  /// Breakpoint over `arity` threads; this call declares rank
+  /// `rank` in [0, arity).  All `arity` ranks must rendezvous (each from a
+  /// distinct thread, jointly satisfying the predicates) for a hit; on a
+  /// hit, threads are released in rank order.
+  bool trigger_here_ranked(int rank, int arity,
+                           std::chrono::milliseconds timeout);
+  TriggerResult trigger_here_ranked_scoped(int rank, int arity,
+                                           std::chrono::milliseconds timeout);
+
+  // ---- Local-predicate refinements (paper §6.3) -------------------------
+
+  /// Do not postpone for the first `n` arrivals at this breakpoint name
+  /// (cache4j's `ignoreFirst=7200`).  Matching a postponed peer is still
+  /// allowed — only the wait is skipped.
+  BTrigger& ignore_first(std::uint64_t n) {
+    ignore_first_ = n;
+    return *this;
+  }
+
+  /// Stop participating once this breakpoint name has hit `n` times
+  /// (moldyn's `bound=4` / `bound=10`).
+  BTrigger& bound(std::uint64_t n) {
+    bound_ = n;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t ignore_first_count() const {
+    return ignore_first_;
+  }
+  [[nodiscard]] std::uint64_t bound_count() const { return bound_; }
+
+ private:
+  std::string name_;
+  std::uint64_t ignore_first_ = 0;
+  std::uint64_t bound_ = UINT64_MAX;
+};
+
+}  // namespace cbp

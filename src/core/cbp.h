@@ -1,0 +1,11 @@
+// Umbrella header for the concurrent-breakpoint library.
+#pragma once
+
+#include "core/btrigger.h"   // IWYU pragma: export
+#include "core/config.h"     // IWYU pragma: export
+#include "core/engine.h"     // IWYU pragma: export
+#include "core/macros.h"     // IWYU pragma: export
+#include "core/schedule.h"   // IWYU pragma: export
+#include "core/spec.h"       // IWYU pragma: export
+#include "core/stats.h"      // IWYU pragma: export
+#include "core/triggers.h"   // IWYU pragma: export

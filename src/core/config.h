@@ -1,0 +1,81 @@
+// Global configuration for the concurrent-breakpoint runtime.
+//
+// Breakpoints "can be turned on or off like traditional assertions"
+// (paper §4): the `enabled` flag is the runtime switch, and the macros in
+// core/macros.h provide the compile-time switch (-DCBP_DISABLE_BREAKPOINTS).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cbp {
+
+class Config {
+ public:
+  /// Runtime on/off switch.  When disabled, trigger_here() is a cheap
+  /// no-op returning "not hit".
+  static void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Default postponement timeout T (nominal; TimeScale applies on use).
+  /// Paper default: 100 ms (Global.TIMEOUT).
+  static void set_default_timeout(std::chrono::milliseconds t) {
+    default_timeout_us_.store(
+        std::chrono::duration_cast<std::chrono::microseconds>(t).count(),
+        std::memory_order_relaxed);
+  }
+  static std::chrono::microseconds default_timeout() {
+    return std::chrono::microseconds(
+        default_timeout_us_.load(std::memory_order_relaxed));
+  }
+
+  /// How long a later-ordered thread is held after an earlier-ordered
+  /// thread returns from a *non-scoped* trigger_here, so that the earlier
+  /// thread's "next instruction" actually executes first.
+  static void set_order_delay(std::chrono::microseconds d) {
+    order_delay_us_.store(d.count(), std::memory_order_relaxed);
+  }
+  static std::chrono::microseconds order_delay() {
+    return std::chrono::microseconds(
+        order_delay_us_.load(std::memory_order_relaxed));
+  }
+
+  /// Upper bound on how long a later-ordered thread will wait for an
+  /// earlier thread's OrderingGuard; a leaked guard therefore degrades to
+  /// a delay, never a hang (paper §3: postponement must not deadlock).
+  static void set_guard_wait_cap(std::chrono::milliseconds t) {
+    guard_wait_cap_us_.store(
+        std::chrono::duration_cast<std::chrono::microseconds>(t).count(),
+        std::memory_order_relaxed);
+  }
+  static std::chrono::microseconds guard_wait_cap() {
+    return std::chrono::microseconds(
+        guard_wait_cap_us_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static inline std::atomic<bool> enabled_{true};
+  static inline std::atomic<std::int64_t> default_timeout_us_{100'000};
+  static inline std::atomic<std::int64_t> order_delay_us_{200};
+  static inline std::atomic<std::int64_t> guard_wait_cap_us_{5'000'000};
+};
+
+/// RAII disable (e.g. to measure "normal" runtime in benches).
+class ScopedBreakpointsDisabled {
+ public:
+  ScopedBreakpointsDisabled() : previous_(Config::enabled()) {
+    Config::set_enabled(false);
+  }
+  ~ScopedBreakpointsDisabled() { Config::set_enabled(previous_); }
+  ScopedBreakpointsDisabled(const ScopedBreakpointsDisabled&) = delete;
+  ScopedBreakpointsDisabled& operator=(const ScopedBreakpointsDisabled&) =
+      delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace cbp

@@ -1,0 +1,428 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iostream>
+
+#include "core/config.h"
+
+namespace cbp {
+
+// ---------------------------------------------------------------------------
+// OrderingGuard
+// ---------------------------------------------------------------------------
+
+OrderingGuard::OrderingGuard(std::shared_ptr<internal::GroupState> group,
+                             int rank)
+    : group_(std::move(group)), rank_(rank) {}
+
+OrderingGuard::~OrderingGuard() { release(); }
+
+OrderingGuard::OrderingGuard(OrderingGuard&& other) noexcept
+    : group_(std::move(other.group_)), rank_(other.rank_) {
+  other.group_.reset();
+  other.rank_ = -1;
+}
+
+OrderingGuard& OrderingGuard::operator=(OrderingGuard&& other) noexcept {
+  if (this != &other) {
+    release();
+    group_ = std::move(other.group_);
+    rank_ = other.rank_;
+    other.group_.reset();
+    other.rank_ = -1;
+  }
+  return *this;
+}
+
+void OrderingGuard::release() {
+  if (!group_) return;
+  {
+    std::scoped_lock lock(group_->mu);
+    group_->acked[static_cast<std::size_t>(rank_)] = 1;
+  }
+  group_->cv.notify_all();
+  group_.reset();
+  rank_ = -1;
+}
+
+// ---------------------------------------------------------------------------
+// BTrigger thin wrappers
+// ---------------------------------------------------------------------------
+
+bool BTrigger::trigger_here(bool is_first_action,
+                            std::chrono::milliseconds timeout) {
+  return Engine::instance()
+      .trigger(*this, is_first_action ? 0 : 1, 2,
+               std::chrono::duration_cast<std::chrono::microseconds>(timeout),
+               /*scoped=*/false)
+      .hit;
+}
+
+bool BTrigger::trigger_here(bool is_first_action) {
+  return Engine::instance()
+      .trigger(*this, is_first_action ? 0 : 1, 2, Config::default_timeout(),
+               /*scoped=*/false)
+      .hit;
+}
+
+TriggerResult BTrigger::trigger_here_scoped(bool is_first_action,
+                                            std::chrono::milliseconds timeout) {
+  return Engine::instance().trigger(
+      *this, is_first_action ? 0 : 1, 2,
+      std::chrono::duration_cast<std::chrono::microseconds>(timeout),
+      /*scoped=*/true);
+}
+
+TriggerResult BTrigger::trigger_here_scoped(bool is_first_action) {
+  return Engine::instance().trigger(*this, is_first_action ? 0 : 1, 2,
+                                    Config::default_timeout(),
+                                    /*scoped=*/true);
+}
+
+bool BTrigger::trigger_here_ranked(int rank, int arity,
+                                   std::chrono::milliseconds timeout) {
+  return Engine::instance()
+      .trigger(*this, rank, arity,
+               std::chrono::duration_cast<std::chrono::microseconds>(timeout),
+               /*scoped=*/false)
+      .hit;
+}
+
+TriggerResult BTrigger::trigger_here_ranked_scoped(
+    int rank, int arity, std::chrono::milliseconds timeout) {
+  return Engine::instance().trigger(
+      *this, rank, arity,
+      std::chrono::duration_cast<std::chrono::microseconds>(timeout),
+      /*scoped=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+Engine& Engine::instance() {
+  static Engine engine;
+  return engine;
+}
+
+std::shared_ptr<Engine::Slot> Engine::slot_for(const std::string& name) {
+  std::scoped_lock lock(map_mu_);
+  auto& slot = slots_[name];
+  if (!slot) slot = std::make_shared<Slot>();
+  return slot;
+}
+
+bool Engine::try_match(Slot& slot, BTrigger& bt, int rank, int arity,
+                       bool scoped, std::shared_ptr<internal::GroupState>& group,
+                       int& out_rank, HitInfo& info) {
+  (void)scoped;
+  const rt::ThreadId my_tid = rt::this_thread_id();
+
+  // Candidate waiters: same arity, different thread, not yet taken.
+  // predicate_global is user code, but it must be evaluated while the
+  // peer is quiescent in the Postponed set — the slot mutex is exactly
+  // what guarantees that, so predicates are required to be pure and
+  // non-blocking (documented in btrigger.h).
+  std::vector<Waiter*> chosen;  // one per needed rank
+  if (arity == 2) {
+    for (Waiter* w : slot.postponed) {
+      if (w->matched || w->cancelled || w->arity != 2 || w->tid == my_tid) {
+        continue;
+      }
+      if (!bt.predicate_global(*w->trigger)) continue;
+      chosen.push_back(w);
+      break;
+    }
+    if (chosen.empty()) return false;
+    Waiter* peer = chosen.front();
+    // Effective ranks: declared if distinct; otherwise the postponed
+    // (earlier) thread is ordered first.
+    int peer_rank = peer->rank;
+    int mine = rank;
+    if (peer_rank == mine) {
+      peer_rank = 0;
+      mine = 1;
+    }
+    group = std::make_shared<internal::GroupState>(2);
+    peer->matched = true;
+    peer->matched_rank = peer_rank;
+    peer->group = group;
+    out_rank = mine;
+    info.arity = 2;
+    info.threads.assign(2, 0);
+    info.threads[static_cast<std::size_t>(peer_rank)] = peer->tid;
+    info.threads[static_cast<std::size_t>(mine)] = my_tid;
+  } else {
+    // k-ary rendezvous: need one waiter per rank other than ours, all
+    // from distinct threads, each compatible with the arriving trigger
+    // and pairwise compatible with each other (greedy selection).
+    std::vector<Waiter*> by_rank(static_cast<std::size_t>(arity), nullptr);
+    std::vector<rt::ThreadId> used_tids{my_tid};
+    for (Waiter* w : slot.postponed) {
+      if (w->matched || w->cancelled || w->arity != arity) continue;
+      if (w->rank < 0 || w->rank >= arity || w->rank == rank) continue;
+      if (by_rank[static_cast<std::size_t>(w->rank)] != nullptr) continue;
+      if (std::find(used_tids.begin(), used_tids.end(), w->tid) !=
+          used_tids.end()) {
+        continue;
+      }
+      if (!bt.predicate_global(*w->trigger)) continue;
+      bool pairwise_ok = true;
+      for (Waiter* other : by_rank) {
+        if (other != nullptr &&
+            !other->trigger->predicate_global(*w->trigger)) {
+          pairwise_ok = false;
+          break;
+        }
+      }
+      if (!pairwise_ok) continue;
+      by_rank[static_cast<std::size_t>(w->rank)] = w;
+      used_tids.push_back(w->tid);
+    }
+    for (int r = 0; r < arity; ++r) {
+      if (r != rank && by_rank[static_cast<std::size_t>(r)] == nullptr) {
+        return false;
+      }
+    }
+    group = std::make_shared<internal::GroupState>(arity);
+    info.arity = arity;
+    info.threads.assign(static_cast<std::size_t>(arity), 0);
+    info.threads[static_cast<std::size_t>(rank)] = my_tid;
+    for (int r = 0; r < arity; ++r) {
+      Waiter* w = by_rank[static_cast<std::size_t>(r)];
+      if (w == nullptr) continue;
+      w->matched = true;
+      w->matched_rank = r;
+      w->group = group;
+      chosen.push_back(w);
+      info.threads[static_cast<std::size_t>(r)] = w->tid;
+    }
+    out_rank = rank;
+  }
+
+  slot.stats.hits += 1;
+  info.name = bt.name();
+  info.description = bt.describe();
+  slot.cv.notify_all();
+  return true;
+}
+
+void Engine::await_turn(internal::GroupState& group, int rank, bool scoped) {
+  const auto order_delay = rt::TimeScale::apply(Config::order_delay());
+  const auto cap_deadline =
+      rt::Clock::now() + rt::TimeScale::apply(Config::guard_wait_cap());
+
+  std::unique_lock lock(group.mu);
+  group.uses_guard[static_cast<std::size_t>(rank)] = scoped ? 1 : 0;
+  for (int q = 0; q < rank; ++q) {
+    const auto qi = static_cast<std::size_t>(q);
+    if (!group.cv.wait_until(lock, cap_deadline,
+                             [&] { return group.released[qi] != 0; })) {
+      break;  // cap exceeded: degrade to proceeding (never hang)
+    }
+    if (group.uses_guard[qi]) {
+      group.cv.wait_until(lock, cap_deadline,
+                          [&] { return group.acked[qi] != 0; });
+    } else {
+      const auto turn_at = group.release_time[qi] + order_delay;
+      const auto deadline = std::min(turn_at, cap_deadline);
+      // Plain bounded sleep: no event ends it early by design.
+      group.cv.wait_until(lock, deadline, [] { return false; });
+    }
+  }
+  group.released[static_cast<std::size_t>(rank)] = 1;
+  group.release_time[static_cast<std::size_t>(rank)] = rt::Clock::now();
+  if (!scoped) group.acked[static_cast<std::size_t>(rank)] = 1;
+  lock.unlock();
+  group.cv.notify_all();
+}
+
+TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
+                              std::chrono::microseconds timeout, bool scoped) {
+  assert(arity >= 2 && rank >= 0 && rank < arity);
+  if (!Config::enabled()) return {};
+
+  // Spec-file overrides (core/spec.h) compose over the programmatic
+  // parameters: they let a shipped bug report be tuned or flipped
+  // without recompiling.
+  std::uint64_t ignore_first = bt.ignore_first_count();
+  std::uint64_t bound = bt.bound_count();
+  {
+    std::scoped_lock lock(spec_mu_);
+    auto it = spec_.find(bt.name());
+    if (it != spec_.end()) {
+      const SpecOverride& entry = it->second;
+      if (entry.disabled) return {};
+      if (entry.pause) {
+        timeout = std::chrono::duration_cast<std::chrono::microseconds>(
+            *entry.pause);
+      }
+      if (entry.flip_order && arity == 2) rank = 1 - rank;
+      if (entry.ignore_first) ignore_first = *entry.ignore_first;
+      if (entry.bound) bound = *entry.bound;
+    }
+  }
+
+  std::shared_ptr<Slot> slot = slot_for(bt.name());
+
+  // User code: evaluate outside the slot lock (it may be arbitrarily
+  // expensive, though it must not block).
+  const bool local_ok = bt.predicate_local();
+
+  std::shared_ptr<internal::GroupState> group;
+  int my_rank = rank;
+  HitInfo info;
+  bool fire_observer = false;
+
+  {
+    std::unique_lock lock(slot->mu);
+    slot->stats.calls += 1;
+    if (!local_ok) {
+      slot->stats.local_rejects += 1;
+      return {};
+    }
+    slot->stats.arrivals += 1;
+    if (slot->stats.hits >= bound) {
+      slot->stats.bounded += 1;
+      return {};
+    }
+
+    if (try_match(*slot, bt, rank, arity, scoped, group, my_rank, info)) {
+      fire_observer = true;  // last-arriving participant reports the hit
+    } else if (slot->stats.arrivals <= ignore_first) {
+      slot->stats.ignored += 1;
+      return {};
+    } else {
+      Waiter waiter;
+      waiter.trigger = &bt;
+      waiter.tid = rt::this_thread_id();
+      waiter.rank = rank;
+      waiter.arity = arity;
+      waiter.scoped = scoped;
+      slot->postponed.push_back(&waiter);
+      slot->stats.postponed += 1;
+
+      const auto scaled = rt::TimeScale::apply(timeout);
+      rt::Stopwatch wait_clock;
+      slot->cv.wait_for(lock, scaled,
+                        [&] { return waiter.matched || waiter.cancelled; });
+      slot->stats.total_wait_us += wait_clock.elapsed_us();
+
+      auto it =
+          std::find(slot->postponed.begin(), slot->postponed.end(), &waiter);
+      if (it != slot->postponed.end()) slot->postponed.erase(it);
+
+      if (!waiter.matched) {
+        if (waiter.cancelled) {
+          slot->stats.cancelled += 1;
+        } else {
+          slot->stats.timeouts += 1;
+        }
+        return {};
+      }
+      group = waiter.group;
+      my_rank = waiter.matched_rank;
+    }
+    slot->stats.participants += 1;
+  }
+
+  if (fire_observer) {
+    std::function<void(const HitInfo&)> observer;
+    bool verbose = false;
+    {
+      std::scoped_lock lock(observer_mu_);
+      observer = observer_;
+      verbose = verbose_;
+    }
+    if (verbose) {
+      std::cerr << "[cbp] hit: " << info.description << " (breakpoint '"
+                << info.name << "')\n";
+    }
+    if (observer) observer(info);
+  }
+
+  await_turn(*group, my_rank, scoped);
+
+  TriggerResult result;
+  result.hit = true;
+  if (scoped) result.guard = OrderingGuard(group, my_rank);
+  return result;
+}
+
+BreakpointStats Engine::stats(const std::string& name) const {
+  std::shared_ptr<Slot> slot;
+  {
+    std::scoped_lock lock(map_mu_);
+    auto it = slots_.find(name);
+    if (it == slots_.end()) return {};
+    slot = it->second;
+  }
+  std::scoped_lock lock(slot->mu);
+  return slot->stats;
+}
+
+BreakpointStats Engine::total_stats() const {
+  BreakpointStats total;
+  std::vector<std::shared_ptr<Slot>> snapshot;
+  {
+    std::scoped_lock lock(map_mu_);
+    snapshot.reserve(slots_.size());
+    for (const auto& [name, slot] : slots_) snapshot.push_back(slot);
+  }
+  for (const auto& slot : snapshot) {
+    std::scoped_lock lock(slot->mu);
+    total += slot->stats;
+  }
+  return total;
+}
+
+std::vector<std::string> Engine::names() const {
+  std::scoped_lock lock(map_mu_);
+  std::vector<std::string> out;
+  out.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Engine::cancel_all() {
+  std::vector<std::shared_ptr<Slot>> snapshot;
+  {
+    std::scoped_lock lock(map_mu_);
+    snapshot.reserve(slots_.size());
+    for (const auto& [name, slot] : slots_) snapshot.push_back(slot);
+  }
+  for (const auto& slot : snapshot) {
+    {
+      std::scoped_lock lock(slot->mu);
+      for (Waiter* w : slot->postponed) w->cancelled = true;
+    }
+    slot->cv.notify_all();
+  }
+}
+
+void Engine::reset() {
+  cancel_all();
+  std::scoped_lock lock(map_mu_);
+  // Waiting threads (if any) still hold shared_ptrs to their slots; the
+  // map entries can be dropped safely.
+  slots_.clear();
+}
+
+void Engine::set_hit_observer(std::function<void(const HitInfo&)> observer) {
+  std::scoped_lock lock(observer_mu_);
+  observer_ = std::move(observer);
+}
+
+void Engine::set_verbose(bool on) {
+  std::scoped_lock lock(observer_mu_);
+  verbose_ = on;
+}
+
+void Engine::set_spec(std::unordered_map<std::string, SpecOverride> spec) {
+  std::scoped_lock lock(spec_mu_);
+  spec_ = std::move(spec);
+}
+
+}  // namespace cbp

@@ -1,0 +1,155 @@
+// The BTRIGGER engine (paper §3).
+//
+// One Slot per breakpoint name holds the Postponed set.  A thread whose
+// local predicate holds either (a) finds complementary postponed threads
+// whose joint predicate matches — a *hit*: a GroupState is created and
+// every participant is released in rank order — or (b) joins the
+// Postponed set itself and waits up to T, then times out and continues.
+// Postponement is always bounded, so the mechanism cannot deadlock the
+// program (paper §3, "we do not postpone the execution of a thread
+// indefinitely").
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/btrigger.h"
+#include "core/spec.h"
+#include "core/stats.h"
+#include "runtime/clock.h"
+#include "runtime/thread_registry.h"
+
+namespace cbp {
+
+namespace internal {
+
+/// Shared state of one breakpoint hit (a matched group of k threads).
+/// Release protocol: rank r may proceed once, for every q < r,
+///   released[q] && (uses_guard[q] ? acked[q]
+///                                 : now >= release_time[q] + order_delay)
+/// with everything capped by Config::guard_wait_cap() so a leaked guard
+/// degrades to a delay, never a hang.
+struct GroupState {
+  explicit GroupState(int arity_in)
+      : arity(arity_in),
+        released(static_cast<std::size_t>(arity_in), 0),
+        acked(static_cast<std::size_t>(arity_in), 0),
+        uses_guard(static_cast<std::size_t>(arity_in), 0),
+        release_time(static_cast<std::size_t>(arity_in)) {}
+
+  std::mutex mu;
+  std::condition_variable cv;
+  const int arity;
+  std::vector<char> released;               // guarded by mu
+  std::vector<char> acked;                  // guarded by mu
+  std::vector<char> uses_guard;             // guarded by mu
+  std::vector<rt::TimePoint> release_time;  // guarded by mu
+};
+
+}  // namespace internal
+
+/// Information passed to the hit observer (one call per hit, made by the
+/// last-arriving participant, outside all engine locks).
+struct HitInfo {
+  std::string name;
+  std::string description;
+  int arity = 2;
+  std::vector<rt::ThreadId> threads;  ///< indexed by rank
+};
+
+/// Process-wide breakpoint engine.  All public methods are thread-safe.
+class Engine {
+ public:
+  static Engine& instance();
+
+  /// Core entry point used by BTrigger::trigger_here*.
+  /// `timeout` is nominal; rt::TimeScale is applied internally.
+  TriggerResult trigger(BTrigger& bt, int rank, int arity,
+                        std::chrono::microseconds timeout, bool scoped);
+
+  /// Snapshot of the counters for one breakpoint name.
+  [[nodiscard]] BreakpointStats stats(const std::string& name) const;
+
+  /// Sum over all breakpoint names.
+  [[nodiscard]] BreakpointStats total_stats() const;
+
+  /// Names that have been seen so far.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Wakes every postponed thread with a "cancelled" (no-hit) outcome.
+  /// Used by harnesses to cut short in-flight postponements.
+  void cancel_all();
+
+  /// cancel_all() plus forgetting all slots and statistics.  Callers must
+  /// ensure no thread is concurrently inside trigger(); the harness calls
+  /// this between experiment runs after joining all workers.
+  void reset();
+
+  /// Observer invoked once per hit (outside engine locks; CP.22).
+  /// Pass nullptr to clear.
+  void set_hit_observer(std::function<void(const HitInfo&)> observer);
+
+  /// When true, hits are printed to stderr (the paper's library prints
+  /// "Conflict"/"Deadlock" from predicateGlobal).  Default off.
+  void set_verbose(bool on);
+
+  /// Installs per-name overrides (see core/spec.h) applied at trigger
+  /// time: disable, pause override, order flip, refinement values.
+  /// Normally called through BreakpointSpec::install().
+  void set_spec(std::unordered_map<std::string, SpecOverride> spec);
+
+ private:
+  Engine() = default;
+
+  struct Waiter {
+    BTrigger* trigger = nullptr;
+    rt::ThreadId tid = 0;
+    int rank = 0;
+    int arity = 2;
+    bool scoped = false;
+    bool matched = false;    // guarded by slot mutex
+    bool cancelled = false;  // guarded by slot mutex
+    int matched_rank = -1;
+    std::shared_ptr<internal::GroupState> group;
+  };
+
+  struct Slot {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Waiter*> postponed;  // guarded by mu
+    BreakpointStats stats;           // guarded by mu
+  };
+
+  std::shared_ptr<Slot> slot_for(const std::string& name);
+
+  /// Tries to assemble a full group around `bt` from `slot->postponed`.
+  /// Called with slot->mu held.  On success fills `group`, marks waiters
+  /// matched, notifies them, and returns the arriving thread's rank slot
+  /// assignment via `out_rank`; collects hit info for the observer.
+  bool try_match(Slot& slot, BTrigger& bt, int rank, int arity, bool scoped,
+                 std::shared_ptr<internal::GroupState>& group, int& out_rank,
+                 HitInfo& info);
+
+  /// Rank-order release protocol; returns after this thread is allowed to
+  /// proceed.  Called with no locks held.
+  static void await_turn(internal::GroupState& group, int rank, bool scoped);
+
+  mutable std::mutex map_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+
+  mutable std::mutex observer_mu_;
+  std::function<void(const HitInfo&)> observer_;
+  bool verbose_ = false;  // guarded by observer_mu_
+
+  mutable std::mutex spec_mu_;
+  std::unordered_map<std::string, SpecOverride> spec_;  // guarded by spec_mu_
+};
+
+}  // namespace cbp

@@ -1,0 +1,38 @@
+// Compile-time switch for breakpoints (paper §4: "The breakpoints can be
+// turned on or off like traditional assertions").
+//
+// Building with -DCBP_DISABLE_BREAKPOINTS compiles every macro below to a
+// constant-false expression with zero runtime footprint; the runtime
+// switch is cbp::Config::set_enabled().
+#pragma once
+
+#include "core/triggers.h"
+
+#ifdef CBP_DISABLE_BREAKPOINTS
+
+// Compiled out: `false && ...` never evaluates the call (no engine, no
+// side effects, optimized away entirely) but keeps the arguments
+// type-checked and "used", like assert(3) does under NDEBUG.
+#define CBP_CONFLICT(name, obj, is_first) \
+  (false && ::cbp::conflict_trigger_here((name), (obj), (is_first)))
+#define CBP_DEADLOCK(name, held, wanted, is_first) \
+  (false &&                                        \
+   ::cbp::deadlock_trigger_here((name), (held), (wanted), (is_first)))
+#define CBP_ORDER(name, is_first) \
+  (false && ::cbp::order_trigger_here((name), (is_first)))
+
+#else
+
+/// One side of a data-race breakpoint: (l1, l2, t1.obj == t2.obj).
+#define CBP_CONFLICT(name, obj, is_first) \
+  (::cbp::conflict_trigger_here((name), (obj), (is_first)))
+
+/// One side of a deadlock breakpoint (held/wanted lock pair).
+#define CBP_DEADLOCK(name, held, wanted, is_first) \
+  (::cbp::deadlock_trigger_here((name), (held), (wanted), (is_first)))
+
+/// One side of a pure ordering breakpoint.
+#define CBP_ORDER(name, is_first) \
+  (::cbp::order_trigger_here((name), (is_first)))
+
+#endif  // CBP_DISABLE_BREAKPOINTS

@@ -1,0 +1,57 @@
+// Schedule pinning (paper §8, Discussion).
+//
+// "Concurrent breakpoints could be used to constrain the thread
+// scheduler of a concurrent program ... to write concurrent unit tests
+// that exercise a specific thread schedule."  This header packages that
+// use: named rendezvous points that force a chosen resolution order at
+// each conflict, so a multithreaded test runs one deterministic
+// interleaving.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "core/triggers.h"
+
+namespace cbp::schedule {
+
+/// Default rendezvous timeout for schedule points: generous, because in
+/// a pinned test the peer is expected to arrive (a timeout means the
+/// pinned schedule is infeasible — tests should treat a `false` return
+/// as a failure).
+inline constexpr std::chrono::milliseconds kPinTimeout{5000};
+
+/// Pins a two-point ordering: the call marked `first` executes its next
+/// statement before the peer's.  Both calls must use the same name.
+/// Returns true when the rendezvous happened (the pin took effect).
+inline bool pin(const std::string& name, bool first,
+                std::chrono::milliseconds timeout = kPinTimeout) {
+  OrderTrigger trigger(name);
+  return trigger.trigger_here(first, timeout);
+}
+
+/// Deterministic variant: holds later-ordered threads until the guard is
+/// destroyed, so "next statement" is exact rather than delay-based.
+[[nodiscard]] inline TriggerResult pin_scoped(
+    const std::string& name, bool first,
+    std::chrono::milliseconds timeout = kPinTimeout) {
+  OrderTrigger trigger(name);
+  return trigger.trigger_here_scoped(first, timeout);
+}
+
+/// Pins a k-point ordering across k threads: rank 0 proceeds first, then
+/// rank 1, ... — the n-ary generalization of §2.
+inline bool pin_ranked(const std::string& name, int rank, int arity,
+                       std::chrono::milliseconds timeout = kPinTimeout) {
+  OrderTrigger trigger(name);
+  return trigger.trigger_here_ranked(rank, arity, timeout);
+}
+
+[[nodiscard]] inline TriggerResult pin_ranked_scoped(
+    const std::string& name, int rank, int arity,
+    std::chrono::milliseconds timeout = kPinTimeout) {
+  OrderTrigger trigger(name);
+  return trigger.trigger_here_ranked_scoped(rank, arity, timeout);
+}
+
+}  // namespace cbp::schedule

@@ -1,0 +1,74 @@
+#include "core/spec.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/engine.h"
+
+namespace cbp {
+namespace {
+
+std::uint64_t parse_number(const std::string& token, const std::string& key) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long value = std::stoull(token, &consumed);
+    if (consumed != token.size()) throw std::invalid_argument(token);
+    return static_cast<std::uint64_t>(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("breakpoint spec: bad number for '" + key +
+                                "': '" + token + "'");
+  }
+}
+
+}  // namespace
+
+BreakpointSpec BreakpointSpec::parse(const std::string& text) {
+  BreakpointSpec spec;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    std::istringstream tokens(line);
+    std::string name;
+    if (!(tokens >> name)) continue;  // blank line
+    SpecOverride entry;
+    std::string token;
+    while (tokens >> token) {
+      const std::size_t eq = token.find('=');
+      const std::string key = token.substr(0, eq);
+      const std::string value =
+          eq == std::string::npos ? std::string() : token.substr(eq + 1);
+      if (key == "off") {
+        entry.disabled = true;
+      } else if (key == "flip") {
+        entry.flip_order = true;
+      } else if (key == "pause") {
+        entry.pause =
+            std::chrono::milliseconds(parse_number(value, "pause"));
+      } else if (key == "ignore_first") {
+        entry.ignore_first = parse_number(value, "ignore_first");
+      } else if (key == "bound") {
+        entry.bound = parse_number(value, "bound");
+      } else {
+        throw std::invalid_argument("breakpoint spec: unknown key '" + key +
+                                    "' for breakpoint '" + name + "'");
+      }
+    }
+    spec.entries_[name] = entry;
+  }
+  return spec;
+}
+
+const SpecOverride* BreakpointSpec::find(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void BreakpointSpec::install() const {
+  Engine::instance().set_spec(entries_);
+}
+
+void BreakpointSpec::clear_installed() { Engine::instance().set_spec({}); }
+
+}  // namespace cbp

@@ -1,0 +1,65 @@
+// Breakpoint spec files: the portable form of a reproduced Heisenbug.
+//
+// The paper's point is that a small set of concurrent breakpoints *is*
+// the bug report — "anyone can reproduce the bug deterministically
+// without requiring the original testing framework".  A spec file makes
+// that report adjustable without recompiling: per breakpoint name it can
+// disable the breakpoint, override the pause time, flip the resolution
+// order (Methodology II tries both), and set the §6.3 refinements.
+//
+// Format, one breakpoint per line ('#' comments):
+//
+//   <name> [off] [pause=<ms>] [flip] [ignore_first=<n>] [bound=<n>]
+//
+// e.g.
+//   # jigsaw deadlock, resolve in the documented buggy order
+//   jigsaw-deadlock1 pause=1000
+//   cache4j-atomicity1 ignore_first=7200
+//   log4j-contention flip
+//   noisy-breakpoint off
+//
+// Overrides are applied inside the engine at trigger time, so they
+// compose with (and take precedence over) whatever the inserted code
+// passed programmatically.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace cbp {
+
+/// Per-breakpoint-name overrides.
+struct SpecOverride {
+  bool disabled = false;                     ///< `off`
+  std::optional<std::chrono::milliseconds> pause;  ///< `pause=<ms>`
+  bool flip_order = false;                   ///< `flip` (binary ranks only)
+  std::optional<std::uint64_t> ignore_first; ///< `ignore_first=<n>`
+  std::optional<std::uint64_t> bound;        ///< `bound=<n>`
+};
+
+/// Parses spec text; throws std::invalid_argument on malformed input
+/// (unknown key, bad number).
+class BreakpointSpec {
+ public:
+  static BreakpointSpec parse(const std::string& text);
+
+  /// Override for `name`, if the spec mentions it.
+  [[nodiscard]] const SpecOverride* find(const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Installs this spec as the engine's active spec (replacing any
+  /// previous one).  Thread-safe; call between experiment runs.
+  void install() const;
+
+  /// Removes any active spec.
+  static void clear_installed();
+
+ private:
+  std::unordered_map<std::string, SpecOverride> entries_;
+};
+
+}  // namespace cbp

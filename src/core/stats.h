@@ -1,0 +1,43 @@
+// Per-breakpoint statistics.
+//
+// The harness derives the paper's "BP hit (%)" column (§5, Tables 1/2)
+// from these counters; the engine also uses `arrivals` and `hits` to
+// enforce the ignore_first / bound local-predicate refinements (§6.3).
+#pragma once
+
+#include <cstdint>
+
+namespace cbp {
+
+/// Counters for one breakpoint name.  A snapshot is a plain value; live
+/// counters inside the engine are guarded by the owning slot's mutex.
+struct BreakpointStats {
+  std::uint64_t calls = 0;          ///< trigger_here invocations (enabled)
+  std::uint64_t local_rejects = 0;  ///< predicate_local() returned false
+  std::uint64_t arrivals = 0;       ///< passed the local predicate
+  std::uint64_t ignored = 0;        ///< postponement skipped by ignore_first
+  std::uint64_t bounded = 0;        ///< call suppressed by bound
+  std::uint64_t postponed = 0;      ///< entered the Postponed set
+  std::uint64_t timeouts = 0;       ///< left Postponed without a match
+  std::uint64_t cancelled = 0;      ///< woken early by Engine::cancel_all
+  std::uint64_t hits = 0;           ///< matched groups (one per pair/k-set)
+  std::uint64_t participants = 0;   ///< threads that returned hit == true
+  std::int64_t total_wait_us = 0;   ///< wall time spent in Postponed
+
+  BreakpointStats& operator+=(const BreakpointStats& o) {
+    calls += o.calls;
+    local_rejects += o.local_rejects;
+    arrivals += o.arrivals;
+    ignored += o.ignored;
+    bounded += o.bounded;
+    postponed += o.postponed;
+    timeouts += o.timeouts;
+    cancelled += o.cancelled;
+    hits += o.hits;
+    participants += o.participants;
+    total_wait_us += o.total_wait_us;
+    return *this;
+  }
+};
+
+}  // namespace cbp

@@ -1,0 +1,234 @@
+// Concrete breakpoint classes (paper §2, §4, Figs. 6 and 8).
+//
+// Every class here matches only instances of its own dynamic type with
+// the same breakpoint name (the engine already scopes matching by name).
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "core/btrigger.h"
+#include "runtime/lock_tracker.h"
+
+namespace cbp {
+
+/// Data-race / same-object conflict breakpoint (paper Fig. 6).
+/// Two threads match when their recorded object references are equal —
+/// the breakpoint (l1, l2, t1.obj == t2.obj).
+class ConflictTrigger : public BTrigger {
+ public:
+  ConflictTrigger(std::string name, const void* obj)
+      : BTrigger(std::move(name)), obj_(obj) {}
+
+  [[nodiscard]] bool predicate_global(const BTrigger& other) const override {
+    const auto* o = dynamic_cast<const ConflictTrigger*>(&other);
+    return o != nullptr && o->obj_ == obj_;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream os;
+    os << "Conflict on object " << obj_;
+    return os.str();
+  }
+
+  [[nodiscard]] const void* object() const { return obj_; }
+
+ private:
+  const void* obj_;
+};
+
+/// Deadlock breakpoint (paper Fig. 8).  `held` is the lock the thread
+/// already holds, `wanted` the lock it is about to acquire; two threads
+/// match when the locks cross: t1.held == t2.wanted && t1.wanted ==
+/// t2.held.
+class DeadlockTrigger : public BTrigger {
+ public:
+  DeadlockTrigger(std::string name, const void* held, const void* wanted)
+      : BTrigger(std::move(name)), held_(held), wanted_(wanted) {}
+
+  [[nodiscard]] bool predicate_global(const BTrigger& other) const override {
+    const auto* o = dynamic_cast<const DeadlockTrigger*>(&other);
+    return o != nullptr && held_ == o->wanted_ && wanted_ == o->held_;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream os;
+    os << "Deadlock: held " << held_ << ", wanted " << wanted_;
+    return os.str();
+  }
+
+  [[nodiscard]] const void* held() const { return held_; }
+  [[nodiscard]] const void* wanted() const { return wanted_; }
+
+ private:
+  const void* held_;
+  const void* wanted_;
+};
+
+/// Atomicity-violation breakpoint (paper Fig. 3 / StringBuffer).
+/// Structurally identical to ConflictTrigger — the first-action thread is
+/// the interleaver entering the atomic block's victim object — but kept
+/// as its own type so hit reports name the bug class.
+class AtomicityTrigger : public BTrigger {
+ public:
+  AtomicityTrigger(std::string name, const void* obj)
+      : BTrigger(std::move(name)), obj_(obj) {}
+
+  [[nodiscard]] bool predicate_global(const BTrigger& other) const override {
+    const auto* o = dynamic_cast<const AtomicityTrigger*>(&other);
+    return o != nullptr && o->obj_ == obj_;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    std::ostringstream os;
+    os << "Atomicity violation on object " << obj_;
+    return os.str();
+  }
+
+  [[nodiscard]] const void* object() const { return obj_; }
+
+ private:
+  const void* obj_;
+};
+
+/// Pure ordering breakpoint: any two same-name OrderTriggers match.
+/// This is the tool for §8's "constrain the thread scheduler" use —
+/// missed-notification bugs and schedule-pinning unit tests, where the
+/// predicate is just the location pair.
+class OrderTrigger : public BTrigger {
+ public:
+  explicit OrderTrigger(std::string name) : BTrigger(std::move(name)) {}
+
+  [[nodiscard]] bool predicate_global(const BTrigger& other) const override {
+    return dynamic_cast<const OrderTrigger*>(&other) != nullptr;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    return "Order constraint '" + name() + "'";
+  }
+};
+
+/// Breakpoint carrying an arbitrary comparable value; matches when the
+/// two sides' values satisfy `eq` (defaults to ==).  Use for predicates
+/// like t1.csList == t2.csList over non-pointer state.
+template <class T>
+class ValueTrigger : public BTrigger {
+ public:
+  using Eq = std::function<bool(const T&, const T&)>;
+
+  ValueTrigger(std::string name, T value)
+      : BTrigger(std::move(name)), value_(std::move(value)) {}
+
+  ValueTrigger(std::string name, T value, Eq eq)
+      : BTrigger(std::move(name)), value_(std::move(value)),
+        eq_(std::move(eq)) {}
+
+  [[nodiscard]] bool predicate_global(const BTrigger& other) const override {
+    const auto* o = dynamic_cast<const ValueTrigger<T>*>(&other);
+    if (o == nullptr) return false;
+    return eq_ ? eq_(value_, o->value_) : value_ == o->value_;
+  }
+
+  [[nodiscard]] const T& value() const { return value_; }
+
+ private:
+  T value_;
+  Eq eq_;
+};
+
+/// Fully programmable breakpoint: local and global predicates supplied as
+/// callables.  The global predicate receives the peer trigger; use
+/// dynamic_cast to reach a peer's payload.
+class PredicateTrigger : public BTrigger {
+ public:
+  using LocalFn = std::function<bool()>;
+  using GlobalFn = std::function<bool(const BTrigger& other)>;
+
+  PredicateTrigger(std::string name, GlobalFn global)
+      : BTrigger(std::move(name)), global_(std::move(global)) {}
+
+  PredicateTrigger(std::string name, LocalFn local, GlobalFn global)
+      : BTrigger(std::move(name)), local_(std::move(local)),
+        global_(std::move(global)) {}
+
+  [[nodiscard]] bool predicate_local() const override {
+    return local_ ? local_() : true;
+  }
+
+  [[nodiscard]] bool predicate_global(const BTrigger& other) const override {
+    return global_(other);
+  }
+
+ private:
+  LocalFn local_;
+  GlobalFn global_;
+};
+
+/// Mixin-style helper implementing the paper's §6.3 context refinement:
+/// wraps any trigger so its local predicate additionally requires that
+/// the calling thread holds a lock of the given type tag
+/// (isLockTypeHeld(type) — the Swing/BasicCaret case).
+template <class Base>
+class LockTypeHeldRefinement : public Base {
+ public:
+  template <class... Args>
+  LockTypeHeldRefinement(std::string tag, Args&&... args)
+      : Base(std::forward<Args>(args)...), tag_(std::move(tag)) {}
+
+  [[nodiscard]] bool predicate_local() const override {
+    return rt::is_lock_type_held(tag_) && Base::predicate_local();
+  }
+
+ private:
+  std::string tag_;
+};
+
+// ---------------------------------------------------------------------------
+// One-line insertion helpers mirroring the paper's
+//   (new ConflictTrigger("t1", p)).triggerHere(true, Global.TIMEOUT)
+// idiom.
+// ---------------------------------------------------------------------------
+
+/// Inserts one side of a conflict breakpoint; returns true iff hit.
+inline bool conflict_trigger_here(const std::string& name, const void* obj,
+                                  bool is_first_action,
+                                  std::chrono::milliseconds timeout) {
+  ConflictTrigger trigger(name, obj);
+  return trigger.trigger_here(is_first_action, timeout);
+}
+
+inline bool conflict_trigger_here(const std::string& name, const void* obj,
+                                  bool is_first_action) {
+  ConflictTrigger trigger(name, obj);
+  return trigger.trigger_here(is_first_action);
+}
+
+/// Inserts one side of a deadlock breakpoint; returns true iff hit.
+inline bool deadlock_trigger_here(const std::string& name, const void* held,
+                                  const void* wanted, bool is_first_action,
+                                  std::chrono::milliseconds timeout) {
+  DeadlockTrigger trigger(name, held, wanted);
+  return trigger.trigger_here(is_first_action, timeout);
+}
+
+inline bool deadlock_trigger_here(const std::string& name, const void* held,
+                                  const void* wanted, bool is_first_action) {
+  DeadlockTrigger trigger(name, held, wanted);
+  return trigger.trigger_here(is_first_action);
+}
+
+/// Inserts one side of a pure ordering breakpoint; returns true iff hit.
+inline bool order_trigger_here(const std::string& name, bool is_first_action,
+                               std::chrono::milliseconds timeout) {
+  OrderTrigger trigger(name);
+  return trigger.trigger_here(is_first_action, timeout);
+}
+
+inline bool order_trigger_here(const std::string& name, bool is_first_action) {
+  OrderTrigger trigger(name);
+  return trigger.trigger_here(is_first_action);
+}
+
+}  // namespace cbp

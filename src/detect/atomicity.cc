@@ -1,0 +1,68 @@
+#include "detect/atomicity.h"
+
+namespace cbp::detect {
+
+void AtomicityCandidateDetector::on_access(const instr::AccessEvent& event) {
+  std::scoped_lock lock(mu_);
+  VarState& var = vars_[event.addr];
+
+  // Record the site use.
+  var.sites[event.loc].insert(event.tid);
+
+  // Two consecutive accesses by the same thread form a block candidate.
+  auto it = var.last_site.find(event.tid);
+  if (it != var.last_site.end() && it->second != event.loc) {
+    var.blocks.insert({it->second, event.loc});
+  }
+  var.last_site[event.tid] = event.loc;
+}
+
+std::vector<AtomicityReport> AtomicityCandidateDetector::candidates() const {
+  std::scoped_lock lock(mu_);
+  std::vector<AtomicityReport> out;
+  for (const auto& [addr, var] : vars_) {
+    for (const auto& [begin, end] : var.blocks) {
+      // A block owner exists; find interleaver sites used by a thread
+      // that is not the only block owner.  Conservatively: any site used
+      // by >= 1 thread that also appears with a different thread than
+      // some user of the block sites.
+      std::set<rt::ThreadId> block_tids;
+      auto begin_it = var.sites.find(begin);
+      auto end_it = var.sites.find(end);
+      if (begin_it != var.sites.end()) {
+        block_tids.insert(begin_it->second.begin(), begin_it->second.end());
+      }
+      if (end_it != var.sites.end()) {
+        block_tids.insert(end_it->second.begin(), end_it->second.end());
+      }
+      for (const auto& [site, tids] : var.sites) {
+        if (site == begin || site == end) continue;
+        bool cross = false;
+        for (rt::ThreadId t : tids) {
+          for (rt::ThreadId owner : block_tids) {
+            if (t != owner) {
+              cross = true;
+              break;
+            }
+          }
+          if (cross) break;
+        }
+        if (!cross) continue;
+        AtomicityReport report;
+        report.block_begin = begin;
+        report.block_end = end;
+        report.interleaver = site;
+        report.addr = addr;
+        out.push_back(report);
+      }
+    }
+  }
+  return out;
+}
+
+void AtomicityCandidateDetector::reset() {
+  std::scoped_lock lock(mu_);
+  vars_.clear();
+}
+
+}  // namespace cbp::detect

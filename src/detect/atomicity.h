@@ -1,0 +1,59 @@
+// Atomicity-violation candidate detector (phase 1 for the atomicity
+// direction of active testing — the randomized atomicity analysis the
+// paper builds on).
+//
+// Heuristic (AVIO/CTrigger-style, simplified): two consecutive accesses
+// by the same thread to the same address form an intended-atomic block
+// candidate; any access to that address by a different thread is a
+// potential interleaver.  Each (block_begin, block_end, interleaver)
+// site triple is reported once.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "instrument/hub.h"
+#include "instrument/source_loc.h"
+
+namespace cbp::detect {
+
+struct AtomicityReport {
+  instr::SourceLoc block_begin;
+  instr::SourceLoc block_end;
+  instr::SourceLoc interleaver;
+  const void* addr = nullptr;
+
+  [[nodiscard]] std::string str() const {
+    return "Potential atomicity violation:\n  block " + block_begin.str() +
+           " .. " + block_end.str() + ",\n  interleaved by " +
+           interleaver.str();
+  }
+};
+
+class AtomicityCandidateDetector : public instr::Listener {
+ public:
+  void on_access(const instr::AccessEvent& event) override;
+
+  [[nodiscard]] std::vector<AtomicityReport> candidates() const;
+
+  void reset();
+
+ private:
+  struct VarState {
+    // Last access site per thread (block pattern source).
+    std::unordered_map<rt::ThreadId, instr::SourceLoc> last_site;
+    // Block pairs seen: (begin, end) per thread-consecutive accesses.
+    std::set<std::pair<instr::SourceLoc, instr::SourceLoc>> blocks;
+    // All (thread, site) pairs seen, for interleaver discovery.
+    std::map<instr::SourceLoc, std::set<rt::ThreadId>> sites;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<const void*, VarState> vars_;  // guarded by mu_
+};
+
+}  // namespace cbp::detect

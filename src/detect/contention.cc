@@ -1,0 +1,72 @@
+#include "detect/contention.h"
+
+namespace cbp::detect {
+
+void ContentionDetector::on_sync(const instr::SyncEvent& event) {
+  using Kind = instr::SyncEvent::Kind;
+  const bool lock_site = event.kind == Kind::kLockRequest;
+  const bool sync_site =
+      event.kind == Kind::kWaitEnter || event.kind == Kind::kNotify;
+  if (!lock_site && !sync_site) return;
+  std::scoped_lock lock(mu_);
+  ObjectState& state = objects_[event.obj];
+  state.is_sync_object |= sync_site;
+  SiteUse& use = state.sites[event.loc];
+  use.tids.insert(event.tid);
+  use.count += 1;
+}
+
+std::vector<ContentionReport> ContentionDetector::collect(
+    bool sync_objects_only) const {
+  std::scoped_lock lock(mu_);
+  std::vector<ContentionReport> out;
+  for (const auto& [object, state] : objects_) {
+    if (sync_objects_only && !state.is_sync_object) continue;
+    const auto& sites = state.sites;
+    for (auto a = sites.begin(); a != sites.end(); ++a) {
+      for (auto b = a; b != sites.end(); ++b) {
+        bool cross_thread;
+        if (a == b) {
+          cross_thread = a->second.tids.size() >= 2;
+        } else {
+          // Distinct sites contend if some thread uses one and a
+          // different thread uses the other.
+          cross_thread = false;
+          for (rt::ThreadId t1 : a->second.tids) {
+            for (rt::ThreadId t2 : b->second.tids) {
+              if (t1 != t2) {
+                cross_thread = true;
+                break;
+              }
+            }
+            if (cross_thread) break;
+          }
+        }
+        if (!cross_thread) continue;
+        ContentionReport report;
+        report.lock = object;
+        report.site_a = a->first;
+        report.site_b = b->first;
+        report.occurrences = a->second.count + (a == b ? 0 : b->second.count);
+        out.push_back(report);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ContentionReport> ContentionDetector::contentions() const {
+  return collect(/*sync_objects_only=*/false);
+}
+
+std::vector<ContentionReport> ContentionDetector::sync_object_contentions()
+    const {
+  return collect(/*sync_objects_only=*/true);
+}
+
+void ContentionDetector::reset() {
+  std::scoped_lock lock(mu_);
+  objects_.clear();
+}
+
+}  // namespace cbp::detect

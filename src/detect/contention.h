@@ -1,0 +1,56 @@
+// Lock- and synchronization-object-contention detector.
+//
+// The paper's Methodology II starts from "all potential conflicting
+// states, i.e. data races as well as lock contentions and contentions
+// over synchronization objects" (§5).  This detector records every site
+// that requests each lock — and, for condition variables, every
+// wait-entry and notify site — and reports, per object, every pair of
+// sites exercised by at least two distinct threads: the exact shape of
+// the §5 log4j report (pairs of AsyncAppender line numbers, which mix
+// lock acquisitions with wait/notify sites).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/reports.h"
+#include "instrument/hub.h"
+
+namespace cbp::detect {
+
+class ContentionDetector : public instr::Listener {
+ public:
+  void on_sync(const instr::SyncEvent& event) override;
+
+  /// All contention pairs: for each object, each unordered pair of
+  /// contending sites {a, b} exercised by different threads (a == b
+  /// counts when two threads used the same site).
+  [[nodiscard]] std::vector<ContentionReport> contentions() const;
+
+  /// Only pairs involving condvar wait/notify sites (the missed-notify
+  /// candidates of Methodology II).
+  [[nodiscard]] std::vector<ContentionReport> sync_object_contentions()
+      const;
+
+  void reset();
+
+ private:
+  struct SiteUse {
+    std::set<rt::ThreadId> tids;
+    std::uint64_t count = 0;
+  };
+  struct ObjectState {
+    std::map<instr::SourceLoc, SiteUse> sites;
+    bool is_sync_object = false;  ///< condvar (wait/notify) vs plain lock
+  };
+
+  std::vector<ContentionReport> collect(bool sync_objects_only) const;
+
+  mutable std::mutex mu_;
+  std::unordered_map<const void*, ObjectState> objects_;  // guarded by mu_
+};
+
+}  // namespace cbp::detect

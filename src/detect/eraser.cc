@@ -1,0 +1,84 @@
+#include "detect/eraser.h"
+
+#include <algorithm>
+
+#include "runtime/lock_tracker.h"
+
+namespace cbp::detect {
+namespace {
+
+std::set<const void*> current_lockset() {
+  std::set<const void*> out;
+  for (const rt::HeldLock& held : rt::held_locks()) out.insert(held.lock);
+  return out;
+}
+
+}  // namespace
+
+void EraserDetector::on_access(const instr::AccessEvent& event) {
+  const std::set<const void*> held = current_lockset();
+
+  std::scoped_lock lock(mu_);
+  VarState& var = vars_[event.addr];
+
+  switch (var.state) {
+    case State::kVirgin:
+      var.state = State::kExclusive;
+      var.owner = event.tid;
+      break;
+    case State::kExclusive:
+      if (event.tid != var.owner) {
+        var.state = event.is_write ? State::kSharedModified : State::kShared;
+        var.candidate_locks = held;
+      }
+      break;
+    case State::kShared:
+      // Intersect candidate set with currently held locks.
+      for (auto it = var.candidate_locks.begin();
+           it != var.candidate_locks.end();) {
+        it = held.count(*it) ? std::next(it) : var.candidate_locks.erase(it);
+      }
+      if (event.is_write) var.state = State::kSharedModified;
+      break;
+    case State::kSharedModified:
+      for (auto it = var.candidate_locks.begin();
+           it != var.candidate_locks.end();) {
+        it = held.count(*it) ? std::next(it) : var.candidate_locks.erase(it);
+      }
+      break;
+  }
+
+  if (var.state == State::kSharedModified && var.candidate_locks.empty() &&
+      !var.reported) {
+    var.reported = true;
+    RaceReport report;
+    report.addr = event.addr;
+    report.first = var.last_loc;
+    report.first_tid = var.last_tid;
+    report.second = event.loc;
+    report.second_tid = event.tid;
+    report.second_is_write = event.is_write;
+    races_.push_back(report);
+  }
+
+  var.last_loc = event.loc;
+  var.last_tid = event.tid;
+}
+
+std::vector<RaceReport> EraserDetector::races() const {
+  std::scoped_lock lock(mu_);
+  return races_;
+}
+
+std::size_t EraserDetector::tracked_addresses() const {
+  std::scoped_lock lock(mu_);
+  return vars_.size();
+}
+
+void EraserDetector::reset() {
+  std::scoped_lock lock(mu_);
+  vars_.clear();
+  races_.clear();
+}
+
+}  // namespace cbp::detect

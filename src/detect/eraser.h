@@ -1,0 +1,49 @@
+// Eraser-style lockset race detector (Savage et al., the off-the-shelf
+// detector the paper's Methodology II starts from).
+//
+// Classic state machine per shared address:
+//   Virgin -> Exclusive(t) -> Shared / SharedModified
+// with a candidate lockset that is intersected with the thread's held
+// locks on every access once the address is shared; an empty candidate
+// set in the SharedModified state is reported as a potential race.
+#pragma once
+
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/reports.h"
+#include "instrument/hub.h"
+
+namespace cbp::detect {
+
+class EraserDetector : public instr::Listener {
+ public:
+  void on_access(const instr::AccessEvent& event) override;
+
+  /// Potential races found so far (one per address, first time only).
+  [[nodiscard]] std::vector<RaceReport> races() const;
+
+  [[nodiscard]] std::size_t tracked_addresses() const;
+
+  void reset();
+
+ private:
+  enum class State { kVirgin, kExclusive, kShared, kSharedModified };
+
+  struct VarState {
+    State state = State::kVirgin;
+    rt::ThreadId owner = 0;
+    std::set<const void*> candidate_locks;
+    instr::SourceLoc last_loc;
+    rt::ThreadId last_tid = 0;
+    bool reported = false;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<const void*, VarState> vars_;  // guarded by mu_
+  std::vector<RaceReport> races_;                   // guarded by mu_
+};
+
+}  // namespace cbp::detect

@@ -1,0 +1,91 @@
+#include "detect/fasttrack.h"
+
+namespace cbp::detect {
+
+VectorClock& FastTrackDetector::thread_clock(rt::ThreadId tid) {
+  VectorClock& clock = threads_[tid];
+  if (clock.get(tid) == 0) clock.set(tid, 1);
+  return clock;
+}
+
+void FastTrackDetector::report(const void* addr, VarState& var,
+                               instr::SourceLoc prior_loc,
+                               rt::ThreadId prior_tid,
+                               const instr::AccessEvent& event) {
+  if (var.reported) return;
+  var.reported = true;
+  RaceReport race;
+  race.addr = addr;
+  race.first = prior_loc;
+  race.first_tid = prior_tid;
+  race.second = event.loc;
+  race.second_tid = event.tid;
+  race.second_is_write = event.is_write;
+  races_.push_back(race);
+}
+
+void FastTrackDetector::on_access(const instr::AccessEvent& event) {
+  std::scoped_lock lock(mu_);
+  VectorClock& clock = thread_clock(event.tid);
+  VarState& var = vars_[event.addr];
+
+  if (event.is_write) {
+    // Write must be ordered after the previous write and all reads.
+    if (var.write.clock != 0 && !clock.covers(var.write)) {
+      report(event.addr, var, var.write_loc, var.write.tid, event);
+    } else if (!var.reads.leq(clock)) {
+      report(event.addr, var, var.last_read_loc, var.last_read_tid, event);
+    }
+    var.write = Epoch{event.tid, clock.get(event.tid)};
+    var.write_loc = event.loc;
+  } else {
+    // Read must be ordered after the previous write.
+    if (var.write.clock != 0 && !clock.covers(var.write)) {
+      report(event.addr, var, var.write_loc, var.write.tid, event);
+    }
+    var.reads.set(event.tid, clock.get(event.tid));
+    var.last_read_loc = event.loc;
+    var.last_read_tid = event.tid;
+  }
+}
+
+void FastTrackDetector::on_sync(const instr::SyncEvent& event) {
+  using Kind = instr::SyncEvent::Kind;
+  std::scoped_lock lock(mu_);
+  VectorClock& clock = thread_clock(event.tid);
+  switch (event.kind) {
+    case Kind::kLockAcquired:
+    case Kind::kWaitExit:
+      // Acquire edge: pull in everything the sync object has seen.
+      clock.join(locks_[event.obj]);
+      break;
+    case Kind::kLockReleased:
+    case Kind::kNotify: {
+      // Release edge: publish this thread's knowledge, then advance.
+      VectorClock& obj_clock = locks_[event.obj];
+      obj_clock.join(clock);
+      clock.tick(event.tid);
+      break;
+    }
+    case Kind::kLockRequest:
+    case Kind::kWaitEnter:
+    case Kind::kThreadStart:
+    case Kind::kThreadEnd:
+      break;
+  }
+}
+
+std::vector<RaceReport> FastTrackDetector::races() const {
+  std::scoped_lock lock(mu_);
+  return races_;
+}
+
+void FastTrackDetector::reset() {
+  std::scoped_lock lock(mu_);
+  threads_.clear();
+  locks_.clear();
+  vars_.clear();
+  races_.clear();
+}
+
+}  // namespace cbp::detect

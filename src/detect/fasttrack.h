@@ -1,0 +1,52 @@
+// FastTrack-style happens-before race detector (Flanagan & Freund),
+// the precise complement to the Eraser lockset heuristic.
+//
+// Per-thread vector clocks synchronize through lock release/acquire and
+// condvar notify/wait-exit edges; each shared address keeps its last
+// write epoch and a read clock.  A read not ordered after the last write,
+// or a write not ordered after all previous accesses, is a race.
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/reports.h"
+#include "detect/vector_clock.h"
+#include "instrument/hub.h"
+
+namespace cbp::detect {
+
+class FastTrackDetector : public instr::Listener {
+ public:
+  void on_access(const instr::AccessEvent& event) override;
+  void on_sync(const instr::SyncEvent& event) override;
+
+  [[nodiscard]] std::vector<RaceReport> races() const;
+
+  void reset();
+
+ private:
+  struct VarState {
+    Epoch write;                      // last write epoch (clock 0 = none)
+    VectorClock reads;                // read clock
+    instr::SourceLoc write_loc;
+    instr::SourceLoc last_read_loc;
+    rt::ThreadId last_read_tid = 0;
+    bool reported = false;
+  };
+
+  /// Thread clock, creating the initial self-component lazily.
+  VectorClock& thread_clock(rt::ThreadId tid);
+
+  void report(const void* addr, VarState& var, instr::SourceLoc prior_loc,
+              rt::ThreadId prior_tid, const instr::AccessEvent& event);
+
+  mutable std::mutex mu_;
+  std::unordered_map<rt::ThreadId, VectorClock> threads_;  // guarded by mu_
+  std::unordered_map<const void*, VectorClock> locks_;     // guarded by mu_
+  std::unordered_map<const void*, VarState> vars_;         // guarded by mu_
+  std::vector<RaceReport> races_;                          // guarded by mu_
+};
+
+}  // namespace cbp::detect

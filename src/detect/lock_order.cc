@@ -1,0 +1,130 @@
+#include "detect/lock_order.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cbp::detect {
+
+void LockOrderDetector::on_sync(const instr::SyncEvent& event) {
+  using Kind = instr::SyncEvent::Kind;
+  if (event.kind != Kind::kLockAcquired && event.kind != Kind::kLockReleased) {
+    return;
+  }
+  std::scoped_lock lock(mu_);
+  auto& stack = held_[event.tid];
+  if (event.kind == Kind::kLockAcquired) {
+    for (const void* held_lock : stack) {
+      EdgeInfo& edge = edges_[EdgeKey{held_lock, event.obj}];
+      edge.tids.insert(event.tid);
+      edge.site = event.loc;
+      edge.sample_tid = event.tid;
+    }
+    stack.push_back(event.obj);
+  } else {
+    auto it = std::find(stack.rbegin(), stack.rend(), event.obj);
+    if (it != stack.rend()) stack.erase(std::next(it).base());
+  }
+}
+
+std::string LockOrderDetector::tag_of(const void* lock) const {
+  auto it = tags_.find(lock);
+  if (it != tags_.end()) return it->second;
+  std::ostringstream os;
+  os << lock;
+  return os.str();
+}
+
+std::vector<DeadlockReport> LockOrderDetector::deadlocks() const {
+  std::scoped_lock lock(mu_);
+  std::vector<DeadlockReport> out;
+  for (const auto& [key, info] : edges_) {
+    if (key.held >= key.wanted) continue;  // visit each unordered pair once
+    const auto reverse = edges_.find(EdgeKey{key.wanted, key.held});
+    if (reverse == edges_.end()) continue;
+    // The cycle must be realizable by two distinct threads.
+    bool distinct = false;
+    for (rt::ThreadId t1 : info.tids) {
+      for (rt::ThreadId t2 : reverse->second.tids) {
+        if (t1 != t2) {
+          distinct = true;
+          break;
+        }
+      }
+      if (distinct) break;
+    }
+    if (!distinct) continue;
+    DeadlockReport report;
+    DeadlockReport::Leg forward_leg;
+    forward_leg.tid = info.sample_tid;
+    forward_leg.held = key.held;
+    forward_leg.held_tag = tag_of(key.held);
+    forward_leg.wanted = key.wanted;
+    forward_leg.wanted_tag = tag_of(key.wanted);
+    forward_leg.site = info.site;
+    DeadlockReport::Leg reverse_leg;
+    reverse_leg.tid = reverse->second.sample_tid;
+    reverse_leg.held = key.wanted;
+    reverse_leg.held_tag = tag_of(key.wanted);
+    reverse_leg.wanted = key.held;
+    reverse_leg.wanted_tag = tag_of(key.held);
+    reverse_leg.site = reverse->second.site;
+    report.legs = {forward_leg, reverse_leg};
+    out.push_back(report);
+  }
+  return out;
+}
+
+bool LockOrderDetector::has_cycle() const {
+  std::scoped_lock lock(mu_);
+  // Iterative DFS with colors over the edge adjacency.
+  std::unordered_map<const void*, std::vector<const void*>> adj;
+  for (const auto& [key, info] : edges_) {
+    adj[key.held].push_back(key.wanted);
+  }
+  enum Color { kWhite, kGray, kBlack };
+  std::unordered_map<const void*, Color> color;
+  for (const auto& [node, _] : adj) color[node] = kWhite;
+
+  for (const auto& [start, _] : adj) {
+    if (color[start] != kWhite) continue;
+    // Stack of (node, next-child-index).
+    std::vector<std::pair<const void*, std::size_t>> stack{{start, 0}};
+    color[start] = kGray;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const auto& children = adj[node];
+      if (next < children.size()) {
+        const void* child = children[next++];
+        auto child_color = color.count(child) ? color[child] : kBlack;
+        if (child_color == kGray) return true;
+        if (child_color == kWhite) {
+          color[child] = kGray;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        color[node] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t LockOrderDetector::edge_count() const {
+  std::scoped_lock lock(mu_);
+  return edges_.size();
+}
+
+void LockOrderDetector::tag_lock(const void* lock, std::string tag) {
+  std::scoped_lock guard(mu_);
+  tags_[lock] = std::move(tag);
+}
+
+void LockOrderDetector::reset() {
+  std::scoped_lock lock(mu_);
+  held_.clear();
+  edges_.clear();
+  tags_.clear();
+}
+
+}  // namespace cbp::detect

@@ -1,0 +1,65 @@
+// Lock-order-graph deadlock predictor (Goodlock-style).
+//
+// Builds a directed graph with an edge held -> wanted each time a thread
+// acquires `wanted` while holding `held`.  A cycle exercised by distinct
+// threads is a potential deadlock; 2-cycles are rendered in the paper's
+// §5 "Deadlock found:" report format and map one-to-one onto
+// DeadlockTrigger insertions (Methodology I).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/reports.h"
+#include "instrument/hub.h"
+
+namespace cbp::detect {
+
+class LockOrderDetector : public instr::Listener {
+ public:
+  void on_sync(const instr::SyncEvent& event) override;
+
+  /// Potential deadlocks from 2-cycles exercised by >= 2 distinct threads.
+  [[nodiscard]] std::vector<DeadlockReport> deadlocks() const;
+
+  /// True if the lock-order graph has any directed cycle (any length).
+  [[nodiscard]] bool has_cycle() const;
+
+  /// Number of distinct held->wanted edges observed.
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// Optional: attach a human-readable tag to a lock for reports.
+  void tag_lock(const void* lock, std::string tag);
+
+  void reset();
+
+ private:
+  struct EdgeKey {
+    const void* held;
+    const void* wanted;
+    friend bool operator<(const EdgeKey& a, const EdgeKey& b) {
+      if (a.held != b.held) return a.held < b.held;
+      return a.wanted < b.wanted;
+    }
+  };
+  struct EdgeInfo {
+    std::set<rt::ThreadId> tids;
+    instr::SourceLoc site;       ///< where `wanted` was acquired
+    rt::ThreadId sample_tid = 0;
+  };
+
+  [[nodiscard]] std::string tag_of(const void* lock) const;  // requires mu_
+
+  mutable std::mutex mu_;
+  // Per-thread stack of currently held locks (built from events so the
+  // detector is self-contained).  Guarded by mu_.
+  std::unordered_map<rt::ThreadId, std::vector<const void*>> held_;
+  std::map<EdgeKey, EdgeInfo> edges_;               // guarded by mu_
+  std::unordered_map<const void*, std::string> tags_;  // guarded by mu_
+};
+
+}  // namespace cbp::detect

@@ -1,0 +1,70 @@
+// Detector report types, rendered in the same shape as the paper's §5
+// sample reports — the contract between Methodology I/II tooling and the
+// human (or harness) inserting breakpoints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "instrument/source_loc.h"
+#include "runtime/thread_registry.h"
+
+namespace cbp::detect {
+
+/// A (potential or confirmed) data race between two access sites.
+struct RaceReport {
+  const void* addr = nullptr;
+  instr::SourceLoc first;       ///< earlier access site
+  instr::SourceLoc second;      ///< later access site
+  bool second_is_write = false;
+  rt::ThreadId first_tid = 0;
+  rt::ThreadId second_tid = 0;
+
+  /// Paper §5: "Data race detected between access of x.f at ..., and
+  /// access of y.f at ...".
+  [[nodiscard]] std::string str() const {
+    return "Data race detected between\n  access at " + first.str() +
+           ", and\n  access at " + second.str() + ".";
+  }
+};
+
+/// Two sites contending for the same lock from different threads.
+struct ContentionReport {
+  const void* lock = nullptr;
+  instr::SourceLoc site_a;
+  instr::SourceLoc site_b;
+  std::uint64_t occurrences = 0;
+
+  /// Paper §5: "Lock contention: <site>, <site>".
+  [[nodiscard]] std::string str() const {
+    return "Lock contention:\n  " + site_a.str() + ",\n  " + site_b.str();
+  }
+};
+
+/// A potential deadlock: two threads acquiring two locks in opposite
+/// orders (a 2-cycle in the lock-order graph), generalizable to k-cycles.
+struct DeadlockReport {
+  struct Leg {
+    rt::ThreadId tid = 0;
+    const void* held = nullptr;
+    std::string held_tag;
+    const void* wanted = nullptr;
+    std::string wanted_tag;
+    instr::SourceLoc site;  ///< where `wanted` is acquired while holding `held`
+  };
+  std::vector<Leg> legs;
+
+  /// Paper §5: "Deadlock found: Thread10 trying to acquire lock this
+  /// while holding lock csList at ...".
+  [[nodiscard]] std::string str() const {
+    std::string out = "Deadlock found:";
+    for (const Leg& leg : legs) {
+      out += "\n  Thread" + std::to_string(leg.tid) +
+             " trying to acquire lock " + leg.wanted_tag +
+             " while holding lock " + leg.held_tag + " at " + leg.site.str();
+    }
+    return out;
+  }
+};
+
+}  // namespace cbp::detect

@@ -1,0 +1,69 @@
+// Sparse vector clock over dense thread ids (for the FastTrack-style
+// happens-before race detector).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/thread_registry.h"
+
+namespace cbp::detect {
+
+/// An epoch is one component of a vector clock: (thread, clock value).
+struct Epoch {
+  rt::ThreadId tid = 0;
+  std::uint64_t clock = 0;
+
+  friend bool operator==(const Epoch& a, const Epoch& b) {
+    return a.tid == b.tid && a.clock == b.clock;
+  }
+};
+
+class VectorClock {
+ public:
+  /// Component for thread `tid` (0 if absent).
+  [[nodiscard]] std::uint64_t get(rt::ThreadId tid) const {
+    return tid < clocks_.size() ? clocks_[tid] : 0;
+  }
+
+  void set(rt::ThreadId tid, std::uint64_t value) {
+    if (tid >= clocks_.size()) clocks_.resize(tid + 1, 0);
+    clocks_[tid] = value;
+  }
+
+  void tick(rt::ThreadId tid) { set(tid, get(tid) + 1); }
+
+  /// Pointwise maximum: *this = *this ⊔ other.
+  void join(const VectorClock& other) {
+    if (other.clocks_.size() > clocks_.size()) {
+      clocks_.resize(other.clocks_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.clocks_.size(); ++i) {
+      clocks_[i] = std::max(clocks_[i], other.clocks_[i]);
+    }
+  }
+
+  /// True iff *this ⊑ other (pointwise ≤): everything this clock has
+  /// seen, `other` has seen too.
+  [[nodiscard]] bool leq(const VectorClock& other) const {
+    for (std::size_t i = 0; i < clocks_.size(); ++i) {
+      if (clocks_[i] > other.get(static_cast<rt::ThreadId>(i))) return false;
+    }
+    return true;
+  }
+
+  /// True iff the single epoch `e` happens-before this clock.
+  [[nodiscard]] bool covers(const Epoch& e) const {
+    return e.clock <= get(e.tid);
+  }
+
+  void clear() { clocks_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return clocks_.size(); }
+
+ private:
+  std::vector<std::uint64_t> clocks_;
+};
+
+}  // namespace cbp::detect

@@ -1,0 +1,372 @@
+#include "fuzz/active.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "detect/atomicity.h"
+#include "detect/fasttrack.h"
+#include "detect/lock_order.h"
+#include "runtime/clock.h"
+#include "runtime/lock_tracker.h"
+
+namespace cbp::fuzz {
+
+// ---------------------------------------------------------------------------
+// ConfirmedBug rendering
+// ---------------------------------------------------------------------------
+
+std::string ConfirmedBug::report() const {
+  switch (kind) {
+    case Kind::kRace:
+      return "Data race detected between\n  access at " + site_a.str() +
+             ", and\n  access at " + site_b.str() + ".";
+    case Kind::kDeadlock:
+      return "Deadlock found:\n  Thread" + std::to_string(tid_a) +
+             " and Thread" + std::to_string(tid_b) +
+             " acquire two locks in opposite orders at\n  " + site_a.str() +
+             " and " + site_b.str();
+    case Kind::kAtomicity:
+      return "Atomicity violation detected:\n  block " + site_c.str() +
+             " .. " + site_b.str() + " interleaved by\n  access at " +
+             site_a.str() + ".";
+  }
+  return {};
+}
+
+std::string ConfirmedBug::breakpoint_suggestion(
+    const std::string& breakpoint_name) const {
+  switch (kind) {
+    case Kind::kRace:
+      return "insert at " + site_a.str() + ":\n  cbp::ConflictTrigger(\"" +
+             breakpoint_name +
+             "\", obj).trigger_here(/*is_first_action=*/true);\n"
+             "insert at " +
+             site_b.str() + ":\n  cbp::ConflictTrigger(\"" +
+             breakpoint_name +
+             "\", obj).trigger_here(/*is_first_action=*/false);";
+    case Kind::kDeadlock:
+      return "insert at " + site_a.str() + ":\n  cbp::DeadlockTrigger(\"" +
+             breakpoint_name +
+             "\", held, wanted).trigger_here(/*is_first_action=*/true);\n"
+             "insert at " +
+             site_b.str() + ":\n  cbp::DeadlockTrigger(\"" +
+             breakpoint_name +
+             "\", held, wanted).trigger_here(/*is_first_action=*/false);";
+    case Kind::kAtomicity:
+      // As in the paper's StringBuffer example: the interleaver executes
+      // first from the conflict state, the block-end access after it.
+      return "insert at " + site_a.str() + ":\n  cbp::AtomicityTrigger(\"" +
+             breakpoint_name +
+             "\", obj).trigger_here(/*is_first_action=*/true);\n"
+             "insert at " +
+             site_b.str() + ":\n  cbp::AtomicityTrigger(\"" +
+             breakpoint_name +
+             "\", obj).trigger_here(/*is_first_action=*/false);";
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// RaceConfirmer
+// ---------------------------------------------------------------------------
+
+RaceConfirmer::RaceConfirmer(RaceCandidate candidate,
+                             std::chrono::microseconds pause)
+    : candidate_(candidate), pause_(pause) {}
+
+bool RaceConfirmer::site_matches(const instr::SourceLoc& loc) const {
+  return loc == candidate_.site_a || loc == candidate_.site_b;
+}
+
+void RaceConfirmer::on_access(const instr::AccessEvent& event) {
+  if (!site_matches(event.loc)) return;
+
+  std::unique_lock lock(mu_);
+
+  // Is a complementary thread already paused at this conflict object?
+  for (Pending* peer : pending_) {
+    if (peer->matched || peer->tid == event.tid || peer->addr != event.addr) {
+      continue;
+    }
+    peer->matched = true;
+    ConfirmedBug bug;
+    bug.kind = ConfirmedBug::Kind::kRace;
+    bug.site_a = peer->loc;
+    bug.site_b = event.loc;
+    bug.object = event.addr;
+    bug.tid_a = peer->tid;
+    bug.tid_b = event.tid;
+    confirmed_bugs_.push_back(bug);
+    cv_.notify_all();
+    return;  // both threads proceed; the racy state is live right now
+  }
+
+  // Otherwise pause here to give the peer a chance to arrive.
+  Pending self{event.addr, event.tid, event.loc, false};
+  pending_.push_back(&self);
+  cv_.wait_for(lock, rt::TimeScale::apply(pause_),
+               [&] { return self.matched; });
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), &self),
+                 pending_.end());
+}
+
+std::vector<ConfirmedBug> RaceConfirmer::confirmed() const {
+  std::scoped_lock lock(mu_);
+  return confirmed_bugs_;
+}
+
+// ---------------------------------------------------------------------------
+// DeadlockConfirmer
+// ---------------------------------------------------------------------------
+
+DeadlockConfirmer::DeadlockConfirmer(DeadlockCandidate candidate,
+                                     std::chrono::microseconds pause)
+    : candidate_(candidate), pause_(pause) {}
+
+void DeadlockConfirmer::on_sync(const instr::SyncEvent& event) {
+  if (event.kind != instr::SyncEvent::Kind::kLockRequest) return;
+
+  // Which side of the crossing is this thread on?
+  const void* wanted = event.obj;
+  const void* must_hold = nullptr;
+  if (wanted == candidate_.lock_a) {
+    must_hold = candidate_.lock_b;
+  } else if (wanted == candidate_.lock_b) {
+    must_hold = candidate_.lock_a;
+  } else {
+    return;
+  }
+  if (!rt::is_lock_held(must_hold)) return;
+
+  std::unique_lock lock(mu_);
+
+  for (Pending* peer : pending_) {
+    if (peer->matched || peer->tid == event.tid) continue;
+    // The peer is requesting the opposite lock while holding this one.
+    if (peer->wanted != must_hold) continue;
+    peer->matched = true;
+    any_.store(true, std::memory_order_release);
+    ConfirmedBug bug;
+    bug.kind = ConfirmedBug::Kind::kDeadlock;
+    bug.site_a = peer->loc;
+    bug.site_b = event.loc;
+    bug.object = must_hold;
+    bug.object_b = wanted;
+    bug.tid_a = peer->tid;
+    bug.tid_b = event.tid;
+    confirmed_bugs_.push_back(bug);
+    cv_.notify_all();
+    // Escape before this thread acquires the second lock: the crossing
+    // is proven and actually proceeding would deadlock the process.
+    throw DeadlockConfirmedError();
+  }
+
+  Pending self{wanted, event.tid, event.loc, false};
+  pending_.push_back(&self);
+  cv_.wait_for(lock, rt::TimeScale::apply(pause_),
+               [&] { return self.matched; });
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), &self),
+                 pending_.end());
+  if (self.matched) throw DeadlockConfirmedError();
+}
+
+std::vector<ConfirmedBug> DeadlockConfirmer::confirmed() const {
+  std::scoped_lock lock(mu_);
+  return confirmed_bugs_;
+}
+
+bool DeadlockConfirmer::any_confirmed() const {
+  return any_.load(std::memory_order_acquire);
+}
+
+// ---------------------------------------------------------------------------
+// AtomicityConfirmer
+// ---------------------------------------------------------------------------
+
+AtomicityConfirmer::AtomicityConfirmer(AtomicityCandidate candidate,
+                                       std::chrono::microseconds pause)
+    : candidate_(candidate), pause_(pause) {}
+
+void AtomicityConfirmer::on_access(const instr::AccessEvent& event) {
+  if (event.loc == candidate_.block_begin) {
+    // The intended-atomic block opens for this thread.
+    std::scoped_lock lock(mu_);
+    open_[event.tid] = OpenBlock{event.addr, false};
+    cv_.notify_all();  // a waiting interleaver may now match
+    return;
+  }
+
+  if (event.loc == candidate_.interleaver) {
+    std::unique_lock lock(mu_);
+    auto other_open = [&]() -> OpenBlock* {
+      for (auto& [tid, block] : open_) {
+        if (tid != event.tid && block.addr == event.addr && !block.matched) {
+          return &block;
+        }
+      }
+      return nullptr;
+    };
+    OpenBlock* block = other_open();
+    if (block == nullptr) {
+      // Give a block a chance to open around us.
+      cv_.wait_for(lock, rt::TimeScale::apply(pause_),
+                   [&] { return other_open() != nullptr; });
+      block = other_open();
+    }
+    if (block != nullptr) {
+      block->matched = true;
+      ConfirmedBug bug;
+      bug.kind = ConfirmedBug::Kind::kAtomicity;
+      bug.site_a = candidate_.interleaver;
+      bug.site_b = candidate_.block_end;
+      bug.site_c = candidate_.block_begin;
+      bug.object = event.addr;
+      bug.tid_b = event.tid;
+      confirmed_bugs_.push_back(bug);
+      cv_.notify_all();
+      // Proceed: this access now executes INSIDE the peer's block — the
+      // violation is live.
+    }
+    return;
+  }
+
+  if (event.loc == candidate_.block_end) {
+    bool matched = false;
+    {
+      std::unique_lock lock(mu_);
+      auto it = open_.find(event.tid);
+      if (it == open_.end() || it->second.addr != event.addr) return;
+      if (!it->second.matched) {
+        // Pause at the block end, inviting the interleaver in.
+        cv_.wait_for(lock, rt::TimeScale::apply(pause_),
+                     [&] { return open_[event.tid].matched; });
+      }
+      matched = it->second.matched;
+      open_.erase(it);
+    }
+    if (matched) {
+      // Ordering delay: let the interleaver's access actually execute
+      // before the block-end access resumes (cf. the engine's
+      // order_delay for the plain trigger API).
+      std::this_thread::sleep_for(
+          rt::TimeScale::apply(std::chrono::milliseconds(2)));
+    }
+  }
+}
+
+std::vector<ConfirmedBug> AtomicityConfirmer::confirmed() const {
+  std::scoped_lock lock(mu_);
+  return confirmed_bugs_;
+}
+
+// ---------------------------------------------------------------------------
+// Phase-1 pipelines
+// ---------------------------------------------------------------------------
+
+std::vector<RaceCandidate> find_race_candidates(
+    const std::function<void()>& workload) {
+  detect::FastTrackDetector detector;
+  {
+    instr::ScopedListener registration(detector);
+    workload();
+  }
+  std::vector<RaceCandidate> out;
+  for (const detect::RaceReport& race : detector.races()) {
+    out.push_back(RaceCandidate{race.first, race.second});
+  }
+  return out;
+}
+
+std::vector<DeadlockCandidate> find_deadlock_candidates(
+    const std::function<void()>& workload) {
+  detect::LockOrderDetector detector;
+  {
+    instr::ScopedListener registration(detector);
+    workload();
+  }
+  std::vector<DeadlockCandidate> out;
+  for (const detect::DeadlockReport& report : detector.deadlocks()) {
+    if (report.legs.size() == 2) {
+      out.push_back(
+          DeadlockCandidate{report.legs[0].held, report.legs[0].wanted});
+    }
+  }
+  return out;
+}
+
+std::vector<AtomicityCandidate> find_atomicity_candidates(
+    const std::function<void()>& workload) {
+  detect::AtomicityCandidateDetector detector;
+  {
+    instr::ScopedListener registration(detector);
+    workload();
+  }
+  std::vector<AtomicityCandidate> out;
+  for (const detect::AtomicityReport& report : detector.candidates()) {
+    out.push_back(AtomicityCandidate{report.block_begin, report.block_end,
+                                     report.interleaver});
+  }
+  return out;
+}
+
+SessionResult run_active_testing(const std::function<void()>& workload,
+                                 SessionOptions options) {
+  SessionResult result;
+
+  // ---- Phase 1: one instrumented run under all candidate detectors.
+  detect::FastTrackDetector race_detector;
+  detect::LockOrderDetector lock_detector;
+  detect::AtomicityCandidateDetector atomicity_detector;
+  {
+    instr::ScopedListener r1(race_detector);
+    instr::ScopedListener r2(lock_detector);
+    instr::ScopedListener r3(atomicity_detector);
+    workload();
+  }
+
+  // ---- Phase 2: one confirmation run per candidate.
+  if (options.races) {
+    for (const detect::RaceReport& report : race_detector.races()) {
+      RaceConfirmer confirmer(RaceCandidate{report.first, report.second},
+                              options.pause);
+      instr::ScopedListener registration(confirmer);
+      workload();
+      ++result.candidates_tried;
+      for (const ConfirmedBug& bug : confirmer.confirmed()) {
+        result.bugs.push_back(bug);
+      }
+    }
+  }
+  if (options.deadlocks) {
+    for (const detect::DeadlockReport& report : lock_detector.deadlocks()) {
+      if (report.legs.size() != 2) continue;
+      DeadlockConfirmer confirmer(
+          DeadlockCandidate{report.legs[0].held, report.legs[0].wanted},
+          options.pause);
+      instr::ScopedListener registration(confirmer);
+      workload();
+      ++result.candidates_tried;
+      for (const ConfirmedBug& bug : confirmer.confirmed()) {
+        result.bugs.push_back(bug);
+      }
+    }
+  }
+  if (options.atomicity) {
+    for (const detect::AtomicityReport& report :
+         atomicity_detector.candidates()) {
+      AtomicityConfirmer confirmer(
+          AtomicityCandidate{report.block_begin, report.block_end,
+                             report.interleaver},
+          options.pause);
+      instr::ScopedListener registration(confirmer);
+      workload();
+      ++result.candidates_tried;
+      for (const ConfirmedBug& bug : confirmer.confirmed()) {
+        result.bugs.push_back(bug);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cbp::fuzz

@@ -1,0 +1,218 @@
+// CalFuzzer-style active testing (Joshi et al., CAV'09; paper §5
+// Methodology I).
+//
+// Phase 1: a detector pass over a workload yields *candidate* conflicts
+// (race site pairs, crossed lock pairs).  Phase 2: a confirmer listener
+// re-runs the workload, pausing threads that reach a candidate site to
+// maximize overlap; if the complementary thread arrives with the same
+// conflict object, the bug is *confirmed* and a paper-style report is
+// produced.  Each confirmed bug maps mechanically onto a concurrent
+// breakpoint insertion (ConfirmedBug::breakpoint_suggestion), which is
+// exactly how the paper's Methodology I consumes CalFuzzer reports.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/reports.h"
+#include "instrument/hub.h"
+#include "runtime/thread_registry.h"
+
+namespace cbp::fuzz {
+
+/// A potential data race to confirm: two access sites (from a
+/// RaceReport).
+struct RaceCandidate {
+  instr::SourceLoc site_a;
+  instr::SourceLoc site_b;
+};
+
+/// A potential deadlock to confirm: two locks acquired in crossing
+/// orders (from a DeadlockReport 2-cycle).
+struct DeadlockCandidate {
+  const void* lock_a = nullptr;
+  const void* lock_b = nullptr;
+};
+
+/// A potential atomicity violation to confirm (the paper's third bug
+/// class, via the randomized atomicity analysis it cites): a thread
+/// accesses an object at `block_begin` and again at `block_end` (the
+/// intended-atomic block), while another thread can access the same
+/// object at `interleaver`.
+struct AtomicityCandidate {
+  instr::SourceLoc block_begin;
+  instr::SourceLoc block_end;
+  instr::SourceLoc interleaver;
+};
+
+/// A confirmed concurrency bug, with its Methodology-I breakpoint recipe.
+struct ConfirmedBug {
+  enum class Kind { kRace, kDeadlock, kAtomicity };
+  Kind kind = Kind::kRace;
+  instr::SourceLoc site_a;  ///< first-action side
+  instr::SourceLoc site_b;
+  instr::SourceLoc site_c;  ///< atomicity only: the block-end site
+  const void* object = nullptr;  ///< racy address or first lock
+  const void* object_b = nullptr;  ///< second lock (deadlocks only)
+  rt::ThreadId tid_a = 0;
+  rt::ThreadId tid_b = 0;
+
+  /// Paper-style bug report text.
+  [[nodiscard]] std::string report() const;
+
+  /// The two trigger_here insertions that reproduce this bug
+  /// (Methodology I).
+  [[nodiscard]] std::string breakpoint_suggestion(
+      const std::string& breakpoint_name) const;
+};
+
+/// Confirms data-race candidates by pausing threads at candidate sites.
+class RaceConfirmer : public instr::Listener {
+ public:
+  RaceConfirmer(RaceCandidate candidate, std::chrono::microseconds pause);
+
+  void on_access(const instr::AccessEvent& event) override;
+
+  [[nodiscard]] std::vector<ConfirmedBug> confirmed() const;
+
+ private:
+  [[nodiscard]] bool site_matches(const instr::SourceLoc& loc) const;
+
+  RaceCandidate candidate_;
+  std::chrono::microseconds pause_;
+
+  struct Pending {
+    const void* addr;
+    rt::ThreadId tid;
+    instr::SourceLoc loc;
+    bool matched = false;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Pending*> pending_;      // guarded by mu_
+  std::vector<ConfirmedBug> confirmed_bugs_;  // guarded by mu_
+};
+
+/// Thrown in *both* participating threads when a DeadlockConfirmer
+/// confirms a crossing: the throw happens from the kLockRequest hook,
+/// before the second lock is actually acquired, so RAII unwinding
+/// releases the held locks and the process never truly deadlocks.
+class DeadlockConfirmedError : public std::runtime_error {
+ public:
+  DeadlockConfirmedError() : std::runtime_error("deadlock confirmed") {}
+};
+
+/// Confirms deadlock candidates by pausing a thread that holds one lock
+/// of the candidate pair just before it requests the other.  When the
+/// complementary thread arrives, the crossing is recorded and BOTH
+/// threads receive DeadlockConfirmedError (see above) — the tool
+/// equivalent of CalFuzzer reporting a real deadlock without hanging the
+/// test process.
+class DeadlockConfirmer : public instr::Listener {
+ public:
+  DeadlockConfirmer(DeadlockCandidate candidate,
+                    std::chrono::microseconds pause);
+
+  void on_sync(const instr::SyncEvent& event) override;
+
+  [[nodiscard]] std::vector<ConfirmedBug> confirmed() const;
+
+  /// True once a confirmation happened (cheap check for worker loops).
+  [[nodiscard]] bool any_confirmed() const;
+
+ private:
+  DeadlockCandidate candidate_;
+  std::chrono::microseconds pause_;
+
+  struct Pending {
+    const void* wanted;
+    rt::ThreadId tid;
+    instr::SourceLoc loc;
+    bool matched = false;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Pending*> pending_;             // guarded by mu_
+  std::vector<ConfirmedBug> confirmed_bugs_;  // guarded by mu_
+  std::atomic<bool> any_{false};
+};
+
+/// Confirms atomicity-violation candidates: a thread reaching the
+/// block-end site with its block "open" (it passed block_begin on the
+/// same object) is paused; if the complementary thread reaches the
+/// interleaver site on that object meanwhile, the violation is feasible
+/// and recorded.  Both threads then proceed (block-end last, so the
+/// interleaving is live).
+class AtomicityConfirmer : public instr::Listener {
+ public:
+  AtomicityConfirmer(AtomicityCandidate candidate,
+                     std::chrono::microseconds pause);
+
+  void on_access(const instr::AccessEvent& event) override;
+
+  [[nodiscard]] std::vector<ConfirmedBug> confirmed() const;
+
+ private:
+  AtomicityCandidate candidate_;
+  std::chrono::microseconds pause_;
+
+  struct OpenBlock {
+    const void* addr = nullptr;
+    bool matched = false;  ///< interleaver arrived inside the block
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<rt::ThreadId, OpenBlock> open_;  // guarded by mu_
+  std::vector<ConfirmedBug> confirmed_bugs_;          // guarded by mu_
+};
+
+/// Convenience pipeline for Methodology I, phase 1: runs `workload` under
+/// a FastTrack detector and returns the race reports as candidates.
+std::vector<RaceCandidate> find_race_candidates(
+    const std::function<void()>& workload);
+
+/// Convenience pipeline for Methodology I, phase 1 (deadlocks): runs
+/// `workload` under a lock-order-graph detector and returns 2-cycle
+/// candidates.
+std::vector<DeadlockCandidate> find_deadlock_candidates(
+    const std::function<void()>& workload);
+
+/// Convenience pipeline for Methodology I, phase 1 (atomicity): runs
+/// `workload` under the block-pattern candidate detector.
+std::vector<AtomicityCandidate> find_atomicity_candidates(
+    const std::function<void()>& workload);
+
+/// One-call CalFuzzer-style session: phase 1 runs `workload` once under
+/// all candidate detectors; phase 2 re-runs it once per candidate with
+/// the matching confirmer attached.  Returns every confirmed bug.
+///
+/// The workload must be re-runnable, and its threads must catch
+/// DeadlockConfirmedError (the deadlock confirmer's escape) when
+/// deadlock confirmation is enabled.
+struct SessionOptions {
+  std::chrono::microseconds pause{100'000};
+  bool races = true;
+  bool deadlocks = true;
+  bool atomicity = true;
+};
+
+struct SessionResult {
+  std::vector<ConfirmedBug> bugs;
+  int candidates_tried = 0;
+};
+
+SessionResult run_active_testing(const std::function<void()>& workload,
+                                 SessionOptions options = {});
+
+}  // namespace cbp::fuzz

@@ -1,0 +1,93 @@
+#include "fuzz/explore.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cbp::fuzz {
+namespace {
+
+/// Counts role switches in a 0/1 choice string.
+int context_switches(const std::vector<int>& choices) {
+  int switches = 0;
+  for (std::size_t i = 1; i < choices.size(); ++i) {
+    if (choices[i] != choices[i - 1]) ++switches;
+  }
+  return switches;
+}
+
+}  // namespace
+
+std::uint64_t interleaving_count(std::size_t n, std::size_t m) {
+  // C(n+m, n) with saturation.
+  std::uint64_t result = 1;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::uint64_t numerator = static_cast<std::uint64_t>(m + i);
+    if (result > std::numeric_limits<std::uint64_t>::max() / numerator) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    result = result * numerator / static_cast<std::uint64_t>(i);
+  }
+  return result;
+}
+
+std::vector<std::vector<replay::TraceOp>> split_by_role(
+    const replay::Trace& trace, int roles) {
+  std::vector<std::vector<replay::TraceOp>> out(
+      static_cast<std::size_t>(roles));
+  for (const replay::TraceOp& op : trace.ops) {
+    if (op.role >= 0 && op.role < roles) {
+      out[static_cast<std::size_t>(op.role)].push_back(op);
+    }
+  }
+  return out;
+}
+
+ExploreResult explore_schedules(
+    const std::vector<replay::TraceOp>& role0_ops,
+    const std::vector<replay::TraceOp>& role1_ops,
+    const std::function<bool(const replay::Trace&)>& run_under_trace,
+    ExploreOptions options) {
+  ExploreResult result;
+
+  // Enumerate choice strings (which role supplies the next op) in
+  // lexicographic order via iterative successor computation.  A choice
+  // string is valid when it uses exactly n zeros and m ones.
+  const std::size_t n = role0_ops.size();
+  const std::size_t m = role1_ops.size();
+  std::vector<int> choices;
+  choices.insert(choices.end(), n, 0);
+  choices.insert(choices.end(), m, 1);  // lexicographically smallest
+
+  auto next_permutation_binary = [&]() -> bool {
+    // std::next_permutation over the 0/1 multiset.
+    return std::next_permutation(choices.begin(), choices.end());
+  };
+
+  bool more = true;
+  while (more &&
+         result.schedules_run + result.schedules_skipped <
+             options.max_schedules) {
+    if (options.context_bound >= 0 &&
+        context_switches(choices) > options.context_bound) {
+      ++result.schedules_skipped;
+      more = next_permutation_binary();
+      continue;
+    }
+    // Materialize the trace for this choice string.
+    replay::Trace trace;
+    std::size_t i0 = 0, i1 = 0;
+    for (int choice : choices) {
+      trace.ops.push_back(choice == 0 ? role0_ops[i0++] : role1_ops[i1++]);
+    }
+    ++result.schedules_run;
+    if (run_under_trace(trace)) {
+      ++result.buggy_schedules;
+      if (result.first_buggy_trace.empty()) result.first_buggy_trace = trace;
+      if (options.stop_at_first_bug) break;
+    }
+    more = next_permutation_binary();
+  }
+  return result;
+}
+
+}  // namespace cbp::fuzz

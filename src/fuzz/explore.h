@@ -1,0 +1,62 @@
+// Systematic schedule exploration (CHESS-style, §7 related work),
+// built on the replay module: enumerate interleavings of two threads'
+// recorded operation sequences and replay each one, checking a bug
+// predicate.
+//
+// The paper positions concurrent breakpoints against exactly this kind
+// of machinery: "the goal of this work is not to systematically or
+// randomly explore thread schedules ... rather, concurrent breakpoints
+// make sure that once a bug is found, the bug can be made reproducible".
+// This explorer lets a bench put numbers on that trade-off: a bug at
+// depth d costs the explorer a combinatorial number of replays, and the
+// breakpoint exactly one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "replay/trace.h"
+
+namespace cbp::fuzz {
+
+struct ExploreOptions {
+  /// Stop after this many schedules (the interleaving count is
+  /// C(n+m, n); a cap keeps exploration bounded).
+  std::uint64_t max_schedules = 10'000;
+
+  /// CHESS's key insight: bound the number of context switches.  A
+  /// schedule with more than `context_bound` switches between the two
+  /// roles is skipped.  Negative = unbounded.
+  int context_bound = -1;
+
+  /// Stop at the first buggy schedule.
+  bool stop_at_first_bug = true;
+};
+
+struct ExploreResult {
+  std::uint64_t schedules_run = 0;
+  std::uint64_t schedules_skipped = 0;  ///< over the context bound
+  std::uint64_t buggy_schedules = 0;
+  replay::Trace first_buggy_trace;  ///< replayable witness (empty if none)
+};
+
+/// Enumerates interleavings of `role0_ops` and `role1_ops` (each the
+/// per-role operation sequence of the workload, e.g. split from a
+/// serialized recording) in a deterministic order; for each candidate
+/// trace, calls `run_under_trace(trace)` which must execute the workload
+/// under a replay::Replayer and return true when the bug manifested.
+ExploreResult explore_schedules(
+    const std::vector<replay::TraceOp>& role0_ops,
+    const std::vector<replay::TraceOp>& role1_ops,
+    const std::function<bool(const replay::Trace&)>& run_under_trace,
+    ExploreOptions options = {});
+
+/// Splits a recorded trace into per-role operation sequences.
+std::vector<std::vector<replay::TraceOp>> split_by_role(
+    const replay::Trace& trace, int roles);
+
+/// Number of interleavings of two sequences: C(n+m, n), saturating.
+std::uint64_t interleaving_count(std::size_t n, std::size_t m);
+
+}  // namespace cbp::fuzz

@@ -1,0 +1,37 @@
+#include "fuzz/noise.h"
+
+#include <thread>
+
+#include "runtime/clock.h"
+
+namespace cbp::fuzz {
+
+NoiseInjector::NoiseInjector(NoiseOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void NoiseInjector::maybe_sleep() {
+  std::chrono::microseconds sleep_for{0};
+  {
+    std::scoped_lock lock(rng_mu_);
+    if (!rng_.next_bool(options_.probability)) return;
+    const auto lo = options_.min_sleep.count();
+    const auto hi = options_.max_sleep.count();
+    sleep_for = std::chrono::microseconds(rng_.next_in(lo, hi));
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  std::this_thread::sleep_for(rt::TimeScale::apply(sleep_for));
+}
+
+void NoiseInjector::on_access(const instr::AccessEvent& event) {
+  (void)event;
+  if (options_.at_accesses) maybe_sleep();
+}
+
+void NoiseInjector::on_sync(const instr::SyncEvent& event) {
+  if (options_.at_lock_requests &&
+      event.kind == instr::SyncEvent::Kind::kLockRequest) {
+    maybe_sleep();
+  }
+}
+
+}  // namespace cbp::fuzz

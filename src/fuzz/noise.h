@@ -1,0 +1,49 @@
+// ConTest-style noise injection (Nir-Buchbinder et al.; paper §7).
+//
+// A Hub listener that, with probability p at each instrumented access or
+// lock-request, puts the acting thread to sleep for a random duration.
+// This is the classic "add random noise to the scheduler" baseline the
+// benches compare BTRIGGER against.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "instrument/hub.h"
+#include "runtime/rng.h"
+
+namespace cbp::fuzz {
+
+struct NoiseOptions {
+  double probability = 0.1;  ///< chance of injecting noise per event
+  std::chrono::microseconds min_sleep{100};
+  std::chrono::microseconds max_sleep{2000};
+  bool at_accesses = true;    ///< perturb shared-memory accesses
+  bool at_lock_requests = true;  ///< perturb lock acquisition sites
+  std::uint64_t seed = 12345;
+};
+
+class NoiseInjector : public instr::Listener {
+ public:
+  explicit NoiseInjector(NoiseOptions options = {});
+
+  void on_access(const instr::AccessEvent& event) override;
+  void on_sync(const instr::SyncEvent& event) override;
+
+  /// Number of sleeps injected so far.
+  [[nodiscard]] std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void maybe_sleep();
+
+  NoiseOptions options_;
+  std::mutex rng_mu_;
+  rt::Rng rng_;  // guarded by rng_mu_
+  std::atomic<std::uint64_t> injected_{0};
+};
+
+}  // namespace cbp::fuzz

@@ -1,0 +1,54 @@
+#include "fuzz/pct.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "runtime/clock.h"
+
+namespace cbp::fuzz {
+
+PctLiteScheduler::PctLiteScheduler(PctOptions options)
+    : options_(options), rng_(options.seed) {
+  for (int i = 0; i < options_.depth - 1; ++i) {
+    change_points_.push_back(rng_.next_below(
+        std::max<std::uint64_t>(1, options_.expected_events)));
+  }
+  std::sort(change_points_.begin(), change_points_.end());
+}
+
+void PctLiteScheduler::perturb(rt::ThreadId tid) {
+  const std::uint64_t event_index =
+      events_.fetch_add(1, std::memory_order_relaxed);
+
+  int behind = 0;  // how many known threads outrank this one
+  {
+    std::scoped_lock lock(mu_);
+    auto [it, inserted] = priorities_.try_emplace(tid, 0);
+    if (inserted) {
+      it->second = static_cast<int>(rng_.next_below(1'000'000)) + 1;
+    }
+    // Priority-change point: demote the acting thread to lowest.
+    if (std::binary_search(change_points_.begin(), change_points_.end(),
+                           event_index)) {
+      it->second = 0;
+    }
+    const int mine = it->second;
+    for (const auto& [other_tid, priority] : priorities_) {
+      if (other_tid != tid && priority > mine) ++behind;
+    }
+  }
+  if (behind > 0) {
+    std::this_thread::sleep_for(
+        rt::TimeScale::apply(options_.delay_unit * behind));
+  }
+}
+
+void PctLiteScheduler::on_access(const instr::AccessEvent& event) {
+  perturb(event.tid);
+}
+
+void PctLiteScheduler::on_sync(const instr::SyncEvent& event) {
+  if (event.kind == instr::SyncEvent::Kind::kLockRequest) perturb(event.tid);
+}
+
+}  // namespace cbp::fuzz

@@ -1,0 +1,55 @@
+// PCT-lite: a priority-based schedule perturber inspired by the PCT
+// randomized scheduler (Burckhardt et al., ASPLOS'10; paper §7).
+//
+// True PCT requires full scheduler control; this approximation assigns
+// each thread a random priority on first sight and, at every
+// instrumentation point, delays the thread proportionally to how many
+// known threads outrank it.  `depth - 1` random priority-change points
+// (global event indices) demote the acting thread to the lowest
+// priority, emulating PCT's d-depth schedule sampling.  Used purely as a
+// baseline in the benches.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "instrument/hub.h"
+#include "runtime/rng.h"
+#include "runtime/thread_registry.h"
+
+namespace cbp::fuzz {
+
+struct PctOptions {
+  int depth = 3;                       ///< PCT's d parameter
+  std::uint64_t expected_events = 10'000;  ///< PCT's k parameter
+  std::chrono::microseconds delay_unit{200};
+  std::uint64_t seed = 54321;
+};
+
+class PctLiteScheduler : public instr::Listener {
+ public:
+  explicit PctLiteScheduler(PctOptions options = {});
+
+  void on_access(const instr::AccessEvent& event) override;
+  void on_sync(const instr::SyncEvent& event) override;
+
+  [[nodiscard]] std::uint64_t events_seen() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void perturb(rt::ThreadId tid);
+
+  PctOptions options_;
+  std::mutex mu_;
+  rt::Rng rng_;                                       // guarded by mu_
+  std::unordered_map<rt::ThreadId, int> priorities_;  // guarded by mu_
+  std::vector<std::uint64_t> change_points_;          // guarded by mu_
+  std::atomic<std::uint64_t> events_{0};
+};
+
+}  // namespace cbp::fuzz

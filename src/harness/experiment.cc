@@ -1,0 +1,115 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "core/cbp.h"
+#include "runtime/clock.h"
+
+namespace cbp::harness {
+
+RepeatedResult run_repeated(const Runner& runner, apps::RunOptions options,
+                            int runs) {
+  RepeatedResult result;
+  result.runs = runs;
+  double total_runtime = 0.0;
+  auto& engine = Engine::instance();
+  for (int i = 0; i < runs; ++i) {
+    engine.reset();  // each run models a fresh process
+    options.seed = static_cast<std::uint64_t>(i + 1);
+    const apps::RunOutcome outcome = runner(options);
+    if (outcome.buggy()) ++result.buggy_runs;
+    if (engine.total_stats().hits > 0) ++result.hit_runs;
+    total_runtime += outcome.runtime_seconds;
+  }
+  engine.reset();
+  result.mean_runtime_s = runs == 0 ? 0.0 : total_runtime / runs;
+  return result;
+}
+
+OverheadResult measure_overhead(const Runner& runner,
+                                apps::RunOptions options, int runs) {
+  OverheadResult result;
+  apps::RunOptions normal = options;
+  normal.breakpoints = false;
+  result.normal_s = run_repeated(runner, normal, runs).mean_runtime_s;
+  apps::RunOptions with_ctr = options;
+  with_ctr.breakpoints = true;
+  result.with_ctr_s = run_repeated(runner, with_ctr, runs).mean_runtime_s;
+  return result;
+}
+
+MtteResult measure_mtte(const Runner& runner, apps::RunOptions options,
+                        int errors_wanted, int max_iterations) {
+  MtteResult result;
+  auto& engine = Engine::instance();
+  rt::Stopwatch clock;
+  for (int i = 0; i < max_iterations && result.errors < errors_wanted; ++i) {
+    engine.reset();
+    options.seed = static_cast<std::uint64_t>(i + 1);
+    const apps::RunOutcome outcome = runner(options);
+    ++result.iterations;
+    if (outcome.buggy()) ++result.errors;
+  }
+  engine.reset();
+  result.mtte_s =
+      result.errors == 0 ? 0.0 : clock.elapsed_seconds() / result.errors;
+  return result;
+}
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    os << "  ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size()) {
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+    if (r == 0) {
+      std::size_t total = 2;
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+      }
+      os << "  " << std::string(total, '-') << '\n';
+    }
+  }
+}
+
+std::string fmt_prob(double p) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", p);
+  return buffer;
+}
+
+std::string fmt_seconds(double s) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", s);
+  return buffer;
+}
+
+std::string fmt_percent(double p) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f", p);
+  return buffer;
+}
+
+}  // namespace cbp::harness

@@ -1,0 +1,81 @@
+// Experiment driver: repeated runs, empirical bug probability, runtime
+// overhead, and mean-time-to-error — the measurements behind the
+// paper's Tables 1 and 2 — plus a plain-text table renderer.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "apps/replica.h"
+
+namespace cbp::harness {
+
+using Runner = std::function<apps::RunOutcome(const apps::RunOptions&)>;
+
+/// Aggregate of N independent runs of one experiment configuration.
+struct RepeatedResult {
+  int runs = 0;
+  int buggy_runs = 0;      ///< runs whose artifact matched (or any bug)
+  int hit_runs = 0;        ///< runs with >= 1 breakpoint hit
+  double mean_runtime_s = 0.0;
+
+  [[nodiscard]] double bug_probability() const {
+    return runs == 0 ? 0.0 : static_cast<double>(buggy_runs) / runs;
+  }
+  [[nodiscard]] double hit_probability() const {
+    return runs == 0 ? 0.0 : static_cast<double>(hit_runs) / runs;
+  }
+};
+
+/// Runs `runner` `runs` times; each run gets a fresh engine (paper runs
+/// are fresh processes) and seed base+i.  Counts a run as buggy when its
+/// artifact is not kNone.
+RepeatedResult run_repeated(const Runner& runner, apps::RunOptions options,
+                            int runs);
+
+/// Normal runtime vs with-breakpoints runtime (the paper's columns 3-5).
+struct OverheadResult {
+  double normal_s = 0.0;
+  double with_ctr_s = 0.0;
+  [[nodiscard]] double overhead_percent() const {
+    return normal_s <= 0.0 ? 0.0
+                           : 100.0 * (with_ctr_s - normal_s) / normal_s;
+  }
+};
+
+OverheadResult measure_overhead(const Runner& runner,
+                                apps::RunOptions options, int runs);
+
+/// Mean time to error for the continuously-running server replicas
+/// (Table 2): re-executes the workload until `errors` bugs have been
+/// observed and averages the elapsed time per error.
+struct MtteResult {
+  double mtte_s = 0.0;
+  int errors = 0;
+  int iterations = 0;
+};
+
+MtteResult measure_mtte(const Runner& runner, apps::RunOptions options,
+                        int errors_wanted, int max_iterations = 1000);
+
+/// Minimal fixed-width text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a probability like the paper ("1.00", "0.87").
+std::string fmt_prob(double p);
+/// Formats seconds with ms resolution.
+std::string fmt_seconds(double s);
+/// Formats a percentage ("5.5", "-6.8").
+std::string fmt_percent(double p);
+
+}  // namespace cbp::harness

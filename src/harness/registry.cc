@@ -1,0 +1,179 @@
+#include "harness/registry.h"
+
+#include "apps/cache/cache.h"
+#include "apps/collections/sync_collections.h"
+#include "apps/compress/pbzip2.h"
+#include "apps/crawler/crawler.h"
+#include "apps/httpdlike/httpd.h"
+#include "apps/kernels/kernels.h"
+#include "apps/logging/async_appender.h"
+#include "apps/logging/loggers.h"
+#include "apps/minidb/minidb.h"
+#include "apps/pool/object_pool.h"
+#include "apps/strbuf/string_buffer.h"
+#include "apps/swinglike/swing.h"
+#include "apps/textindex/lucene.h"
+#include "apps/webserver/jigsaw.h"
+
+namespace cbp::harness {
+
+using namespace std::chrono_literals;
+using apps::RunOptions;
+using apps::RunOutcome;
+
+std::vector<Table1Case> table1_cases() {
+  std::vector<Table1Case> cases;
+  auto add = [&](std::string benchmark, std::string loc, std::string bug,
+                 std::string error, double prob, std::string comment,
+                 std::chrono::milliseconds pause, Runner runner,
+                 double work_scale = 1.0) {
+    cases.push_back(Table1Case{std::move(benchmark), std::move(loc),
+                               std::move(bug), std::move(error), prob,
+                               std::move(comment), pause, work_scale,
+                               std::move(runner)});
+  };
+
+  // --- cache4j -------------------------------------------------------------
+  add("cache4j", "3897", "race1", "", 1.00, "", 100ms,
+      apps::cache::run_race1, /*work_scale=*/8);
+  add("cache4j", "3897", "race2", "", 0.99, "", 100ms,
+      apps::cache::run_race2, /*work_scale=*/8);
+  add("cache4j", "3897", "race3", "", 1.00, "", 100ms,
+      apps::cache::run_race3, /*work_scale=*/8);
+  add("cache4j", "3897", "atomicity1", "", 1.00, "ignoreFirst=7200", 100ms,
+      [](const RunOptions& options) {
+        return apps::cache::run_atomicity1(options,
+                                           apps::cache::kWarmupConstructions);
+      });
+
+  // --- hedc ----------------------------------------------------------------
+  add("hedc", "29,947", "race1", "", 0.87, "wait=100ms", 100ms,
+      apps::crawler::run_race1);
+  add("hedc", "29,947", "race1", "", 1.00, "wait=1000ms", 1000ms,
+      apps::crawler::run_race1);
+  add("hedc", "29,947", "race2", "", 0.96, "wait=1000ms", 1000ms,
+      apps::crawler::run_race2);
+
+  // --- jigsaw ----------------------------------------------------------
+  add("jigsaw", "160K", "deadlock1", "stall", 1.00, "", 100ms,
+      apps::webserver::run_deadlock1);
+  add("jigsaw", "160K", "deadlock2", "stall", 1.00, "", 100ms,
+      apps::webserver::run_deadlock2);
+  add("jigsaw", "160K", "missed-notify1", "stall", 1.00, "Meth. II", 100ms,
+      apps::webserver::run_missed_notify1);
+  add("jigsaw", "160K", "race1", "stall", 1.00, "", 100ms,
+      apps::webserver::run_race1);
+  add("jigsaw", "160K", "race2", "", 1.00, "", 100ms,
+      apps::webserver::run_race2, /*work_scale=*/8);
+
+  // --- log4j -----------------------------------------------------------
+  add("log4j 1.2.13", "32,095", "race2", "", 1.00, "", 100ms,
+      apps::logging::run_log4j_race2, /*work_scale=*/8);
+  add("log4j 1.2.13", "32,095", "deadlock1", "stall", 1.00, "", 100ms,
+      apps::logging::run_log4j_deadlock1);
+  add("log4j 1.2.13", "32,095", "missed-notify1", "stall", 1.00, "Meth. II",
+      100ms, apps::logging::run_missed_notify1);
+
+  // --- java.util.logging -------------------------------------------------
+  add("logging", "4250", "deadlock1", "stall", 1.00, "", 100ms,
+      apps::logging::run_jul_deadlock1);
+
+  // --- lucene --------------------------------------------------------------
+  add("lucene", "171K", "deadlock1", "stall", 1.00, "", 100ms,
+      apps::textindex::run_deadlock1);
+
+  // --- moldyn --------------------------------------------------------------
+  add("moldyn", "1290", "race1", "", 1.00, "bound=4", 100ms,
+      [](const RunOptions& options) {
+        return apps::kernels::run_moldyn_race1(
+            options, apps::kernels::kMoldynRace1Bound);
+      },
+      /*work_scale=*/8);
+  add("moldyn", "1290", "race2", "", 1.00, "bound=10", 100ms,
+      [](const RunOptions& options) {
+        return apps::kernels::run_moldyn_race2(
+            options, apps::kernels::kMoldynRace2Bound);
+      },
+      /*work_scale=*/8);
+
+  // --- montecarlo ---------------------------------------------------------
+  add("montecarlo", "3560", "race1", "", 1.00, "bound=10", 100ms,
+      [](const RunOptions& options) {
+        return apps::kernels::run_montecarlo_race1(
+            options, apps::kernels::kMontecarloBound);
+      },
+      /*work_scale=*/8);
+
+  // --- pool ----------------------------------------------------------------
+  add("pool", "11,025", "missed-notify1", "stall", 1.00, "Meth. II", 100ms,
+      apps::pool::run_missed_notify1);
+
+  // --- raytracer -----------------------------------------------------------
+  add("raytracer", "1860", "race1", "test fail", 1.00, "", 100ms,
+      apps::kernels::run_raytracer_race1, /*work_scale=*/8);
+  add("raytracer", "1860", "race2", "test fail", 1.00, "", 100ms,
+      apps::kernels::run_raytracer_race2, /*work_scale=*/8);
+  add("raytracer", "1860", "race3", "", 1.00, "", 100ms,
+      apps::kernels::run_raytracer_race3, /*work_scale=*/8);
+  add("raytracer", "1860", "race4", "", 1.00, "", 100ms,
+      apps::kernels::run_raytracer_race4, /*work_scale=*/8);
+
+  // --- stringbuffer --------------------------------------------------------
+  add("stringbuffer", "1320", "atomicity1", "exception", 1.00, "", 100ms,
+      apps::strbuf::run_atomicity1);
+
+  // --- swing ---------------------------------------------------------------
+  add("swing", "422K", "deadlock1", "stall", 0.63, "wait=100ms", 100ms,
+      [](const RunOptions& options) {
+        apps::swinglike::SwingOptions swing;
+        swing.base = options;
+        swing.refined = true;
+        return apps::swinglike::run_deadlock1(swing);
+      });
+  add("swing", "422K", "deadlock1", "stall", 0.99, "wait=1000ms", 1000ms,
+      [](const RunOptions& options) {
+        apps::swinglike::SwingOptions swing;
+        swing.base = options;
+        swing.refined = true;
+        return apps::swinglike::run_deadlock1(swing);
+      });
+
+  // --- synchronized collections -------------------------------------------
+  add("synchronizedList", "7913", "atomicity1", "exception", 1.00, "", 100ms,
+      apps::collections::run_list_atomicity1);
+  add("synchronizedList", "7913", "deadlock1", "stall", 1.00, "", 100ms,
+      apps::collections::run_list_deadlock1);
+  add("synchronizedMap", "8626", "atomicity1", "", 1.00, "", 100ms,
+      apps::collections::run_map_atomicity1);
+  add("synchronizedMap", "8626", "deadlock1", "stall", 1.00, "", 100ms,
+      apps::collections::run_map_deadlock1);
+  add("synchronizedSet", "8626", "atomicity1", "exception", 1.00, "", 100ms,
+      apps::collections::run_set_atomicity1);
+  add("synchronizedSet", "8626", "deadlock1", "stall", 1.00, "", 100ms,
+      apps::collections::run_set_deadlock1);
+
+  return cases;
+}
+
+std::vector<Table2Case> table2_cases() {
+  std::vector<Table2Case> cases;
+  cases.push_back(Table2Case{"pbzip2 0.9.4", "2.0K", "program crash", 1.2, 2,
+                             "null pointer dereference",
+                             apps::compress::run_crash});
+  cases.push_back(Table2Case{"Apache httpd 2.0.45", "270K", "log corruption",
+                             0.14, 1, "(Bug #25520)",
+                             apps::httpdlike::run_log_corruption});
+  cases.push_back(Table2Case{"Apache httpd 2.0.45", "270K", "server crash",
+                             0.33, 3, "buffer overflow",
+                             apps::httpdlike::run_buffer_overflow});
+  cases.push_back(Table2Case{"MySQL 4.0.12", "526K", "log omission", 0.12, 2,
+                             "(Bug #791)", apps::minidb::run_log_omission});
+  cases.push_back(Table2Case{"MySQL 3.23.56", "468K", "log disorder", 0.065,
+                             1, "(Bug #169)", apps::minidb::run_log_disorder});
+  cases.push_back(Table2Case{"MySQL 4.0.19", "539K", "server crash", 2.67, 3,
+                             "null pointer dereference (Bug #3596)",
+                             apps::minidb::run_crash});
+  return cases;
+}
+
+}  // namespace cbp::harness

@@ -1,0 +1,42 @@
+// Registry of the paper's evaluation rows: every Table 1 (Java) and
+// Table 2 (C/C++) entry mapped onto the corresponding replica runner,
+// with the paper's reported values carried along so benches can print
+// paper-vs-measured side by side.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace cbp::harness {
+
+/// One row of Table 1.
+struct Table1Case {
+  std::string benchmark;   ///< e.g. "cache4j"
+  std::string paper_loc;   ///< the original program's LoC ("3897", "160K")
+  std::string bug;         ///< "race1", "deadlock1", ...
+  std::string error;       ///< "", "stall", "exception", "test fail"
+  double paper_prob = 1.0; ///< the paper's "Prob." column
+  std::string comment;     ///< "wait=100ms", "bound=4", "Meth. II", ...
+  std::chrono::milliseconds pause{100};  ///< nominal T for this row
+  double work_scale = 1.0;  ///< workload multiplier (longer base runtime)
+  Runner runner;
+};
+
+/// One row of Table 2.
+struct Table2Case {
+  std::string benchmark;    ///< e.g. "MySQL 4.0.12"
+  std::string paper_loc;
+  std::string error;        ///< "program crash", "log omission", ...
+  double paper_mtte_s = 0;  ///< the paper's MTTE column (seconds)
+  int breakpoints = 1;      ///< the paper's #CBR column
+  std::string comment;
+  Runner runner;
+};
+
+std::vector<Table1Case> table1_cases();
+std::vector<Table2Case> table2_cases();
+
+}  // namespace cbp::harness

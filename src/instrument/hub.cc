@@ -1,0 +1,48 @@
+#include "instrument/hub.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace cbp::instr {
+
+Hub& Hub::instance() {
+  static Hub hub;
+  return hub;
+}
+
+void Hub::add_listener(Listener* listener) {
+  std::unique_lock lock(mu_);
+  listeners_.push_back(listener);
+  active_.store(true, std::memory_order_release);
+}
+
+void Hub::remove_listener(Listener* listener) {
+  std::unique_lock lock(mu_);
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+  active_.store(!listeners_.empty(), std::memory_order_release);
+}
+
+void Hub::access(const void* addr, bool is_write, SourceLoc loc) {
+  if (!has_listeners()) return;
+  AccessEvent event;
+  event.addr = addr;
+  event.is_write = is_write;
+  event.loc = loc;
+  event.tid = rt::this_thread_id();
+  std::shared_lock lock(mu_);
+  for (Listener* listener : listeners_) listener->on_access(event);
+}
+
+void Hub::sync(SyncEvent::Kind kind, const void* obj, SourceLoc loc) {
+  if (!has_listeners()) return;
+  SyncEvent event;
+  event.kind = kind;
+  event.obj = obj;
+  event.loc = loc;
+  event.tid = rt::this_thread_id();
+  std::shared_lock lock(mu_);
+  for (Listener* listener : listeners_) listener->on_sync(event);
+}
+
+}  // namespace cbp::instr

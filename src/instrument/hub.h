@@ -1,0 +1,105 @@
+// Instrumentation hub: the event bus between instrumented code
+// (SharedVar, TrackedMutex, TrackedCondVar) and analysis listeners
+// (detectors in src/detect, schedule fuzzers in src/fuzz).
+//
+// Listener callbacks run synchronously in the acting thread *at the
+// instrumentation point*, which is what lets fuzz listeners inject noise
+// or pauses there (ConTest/CalFuzzer style) in addition to passive
+// detectors recording the event.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <vector>
+
+#include "instrument/source_loc.h"
+#include "runtime/thread_registry.h"
+
+namespace cbp::instr {
+
+/// A shared-memory access about to be performed by the calling thread.
+struct AccessEvent {
+  const void* addr = nullptr;
+  bool is_write = false;
+  SourceLoc loc;
+  rt::ThreadId tid = 0;
+};
+
+/// A synchronization operation performed by the calling thread.
+struct SyncEvent {
+  enum class Kind : std::uint8_t {
+    kLockRequest,   ///< about to block on a lock (the contention site)
+    kLockAcquired,  ///< lock acquired
+    kLockReleased,  ///< lock released
+    kWaitEnter,     ///< entering cv wait (lock released inside)
+    kWaitExit,      ///< returned from cv wait (lock reacquired)
+    kNotify,        ///< notify_one/notify_all issued
+    kThreadStart,   ///< thread began participating
+    kThreadEnd,     ///< thread finished participating
+  };
+  Kind kind = Kind::kLockRequest;
+  const void* obj = nullptr;  ///< the lock / condvar identity
+  SourceLoc loc;
+  rt::ThreadId tid = 0;
+};
+
+/// Analysis callback interface.  on_access fires *before* the access,
+/// kLockRequest fires *before* blocking — both may sleep to perturb the
+/// schedule; the remaining hooks are post-facto notifications.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  virtual void on_access(const AccessEvent& event) { (void)event; }
+  virtual void on_sync(const SyncEvent& event) { (void)event; }
+};
+
+/// Process-wide hub.  Registration is rare; dispatch is the hot path and
+/// short-circuits when no listener is attached.
+///
+/// Contract: add/remove listeners at workload boundaries (before workers
+/// start or after they quiesce).  Dispatch holds the hub lock shared, so
+/// registration under a saturated dispatch load may wait arbitrarily
+/// long on reader-preferring rwlock implementations.
+class Hub {
+ public:
+  static Hub& instance();
+
+  void add_listener(Listener* listener);
+  void remove_listener(Listener* listener);
+  [[nodiscard]] bool has_listeners() const {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Emits an access event (call just before performing the access).
+  void access(const void* addr, bool is_write, SourceLoc loc);
+
+  /// Emits a sync event.
+  void sync(SyncEvent::Kind kind, const void* obj, SourceLoc loc);
+
+ private:
+  Hub() = default;
+
+  // Dispatch holds mu_ shared (listeners may sleep to inject noise without
+  // serializing other threads); add/remove hold it exclusive, so a
+  // listener can never dangle while a dispatch is in flight.
+  mutable std::shared_mutex mu_;
+  std::vector<Listener*> listeners_;  // guarded by mu_
+  std::atomic<bool> active_{false};
+};
+
+/// RAII listener registration.
+class ScopedListener {
+ public:
+  explicit ScopedListener(Listener& listener) : listener_(&listener) {
+    Hub::instance().add_listener(listener_);
+  }
+  ~ScopedListener() { Hub::instance().remove_listener(listener_); }
+  ScopedListener(const ScopedListener&) = delete;
+  ScopedListener& operator=(const ScopedListener&) = delete;
+
+ private:
+  Listener* listener_;
+};
+
+}  // namespace cbp::instr

@@ -1,0 +1,67 @@
+// Instrumented shared variable.
+//
+// SharedVar<T> reports every read/write to the Hub with its source
+// location — the raw material for the Eraser/FastTrack detectors and for
+// the CalFuzzer-style active tester.  Storage is a relaxed std::atomic so
+// a "data race" in a replica is real at the logical level (stale reads,
+// lost updates are observable) without being C++ undefined behaviour.
+#pragma once
+
+#include <atomic>
+
+#include "instrument/hub.h"
+#include "instrument/source_loc.h"
+
+namespace cbp::instr {
+
+template <class T>
+class SharedVar {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SharedVar requires a trivially copyable type");
+
+ public:
+  SharedVar() : value_{} {}
+  explicit SharedVar(T initial) : value_(initial) {}
+
+  SharedVar(const SharedVar&) = delete;
+  SharedVar& operator=(const SharedVar&) = delete;
+
+  /// Instrumented read (reports before accessing).
+  T read(SourceLoc loc = SourceLoc::current()) const {
+    Hub::instance().access(&value_, /*is_write=*/false, loc);
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// Instrumented write (reports before accessing).
+  void write(T value, SourceLoc loc = SourceLoc::current()) {
+    Hub::instance().access(&value_, /*is_write=*/true, loc);
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  /// Instrumented read-modify-write expressed as two racy halves: the
+  /// load and the store are separate accesses, so an interleaved peer
+  /// update is lost — exactly the bug shape of the JGF kernels.
+  template <class Fn>
+  T racy_update(Fn&& fn, SourceLoc loc = SourceLoc::current()) {
+    Hub::instance().access(&value_, /*is_write=*/false, loc);
+    T old = value_.load(std::memory_order_relaxed);
+    T updated = fn(old);
+    Hub::instance().access(&value_, /*is_write=*/true, loc);
+    value_.store(updated, std::memory_order_relaxed);
+    return updated;
+  }
+
+  /// Uninstrumented peek for assertions in tests/harnesses.
+  T peek() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Uninstrumented write for initialization in tests/harnesses.
+  void poke(T value) { value_.store(value, std::memory_order_relaxed); }
+
+  /// Identity used in detector reports.
+  const void* address() const { return &value_; }
+
+ private:
+  mutable std::atomic<T> value_;
+};
+
+}  // namespace cbp::instr

@@ -1,0 +1,57 @@
+// Lightweight source location value type.
+//
+// Detector reports are keyed by program locations (the paper's l1/l2);
+// std::source_location::current() captures them at instrumentation sites
+// with zero annotation burden.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <source_location>
+#include <string>
+#include <string_view>
+
+namespace cbp::instr {
+
+struct SourceLoc {
+  std::string_view file;
+  std::uint32_t line = 0;
+
+  SourceLoc() = default;
+  constexpr SourceLoc(std::string_view file_in, std::uint32_t line_in)
+      : file(file_in), line(line_in) {}
+
+  static SourceLoc current(
+      std::source_location loc = std::source_location::current()) {
+    return SourceLoc{loc.file_name(), loc.line()};
+  }
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+
+  /// Short form: basename:line (matches the paper's report style).
+  [[nodiscard]] std::string str() const {
+    const auto slash = file.rfind('/');
+    const std::string_view base =
+        slash == std::string_view::npos ? file : file.substr(slash + 1);
+    return std::string(base) + ":line " + std::to_string(line);
+  }
+
+  friend bool operator==(const SourceLoc& a, const SourceLoc& b) {
+    return a.line == b.line && a.file == b.file;
+  }
+  friend bool operator!=(const SourceLoc& a, const SourceLoc& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const SourceLoc& a, const SourceLoc& b) {
+    if (a.file != b.file) return a.file < b.file;
+    return a.line < b.line;
+  }
+};
+
+struct SourceLocHash {
+  std::size_t operator()(const SourceLoc& loc) const {
+    return std::hash<std::string_view>{}(loc.file) * 1000003u ^ loc.line;
+  }
+};
+
+}  // namespace cbp::instr

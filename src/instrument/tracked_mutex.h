@@ -1,0 +1,201 @@
+// Instrumented synchronization primitives.
+//
+// TrackedMutex behaves exactly like std::mutex but (1) reports request /
+// acquire / release events to the Hub with the acquisition's source
+// location, and (2) maintains the per-thread held-lock stack used by the
+// lock-order-graph detector and by the paper's isLockTypeHeld refinement.
+// TrackedCondVar does the same for wait/notify, which the lock-contention
+// detector and missed-notification analyses consume.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "instrument/hub.h"
+#include "instrument/source_loc.h"
+#include "runtime/clock.h"
+#include "runtime/lock_tracker.h"
+#include "runtime/sim_crash.h"
+
+namespace cbp::instr {
+
+class TrackedMutex {
+ public:
+  explicit TrackedMutex(std::string tag = "mutex") : tag_(std::move(tag)) {}
+
+  TrackedMutex(const TrackedMutex&) = delete;
+  TrackedMutex& operator=(const TrackedMutex&) = delete;
+
+  void lock(SourceLoc loc = SourceLoc::current()) {
+    Hub::instance().sync(SyncEvent::Kind::kLockRequest, this, loc);
+    mu_.lock();
+    rt::note_lock_acquired(this, tag_);
+    Hub::instance().sync(SyncEvent::Kind::kLockAcquired, this, loc);
+  }
+
+  /// Acquires like lock(), but throws rt::StallError once the (nominal,
+  /// TimeScale-adjusted) stall threshold elapses — the point at which a
+  /// replica declares "deadlock conditions met".
+  void lock_or_stall(std::chrono::milliseconds stall_after,
+                     SourceLoc loc = SourceLoc::current()) {
+    Hub::instance().sync(SyncEvent::Kind::kLockRequest, this, loc);
+    if (!mu_.try_lock_for(rt::TimeScale::apply(stall_after))) {
+      throw rt::StallError("lock wait exceeded stall threshold at " +
+                           loc.str());
+    }
+    rt::note_lock_acquired(this, tag_);
+    Hub::instance().sync(SyncEvent::Kind::kLockAcquired, this, loc);
+  }
+
+  bool try_lock(SourceLoc loc = SourceLoc::current()) {
+    if (!mu_.try_lock()) return false;
+    rt::note_lock_acquired(this, tag_);
+    Hub::instance().sync(SyncEvent::Kind::kLockAcquired, this, loc);
+    return true;
+  }
+
+  void unlock(SourceLoc loc = SourceLoc::current()) {
+    Hub::instance().sync(SyncEvent::Kind::kLockReleased, this, loc);
+    rt::note_lock_released(this);
+    mu_.unlock();
+  }
+
+  [[nodiscard]] std::string_view tag() const { return tag_; }
+
+ private:
+  friend class TrackedCondVar;
+  std::timed_mutex mu_;
+  std::string tag_;
+};
+
+/// RAII lock for TrackedMutex that captures the acquisition site.
+/// (std::scoped_lock works too, but loses the caller's source location.)
+class TrackedLock {
+ public:
+  explicit TrackedLock(TrackedMutex& mu, SourceLoc loc = SourceLoc::current())
+      : mu_(&mu) {
+    mu_->lock(loc);
+  }
+  ~TrackedLock() {
+    if (mu_ != nullptr) mu_->unlock();
+  }
+  TrackedLock(const TrackedLock&) = delete;
+  TrackedLock& operator=(const TrackedLock&) = delete;
+
+  /// Early release (idempotent).
+  void unlock() {
+    if (mu_ != nullptr) {
+      mu_->unlock();
+      mu_ = nullptr;
+    }
+  }
+
+ private:
+  TrackedMutex* mu_;
+};
+
+/// Condition variable over TrackedMutex that reports wait/notify events.
+/// Waits release/reacquire the tracked lock state so the held-lock stack
+/// stays correct across the wait.
+class TrackedCondVar {
+ public:
+  TrackedCondVar() = default;
+  TrackedCondVar(const TrackedCondVar&) = delete;
+  TrackedCondVar& operator=(const TrackedCondVar&) = delete;
+
+  template <class Predicate>
+  void wait(TrackedMutex& mu, Predicate pred,
+            SourceLoc loc = SourceLoc::current()) {
+    Hub::instance().sync(SyncEvent::Kind::kWaitEnter, this, loc);
+    // The wait releases and reacquires the mutex; report both so
+    // happens-before detectors track the lock correctly across the wait.
+    Hub::instance().sync(SyncEvent::Kind::kLockReleased, &mu, loc);
+    rt::note_lock_released(&mu);
+    {
+      std::unique_lock<std::timed_mutex> lock(mu.mu_, std::adopt_lock);
+      cv_.wait(lock, std::move(pred));
+      lock.release();  // ownership returns to the TrackedMutex holder
+    }
+    rt::note_lock_acquired(&mu, mu.tag());
+    Hub::instance().sync(SyncEvent::Kind::kLockAcquired, &mu, loc);
+    Hub::instance().sync(SyncEvent::Kind::kWaitExit, this, loc);
+  }
+
+  /// Timed wait; returns the final predicate value.
+  template <class Rep, class Period, class Predicate>
+  bool wait_for(TrackedMutex& mu, std::chrono::duration<Rep, Period> timeout,
+                Predicate pred, SourceLoc loc = SourceLoc::current()) {
+    Hub::instance().sync(SyncEvent::Kind::kWaitEnter, this, loc);
+    Hub::instance().sync(SyncEvent::Kind::kLockReleased, &mu, loc);
+    rt::note_lock_released(&mu);
+    bool result;
+    {
+      std::unique_lock<std::timed_mutex> lock(mu.mu_, std::adopt_lock);
+      result = cv_.wait_for(lock, timeout, std::move(pred));
+      lock.release();
+    }
+    rt::note_lock_acquired(&mu, mu.tag());
+    Hub::instance().sync(SyncEvent::Kind::kLockAcquired, &mu, loc);
+    Hub::instance().sync(SyncEvent::Kind::kWaitExit, this, loc);
+    return result;
+  }
+
+  /// Waits like wait(), but declares a stall ("missed notification
+  /// conditions met") by throwing rt::StallError when the (nominal,
+  /// TimeScale-adjusted) threshold elapses with the predicate still
+  /// false.  This is how replicas detect missed-notify bugs the way the
+  /// paper does — "stalls due to missed notifications are detected by
+  /// large timeouts".
+  template <class Predicate>
+  void wait_or_stall(TrackedMutex& mu, std::chrono::milliseconds stall_after,
+                     Predicate pred, SourceLoc loc = SourceLoc::current()) {
+    if (!wait_for(mu, rt::TimeScale::apply(stall_after), std::move(pred),
+                  loc)) {
+      throw rt::StallError("condition wait exceeded stall threshold at " +
+                           loc.str());
+    }
+  }
+
+  /// Java-style `wait()`: blocks until a notify_one/notify_all arrives
+  /// AFTER entry — no program-state predicate is consulted, so a missed
+  /// notification leaves the thread blocked even if the logical
+  /// condition has since become true (exactly the bug class of log4j's
+  /// AsyncAppender).  Throws rt::StallError after the (nominal,
+  /// TimeScale-adjusted) threshold.
+  void wait_notified_or_stall(TrackedMutex& mu,
+                              std::chrono::milliseconds stall_after,
+                              SourceLoc loc = SourceLoc::current()) {
+    const std::uint64_t seen = epoch_.load(std::memory_order_acquire);
+    const bool notified =
+        wait_for(mu, rt::TimeScale::apply(stall_after),
+                 [&] {
+                   return epoch_.load(std::memory_order_acquire) != seen;
+                 },
+                 loc);
+    if (!notified) {
+      throw rt::StallError("wait() never notified; stall threshold at " +
+                           loc.str());
+    }
+  }
+
+  void notify_one(SourceLoc loc = SourceLoc::current()) {
+    Hub::instance().sync(SyncEvent::Kind::kNotify, this, loc);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    cv_.notify_one();
+  }
+
+  void notify_all(SourceLoc loc = SourceLoc::current()) {
+    Hub::instance().sync(SyncEvent::Kind::kNotify, this, loc);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    cv_.notify_all();
+  }
+
+ private:
+  std::condition_variable_any cv_;
+  std::atomic<std::uint64_t> epoch_{0};  ///< notification edge counter
+};
+
+}  // namespace cbp::instr

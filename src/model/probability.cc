@@ -1,0 +1,77 @@
+#include "model/probability.h"
+
+#include <cmath>
+
+namespace cbp::model {
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -1e300;  // C(n,k) = 0
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double p_hit_unaided(std::uint64_t n_steps, std::uint64_t m_visits) {
+  if (m_visits == 0) return 0.0;
+  if (2 * m_visits > n_steps) return 1.0;
+  const double log_ratio = log_binomial(n_steps - m_visits, m_visits) -
+                           log_binomial(n_steps, m_visits);
+  return 1.0 - std::exp(log_ratio);
+}
+
+double p_hit_unaided_bound(std::uint64_t n_steps, std::uint64_t m_visits) {
+  if (m_visits == 0) return 0.0;
+  if (m_visits >= n_steps) return 1.0;
+  const double per_visit = static_cast<double>(m_visits) /
+                           static_cast<double>(n_steps - m_visits + 1);
+  if (per_visit >= 1.0) return 1.0;
+  return 1.0 - std::pow(1.0 - per_visit, static_cast<double>(m_visits));
+}
+
+double p_hit_unaided_approx(std::uint64_t n_steps, std::uint64_t m_visits) {
+  if (m_visits == 0) return 0.0;
+  if (m_visits >= n_steps) return 1.0;
+  const double m = static_cast<double>(m_visits);
+  const double p = m * m / static_cast<double>(n_steps - m_visits + 1);
+  return p > 1.0 ? 1.0 : p;
+}
+
+double p_hit_btrigger(std::uint64_t n_steps, std::uint64_t m_visits,
+                      std::uint64_t big_m_visits, std::uint64_t pause_steps) {
+  if (m_visits == 0) return 0.0;
+  const double n = static_cast<double>(n_steps);
+  const double m = static_cast<double>(m_visits);
+  const double big_m = static_cast<double>(big_m_visits);
+  const double t = static_cast<double>(pause_steps);
+  const double denom = n + big_m * t - big_m;
+  if (denom <= 0.0) return 1.0;
+  const double per_visit = m * t / denom;
+  if (per_visit >= 1.0) return 1.0;
+  return 1.0 - std::pow(1.0 - per_visit, m);
+}
+
+double p_hit_btrigger_approx(std::uint64_t n_steps, std::uint64_t m_visits,
+                             std::uint64_t big_m_visits,
+                             std::uint64_t pause_steps) {
+  const double n = static_cast<double>(n_steps);
+  const double m = static_cast<double>(m_visits);
+  const double big_m = static_cast<double>(big_m_visits);
+  const double t = static_cast<double>(pause_steps);
+  const double denom = n + big_m * t - big_m;
+  if (denom <= 0.0) return 1.0;
+  const double p = m * m * t / denom;
+  return p > 1.0 ? 1.0 : p;
+}
+
+double gain_factor(std::uint64_t n_steps, std::uint64_t m_visits,
+                   std::uint64_t big_m_visits, std::uint64_t pause_steps) {
+  const double n = static_cast<double>(n_steps);
+  const double m = static_cast<double>(m_visits);
+  const double big_m = static_cast<double>(big_m_visits);
+  const double t = static_cast<double>(pause_steps);
+  const double denom = n + big_m * t - big_m;
+  if (denom <= 0.0) return 1.0;
+  return t * (n - m + 1.0) / denom;
+}
+
+}  // namespace cbp::model

@@ -1,0 +1,52 @@
+// Closed-form probability model of §3 of the paper.
+//
+// Setting: two independent threads, each executing N steps.  A thread
+// visits states satisfying its *local* predicate M times and states
+// satisfying the *full* breakpoint m times (m <= M), uniformly at random.
+//
+//   Unaided:   P(hit) = 1 - C(N-m, m) / C(N, m)
+//              <= 1 - (1 - m/(N-m+1))^m   ~=  m^2/(N-m+1)   (m << N)
+//   BTRIGGER:  P(hit) >= 1 - (1 - mT/(N+MT-M))^m        ~=  m^2 T/(N+MT-M)
+//   Gain:      >= T(N-m+1) / (N+MT-M)
+//
+// (Each factor of C(N-m,m)/C(N,m) = prod_{i<m} (N-m-i)/(N-i) is at least
+// 1 - m/(N-m+1), giving the upper bound; the binomial theorem gives the
+// m^2 approximations, which is also how the gain factor arises as the
+// ratio of the two approximations.)
+//
+// All functions compute in log space so N can be large.
+#pragma once
+
+#include <cstdint>
+
+namespace cbp::model {
+
+/// ln C(n, k); 0 for degenerate inputs.
+double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// Exact unaided hit probability: 1 - C(N-m, m)/C(N, m).
+/// Returns 1.0 when 2m > N (the visit sets must intersect).
+double p_hit_unaided(std::uint64_t n_steps, std::uint64_t m_visits);
+
+/// Upper bound for the unaided probability: 1 - (1 - m/(N-m+1))^m.
+double p_hit_unaided_bound(std::uint64_t n_steps, std::uint64_t m_visits);
+
+/// First-order approximation of the unaided probability: m^2/(N-m+1),
+/// clamped to [0, 1].
+double p_hit_unaided_approx(std::uint64_t n_steps, std::uint64_t m_visits);
+
+/// The paper's lower bound with BTRIGGER pausing each of the M
+/// local-predicate states for T steps: 1 - (1 - mT/(N+MT-M))^m.
+double p_hit_btrigger(std::uint64_t n_steps, std::uint64_t m_visits,
+                      std::uint64_t big_m_visits, std::uint64_t pause_steps);
+
+/// First-order approximation m^2 T / (N + MT - M), clamped to [0, 1].
+double p_hit_btrigger_approx(std::uint64_t n_steps, std::uint64_t m_visits,
+                             std::uint64_t big_m_visits,
+                             std::uint64_t pause_steps);
+
+/// The paper's gain factor T(N - m + 1)/(N + MT - M).
+double gain_factor(std::uint64_t n_steps, std::uint64_t m_visits,
+                   std::uint64_t big_m_visits, std::uint64_t pause_steps);
+
+}  // namespace cbp::model

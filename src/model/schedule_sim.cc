@@ -1,0 +1,64 @@
+#include "model/schedule_sim.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cbp::model {
+namespace {
+
+/// Samples m distinct positions in [0, horizon) uniformly (partial
+/// Fisher-Yates over indices via rejection for small m).
+void sample_positions(std::uint64_t m, std::uint64_t horizon, rt::Rng& rng,
+                      std::vector<std::uint64_t>& out) {
+  out.clear();
+  while (out.size() < m) {
+    const std::uint64_t candidate = rng.next_below(horizon);
+    if (std::find(out.begin(), out.end(), candidate) == out.end()) {
+      out.push_back(candidate);
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace
+
+bool simulate_one(const SimParams& params, rt::Rng& rng) {
+  // Timeline length with each of the M local-predicate visits stretched
+  // from 1 step to T steps.
+  const std::uint64_t stretch = params.pause_steps - 1;
+  const std::uint64_t horizon =
+      params.n_steps + params.big_m_visits * stretch;
+
+  std::vector<std::uint64_t> visits_a, visits_b;
+  sample_positions(params.m_visits, horizon, rng, visits_a);
+  sample_positions(params.m_visits, horizon, rng, visits_b);
+
+  // Hit iff some visit of one thread starts while the other thread is
+  // paused at a visit: |a - b| <= T - 1.  Both lists are sorted; sweep.
+  std::size_t i = 0, j = 0;
+  const std::uint64_t window = params.pause_steps - 1;
+  while (i < visits_a.size() && j < visits_b.size()) {
+    const std::uint64_t a = visits_a[i];
+    const std::uint64_t b = visits_b[j];
+    const std::uint64_t gap = a > b ? a - b : b - a;
+    if (gap <= window) return true;
+    if (a < b) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+SimResult simulate(const SimParams& params) {
+  rt::Rng rng(params.seed);
+  SimResult result;
+  result.trials = params.trials;
+  for (std::uint64_t t = 0; t < params.trials; ++t) {
+    if (simulate_one(params, rng)) ++result.hits;
+  }
+  return result;
+}
+
+}  // namespace cbp::model

@@ -1,0 +1,44 @@
+// Monte-Carlo schedule simulator validating the §3 probability model.
+//
+// Two independent threads each visit the breakpoint state m times at
+// uniformly random (distinct) positions on a shared timeline of length
+// N + M(T-1) (the paper's "a thread now takes N + MT time steps").
+// BTRIGGER stretches every local-predicate visit into a pause of T time
+// units; a hit occurs when one thread *arrives* at a breakpoint state
+// while the other is *paused* at one, i.e. when some pair of visit
+// starts is within T of each other.  T = 1 (no stretching) degenerates
+// to the unaided model: exact coincidence of visit slots.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/rng.h"
+
+namespace cbp::model {
+
+struct SimParams {
+  std::uint64_t n_steps = 10'000;   ///< N: per-thread real steps
+  std::uint64_t m_visits = 10;      ///< m: full-predicate visits
+  std::uint64_t big_m_visits = 10;  ///< M: local-predicate visits (>= m)
+  std::uint64_t pause_steps = 1;    ///< T: pause length (1 = unaided)
+  std::uint64_t trials = 10'000;
+  std::uint64_t seed = 2026;
+};
+
+struct SimResult {
+  std::uint64_t hits = 0;
+  std::uint64_t trials = 0;
+  [[nodiscard]] double probability() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(hits) / static_cast<double>(trials);
+  }
+};
+
+/// Estimates the hit probability by simulation.
+SimResult simulate(const SimParams& params);
+
+/// One trial (exposed for property tests): true iff the two visit sets
+/// produce a hit under pause length T.
+bool simulate_one(const SimParams& params, rt::Rng& rng);
+
+}  // namespace cbp::model

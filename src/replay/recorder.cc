@@ -1,0 +1,47 @@
+#include "replay/recorder.h"
+
+namespace cbp::replay {
+
+void Recorder::bind_this_thread(int role) {
+  std::scoped_lock lock(mu_);
+  roles_[rt::this_thread_id()] = role;
+  next_role_ = std::max(next_role_, role + 1);
+}
+
+int Recorder::role_of(rt::ThreadId tid) {
+  auto [it, inserted] = roles_.try_emplace(tid, next_role_);
+  if (inserted) ++next_role_;
+  return it->second;
+}
+
+int Recorder::object_of(const void* obj) {
+  auto [it, inserted] = objects_.try_emplace(obj, next_object_);
+  if (inserted) ++next_object_;
+  return it->second;
+}
+
+void Recorder::on_access(const instr::AccessEvent& event) {
+  std::scoped_lock lock(mu_);
+  TraceOp op;
+  op.role = role_of(event.tid);
+  op.kind = event.is_write ? TraceOp::Kind::kWrite : TraceOp::Kind::kRead;
+  op.object = object_of(event.addr);
+  trace_.ops.push_back(op);
+}
+
+void Recorder::on_sync(const instr::SyncEvent& event) {
+  if (event.kind != instr::SyncEvent::Kind::kLockAcquired) return;
+  std::scoped_lock lock(mu_);
+  TraceOp op;
+  op.role = role_of(event.tid);
+  op.kind = TraceOp::Kind::kLockAcquire;
+  op.object = object_of(event.obj);
+  trace_.ops.push_back(op);
+}
+
+Trace Recorder::trace() const {
+  std::scoped_lock lock(mu_);
+  return trace_;
+}
+
+}  // namespace cbp::replay

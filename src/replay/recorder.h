@@ -1,0 +1,45 @@
+// Trace recorder: a Hub listener that captures the global order of
+// shared accesses and lock acquisitions (the RecPlay/InstantReplay
+// family of §7, in miniature).  Together with Replayer it is the
+// heavy-weight alternative the paper contrasts breakpoints against —
+// built here so the comparison can be measured (bench_replay).
+//
+// Thread identity: call bind_this_thread(role) from each participating
+// thread before its first recorded event; unbound threads get roles in
+// first-appearance order (which must then match between record and
+// replay runs).
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "instrument/hub.h"
+#include "replay/trace.h"
+#include "runtime/thread_registry.h"
+
+namespace cbp::replay {
+
+class Recorder : public instr::Listener {
+ public:
+  /// Binds the calling thread to a stable logical role id.
+  void bind_this_thread(int role);
+
+  void on_access(const instr::AccessEvent& event) override;
+  void on_sync(const instr::SyncEvent& event) override;
+
+  /// Snapshot of everything recorded so far.
+  [[nodiscard]] Trace trace() const;
+
+ private:
+  int role_of(rt::ThreadId tid);   // requires mu_
+  int object_of(const void* obj);  // requires mu_
+
+  mutable std::mutex mu_;
+  Trace trace_;                                        // guarded by mu_
+  std::unordered_map<rt::ThreadId, int> roles_;        // guarded by mu_
+  std::unordered_map<const void*, int> objects_;       // guarded by mu_
+  int next_role_ = 0;                                  // guarded by mu_
+  int next_object_ = 0;                                // guarded by mu_
+};
+
+}  // namespace cbp::replay

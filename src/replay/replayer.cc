@@ -1,0 +1,99 @@
+#include "replay/replayer.h"
+
+#include <thread>
+
+namespace cbp::replay {
+
+Replayer::Replayer(Trace trace, std::chrono::milliseconds divergence_timeout)
+    : trace_(std::move(trace)), divergence_timeout_(divergence_timeout) {}
+
+void Replayer::bind_this_thread(int role) {
+  std::scoped_lock lock(mu_);
+  roles_[rt::this_thread_id()] = role;
+  next_role_ = std::max(next_role_, role + 1);
+}
+
+void Replayer::set_step_delay(std::chrono::microseconds delay) {
+  std::scoped_lock lock(mu_);
+  step_delay_ = delay;
+}
+
+int Replayer::role_of(rt::ThreadId tid) {
+  auto [it, inserted] = roles_.try_emplace(tid, next_role_);
+  if (inserted) ++next_role_;
+  return it->second;
+}
+
+int Replayer::object_of(const void* obj) {
+  auto [it, inserted] = objects_.try_emplace(obj, next_object_);
+  if (inserted) ++next_object_;
+  return it->second;
+}
+
+void Replayer::gate(const TraceOp& op) {
+  std::unique_lock lock(mu_);
+  if (failed_open_) return;
+  const bool my_turn = cv_.wait_for(lock, divergence_timeout_, [&] {
+    if (failed_open_) return true;
+    if (cursor_ >= trace_.ops.size()) return true;  // trace exhausted
+    return trace_.ops[cursor_] == op;
+  });
+  if (failed_open_) return;
+  if (!my_turn) {
+    // Divergence: the run no longer matches the recording.  Fail open so
+    // the program can finish; report via diverged().
+    failed_open_ = true;
+    cv_.notify_all();
+    return;
+  }
+  if (cursor_ < trace_.ops.size() && trace_.ops[cursor_] == op) {
+    if (step_delay_.count() > 0) {
+      // Space consecutive gate passages so the previous thread's access
+      // has executed before this one's gate returns.  Sleeping under mu_
+      // is intentional: it serializes gate passages, which is the point.
+      const auto earliest = last_advance_ + step_delay_;
+      const auto now = std::chrono::steady_clock::now();
+      if (now < earliest) std::this_thread::sleep_for(earliest - now);
+    }
+    ++cursor_;
+    last_advance_ = std::chrono::steady_clock::now();
+    cv_.notify_all();
+  }
+}
+
+void Replayer::on_access(const instr::AccessEvent& event) {
+  TraceOp op;
+  {
+    std::scoped_lock lock(mu_);
+    op.role = role_of(event.tid);
+    op.object = object_of(event.addr);
+  }
+  op.kind = event.is_write ? TraceOp::Kind::kWrite : TraceOp::Kind::kRead;
+  gate(op);
+}
+
+void Replayer::on_sync(const instr::SyncEvent& event) {
+  // Gate at the REQUEST so the acquisition order is what gets enforced;
+  // the recorded op carries the acquire kind.
+  if (event.kind != instr::SyncEvent::Kind::kLockRequest) return;
+  TraceOp op;
+  {
+    std::scoped_lock lock(mu_);
+    op.role = role_of(event.tid);
+    op.object = object_of(event.obj);
+  }
+  op.kind = TraceOp::Kind::kLockAcquire;
+  gate(op);
+}
+
+bool Replayer::diverged() const {
+  std::scoped_lock lock(mu_);
+  return failed_open_;
+}
+
+std::size_t Replayer::enforced() const {
+  std::scoped_lock lock(mu_);
+  return cursor_;
+}
+
+}  // namespace cbp::replay

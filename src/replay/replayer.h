@@ -1,0 +1,67 @@
+// Trace replayer: a Hub listener that re-imposes a recorded run's
+// global order of shared accesses and lock acquisitions.  Each thread is
+// held at its instrumentation points until its operation is at the front
+// of the trace — full-schedule enforcement, the cost profile the paper's
+// breakpoints avoid.
+//
+// Divergence (the next arriving ops never match the trace head within
+// `divergence_timeout`) switches the replayer to fail-open: enforcement
+// stops, the run continues natively, and `diverged()` reports it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+
+#include "instrument/hub.h"
+#include "replay/trace.h"
+#include "runtime/thread_registry.h"
+
+namespace cbp::replay {
+
+class Replayer : public instr::Listener {
+ public:
+  explicit Replayer(Trace trace,
+                    std::chrono::milliseconds divergence_timeout =
+                        std::chrono::milliseconds(500));
+
+  /// Binds the calling thread to the logical role it had when recorded.
+  void bind_this_thread(int role);
+
+  /// Minimum spacing between consecutive gate passages.  The gate fires
+  /// *before* each access executes; with zero spacing, access k can race
+  /// past access k+1's gate.  A small step delay (hundreds of µs) makes
+  /// the enforced gate order the actual execution order.
+  void set_step_delay(std::chrono::microseconds delay);
+
+  void on_access(const instr::AccessEvent& event) override;
+  void on_sync(const instr::SyncEvent& event) override;
+
+  /// True once enforcement was abandoned due to divergence.
+  [[nodiscard]] bool diverged() const;
+
+  /// Number of trace operations successfully enforced.
+  [[nodiscard]] std::size_t enforced() const;
+
+ private:
+  void gate(const TraceOp& op);
+  int role_of(rt::ThreadId tid);   // requires mu_
+  int object_of(const void* obj);  // requires mu_
+
+  Trace trace_;
+  std::chrono::milliseconds divergence_timeout_;
+  std::chrono::microseconds step_delay_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t cursor_ = 0;   // guarded by mu_
+  std::chrono::steady_clock::time_point last_advance_{};  // guarded by mu_
+  bool failed_open_ = false; // guarded by mu_
+  std::unordered_map<rt::ThreadId, int> roles_;   // guarded by mu_
+  std::unordered_map<const void*, int> objects_;  // guarded by mu_
+  int next_role_ = 0;                             // guarded by mu_
+  int next_object_ = 0;                           // guarded by mu_
+};
+
+}  // namespace cbp::replay

@@ -1,0 +1,68 @@
+// Execution traces for record/replay (the paper's §7 counterpoint).
+//
+// A trace is the sequence of scheduler-visible nondeterministic choices
+// of one run: shared-memory accesses and lock acquisitions, in global
+// order, with thread and object identities normalized to small logical
+// ids so a trace is portable across runs (and serializable).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cbp::replay {
+
+struct TraceOp {
+  enum class Kind : std::uint8_t {
+    kRead,         ///< shared-memory read
+    kWrite,        ///< shared-memory write
+    kLockAcquire,  ///< lock acquisition (gated at the request)
+  };
+  int role = 0;    ///< logical thread id (caller-bound or first-seen order)
+  Kind kind = Kind::kRead;
+  int object = 0;  ///< logical object id (first-seen order)
+
+  friend bool operator==(const TraceOp& a, const TraceOp& b) {
+    return a.role == b.role && a.kind == b.kind && a.object == b.object;
+  }
+};
+
+struct Trace {
+  std::vector<TraceOp> ops;
+
+  [[nodiscard]] bool empty() const { return ops.empty(); }
+  [[nodiscard]] std::size_t size() const { return ops.size(); }
+
+  /// One line per op: "<role> <R|W|L> <object>".
+  [[nodiscard]] std::string serialize() const {
+    std::ostringstream os;
+    for (const TraceOp& op : ops) {
+      const char kind = op.kind == TraceOp::Kind::kRead    ? 'R'
+                        : op.kind == TraceOp::Kind::kWrite ? 'W'
+                                                           : 'L';
+      os << op.role << ' ' << kind << ' ' << op.object << '\n';
+    }
+    return os.str();
+  }
+
+  static Trace deserialize(const std::string& text) {
+    Trace trace;
+    std::istringstream is(text);
+    int role = 0;
+    char kind = 0;
+    int object = 0;
+    while (is >> role >> kind >> object) {
+      TraceOp op;
+      op.role = role;
+      op.kind = kind == 'R'   ? TraceOp::Kind::kRead
+                : kind == 'W' ? TraceOp::Kind::kWrite
+                              : TraceOp::Kind::kLockAcquire;
+      op.object = object;
+      trace.ops.push_back(op);
+    }
+    return trace;
+  }
+};
+
+}  // namespace cbp::replay

@@ -1,0 +1,95 @@
+// Bounded multi-producer/multi-consumer channel with close semantics.
+//
+// Several replicas (crawler, compressor, servers) are producer/consumer
+// systems; this channel is their correctly-synchronized backbone so the
+// *seeded* bug in each replica is the only concurrency defect present.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace cbp::rt {
+
+template <class T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks until space is available; returns false if the channel closed.
+  bool send(T value) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking send; returns false when full or closed.
+  bool try_send(T value) {
+    std::scoped_lock lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives; nullopt when closed and drained.
+  std::optional<T> receive() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Timed receive; nullopt on timeout or on closed-and-drained.
+  template <class Rep, class Period>
+  std::optional<T> receive_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    if (!not_empty_.wait_for(lock, timeout,
+                             [this] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Closes the channel: senders fail, receivers drain then get nullopt.
+  void close() {
+    std::scoped_lock lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::scoped_lock lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;   // guarded by mu_
+  std::size_t capacity_;  // immutable
+  bool closed_ = false;   // guarded by mu_
+};
+
+}  // namespace cbp::rt

@@ -1,0 +1,79 @@
+// Timing utilities: monotonic stopwatch and a process-wide time scale.
+//
+// The paper quotes pause times of 100 ms .. 10 s.  To keep the full
+// evaluation runnable in minutes we run every wait through a global
+// `time_scale()` knob; benches report both the nominal (paper) value and
+// the scaled value actually used.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace cbp::rt {
+
+using Clock = std::chrono::steady_clock;
+using Duration = Clock::duration;
+using TimePoint = Clock::time_point;
+
+/// Process-wide multiplier applied to nominal pause/timeout durations.
+/// 1.0 means "use the paper's nominal values verbatim".
+class TimeScale {
+ public:
+  static void set(double scale) noexcept {
+    scale_.store(scale, std::memory_order_relaxed);
+  }
+  static double get() noexcept {
+    return scale_.load(std::memory_order_relaxed);
+  }
+
+  /// Applies the current scale to a nominal duration.
+  static Duration apply(Duration nominal) noexcept {
+    const double s = get();
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(nominal).count();
+    const auto scaled = static_cast<std::int64_t>(static_cast<double>(ns) * s);
+    return std::chrono::nanoseconds(scaled);
+  }
+
+ private:
+  static inline std::atomic<double> scale_{1.0};
+};
+
+/// RAII override of the global time scale (for tests and benches).
+class ScopedTimeScale {
+ public:
+  explicit ScopedTimeScale(double scale) : previous_(TimeScale::get()) {
+    TimeScale::set(scale);
+  }
+  ~ScopedTimeScale() { TimeScale::set(previous_); }
+  ScopedTimeScale(const ScopedTimeScale&) = delete;
+  ScopedTimeScale& operator=(const ScopedTimeScale&) = delete;
+
+ private:
+  double previous_;
+};
+
+/// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] Duration elapsed() const { return Clock::now() - start_; }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(elapsed()).count();
+  }
+
+  [[nodiscard]] std::int64_t elapsed_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(elapsed())
+        .count();
+  }
+
+ private:
+  TimePoint start_;
+};
+
+}  // namespace cbp::rt

@@ -1,0 +1,91 @@
+// Small synchronization helpers used by replicas, tests and benches:
+// a counting latch, a reusable barrier, and a one-shot starting gate that
+// maximizes thread overlap at experiment start.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace cbp::rt {
+
+/// Counting latch: count_down() n times releases all wait()ers.
+class Latch {
+ public:
+  explicit Latch(std::ptrdiff_t count) : count_(count) {}
+
+  void count_down(std::ptrdiff_t n = 1) {
+    std::scoped_lock lock(mu_);
+    count_ -= n;
+    if (count_ <= 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return count_ <= 0; });
+  }
+
+  bool try_wait() {
+    std::scoped_lock lock(mu_);
+    return count_ <= 0;
+  }
+
+  template <class Rep, class Period>
+  bool wait_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mu_);
+    return cv_.wait_for(lock, timeout, [this] { return count_ <= 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::ptrdiff_t count_;  // guarded by mu_
+};
+
+/// Reusable barrier for `parties` threads.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties) {}
+
+  /// Blocks until all parties arrive; generation counter makes it reusable.
+  void arrive_and_wait() {
+    std::unique_lock lock(mu_);
+    const std::size_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [this, gen] { return generation_ != gen; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;    // guarded by mu_
+  std::size_t generation_ = 0; // guarded by mu_
+};
+
+/// One-shot gate: workers block in wait(); open() releases them together.
+class StartGate {
+ public:
+  void wait() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+  void open() {
+    std::scoped_lock lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;  // guarded by mu_
+};
+
+}  // namespace cbp::rt

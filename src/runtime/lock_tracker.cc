@@ -1,0 +1,47 @@
+#include "runtime/lock_tracker.h"
+
+#include <algorithm>
+
+namespace cbp::rt {
+namespace {
+
+std::vector<HeldLock>& tls_stack() {
+  thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+}  // namespace
+
+void note_lock_acquired(const void* lock, std::string_view tag) {
+  tls_stack().push_back(HeldLock{lock, tag});
+}
+
+void note_lock_released(const void* lock) {
+  auto& stack = tls_stack();
+  // Innermost match: locks are normally released LIFO, but tolerate
+  // hand-over-hand patterns by searching from the top.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->lock == lock) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+bool is_lock_held(const void* lock) {
+  const auto& stack = tls_stack();
+  return std::any_of(stack.begin(), stack.end(),
+                     [lock](const HeldLock& h) { return h.lock == lock; });
+}
+
+bool is_lock_type_held(std::string_view tag) {
+  const auto& stack = tls_stack();
+  return std::any_of(stack.begin(), stack.end(),
+                     [tag](const HeldLock& h) { return h.tag == tag; });
+}
+
+std::size_t held_lock_count() { return tls_stack().size(); }
+
+std::vector<HeldLock> held_locks() { return tls_stack(); }
+
+}  // namespace cbp::rt

@@ -1,0 +1,55 @@
+// Per-thread held-lock tracking with type tags.
+//
+// Supports the paper's §6.3 `isLockTypeHeld(type)` local-predicate
+// refinement (Swing/RepaintManager case): a breakpoint only postpones
+// when the current thread already holds a lock of a given "type"
+// (class/tag).  Any lock that wants to participate registers its
+// acquisition through these hooks; `instrument::TrackedMutex` does so
+// automatically.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbp::rt {
+
+struct HeldLock {
+  const void* lock;      // identity of the lock object
+  std::string_view tag;  // "type" of the lock (owner must outlive the hold)
+};
+
+/// Records that the calling thread acquired `lock` (tagged `tag`).
+void note_lock_acquired(const void* lock, std::string_view tag);
+
+/// Records that the calling thread released `lock` (innermost match).
+void note_lock_released(const void* lock);
+
+/// True if the calling thread currently holds `lock`.
+bool is_lock_held(const void* lock);
+
+/// True if the calling thread holds any lock tagged `tag`
+/// (the paper's isLockTypeHeld(type)).
+bool is_lock_type_held(std::string_view tag);
+
+/// Number of locks the calling thread currently holds.
+std::size_t held_lock_count();
+
+/// Snapshot of the calling thread's held-lock stack, outermost first.
+std::vector<HeldLock> held_locks();
+
+/// RAII convenience for code that manages raw locks itself.
+class ScopedLockNote {
+ public:
+  ScopedLockNote(const void* lock, std::string_view tag) : lock_(lock) {
+    note_lock_acquired(lock, tag);
+  }
+  ~ScopedLockNote() { note_lock_released(lock_); }
+  ScopedLockNote(const ScopedLockNote&) = delete;
+  ScopedLockNote& operator=(const ScopedLockNote&) = delete;
+
+ private:
+  const void* lock_;
+};
+
+}  // namespace cbp::rt

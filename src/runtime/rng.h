@@ -1,0 +1,66 @@
+// Deterministic, seedable random number generation (SplitMix64 core).
+//
+// Every stochastic component in the repository (noise injectors, workload
+// generators, the Monte-Carlo schedule model) draws from one of these so
+// experiments are reproducible given a seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cbp::rt {
+
+/// SplitMix64: tiny, fast, and statistically solid for simulation use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Multiplicative rejection-free mapping (Lemire); slight bias is
+    // irrelevant at simulation scales but we debias for small bounds.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Derives an independent child generator (for per-thread streams).
+  Rng split() { return Rng(next_u64() ^ 0xa3ec647659359acdULL); }
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles work.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace cbp::rt

@@ -1,0 +1,66 @@
+// Simulated failure artifacts.
+//
+// The paper's C/C++ bugs end in real crashes (null dereference in pbzip2,
+// buffer overflow in httpd, null dereference in MySQL 4.0.19).  Our
+// replicas detect the corrupted state that *would* crash the original and
+// throw `SimulatedCrash` instead, so the harness can count the artifact,
+// measure mean-time-to-error, and keep the process alive.  This
+// substitution is recorded in DESIGN.md.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cbp::rt {
+
+/// Thrown by a benchmark replica at the exact point the original program
+/// would have crashed (e.g. dereferencing a null block pointer).
+class SimulatedCrash : public std::runtime_error {
+ public:
+  explicit SimulatedCrash(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Thrown by a replica when it detects that progress has stopped — a
+/// deadlock (lock wait exceeded the stall threshold) or a missed
+/// notification (condition wait exceeded the stall threshold).  The
+/// original programs hang forever; we detect-and-abort "when the
+/// deadlock conditions have been met", matching how the paper timestamps
+/// stalls, while keeping the harness able to re-run.
+class StallError : public std::runtime_error {
+ public:
+  explicit StallError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Uniform classification of what one run of a buggy replica produced.
+/// Mirrors the "Error" column of Tables 1 and 2.
+enum class Artifact {
+  kNone,            // run completed cleanly
+  kRaceObserved,    // racy state actually overlapped (both sides present)
+  kWrongResult,     // computation produced a wrong value ("test fail")
+  kException,       // replica threw a (non-crash) exception
+  kStall,           // deadlock or missed notification: progress stopped
+  kCrash,           // SimulatedCrash was thrown
+  kLogCorruption,   // interleaved/garbled log line
+  kLogOmission,     // an event that must be logged was dropped
+  kLogDisorder,     // log records committed out of causal order
+};
+
+/// Human-readable artifact label (matches the paper's vocabulary).
+inline const char* artifact_name(Artifact a) {
+  switch (a) {
+    case Artifact::kNone: return "none";
+    case Artifact::kRaceObserved: return "race";
+    case Artifact::kWrongResult: return "test fail";
+    case Artifact::kException: return "exception";
+    case Artifact::kStall: return "stall";
+    case Artifact::kCrash: return "crash";
+    case Artifact::kLogCorruption: return "log corruption";
+    case Artifact::kLogOmission: return "log omission";
+    case Artifact::kLogDisorder: return "log disorder";
+  }
+  return "unknown";
+}
+
+}  // namespace cbp::rt

@@ -1,0 +1,35 @@
+// Stable small integer ids and human-readable names for threads.
+//
+// std::thread::id is opaque; detectors, vector clocks and the trigger
+// engine want dense small ids.  Ids are assigned on first use per thread
+// and are never reused within a process epoch; `reset_epoch()` restarts
+// numbering for harnesses that run many experiments in one process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cbp::rt {
+
+using ThreadId = std::uint32_t;
+
+/// Dense id of the calling thread (assigned on first call).
+ThreadId this_thread_id();
+
+/// Attaches a debugging name to the calling thread.
+void set_this_thread_name(std::string name);
+
+/// Name of the calling thread ("T<k>" if never set).
+std::string this_thread_name();
+
+/// Name for an arbitrary thread id (empty if unknown).
+std::string thread_name(ThreadId id);
+
+/// Number of thread ids handed out so far in this epoch.
+ThreadId thread_count();
+
+/// Restarts id numbering.  Only safe between experiments, when no worker
+/// thread that received an id in the old epoch is still running.
+void reset_thread_epoch();
+
+}  // namespace cbp::rt

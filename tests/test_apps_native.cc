@@ -1,0 +1,200 @@
+// Integration tests for the C/C++ program replicas (Table 2): pbzip2,
+// Apache httpd, and the three MySQL versions.
+
+#include <gtest/gtest.h>
+
+#include "apps/compress/pbzip2.h"
+#include "apps/httpdlike/httpd.h"
+#include "apps/minidb/minidb.h"
+#include "core/cbp.h"
+#include "runtime/clock.h"
+
+namespace cbp::apps {
+namespace {
+
+using namespace std::chrono_literals;
+
+class NativeReplicaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Engine::instance().reset();
+    Config::set_enabled(true);
+    Config::set_order_delay(2ms);
+    Config::set_guard_wait_cap(2000ms);
+    rt::TimeScale::set(0.2);
+    options_.breakpoints = true;
+    options_.pause = 300ms;
+    options_.stall_after = 1200ms;
+  }
+
+  void TearDown() override {
+    Engine::instance().reset();
+    Config::set_enabled(true);
+    rt::TimeScale::set(1.0);
+  }
+
+  RunOptions options_;
+};
+
+// ---------------------------------------------------------------------------
+// pbzip2
+// ---------------------------------------------------------------------------
+
+TEST_F(NativeReplicaTest, Pbzip2CrashManifests) {
+  for (int i = 0; i < 3; ++i) {
+    Engine::instance().reset();
+    const RunOutcome outcome = compress::run_crash(options_);
+    EXPECT_EQ(outcome.artifact, rt::Artifact::kCrash) << outcome.detail;
+    EXPECT_NE(outcome.detail.find("null pointer dereference"),
+              std::string::npos);
+  }
+}
+
+TEST_F(NativeReplicaTest, Pbzip2DormantWithoutBreakpoints) {
+  RunOptions plain = options_;
+  plain.breakpoints = false;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(compress::run_crash(plain).buggy());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// httpd
+// ---------------------------------------------------------------------------
+
+TEST_F(NativeReplicaTest, HttpdLogCorruptionManifests) {
+  for (int i = 0; i < 3; ++i) {
+    Engine::instance().reset();
+    const RunOutcome outcome = httpdlike::run_log_corruption(options_);
+    EXPECT_EQ(outcome.artifact, rt::Artifact::kLogCorruption)
+        << outcome.detail;
+  }
+}
+
+TEST_F(NativeReplicaTest, HttpdLogCleanWithoutBreakpoints) {
+  RunOptions plain = options_;
+  plain.breakpoints = false;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(httpdlike::run_log_corruption(plain).buggy());
+  }
+}
+
+TEST_F(NativeReplicaTest, HttpdBufferOverflowManifests) {
+  for (int i = 0; i < 3; ++i) {
+    Engine::instance().reset();
+    const RunOutcome outcome = httpdlike::run_buffer_overflow(options_);
+    EXPECT_EQ(outcome.artifact, rt::Artifact::kCrash) << outcome.detail;
+    EXPECT_NE(outcome.detail.find("buffer overflow"), std::string::npos);
+  }
+}
+
+TEST_F(NativeReplicaTest, HttpdOverflowDormantWithoutBreakpoints) {
+  RunOptions plain = options_;
+  plain.breakpoints = false;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(httpdlike::run_buffer_overflow(plain).buggy());
+  }
+}
+
+TEST_F(NativeReplicaTest, AccessLogParsesCleanLines) {
+  httpdlike::AccessLog log;
+  log.log_request(1, /*armed=*/false);
+  log.log_request(2, /*armed=*/false);
+  EXPECT_EQ(log.lines().size(), 2u);
+  EXPECT_EQ(log.corrupt_lines(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// MySQL
+// ---------------------------------------------------------------------------
+
+TEST_F(NativeReplicaTest, MysqlLogOmissionManifests) {
+  for (int i = 0; i < 3; ++i) {
+    Engine::instance().reset();
+    const RunOutcome outcome = minidb::run_log_omission(options_);
+    EXPECT_EQ(outcome.artifact, rt::Artifact::kLogOmission)
+        << outcome.detail;
+  }
+}
+
+TEST_F(NativeReplicaTest, MysqlLogOmissionDormant) {
+  RunOptions plain = options_;
+  plain.breakpoints = false;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(minidb::run_log_omission(plain).buggy());
+  }
+}
+
+TEST_F(NativeReplicaTest, MysqlLogDisorderManifests) {
+  for (int i = 0; i < 3; ++i) {
+    Engine::instance().reset();
+    const RunOutcome outcome = minidb::run_log_disorder(options_);
+    EXPECT_EQ(outcome.artifact, rt::Artifact::kLogDisorder)
+        << outcome.detail;
+  }
+}
+
+TEST_F(NativeReplicaTest, MysqlLogDisorderDormant) {
+  RunOptions plain = options_;
+  plain.breakpoints = false;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(minidb::run_log_disorder(plain).buggy());
+  }
+}
+
+TEST_F(NativeReplicaTest, MysqlCrashManifests) {
+  for (int i = 0; i < 3; ++i) {
+    Engine::instance().reset();
+    const RunOutcome outcome = minidb::run_crash(options_);
+    EXPECT_EQ(outcome.artifact, rt::Artifact::kCrash) << outcome.detail;
+    EXPECT_NE(outcome.detail.find("THD"), std::string::npos);
+  }
+}
+
+TEST_F(NativeReplicaTest, MysqlCrashDormant) {
+  RunOptions plain = options_;
+  plain.breakpoints = false;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(minidb::run_crash(plain).buggy());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3-ary breakpoint extension (paper §2 generalization)
+// ---------------------------------------------------------------------------
+
+TEST_F(NativeReplicaTest, GroupCommitRaceNeedsThreeThreads) {
+  for (int i = 0; i < 3; ++i) {
+    Engine::instance().reset();
+    const RunOutcome outcome = minidb::run_group_commit_race(options_);
+    EXPECT_EQ(outcome.artifact, rt::Artifact::kLogOmission)
+        << outcome.detail;
+  }
+  // The 3-ary rendezvous registered exactly one hit per run.
+  EXPECT_EQ(Engine::instance().stats(minidb::kGroupCommitBp).hits, 1u);
+}
+
+TEST_F(NativeReplicaTest, GroupCommitDormantWithoutBreakpoints) {
+  RunOptions plain = options_;
+  plain.breakpoints = false;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(minidb::run_group_commit_race(plain).buggy());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binlog unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST_F(NativeReplicaTest, BinlogCountsAcrossRotations) {
+  minidb::Binlog binlog;
+  EXPECT_TRUE(binlog.write_event(1, /*armed=*/false));
+  EXPECT_TRUE(binlog.write_event(2, /*armed=*/false));
+  binlog.rotate(/*armed=*/false);
+  EXPECT_TRUE(binlog.write_event(3, /*armed=*/false));
+  EXPECT_EQ(binlog.logged_total(), 3);
+  EXPECT_EQ(binlog.current().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cbp::apps

@@ -1,0 +1,294 @@
+// Unit tests for the trigger taxonomy: predicate semantics of each
+// concrete BTrigger subclass, evaluated directly (no engine involved),
+// plus the paper-idiom helper functions and macros.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/cbp.h"
+#include "runtime/latch.h"
+#include "runtime/lock_tracker.h"
+
+namespace cbp {
+namespace {
+
+using namespace std::chrono_literals;
+
+class TriggersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Engine::instance().reset();
+    Config::set_enabled(true);
+    Config::set_default_timeout(100ms);
+    rt::TimeScale::set(1.0);
+  }
+  void TearDown() override { Engine::instance().reset(); }
+
+  int obj_a_ = 0;
+  int obj_b_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ConflictTrigger
+// ---------------------------------------------------------------------------
+
+TEST_F(TriggersTest, ConflictMatchesSameObject) {
+  ConflictTrigger t1("bp", &obj_a_);
+  ConflictTrigger t2("bp", &obj_a_);
+  EXPECT_TRUE(t1.predicate_global(t2));
+  EXPECT_TRUE(t2.predicate_global(t1));
+}
+
+TEST_F(TriggersTest, ConflictRejectsDifferentObject) {
+  ConflictTrigger t1("bp", &obj_a_);
+  ConflictTrigger t2("bp", &obj_b_);
+  EXPECT_FALSE(t1.predicate_global(t2));
+}
+
+TEST_F(TriggersTest, ConflictRejectsOtherTriggerTypes) {
+  ConflictTrigger conflict("bp", &obj_a_);
+  OrderTrigger order("bp");
+  EXPECT_FALSE(conflict.predicate_global(order));
+}
+
+TEST_F(TriggersTest, ConflictDescribeMentionsConflict) {
+  ConflictTrigger t("bp", &obj_a_);
+  EXPECT_NE(t.describe().find("Conflict"), std::string::npos);
+}
+
+TEST_F(TriggersTest, ConflictLocalPredicateDefaultsTrue) {
+  ConflictTrigger t("bp", &obj_a_);
+  EXPECT_TRUE(t.predicate_local());
+}
+
+// ---------------------------------------------------------------------------
+// DeadlockTrigger
+// ---------------------------------------------------------------------------
+
+TEST_F(TriggersTest, DeadlockMatchesCrossedLocks) {
+  DeadlockTrigger t1("bp", /*held=*/&obj_a_, /*wanted=*/&obj_b_);
+  DeadlockTrigger t2("bp", /*held=*/&obj_b_, /*wanted=*/&obj_a_);
+  EXPECT_TRUE(t1.predicate_global(t2));
+  EXPECT_TRUE(t2.predicate_global(t1));
+}
+
+TEST_F(TriggersTest, DeadlockRejectsSameOrderLocks) {
+  DeadlockTrigger t1("bp", &obj_a_, &obj_b_);
+  DeadlockTrigger t2("bp", &obj_a_, &obj_b_);
+  EXPECT_FALSE(t1.predicate_global(t2));
+}
+
+TEST_F(TriggersTest, DeadlockRejectsUnrelatedLocks) {
+  int obj_c = 0, obj_d = 0;
+  DeadlockTrigger t1("bp", &obj_a_, &obj_b_);
+  DeadlockTrigger t2("bp", &obj_c, &obj_d);
+  EXPECT_FALSE(t1.predicate_global(t2));
+}
+
+TEST_F(TriggersTest, DeadlockAccessorsExposeLocks) {
+  DeadlockTrigger t("bp", &obj_a_, &obj_b_);
+  EXPECT_EQ(t.held(), &obj_a_);
+  EXPECT_EQ(t.wanted(), &obj_b_);
+}
+
+TEST_F(TriggersTest, DeadlockDoesNotMatchConflictTrigger) {
+  DeadlockTrigger dl("bp", &obj_a_, &obj_b_);
+  ConflictTrigger cf("bp", &obj_a_);
+  EXPECT_FALSE(dl.predicate_global(cf));
+}
+
+// ---------------------------------------------------------------------------
+// AtomicityTrigger
+// ---------------------------------------------------------------------------
+
+TEST_F(TriggersTest, AtomicityMatchesSameObject) {
+  AtomicityTrigger t1("bp", &obj_a_);
+  AtomicityTrigger t2("bp", &obj_a_);
+  EXPECT_TRUE(t1.predicate_global(t2));
+}
+
+TEST_F(TriggersTest, AtomicityDoesNotMatchConflictTrigger) {
+  // Distinct bug classes do not cross-match even on the same object.
+  AtomicityTrigger at("bp", &obj_a_);
+  ConflictTrigger cf("bp", &obj_a_);
+  EXPECT_FALSE(at.predicate_global(cf));
+  EXPECT_FALSE(cf.predicate_global(at));
+}
+
+TEST_F(TriggersTest, AtomicityDescribeNamesBugClass) {
+  AtomicityTrigger t("bp", &obj_a_);
+  EXPECT_NE(t.describe().find("Atomicity"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// OrderTrigger
+// ---------------------------------------------------------------------------
+
+TEST_F(TriggersTest, OrderMatchesAnySameNamePeer) {
+  OrderTrigger t1("bp");
+  OrderTrigger t2("bp");
+  EXPECT_TRUE(t1.predicate_global(t2));
+}
+
+TEST_F(TriggersTest, OrderRejectsOtherTypes) {
+  OrderTrigger order("bp");
+  ConflictTrigger conflict("bp", &obj_a_);
+  EXPECT_FALSE(order.predicate_global(conflict));
+}
+
+// ---------------------------------------------------------------------------
+// ValueTrigger
+// ---------------------------------------------------------------------------
+
+TEST_F(TriggersTest, ValueTriggerMatchesEqualValues) {
+  ValueTrigger<int> t1("bp", 42);
+  ValueTrigger<int> t2("bp", 42);
+  EXPECT_TRUE(t1.predicate_global(t2));
+}
+
+TEST_F(TriggersTest, ValueTriggerRejectsUnequalValues) {
+  ValueTrigger<int> t1("bp", 42);
+  ValueTrigger<int> t2("bp", 43);
+  EXPECT_FALSE(t1.predicate_global(t2));
+}
+
+TEST_F(TriggersTest, ValueTriggerRejectsDifferentValueType) {
+  ValueTrigger<int> t1("bp", 42);
+  ValueTrigger<long> t2("bp", 42L);
+  EXPECT_FALSE(t1.predicate_global(t2));
+}
+
+TEST_F(TriggersTest, ValueTriggerCustomComparator) {
+  // Match when the two sides' values sum to zero (a relational phi).
+  auto opposite = [](const int& a, const int& b) { return a + b == 0; };
+  ValueTrigger<int> t1("bp", 5, opposite);
+  ValueTrigger<int> t2("bp", -5, opposite);
+  EXPECT_TRUE(t1.predicate_global(t2));
+  ValueTrigger<int> t3("bp", 4, opposite);
+  EXPECT_FALSE(t1.predicate_global(t3));
+}
+
+TEST_F(TriggersTest, ValueTriggerWithStrings) {
+  ValueTrigger<std::string> t1("bp", "csList");
+  ValueTrigger<std::string> t2("bp", "csList");
+  EXPECT_TRUE(t1.predicate_global(t2));
+}
+
+// ---------------------------------------------------------------------------
+// PredicateTrigger
+// ---------------------------------------------------------------------------
+
+TEST_F(TriggersTest, PredicateTriggerEvaluatesCallables) {
+  PredicateTrigger t1("bp", [](const BTrigger& other) {
+    return other.name() == "bp";
+  });
+  PredicateTrigger t2("bp", [](const BTrigger&) { return false; });
+  EXPECT_TRUE(t1.predicate_global(t2));
+  EXPECT_FALSE(t2.predicate_global(t1));
+}
+
+TEST_F(TriggersTest, PredicateTriggerLocalCallable) {
+  bool gate = false;
+  PredicateTrigger t(
+      "bp", [&] { return gate; }, [](const BTrigger&) { return true; });
+  EXPECT_FALSE(t.predicate_local());
+  gate = true;
+  EXPECT_TRUE(t.predicate_local());
+}
+
+// ---------------------------------------------------------------------------
+// LockTypeHeldRefinement (paper §6.3, Swing/BasicCaret)
+// ---------------------------------------------------------------------------
+
+TEST_F(TriggersTest, LockTypeHeldGatesLocalPredicate) {
+  LockTypeHeldRefinement<ConflictTrigger> t("BasicCaret", "bp", &obj_a_);
+  EXPECT_FALSE(t.predicate_local());
+  {
+    rt::ScopedLockNote note(&obj_b_, "BasicCaret");
+    EXPECT_TRUE(t.predicate_local());
+  }
+  EXPECT_FALSE(t.predicate_local());
+}
+
+TEST_F(TriggersTest, LockTypeHeldRequiresMatchingTag) {
+  LockTypeHeldRefinement<ConflictTrigger> t("BasicCaret", "bp", &obj_a_);
+  rt::ScopedLockNote note(&obj_b_, "RepaintManager");
+  EXPECT_FALSE(t.predicate_local());
+}
+
+TEST_F(TriggersTest, LockTypeHeldGlobalPredicateUnchanged) {
+  LockTypeHeldRefinement<ConflictTrigger> t("tag", "bp", &obj_a_);
+  ConflictTrigger peer("bp", &obj_a_);
+  EXPECT_TRUE(t.predicate_global(peer));
+}
+
+// ---------------------------------------------------------------------------
+// Helper functions and macros (end-to-end through the engine)
+// ---------------------------------------------------------------------------
+
+TEST_F(TriggersTest, ConflictHelperHitsAcrossThreads) {
+  bool hit_a = false, hit_b = false;
+  std::thread a([&] {
+    hit_a = conflict_trigger_here("helper-bp", &obj_a_, true, 2000ms);
+  });
+  std::thread b([&] {
+    hit_b = conflict_trigger_here("helper-bp", &obj_a_, false, 2000ms);
+  });
+  a.join();
+  b.join();
+  EXPECT_TRUE(hit_a);
+  EXPECT_TRUE(hit_b);
+}
+
+TEST_F(TriggersTest, DeadlockHelperHitsAcrossThreads) {
+  bool hit_a = false, hit_b = false;
+  std::thread a([&] {
+    hit_a = deadlock_trigger_here("dl-bp", &obj_a_, &obj_b_, true, 2000ms);
+  });
+  std::thread b([&] {
+    hit_b = deadlock_trigger_here("dl-bp", &obj_b_, &obj_a_, false, 2000ms);
+  });
+  a.join();
+  b.join();
+  EXPECT_TRUE(hit_a);
+  EXPECT_TRUE(hit_b);
+}
+
+TEST_F(TriggersTest, OrderHelperHitsAcrossThreads) {
+  bool hit_a = false, hit_b = false;
+  std::thread a([&] { hit_a = order_trigger_here("ord-bp", true, 2000ms); });
+  std::thread b([&] { hit_b = order_trigger_here("ord-bp", false, 2000ms); });
+  a.join();
+  b.join();
+  EXPECT_TRUE(hit_a);
+  EXPECT_TRUE(hit_b);
+}
+
+TEST_F(TriggersTest, MacrosCompileAndRun) {
+  Config::set_default_timeout(10ms);
+  // Alone, each macro call times out and reports no hit.
+  EXPECT_FALSE(CBP_CONFLICT("macro-bp", &obj_a_, true));
+  EXPECT_FALSE(CBP_DEADLOCK("macro-dl", &obj_a_, &obj_b_, true));
+  EXPECT_FALSE(CBP_ORDER("macro-ord", true));
+  EXPECT_EQ(Engine::instance().stats("macro-bp").calls, 1u);
+}
+
+TEST_F(TriggersTest, ValueTriggerHitsThroughEngine) {
+  bool hit_a = false, hit_b = false;
+  std::thread a([&] {
+    ValueTrigger<std::string> t("vt-bp", "csList");
+    hit_a = t.trigger_here(true, 2000ms);
+  });
+  std::thread b([&] {
+    ValueTrigger<std::string> t("vt-bp", "csList");
+    hit_b = t.trigger_here(false, 2000ms);
+  });
+  a.join();
+  b.join();
+  EXPECT_TRUE(hit_a);
+  EXPECT_TRUE(hit_b);
+}
+
+}  // namespace
+}  // namespace cbp

@@ -1,0 +1,636 @@
+// Tests for the detector substrate: vector clocks, Eraser locksets,
+// FastTrack happens-before, lock contention, and the lock-order graph.
+//
+// Detector tests run worker threads *sequentially* (join between them):
+// detectors consume event sequences tagged with thread ids, so sequential
+// execution gives fully deterministic verdicts.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "detect/atomicity.h"
+#include "detect/contention.h"
+#include "detect/eraser.h"
+#include "detect/fasttrack.h"
+#include "detect/lock_order.h"
+#include "detect/vector_clock.h"
+#include "instrument/shared_var.h"
+#include "instrument/tracked_mutex.h"
+
+namespace cbp::detect {
+namespace {
+
+using instr::ScopedListener;
+using instr::SharedVar;
+using instr::SourceLoc;
+using instr::TrackedLock;
+using instr::TrackedMutex;
+
+/// Runs `fn` on a fresh thread and joins (fresh dense thread id).
+template <class Fn>
+void on_thread(Fn&& fn) {
+  std::thread t(std::forward<Fn>(fn));
+  t.join();
+}
+
+// ---------------------------------------------------------------------------
+// VectorClock
+// ---------------------------------------------------------------------------
+
+TEST(VectorClock, GetSetTick) {
+  VectorClock vc;
+  EXPECT_EQ(vc.get(3), 0u);
+  vc.set(3, 7);
+  EXPECT_EQ(vc.get(3), 7u);
+  vc.tick(3);
+  EXPECT_EQ(vc.get(3), 8u);
+  vc.tick(5);
+  EXPECT_EQ(vc.get(5), 1u);
+}
+
+TEST(VectorClock, JoinTakesPointwiseMax) {
+  VectorClock a, b;
+  a.set(0, 5);
+  a.set(1, 1);
+  b.set(1, 4);
+  b.set(2, 2);
+  a.join(b);
+  EXPECT_EQ(a.get(0), 5u);
+  EXPECT_EQ(a.get(1), 4u);
+  EXPECT_EQ(a.get(2), 2u);
+}
+
+TEST(VectorClock, LeqIsPointwise) {
+  VectorClock a, b;
+  a.set(0, 1);
+  b.set(0, 2);
+  b.set(1, 1);
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  EXPECT_TRUE(a.leq(a));
+}
+
+TEST(VectorClock, CoversEpoch) {
+  VectorClock vc;
+  vc.set(2, 10);
+  EXPECT_TRUE(vc.covers(Epoch{2, 10}));
+  EXPECT_TRUE(vc.covers(Epoch{2, 9}));
+  EXPECT_FALSE(vc.covers(Epoch{2, 11}));
+  EXPECT_FALSE(vc.covers(Epoch{4, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// EraserDetector
+// ---------------------------------------------------------------------------
+
+TEST(Eraser, NoRaceWhenConsistentlyLocked) {
+  EraserDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  TrackedMutex mu;
+  for (int i = 0; i < 3; ++i) {
+    on_thread([&] {
+      TrackedLock lock(mu);
+      x.write(x.read() + 1);
+    });
+  }
+  EXPECT_TRUE(detector.races().empty());
+}
+
+TEST(Eraser, ReportsUnlockedWriteWriteRace) {
+  EraserDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  on_thread([&] { x.write(1); });
+  on_thread([&] { x.write(2); });
+  const auto races = detector.races();
+  ASSERT_EQ(races.size(), 1u);
+  EXPECT_EQ(races[0].addr, x.address());
+  EXPECT_TRUE(races[0].second_is_write);
+  EXPECT_NE(races[0].first_tid, races[0].second_tid);
+}
+
+TEST(Eraser, ReadSharingAloneIsNotARace) {
+  EraserDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x(42);
+  on_thread([&] { (void)x.read(); });
+  on_thread([&] { (void)x.read(); });
+  on_thread([&] { (void)x.read(); });
+  EXPECT_TRUE(detector.races().empty());
+}
+
+TEST(Eraser, WriteAfterReadSharingIsARace) {
+  EraserDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x(42);
+  on_thread([&] { (void)x.read(); });
+  on_thread([&] { (void)x.read(); });
+  on_thread([&] { x.write(1); });
+  EXPECT_EQ(detector.races().size(), 1u);
+}
+
+TEST(Eraser, SingleThreadNeverRaces) {
+  EraserDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  x.write(1);
+  (void)x.read();
+  x.write(2);
+  EXPECT_TRUE(detector.races().empty());
+  EXPECT_EQ(detector.tracked_addresses(), 1u);
+}
+
+TEST(Eraser, ReportsEachAddressOnce) {
+  EraserDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  for (int i = 0; i < 4; ++i) on_thread([&] { x.write(i); });
+  EXPECT_EQ(detector.races().size(), 1u);
+}
+
+TEST(Eraser, DistinctAddressesReportedSeparately) {
+  EraserDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x, y;
+  on_thread([&] { x.write(1); y.write(1); });
+  on_thread([&] { x.write(2); y.write(2); });
+  EXPECT_EQ(detector.races().size(), 2u);
+}
+
+TEST(Eraser, LocksetShrinksWithInconsistentLocking) {
+  // Thread 1 protects x with A, thread 2 with B.  The candidate set is
+  // seeded at the first shared access ({B}) and intersected on the next
+  // ({B} ∩ {A} = ∅), so classic Eraser reports on the *third* access.
+  EraserDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  TrackedMutex lock_a, lock_b;
+  on_thread([&] {
+    TrackedLock lock(lock_a);
+    x.write(1);
+  });
+  on_thread([&] {
+    TrackedLock lock(lock_b);
+    x.write(2);
+  });
+  EXPECT_TRUE(detector.races().empty());  // candidate set still {B}
+  on_thread([&] {
+    TrackedLock lock(lock_a);
+    x.write(3);
+  });
+  EXPECT_EQ(detector.races().size(), 1u);
+}
+
+TEST(Eraser, ResetClearsState) {
+  EraserDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  on_thread([&] { x.write(1); });
+  on_thread([&] { x.write(2); });
+  ASSERT_EQ(detector.races().size(), 1u);
+  detector.reset();
+  EXPECT_TRUE(detector.races().empty());
+  EXPECT_EQ(detector.tracked_addresses(), 0u);
+}
+
+TEST(Eraser, ReportRendersPaperStyle) {
+  EraserDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  on_thread([&] { x.write(1); });
+  on_thread([&] { x.write(2); });
+  const auto races = detector.races();
+  ASSERT_EQ(races.size(), 1u);
+  const std::string text = races[0].str();
+  EXPECT_NE(text.find("Data race detected between"), std::string::npos);
+  EXPECT_NE(text.find("test_detect.cc:line"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// FastTrackDetector
+// ---------------------------------------------------------------------------
+
+TEST(FastTrack, NoRaceWhenOrderedByLock) {
+  FastTrackDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  TrackedMutex mu;
+  on_thread([&] {
+    TrackedLock lock(mu);
+    x.write(1);
+  });
+  on_thread([&] {
+    TrackedLock lock(mu);
+    x.write(2);
+  });
+  EXPECT_TRUE(detector.races().empty());
+}
+
+TEST(FastTrack, ReportsUnorderedWriteWrite) {
+  FastTrackDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  on_thread([&] { x.write(1); });
+  on_thread([&] { x.write(2); });
+  ASSERT_EQ(detector.races().size(), 1u);
+  EXPECT_EQ(detector.races()[0].addr, x.address());
+}
+
+TEST(FastTrack, ReportsUnorderedWriteRead) {
+  FastTrackDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  on_thread([&] { x.write(1); });
+  on_thread([&] { (void)x.read(); });
+  EXPECT_EQ(detector.races().size(), 1u);
+}
+
+TEST(FastTrack, ReportsUnorderedReadWrite) {
+  FastTrackDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  on_thread([&] { (void)x.read(); });
+  on_thread([&] { x.write(1); });
+  EXPECT_EQ(detector.races().size(), 1u);
+}
+
+TEST(FastTrack, ConcurrentReadsDoNotRace) {
+  FastTrackDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  on_thread([&] { (void)x.read(); });
+  on_thread([&] { (void)x.read(); });
+  EXPECT_TRUE(detector.races().empty());
+}
+
+TEST(FastTrack, LockOnOneSideOnlyIsStillARace) {
+  // HB precision: Eraser would also flag this, but FastTrack flags it
+  // because there is no release/acquire pair ordering the accesses.
+  FastTrackDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  TrackedMutex mu;
+  on_thread([&] {
+    TrackedLock lock(mu);
+    x.write(1);
+  });
+  on_thread([&] { x.write(2); });
+  EXPECT_EQ(detector.races().size(), 1u);
+}
+
+TEST(FastTrack, DifferentLocksDoNotOrder) {
+  FastTrackDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  TrackedMutex lock_a, lock_b;
+  on_thread([&] {
+    TrackedLock lock(lock_a);
+    x.write(1);
+  });
+  on_thread([&] {
+    TrackedLock lock(lock_b);
+    x.write(2);
+  });
+  EXPECT_EQ(detector.races().size(), 1u);
+}
+
+TEST(FastTrack, CondVarNotifyCreatesHappensBefore) {
+  FastTrackDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  instr::TrackedCondVar cv;
+  // Simulate: t1 writes then notifies; t2 exits a wait on the same cv
+  // then reads.  The notify/wait-exit pair must order the accesses.
+  on_thread([&] {
+    x.write(1);
+    cv.notify_all();
+  });
+  on_thread([&] {
+    instr::Hub::instance().sync(instr::SyncEvent::Kind::kWaitExit, &cv,
+                                SourceLoc::current());
+    (void)x.read();
+  });
+  EXPECT_TRUE(detector.races().empty());
+}
+
+TEST(FastTrack, EraserFalsePositiveIsNotFlagged) {
+  // Classic Eraser FP: ownership transfer via a flag protected by a lock,
+  // but the data itself accessed without a common lock.  With HB edges
+  // through the lock, the accesses are ordered.
+  FastTrackDetector ft;
+  EraserDetector eraser;
+  ScopedListener r1(ft), r2(eraser);
+  SharedVar<int> data;
+  TrackedMutex handoff;
+  on_thread([&] {
+    data.write(41);  // unprotected init
+    {
+      TrackedLock lock(handoff);  // release edge publishes the write
+    }
+  });
+  on_thread([&] {
+    {
+      TrackedLock lock(handoff);  // acquire edge imports the write
+    }
+    data.write(42);  // ordered by the handoff: no HB race, but the
+                     // accesses share no common lock -> lockset empty
+  });
+  EXPECT_TRUE(ft.races().empty());
+  // The lockset heuristic (no common lock held at the accesses) flags it.
+  EXPECT_EQ(eraser.races().size(), 1u);
+}
+
+TEST(FastTrack, ResetClearsState) {
+  FastTrackDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  on_thread([&] { x.write(1); });
+  on_thread([&] { x.write(2); });
+  ASSERT_EQ(detector.races().size(), 1u);
+  detector.reset();
+  EXPECT_TRUE(detector.races().empty());
+}
+
+// ---------------------------------------------------------------------------
+// ContentionDetector
+// ---------------------------------------------------------------------------
+
+TEST(Contention, TwoThreadsTwoSitesOneLock) {
+  ContentionDetector detector;
+  ScopedListener registration(detector);
+  TrackedMutex mu;
+  on_thread([&] { TrackedLock lock(mu); });  // site A
+  on_thread([&] { TrackedLock lock(mu); });  // site B
+  const auto reports = detector.contentions();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].lock, &mu);
+  EXPECT_NE(reports[0].site_a, reports[0].site_b);
+}
+
+TEST(Contention, SingleThreadIsNotContention) {
+  ContentionDetector detector;
+  ScopedListener registration(detector);
+  TrackedMutex mu;
+  on_thread([&] {
+    for (int i = 0; i < 3; ++i) {
+      TrackedLock lock(mu);
+    }
+  });
+  EXPECT_TRUE(detector.contentions().empty());
+}
+
+TEST(Contention, SameSiteTwoThreadsCounts) {
+  ContentionDetector detector;
+  ScopedListener registration(detector);
+  TrackedMutex mu;
+  auto body = [&] { TrackedLock lock(mu); };  // single shared site
+  on_thread(body);
+  on_thread(body);
+  const auto reports = detector.contentions();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].site_a, reports[0].site_b);
+}
+
+TEST(Contention, DistinctLocksDoNotCrossContend) {
+  ContentionDetector detector;
+  ScopedListener registration(detector);
+  TrackedMutex lock_a, lock_b;
+  on_thread([&] { TrackedLock lock(lock_a); });
+  on_thread([&] { TrackedLock lock(lock_b); });
+  EXPECT_TRUE(detector.contentions().empty());
+}
+
+TEST(Contention, FourSitePairShapeLikeLog4j) {
+  // Three sites on one lock from three threads -> C(3,2)=3 pairs at
+  // minimum (plus same-site pairs if threads repeat): the §5 list shape.
+  ContentionDetector detector;
+  ScopedListener registration(detector);
+  TrackedMutex mu;
+  on_thread([&] { TrackedLock lock(mu); });
+  on_thread([&] { TrackedLock lock(mu); });
+  on_thread([&] { TrackedLock lock(mu); });
+  EXPECT_EQ(detector.contentions().size(), 3u);
+}
+
+TEST(Contention, CondVarWaitNotifyContention) {
+  // "Contentions over synchronization objects" (§5): one thread waits on
+  // a condvar while another notifies it — the missed-notify candidate.
+  ContentionDetector detector;
+  ScopedListener registration(detector);
+  TrackedMutex mu;
+  instr::TrackedCondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    TrackedLock lock(mu);
+    cv.wait(mu, [&] { return ready; });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  {
+    TrackedLock lock(mu);
+    ready = true;
+  }
+  cv.notify_all();
+  waiter.join();
+  const auto sync_reports = detector.sync_object_contentions();
+  ASSERT_EQ(sync_reports.size(), 1u);
+  EXPECT_EQ(sync_reports[0].lock, static_cast<const void*>(&cv));
+  // The full list also contains the mutex contention.
+  EXPECT_GT(detector.contentions().size(), sync_reports.size());
+}
+
+TEST(Contention, PlainLocksAreNotSyncObjectContentions) {
+  ContentionDetector detector;
+  ScopedListener registration(detector);
+  TrackedMutex mu;
+  on_thread([&] { TrackedLock lock(mu); });
+  on_thread([&] { TrackedLock lock(mu); });
+  EXPECT_FALSE(detector.contentions().empty());
+  EXPECT_TRUE(detector.sync_object_contentions().empty());
+}
+
+TEST(Contention, ReportRendersPaperStyle) {
+  ContentionDetector detector;
+  ScopedListener registration(detector);
+  TrackedMutex mu;
+  on_thread([&] { TrackedLock lock(mu); });
+  on_thread([&] { TrackedLock lock(mu); });
+  const auto reports = detector.contentions();
+  ASSERT_FALSE(reports.empty());
+  EXPECT_NE(reports[0].str().find("Lock contention:"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// AtomicityCandidateDetector
+// ---------------------------------------------------------------------------
+
+TEST(AtomicityCandidates, FindsBlockPlusInterleaver) {
+  AtomicityCandidateDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  const SourceLoc begin_site("blk.cc", 1);
+  const SourceLoc end_site("blk.cc", 2);
+  const SourceLoc other_site("oth.cc", 3);
+  on_thread([&] {
+    (void)x.read(begin_site);
+    x.write(1, end_site);
+  });
+  on_thread([&] { x.write(2, other_site); });
+  const auto candidates = detector.candidates();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].block_begin, begin_site);
+  EXPECT_EQ(candidates[0].block_end, end_site);
+  EXPECT_EQ(candidates[0].interleaver, other_site);
+  EXPECT_NE(candidates[0].str().find("Potential atomicity violation"),
+            std::string::npos);
+}
+
+TEST(AtomicityCandidates, SingleThreadHasNoInterleaver) {
+  AtomicityCandidateDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  on_thread([&] {
+    (void)x.read(SourceLoc("blk.cc", 1));
+    x.write(1, SourceLoc("blk.cc", 2));
+    x.write(2, SourceLoc("oth.cc", 3));
+  });
+  EXPECT_TRUE(detector.candidates().empty());
+}
+
+TEST(AtomicityCandidates, DistinctAddressesDoNotMix) {
+  AtomicityCandidateDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x, y;
+  on_thread([&] {
+    (void)x.read(SourceLoc("blk.cc", 1));
+    x.write(1, SourceLoc("blk.cc", 2));
+  });
+  on_thread([&] { y.write(2, SourceLoc("oth.cc", 3)); });
+  EXPECT_TRUE(detector.candidates().empty());
+}
+
+TEST(AtomicityCandidates, ResetClearsState) {
+  AtomicityCandidateDetector detector;
+  ScopedListener registration(detector);
+  SharedVar<int> x;
+  on_thread([&] {
+    (void)x.read(SourceLoc("blk.cc", 1));
+    x.write(1, SourceLoc("blk.cc", 2));
+  });
+  on_thread([&] { x.write(2, SourceLoc("oth.cc", 3)); });
+  ASSERT_FALSE(detector.candidates().empty());
+  detector.reset();
+  EXPECT_TRUE(detector.candidates().empty());
+}
+
+// ---------------------------------------------------------------------------
+// LockOrderDetector
+// ---------------------------------------------------------------------------
+
+TEST(LockOrder, CrossedOrdersAreAPotentialDeadlock) {
+  LockOrderDetector detector;
+  ScopedListener registration(detector);
+  TrackedMutex factory, cs_list;
+  detector.tag_lock(&factory, "this");
+  detector.tag_lock(&cs_list, "csList");
+  on_thread([&] {
+    TrackedLock outer(cs_list);
+    TrackedLock inner(factory);
+  });
+  on_thread([&] {
+    TrackedLock outer(factory);
+    TrackedLock inner(cs_list);
+  });
+  const auto reports = detector.deadlocks();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(detector.has_cycle());
+  const std::string text = reports[0].str();
+  EXPECT_NE(text.find("Deadlock found:"), std::string::npos);
+  EXPECT_NE(text.find("csList"), std::string::npos);
+  EXPECT_NE(text.find("this"), std::string::npos);
+}
+
+TEST(LockOrder, ConsistentOrderIsClean) {
+  LockOrderDetector detector;
+  ScopedListener registration(detector);
+  TrackedMutex lock_a, lock_b;
+  for (int i = 0; i < 2; ++i) {
+    on_thread([&] {
+      TrackedLock outer(lock_a);
+      TrackedLock inner(lock_b);
+    });
+  }
+  EXPECT_TRUE(detector.deadlocks().empty());
+  EXPECT_FALSE(detector.has_cycle());
+  EXPECT_EQ(detector.edge_count(), 1u);
+}
+
+TEST(LockOrder, SameThreadCycleIsNotADeadlock) {
+  // One thread alternating orders cannot deadlock with itself.
+  LockOrderDetector detector;
+  ScopedListener registration(detector);
+  TrackedMutex lock_a, lock_b;
+  on_thread([&] {
+    {
+      TrackedLock outer(lock_a);
+      TrackedLock inner(lock_b);
+    }
+    {
+      TrackedLock outer(lock_b);
+      TrackedLock inner(lock_a);
+    }
+  });
+  EXPECT_TRUE(detector.deadlocks().empty());
+  EXPECT_TRUE(detector.has_cycle());  // the graph has a cycle...
+  // ...but no 2-thread realization, so no report.
+}
+
+TEST(LockOrder, ThreeCycleDetectedByHasCycle) {
+  LockOrderDetector detector;
+  ScopedListener registration(detector);
+  TrackedMutex lock_a, lock_b, lock_c;
+  on_thread([&] {
+    TrackedLock outer(lock_a);
+    TrackedLock inner(lock_b);
+  });
+  on_thread([&] {
+    TrackedLock outer(lock_b);
+    TrackedLock inner(lock_c);
+  });
+  on_thread([&] {
+    TrackedLock outer(lock_c);
+    TrackedLock inner(lock_a);
+  });
+  EXPECT_TRUE(detector.has_cycle());
+  EXPECT_TRUE(detector.deadlocks().empty());  // no 2-cycle
+  EXPECT_EQ(detector.edge_count(), 3u);
+}
+
+TEST(LockOrder, NestedTripleBuildsTransitiveEdges) {
+  LockOrderDetector detector;
+  ScopedListener registration(detector);
+  TrackedMutex lock_a, lock_b, lock_c;
+  on_thread([&] {
+    TrackedLock l1(lock_a);
+    TrackedLock l2(lock_b);
+    TrackedLock l3(lock_c);  // edges a->b, a->c, b->c
+  });
+  EXPECT_EQ(detector.edge_count(), 3u);
+}
+
+TEST(LockOrder, ResetClearsState) {
+  LockOrderDetector detector;
+  ScopedListener registration(detector);
+  TrackedMutex lock_a, lock_b;
+  on_thread([&] {
+    TrackedLock outer(lock_a);
+    TrackedLock inner(lock_b);
+  });
+  detector.reset();
+  EXPECT_EQ(detector.edge_count(), 0u);
+  EXPECT_FALSE(detector.has_cycle());
+}
+
+}  // namespace
+}  // namespace cbp::detect

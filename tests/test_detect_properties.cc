@@ -1,0 +1,356 @@
+// Property tests for the detectors: randomized scripted schedules are
+// executed slice-by-slice on real threads (deterministic global order),
+// then detector verdicts are compared against an independent
+// happens-before oracle computed directly from the executed trace.
+//
+//   * FastTrack flags an address  <=>  the oracle finds a conflicting
+//     access pair with no happens-before path between them;
+//   * Eraser never flags an address whose every access holds one common
+//     lock;
+//   * the lock-order detector reports a 2-cycle  <=>  two distinct
+//     threads acquired some lock pair in crossing orders.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "detect/eraser.h"
+#include "detect/fasttrack.h"
+#include "detect/lock_order.h"
+#include "instrument/shared_var.h"
+#include "instrument/tracked_mutex.h"
+#include "runtime/rng.h"
+
+namespace cbp::detect {
+namespace {
+
+using instr::ScopedListener;
+using instr::SharedVar;
+using instr::TrackedMutex;
+
+constexpr int kThreads = 3;
+constexpr int kVars = 3;
+constexpr int kLocks = 2;
+
+/// One scripted step.
+struct Step {
+  enum class Op { kRead, kWrite, kLock, kUnlock };
+  int thread = 0;
+  Op op = Op::kRead;
+  int target = 0;  ///< var index or lock index
+};
+
+/// Generates a random schedule with lock discipline: a thread only
+/// unlocks locks it holds, a lock step targets a lock no thread holds
+/// (the executor runs steps strictly sequentially, so a blocking lock
+/// would deadlock the harness), and everything is released at the end.
+std::vector<Step> generate_schedule(rt::Rng& rng, int steps) {
+  std::vector<Step> schedule;
+  std::vector<std::vector<int>> held(kThreads);
+  std::set<int> owned;  // locks held by anyone
+  for (int i = 0; i < steps; ++i) {
+    Step step;
+    step.thread = static_cast<int>(rng.next_below(kThreads));
+    auto& my_locks = held[static_cast<std::size_t>(step.thread)];
+    const int roll = static_cast<int>(rng.next_below(10));
+    std::vector<int> free_locks;
+    for (int lock = 0; lock < kLocks; ++lock) {
+      if (!owned.count(lock)) free_locks.push_back(lock);
+    }
+    if (roll < 4) {
+      step.op = Step::Op::kRead;
+      step.target = static_cast<int>(rng.next_below(kVars));
+    } else if (roll < 7) {
+      step.op = Step::Op::kWrite;
+      step.target = static_cast<int>(rng.next_below(kVars));
+    } else if (roll < 9 && !free_locks.empty()) {
+      step.op = Step::Op::kLock;
+      step.target = free_locks[rng.next_below(free_locks.size())];
+      my_locks.push_back(step.target);
+      owned.insert(step.target);
+    } else if (!my_locks.empty()) {
+      step.op = Step::Op::kUnlock;
+      step.target = my_locks.back();  // LIFO discipline
+      my_locks.pop_back();
+      owned.erase(step.target);
+    } else {
+      step.op = Step::Op::kRead;
+      step.target = static_cast<int>(rng.next_below(kVars));
+    }
+    schedule.push_back(step);
+  }
+  // Drain remaining held locks.
+  for (int t = 0; t < kThreads; ++t) {
+    auto& my_locks = held[static_cast<std::size_t>(t)];
+    while (!my_locks.empty()) {
+      schedule.push_back(Step{t, Step::Op::kUnlock, my_locks.back()});
+      my_locks.pop_back();
+    }
+  }
+  return schedule;
+}
+
+/// Executes the schedule in its exact global order: each step runs as a
+/// short-lived slice on the owning thread.  To keep real thread
+/// identities stable per logical thread, each logical thread is one
+/// std::thread that executes its steps when signalled.
+class ScheduleExecutor {
+ public:
+  ScheduleExecutor(const std::vector<Step>& schedule, SharedVar<int>* vars,
+                   TrackedMutex* locks)
+      : schedule_(schedule), vars_(vars), locks_(locks) {}
+
+  void run() {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([this, t] { worker(t); });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+ private:
+  void worker(int id) {
+    for (;;) {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] {
+        return next_ >= schedule_.size() ||
+               schedule_[next_].thread == id;
+      });
+      if (next_ >= schedule_.size()) return;
+      const Step step = schedule_[next_];
+      // Execute the step while holding the scheduler lock: the global
+      // order is exactly the script order.
+      execute(step);
+      ++next_;
+      cv_.notify_all();
+    }
+  }
+
+  void execute(const Step& step) {
+    switch (step.op) {
+      case Step::Op::kRead:
+        (void)vars_[step.target].read();
+        break;
+      case Step::Op::kWrite:
+        vars_[step.target].write(1);
+        break;
+      case Step::Op::kLock:
+        locks_[step.target].lock();
+        break;
+      case Step::Op::kUnlock:
+        locks_[step.target].unlock();
+        break;
+    }
+  }
+
+  const std::vector<Step>& schedule_;
+  SharedVar<int>* vars_;
+  TrackedMutex* locks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t next_ = 0;  // guarded by mu_
+};
+
+/// Ground-truth oracle: builds happens-before from program order plus
+/// release->acquire edges (each lock acquisition synchronizes with the
+/// previous release of the same lock), then checks each address for an
+/// unordered conflicting pair.
+class HbOracle {
+ public:
+  explicit HbOracle(const std::vector<Step>& schedule) : schedule_(schedule) {
+    const std::size_t n = schedule.size();
+    reach_.assign(n, std::vector<char>(n, 0));
+    // Direct edges.
+    std::map<int, std::size_t> last_of_thread;
+    std::map<int, std::size_t> last_release_of_lock;
+    std::vector<std::vector<std::size_t>> succ(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Step& step = schedule[i];
+      auto it = last_of_thread.find(step.thread);
+      if (it != last_of_thread.end()) succ[it->second].push_back(i);
+      last_of_thread[step.thread] = i;
+      if (step.op == Step::Op::kLock) {
+        auto rel = last_release_of_lock.find(step.target);
+        if (rel != last_release_of_lock.end()) {
+          succ[rel->second].push_back(i);
+        }
+      } else if (step.op == Step::Op::kUnlock) {
+        last_release_of_lock[step.target] = i;
+      }
+    }
+    // Transitive closure (reverse topological order = reverse index
+    // order, since all edges go forward in the executed order).
+    for (std::size_t i = n; i-- > 0;) {
+      for (std::size_t j : succ[i]) {
+        reach_[i][j] = 1;
+        for (std::size_t k = 0; k < n; ++k) {
+          if (reach_[j][k]) reach_[i][k] = 1;
+        }
+      }
+    }
+  }
+
+  /// Var indices that have an unordered conflicting access pair.
+  [[nodiscard]] std::set<int> racy_vars() const {
+    std::set<int> out;
+    for (std::size_t i = 0; i < schedule_.size(); ++i) {
+      const Step& a = schedule_[i];
+      if (a.op != Step::Op::kRead && a.op != Step::Op::kWrite) continue;
+      for (std::size_t j = i + 1; j < schedule_.size(); ++j) {
+        const Step& b = schedule_[j];
+        if (b.op != Step::Op::kRead && b.op != Step::Op::kWrite) continue;
+        if (a.target != b.target || a.thread == b.thread) continue;
+        if (a.op == Step::Op::kRead && b.op == Step::Op::kRead) continue;
+        if (!reach_[i][j]) out.insert(a.target);
+      }
+    }
+    return out;
+  }
+
+  /// True when two distinct threads acquire some lock pair crosswise.
+  [[nodiscard]] bool has_crossed_lock_orders() const {
+    // edge set: (held, wanted) -> threads
+    std::map<std::pair<int, int>, std::set<int>> edges;
+    std::map<int, std::vector<int>> held;
+    for (const Step& step : schedule_) {
+      if (step.op == Step::Op::kLock) {
+        for (int h : held[step.thread]) {
+          edges[{h, step.target}].insert(step.thread);
+        }
+        held[step.thread].push_back(step.target);
+      } else if (step.op == Step::Op::kUnlock) {
+        auto& stack = held[step.thread];
+        stack.erase(std::find(stack.begin(), stack.end(), step.target));
+      }
+    }
+    for (const auto& [edge, threads] : edges) {
+      if (edge.first >= edge.second) continue;
+      auto reverse = edges.find({edge.second, edge.first});
+      if (reverse == edges.end()) continue;
+      for (int t1 : threads) {
+        for (int t2 : reverse->second) {
+          if (t1 != t2) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Vars whose every access is covered by at least one common lock.
+  [[nodiscard]] std::set<int> consistently_locked_vars() const {
+    std::map<int, std::set<int>> common;  // var -> intersected lockset
+    std::map<int, bool> seen;
+    std::map<int, std::vector<int>> held;
+    for (const Step& step : schedule_) {
+      if (step.op == Step::Op::kLock) {
+        held[step.thread].push_back(step.target);
+      } else if (step.op == Step::Op::kUnlock) {
+        auto& stack = held[step.thread];
+        stack.erase(std::find(stack.begin(), stack.end(), step.target));
+      } else {
+        std::set<int> lockset(held[step.thread].begin(),
+                              held[step.thread].end());
+        if (!seen[step.target]) {
+          seen[step.target] = true;
+          common[step.target] = lockset;
+        } else {
+          std::set<int> inter;
+          for (int lock : common[step.target]) {
+            if (lockset.count(lock)) inter.insert(lock);
+          }
+          common[step.target] = inter;
+        }
+      }
+    }
+    std::set<int> out;
+    for (const auto& [var, locks] : common) {
+      if (!locks.empty()) out.insert(var);
+    }
+    return out;
+  }
+
+ private:
+  const std::vector<Step>& schedule_;
+  std::vector<std::vector<char>> reach_;
+};
+
+/// Runs one generated schedule under all three detectors and returns the
+/// verdicts plus the oracle.
+struct TrialResult {
+  std::set<int> fasttrack_racy;
+  std::set<int> eraser_racy;
+  bool lockorder_deadlock = false;
+  std::set<int> oracle_racy;
+  bool oracle_crossed = false;
+  std::set<int> oracle_locked;
+};
+
+TrialResult run_trial(std::uint64_t seed, int steps) {
+  rt::Rng rng(seed);
+  const std::vector<Step> schedule = generate_schedule(rng, steps);
+
+  SharedVar<int> vars[kVars];
+  TrackedMutex locks[kLocks];
+
+  FastTrackDetector fasttrack;
+  EraserDetector eraser;
+  LockOrderDetector lock_order;
+  {
+    ScopedListener r1(fasttrack), r2(eraser), r3(lock_order);
+    ScheduleExecutor executor(schedule, vars, locks);
+    executor.run();
+  }
+
+  TrialResult result;
+  auto var_index = [&](const void* addr) {
+    for (int v = 0; v < kVars; ++v) {
+      if (vars[v].address() == addr) return v;
+    }
+    return -1;
+  };
+  for (const auto& race : fasttrack.races()) {
+    result.fasttrack_racy.insert(var_index(race.addr));
+  }
+  for (const auto& race : eraser.races()) {
+    result.eraser_racy.insert(var_index(race.addr));
+  }
+  result.lockorder_deadlock = !lock_order.deadlocks().empty();
+
+  HbOracle oracle(schedule);
+  result.oracle_racy = oracle.racy_vars();
+  result.oracle_crossed = oracle.has_crossed_lock_orders();
+  result.oracle_locked = oracle.consistently_locked_vars();
+  return result;
+}
+
+class DetectorOracleSweep
+    : public ::testing::TestWithParam<std::uint64_t /*seed*/> {};
+
+TEST_P(DetectorOracleSweep, FastTrackMatchesHbOracle) {
+  const TrialResult trial = run_trial(GetParam(), 60);
+  EXPECT_EQ(trial.fasttrack_racy, trial.oracle_racy) << "seed " << GetParam();
+}
+
+TEST_P(DetectorOracleSweep, EraserNeverFlagsConsistentlyLockedVars) {
+  const TrialResult trial = run_trial(GetParam() + 1000, 60);
+  for (int var : trial.oracle_locked) {
+    EXPECT_EQ(trial.eraser_racy.count(var), 0u)
+        << "seed " << GetParam() << " var " << var;
+  }
+}
+
+TEST_P(DetectorOracleSweep, LockOrderMatchesCrossedAcquisitionOracle) {
+  const TrialResult trial = run_trial(GetParam() + 2000, 80);
+  EXPECT_EQ(trial.lockorder_deadlock, trial.oracle_crossed)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorOracleSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace cbp::detect

@@ -1,0 +1,323 @@
+// Property-style tests for the BTRIGGER engine: parameterized sweeps
+// over arity / API / timeout, statistics invariants, stress, and failure
+// injection (cancellation storms, guard leaks, noisy listeners).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/cbp.h"
+#include "runtime/clock.h"
+#include "runtime/latch.h"
+#include "runtime/rng.h"
+
+namespace cbp {
+namespace {
+
+using namespace std::chrono_literals;
+
+class EnginePropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Engine::instance().reset();
+    Config::set_enabled(true);
+    Config::set_default_timeout(100ms);
+    Config::set_order_delay(std::chrono::microseconds(500));
+    Config::set_guard_wait_cap(3000ms);
+    rt::TimeScale::set(1.0);
+  }
+  void TearDown() override {
+    Engine::instance().reset();
+    rt::TimeScale::set(1.0);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Sweep: arity x API — rendezvous and ordering hold for k = 2..5, both
+// for the plain and scoped APIs.
+// ---------------------------------------------------------------------------
+
+using AritySweepParam = std::tuple<int /*arity*/, bool /*scoped*/>;
+
+class AritySweep : public ::testing::TestWithParam<AritySweepParam> {
+ protected:
+  void SetUp() override {
+    Engine::instance().reset();
+    Config::set_enabled(true);
+    Config::set_order_delay(std::chrono::microseconds(500));
+    Config::set_guard_wait_cap(3000ms);
+    rt::TimeScale::set(1.0);
+  }
+  void TearDown() override { Engine::instance().reset(); }
+};
+
+TEST_P(AritySweep, AllRanksHitAndReleaseInOrder) {
+  const auto [arity, scoped] = GetParam();
+  std::mutex order_mu;
+  std::vector<int> order;
+  std::atomic<int> hits{0};
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < arity; ++rank) {
+    threads.emplace_back([&, rank, scoped_api = scoped] {
+      OrderTrigger trigger("arity-sweep");
+      if (scoped_api) {
+        auto result = trigger.trigger_here_ranked_scoped(
+            rank, static_cast<int>(arity), 3000ms);
+        if (result.hit) {
+          hits.fetch_add(1);
+          std::scoped_lock lock(order_mu);
+          order.push_back(rank);
+        }
+        result.guard.release();
+      } else {
+        if (trigger.trigger_here_ranked(rank, static_cast<int>(arity),
+                                        3000ms)) {
+          hits.fetch_add(1);
+          std::scoped_lock lock(order_mu);
+          order.push_back(rank);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hits.load(), arity);
+  const auto stats = Engine::instance().stats("arity-sweep");
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.participants, static_cast<std::uint64_t>(arity));
+  if (scoped) {
+    // Scoped ordering is exact: ranks release strictly in order.
+    std::vector<int> expected;
+    for (int rank = 0; rank < arity; ++rank) expected.push_back(rank);
+    EXPECT_EQ(order, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AritySweep,
+                         ::testing::Combine(::testing::Values(2, 3, 4, 5),
+                                            ::testing::Bool()));
+
+// ---------------------------------------------------------------------------
+// Sweep: timeout is respected (within scheduling tolerance).
+// ---------------------------------------------------------------------------
+
+class TimeoutSweep : public ::testing::TestWithParam<int /*ms*/> {
+ protected:
+  void SetUp() override {
+    Engine::instance().reset();
+    rt::TimeScale::set(1.0);
+    Config::set_enabled(true);
+  }
+  void TearDown() override { Engine::instance().reset(); }
+};
+
+TEST_P(TimeoutSweep, LoneArrivalWaitsRoughlyT) {
+  const int timeout_ms = GetParam();
+  int obj = 0;
+  ConflictTrigger trigger("timeout-sweep", &obj);
+  rt::Stopwatch clock;
+  EXPECT_FALSE(
+      trigger.trigger_here(true, std::chrono::milliseconds(timeout_ms)));
+  const auto elapsed_ms = clock.elapsed_us() / 1000;
+  EXPECT_GE(elapsed_ms, timeout_ms - 2);
+  EXPECT_LE(elapsed_ms, timeout_ms * 4 + 50);  // generous upper bound
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TimeoutSweep,
+                         ::testing::Values(5, 20, 60, 150));
+
+// ---------------------------------------------------------------------------
+// Statistics invariants under randomized traffic.
+// ---------------------------------------------------------------------------
+
+TEST_F(EnginePropertyTest, StatisticsInvariantsUnderRandomTraffic) {
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 60;
+  int objects[2] = {0, 0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      rt::Rng rng(static_cast<std::uint64_t>(t) + 99);
+      for (int i = 0; i < kIterations; ++i) {
+        const void* obj = &objects[rng.next_below(2)];
+        ConflictTrigger trigger("stats-traffic", obj);
+        (void)trigger.trigger_here(rng.next_bool(0.5),
+                                   std::chrono::milliseconds(3));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto stats = Engine::instance().stats("stats-traffic");
+  EXPECT_EQ(stats.calls, static_cast<std::uint64_t>(kThreads * kIterations));
+  EXPECT_EQ(stats.calls, stats.arrivals + stats.local_rejects);
+  // Binary breakpoints: every hit has exactly two participants.
+  EXPECT_EQ(stats.participants, 2 * stats.hits);
+  // Conservation: every postponed thread matched, timed out, or was
+  // cancelled; every binary hit pairs one matched waiter with the
+  // arriving matcher.
+  const std::uint64_t matched_waiters =
+      stats.postponed - stats.timeouts - stats.cancelled;
+  EXPECT_EQ(stats.participants, matched_waiters + stats.hits);
+  EXPECT_GE(stats.arrivals,
+            stats.postponed + stats.ignored + stats.bounded);
+}
+
+// ---------------------------------------------------------------------------
+// Stress: many names, many threads, mixed arities — terminates, no lost
+// wakeups, engine stays consistent.
+// ---------------------------------------------------------------------------
+
+TEST_F(EnginePropertyTest, MixedStressTerminatesConsistently) {
+  constexpr int kThreads = 6;
+  constexpr int kIterations = 40;
+  std::atomic<int> completed{0};
+  int obj = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      rt::Rng rng(static_cast<std::uint64_t>(t) * 7 + 1);
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string name = "stress-" + std::to_string(rng.next_below(3));
+        if (rng.next_bool(0.3)) {
+          OrderTrigger trigger(name);
+          (void)trigger.trigger_here_ranked(
+              static_cast<int>(rng.next_below(3)), 3,
+              std::chrono::milliseconds(2));
+        } else if (rng.next_bool(0.5)) {
+          ConflictTrigger trigger(name, &obj);
+          (void)trigger.trigger_here(rng.next_bool(0.5),
+                                     std::chrono::milliseconds(2));
+        } else {
+          auto result = OrderTrigger(name).trigger_here_scoped(
+              rng.next_bool(0.5), std::chrono::milliseconds(2));
+          result.guard.release();
+        }
+      }
+      completed.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(completed.load(), kThreads);
+  const auto total = Engine::instance().total_stats();
+  EXPECT_EQ(total.calls,
+            static_cast<std::uint64_t>(kThreads * kIterations));
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection
+// ---------------------------------------------------------------------------
+
+TEST_F(EnginePropertyTest, CancellationStormDuringTraffic) {
+  std::atomic<bool> stop{false};
+  int obj = 0;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        ConflictTrigger trigger("storm", &obj);
+        (void)trigger.trigger_here(true, std::chrono::milliseconds(20));
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    Engine::instance().cancel_all();
+    std::this_thread::sleep_for(1ms);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+  const auto stats = Engine::instance().stats("storm");
+  EXPECT_GT(stats.calls, 0u);  // workers made progress throughout
+}
+
+TEST_F(EnginePropertyTest, GuardDroppedWithoutReleaseStillFrees) {
+  // Destroying the TriggerResult without touching the guard must release
+  // the peer (RAII, not manual protocol).
+  int obj = 0;
+  rt::Stopwatch clock;
+  std::thread first([&] {
+    ConflictTrigger trigger("raii-guard", &obj);
+    auto result = trigger.trigger_here_scoped(true, 3000ms);
+    ASSERT_TRUE(result.hit);
+    // result (and its guard) destroyed at scope exit.
+  });
+  std::thread second([&] {
+    ConflictTrigger trigger("raii-guard", &obj);
+    ASSERT_TRUE(trigger.trigger_here(false, 3000ms));
+  });
+  first.join();
+  second.join();
+  EXPECT_LT(clock.elapsed_us(), 2'000'000);
+}
+
+TEST_F(EnginePropertyTest, MovedGuardReleasesExactlyOnce) {
+  int obj = 0;
+  std::atomic<bool> second_done{false};
+  std::thread first([&] {
+    ConflictTrigger trigger("move-guard", &obj);
+    auto result = trigger.trigger_here_scoped(true, 3000ms);
+    ASSERT_TRUE(result.hit);
+    OrderingGuard moved = std::move(result.guard);
+    EXPECT_TRUE(moved.active());
+    EXPECT_FALSE(result.guard.active());
+    moved.release();
+    EXPECT_FALSE(moved.active());
+    moved.release();  // double release is a no-op
+  });
+  std::thread second([&] {
+    ConflictTrigger trigger("move-guard", &obj);
+    ASSERT_TRUE(trigger.trigger_here(false, 3000ms));
+    second_done = true;
+  });
+  first.join();
+  second.join();
+  EXPECT_TRUE(second_done.load());
+}
+
+TEST_F(EnginePropertyTest, ManyNamesDoNotInterfere) {
+  constexpr int kNames = 16;
+  std::atomic<int> hits{0};
+  std::vector<std::thread> threads;
+  for (int n = 0; n < kNames; ++n) {
+    threads.emplace_back([&, n] {
+      OrderTrigger trigger("iso-" + std::to_string(n));
+      if (trigger.trigger_here(true, 3000ms)) hits.fetch_add(1);
+    });
+    threads.emplace_back([&, n] {
+      OrderTrigger trigger("iso-" + std::to_string(n));
+      if (trigger.trigger_here(false, 3000ms)) hits.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(hits.load(), 2 * kNames);
+  EXPECT_EQ(Engine::instance().names().size(),
+            static_cast<std::size_t>(kNames));
+  for (const auto& name : Engine::instance().names()) {
+    EXPECT_EQ(Engine::instance().stats(name).hits, 1u) << name;
+  }
+}
+
+TEST_F(EnginePropertyTest, VerboseModeDoesNotBreakMatching) {
+  Engine::instance().set_verbose(true);
+  int obj = 0;
+  ::testing::internal::CaptureStderr();
+  std::thread a([&] {
+    ConflictTrigger trigger("verbose", &obj);
+    EXPECT_TRUE(trigger.trigger_here(true, 3000ms));
+  });
+  std::thread b([&] {
+    ConflictTrigger trigger("verbose", &obj);
+    EXPECT_TRUE(trigger.trigger_here(false, 3000ms));
+  });
+  a.join();
+  b.join();
+  const std::string log = ::testing::internal::GetCapturedStderr();
+  Engine::instance().set_verbose(false);
+  EXPECT_NE(log.find("[cbp] hit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbp

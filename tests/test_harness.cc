@@ -1,0 +1,265 @@
+// Tests for the experiment harness: repeated runs, overhead, MTTE, the
+// table renderer, formatting helpers, and the Table 1/2 registries.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "core/cbp.h"
+#include "harness/experiment.h"
+#include "harness/registry.h"
+#include "runtime/clock.h"
+
+namespace cbp::harness {
+namespace {
+
+using namespace std::chrono_literals;
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Engine::instance().reset();
+    Config::set_enabled(true);
+    rt::TimeScale::set(1.0);
+  }
+  void TearDown() override {
+    Engine::instance().reset();
+    rt::TimeScale::set(1.0);
+  }
+};
+
+apps::RunOutcome always_buggy(const apps::RunOptions&) {
+  apps::RunOutcome outcome;
+  outcome.artifact = rt::Artifact::kException;
+  outcome.runtime_seconds = 0.002;
+  return outcome;
+}
+
+apps::RunOutcome never_buggy(const apps::RunOptions&) {
+  apps::RunOutcome outcome;
+  outcome.runtime_seconds = 0.001;
+  return outcome;
+}
+
+TEST_F(HarnessTest, RunRepeatedCountsBuggyRuns) {
+  const auto result = run_repeated(always_buggy, {}, 7);
+  EXPECT_EQ(result.runs, 7);
+  EXPECT_EQ(result.buggy_runs, 7);
+  EXPECT_DOUBLE_EQ(result.bug_probability(), 1.0);
+  EXPECT_NEAR(result.mean_runtime_s, 0.002, 1e-9);
+}
+
+TEST_F(HarnessTest, RunRepeatedCleanRuns) {
+  const auto result = run_repeated(never_buggy, {}, 5);
+  EXPECT_EQ(result.buggy_runs, 0);
+  EXPECT_DOUBLE_EQ(result.bug_probability(), 0.0);
+}
+
+TEST_F(HarnessTest, RunRepeatedVariesSeeds) {
+  std::vector<std::uint64_t> seeds;
+  auto runner = [&](const apps::RunOptions& options) {
+    seeds.push_back(options.seed);
+    return apps::RunOutcome{};
+  };
+  (void)run_repeated(runner, {}, 3);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST_F(HarnessTest, RunRepeatedResetsEngineBetweenRuns) {
+  // A breakpoint hit in run i must not leak its statistics into run i+1
+  // (each paper run is a fresh process).
+  auto runner = [](const apps::RunOptions&) {
+    EXPECT_EQ(Engine::instance().total_stats().hits, 0u);
+    int obj = 0;
+    std::thread a([&] {
+      ConflictTrigger t("harness-bp", &obj);
+      (void)t.trigger_here(true, std::chrono::milliseconds(2000));
+    });
+    std::thread b([&] {
+      ConflictTrigger t("harness-bp", &obj);
+      (void)t.trigger_here(false, std::chrono::milliseconds(2000));
+    });
+    a.join();
+    b.join();
+    return apps::RunOutcome{};
+  };
+  const auto result = run_repeated(runner, {}, 3);
+  EXPECT_EQ(result.hit_runs, 3);  // every run hit exactly once, freshly
+}
+
+TEST_F(HarnessTest, MeasureOverheadTogglesBreakpoints) {
+  std::vector<bool> flags;
+  auto runner = [&](const apps::RunOptions& options) {
+    flags.push_back(options.breakpoints);
+    apps::RunOutcome outcome;
+    outcome.runtime_seconds = options.breakpoints ? 0.004 : 0.002;
+    return outcome;
+  };
+  const auto overhead = measure_overhead(runner, {}, 2);
+  EXPECT_EQ(flags, (std::vector<bool>{false, false, true, true}));
+  EXPECT_NEAR(overhead.normal_s, 0.002, 1e-9);
+  EXPECT_NEAR(overhead.with_ctr_s, 0.004, 1e-9);
+  EXPECT_NEAR(overhead.overhead_percent(), 100.0, 1e-6);
+}
+
+TEST_F(HarnessTest, MeasureMtteStopsAtErrorBudget) {
+  int calls = 0;
+  auto runner = [&](const apps::RunOptions&) {
+    ++calls;
+    apps::RunOutcome outcome;
+    if (calls % 2 == 0) outcome.artifact = rt::Artifact::kCrash;
+    return outcome;
+  };
+  const auto mtte = measure_mtte(runner, {}, /*errors_wanted=*/3);
+  EXPECT_EQ(mtte.errors, 3);
+  EXPECT_EQ(mtte.iterations, 6);
+  EXPECT_GT(mtte.mtte_s, 0.0);
+}
+
+TEST_F(HarnessTest, MeasureMtteRespectsIterationCap) {
+  const auto mtte = measure_mtte(never_buggy, {}, 1, /*max_iterations=*/4);
+  EXPECT_EQ(mtte.errors, 0);
+  EXPECT_EQ(mtte.iterations, 4);
+  EXPECT_DOUBLE_EQ(mtte.mtte_s, 0.0);
+}
+
+TEST_F(HarnessTest, TextTableAlignsColumns) {
+  TextTable table({"A", "Longer"});
+  table.add_row({"xx", "y"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("A"), std::string::npos);
+  EXPECT_NE(out.find("Longer"), std::string::npos);
+  EXPECT_NE(out.find("xx"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST_F(HarnessTest, Formatters) {
+  EXPECT_EQ(fmt_prob(1.0), "1.00");
+  EXPECT_EQ(fmt_prob(0.87), "0.87");
+  EXPECT_EQ(fmt_seconds(1.2345), "1.234");
+  EXPECT_EQ(fmt_percent(5.55), "5.5");
+  EXPECT_EQ(fmt_percent(-6.8), "-6.8");
+}
+
+// ---------------------------------------------------------------------------
+// Registries
+// ---------------------------------------------------------------------------
+
+TEST_F(HarnessTest, Table1HasAllPaperRows) {
+  const auto cases = table1_cases();
+  // 4 cache4j + 3 hedc + 5 jigsaw + 3 log4j + 1 logging + 1 lucene +
+  // 2 moldyn + 1 montecarlo + 1 pool + 4 raytracer + 1 stringbuffer +
+  // 2 swing + 6 collections = 34 configurations.
+  EXPECT_EQ(cases.size(), 34u);
+  for (const auto& row : cases) {
+    EXPECT_FALSE(row.benchmark.empty());
+    EXPECT_TRUE(row.runner != nullptr);
+    EXPECT_GE(row.paper_prob, 0.0);
+    EXPECT_LE(row.paper_prob, 1.0);
+  }
+}
+
+TEST_F(HarnessTest, Table1CoversFifteenBenchmarks) {
+  std::set<std::string> benchmarks;
+  for (const auto& row : table1_cases()) benchmarks.insert(row.benchmark);
+  EXPECT_EQ(benchmarks.size(), 15u);  // the paper's 15 Java programs
+}
+
+TEST_F(HarnessTest, Table2HasAllPaperRows) {
+  const auto cases = table2_cases();
+  ASSERT_EQ(cases.size(), 6u);
+  int total_breakpoints = 0;
+  for (const auto& row : cases) {
+    EXPECT_TRUE(row.runner != nullptr);
+    EXPECT_GT(row.breakpoints, 0);
+    total_breakpoints += row.breakpoints;
+  }
+  EXPECT_EQ(total_breakpoints, 2 + 1 + 3 + 2 + 1 + 3);
+}
+
+TEST_F(HarnessTest, EveryTable1RunnerExecutes) {
+  // Smoke: every registered runner completes one (breakpoint-free) run.
+  rt::ScopedTimeScale fast(0.02);
+  for (const auto& row : table1_cases()) {
+    Engine::instance().reset();
+    apps::RunOptions options;
+    options.breakpoints = false;
+    options.pause = row.pause;
+    options.work_scale = row.work_scale;
+    options.stall_after = std::chrono::milliseconds(2000);
+    const auto outcome = row.runner(options);
+    EXPECT_GE(outcome.runtime_seconds, 0.0) << row.benchmark << " " << row.bug;
+  }
+}
+
+TEST_F(HarnessTest, EveryTable2RunnerReproducesWithBreakpoints) {
+  rt::ScopedTimeScale fast(0.02);
+  Config::set_order_delay(std::chrono::milliseconds(1));
+  for (const auto& row : table2_cases()) {
+    Engine::instance().reset();
+    apps::RunOptions options;
+    options.breakpoints = true;
+    options.pause = std::chrono::milliseconds(200);
+    options.stall_after = std::chrono::milliseconds(2000);
+    const auto outcome = row.runner(options);
+    EXPECT_TRUE(outcome.buggy()) << row.benchmark << ": " << row.error;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry-driven sweep: every Table 1 row reproduces its artifact
+// ---------------------------------------------------------------------------
+
+class Table1RowSweep : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override {
+    Engine::instance().reset();
+    Config::set_enabled(true);
+    Config::set_order_delay(std::chrono::milliseconds(2));
+    Config::set_guard_wait_cap(std::chrono::milliseconds(2000));
+    rt::TimeScale::set(0.1);
+  }
+  void TearDown() override {
+    Engine::instance().reset();
+    rt::TimeScale::set(1.0);
+  }
+};
+
+TEST_P(Table1RowSweep, ArmedRunProducesTheRowArtifact) {
+  const auto cases = table1_cases();
+  ASSERT_LT(GetParam(), cases.size());
+  const Table1Case& row = cases[GetParam()];
+
+  apps::RunOptions options;
+  options.breakpoints = true;
+  // Generous pause so even the probabilistic rows (hedc/swing at
+  // wait=100ms) become near-certain for this single-run check.
+  options.pause = std::max(row.pause, std::chrono::milliseconds(2000));
+  options.work_scale = row.work_scale;
+  options.stall_after = std::chrono::milliseconds(8000);
+  options.seed = 7;
+
+  const apps::RunOutcome outcome = row.runner(options);
+
+  rt::Artifact expected;
+  if (row.error == "stall") {
+    expected = rt::Artifact::kStall;
+  } else if (row.error == "exception") {
+    expected = rt::Artifact::kException;
+  } else if (row.error == "test fail") {
+    expected = rt::Artifact::kWrongResult;
+  } else {
+    expected = rt::Artifact::kRaceObserved;
+  }
+  EXPECT_EQ(outcome.artifact, expected)
+      << row.benchmark << " " << row.bug << ": " << outcome.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table1RowSweep,
+                         ::testing::Range<std::size_t>(0, 34));
+
+}  // namespace
+}  // namespace cbp::harness

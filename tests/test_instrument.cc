@@ -1,0 +1,361 @@
+// Tests for the instrumentation layer: source locations, the event hub,
+// SharedVar, TrackedMutex/TrackedLock, and TrackedCondVar.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "instrument/hub.h"
+#include "instrument/shared_var.h"
+#include "instrument/source_loc.h"
+#include "instrument/tracked_mutex.h"
+#include "runtime/lock_tracker.h"
+
+namespace cbp::instr {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// SourceLoc
+// ---------------------------------------------------------------------------
+
+TEST(SourceLoc, CurrentCapturesThisFile) {
+  const SourceLoc loc = SourceLoc::current();
+  EXPECT_NE(loc.file.find("test_instrument.cc"), std::string_view::npos);
+  EXPECT_GT(loc.line, 0u);
+  EXPECT_TRUE(loc.valid());
+}
+
+TEST(SourceLoc, StrUsesBasenameAndPaperStyle) {
+  const SourceLoc loc("/path/to/AsyncAppender.java", 309);
+  EXPECT_EQ(loc.str(), "AsyncAppender.java:line 309");
+}
+
+TEST(SourceLoc, EqualityAndOrdering) {
+  const SourceLoc a("f.cc", 10);
+  const SourceLoc b("f.cc", 10);
+  const SourceLoc c("f.cc", 20);
+  const SourceLoc d("g.cc", 10);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_LT(a, d);
+}
+
+TEST(SourceLoc, DefaultIsInvalid) {
+  const SourceLoc loc;
+  EXPECT_FALSE(loc.valid());
+}
+
+// ---------------------------------------------------------------------------
+// Hub
+// ---------------------------------------------------------------------------
+
+class RecordingListener : public Listener {
+ public:
+  void on_access(const AccessEvent& event) override {
+    std::scoped_lock lock(mu_);
+    accesses.push_back(event);
+  }
+  void on_sync(const SyncEvent& event) override {
+    std::scoped_lock lock(mu_);
+    syncs.push_back(event);
+  }
+  std::vector<AccessEvent> accesses;  // guarded by mu_ while threads run
+  std::vector<SyncEvent> syncs;
+  std::mutex mu_;
+};
+
+TEST(Hub, NoListenersMeansInactive) {
+  EXPECT_FALSE(Hub::instance().has_listeners());
+  // Dispatch with no listeners must be a harmless no-op.
+  Hub::instance().access(nullptr, true, SourceLoc::current());
+}
+
+TEST(Hub, ListenerReceivesAccessEvents) {
+  RecordingListener listener;
+  ScopedListener registration(listener);
+  int x = 0;
+  Hub::instance().access(&x, true, SourceLoc("a.cc", 1));
+  Hub::instance().access(&x, false, SourceLoc("a.cc", 2));
+  ASSERT_EQ(listener.accesses.size(), 2u);
+  EXPECT_EQ(listener.accesses[0].addr, &x);
+  EXPECT_TRUE(listener.accesses[0].is_write);
+  EXPECT_FALSE(listener.accesses[1].is_write);
+  EXPECT_EQ(listener.accesses[0].tid, rt::this_thread_id());
+}
+
+TEST(Hub, ListenerReceivesSyncEvents) {
+  RecordingListener listener;
+  ScopedListener registration(listener);
+  int lock_obj = 0;
+  Hub::instance().sync(SyncEvent::Kind::kLockAcquired, &lock_obj,
+                       SourceLoc("a.cc", 3));
+  ASSERT_EQ(listener.syncs.size(), 1u);
+  EXPECT_EQ(listener.syncs[0].kind, SyncEvent::Kind::kLockAcquired);
+  EXPECT_EQ(listener.syncs[0].obj, &lock_obj);
+}
+
+TEST(Hub, ScopedListenerUnregistersOnDestruction) {
+  RecordingListener listener;
+  {
+    ScopedListener registration(listener);
+    EXPECT_TRUE(Hub::instance().has_listeners());
+  }
+  EXPECT_FALSE(Hub::instance().has_listeners());
+  int x = 0;
+  Hub::instance().access(&x, true, SourceLoc::current());
+  EXPECT_TRUE(listener.accesses.empty());
+}
+
+TEST(Hub, MultipleListenersAllReceive) {
+  RecordingListener first, second;
+  ScopedListener r1(first), r2(second);
+  int x = 0;
+  Hub::instance().access(&x, true, SourceLoc::current());
+  EXPECT_EQ(first.accesses.size(), 1u);
+  EXPECT_EQ(second.accesses.size(), 1u);
+}
+
+TEST(Hub, EventsCarryDistinctThreadIds) {
+  RecordingListener listener;
+  ScopedListener registration(listener);
+  int x = 0;
+  std::thread a([&] { Hub::instance().access(&x, true, SourceLoc::current()); });
+  a.join();
+  std::thread b([&] { Hub::instance().access(&x, true, SourceLoc::current()); });
+  b.join();
+  ASSERT_EQ(listener.accesses.size(), 2u);
+  EXPECT_NE(listener.accesses[0].tid, listener.accesses[1].tid);
+}
+
+// ---------------------------------------------------------------------------
+// SharedVar
+// ---------------------------------------------------------------------------
+
+TEST(SharedVar, ReadWriteRoundTrip) {
+  SharedVar<int> var(5);
+  EXPECT_EQ(var.read(), 5);
+  var.write(9);
+  EXPECT_EQ(var.read(), 9);
+  EXPECT_EQ(var.peek(), 9);
+}
+
+TEST(SharedVar, PokeDoesNotEmitEvents) {
+  RecordingListener listener;
+  ScopedListener registration(listener);
+  SharedVar<int> var;
+  var.poke(3);
+  (void)var.peek();
+  EXPECT_TRUE(listener.accesses.empty());
+}
+
+TEST(SharedVar, ReadWriteEmitEventsWithAddressAndKind) {
+  RecordingListener listener;
+  ScopedListener registration(listener);
+  SharedVar<int> var;
+  var.write(1);
+  (void)var.read();
+  ASSERT_EQ(listener.accesses.size(), 2u);
+  EXPECT_EQ(listener.accesses[0].addr, var.address());
+  EXPECT_TRUE(listener.accesses[0].is_write);
+  EXPECT_FALSE(listener.accesses[1].is_write);
+}
+
+TEST(SharedVar, RacyUpdateEmitsReadThenWrite) {
+  RecordingListener listener;
+  ScopedListener registration(listener);
+  SharedVar<int> var(10);
+  const int result = var.racy_update([](int v) { return v + 5; });
+  EXPECT_EQ(result, 15);
+  EXPECT_EQ(var.peek(), 15);
+  ASSERT_EQ(listener.accesses.size(), 2u);
+  EXPECT_FALSE(listener.accesses[0].is_write);
+  EXPECT_TRUE(listener.accesses[1].is_write);
+}
+
+TEST(SharedVar, CapturesCallSiteLocation) {
+  RecordingListener listener;
+  ScopedListener registration(listener);
+  SharedVar<int> var;
+  var.write(1);  // the location recorded must be THIS line
+  ASSERT_EQ(listener.accesses.size(), 1u);
+  EXPECT_NE(listener.accesses[0].loc.file.find("test_instrument.cc"),
+            std::string_view::npos);
+}
+
+// ---------------------------------------------------------------------------
+// TrackedMutex / TrackedLock
+// ---------------------------------------------------------------------------
+
+TEST(TrackedMutex, EmitsRequestAcquireRelease) {
+  RecordingListener listener;
+  ScopedListener registration(listener);
+  TrackedMutex mu("test-lock");
+  mu.lock();
+  mu.unlock();
+  ASSERT_EQ(listener.syncs.size(), 3u);
+  EXPECT_EQ(listener.syncs[0].kind, SyncEvent::Kind::kLockRequest);
+  EXPECT_EQ(listener.syncs[1].kind, SyncEvent::Kind::kLockAcquired);
+  EXPECT_EQ(listener.syncs[2].kind, SyncEvent::Kind::kLockReleased);
+  EXPECT_EQ(listener.syncs[0].obj, &mu);
+}
+
+TEST(TrackedMutex, MaintainsHeldLockStack) {
+  TrackedMutex mu("csList");
+  EXPECT_FALSE(rt::is_lock_held(&mu));
+  mu.lock();
+  EXPECT_TRUE(rt::is_lock_held(&mu));
+  EXPECT_TRUE(rt::is_lock_type_held("csList"));
+  mu.unlock();
+  EXPECT_FALSE(rt::is_lock_held(&mu));
+}
+
+TEST(TrackedMutex, TryLockSucceedsWhenFree) {
+  TrackedMutex mu;
+  EXPECT_TRUE(mu.try_lock());
+  EXPECT_TRUE(rt::is_lock_held(&mu));
+  mu.unlock();
+}
+
+TEST(TrackedMutex, TryLockFailsWhenHeldElsewhere) {
+  TrackedMutex mu;
+  mu.lock();
+  bool other_got_it = true;
+  std::thread t([&] { other_got_it = mu.try_lock(); });
+  t.join();
+  EXPECT_FALSE(other_got_it);
+  mu.unlock();
+}
+
+TEST(TrackedMutex, ProvidesMutualExclusion) {
+  TrackedMutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 1000; ++j) {
+        TrackedLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(TrackedLock, ReleasesOnScopeExit) {
+  TrackedMutex mu;
+  {
+    TrackedLock lock(mu);
+    EXPECT_TRUE(rt::is_lock_held(&mu));
+  }
+  EXPECT_FALSE(rt::is_lock_held(&mu));
+}
+
+TEST(TrackedLock, EarlyUnlockIsIdempotent) {
+  TrackedMutex mu;
+  TrackedLock lock(mu);
+  lock.unlock();
+  EXPECT_FALSE(rt::is_lock_held(&mu));
+  lock.unlock();  // second call is a no-op; destructor must not double-unlock
+}
+
+// ---------------------------------------------------------------------------
+// TrackedCondVar
+// ---------------------------------------------------------------------------
+
+TEST(TrackedCondVar, WaitForTimesOutWithFalsePredicate) {
+  TrackedMutex mu;
+  TrackedCondVar cv;
+  TrackedLock lock(mu);
+  EXPECT_FALSE(cv.wait_for(mu, 20ms, [] { return false; }));
+}
+
+TEST(TrackedCondVar, NotifyWakesWaiter) {
+  TrackedMutex mu;
+  TrackedCondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    TrackedLock lock(mu);
+    cv.wait(mu, [&] { return ready; });
+    EXPECT_TRUE(ready);
+  });
+  std::this_thread::sleep_for(10ms);
+  {
+    TrackedLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+}
+
+TEST(TrackedCondVar, HeldLockStackCorrectAcrossWait) {
+  TrackedMutex mu("outer");
+  TrackedCondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    TrackedLock lock(mu);
+    cv.wait(mu, [&] { return ready; });
+    // After the wait returns, the lock must be registered as held again.
+    EXPECT_TRUE(rt::is_lock_held(&mu));
+  });
+  std::this_thread::sleep_for(10ms);
+  {
+    // While the waiter is blocked it must NOT appear to hold the lock —
+    // we can verify we can acquire and are the holder.
+    TrackedLock lock(mu);
+    EXPECT_TRUE(rt::is_lock_held(&mu));
+    ready = true;
+  }
+  cv.notify_all();
+  waiter.join();
+}
+
+TEST(TrackedCondVar, EmitsWaitAndNotifyEvents) {
+  TrackedMutex mu;
+  TrackedCondVar cv;
+  RecordingListener listener;
+  ScopedListener registration(listener);
+  {
+    TrackedLock lock(mu);
+    (void)cv.wait_for(mu, 5ms, [] { return false; });
+  }
+  cv.notify_all();
+  bool saw_wait_enter = false, saw_wait_exit = false, saw_notify = false;
+  for (const auto& event : listener.syncs) {
+    if (event.obj != static_cast<const void*>(&cv)) continue;
+    saw_wait_enter |= event.kind == SyncEvent::Kind::kWaitEnter;
+    saw_wait_exit |= event.kind == SyncEvent::Kind::kWaitExit;
+    saw_notify |= event.kind == SyncEvent::Kind::kNotify;
+  }
+  EXPECT_TRUE(saw_wait_enter);
+  EXPECT_TRUE(saw_wait_exit);
+  EXPECT_TRUE(saw_notify);
+}
+
+TEST(TrackedCondVar, WaitEmitsMutexReleaseAndReacquire) {
+  TrackedMutex mu;
+  TrackedCondVar cv;
+  RecordingListener listener;
+  ScopedListener registration(listener);
+  {
+    TrackedLock lock(mu);
+    (void)cv.wait_for(mu, 5ms, [] { return false; });
+  }
+  int released = 0, acquired = 0;
+  for (const auto& event : listener.syncs) {
+    if (event.obj != static_cast<const void*>(&mu)) continue;
+    released += event.kind == SyncEvent::Kind::kLockReleased;
+    acquired += event.kind == SyncEvent::Kind::kLockAcquired;
+  }
+  // TrackedLock acquire + wait's release/reacquire + final release.
+  EXPECT_EQ(released, 2);
+  EXPECT_EQ(acquired, 2);
+}
+
+}  // namespace
+}  // namespace cbp::instr

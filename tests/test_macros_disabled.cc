@@ -1,0 +1,61 @@
+// Verifies the compile-time kill switch (paper §4: breakpoints "can be
+// turned on or off like traditional assertions").  This binary is built
+// with -DCBP_DISABLE_BREAKPOINTS: the CBP_* macros must compile to
+// constant-false expressions that never touch the engine, even while
+// the runtime switch says "enabled".
+
+#include <gtest/gtest.h>
+
+#include "core/cbp.h"
+#include "runtime/clock.h"
+
+#ifndef CBP_DISABLE_BREAKPOINTS
+#error "this test must be compiled with -DCBP_DISABLE_BREAKPOINTS"
+#endif
+
+namespace cbp {
+namespace {
+
+TEST(MacrosDisabled, ConflictMacroIsConstantFalse) {
+  Config::set_enabled(true);  // runtime switch must be irrelevant
+  int obj = 0;
+  rt::Stopwatch clock;
+  EXPECT_FALSE(CBP_CONFLICT("compiled-out", &obj, true));
+  EXPECT_LT(clock.elapsed_us(), 50'000);
+  EXPECT_EQ(Engine::instance().stats("compiled-out").calls, 0u);
+}
+
+TEST(MacrosDisabled, DeadlockMacroIsConstantFalse) {
+  int lock_a = 0, lock_b = 0;
+  EXPECT_FALSE(CBP_DEADLOCK("compiled-out-dl", &lock_a, &lock_b, true));
+  EXPECT_EQ(Engine::instance().stats("compiled-out-dl").calls, 0u);
+}
+
+TEST(MacrosDisabled, OrderMacroIsConstantFalse) {
+  EXPECT_FALSE(CBP_ORDER("compiled-out-ord", false));
+  EXPECT_EQ(Engine::instance().stats("compiled-out-ord").calls, 0u);
+}
+
+TEST(MacrosDisabled, MacrosUsableInConditions) {
+  // The macros must remain valid expressions in ordinary control flow.
+  int obj = 0;
+  if (CBP_CONFLICT("cond", &obj, true)) {
+    FAIL() << "compiled-out breakpoint reported a hit";
+  }
+  const bool hit = CBP_ORDER("cond2", true) || CBP_ORDER("cond3", false);
+  EXPECT_FALSE(hit);
+}
+
+TEST(MacrosDisabled, DirectApiStillWorksWhenWanted) {
+  // Only the macros are compiled out; explicit library calls remain
+  // available (and governed by the runtime switch).
+  Config::set_enabled(false);
+  int obj = 0;
+  ConflictTrigger trigger("direct-api", &obj);
+  EXPECT_FALSE(trigger.trigger_here(true, std::chrono::milliseconds(100)));
+  EXPECT_EQ(Engine::instance().stats("direct-api").calls, 0u);
+  Config::set_enabled(true);
+}
+
+}  // namespace
+}  // namespace cbp

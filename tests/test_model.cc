@@ -1,0 +1,245 @@
+// Tests for the §3 probability model: closed forms, bounds, and the
+// Monte-Carlo schedule simulator, including parameterized property
+// sweeps (monotonicity, bound relationships, model-vs-simulation
+// agreement).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "model/probability.h"
+#include "model/schedule_sim.h"
+
+namespace cbp::model {
+namespace {
+
+// ---------------------------------------------------------------------------
+// log_binomial
+// ---------------------------------------------------------------------------
+
+TEST(LogBinomial, KnownValues) {
+  EXPECT_NEAR(std::exp(log_binomial(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(10, 10)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial(52, 5)), 2'598'960.0, 1e-3);
+}
+
+TEST(LogBinomial, ZeroWhenKExceedsN) {
+  EXPECT_NEAR(std::exp(log_binomial(3, 5)), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Unaided probability
+// ---------------------------------------------------------------------------
+
+TEST(Unaided, ZeroVisitsNeverHit) {
+  EXPECT_DOUBLE_EQ(p_hit_unaided(1000, 0), 0.0);
+}
+
+TEST(Unaided, PigeonholeForcesHit) {
+  // With 2m > N the two visit sets must intersect.
+  EXPECT_DOUBLE_EQ(p_hit_unaided(10, 6), 1.0);
+}
+
+TEST(Unaided, SingleVisitExactValue) {
+  // m=1: P = 1 - C(N-1,1)/C(N,1) = 1/N.
+  EXPECT_NEAR(p_hit_unaided(100, 1), 0.01, 1e-9);
+  EXPECT_NEAR(p_hit_unaided(1000, 1), 0.001, 1e-9);
+}
+
+TEST(Unaided, SmallProbabilityForRareVisits) {
+  // The paper's point: breakpoints are hard to hit unaided.
+  EXPECT_LT(p_hit_unaided(100'000, 5), 0.001);
+}
+
+TEST(Unaided, BoundIsAnUpperBound) {
+  for (std::uint64_t n : {100u, 1000u, 10000u}) {
+    for (std::uint64_t m : {1u, 2u, 5u, 10u, 20u}) {
+      EXPECT_LE(p_hit_unaided(n, m), p_hit_unaided_bound(n, m) + 1e-9)
+          << "N=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(Unaided, ApproxTracksExactForSmallP) {
+  const double exact = p_hit_unaided(1'000'000, 5);
+  const double approx = p_hit_unaided_approx(1'000'000, 5);
+  EXPECT_NEAR(exact, approx, approx * 0.05 + 1e-9);
+}
+
+TEST(Unaided, MonotonicInVisits) {
+  double previous = 0.0;
+  for (std::uint64_t m = 1; m <= 30; ++m) {
+    const double p = p_hit_unaided(1000, m);
+    EXPECT_GE(p, previous) << "m=" << m;
+    previous = p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BTRIGGER probability
+// ---------------------------------------------------------------------------
+
+TEST(BTrigger, InUnitInterval) {
+  for (std::uint64_t t : {1u, 10u, 100u, 1000u}) {
+    const double p = p_hit_btrigger(10'000, 10, 20, t);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(BTrigger, MonotonicInPauseTime) {
+  double previous = 0.0;
+  for (std::uint64_t t = 1; t <= 512; t *= 2) {
+    const double p = p_hit_btrigger(10'000, 5, 10, t);
+    EXPECT_GE(p, previous) << "T=" << t;
+    previous = p;
+  }
+}
+
+TEST(BTrigger, BeatsUnaidedForAnyRealPause) {
+  for (std::uint64_t t : {10u, 100u, 1000u}) {
+    EXPECT_GT(p_hit_btrigger(10'000, 5, 5, t), p_hit_unaided(10'000, 5))
+        << "T=" << t;
+  }
+}
+
+TEST(BTrigger, PrecisionImprovementHelps) {
+  // §3/§6.3: decreasing M (more precise local predicate) at fixed m
+  // raises the hit probability because less time is wasted pausing.
+  const double imprecise = p_hit_btrigger(10'000, 5, 500, 100);
+  const double precise = p_hit_btrigger(10'000, 5, 5, 100);
+  EXPECT_GT(precise, imprecise);
+}
+
+TEST(BTrigger, ApproxTracksExactForSmallP) {
+  const double exact = p_hit_btrigger(1'000'000, 3, 3, 50);
+  const double approx = p_hit_btrigger_approx(1'000'000, 3, 3, 50);
+  EXPECT_NEAR(exact, approx, approx * 0.05 + 1e-9);
+}
+
+TEST(BTrigger, GainFactorGrowsWithPause) {
+  double previous = 0.0;
+  for (std::uint64_t t = 1; t <= 1024; t *= 4) {
+    const double gain = gain_factor(100'000, 5, 10, t);
+    EXPECT_GT(gain, previous);
+    previous = gain;
+  }
+}
+
+TEST(BTrigger, GainFactorSaturatesAtNOverM) {
+  // As T -> infinity the gain approaches (N-m+1)/M.
+  const double gain = gain_factor(100'000, 5, 10, 100'000'000);
+  EXPECT_NEAR(gain, (100'000.0 - 5 + 1) / 10.0, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo simulator vs closed forms
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleSim, UnaidedMatchesClosedForm) {
+  SimParams params;
+  params.n_steps = 1000;
+  params.m_visits = 10;
+  params.big_m_visits = 10;
+  params.pause_steps = 1;  // unaided
+  params.trials = 40'000;
+  const double simulated = simulate(params).probability();
+  const double exact = p_hit_unaided(params.n_steps, params.m_visits);
+  EXPECT_NEAR(simulated, exact, 0.01);
+}
+
+TEST(ScheduleSim, UnaidedMatchesClosedFormSparse) {
+  SimParams params;
+  params.n_steps = 5000;
+  params.m_visits = 3;
+  params.big_m_visits = 3;
+  params.pause_steps = 1;
+  params.trials = 60'000;
+  EXPECT_NEAR(simulate(params).probability(),
+              p_hit_unaided(params.n_steps, params.m_visits), 0.005);
+}
+
+TEST(ScheduleSim, PausingNeverHurts) {
+  SimParams base;
+  base.n_steps = 2000;
+  base.m_visits = 4;
+  base.big_m_visits = 4;
+  base.trials = 20'000;
+  double previous = 0.0;
+  for (std::uint64_t t : {1u, 5u, 25u, 125u}) {
+    SimParams params = base;
+    params.pause_steps = t;
+    const double p = simulate(params).probability();
+    EXPECT_GE(p, previous - 0.02) << "T=" << t;  // MC tolerance
+    previous = p;
+  }
+}
+
+TEST(ScheduleSim, BTriggerFormulaIsALowerBound) {
+  // The paper derives a lower bound; the simulator's two-sided arrival
+  // window should meet or exceed it.
+  SimParams params;
+  params.n_steps = 5000;
+  params.m_visits = 5;
+  params.big_m_visits = 5;
+  params.pause_steps = 40;
+  params.trials = 30'000;
+  const double simulated = simulate(params).probability();
+  const double bound = p_hit_btrigger(params.n_steps, params.m_visits,
+                                      params.big_m_visits,
+                                      params.pause_steps);
+  EXPECT_GE(simulated, bound - 0.01);
+  // And it should be in the right ballpark (within ~3x for small p:
+  // the window is two-sided, the bound one-sided).
+  EXPECT_LE(simulated, 3.0 * bound + 0.02);
+}
+
+TEST(ScheduleSim, DeterministicForSeed) {
+  SimParams params;
+  params.trials = 1000;
+  params.seed = 99;
+  const auto a = simulate(params);
+  const auto b = simulate(params);
+  EXPECT_EQ(a.hits, b.hits);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized property sweep: simulation within model envelope
+// ---------------------------------------------------------------------------
+
+using SweepParam = std::tuple<std::uint64_t /*N*/, std::uint64_t /*m*/,
+                              std::uint64_t /*T*/>;
+
+class ModelEnvelopeSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ModelEnvelopeSweep, SimulationWithinEnvelope) {
+  const auto [n, m, t] = GetParam();
+  SimParams params;
+  params.n_steps = n;
+  params.m_visits = m;
+  params.big_m_visits = m;
+  params.pause_steps = t;
+  params.trials = 20'000;
+  const double simulated = simulate(params).probability();
+  const double lower = p_hit_btrigger(n, m, m, t);
+  // Envelope: at least the paper's lower bound (minus MC noise), at most
+  // the two-sided window analogue 1-(1-(2T-1)m/L)^m (plus MC noise).
+  const double len = static_cast<double>(n + m * (t - 1));
+  const double per = std::min(1.0, (2.0 * t - 1.0) * m / len);
+  const double upper = 1.0 - std::pow(1.0 - per, static_cast<double>(m));
+  EXPECT_GE(simulated, lower - 0.02)
+      << "N=" << n << " m=" << m << " T=" << t;
+  EXPECT_LE(simulated, upper + 0.02)
+      << "N=" << n << " m=" << m << " T=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelEnvelopeSweep,
+    ::testing::Combine(::testing::Values(1000, 5000, 20'000),
+                       ::testing::Values(2, 5, 10),
+                       ::testing::Values(1, 10, 50, 200)));
+
+}  // namespace
+}  // namespace cbp::model

@@ -1,0 +1,141 @@
+// Tests for schedule pinning (core/schedule.h, the paper's §8 use).
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/cbp.h"
+#include "core/schedule.h"
+
+namespace cbp::schedule {
+namespace {
+
+using namespace std::chrono_literals;
+
+class ScheduleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Engine::instance().reset();
+    Config::set_enabled(true);
+    Config::set_order_delay(std::chrono::milliseconds(1));
+    rt::TimeScale::set(1.0);
+  }
+  void TearDown() override { Engine::instance().reset(); }
+
+  std::mutex order_mu_;
+  std::vector<int> order_;
+
+  void record(int id) {
+    std::scoped_lock lock(order_mu_);
+    order_.push_back(id);
+  }
+};
+
+TEST_F(ScheduleTest, PinOrdersTwoThreads) {
+  for (int round = 0; round < 8; ++round) {
+    Engine::instance().reset();
+    order_.clear();
+    std::thread a([&] {
+      auto result = pin_scoped("two", true);
+      ASSERT_TRUE(result.hit);
+      record(1);
+      result.guard.release();
+    });
+    std::thread b([&] {
+      auto result = pin_scoped("two", false);
+      ASSERT_TRUE(result.hit);
+      record(2);
+      result.guard.release();
+    });
+    a.join();
+    b.join();
+    EXPECT_EQ(order_, (std::vector<int>{1, 2})) << "round " << round;
+  }
+}
+
+TEST_F(ScheduleTest, PlainPinReturnsTrueOnRendezvous) {
+  bool hit_a = false, hit_b = false;
+  std::thread a([&] { hit_a = pin("plain", true); });
+  std::thread b([&] { hit_b = pin("plain", false); });
+  a.join();
+  b.join();
+  EXPECT_TRUE(hit_a);
+  EXPECT_TRUE(hit_b);
+}
+
+TEST_F(ScheduleTest, InfeasiblePinTimesOut) {
+  // Only one side arrives: the pin reports failure instead of hanging.
+  EXPECT_FALSE(pin("lonely", true, 30ms));
+}
+
+TEST_F(ScheduleTest, RankedPinOrdersFourThreads) {
+  for (int round = 0; round < 4; ++round) {
+    Engine::instance().reset();
+    order_.clear();
+    std::vector<std::thread> threads;
+    for (int id = 0; id < 4; ++id) {
+      threads.emplace_back([&, id] {
+        auto result = pin_ranked_scoped("four", id, 4);
+        ASSERT_TRUE(result.hit);
+        record(id);
+        result.guard.release();
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(order_, (std::vector<int>{0, 1, 2, 3})) << "round " << round;
+  }
+}
+
+TEST_F(ScheduleTest, RankedPinFailsWithMissingRank) {
+  bool hit = true;
+  std::thread a([&] { hit = pin_ranked("incomplete", 0, 3, 30ms); });
+  std::thread b([&] { (void)pin_ranked("incomplete", 1, 3, 30ms); });
+  a.join();
+  b.join();
+  EXPECT_FALSE(hit);
+}
+
+TEST_F(ScheduleTest, PinsComposeIntoALongerSchedule) {
+  // Two successive pins chain an A-B-A alternation deterministically.
+  for (int round = 0; round < 5; ++round) {
+    Engine::instance().reset();
+    order_.clear();
+    std::thread a([&] {
+      {
+        auto step1 = pin_scoped("chain-1", true);
+        ASSERT_TRUE(step1.hit);
+        record(1);
+      }
+      {
+        auto step2 = pin_scoped("chain-2", false);
+        ASSERT_TRUE(step2.hit);
+        record(3);
+      }
+    });
+    std::thread b([&] {
+      {
+        auto step1 = pin_scoped("chain-1", false);
+        ASSERT_TRUE(step1.hit);
+      }
+      {
+        auto step2 = pin_scoped("chain-2", true);
+        ASSERT_TRUE(step2.hit);
+        record(2);
+      }
+    });
+    a.join();
+    b.join();
+    EXPECT_EQ(order_, (std::vector<int>{1, 2, 3})) << "round " << round;
+  }
+}
+
+TEST_F(ScheduleTest, DisabledBreakpointsMakePinsNoops) {
+  Config::set_enabled(false);
+  EXPECT_FALSE(pin("disabled", true, 1000ms));  // returns immediately
+  Config::set_enabled(true);
+}
+
+}  // namespace
+}  // namespace cbp::schedule

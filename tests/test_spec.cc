@@ -1,0 +1,177 @@
+// Tests for breakpoint spec files (core/spec.h): parsing, and each
+// override's effect inside the engine (disable, pause, order flip,
+// ignore_first, bound).
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/cbp.h"
+#include "core/spec.h"
+#include "runtime/clock.h"
+
+namespace cbp {
+namespace {
+
+using namespace std::chrono_literals;
+
+class SpecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Engine::instance().reset();
+    BreakpointSpec::clear_installed();
+    Config::set_enabled(true);
+    Config::set_order_delay(1ms);
+    rt::TimeScale::set(1.0);
+  }
+  void TearDown() override {
+    BreakpointSpec::clear_installed();
+    Engine::instance().reset();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+TEST_F(SpecTest, ParsesAllKeys) {
+  const auto spec = BreakpointSpec::parse(
+      "# a comment\n"
+      "bp-one pause=1000 flip\n"
+      "bp-two off\n"
+      "\n"
+      "bp-three ignore_first=7200 bound=4  # trailing comment\n");
+  EXPECT_EQ(spec.size(), 3u);
+  const SpecOverride* one = spec.find("bp-one");
+  ASSERT_NE(one, nullptr);
+  EXPECT_EQ(one->pause, 1000ms);
+  EXPECT_TRUE(one->flip_order);
+  EXPECT_FALSE(one->disabled);
+  const SpecOverride* two = spec.find("bp-two");
+  ASSERT_NE(two, nullptr);
+  EXPECT_TRUE(two->disabled);
+  const SpecOverride* three = spec.find("bp-three");
+  ASSERT_NE(three, nullptr);
+  EXPECT_EQ(three->ignore_first, 7200u);
+  EXPECT_EQ(three->bound, 4u);
+  EXPECT_EQ(spec.find("unmentioned"), nullptr);
+}
+
+TEST_F(SpecTest, RejectsUnknownKey) {
+  EXPECT_THROW((void)BreakpointSpec::parse("bp wibble=3\n"),
+               std::invalid_argument);
+}
+
+TEST_F(SpecTest, RejectsBadNumber) {
+  EXPECT_THROW((void)BreakpointSpec::parse("bp pause=abc\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)BreakpointSpec::parse("bp bound=3x\n"),
+               std::invalid_argument);
+}
+
+TEST_F(SpecTest, EmptyTextParsesToEmptySpec) {
+  EXPECT_EQ(BreakpointSpec::parse("").size(), 0u);
+  EXPECT_EQ(BreakpointSpec::parse("# only comments\n\n").size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine effects
+// ---------------------------------------------------------------------------
+
+TEST_F(SpecTest, OffDisablesOneBreakpointOnly) {
+  BreakpointSpec::parse("spec-off off\n").install();
+  int obj = 0;
+  // Disabled name: no postponement, no stats.
+  rt::Stopwatch clock;
+  ConflictTrigger off("spec-off", &obj);
+  EXPECT_FALSE(off.trigger_here(true, 500ms));
+  EXPECT_LT(clock.elapsed_us(), 100'000);
+  EXPECT_EQ(Engine::instance().stats("spec-off").calls, 0u);
+  // Other names unaffected.
+  ConflictTrigger other("spec-other", &obj);
+  EXPECT_FALSE(other.trigger_here(true, 5ms));
+  EXPECT_EQ(Engine::instance().stats("spec-other").calls, 1u);
+}
+
+TEST_F(SpecTest, PauseOverrideReplacesProgrammaticTimeout) {
+  BreakpointSpec::parse("spec-pause pause=10\n").install();
+  int obj = 0;
+  ConflictTrigger trigger("spec-pause", &obj);
+  rt::Stopwatch clock;
+  // Programmatic 2 s is overridden down to 10 ms.
+  EXPECT_FALSE(trigger.trigger_here(true, 2000ms));
+  EXPECT_LT(clock.elapsed_us(), 500'000);
+  EXPECT_GE(clock.elapsed_us(), 8'000);
+}
+
+TEST_F(SpecTest, FlipReversesTheResolutionOrder) {
+  // Without flip: the is_first=true side records first.  With flip the
+  // same program resolves the other way — Methodology II's "try both
+  // orders" without recompiling.
+  for (const bool flipped : {false, true}) {
+    Engine::instance().reset();
+    if (flipped) {
+      BreakpointSpec::parse("spec-flip flip\n").install();
+    } else {
+      BreakpointSpec::clear_installed();
+    }
+    std::mutex order_mu;
+    std::vector<int> order;
+    int obj = 0;
+    auto side = [&](bool first, int tag) {
+      ConflictTrigger trigger("spec-flip", &obj);
+      auto result = trigger.trigger_here_scoped(first, 2000ms);
+      ASSERT_TRUE(result.hit);
+      {
+        std::scoped_lock lock(order_mu);
+        order.push_back(tag);
+      }
+      result.guard.release();
+    };
+    std::thread a(side, true, 1);
+    std::thread b(side, false, 2);
+    a.join();
+    b.join();
+    if (flipped) {
+      EXPECT_EQ(order, (std::vector<int>{2, 1}));
+    } else {
+      EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    }
+  }
+}
+
+TEST_F(SpecTest, IgnoreFirstOverrideApplies) {
+  BreakpointSpec::parse("spec-ignore ignore_first=3\n").install();
+  int obj = 0;
+  rt::Stopwatch clock;
+  for (int i = 0; i < 3; ++i) {
+    ConflictTrigger trigger("spec-ignore", &obj);  // no programmatic value
+    EXPECT_FALSE(trigger.trigger_here(true, 500ms));
+  }
+  EXPECT_LT(clock.elapsed_us(), 300'000);  // all three ignored, no waits
+  EXPECT_EQ(Engine::instance().stats("spec-ignore").ignored, 3u);
+}
+
+TEST_F(SpecTest, BoundOverrideSuppressesAfterHits) {
+  BreakpointSpec::parse("spec-bound bound=0\n").install();
+  int obj = 0;
+  ConflictTrigger trigger("spec-bound", &obj);
+  rt::Stopwatch clock;
+  EXPECT_FALSE(trigger.trigger_here(true, 500ms));
+  EXPECT_LT(clock.elapsed_us(), 100'000);  // bounded out immediately
+  EXPECT_EQ(Engine::instance().stats("spec-bound").bounded, 1u);
+}
+
+TEST_F(SpecTest, ClearInstalledRemovesOverrides) {
+  BreakpointSpec::parse("spec-clear off\n").install();
+  BreakpointSpec::clear_installed();
+  int obj = 0;
+  ConflictTrigger trigger("spec-clear", &obj);
+  EXPECT_FALSE(trigger.trigger_here(true, 5ms));
+  EXPECT_EQ(Engine::instance().stats("spec-clear").calls, 1u);
+}
+
+}  // namespace
+}  // namespace cbp
