@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_method2_log4j.dir/bench_method2_log4j.cc.o"
+  "CMakeFiles/bench_method2_log4j.dir/bench_method2_log4j.cc.o.d"
+  "bench_method2_log4j"
+  "bench_method2_log4j.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_method2_log4j.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_method2_log4j.
+# This may be replaced when dependencies are built.

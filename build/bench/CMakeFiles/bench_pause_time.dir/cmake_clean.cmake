@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pause_time.dir/bench_pause_time.cc.o"
+  "CMakeFiles/bench_pause_time.dir/bench_pause_time.cc.o.d"
+  "bench_pause_time"
+  "bench_pause_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pause_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_probability_model.dir/bench_probability_model.cc.o"
+  "CMakeFiles/bench_probability_model.dir/bench_probability_model.cc.o.d"
+  "bench_probability_model"
+  "bench_probability_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_probability_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

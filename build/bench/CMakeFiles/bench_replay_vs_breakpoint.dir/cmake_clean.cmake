@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replay_vs_breakpoint.dir/bench_replay_vs_breakpoint.cc.o"
+  "CMakeFiles/bench_replay_vs_breakpoint.dir/bench_replay_vs_breakpoint.cc.o.d"
+  "bench_replay_vs_breakpoint"
+  "bench_replay_vs_breakpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replay_vs_breakpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2.cc" "bench/CMakeFiles/bench_table2.dir/bench_table2.cc.o" "gcc" "bench/CMakeFiles/bench_table2.dir/bench_table2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/cbp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cbp_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cbp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/cbp_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/cbp_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cbp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/cbp_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/cbp_replay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

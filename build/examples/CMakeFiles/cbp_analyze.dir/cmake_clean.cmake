@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbp_analyze.dir/cbp_analyze.cpp.o"
+  "CMakeFiles/cbp_analyze.dir/cbp_analyze.cpp.o.d"
+  "cbp_analyze"
+  "cbp_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbp_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

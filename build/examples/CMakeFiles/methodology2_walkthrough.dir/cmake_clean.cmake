@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/methodology2_walkthrough.dir/methodology2_walkthrough.cpp.o"
+  "CMakeFiles/methodology2_walkthrough.dir/methodology2_walkthrough.cpp.o.d"
+  "methodology2_walkthrough"
+  "methodology2_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methodology2_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

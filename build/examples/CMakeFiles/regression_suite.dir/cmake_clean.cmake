@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_suite.dir/regression_suite.cpp.o"
+  "CMakeFiles/regression_suite.dir/regression_suite.cpp.o.d"
+  "regression_suite"
+  "regression_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproduce_data_race.dir/reproduce_data_race.cpp.o"
+  "CMakeFiles/reproduce_data_race.dir/reproduce_data_race.cpp.o.d"
+  "reproduce_data_race"
+  "reproduce_data_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduce_data_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproduce_deadlock.dir/reproduce_deadlock.cpp.o"
+  "CMakeFiles/reproduce_deadlock.dir/reproduce_deadlock.cpp.o.d"
+  "reproduce_deadlock"
+  "reproduce_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproduce_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cache/cache.cc" "src/apps/CMakeFiles/cbp_apps.dir/cache/cache.cc.o" "gcc" "src/apps/CMakeFiles/cbp_apps.dir/cache/cache.cc.o.d"
+  "/root/repo/src/apps/collections/sync_collections.cc" "src/apps/CMakeFiles/cbp_apps.dir/collections/sync_collections.cc.o" "gcc" "src/apps/CMakeFiles/cbp_apps.dir/collections/sync_collections.cc.o.d"
+  "/root/repo/src/apps/compress/pbzip2.cc" "src/apps/CMakeFiles/cbp_apps.dir/compress/pbzip2.cc.o" "gcc" "src/apps/CMakeFiles/cbp_apps.dir/compress/pbzip2.cc.o.d"
+  "/root/repo/src/apps/crawler/crawler.cc" "src/apps/CMakeFiles/cbp_apps.dir/crawler/crawler.cc.o" "gcc" "src/apps/CMakeFiles/cbp_apps.dir/crawler/crawler.cc.o.d"
+  "/root/repo/src/apps/httpdlike/httpd.cc" "src/apps/CMakeFiles/cbp_apps.dir/httpdlike/httpd.cc.o" "gcc" "src/apps/CMakeFiles/cbp_apps.dir/httpdlike/httpd.cc.o.d"
+  "/root/repo/src/apps/kernels/kernels.cc" "src/apps/CMakeFiles/cbp_apps.dir/kernels/kernels.cc.o" "gcc" "src/apps/CMakeFiles/cbp_apps.dir/kernels/kernels.cc.o.d"
+  "/root/repo/src/apps/logging/async_appender.cc" "src/apps/CMakeFiles/cbp_apps.dir/logging/async_appender.cc.o" "gcc" "src/apps/CMakeFiles/cbp_apps.dir/logging/async_appender.cc.o.d"
+  "/root/repo/src/apps/logging/loggers.cc" "src/apps/CMakeFiles/cbp_apps.dir/logging/loggers.cc.o" "gcc" "src/apps/CMakeFiles/cbp_apps.dir/logging/loggers.cc.o.d"
+  "/root/repo/src/apps/minidb/minidb.cc" "src/apps/CMakeFiles/cbp_apps.dir/minidb/minidb.cc.o" "gcc" "src/apps/CMakeFiles/cbp_apps.dir/minidb/minidb.cc.o.d"
+  "/root/repo/src/apps/pool/object_pool.cc" "src/apps/CMakeFiles/cbp_apps.dir/pool/object_pool.cc.o" "gcc" "src/apps/CMakeFiles/cbp_apps.dir/pool/object_pool.cc.o.d"
+  "/root/repo/src/apps/strbuf/string_buffer.cc" "src/apps/CMakeFiles/cbp_apps.dir/strbuf/string_buffer.cc.o" "gcc" "src/apps/CMakeFiles/cbp_apps.dir/strbuf/string_buffer.cc.o.d"
+  "/root/repo/src/apps/swinglike/swing.cc" "src/apps/CMakeFiles/cbp_apps.dir/swinglike/swing.cc.o" "gcc" "src/apps/CMakeFiles/cbp_apps.dir/swinglike/swing.cc.o.d"
+  "/root/repo/src/apps/textindex/lucene.cc" "src/apps/CMakeFiles/cbp_apps.dir/textindex/lucene.cc.o" "gcc" "src/apps/CMakeFiles/cbp_apps.dir/textindex/lucene.cc.o.d"
+  "/root/repo/src/apps/webserver/jigsaw.cc" "src/apps/CMakeFiles/cbp_apps.dir/webserver/jigsaw.cc.o" "gcc" "src/apps/CMakeFiles/cbp_apps.dir/webserver/jigsaw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/cbp_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cbp_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbp_apps.dir/cache/cache.cc.o"
+  "CMakeFiles/cbp_apps.dir/cache/cache.cc.o.d"
+  "CMakeFiles/cbp_apps.dir/collections/sync_collections.cc.o"
+  "CMakeFiles/cbp_apps.dir/collections/sync_collections.cc.o.d"
+  "CMakeFiles/cbp_apps.dir/compress/pbzip2.cc.o"
+  "CMakeFiles/cbp_apps.dir/compress/pbzip2.cc.o.d"
+  "CMakeFiles/cbp_apps.dir/crawler/crawler.cc.o"
+  "CMakeFiles/cbp_apps.dir/crawler/crawler.cc.o.d"
+  "CMakeFiles/cbp_apps.dir/httpdlike/httpd.cc.o"
+  "CMakeFiles/cbp_apps.dir/httpdlike/httpd.cc.o.d"
+  "CMakeFiles/cbp_apps.dir/kernels/kernels.cc.o"
+  "CMakeFiles/cbp_apps.dir/kernels/kernels.cc.o.d"
+  "CMakeFiles/cbp_apps.dir/logging/async_appender.cc.o"
+  "CMakeFiles/cbp_apps.dir/logging/async_appender.cc.o.d"
+  "CMakeFiles/cbp_apps.dir/logging/loggers.cc.o"
+  "CMakeFiles/cbp_apps.dir/logging/loggers.cc.o.d"
+  "CMakeFiles/cbp_apps.dir/minidb/minidb.cc.o"
+  "CMakeFiles/cbp_apps.dir/minidb/minidb.cc.o.d"
+  "CMakeFiles/cbp_apps.dir/pool/object_pool.cc.o"
+  "CMakeFiles/cbp_apps.dir/pool/object_pool.cc.o.d"
+  "CMakeFiles/cbp_apps.dir/strbuf/string_buffer.cc.o"
+  "CMakeFiles/cbp_apps.dir/strbuf/string_buffer.cc.o.d"
+  "CMakeFiles/cbp_apps.dir/swinglike/swing.cc.o"
+  "CMakeFiles/cbp_apps.dir/swinglike/swing.cc.o.d"
+  "CMakeFiles/cbp_apps.dir/textindex/lucene.cc.o"
+  "CMakeFiles/cbp_apps.dir/textindex/lucene.cc.o.d"
+  "CMakeFiles/cbp_apps.dir/webserver/jigsaw.cc.o"
+  "CMakeFiles/cbp_apps.dir/webserver/jigsaw.cc.o.d"
+  "libcbp_apps.a"
+  "libcbp_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbp_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

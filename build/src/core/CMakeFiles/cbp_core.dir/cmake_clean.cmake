@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbp_core.dir/engine.cc.o"
+  "CMakeFiles/cbp_core.dir/engine.cc.o.d"
+  "CMakeFiles/cbp_core.dir/spec.cc.o"
+  "CMakeFiles/cbp_core.dir/spec.cc.o.d"
+  "libcbp_core.a"
+  "libcbp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/atomicity.cc" "src/detect/CMakeFiles/cbp_detect.dir/atomicity.cc.o" "gcc" "src/detect/CMakeFiles/cbp_detect.dir/atomicity.cc.o.d"
+  "/root/repo/src/detect/contention.cc" "src/detect/CMakeFiles/cbp_detect.dir/contention.cc.o" "gcc" "src/detect/CMakeFiles/cbp_detect.dir/contention.cc.o.d"
+  "/root/repo/src/detect/eraser.cc" "src/detect/CMakeFiles/cbp_detect.dir/eraser.cc.o" "gcc" "src/detect/CMakeFiles/cbp_detect.dir/eraser.cc.o.d"
+  "/root/repo/src/detect/fasttrack.cc" "src/detect/CMakeFiles/cbp_detect.dir/fasttrack.cc.o" "gcc" "src/detect/CMakeFiles/cbp_detect.dir/fasttrack.cc.o.d"
+  "/root/repo/src/detect/lock_order.cc" "src/detect/CMakeFiles/cbp_detect.dir/lock_order.cc.o" "gcc" "src/detect/CMakeFiles/cbp_detect.dir/lock_order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instrument/CMakeFiles/cbp_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cbp_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

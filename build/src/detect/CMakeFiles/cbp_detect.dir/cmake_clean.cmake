@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbp_detect.dir/atomicity.cc.o"
+  "CMakeFiles/cbp_detect.dir/atomicity.cc.o.d"
+  "CMakeFiles/cbp_detect.dir/contention.cc.o"
+  "CMakeFiles/cbp_detect.dir/contention.cc.o.d"
+  "CMakeFiles/cbp_detect.dir/eraser.cc.o"
+  "CMakeFiles/cbp_detect.dir/eraser.cc.o.d"
+  "CMakeFiles/cbp_detect.dir/fasttrack.cc.o"
+  "CMakeFiles/cbp_detect.dir/fasttrack.cc.o.d"
+  "CMakeFiles/cbp_detect.dir/lock_order.cc.o"
+  "CMakeFiles/cbp_detect.dir/lock_order.cc.o.d"
+  "libcbp_detect.a"
+  "libcbp_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbp_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/active.cc" "src/fuzz/CMakeFiles/cbp_fuzz.dir/active.cc.o" "gcc" "src/fuzz/CMakeFiles/cbp_fuzz.dir/active.cc.o.d"
+  "/root/repo/src/fuzz/explore.cc" "src/fuzz/CMakeFiles/cbp_fuzz.dir/explore.cc.o" "gcc" "src/fuzz/CMakeFiles/cbp_fuzz.dir/explore.cc.o.d"
+  "/root/repo/src/fuzz/noise.cc" "src/fuzz/CMakeFiles/cbp_fuzz.dir/noise.cc.o" "gcc" "src/fuzz/CMakeFiles/cbp_fuzz.dir/noise.cc.o.d"
+  "/root/repo/src/fuzz/pct.cc" "src/fuzz/CMakeFiles/cbp_fuzz.dir/pct.cc.o" "gcc" "src/fuzz/CMakeFiles/cbp_fuzz.dir/pct.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/instrument/CMakeFiles/cbp_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/cbp_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/cbp_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cbp_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

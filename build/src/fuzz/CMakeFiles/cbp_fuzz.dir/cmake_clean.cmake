@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbp_fuzz.dir/active.cc.o"
+  "CMakeFiles/cbp_fuzz.dir/active.cc.o.d"
+  "CMakeFiles/cbp_fuzz.dir/explore.cc.o"
+  "CMakeFiles/cbp_fuzz.dir/explore.cc.o.d"
+  "CMakeFiles/cbp_fuzz.dir/noise.cc.o"
+  "CMakeFiles/cbp_fuzz.dir/noise.cc.o.d"
+  "CMakeFiles/cbp_fuzz.dir/pct.cc.o"
+  "CMakeFiles/cbp_fuzz.dir/pct.cc.o.d"
+  "libcbp_fuzz.a"
+  "libcbp_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbp_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

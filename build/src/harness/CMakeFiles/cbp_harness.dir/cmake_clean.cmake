@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbp_harness.dir/experiment.cc.o"
+  "CMakeFiles/cbp_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/cbp_harness.dir/registry.cc.o"
+  "CMakeFiles/cbp_harness.dir/registry.cc.o.d"
+  "libcbp_harness.a"
+  "libcbp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbp_instrument.dir/hub.cc.o"
+  "CMakeFiles/cbp_instrument.dir/hub.cc.o.d"
+  "libcbp_instrument.a"
+  "libcbp_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbp_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbp_model.dir/probability.cc.o"
+  "CMakeFiles/cbp_model.dir/probability.cc.o.d"
+  "CMakeFiles/cbp_model.dir/schedule_sim.cc.o"
+  "CMakeFiles/cbp_model.dir/schedule_sim.cc.o.d"
+  "libcbp_model.a"
+  "libcbp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

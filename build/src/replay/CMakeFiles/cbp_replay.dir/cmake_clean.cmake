@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbp_replay.dir/recorder.cc.o"
+  "CMakeFiles/cbp_replay.dir/recorder.cc.o.d"
+  "CMakeFiles/cbp_replay.dir/replayer.cc.o"
+  "CMakeFiles/cbp_replay.dir/replayer.cc.o.d"
+  "libcbp_replay.a"
+  "libcbp_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbp_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cbp_runtime.dir/lock_tracker.cc.o"
+  "CMakeFiles/cbp_runtime.dir/lock_tracker.cc.o.d"
+  "CMakeFiles/cbp_runtime.dir/thread_registry.cc.o"
+  "CMakeFiles/cbp_runtime.dir/thread_registry.cc.o.d"
+  "libcbp_runtime.a"
+  "libcbp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cbp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_java.dir/test_apps_java.cc.o"
+  "CMakeFiles/test_apps_java.dir/test_apps_java.cc.o.d"
+  "test_apps_java"
+  "test_apps_java.pdb"
+  "test_apps_java[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_java.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_native.dir/test_apps_native.cc.o"
+  "CMakeFiles/test_apps_native.dir/test_apps_native.cc.o.d"
+  "test_apps_native"
+  "test_apps_native.pdb"
+  "test_apps_native[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_units.dir/test_apps_units.cc.o"
+  "CMakeFiles/test_apps_units.dir/test_apps_units.cc.o.d"
+  "test_apps_units"
+  "test_apps_units.pdb"
+  "test_apps_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

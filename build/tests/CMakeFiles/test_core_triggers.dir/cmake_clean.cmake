@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_triggers.dir/test_core_triggers.cc.o"
+  "CMakeFiles/test_core_triggers.dir/test_core_triggers.cc.o.d"
+  "test_core_triggers"
+  "test_core_triggers.pdb"
+  "test_core_triggers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_triggers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_properties.dir/test_detect_properties.cc.o"
+  "CMakeFiles/test_detect_properties.dir/test_detect_properties.cc.o.d"
+  "test_detect_properties"
+  "test_detect_properties.pdb"
+  "test_detect_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

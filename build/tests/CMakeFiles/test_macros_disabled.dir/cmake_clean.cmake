@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_macros_disabled.dir/test_macros_disabled.cc.o"
+  "CMakeFiles/test_macros_disabled.dir/test_macros_disabled.cc.o.d"
+  "test_macros_disabled"
+  "test_macros_disabled.pdb"
+  "test_macros_disabled[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_macros_disabled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refinements.dir/test_refinements.cc.o"
+  "CMakeFiles/test_refinements.dir/test_refinements.cc.o.d"
+  "test_refinements"
+  "test_refinements.pdb"
+  "test_refinements[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refinements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_core_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_core_triggers[1]_include.cmake")
+include("/root/repo/build/tests/test_instrument[1]_include.cmake")
+include("/root/repo/build/tests/test_detect[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_java[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_native[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_detect_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_replay[1]_include.cmake")
+include("/root/repo/build/tests/test_refinements[1]_include.cmake")
+include("/root/repo/build/tests/test_spec[1]_include.cmake")
+include("/root/repo/build/tests/test_macros_disabled[1]_include.cmake")
+include("/root/repo/build/tests/test_explore[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_units[1]_include.cmake")
