@@ -50,6 +50,16 @@ BreakpointSpec BreakpointSpec::parse(const std::string& text) {
         entry.ignore_first = parse_number(value, "ignore_first");
       } else if (key == "bound") {
         entry.bound = parse_number(value, "bound");
+      } else if (key == "from") {
+        if (value == "static") {
+          entry.from = SpecOrigin::kStatic;
+        } else if (value == "dynamic") {
+          entry.from = SpecOrigin::kDynamic;
+        } else {
+          throw std::invalid_argument(
+              "breakpoint spec: bad value for 'from': '" + value +
+              "' (expected static|dynamic)");
+        }
       } else {
         throw std::invalid_argument("breakpoint spec: unknown key '" + key +
                                     "' for breakpoint '" + name + "'");

@@ -10,6 +10,7 @@
 // Format, one breakpoint per line ('#' comments):
 //
 //   <name> [off] [pause=<ms>] [flip] [ignore_first=<n>] [bound=<n>]
+//          [from=<static|dynamic>]
 //
 // e.g.
 //   # jigsaw deadlock, resolve in the documented buggy order
@@ -17,6 +18,13 @@
 //   cache4j-atomicity1 ignore_first=7200
 //   log4j-contention flip
 //   noisy-breakpoint off
+//   # candidate: conflict 'counter' cache.cc:23 <-> cache.cc:27 score=135
+//   sa-conflict-counter-cache.cc-23-27 from=static
+//
+// `from=` records the provenance of the (l1, l2) pair — `static` for
+// cbp-sa mined candidates, `dynamic` for detector-reported sites; the
+// cbp-sa emitter precedes each entry with a `# candidate:` comment
+// describing the mined pair (comments are ignored by the parser).
 //
 // Overrides are applied inside the engine at trigger time, so they
 // compose with (and take precedence over) whatever the inserted code
@@ -31,6 +39,11 @@
 
 namespace cbp {
 
+/// Where a spec entry's (l1, l2) pair was mined from: a dynamic
+/// detector report (Methodology I/II) or the cbp-sa static analyzer.
+/// Provenance only — the engine treats both identically at trigger time.
+enum class SpecOrigin : std::uint8_t { kUnspecified, kStatic, kDynamic };
+
 /// Per-breakpoint-name overrides.
 struct SpecOverride {
   bool disabled = false;                     ///< `off`
@@ -38,6 +51,7 @@ struct SpecOverride {
   bool flip_order = false;                   ///< `flip` (binary ranks only)
   std::optional<std::uint64_t> ignore_first; ///< `ignore_first=<n>`
   std::optional<std::uint64_t> bound;        ///< `bound=<n>`
+  SpecOrigin from = SpecOrigin::kUnspecified;  ///< `from=<static|dynamic>`
 };
 
 /// Parses spec text; throws std::invalid_argument on malformed input

@@ -3,6 +3,7 @@
 // human (or harness) inserting breakpoints.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,56 @@ struct DeadlockReport {
       out += "\n  Thread" + std::to_string(leg.tid) +
              " trying to acquire lock " + leg.wanted_tag +
              " while holding lock " + leg.held_tag + " at " + leg.site.str();
+    }
+    return out;
+  }
+};
+
+/// A breakpoint candidate mined *statically* by cbp-sa (src/sa): the
+/// same (l1, l2) shape as the dynamic reports above, but obtained from
+/// source text alone — no execution required.  Owns its strings so
+/// reports outlive the analysis that produced them.
+struct CandidateReport {
+  enum class Kind : std::uint8_t { kConflict, kContention, kDeadlock };
+
+  Kind kind = Kind::kConflict;
+  std::string breakpoint;  ///< generated spec name (`sa-...`)
+  std::string subject;     ///< shared variable, lock tag, or lock pair
+  std::string file_a;
+  std::uint32_t line_a = 0;
+  bool a_is_write = false;  ///< conflicts only
+  std::string file_b;
+  std::uint32_t line_b = 0;
+  bool b_is_write = false;  ///< conflicts only
+  int score = 0;
+  std::string existing;  ///< nearby already-inserted breakpoint, if any
+
+  [[nodiscard]] instr::SourceLoc first() const { return {file_a, line_a}; }
+  [[nodiscard]] instr::SourceLoc second() const { return {file_b, line_b}; }
+
+  /// Rendered in the paper's §5 report register, flagged as static.
+  [[nodiscard]] std::string str() const {
+    std::string out;
+    switch (kind) {
+      case Kind::kConflict:
+        out = "Data race candidate (static) on '" + subject + "' between\n  " +
+              std::string(a_is_write ? "write" : "read") + " at " +
+              first().str() + ", and\n  " +
+              std::string(b_is_write ? "write" : "read") + " at " +
+              second().str() + ".";
+        break;
+      case Kind::kContention:
+        out = "Lock contention candidate (static) on '" + subject +
+              "':\n  " + first().str() + ",\n  " + second().str();
+        break;
+      case Kind::kDeadlock:
+        out = "Deadlock candidate (static): crossed lock order on " +
+              subject + " at\n  " + first().str() + ", and\n  " +
+              second().str() + ".";
+        break;
+    }
+    if (!existing.empty()) {
+      out += "\n  (near existing breakpoint '" + existing + "')";
     }
     return out;
   }

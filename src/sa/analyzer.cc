@@ -1,0 +1,110 @@
+#include "sa/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "sa/lock_graph_pass.h"
+#include "sa/lockset_pass.h"
+#include "sa/rank.h"
+
+namespace cbp::sa {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_source_file(const fs::path& path) {
+  static constexpr std::string_view kExts[] = {".cc", ".cpp", ".cxx",
+                                               ".h",  ".hpp", ".hh"};
+  const std::string ext = path.extension().string();
+  return std::find(std::begin(kExts), std::end(kExts), ext) !=
+         std::end(kExts);
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+AnalysisResult analyze_units(
+    std::vector<std::pair<std::string, std::vector<SourceFile>>> units,
+    const AnalysisOptions& options) {
+  AnalysisResult result;
+  for (auto& [name, files] : units) {
+    // Deterministic file order within the unit.
+    std::sort(files.begin(), files.end(),
+              [](const SourceFile& a, const SourceFile& b) {
+                return a.path < b.path;
+              });
+    UnitModel model = extract_unit(name, files);
+    std::vector<Candidate> found = lockset_pass(model);
+    std::vector<Candidate> crossed = lock_graph_pass(model);
+    found.insert(found.end(), crossed.begin(), crossed.end());
+    if (options.include_contention) {
+      std::vector<Candidate> contended = contention_pass(model);
+      found.insert(found.end(), contended.begin(), contended.end());
+    }
+    result.lock_graph_has_cycle =
+        result.lock_graph_has_cycle || lock_graph_has_cycle(model);
+    result.candidates.insert(result.candidates.end(), found.begin(),
+                             found.end());
+    result.units.push_back(std::move(model));
+  }
+  rank_candidates(result.candidates, result.units);
+  return result;
+}
+
+}  // namespace
+
+AnalysisResult analyze_sources(const std::string& unit_name,
+                               const std::vector<SourceFile>& files,
+                               const AnalysisOptions& options) {
+  return analyze_units({{unit_name, files}}, options);
+}
+
+AnalysisResult analyze_paths(const std::vector<std::string>& paths,
+                             const AnalysisOptions& options) {
+  // Group discovered files by parent directory; the directory basename
+  // names the unit (full path keeps distinct same-named directories
+  // apart in the map, sorted for determinism).
+  std::map<std::string, std::vector<SourceFile>> by_dir;
+  std::error_code ec;
+  for (const std::string& raw : paths) {
+    const fs::path path(raw);
+    if (fs::is_directory(path, ec)) {
+      for (auto it = fs::recursive_directory_iterator(
+               path, fs::directory_options::skip_permission_denied, ec);
+           it != fs::recursive_directory_iterator(); it.increment(ec)) {
+        if (ec) break;
+        if (!it->is_regular_file(ec) || !is_source_file(it->path())) continue;
+        std::string content;
+        if (read_file(it->path(), content)) {
+          by_dir[it->path().parent_path().string()].push_back(
+              SourceFile{it->path().string(), std::move(content)});
+        }
+      }
+    } else if (fs::is_regular_file(path, ec) && is_source_file(path)) {
+      std::string content;
+      if (read_file(path, content)) {
+        by_dir[path.parent_path().string()].push_back(
+            SourceFile{path.string(), std::move(content)});
+      }
+    }
+  }
+
+  std::vector<std::pair<std::string, std::vector<SourceFile>>> units;
+  units.reserve(by_dir.size());
+  for (auto& [dir, files] : by_dir) {
+    const std::string name = fs::path(dir).filename().string();
+    units.emplace_back(name.empty() ? dir : name, std::move(files));
+  }
+  return analyze_units(std::move(units), options);
+}
+
+}  // namespace cbp::sa

@@ -1,0 +1,38 @@
+// cbp-sa front door: file loading, unit grouping, pass orchestration.
+//
+// An analysis unit is a directory's worth of sources (the .cc files plus
+// the sibling headers that declare their SharedVars and TrackedMutexes).
+// analyze_paths() expands files/directories, groups them by parent
+// directory, extracts a model per unit, runs the lockset, lock-graph,
+// and contention passes, and globally ranks the combined candidates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sa/extractor.h"
+#include "sa/model.h"
+
+namespace cbp::sa {
+
+struct AnalysisOptions {
+  bool include_contention = true;  ///< emit lock-contention candidates
+};
+
+struct AnalysisResult {
+  std::vector<UnitModel> units;       ///< one per directory, sorted
+  std::vector<Candidate> candidates;  ///< ranked, best first
+  bool lock_graph_has_cycle = false;  ///< any unit, any cycle length
+};
+
+/// Analyzes pre-loaded sources as one unit (the test entry point).
+AnalysisResult analyze_sources(const std::string& unit_name,
+                               const std::vector<SourceFile>& files,
+                               const AnalysisOptions& options = {});
+
+/// Analyzes files and/or directories (recursing into directories for
+/// .cc/.cpp/.cxx/.h/.hpp/.hh files).  Unreadable paths are skipped.
+AnalysisResult analyze_paths(const std::vector<std::string>& paths,
+                             const AnalysisOptions& options = {});
+
+}  // namespace cbp::sa

@@ -1,0 +1,338 @@
+#include "sa/extractor.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cbp::sa {
+namespace {
+
+/// One lock active in a brace scope.  `alias` is the TrackedLock
+/// variable name for RAII acquisitions ("" for manual lock() calls).
+struct ScopeLock {
+  std::string mutex;
+  std::string alias;
+};
+
+bool is_wait_method(const std::string& m) {
+  return m == "wait" || m == "wait_for" || m == "wait_or_stall" ||
+         m == "wait_notified_or_stall";
+}
+
+const char* trigger_kind(const std::string& ident) {
+  if (ident == "ConflictTrigger" || ident == "CBP_CONFLICT") return "conflict";
+  if (ident == "DeadlockTrigger" || ident == "CBP_DEADLOCK") return "deadlock";
+  if (ident == "OrderTrigger" || ident == "CBP_ORDER") return "order";
+  if (ident == "AtomicityTrigger") return "atomicity";
+  return nullptr;
+}
+
+class FileExtractor {
+ public:
+  FileExtractor(const std::string& path, const std::vector<Token>& tokens,
+                bool decls_only, UnitModel& model)
+      : path_(path), t_(tokens), decls_only_(decls_only), m_(model) {
+    scopes_.emplace_back();  // file-level scope
+  }
+
+  void run() {
+    for (std::size_t i = 0; i < t_.size();) {
+      const Token& tk = t_[i];
+      if (tk.is_punct("{")) {
+        scopes_.emplace_back();
+        ++i;
+      } else if (tk.is_punct("}")) {
+        if (scopes_.size() > 1) scopes_.pop_back();
+        ++i;
+      } else if (tk.kind == TokKind::kIdent) {
+        i = handle_ident(i);
+      } else if ((tk.is_punct(".") || tk.is_punct("->")) && i + 2 < t_.size() &&
+                 t_[i + 1].kind == TokKind::kIdent &&
+                 t_[i + 2].is_punct("(")) {
+        i = handle_method_call(i);
+      } else {
+        ++i;
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] SiteRef site(std::uint32_t line) const {
+    return SiteRef{path_, line};
+  }
+
+  /// Index just past the '>' matching the '<' at `i`, or i + 1 if the
+  /// template argument list never closes (malformed / not a template).
+  [[nodiscard]] std::size_t skip_template_args(std::size_t i) const {
+    int depth = 0;
+    for (std::size_t j = i; j < t_.size() && j < i + 128; ++j) {
+      if (t_[j].is_punct("<")) ++depth;
+      if (t_[j].is_punct(">")) {
+        if (--depth == 0) return j + 1;
+      }
+      if (t_[j].is_punct(";") || t_[j].is_punct("{")) break;
+    }
+    return i + 1;
+  }
+
+  /// Index of the ')' matching the '(' at `i` (or end of stream).
+  [[nodiscard]] std::size_t match_paren(std::size_t i) const {
+    int depth = 0;
+    for (std::size_t j = i; j < t_.size(); ++j) {
+      if (t_[j].is_punct("(")) ++depth;
+      if (t_[j].is_punct(")")) {
+        if (--depth == 0) return j;
+      }
+    }
+    return t_.size();
+  }
+
+  /// Last identifier in tokens [begin, end): the trailing component of a
+  /// receiver chain like `this->mu_` or `obj.inner.lock_`.
+  [[nodiscard]] std::string last_ident(std::size_t begin,
+                                       std::size_t end) const {
+    std::string name;
+    for (std::size_t j = begin; j < end && j < t_.size(); ++j) {
+      if (t_[j].kind == TokKind::kIdent) name = t_[j].text;
+    }
+    return name;
+  }
+
+  [[nodiscard]] std::vector<std::string> lockset() const {
+    std::vector<std::string> held;
+    for (const auto& level : scopes_) {
+      for (const ScopeLock& lock : level) held.push_back(lock.mutex);
+    }
+    std::sort(held.begin(), held.end());
+    held.erase(std::unique(held.begin(), held.end()), held.end());
+    return held;
+  }
+
+  [[nodiscard]] bool is_var(const std::string& name) const {
+    for (const VarDecl& v : m_.vars) {
+      if (v.name == name) return true;
+    }
+    return false;
+  }
+
+  void ensure_mutex(const std::string& name, std::uint32_t line) {
+    if (m_.find_mutex(name) == nullptr) {
+      m_.mutexes.push_back(MutexDecl{name, "", site(line)});
+    }
+  }
+
+  void record_acquire(const std::string& mutex, std::uint32_t line,
+                      bool blocking) {
+    std::vector<std::string> held = lockset();
+    held.erase(std::remove(held.begin(), held.end(), mutex), held.end());
+    m_.acquires.push_back(Acquire{mutex, site(line), blocking, std::move(held)});
+  }
+
+  /// First argument of the call whose '(' is at `open`: last identifier
+  /// before the first top-level ',' (empty for zero-argument calls).
+  [[nodiscard]] std::string first_arg_ident(std::size_t open) const {
+    const std::size_t close = match_paren(open);
+    int depth = 0;
+    std::size_t end = close;
+    for (std::size_t j = open; j < close; ++j) {
+      if (t_[j].is_punct("(") || t_[j].is_punct("{")) ++depth;
+      if (t_[j].is_punct(")") || t_[j].is_punct("}")) --depth;
+      if (depth == 1 && t_[j].is_punct(",")) {
+        end = j;
+        break;
+      }
+    }
+    return last_ident(open + 1, end);
+  }
+
+  /// First argument rendered as an annotation name: a string literal's
+  /// text, else the trailing identifier (e.g. kRace1).
+  [[nodiscard]] std::string first_arg_name(std::size_t open) const {
+    const std::size_t close = match_paren(open);
+    for (std::size_t j = open + 1; j < close; ++j) {
+      if (t_[j].kind == TokKind::kString) return t_[j].text;
+      if (t_[j].is_punct(",")) break;
+    }
+    return first_arg_ident(open);
+  }
+
+  std::size_t handle_ident(std::size_t i) {
+    const std::string& ident = t_[i].text;
+    if (ident == "SharedVar") return handle_var_decl(i);
+    if (ident == "TrackedMutex") return handle_mutex_decl(i);
+    if (!decls_only_) {
+      if (ident == "TrackedLock") return handle_tracked_lock(i);
+      if (const char* kind = trigger_kind(ident)) {
+        return handle_annotation(i, kind);
+      }
+    }
+    return i + 1;
+  }
+
+  /// `SharedVar<T> [&*] name` — member, local, or reference parameter.
+  std::size_t handle_var_decl(std::size_t i) {
+    std::size_t j = i + 1;
+    if (j < t_.size() && t_[j].is_punct("<")) j = skip_template_args(j);
+    while (j < t_.size() && (t_[j].is_punct("&") || t_[j].is_punct("*"))) ++j;
+    if (j < t_.size() && t_[j].kind == TokKind::kIdent) {
+      if (decls_only_ && !is_var(t_[j].text)) {
+        m_.vars.push_back(VarDecl{t_[j].text, site(t_[j].line)});
+      }
+      return j + 1;
+    }
+    return i + 1;
+  }
+
+  /// `TrackedMutex [&] name[{"tag"}|("tag")]`.
+  std::size_t handle_mutex_decl(std::size_t i) {
+    std::size_t j = i + 1;
+    while (j < t_.size() && (t_[j].is_punct("&") || t_[j].is_punct("*"))) ++j;
+    if (j >= t_.size() || t_[j].kind != TokKind::kIdent) return i + 1;
+    const std::string name = t_[j].text;
+    std::string tag;
+    std::size_t next = j + 1;
+    if (next < t_.size() &&
+        (t_[next].is_punct("{") || t_[next].is_punct("("))) {
+      // Scan the initializer for a tag string; stop at the ';'.
+      for (std::size_t k = next + 1; k < t_.size() && k < next + 16; ++k) {
+        if (t_[k].is_punct(";")) break;
+        if (t_[k].kind == TokKind::kString) {
+          tag = t_[k].text;
+          break;
+        }
+      }
+    }
+    if (decls_only_) {
+      if (m_.find_mutex(name) == nullptr) {
+        m_.mutexes.push_back(MutexDecl{name, tag, site(t_[j].line)});
+      } else if (!tag.empty()) {
+        for (MutexDecl& m : m_.mutexes) {
+          if (m.name == name && m.tag.empty()) m.tag = tag;
+        }
+      }
+    }
+    return j + 1;
+  }
+
+  /// `TrackedLock alias(mu)` — RAII acquisition bound to this scope.
+  /// `TrackedLock(mu)` (temporary) acquires and releases immediately.
+  std::size_t handle_tracked_lock(std::size_t i) {
+    std::size_t j = i + 1;
+    std::string alias;
+    if (j < t_.size() && t_[j].kind == TokKind::kIdent) {
+      alias = t_[j].text;
+      ++j;
+    }
+    if (j >= t_.size() || !t_[j].is_punct("(")) return i + 1;
+    const std::size_t close = match_paren(j);
+    const std::string mutex = last_ident(j + 1, close);
+    if (mutex.empty()) return close + 1;
+    ensure_mutex(mutex, t_[i].line);
+    record_acquire(mutex, t_[i].line, /*blocking=*/true);
+    if (!alias.empty()) {
+      scopes_.back().push_back(ScopeLock{mutex, alias});
+    }
+    return close + 1;
+  }
+
+  /// `CBP_*(name, ...)` or `XxxTrigger trigger(name, ...)`.
+  std::size_t handle_annotation(std::size_t i, const char* kind) {
+    std::size_t j = i + 1;
+    if (j < t_.size() && t_[j].kind == TokKind::kIdent) ++j;  // ctor var name
+    if (j >= t_.size() || !t_[j].is_punct("(")) return i + 1;
+    m_.annotations.push_back(
+        Annotation{kind, first_arg_name(j), site(t_[i].line)});
+    return j + 1;
+  }
+
+  std::size_t handle_method_call(std::size_t i) {
+    const std::string& method = t_[i + 1].text;
+    const std::size_t open = i + 2;
+    // Receiver chain's trailing component must be a plain identifier.
+    if (i == 0 || t_[i - 1].kind != TokKind::kIdent) return open + 1;
+    const std::string& recv = t_[i - 1].text;
+    const std::uint32_t line = t_[i + 1].line;
+
+    if (decls_only_) return open + 1;
+
+    if (method == "read" || method == "write" || method == "racy_update") {
+      if (is_var(recv)) {
+        if (method != "write") {
+          m_.accesses.push_back(
+              Access{recv, site(line), /*is_write=*/false, lockset()});
+        }
+        if (method != "read") {
+          m_.accesses.push_back(
+              Access{recv, site(line), /*is_write=*/true, lockset()});
+        }
+      }
+    } else if (method == "lock" || method == "lock_or_stall" ||
+               method == "try_lock") {
+      // `.lock_or_stall` is unique to TrackedMutex, so it registers the
+      // mutex even when undeclared; bare `.lock()`/`.try_lock()` only
+      // count on declared TrackedMutexes (std types use them too).
+      const bool known = m_.find_mutex(recv) != nullptr;
+      if (method == "lock_or_stall" || known) {
+        ensure_mutex(recv, line);
+        record_acquire(recv, line, /*blocking=*/method != "try_lock");
+        scopes_.back().push_back(ScopeLock{recv, ""});
+      }
+    } else if (method == "unlock") {
+      release(recv);
+    } else if (is_wait_method(method)) {
+      const std::string mutex = first_arg_ident(open);
+      if (!mutex.empty() && m_.find_mutex(mutex) != nullptr) {
+        m_.waits.push_back(Wait{recv, mutex, site(line)});
+      }
+    }
+    return open + 1;
+  }
+
+  /// `x.unlock()`: x is either a TrackedLock alias (early release) or a
+  /// mutex (manual release).  Removes the innermost matching entry.
+  void release(const std::string& recv) {
+    for (auto level = scopes_.rbegin(); level != scopes_.rend(); ++level) {
+      for (auto it = level->rbegin(); it != level->rend(); ++it) {
+        if (it->alias == recv || it->mutex == recv) {
+          level->erase(std::next(it).base());
+          return;
+        }
+      }
+    }
+  }
+
+  const std::string& path_;
+  const std::vector<Token>& t_;
+  const bool decls_only_;
+  UnitModel& m_;
+  std::vector<std::vector<ScopeLock>> scopes_;
+};
+
+}  // namespace
+
+UnitModel extract_unit(std::string unit_name,
+                       const std::vector<SourceFile>& files) {
+  UnitModel model;
+  model.name = std::move(unit_name);
+
+  std::vector<std::vector<Token>> token_streams;
+  token_streams.reserve(files.size());
+  for (const SourceFile& file : files) {
+    model.files.push_back(file.path);
+    token_streams.push_back(tokenize(file.content));
+  }
+
+  // Phase 1: declarations only, so accesses in a .cc resolve variables
+  // declared in a sibling header regardless of file order.
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    FileExtractor(files[i].path, token_streams[i], /*decls_only=*/true, model)
+        .run();
+  }
+  // Phase 2: sites, locksets, waits, annotations.
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    FileExtractor(files[i].path, token_streams[i], /*decls_only=*/false, model)
+        .run();
+  }
+  return model;
+}
+
+}  // namespace cbp::sa

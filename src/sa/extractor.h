@@ -1,0 +1,42 @@
+// Site extractor: token stream -> static access model.
+//
+// Walks the tokens of each file in an analysis unit with a brace-scope
+// stack, recognizing the repo's instrumentation surface:
+//
+//   SharedVar<T> name            variable declaration (member or param)
+//   name.read()/.write()         instrumented access (racy_update = both)
+//   TrackedMutex name{"tag"}     mutex declaration
+//   TrackedLock l(mu)            RAII acquisition, released at scope exit
+//   mu.lock()/.lock_or_stall()   manual acquisition
+//   mu.unlock() / l.unlock()     manual / early-alias release
+//   cv.wait*(mu, ...)            condition wait under mu
+//   CBP_* / *Trigger(name, ...)  existing breakpoint annotations
+//
+// The lockset at a site is the set of mutexes acquired in enclosing (or
+// earlier-in-scope) positions and not yet released.  Manual locks that
+// are never visibly released are force-released when their enclosing
+// brace scope closes, so one unmatched lock() cannot poison the lockset
+// of the rest of the file (functions are not tracked explicitly; brace
+// scopes bound every lockset conservatively).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sa/model.h"
+#include "sa/tokenizer.h"
+
+namespace cbp::sa {
+
+/// One source file handed to the extractor.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Builds the access model for one analysis unit.  Files are processed
+/// independently (scope state resets per file) into one merged model.
+UnitModel extract_unit(std::string unit_name,
+                       const std::vector<SourceFile>& files);
+
+}  // namespace cbp::sa

@@ -1,0 +1,92 @@
+#include "sa/lock_graph_pass.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace cbp::sa {
+namespace {
+
+struct Edge {
+  std::string held;
+  std::string wanted;
+  SiteRef site;                    ///< where `wanted` is acquired
+  std::vector<std::string> all_held;  ///< full held set at the site
+};
+
+std::vector<Edge> build_edges(const UnitModel& model) {
+  std::vector<Edge> edges;
+  for (const Acquire& acquire : model.acquires) {
+    if (!acquire.blocking) continue;  // try_lock cannot deadlock
+    for (const std::string& held : acquire.held) {
+      if (held == acquire.mutex) continue;
+      edges.push_back(Edge{held, acquire.mutex, acquire.site, acquire.held});
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::vector<Candidate> lock_graph_pass(const UnitModel& model) {
+  const std::vector<Edge> edges = build_edges(model);
+  std::vector<Candidate> out;
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    for (std::size_t j = 0; j < edges.size(); ++j) {
+      const Edge& ab = edges[i];
+      const Edge& ba = edges[j];
+      if (ab.held != ba.wanted || ab.wanted != ba.held) continue;
+      if (ab.held >= ab.wanted) continue;  // emit each crossing once (a < b)
+      const std::string key = ab.site.str() + "|" + ba.site.str();
+      if (!seen.insert(key).second) continue;
+      Candidate c;
+      c.kind = Candidate::Kind::kDeadlock;
+      c.unit = model.name;
+      c.subject = model.mutex_display(ab.held) + " <-> " +
+                  model.mutex_display(ab.wanted);
+      // site_a: acquiring `wanted` while holding `held`; site_b: the
+      // opposite crossing — the two legs of the paper's §5 report.
+      c.site_a = ab.site;
+      c.site_b = ba.site;
+      c.mutex_a = ab.wanted;
+      c.mutex_b = ba.wanted;
+      c.locks_a = ab.all_held;
+      c.locks_b = ba.all_held;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+bool lock_graph_has_cycle(const UnitModel& model) {
+  std::map<std::string, std::set<std::string>> graph;
+  for (const Edge& edge : build_edges(model)) {
+    graph[edge.held].insert(edge.wanted);
+  }
+  // Iterative DFS with colouring.
+  std::map<std::string, int> colour;  // 0 white, 1 grey, 2 black
+  for (const auto& [start, unused] : graph) {
+    (void)unused;
+    if (colour[start] != 0) continue;
+    std::vector<std::pair<std::string, bool>> stack{{start, false}};
+    while (!stack.empty()) {
+      auto [node, done] = stack.back();
+      stack.pop_back();
+      if (done) {
+        colour[node] = 2;
+        continue;
+      }
+      if (colour[node] != 0) continue;
+      colour[node] = 1;
+      stack.push_back({node, true});
+      for (const std::string& next : graph[node]) {
+        if (colour[next] == 1) return true;
+        if (colour[next] == 0) stack.push_back({next, false});
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace cbp::sa

@@ -1,0 +1,24 @@
+// Static lock-order-graph pass (Goodlock, without running the program).
+//
+// Every blocking acquisition of `wanted` with a non-empty held set adds
+// edges held -> wanted, each carrying the acquisition site.  A crossed
+// pair of edges (a -> b and b -> a) is a candidate DeadlockTrigger pair:
+// the two sites are exactly the l1/l2 the dynamic LockOrderDetector
+// would report after observing both orders at runtime.
+#pragma once
+
+#include <vector>
+
+#include "sa/model.h"
+
+namespace cbp::sa {
+
+/// Crossed-lock (2-cycle) deadlock candidates for one unit.
+std::vector<Candidate> lock_graph_pass(const UnitModel& model);
+
+/// True if the unit's static lock-order graph has any directed cycle
+/// (any length) — longer cycles are surfaced in the report summary even
+/// though only 2-cycles become concrete breakpoint candidates.
+bool lock_graph_has_cycle(const UnitModel& model);
+
+}  // namespace cbp::sa

@@ -1,0 +1,110 @@
+#include "sa/lockset_pass.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+namespace cbp::sa {
+namespace {
+
+bool disjoint(const std::vector<std::string>& a,
+              const std::vector<std::string>& b) {
+  for (const std::string& lock : a) {
+    if (std::find(b.begin(), b.end(), lock) != b.end()) return false;
+  }
+  return true;
+}
+
+/// Orders the two sites of a pair canonically (file, line, read first).
+bool site_before(const Access& a, const Access& b) {
+  if (!(a.site == b.site)) return a.site < b.site;
+  return !a.is_write && b.is_write;
+}
+
+}  // namespace
+
+std::vector<Candidate> lockset_pass(const UnitModel& model) {
+  // Group accesses per variable name (field granularity, like Eraser).
+  std::map<std::string, std::vector<const Access*>> by_var;
+  for (const Access& access : model.accesses) {
+    by_var[access.var].push_back(&access);
+  }
+
+  std::vector<Candidate> out;
+  for (const auto& [var, sites] : by_var) {
+    std::set<std::tuple<std::string, std::uint32_t, bool, std::string,
+                        std::uint32_t, bool>>
+        seen;
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      for (std::size_t j = i + 1; j < sites.size(); ++j) {
+        const Access* a = sites[i];
+        const Access* b = sites[j];
+        if (!a->is_write && !b->is_write) continue;  // read/read: no race
+        if (a->site == b->site && a->is_write == b->is_write) continue;
+        if (!disjoint(a->lockset, b->lockset)) continue;
+        if (site_before(*b, *a)) std::swap(a, b);
+        if (!seen
+                 .insert({a->site.file, a->site.line, a->is_write,
+                          b->site.file, b->site.line, b->is_write})
+                 .second) {
+          continue;
+        }
+        Candidate c;
+        c.kind = Candidate::Kind::kConflict;
+        c.unit = model.name;
+        c.subject = var;
+        c.site_a = a->site;
+        c.site_b = b->site;
+        c.a_is_write = a->is_write;
+        c.b_is_write = b->is_write;
+        c.locks_a = a->lockset;
+        c.locks_b = b->lockset;
+        out.push_back(std::move(c));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Candidate> contention_pass(const UnitModel& model) {
+  // Mutexes that guard at least one condition wait: the interesting
+  // contention class (a reordered acquisition can strand the waiter).
+  std::set<std::string> waited_on;
+  for (const Wait& wait : model.waits) waited_on.insert(wait.mutex);
+
+  std::map<std::string, std::vector<const Acquire*>> by_mutex;
+  for (const Acquire& acquire : model.acquires) {
+    if (waited_on.count(acquire.mutex) != 0) {
+      by_mutex[acquire.mutex].push_back(&acquire);
+    }
+  }
+
+  std::vector<Candidate> out;
+  for (const auto& [mutex, sites] : by_mutex) {
+    std::set<std::pair<std::string, std::string>> seen;
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      for (std::size_t j = i + 1; j < sites.size(); ++j) {
+        const Acquire* a = sites[i];
+        const Acquire* b = sites[j];
+        if (a->site == b->site) continue;
+        if (b->site < a->site) std::swap(a, b);
+        if (!seen.insert({a->site.str(), b->site.str()}).second) continue;
+        Candidate c;
+        c.kind = Candidate::Kind::kContention;
+        c.unit = model.name;
+        c.subject = model.mutex_display(mutex);
+        c.site_a = a->site;
+        c.site_b = b->site;
+        c.locks_a = a->held;
+        c.locks_b = b->held;
+        c.mutex_a = mutex;
+        c.mutex_b = mutex;
+        out.push_back(std::move(c));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cbp::sa

@@ -1,0 +1,29 @@
+// Static Eraser-style lockset pass.
+//
+// For every shared variable in the unit, every pair of access sites with
+// at least one write and *disjoint* statically-enclosing locksets is a
+// candidate ConflictTrigger pair: no common lock means nothing in the
+// program text orders the two accesses, which is precisely the (l1, l2)
+// shape Methodology I mines from dynamic race reports — obtained here
+// with zero executions.
+//
+// The same machinery emits lock-contention candidates for every mutex
+// that guards a condition wait: each pair of acquisition sites of such a
+// mutex is a potential Methodology-II contention pair (the §5 log4j
+// report shape — the class that surfaces missed-notification stalls).
+#pragma once
+
+#include <vector>
+
+#include "sa/model.h"
+
+namespace cbp::sa {
+
+/// Conflict (data-race) candidates for one unit.
+std::vector<Candidate> lockset_pass(const UnitModel& model);
+
+/// Contention candidates: acquisition-site pairs of condvar-guarding
+/// mutexes.
+std::vector<Candidate> contention_pass(const UnitModel& model);
+
+}  // namespace cbp::sa

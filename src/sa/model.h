@@ -1,0 +1,147 @@
+// The static access model: what the site extractor mines out of one
+// analysis unit (a directory's worth of sources = a translation unit
+// plus its sibling headers), and the candidate type the passes produce.
+//
+// Identity is *name-based*: a shared variable is its member/parameter
+// name, a mutex is the last component of its receiver expression
+// (`this->mu_` and `mu_` collapse).  That is a sound over-approximation
+// for the paper's workloads — distinct objects of one class merge into
+// one "field", exactly the granularity Eraser reports at — and it is
+// what lets cbp-sa run with no type information at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cbp::sa {
+
+/// A mined source site.  `file` is the full path as given to the
+/// analyzer; display/reporting uses the basename (SourceLoc style).
+struct SiteRef {
+  std::string file;
+  std::uint32_t line = 0;
+
+  [[nodiscard]] std::string basename() const {
+    const auto slash = file.rfind('/');
+    return slash == std::string::npos ? file : file.substr(slash + 1);
+  }
+  [[nodiscard]] std::string str() const {
+    return basename() + ":" + std::to_string(line);
+  }
+  friend bool operator<(const SiteRef& a, const SiteRef& b) {
+    if (a.file != b.file) return a.file < b.file;
+    return a.line < b.line;
+  }
+  friend bool operator==(const SiteRef& a, const SiteRef& b) {
+    return a.line == b.line && a.file == b.file;
+  }
+};
+
+/// `SharedVar<T> name` declaration (member, local, or reference param).
+struct VarDecl {
+  std::string name;
+  SiteRef decl;
+};
+
+/// `TrackedMutex name{"tag"}` declaration.
+struct MutexDecl {
+  std::string name;
+  std::string tag;  ///< empty when the declaration carries no tag string
+  SiteRef decl;
+};
+
+/// One instrumented read or write of a shared variable, with the
+/// statically-enclosing lockset at the access site.
+struct Access {
+  std::string var;
+  SiteRef site;
+  bool is_write = false;
+  std::vector<std::string> lockset;  ///< sorted, deduplicated mutex names
+};
+
+/// One lock-acquisition site (TrackedLock ctor, .lock(), .lock_or_stall(),
+/// .try_lock()) with the set of locks already held there.
+struct Acquire {
+  std::string mutex;
+  SiteRef site;
+  bool blocking = true;  ///< false for try_lock (cannot deadlock)
+  std::vector<std::string> held;  ///< sorted; excludes `mutex` itself
+};
+
+/// One condition wait site (`cv.wait*(mu, ...)`).
+struct Wait {
+  std::string condvar;
+  std::string mutex;
+  SiteRef site;
+};
+
+/// An already-inserted breakpoint: a CBP_* macro or a *Trigger
+/// construction.  Used to cross-reference candidates against the bugs
+/// Methodology I/II already annotated.
+struct Annotation {
+  std::string kind;  ///< "conflict", "deadlock", "order", "atomicity"
+  std::string name;  ///< first-argument literal or identifier
+  SiteRef site;
+};
+
+/// Everything extracted from one analysis unit.
+struct UnitModel {
+  std::string name;  ///< unit label (directory basename)
+  std::vector<std::string> files;
+  std::vector<VarDecl> vars;
+  std::vector<MutexDecl> mutexes;
+  std::vector<Access> accesses;
+  std::vector<Acquire> acquires;
+  std::vector<Wait> waits;
+  std::vector<Annotation> annotations;
+
+  [[nodiscard]] const MutexDecl* find_mutex(const std::string& name_in) const {
+    for (const MutexDecl& m : mutexes) {
+      if (m.name == name_in) return &m;
+    }
+    return nullptr;
+  }
+
+  /// Display name for a mutex: its declared tag when present.
+  [[nodiscard]] std::string mutex_display(const std::string& name_in) const {
+    const MutexDecl* decl = find_mutex(name_in);
+    return decl != nullptr && !decl->tag.empty() ? decl->tag : name_in;
+  }
+};
+
+/// A mined breakpoint candidate: the static analogue of the dynamic
+/// detectors' Race/Contention/Deadlock reports, i.e. an (l1, l2, phi)
+/// pair the engine can plant a concurrent breakpoint on.
+struct Candidate {
+  enum class Kind : std::uint8_t { kConflict, kContention, kDeadlock };
+
+  Kind kind = Kind::kConflict;
+  std::string unit;
+  std::string subject;  ///< variable name, lock tag, or "lockA <-> lockB"
+  SiteRef site_a;
+  SiteRef site_b;
+  bool a_is_write = false;  ///< conflicts only
+  bool b_is_write = false;  ///< conflicts only
+  std::vector<std::string> locks_a;  ///< guarding/held locks at site_a
+  std::vector<std::string> locks_b;  ///< guarding/held locks at site_b
+  std::string mutex_a;  ///< deadlocks: lock acquired at site_a
+  std::string mutex_b;  ///< deadlocks: lock acquired at site_b
+  int score = 0;          ///< filled by the ranking pass
+  std::string existing;   ///< nearby already-inserted breakpoint, if any
+  std::string spec_name;  ///< generated breakpoint name (ranking pass)
+};
+
+[[nodiscard]] inline std::string kind_str(Candidate::Kind kind) {
+  switch (kind) {
+    case Candidate::Kind::kConflict:
+      return "conflict";
+    case Candidate::Kind::kContention:
+      return "contention";
+    case Candidate::Kind::kDeadlock:
+      return "deadlock";
+  }
+  return "?";
+}
+
+}  // namespace cbp::sa

@@ -1,0 +1,49 @@
+// Ranking pass and emitters.
+//
+// Ranking encodes the paper's triage intuition: write/write pairs above
+// write/read, fewer guarding locks first (an unguarded pair is the
+// strongest static signal), same-file pairs boosted (cheapest for a
+// human to inspect), with a small bonus when an already-inserted
+// breakpoint annotation sits next to a site (the analyzer rediscovered a
+// known bug — useful as a self-check signal).
+//
+// Emitters produce the three output shapes:
+//   * render_report — human-readable, detect/reports.h CandidateReport
+//     style (the same contract dynamic detector reports use);
+//   * render_spec   — a machine-readable candidate spec: `# candidate:`
+//     provenance comments plus `<name> from=static` entries, parseable
+//     by BreakpointSpec::parse and loadable into the engine unchanged;
+//   * render_list   — one stable line per candidate, the golden-file /
+//     CI self-lint format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detect/reports.h"
+#include "sa/model.h"
+
+namespace cbp::sa {
+
+/// Scores, sorts (best first, deterministic tiebreaks), and assigns
+/// unique spec names to `candidates`.
+void rank_candidates(std::vector<Candidate>& candidates,
+                     const std::vector<UnitModel>& units);
+
+/// Converts ranked candidates into report structs (reports.h shape).
+std::vector<detect::CandidateReport> to_reports(
+    const std::vector<Candidate>& candidates);
+
+/// Human-readable report of the top `top` candidates (0 = all).
+std::string render_report(const std::vector<Candidate>& candidates,
+                          std::size_t top);
+
+/// Breakpoint spec text for the top `top` candidates (0 = all).
+std::string render_spec(const std::vector<Candidate>& candidates,
+                        std::size_t top);
+
+/// Machine-readable candidate list, one line per candidate (golden-file
+/// format; byte-stable across runs for identical input).
+std::string render_list(const std::vector<Candidate>& candidates);
+
+}  // namespace cbp::sa

@@ -1,0 +1,224 @@
+#include "sa/tokenizer.h"
+
+#include <cctype>
+
+namespace cbp::sa {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '/' && peek(1) == '/') {
+        skip_to_eol();
+      } else if (c == '/' && peek(1) == '*') {
+        skip_block_comment();
+      } else if (c == '#' && at_line_start(out)) {
+        skip_preprocessor();
+      } else if (ident_start(c)) {
+        lex_ident_or_raw_string(out);
+      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        lex_number(out);
+      } else if (c == '"') {
+        lex_string(out, /*raw=*/false);
+      } else if (c == '\'') {
+        lex_char(out);
+      } else {
+        lex_punct(out);
+      }
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  /// A '#' opens a preprocessor directive only if nothing but whitespace
+  /// precedes it on the line; approximate via the last token's line.
+  [[nodiscard]] bool at_line_start(const std::vector<Token>& out) const {
+    return out.empty() || out.back().line != line_;
+  }
+
+  void skip_to_eol() {
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+  }
+
+  void skip_block_comment() {
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        pos_ += 2;
+        return;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+
+  /// Skips a whole directive, honouring backslash-newline continuations
+  /// (a multi-line #define stays invisible to the extractor).
+  void skip_preprocessor() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (c == '\n') return;  // the newline itself is handled by run()
+      if (c == '/' && peek(1) == '*') {
+        skip_block_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        skip_to_eol();
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void lex_ident_or_raw_string(std::vector<Token>& out) {
+    const std::uint32_t line = line_;
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+    std::string text(src_.substr(start, pos_ - start));
+    // Raw-string / encoded-string prefixes: R"( u8R"( LR"( u8"x" etc.
+    if (pos_ < src_.size() && src_[pos_] == '"') {
+      const bool raw = !text.empty() && text.back() == 'R';
+      static constexpr std::string_view kPrefixes[] = {"R",  "u8R", "uR", "LR",
+                                                       "u8", "u",   "L"};
+      for (std::string_view p : kPrefixes) {
+        if (text == p) {
+          lex_string(out, raw);
+          out.back().line = line;
+          return;
+        }
+      }
+    }
+    out.push_back({TokKind::kIdent, std::move(text), line});
+  }
+
+  void lex_number(std::vector<Token>& out) {
+    const std::uint32_t line = line_;
+    const std::size_t start = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      // Digit separators (10'000) and exponent signs (1e-3) belong to
+      // the literal; everything else ends it.
+      if (ident_char(c) || c == '.' || c == '\'') {
+        ++pos_;
+      } else if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    out.push_back(
+        {TokKind::kNumber, std::string(src_.substr(start, pos_ - start)),
+         line});
+  }
+
+  void lex_string(std::vector<Token>& out, bool raw) {
+    const std::uint32_t line = line_;
+    ++pos_;  // opening quote
+    std::string text;
+    if (raw) {
+      // R"delim( ... )delim"
+      std::string delim;
+      while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+      if (pos_ < src_.size()) ++pos_;  // '('
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = src_.find(closer, pos_);
+      const std::size_t stop = end == std::string_view::npos ? src_.size() : end;
+      for (std::size_t i = pos_; i < stop; ++i) {
+        if (src_[i] == '\n') ++line_;
+        text += src_[i];
+      }
+      pos_ = stop == src_.size() ? stop : stop + closer.size();
+    } else {
+      while (pos_ < src_.size() && src_[pos_] != '"') {
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+          text += src_[pos_ + 1];
+          pos_ += 2;
+          continue;
+        }
+        if (src_[pos_] == '\n') { ++line_; }  // unterminated; keep going
+        text += src_[pos_++];
+      }
+      if (pos_ < src_.size()) ++pos_;  // closing quote
+    }
+    out.push_back({TokKind::kString, std::move(text), line});
+  }
+
+  void lex_char(std::vector<Token>& out) {
+    const std::uint32_t line = line_;
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // malformed; bail at end of line
+      text += src_[pos_++];
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    out.push_back({TokKind::kChar, std::move(text), line});
+  }
+
+  void lex_punct(std::vector<Token>& out) {
+    const std::uint32_t line = line_;
+    const char c = src_[pos_];
+    // Only the two sequences the extractor walks through receivers with
+    // are fused; every other operator is fine as single characters.
+    if (c == ':' && peek(1) == ':') {
+      out.push_back({TokKind::kPunct, "::", line});
+      pos_ += 2;
+      return;
+    }
+    if (c == '-' && peek(1) == '>') {
+      out.push_back({TokKind::kPunct, "->", line});
+      pos_ += 2;
+      return;
+    }
+    out.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace cbp::sa

@@ -1,0 +1,53 @@
+// Lossy-but-line-accurate C++ tokenizer for the static candidate miner.
+//
+// cbp-sa deliberately does not embed a C++ frontend: the instrumentation
+// surface it scans for (SharedVar accesses, TrackedMutex/TrackedLock
+// acquisition sites, TrackedCondVar waits, CBP_* macros and *Trigger
+// insertions) is a small, regular vocabulary, so a robust lexer plus a
+// pattern-directed extractor is sufficient — and it keeps the analyzer
+// dependency-free and fast enough to run over every app on every CI push.
+//
+// The tokenizer strips comments and preprocessor directives (honouring
+// line continuations), handles string/char/raw-string literals and C++14
+// digit separators (10'000), and records the 1-based source line of
+// every token so extracted sites line up exactly with the SourceLocs the
+// dynamic detectors report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cbp::sa {
+
+enum class TokKind : std::uint8_t {
+  kIdent,   ///< identifier or keyword
+  kNumber,  ///< numeric literal (including 1'000'000, 0x1f, 1.5e3)
+  kString,  ///< string literal, text WITHOUT quotes (raw strings included)
+  kChar,    ///< character literal, text without quotes
+  kPunct,   ///< punctuation; multi-char only for "::" and "->"
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::uint32_t line = 0;  ///< 1-based line of the token's first character
+
+  [[nodiscard]] bool is(TokKind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+  [[nodiscard]] bool is_ident(std::string_view t) const {
+    return is(TokKind::kIdent, t);
+  }
+  [[nodiscard]] bool is_punct(std::string_view t) const {
+    return is(TokKind::kPunct, t);
+  }
+};
+
+/// Lexes `source` into tokens.  Never throws on malformed input: an
+/// unterminated literal simply ends at end-of-file — resilience matters
+/// more than diagnostics for a miner that scans whole source trees.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace cbp::sa

@@ -1,0 +1,584 @@
+// Tests for the static breakpoint-candidate analyzer (src/sa): the
+// tokenizer, the site extractor (scopes, locksets, tricky syntax), the
+// lockset / lock-graph / contention passes, ranking, and the emitted
+// spec's round-trip through BreakpointSpec::parse.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "sa/analyzer.h"
+#include "sa/lock_graph_pass.h"
+#include "sa/lockset_pass.h"
+#include "sa/rank.h"
+#include "sa/tokenizer.h"
+
+namespace cbp::sa {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(Tokenizer, KindsAndLineNumbers) {
+  const auto tokens = tokenize("int x = 10'000;\n// gone\ncall(\"str\");\n");
+  ASSERT_EQ(tokens.size(), 10u);
+  EXPECT_TRUE(tokens[0].is_ident("int"));
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_TRUE(tokens[1].is_ident("x"));
+  EXPECT_TRUE(tokens[2].is_punct("="));
+  EXPECT_EQ(tokens[3].kind, TokKind::kNumber);
+  EXPECT_EQ(tokens[3].text, "10'000");
+  EXPECT_TRUE(tokens[4].is_punct(";"));
+  EXPECT_TRUE(tokens[5].is_ident("call"));
+  EXPECT_EQ(tokens[5].line, 3u);
+  EXPECT_EQ(tokens[7].kind, TokKind::kString);
+  EXPECT_EQ(tokens[7].text, "str");
+}
+
+TEST(Tokenizer, BlockCommentsCountLines) {
+  const auto tokens = tokenize("a /* one\ntwo\nthree */ b\n");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[1].line, 3u);
+}
+
+TEST(Tokenizer, PreprocessorDirectivesSkippedWithContinuations) {
+  const auto tokens = tokenize(
+      "#include <mutex>\n"
+      "#define M(x) \\\n  do_thing(x)\n"
+      "real;\n");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].is_ident("real"));
+  EXPECT_EQ(tokens[0].line, 4u);
+}
+
+TEST(Tokenizer, CharLiteralsAndDigitSeparatorsDoNotConfuse) {
+  // The separator in 1'000 must not open a char literal.
+  const auto tokens = tokenize("f(1'000, 'x', s.find('/'));\n");
+  const auto chars = std::count_if(
+      tokens.begin(), tokens.end(),
+      [](const Token& t) { return t.kind == TokKind::kChar; });
+  EXPECT_EQ(chars, 2);
+  EXPECT_EQ(tokens[2].kind, TokKind::kNumber);
+  EXPECT_EQ(tokens[2].text, "1'000");
+}
+
+TEST(Tokenizer, RawStringsConsumedWhole) {
+  const auto tokens = tokenize("auto s = R\"(no \" tokens { here)\"; next;\n");
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_EQ(tokens[3].kind, TokKind::kString);
+  EXPECT_EQ(tokens[3].text, "no \" tokens { here");
+  EXPECT_TRUE(tokens[5].is_ident("next"));
+}
+
+TEST(Tokenizer, ScopeAndArrowAreFused) {
+  const auto tokens = tokenize("a::b->c < d > e\n");
+  EXPECT_TRUE(tokens[1].is_punct("::"));
+  EXPECT_TRUE(tokens[3].is_punct("->"));
+  EXPECT_TRUE(tokens[5].is_punct("<"));
+}
+
+// ---------------------------------------------------------------------------
+// Extractor
+// ---------------------------------------------------------------------------
+
+UnitModel extract_snippet(const std::string& code) {
+  return extract_unit("unit", {{"snippet.cc", code}});
+}
+
+const Access* find_access(const UnitModel& m, const std::string& var,
+                          std::uint32_t line, bool is_write) {
+  for (const Access& a : m.accesses) {
+    if (a.var == var && a.site.line == line && a.is_write == is_write) {
+      return &a;
+    }
+  }
+  return nullptr;
+}
+
+TEST(Extractor, DeclarationsAndAccesses) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::SharedVar<std::int64_t> count_{0};
+  instr::TrackedMutex mu_{"table"};
+};
+void touch(S& s) {
+  const auto v = s.count_.read();
+  s.count_.write(v + 1);
+}
+)cpp");
+  ASSERT_EQ(m.vars.size(), 1u);
+  EXPECT_EQ(m.vars[0].name, "count_");
+  ASSERT_EQ(m.mutexes.size(), 1u);
+  EXPECT_EQ(m.mutexes[0].name, "mu_");
+  EXPECT_EQ(m.mutexes[0].tag, "table");
+  ASSERT_NE(find_access(m, "count_", 7, false), nullptr);
+  ASSERT_NE(find_access(m, "count_", 8, true), nullptr);
+  EXPECT_TRUE(find_access(m, "count_", 7, false)->lockset.empty());
+}
+
+TEST(Extractor, SharedVarReferenceParameterIsADeclaration) {
+  const UnitModel m = extract_snippet(R"cpp(
+void bump(instr::SharedVar<int>& counter) {
+  counter.racy_update([](int v) { return v + 1; });
+}
+)cpp");
+  ASSERT_EQ(m.vars.size(), 1u);
+  EXPECT_EQ(m.vars[0].name, "counter");
+  // racy_update is one read and one write at the same site.
+  EXPECT_NE(find_access(m, "counter", 3, false), nullptr);
+  EXPECT_NE(find_access(m, "counter", 3, true), nullptr);
+}
+
+TEST(Extractor, HeaderDeclarationsResolveRegardlessOfFileOrder) {
+  // The access lives in the .cc, the declaration in the .h; the .cc
+  // sorts first alphabetically, so this exercises the two-phase scan.
+  const UnitModel m = extract_unit(
+      "unit", {{"a.cc", "void f(S& s) { s.flag_.write(true); }\n"},
+               {"b.h", "struct S { instr::SharedVar<bool> flag_; };\n"}});
+  ASSERT_EQ(m.accesses.size(), 1u);
+  EXPECT_EQ(m.accesses[0].var, "flag_");
+  EXPECT_EQ(m.accesses[0].site.basename(), "a.cc");
+}
+
+TEST(Extractor, NestedTrackedLockScopes) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex outer_{"outer"};
+  instr::TrackedMutex inner_{"inner"};
+  instr::SharedVar<int> v_;
+};
+void f(S& s) {
+  instr::TrackedLock a(s.outer_);
+  s.v_.write(1);
+  {
+    instr::TrackedLock b(s.inner_);
+    s.v_.write(2);
+  }
+  s.v_.write(3);
+}
+void g(S& s) {
+  s.v_.write(4);
+}
+)cpp");
+  const Access* first = find_access(m, "v_", 9, true);
+  const Access* nested = find_access(m, "v_", 12, true);
+  const Access* after = find_access(m, "v_", 14, true);
+  const Access* outside = find_access(m, "v_", 17, true);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(nested, nullptr);
+  ASSERT_NE(after, nullptr);
+  ASSERT_NE(outside, nullptr);
+  EXPECT_EQ(first->lockset, (std::vector<std::string>{"outer_"}));
+  EXPECT_EQ(nested->lockset, (std::vector<std::string>{"inner_", "outer_"}));
+  EXPECT_EQ(after->lockset, (std::vector<std::string>{"outer_"}));
+  EXPECT_TRUE(outside->lockset.empty());
+}
+
+TEST(Extractor, EarlyAliasUnlockReleasesTheLock) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex mu_;
+  instr::SharedVar<int> v_;
+};
+void f(S& s) {
+  instr::TrackedLock lock(s.mu_);
+  s.v_.write(1);
+  lock.unlock();
+  s.v_.write(2);
+}
+)cpp");
+  ASSERT_NE(find_access(m, "v_", 8, true), nullptr);
+  ASSERT_NE(find_access(m, "v_", 10, true), nullptr);
+  EXPECT_EQ(find_access(m, "v_", 8, true)->lockset.size(), 1u);
+  EXPECT_TRUE(find_access(m, "v_", 10, true)->lockset.empty());
+}
+
+TEST(Extractor, ManualLockOrStallAndUnlock) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex a_;
+  instr::TrackedMutex b_;
+};
+void f(S& s) {
+  instr::TrackedLock hold(s.a_);
+  s.b_.lock_or_stall(timeout);
+  s.b_.unlock();
+}
+)cpp");
+  ASSERT_EQ(m.acquires.size(), 2u);
+  EXPECT_EQ(m.acquires[0].mutex, "a_");
+  EXPECT_TRUE(m.acquires[0].held.empty());
+  EXPECT_EQ(m.acquires[1].mutex, "b_");
+  EXPECT_EQ(m.acquires[1].held, (std::vector<std::string>{"a_"}));
+}
+
+TEST(Extractor, LambdaBracesDoNotCorruptTheLockset) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex mu_;
+  instr::SharedVar<int> v_;
+};
+void f(S& s) {
+  instr::TrackedLock lock(s.mu_);
+  auto fn = [&] { return 1; };
+  s.v_.write(fn());
+}
+)cpp");
+  const Access* access = find_access(m, "v_", 9, true);
+  ASSERT_NE(access, nullptr);
+  EXPECT_EQ(access->lockset, (std::vector<std::string>{"mu_"}));
+}
+
+TEST(Extractor, MultiLineCallsUseTheMethodTokenLine) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S { instr::SharedVar<int> v_; };
+void f(S& s) {
+  s.v_
+      .write(
+          42);
+}
+)cpp");
+  ASSERT_EQ(m.accesses.size(), 1u);
+  EXPECT_EQ(m.accesses[0].site.line, 5u);
+}
+
+TEST(Extractor, CondVarWaitSitesRecordTheMutex) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex mu_;
+  instr::TrackedCondVar cv_;
+};
+void f(S& s, StartGate& gate) {
+  gate.wait();
+  instr::TrackedLock lock(s.mu_);
+  s.cv_.wait_or_stall(s.mu_, timeout, [&] { return true; });
+}
+)cpp");
+  ASSERT_EQ(m.waits.size(), 1u);  // gate.wait() has no mutex argument
+  EXPECT_EQ(m.waits[0].condvar, "cv_");
+  EXPECT_EQ(m.waits[0].mutex, "mu_");
+  EXPECT_EQ(m.waits[0].site.line, 9u);
+}
+
+TEST(Extractor, AnnotationsFromTriggersAndMacros) {
+  const UnitModel m = extract_snippet(R"cpp(
+void f() {
+  ConflictTrigger trigger("cache4j-race1", addr);
+  trigger.trigger_here(true);
+  if (CBP_DEADLOCK(kDeadlock1, &a, &b, true)) {}
+}
+)cpp");
+  ASSERT_EQ(m.annotations.size(), 2u);
+  EXPECT_EQ(m.annotations[0].kind, "conflict");
+  EXPECT_EQ(m.annotations[0].name, "cache4j-race1");
+  EXPECT_EQ(m.annotations[1].kind, "deadlock");
+  EXPECT_EQ(m.annotations[1].name, "kDeadlock1");
+}
+
+// ---------------------------------------------------------------------------
+// Lockset pass
+// ---------------------------------------------------------------------------
+
+TEST(LocksetPass, DisjointLocksetsWithAWriteConflict) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex mu_;
+  instr::SharedVar<int> v_;
+};
+void reader(S& s) {
+  instr::TrackedLock lock(s.mu_);
+  (void)s.v_.read();
+}
+void writer(S& s) {
+  s.v_.write(1);
+}
+)cpp");
+  const auto candidates = lockset_pass(m);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].subject, "v_");
+  EXPECT_EQ(candidates[0].site_a.line, 8u);
+  EXPECT_EQ(candidates[0].site_b.line, 11u);
+  EXPECT_FALSE(candidates[0].a_is_write);
+  EXPECT_TRUE(candidates[0].b_is_write);
+}
+
+TEST(LocksetPass, CommonLockSuppressesThePair) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex mu_;
+  instr::SharedVar<int> v_;
+};
+void reader(S& s) {
+  instr::TrackedLock lock(s.mu_);
+  (void)s.v_.read();
+}
+void writer(S& s) {
+  instr::TrackedLock lock(s.mu_);
+  s.v_.write(1);
+}
+)cpp");
+  EXPECT_TRUE(lockset_pass(m).empty());
+}
+
+TEST(LocksetPass, ReadReadPairsAreNotConflicts) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S { instr::SharedVar<int> v_; };
+void a(S& s) { (void)s.v_.read(); }
+void b(S& s) { (void)s.v_.read(); }
+)cpp");
+  EXPECT_TRUE(lockset_pass(m).empty());
+}
+
+TEST(LocksetPass, RacyUpdateAloneIsASelfRace) {
+  const UnitModel m = extract_snippet(R"cpp(
+void bump(instr::SharedVar<int>& counter) {
+  counter.racy_update([](int v) { return v + 1; });
+}
+)cpp");
+  const auto candidates = lockset_pass(m);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].site_a.line, candidates[0].site_b.line);
+  EXPECT_NE(candidates[0].a_is_write, candidates[0].b_is_write);
+}
+
+// ---------------------------------------------------------------------------
+// Lock-graph pass
+// ---------------------------------------------------------------------------
+
+constexpr const char* kCrossedLocks = R"cpp(
+struct S {
+  instr::TrackedMutex a_{"lockA"};
+  instr::TrackedMutex b_{"lockB"};
+};
+void leg1(S& s, ms t) {
+  instr::TrackedLock first(s.a_);
+  s.b_.lock_or_stall(t);
+  s.b_.unlock();
+}
+void leg2(S& s, ms t) {
+  instr::TrackedLock first(s.b_);
+  s.a_.lock_or_stall(t);
+  s.a_.unlock();
+}
+)cpp";
+
+TEST(LockGraphPass, CrossedAcquisitionOrderIsACandidate) {
+  const UnitModel m = extract_snippet(kCrossedLocks);
+  const auto candidates = lock_graph_pass(m);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].subject, "lockA <-> lockB");
+  EXPECT_EQ(candidates[0].site_a.line, 8u);   // b_ wanted while holding a_
+  EXPECT_EQ(candidates[0].site_b.line, 13u);  // a_ wanted while holding b_
+  EXPECT_TRUE(lock_graph_has_cycle(m));
+}
+
+TEST(LockGraphPass, ConsistentOrderIsClean) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex a_;
+  instr::TrackedMutex b_;
+};
+void f(S& s, ms t) {
+  instr::TrackedLock first(s.a_);
+  s.b_.lock_or_stall(t);
+  s.b_.unlock();
+}
+void g(S& s, ms t) {
+  instr::TrackedLock first(s.a_);
+  s.b_.lock_or_stall(t);
+  s.b_.unlock();
+}
+)cpp");
+  EXPECT_TRUE(lock_graph_pass(m).empty());
+  EXPECT_FALSE(lock_graph_has_cycle(m));
+}
+
+TEST(LockGraphPass, ThreeCycleHasCycleButNoPairCandidate) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex a_;
+  instr::TrackedMutex b_;
+  instr::TrackedMutex c_;
+};
+void f(S& s, ms t) {
+  instr::TrackedLock l(s.a_);
+  s.b_.lock_or_stall(t);
+  s.b_.unlock();
+}
+void g(S& s, ms t) {
+  instr::TrackedLock l(s.b_);
+  s.c_.lock_or_stall(t);
+  s.c_.unlock();
+}
+void h(S& s, ms t) {
+  instr::TrackedLock l(s.c_);
+  s.a_.lock_or_stall(t);
+  s.a_.unlock();
+}
+)cpp");
+  EXPECT_TRUE(lock_graph_pass(m).empty());
+  EXPECT_TRUE(lock_graph_has_cycle(m));
+}
+
+TEST(LockGraphPass, TryLockDoesNotCreateEdges) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex a_;
+  instr::TrackedMutex b_;
+};
+void f(S& s) {
+  instr::TrackedLock l(s.a_);
+  if (s.b_.try_lock()) { s.b_.unlock(); }
+}
+void g(S& s, ms t) {
+  instr::TrackedLock l(s.b_);
+  s.a_.lock_or_stall(t);
+  s.a_.unlock();
+}
+)cpp");
+  EXPECT_TRUE(lock_graph_pass(m).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Contention pass
+// ---------------------------------------------------------------------------
+
+TEST(ContentionPass, PairsOnlyForCondvarGuardingMutexes) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex waited_{"buffer"};
+  instr::TrackedMutex plain_;
+  instr::TrackedCondVar cv_;
+};
+void a(S& s, ms t) {
+  instr::TrackedLock lock(s.waited_);
+  s.cv_.wait_or_stall(s.waited_, t, [&] { return true; });
+}
+void b(S& s) {
+  instr::TrackedLock lock(s.waited_);
+}
+void c(S& s) {
+  instr::TrackedLock lock(s.plain_);
+}
+void d(S& s) {
+  instr::TrackedLock lock(s.plain_);
+}
+)cpp");
+  const auto candidates = contention_pass(m);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].subject, "buffer");
+  EXPECT_EQ(candidates[0].site_a.line, 8u);
+  EXPECT_EQ(candidates[0].site_b.line, 12u);
+}
+
+// ---------------------------------------------------------------------------
+// Ranking + emitters
+// ---------------------------------------------------------------------------
+
+TEST(Rank, WriteWriteOutranksWriteReadAndGuardedPairs) {
+  const AnalysisResult result = analyze_sources("unit", {{"r.cc", R"cpp(
+struct S {
+  instr::TrackedMutex mu_;
+  instr::SharedVar<int> ww_;
+  instr::SharedVar<int> wr_;
+  instr::SharedVar<int> guarded_;
+};
+void a(S& s) { s.ww_.write(1); }
+void b(S& s) { s.ww_.write(2); }
+void c(S& s) { (void)s.wr_.read(); }
+void d(S& s) { s.wr_.write(1); }
+void e(S& s) {
+  instr::TrackedLock lock(s.mu_);
+  s.guarded_.write(1);
+}
+void f(S& s) { s.guarded_.write(2); }
+)cpp"}});
+  ASSERT_EQ(result.candidates.size(), 3u);
+  EXPECT_EQ(result.candidates[0].subject, "ww_");       // write/write, no locks
+  EXPECT_EQ(result.candidates[1].subject, "guarded_");  // write/write, 1 lock
+  EXPECT_EQ(result.candidates[2].subject, "wr_");       // write/read
+  EXPECT_GT(result.candidates[0].score, result.candidates[1].score);
+  EXPECT_GT(result.candidates[1].score, result.candidates[2].score);
+}
+
+TEST(Rank, NearbyAnnotationIsAttached) {
+  const AnalysisResult result = analyze_sources("unit", {{"r.cc", R"cpp(
+struct S { instr::SharedVar<int> v_; };
+void a(S& s) {
+  ConflictTrigger trigger("known-race", s.v_.address());
+  trigger.trigger_here(true);
+  s.v_.write(1);
+}
+void b(S& s) { (void)s.v_.read(); }
+)cpp"}});
+  ASSERT_EQ(result.candidates.size(), 1u);
+  EXPECT_EQ(result.candidates[0].existing, "known-race");
+}
+
+TEST(Rank, SpecNamesAreUnique) {
+  const AnalysisResult result = analyze_sources("unit", {{"r.cc", R"cpp(
+struct S {
+  instr::SharedVar<int> v_;
+  instr::SharedVar<int> w_;
+};
+void a(S& s) { s.v_.write(1); s.w_.write(1); }
+void b(S& s) { (void)s.v_.read(); (void)s.w_.read(); }
+)cpp"}});
+  ASSERT_GE(result.candidates.size(), 2u);
+  std::vector<std::string> names;
+  for (const Candidate& c : result.candidates) names.push_back(c.spec_name);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(Emit, SpecRoundTripsThroughBreakpointSpecParse) {
+  const AnalysisResult result =
+      analyze_sources("unit", {{"r.cc", kCrossedLocks},
+                               {"s.cc", R"cpp(
+struct T { instr::SharedVar<int> v_; };
+void a(T& t) { t.v_.write(1); }
+void b(T& t) { (void)t.v_.read(); }
+)cpp"}});
+  ASSERT_GE(result.candidates.size(), 2u);
+  const std::string spec_text = render_spec(result.candidates, 0);
+  EXPECT_NE(spec_text.find("# candidate:"), std::string::npos);
+  const BreakpointSpec spec = BreakpointSpec::parse(spec_text);
+  EXPECT_EQ(spec.size(), result.candidates.size());
+  for (const Candidate& c : result.candidates) {
+    const SpecOverride* entry = spec.find(c.spec_name);
+    ASSERT_NE(entry, nullptr) << c.spec_name;
+    EXPECT_EQ(entry->from, SpecOrigin::kStatic);
+  }
+}
+
+TEST(Emit, ReportRendersCandidateReportShapes) {
+  const AnalysisResult result =
+      analyze_sources("unit", {{"r.cc", kCrossedLocks}});
+  ASSERT_EQ(result.candidates.size(), 1u);
+  const auto reports = to_reports(result.candidates);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].kind, detect::CandidateReport::Kind::kDeadlock);
+  const std::string text = reports[0].str();
+  EXPECT_NE(text.find("Deadlock candidate (static)"), std::string::npos);
+  EXPECT_NE(text.find("r.cc:line 8"), std::string::npos);
+  EXPECT_NE(text.find("r.cc:line 13"), std::string::npos);
+  const std::string rendered = render_report(result.candidates, 0);
+  EXPECT_NE(rendered.find("1 breakpoint candidate"), std::string::npos);
+}
+
+TEST(Emit, ListOutputIsStable) {
+  const AnalysisResult once =
+      analyze_sources("unit", {{"r.cc", kCrossedLocks}});
+  const AnalysisResult twice =
+      analyze_sources("unit", {{"r.cc", kCrossedLocks}});
+  EXPECT_EQ(render_list(once.candidates), render_list(twice.candidates));
+  EXPECT_NE(render_list(once.candidates).find("deadlock"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbp::sa

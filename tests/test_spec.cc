@@ -59,6 +59,29 @@ TEST_F(SpecTest, ParsesAllKeys) {
   EXPECT_EQ(spec.find("unmentioned"), nullptr);
 }
 
+TEST_F(SpecTest, ParsesFromProvenanceKey) {
+  const auto spec = BreakpointSpec::parse(
+      "# candidate: conflict 'counter' cache.cc:23 <-> cache.cc:27\n"
+      "sa-conflict-counter from=static\n"
+      "jigsaw-deadlock1 from=dynamic pause=500\n"
+      "untagged bound=1\n");
+  EXPECT_EQ(spec.size(), 3u);
+  ASSERT_NE(spec.find("sa-conflict-counter"), nullptr);
+  EXPECT_EQ(spec.find("sa-conflict-counter")->from, SpecOrigin::kStatic);
+  ASSERT_NE(spec.find("jigsaw-deadlock1"), nullptr);
+  EXPECT_EQ(spec.find("jigsaw-deadlock1")->from, SpecOrigin::kDynamic);
+  EXPECT_EQ(spec.find("jigsaw-deadlock1")->pause, 500ms);
+  ASSERT_NE(spec.find("untagged"), nullptr);
+  EXPECT_EQ(spec.find("untagged")->from, SpecOrigin::kUnspecified);
+}
+
+TEST_F(SpecTest, RejectsBadFromValue) {
+  EXPECT_THROW((void)BreakpointSpec::parse("bp from=guess\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)BreakpointSpec::parse("bp from=\n"),
+               std::invalid_argument);
+}
+
 TEST_F(SpecTest, RejectsUnknownKey) {
   EXPECT_THROW((void)BreakpointSpec::parse("bp wibble=3\n"),
                std::invalid_argument);

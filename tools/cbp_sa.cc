@@ -1,0 +1,165 @@
+// cbp-sa: static breakpoint-candidate analyzer CLI.
+//
+// Mines (l1, l2, phi) breakpoint candidates from instrumented sources
+// without running the program — the static counterpart of the paper's
+// Methodology I, which needs a dynamic detector (and therefore at least
+// one buggy execution) before any breakpoint can be planted.
+//
+//   cbp-sa src/apps                      # human-readable ranked report
+//   cbp-sa --spec src/apps/cache         # emit a loadable breakpoint spec
+//   cbp-sa --list src/apps/cache         # stable machine-readable list
+//   cbp-sa --check tests/golden/cache.list src/apps/cache
+//                                        # CI self-lint: fail on drift
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sa/analyzer.h"
+#include "sa/rank.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] <file-or-dir>...\n"
+      << "  --report          human-readable ranked candidates (default)\n"
+      << "  --spec            emit breakpoint spec (BreakpointSpec format)\n"
+      << "  --list            machine-readable candidate list\n"
+      << "  --check <golden>  compare --list output against a golden file;\n"
+      << "                    exit 1 and print a diff summary on drift\n"
+      << "  --top <n>         limit report/spec to the top n candidates\n"
+      << "  --no-contention   suppress lock-contention candidates\n";
+  return 2;
+}
+
+bool parse_count(const std::string& text, std::size_t& out) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  try {
+    out = static_cast<std::size_t>(std::stoul(text));
+  } catch (const std::out_of_range&) {
+    return false;
+  }
+  return true;
+}
+
+/// Line-by-line comparison with a readable drift summary.
+bool check_against_golden(const std::string& actual,
+                          const std::string& golden_path) {
+  std::ifstream in(golden_path);
+  if (!in) {
+    std::cerr << "cbp-sa: cannot read golden file '" << golden_path << "'\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = buffer.str();
+  if (expected == actual) return true;
+
+  std::istringstream want(expected);
+  std::istringstream got(actual);
+  std::string want_line;
+  std::string got_line;
+  std::size_t line_no = 0;
+  bool more_want = true;
+  bool more_got = true;
+  std::size_t shown = 0;
+  while ((more_want || more_got) && shown < 20) {
+    more_want = static_cast<bool>(std::getline(want, want_line));
+    more_got = static_cast<bool>(std::getline(got, got_line));
+    ++line_no;
+    if (!more_want && !more_got) break;
+    if (!more_want || !more_got || want_line != got_line) {
+      std::cerr << "line " << line_no << ":\n";
+      if (more_want) std::cerr << "  golden: " << want_line << "\n";
+      if (more_got) std::cerr << "  actual: " << got_line << "\n";
+      ++shown;
+    }
+  }
+  std::cerr << "cbp-sa: candidate list drifted from golden '" << golden_path
+            << "' — regenerate with --list if the change is intended\n";
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { kReport, kSpec, kList } mode = Mode::kReport;
+  std::string golden;
+  std::size_t top = 0;
+  cbp::sa::AnalysisOptions options;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report") {
+      mode = Mode::kReport;
+    } else if (arg == "--spec") {
+      mode = Mode::kSpec;
+    } else if (arg == "--list") {
+      mode = Mode::kList;
+    } else if (arg == "--check") {
+      if (++i >= argc) return usage(argv[0]);
+      mode = Mode::kList;
+      golden = argv[i];
+    } else if (arg == "--top") {
+      if (++i >= argc) return usage(argv[0]);
+      if (!parse_count(argv[i], top)) {
+        std::cerr << "cbp-sa: --top expects a non-negative integer, got '"
+                  << argv[i] << "'\n";
+        return usage(argv[0]);
+      }
+    } else if (arg == "--no-contention") {
+      options.include_contention = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "cbp-sa: unknown option '" << arg << "'\n";
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(argv[0]);
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+      std::cerr << "cbp-sa: no such file or directory: '" << path << "'\n";
+      return 2;
+    }
+  }
+
+  const cbp::sa::AnalysisResult result =
+      cbp::sa::analyze_paths(paths, options);
+
+  switch (mode) {
+    case Mode::kReport: {
+      std::cout << cbp::sa::render_report(result.candidates, top);
+      if (result.lock_graph_has_cycle) {
+        std::cout << "\nlock-order graph: cycle detected (see deadlock "
+                     "candidates above)\n";
+      }
+      break;
+    }
+    case Mode::kSpec:
+      std::cout << cbp::sa::render_spec(result.candidates, top);
+      break;
+    case Mode::kList: {
+      const std::string list = cbp::sa::render_list(result.candidates);
+      if (!golden.empty()) {
+        return check_against_golden(list, golden) ? 0 : 1;
+      }
+      std::cout << list;
+      break;
+    }
+  }
+  return 0;
+}
