@@ -1,20 +1,39 @@
 // Micro-benchmarks (google-benchmark) backing the paper's "light-weight"
-// claim (§1, §4): the cost of a breakpoint call in each regime, and the
-// cost of the instrumentation layer.
+// claim (§1, §4): the cost of a breakpoint call in each regime, the cost
+// of the instrumentation layer, and — the part that matters for always-on
+// deployment — how those costs scale when k threads hammer the same hot
+// paths concurrently.
 //
 //   * disabled breakpoints are a few nanoseconds (runtime switch);
+//   * spec-disabled breakpoints stay lock-free: interned-name fast path;
 //   * a local-predicate reject never enters the engine's slow path;
 //   * an unmatched arrival costs its postponement (dominated by T);
 //   * a matched pair costs the rendezvous + ordering delay;
 //   * SharedVar / TrackedMutex add only the hub check when no analysis
-//     listener is attached.
+//     listener is attached, and the hub's RCU dispatch keeps listener
+//     fan-out off any mutex;
+//   * detector-attached accesses exercise the striped Eraser/FastTrack
+//     state under contention.
+//
+// Multi-threaded variants use google-benchmark's ->Threads(k): flat
+// ns/op as k grows means the path has no serialization point.
+//
+// Usage: bench_micro_overhead [--json <path>] [google-benchmark flags]
+// With --json, a compact {name, threads, ns_per_op} summary is written
+// (the committed BENCH_micro.json is produced this way).
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/cbp.h"
+#include "detect/eraser.h"
+#include "detect/fasttrack.h"
 #include "instrument/shared_var.h"
 #include "instrument/tracked_mutex.h"
 #include "runtime/clock.h"
@@ -24,21 +43,73 @@ namespace {
 
 using namespace cbp;
 
+constexpr int kMaxThreads = 4;
+
+// ---------------------------------------------------------------------------
+// Trigger regimes
+// ---------------------------------------------------------------------------
+
 void BM_TriggerDisabled(benchmark::State& state) {
-  Config::set_enabled(false);
+  if (state.thread_index() == 0) Config::set_enabled(false);
   int obj = 0;
   for (auto _ : state) {
     ConflictTrigger trigger("micro-disabled", &obj);
     benchmark::DoNotOptimize(
         trigger.trigger_here(true, std::chrono::milliseconds(100)));
   }
-  Config::set_enabled(true);
+  if (state.thread_index() == 0) Config::set_enabled(true);
 }
-BENCHMARK(BM_TriggerDisabled);
+BENCHMARK(BM_TriggerDisabled)->ThreadRange(1, kMaxThreads);
+
+void BM_TriggerSpecDisabled(benchmark::State& state) {
+  // Disabled via an installed spec override rather than the global
+  // switch: the per-call cost is the interned-name lookup plus one
+  // atomic load of the override — no mutex, no allocation.
+  if (state.thread_index() == 0) {
+    Config::set_enabled(true);
+    Engine::instance().reset();
+    BreakpointSpec::parse("micro-specoff off").install();
+  }
+  int obj = 0;
+  for (auto _ : state) {
+    ConflictTrigger trigger("micro-specoff", &obj);
+    benchmark::DoNotOptimize(
+        trigger.trigger_here(true, std::chrono::milliseconds(100)));
+  }
+  if (state.thread_index() == 0) {
+    BreakpointSpec::clear_installed();
+    Engine::instance().reset();
+  }
+}
+BENCHMARK(BM_TriggerSpecDisabled)->ThreadRange(1, kMaxThreads);
+
+void BM_TriggerSpecDisabledCachedTrigger(benchmark::State& state) {
+  // Same regime, but the trigger object lives across iterations, so the
+  // name is interned exactly once and every call is pure pointer
+  // chasing: the steady-state cost for a long-lived instrumented site.
+  if (state.thread_index() == 0) {
+    Config::set_enabled(true);
+    Engine::instance().reset();
+    BreakpointSpec::parse("micro-specoff-cached off").install();
+  }
+  int obj = 0;
+  ConflictTrigger trigger("micro-specoff-cached", &obj);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trigger.trigger_here(true, std::chrono::milliseconds(100)));
+  }
+  if (state.thread_index() == 0) {
+    BreakpointSpec::clear_installed();
+    Engine::instance().reset();
+  }
+}
+BENCHMARK(BM_TriggerSpecDisabledCachedTrigger)->ThreadRange(1, kMaxThreads);
 
 void BM_TriggerLocalReject(benchmark::State& state) {
-  Config::set_enabled(true);
-  Engine::instance().reset();
+  if (state.thread_index() == 0) {
+    Config::set_enabled(true);
+    Engine::instance().reset();
+  }
   PredicateTrigger trigger(
       "micro-reject", [] { return false; },
       [](const BTrigger&) { return true; });
@@ -46,14 +117,35 @@ void BM_TriggerLocalReject(benchmark::State& state) {
     benchmark::DoNotOptimize(
         trigger.trigger_here(true, std::chrono::milliseconds(100)));
   }
-  Engine::instance().reset();
+  if (state.thread_index() == 0) Engine::instance().reset();
 }
-BENCHMARK(BM_TriggerLocalReject);
+BENCHMARK(BM_TriggerLocalReject)->ThreadRange(1, kMaxThreads);
+
+void BM_TriggerLocalRejectDistinctNames(benchmark::State& state) {
+  // Each thread rejects on its own breakpoint name: with per-name slots
+  // behind the interned table this must scale perfectly (no shared
+  // mutable state at all between the threads).
+  if (state.thread_index() == 0) {
+    Config::set_enabled(true);
+    Engine::instance().reset();
+  }
+  PredicateTrigger trigger(
+      "micro-reject-t" + std::to_string(state.thread_index()),
+      [] { return false; }, [](const BTrigger&) { return true; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trigger.trigger_here(true, std::chrono::milliseconds(100)));
+  }
+  if (state.thread_index() == 0) Engine::instance().reset();
+}
+BENCHMARK(BM_TriggerLocalRejectDistinctNames)->ThreadRange(1, kMaxThreads);
 
 void BM_TriggerBoundedOut(benchmark::State& state) {
   // After the bound is exhausted the call is a counter check.
-  Config::set_enabled(true);
-  Engine::instance().reset();
+  if (state.thread_index() == 0) {
+    Config::set_enabled(true);
+    Engine::instance().reset();
+  }
   int obj = 0;
   for (auto _ : state) {
     ConflictTrigger trigger("micro-bounded", &obj);
@@ -61,9 +153,9 @@ void BM_TriggerBoundedOut(benchmark::State& state) {
     benchmark::DoNotOptimize(
         trigger.trigger_here(true, std::chrono::milliseconds(100)));
   }
-  Engine::instance().reset();
+  if (state.thread_index() == 0) Engine::instance().reset();
 }
-BENCHMARK(BM_TriggerBoundedOut);
+BENCHMARK(BM_TriggerBoundedOut)->ThreadRange(1, kMaxThreads);
 
 void BM_TriggerUnmatchedTimeout(benchmark::State& state) {
   // Dominated by the postponement itself; measured at T = the range arg.
@@ -106,14 +198,19 @@ void BM_TriggerMatchedPair(benchmark::State& state) {
 }
 BENCHMARK(BM_TriggerMatchedPair)->Unit(benchmark::kMicrosecond);
 
+// ---------------------------------------------------------------------------
+// Hub / instrumentation layer
+// ---------------------------------------------------------------------------
+
 void BM_SharedVarNoListener(benchmark::State& state) {
+  // Per-thread variable: isolates the hub check from cacheline ping-pong.
   instr::SharedVar<int> var(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(var.read());
     var.write(2);
   }
 }
-BENCHMARK(BM_SharedVarNoListener);
+BENCHMARK(BM_SharedVarNoListener)->ThreadRange(1, kMaxThreads);
 
 void BM_PlainAtomicBaseline(benchmark::State& state) {
   std::atomic<int> var{1};
@@ -122,26 +219,159 @@ void BM_PlainAtomicBaseline(benchmark::State& state) {
     var.store(2, std::memory_order_relaxed);
   }
 }
-BENCHMARK(BM_PlainAtomicBaseline);
+BENCHMARK(BM_PlainAtomicBaseline)->ThreadRange(1, kMaxThreads);
+
+/// Listener that only counts, so the measured cost is the dispatch
+/// mechanism itself, not the analysis.
+class CountingListener : public instr::Listener {
+ public:
+  void on_access(const instr::AccessEvent&) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+};
+
+void BM_HubDispatchOneListener(benchmark::State& state) {
+  static CountingListener listener;
+  if (state.thread_index() == 0) {
+    instr::Hub::instance().add_listener(&listener);
+  }
+  instr::SharedVar<int> var(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(var.read());
+    var.write(2);
+  }
+  if (state.thread_index() == 0) {
+    instr::Hub::instance().remove_listener(&listener);
+  }
+}
+BENCHMARK(BM_HubDispatchOneListener)->ThreadRange(1, kMaxThreads);
 
 void BM_TrackedMutexNoListener(benchmark::State& state) {
-  instr::TrackedMutex mu;
+  static instr::TrackedMutex mu;
   for (auto _ : state) {
     instr::TrackedLock lock(mu);
     benchmark::ClobberMemory();
   }
 }
-BENCHMARK(BM_TrackedMutexNoListener);
+BENCHMARK(BM_TrackedMutexNoListener)->Threads(1);
 
 void BM_StdMutexBaseline(benchmark::State& state) {
-  std::mutex mu;
+  static std::mutex mu;
   for (auto _ : state) {
     std::scoped_lock lock(mu);
     benchmark::ClobberMemory();
   }
 }
-BENCHMARK(BM_StdMutexBaseline);
+BENCHMARK(BM_StdMutexBaseline)->Threads(1);
+
+// ---------------------------------------------------------------------------
+// Detector-attached accesses (striped detector state)
+// ---------------------------------------------------------------------------
+
+void BM_EraserAttachedAccess(benchmark::State& state) {
+  static detect::EraserDetector detector;
+  if (state.thread_index() == 0) {
+    detector.reset();
+    instr::Hub::instance().add_listener(&detector);
+  }
+  // Per-thread variable: with striped detector state, disjoint addresses
+  // must not serialize on a detector-global mutex.
+  instr::SharedVar<int> var(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(var.read());
+    var.write(2);
+  }
+  if (state.thread_index() == 0) {
+    instr::Hub::instance().remove_listener(&detector);
+  }
+}
+BENCHMARK(BM_EraserAttachedAccess)->ThreadRange(1, kMaxThreads);
+
+void BM_FastTrackAttachedAccess(benchmark::State& state) {
+  static detect::FastTrackDetector detector;
+  if (state.thread_index() == 0) {
+    detector.reset();
+    instr::Hub::instance().add_listener(&detector);
+  }
+  instr::SharedVar<int> var(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(var.read());
+    var.write(2);
+  }
+  if (state.thread_index() == 0) {
+    instr::Hub::instance().remove_listener(&detector);
+  }
+}
+BENCHMARK(BM_FastTrackAttachedAccess)->ThreadRange(1, kMaxThreads);
+
+// ---------------------------------------------------------------------------
+// JSON reporting (--json <path>): compact {name, threads, ns_per_op}
+// rows, one per benchmark run — the repo's perf-trajectory format.
+// ---------------------------------------------------------------------------
+
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.threads = run.threads;
+      row.ns_per_op = run.GetAdjustedRealTime() *
+                      (run.time_unit == benchmark::kMicrosecond ? 1e3
+                       : run.time_unit == benchmark::kMillisecond
+                           ? 1e6
+                           : run.time_unit == benchmark::kSecond ? 1e9 : 1.0);
+      rows_.push_back(row);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool write_json(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"bench\": \"bench_micro_overhead\",\n"
+        << "  \"time_scale\": 1.0,\n  \"results\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out << "    {\"name\": \"" << rows_[i].name << "\", \"threads\": "
+          << rows_[i].threads << ", \"ns_per_op\": " << rows_[i].ns_per_op
+          << "}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    int threads = 1;
+    double ns_per_op = 0.0;
+  };
+  std::vector<Row> rows_;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty() && !reporter.write_json(json_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
 
   harness::TextTable table({"Subject", "T (nominal)", "P(bug)", "Mean run(s)",
                             "Paper"});
+  bench::JsonReport report("pause_time", config.time_scale);
 
   for (const int t : pause_ms) {
     apps::RunOptions options;
@@ -34,6 +35,10 @@ int main(int argc, char** argv) {
     table.add_row({"hedc race1", std::to_string(t) + "ms",
                    harness::fmt_prob(result.bug_probability()),
                    harness::fmt_seconds(result.mean_runtime_s), paper});
+    report.add("hedc_race1/T=" + std::to_string(t) + "ms", 1,
+               result.bug_probability(), "probability");
+    report.add("hedc_race1/T=" + std::to_string(t) + "ms/runtime", 1,
+               result.mean_runtime_s, "s");
   }
 
   for (const int t : pause_ms) {
@@ -51,8 +56,13 @@ int main(int argc, char** argv) {
     table.add_row({"swing deadlock1", std::to_string(t) + "ms",
                    harness::fmt_prob(result.bug_probability()),
                    harness::fmt_seconds(result.mean_runtime_s), paper});
+    report.add("swing_deadlock1/T=" + std::to_string(t) + "ms", 1,
+               result.bug_probability(), "probability");
+    report.add("swing_deadlock1/T=" + std::to_string(t) + "ms/runtime", 1,
+               result.mean_runtime_s, "s");
   }
 
+  report.flush(config.json_path);
   table.print(std::cout);
   std::printf("\nShape to check: P rises monotonically with T toward 1.0 "
               "while the mean runtime grows (the paper's §6.2 trade-off).\n");

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   harness::TextTable table({"Benchmark", "LoC", "Normal(s)", "w/ctr(s)",
                             "Ovh(%)", "Breakpoint", "Error", "Prob",
                             "Paper", "Comments"});
+  bench::JsonReport report("table1", config.time_scale);
 
   for (const harness::Table1Case& row : harness::table1_cases()) {
     apps::RunOptions options;
@@ -50,8 +51,14 @@ int main(int argc, char** argv) {
                    row.bug, row.error,
                    harness::fmt_prob(repeated.bug_probability()),
                    harness::fmt_prob(row.paper_prob), row.comment});
+    const std::string key = std::string(row.benchmark) + "/" + row.bug;
+    report.add(key, 1, repeated.bug_probability(), "probability");
+    if (!stall_row) {
+      report.add(key + "/overhead", 1, overhead.overhead_percent(), "%");
+    }
   }
 
+  report.flush(config.json_path);
   table.print(std::cout);
   std::printf("\n'Prob' = fraction of runs that hit the breakpoint AND "
               "exhibited the bug; 'Paper' = the paper's column.\n");

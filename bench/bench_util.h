@@ -1,10 +1,20 @@
 // Shared setup for the experiment benches: scales the paper's nominal
 // pause times down so the full evaluation runs in seconds, and parses
-// the optional CLI overrides  <runs> <time_scale>.
+// the optional CLI overrides  <runs> <time_scale> [--json <path>].
+//
+// With --json <path>, a bench appends rows to a JsonReport and writes a
+// machine-readable summary on exit, so successive runs form a perf
+// trajectory (see BENCH_micro.json at the repo root for the micro
+// benches' schema).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/cbp.h"
 #include "runtime/clock.h"
@@ -14,13 +24,77 @@ namespace cbp::bench {
 struct BenchConfig {
   int runs = 30;            ///< per-configuration repetitions
   double time_scale = 0.02; ///< nominal 100 ms pause -> 2 ms
+  std::string json_path;    ///< empty = no JSON output
 };
+
+/// Accumulates (name, threads, value, unit) rows and writes them as one
+/// JSON document.  Values are ns/op, probabilities, seconds — the `unit`
+/// string says which.  Write happens in flush() (or the destructor).
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, double time_scale)
+      : bench_name_(std::move(bench_name)), time_scale_(time_scale) {}
+
+  void add(const std::string& name, int threads, double value,
+           const std::string& unit) {
+    rows_.push_back({name, threads, value, unit});
+  }
+
+  /// Writes the report; returns false (and prints a warning) on I/O error.
+  bool flush(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write JSON report to %s\n",
+                   path.c_str());
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << bench_name_ << "\",\n"
+        << "  \"time_scale\": " << time_scale_ << ",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      out << "    {\"name\": \"" << row.name << "\", \"threads\": "
+          << row.threads << ", \"value\": " << row.value << ", \"unit\": \""
+          << row.unit << "\"}" << (i + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    int threads = 1;
+    double value = 0.0;
+    std::string unit;
+  };
+
+  std::string bench_name_;
+  double time_scale_ = 1.0;
+  std::vector<Row> rows_;
+};
+
+/// Extracts `--json <path>` from argv (compacting it away so positional
+/// parsing still works) and returns the path, or "" if absent.
+inline std::string take_json_flag(int& argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      std::string path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      return path;
+    }
+  }
+  return {};
+}
 
 inline BenchConfig setup(int argc, char** argv, int default_runs = 30,
                          double default_scale = 0.02) {
   BenchConfig config;
   config.runs = default_runs;
   config.time_scale = default_scale;
+  config.json_path = take_json_flag(argc, argv);
   if (argc > 1) config.runs = std::atoi(argv[1]);
   if (argc > 2) config.time_scale = std::atof(argv[2]);
   rt::TimeScale::set(config.time_scale);

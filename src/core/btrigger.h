@@ -17,6 +17,7 @@
 // eventually, so breakpoints never introduce a deadlock.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -24,8 +25,11 @@
 
 namespace cbp {
 
+class Engine;
+
 namespace internal {
 struct GroupState;
+struct NameRecord;
 }  // namespace internal
 
 /// RAII marker for the deterministic-ordering API.  A thread that hit a
@@ -71,6 +75,25 @@ class BTrigger {
  public:
   explicit BTrigger(std::string name) : name_(std::move(name)) {}
   virtual ~BTrigger() = default;
+
+  // The cached interned-name record may be copied along with the name:
+  // records are immortal (see core/engine.h), so the pointer is always
+  // valid for an equal name.
+  BTrigger(const BTrigger& other)
+      : name_(other.name_),
+        ignore_first_(other.ignore_first_),
+        bound_(other.bound_),
+        record_(other.record_.load(std::memory_order_relaxed)) {}
+  BTrigger& operator=(const BTrigger& other) {
+    if (this != &other) {
+      name_ = other.name_;
+      ignore_first_ = other.ignore_first_;
+      bound_ = other.bound_;
+      record_.store(other.record_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
@@ -138,9 +161,16 @@ class BTrigger {
   [[nodiscard]] std::uint64_t bound_count() const { return bound_; }
 
  private:
+  friend class Engine;
+
   std::string name_;
   std::uint64_t ignore_first_ = 0;
   std::uint64_t bound_ = UINT64_MAX;
+
+  /// Interned-name record, resolved by the engine on first trigger and
+  /// cached so later triggers skip the name lookup entirely.  Atomic so
+  /// a trigger object shared between threads stays race-free.
+  mutable std::atomic<const internal::NameRecord*> record_{nullptr};
 };
 
 }  // namespace cbp

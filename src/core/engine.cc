@@ -98,7 +98,7 @@ TriggerResult BTrigger::trigger_here_ranked_scoped(
 }
 
 // ---------------------------------------------------------------------------
-// Engine
+// Engine: interned name table
 // ---------------------------------------------------------------------------
 
 Engine& Engine::instance() {
@@ -106,14 +106,89 @@ Engine& Engine::instance() {
   return engine;
 }
 
-std::shared_ptr<Engine::Slot> Engine::slot_for(const std::string& name) {
-  std::scoped_lock lock(map_mu_);
-  auto& slot = slots_[name];
-  if (!slot) slot = std::make_shared<Slot>();
-  return slot;
+namespace {
+
+std::size_t name_hash(std::string_view name) {
+  return std::hash<std::string_view>{}(name);
 }
 
-bool Engine::try_match(Slot& slot, BTrigger& bt, int rank, int arity,
+}  // namespace
+
+const internal::NameRecord* Engine::find_interned(std::string_view name,
+                                                  std::size_t hash) const {
+  std::size_t i = hash & (kInternCells - 1);
+  for (std::size_t probes = 0; probes < kInternCells; ++probes) {
+    const internal::NameRecord* record =
+        cells_[i].load(std::memory_order_acquire);
+    if (record == nullptr) return nullptr;
+    if (record->hash == hash && record->name == name) return record;
+    i = (i + 1) & (kInternCells - 1);
+  }
+  return nullptr;
+}
+
+const internal::NameRecord* Engine::intern(const std::string& name) {
+  const std::size_t hash = name_hash(name);
+  if (const internal::NameRecord* record = find_interned(name, hash)) {
+    return record;
+  }
+
+  std::scoped_lock lock(intern_mu_);
+  // Re-check under the lock (another thread may have just published it,
+  // or it may live in the overflow map).
+  if (const internal::NameRecord* record = find_interned(name, hash)) {
+    return record;
+  }
+  if (auto it = overflow_.find(name); it != overflow_.end()) {
+    return it->second;
+  }
+
+  auto owned = std::make_unique<internal::NameRecord>();
+  internal::NameRecord* record = owned.get();
+  record->name = name;
+  record->hash = hash;
+  record->id = static_cast<std::uint32_t>(records_.size());
+  // No spec fix-up needed here: set_spec() interns every spec'd name
+  // eagerly, so a name first interned by a trigger cannot have a
+  // pending override.
+  records_.push_back(std::move(owned));
+
+  if (probe_count_ < kInternCells / 2) {
+    std::size_t i = hash & (kInternCells - 1);
+    while (cells_[i].load(std::memory_order_relaxed) != nullptr) {
+      i = (i + 1) & (kInternCells - 1);
+    }
+    cells_[i].store(record, std::memory_order_release);
+    ++probe_count_;
+  } else {
+    overflow_.emplace(name, record);
+  }
+  return record;
+}
+
+const internal::NameRecord* Engine::record_for(BTrigger& bt) {
+  const internal::NameRecord* record =
+      bt.record_.load(std::memory_order_acquire);
+  if (record == nullptr) {
+    record = intern(bt.name());
+    bt.record_.store(record, std::memory_order_release);
+  }
+  return record;
+}
+
+std::vector<const internal::NameRecord*> Engine::records_snapshot() const {
+  std::scoped_lock lock(intern_mu_);
+  std::vector<const internal::NameRecord*> snapshot;
+  snapshot.reserve(records_.size());
+  for (const auto& record : records_) snapshot.push_back(record.get());
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// Engine: rendezvous
+// ---------------------------------------------------------------------------
+
+bool Engine::try_match(internal::Slot& slot, BTrigger& bt, int rank, int arity,
                        bool scoped, std::shared_ptr<internal::GroupState>& group,
                        int& out_rank, HitInfo& info) {
   (void)scoped;
@@ -124,9 +199,9 @@ bool Engine::try_match(Slot& slot, BTrigger& bt, int rank, int arity,
   // peer is quiescent in the Postponed set — the slot mutex is exactly
   // what guarantees that, so predicates are required to be pure and
   // non-blocking (documented in btrigger.h).
-  std::vector<Waiter*> chosen;  // one per needed rank
+  std::vector<internal::Waiter*> chosen;  // one per needed rank
   if (arity == 2) {
-    for (Waiter* w : slot.postponed) {
+    for (internal::Waiter* w : slot.postponed) {
       if (w->matched || w->cancelled || w->arity != 2 || w->tid == my_tid) {
         continue;
       }
@@ -135,7 +210,7 @@ bool Engine::try_match(Slot& slot, BTrigger& bt, int rank, int arity,
       break;
     }
     if (chosen.empty()) return false;
-    Waiter* peer = chosen.front();
+    internal::Waiter* peer = chosen.front();
     // Effective ranks: declared if distinct; otherwise the postponed
     // (earlier) thread is ordered first.
     int peer_rank = peer->rank;
@@ -157,9 +232,10 @@ bool Engine::try_match(Slot& slot, BTrigger& bt, int rank, int arity,
     // k-ary rendezvous: need one waiter per rank other than ours, all
     // from distinct threads, each compatible with the arriving trigger
     // and pairwise compatible with each other (greedy selection).
-    std::vector<Waiter*> by_rank(static_cast<std::size_t>(arity), nullptr);
+    std::vector<internal::Waiter*> by_rank(static_cast<std::size_t>(arity),
+                                           nullptr);
     std::vector<rt::ThreadId> used_tids{my_tid};
-    for (Waiter* w : slot.postponed) {
+    for (internal::Waiter* w : slot.postponed) {
       if (w->matched || w->cancelled || w->arity != arity) continue;
       if (w->rank < 0 || w->rank >= arity || w->rank == rank) continue;
       if (by_rank[static_cast<std::size_t>(w->rank)] != nullptr) continue;
@@ -169,7 +245,7 @@ bool Engine::try_match(Slot& slot, BTrigger& bt, int rank, int arity,
       }
       if (!bt.predicate_global(*w->trigger)) continue;
       bool pairwise_ok = true;
-      for (Waiter* other : by_rank) {
+      for (internal::Waiter* other : by_rank) {
         if (other != nullptr &&
             !other->trigger->predicate_global(*w->trigger)) {
           pairwise_ok = false;
@@ -190,7 +266,7 @@ bool Engine::try_match(Slot& slot, BTrigger& bt, int rank, int arity,
     info.threads.assign(static_cast<std::size_t>(arity), 0);
     info.threads[static_cast<std::size_t>(rank)] = my_tid;
     for (int r = 0; r < arity; ++r) {
-      Waiter* w = by_rank[static_cast<std::size_t>(r)];
+      internal::Waiter* w = by_rank[static_cast<std::size_t>(r)];
       if (w == nullptr) continue;
       w->matched = true;
       w->matched_rank = r;
@@ -243,28 +319,27 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
   assert(arity >= 2 && rank >= 0 && rank < arity);
   if (!Config::enabled()) return {};
 
+  const internal::NameRecord* record = record_for(bt);
+
   // Spec-file overrides (core/spec.h) compose over the programmatic
   // parameters: they let a shipped bug report be tuned or flipped
-  // without recompiling.
+  // without recompiling.  The override lives in the interned record, so
+  // this fast path takes no lock and hashes no strings — a spec-disabled
+  // breakpoint costs two dependent atomic loads.
   std::uint64_t ignore_first = bt.ignore_first_count();
   std::uint64_t bound = bt.bound_count();
-  {
-    std::scoped_lock lock(spec_mu_);
-    auto it = spec_.find(bt.name());
-    if (it != spec_.end()) {
-      const SpecOverride& entry = it->second;
-      if (entry.disabled) return {};
-      if (entry.pause) {
-        timeout = std::chrono::duration_cast<std::chrono::microseconds>(
-            *entry.pause);
-      }
-      if (entry.flip_order && arity == 2) rank = 1 - rank;
-      if (entry.ignore_first) ignore_first = *entry.ignore_first;
-      if (entry.bound) bound = *entry.bound;
+  if (const SpecOverride* entry = record->spec.load(std::memory_order_acquire)) {
+    if (entry->disabled) return {};
+    if (entry->pause) {
+      timeout =
+          std::chrono::duration_cast<std::chrono::microseconds>(*entry->pause);
     }
+    if (entry->flip_order && arity == 2) rank = 1 - rank;
+    if (entry->ignore_first) ignore_first = *entry->ignore_first;
+    if (entry->bound) bound = *entry->bound;
   }
 
-  std::shared_ptr<Slot> slot = slot_for(bt.name());
+  internal::Slot* slot = record->slot.get();
 
   // User code: evaluate outside the slot lock (it may be arbitrarily
   // expensive, though it must not block).
@@ -294,7 +369,7 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
       slot->stats.ignored += 1;
       return {};
     } else {
-      Waiter waiter;
+      internal::Waiter waiter;
       waiter.trigger = &bt;
       waiter.tid = rt::this_thread_id();
       waiter.rank = rank;
@@ -350,53 +425,55 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Engine: aggregation and administration (cold paths)
+// ---------------------------------------------------------------------------
+
 BreakpointStats Engine::stats(const std::string& name) const {
-  std::shared_ptr<Slot> slot;
-  {
-    std::scoped_lock lock(map_mu_);
-    auto it = slots_.find(name);
-    if (it == slots_.end()) return {};
-    slot = it->second;
+  const internal::NameRecord* record = find_interned(name, name_hash(name));
+  if (record == nullptr) {
+    std::scoped_lock lock(intern_mu_);
+    auto it = overflow_.find(name);
+    if (it == overflow_.end()) return {};
+    record = it->second;
   }
-  std::scoped_lock lock(slot->mu);
-  return slot->stats;
+  std::scoped_lock lock(record->slot->mu);
+  return record->slot->stats;
 }
 
 BreakpointStats Engine::total_stats() const {
+  // Snapshot the record list first, then aggregate: no table-wide lock
+  // is held while slot mutexes are taken.
   BreakpointStats total;
-  std::vector<std::shared_ptr<Slot>> snapshot;
-  {
-    std::scoped_lock lock(map_mu_);
-    snapshot.reserve(slots_.size());
-    for (const auto& [name, slot] : slots_) snapshot.push_back(slot);
-  }
-  for (const auto& slot : snapshot) {
-    std::scoped_lock lock(slot->mu);
-    total += slot->stats;
+  for (const internal::NameRecord* record : records_snapshot()) {
+    std::scoped_lock lock(record->slot->mu);
+    total += record->slot->stats;
   }
   return total;
 }
 
 std::vector<std::string> Engine::names() const {
-  std::scoped_lock lock(map_mu_);
+  // A record exists as soon as a name is interned (e.g. by a spec file);
+  // "seen" means the engine actually counted a call for it.
   std::vector<std::string> out;
-  out.reserve(slots_.size());
-  for (const auto& [name, slot] : slots_) out.push_back(name);
+  for (const internal::NameRecord* record : records_snapshot()) {
+    std::uint64_t calls = 0;
+    {
+      std::scoped_lock lock(record->slot->mu);
+      calls = record->slot->stats.calls;
+    }
+    if (calls > 0) out.push_back(record->name);
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 void Engine::cancel_all() {
-  std::vector<std::shared_ptr<Slot>> snapshot;
-  {
-    std::scoped_lock lock(map_mu_);
-    snapshot.reserve(slots_.size());
-    for (const auto& [name, slot] : slots_) snapshot.push_back(slot);
-  }
-  for (const auto& slot : snapshot) {
+  for (const internal::NameRecord* record : records_snapshot()) {
+    internal::Slot* slot = record->slot.get();
     {
       std::scoped_lock lock(slot->mu);
-      for (Waiter* w : slot->postponed) w->cancelled = true;
+      for (internal::Waiter* w : slot->postponed) w->cancelled = true;
     }
     slot->cv.notify_all();
   }
@@ -404,10 +481,21 @@ void Engine::cancel_all() {
 
 void Engine::reset() {
   cancel_all();
-  std::scoped_lock lock(map_mu_);
-  // Waiting threads (if any) still hold shared_ptrs to their slots; the
-  // map entries can be dropped safely.
-  slots_.clear();
+  // Records are immortal (BTriggers cache raw pointers to them); a reset
+  // zeroes their counters instead of dropping them.  Callers guarantee
+  // no thread is concurrently inside trigger().
+  for (const internal::NameRecord* record : records_snapshot()) {
+    internal::Slot* slot = record->slot.get();
+    std::scoped_lock lock(slot->mu);
+    slot->stats = {};
+  }
+  // Spec generations retired before the current one can only be freed
+  // here, when no trigger can be reading them.
+  std::scoped_lock lock(spec_mu_);
+  if (spec_generations_.size() > 1) {
+    spec_generations_.erase(spec_generations_.begin(),
+                            spec_generations_.end() - 1);
+  }
 }
 
 void Engine::set_hit_observer(std::function<void(const HitInfo&)> observer) {
@@ -421,8 +509,23 @@ void Engine::set_verbose(bool on) {
 }
 
 void Engine::set_spec(std::unordered_map<std::string, SpecOverride> spec) {
+  // Intern every spec'd name first (intern_mu_ nests inside nothing
+  // here), so the pointer fix-up below covers all of them.
+  for (const auto& [name, entry] : spec) intern(name);
+
   std::scoped_lock lock(spec_mu_);
-  spec_ = std::move(spec);
+  auto generation = std::make_shared<const SpecMap>(std::move(spec));
+  {
+    std::scoped_lock intern_lock(intern_mu_);
+    for (const auto& record : records_) {
+      auto it = generation->find(record->name);
+      record->spec.store(it == generation->end() ? nullptr : &it->second,
+                         std::memory_order_release);
+    }
+  }
+  // Keep the map (and any predecessors a concurrent trigger might still
+  // be reading) alive; reset() garbage-collects old generations.
+  spec_generations_.push_back(std::move(generation));
 }
 
 }  // namespace cbp

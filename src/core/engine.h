@@ -8,8 +8,18 @@
 // Postponement is always bounded, so the mechanism cannot deadlock the
 // program (paper §3, "we do not postpone the execution of a thread
 // indefinitely").
+//
+// Fast-path architecture (see DESIGN.md "Lock-free hot paths"): every
+// breakpoint name is interned once into an immutable NameRecord that
+// bundles the name's Slot and the active SpecOverride.  BTrigger caches
+// the record pointer, so the steady-state trigger path performs zero
+// global-mutex acquisitions and zero string hashes; the only lock left
+// is the per-name slot mutex that guards the Postponed set and its
+// counters.  First-time resolution probes an append-only open-addressing
+// table with plain atomic loads (no reader lock).
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -17,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -53,6 +64,40 @@ struct GroupState {
   std::vector<rt::TimePoint> release_time;  // guarded by mu
 };
 
+/// One postponed thread (stack-allocated inside Engine::trigger).
+struct Waiter {
+  BTrigger* trigger = nullptr;
+  rt::ThreadId tid = 0;
+  int rank = 0;
+  int arity = 2;
+  bool scoped = false;
+  bool matched = false;    // guarded by slot mutex
+  bool cancelled = false;  // guarded by slot mutex
+  int matched_rank = -1;
+  std::shared_ptr<GroupState> group;
+};
+
+/// Per-breakpoint-name rendezvous state.  The mutex is per-name: two
+/// distinct breakpoints never contend on it.
+struct Slot {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Waiter*> postponed;  // guarded by mu
+  BreakpointStats stats;           // guarded by mu
+};
+
+/// An interned breakpoint name.  Created once on first use and never
+/// destroyed or moved for the life of the process, so raw pointers to it
+/// may be cached freely (BTrigger does).  `spec` points into the
+/// currently installed spec map (kept alive by the engine) or is null.
+struct NameRecord {
+  std::string name;
+  std::size_t hash = 0;       ///< cached std::hash<string_view>(name)
+  std::uint32_t id = 0;       ///< dense intern index (registration order)
+  std::atomic<const SpecOverride*> spec{nullptr};
+  std::unique_ptr<Slot> slot = std::make_unique<Slot>();
+};
+
 }  // namespace internal
 
 /// Information passed to the hit observer (one call per hit, made by the
@@ -74,22 +119,29 @@ class Engine {
   TriggerResult trigger(BTrigger& bt, int rank, int arity,
                         std::chrono::microseconds timeout, bool scoped);
 
+  /// Interns `name`, creating its record on first use.  The returned
+  /// pointer is stable for the process lifetime (it survives reset()).
+  const internal::NameRecord* intern(const std::string& name);
+
   /// Snapshot of the counters for one breakpoint name.
   [[nodiscard]] BreakpointStats stats(const std::string& name) const;
 
   /// Sum over all breakpoint names.
   [[nodiscard]] BreakpointStats total_stats() const;
 
-  /// Names that have been seen so far.
+  /// Names that have been seen so far (triggered at least once while
+  /// enabled and not spec-disabled).
   [[nodiscard]] std::vector<std::string> names() const;
 
   /// Wakes every postponed thread with a "cancelled" (no-hit) outcome.
   /// Used by harnesses to cut short in-flight postponements.
   void cancel_all();
 
-  /// cancel_all() plus forgetting all slots and statistics.  Callers must
-  /// ensure no thread is concurrently inside trigger(); the harness calls
-  /// this between experiment runs after joining all workers.
+  /// cancel_all() plus forgetting all statistics and postponements.
+  /// Interned records survive (cached BTrigger pointers stay valid);
+  /// their counters restart from zero.  Callers must ensure no thread is
+  /// concurrently inside trigger(); the harness calls this between
+  /// experiment runs after joining all workers.
   void reset();
 
   /// Observer invoked once per hit (outside engine locks; CP.22).
@@ -108,48 +160,57 @@ class Engine {
  private:
   Engine() = default;
 
-  struct Waiter {
-    BTrigger* trigger = nullptr;
-    rt::ThreadId tid = 0;
-    int rank = 0;
-    int arity = 2;
-    bool scoped = false;
-    bool matched = false;    // guarded by slot mutex
-    bool cancelled = false;  // guarded by slot mutex
-    int matched_rank = -1;
-    std::shared_ptr<internal::GroupState> group;
-  };
+  using SpecMap = std::unordered_map<std::string, SpecOverride>;
 
-  struct Slot {
-    mutable std::mutex mu;
-    std::condition_variable cv;
-    std::vector<Waiter*> postponed;  // guarded by mu
-    BreakpointStats stats;           // guarded by mu
-  };
+  /// Lock-free find in the open-addressing intern table; null on miss.
+  const internal::NameRecord* find_interned(std::string_view name,
+                                            std::size_t hash) const;
 
-  std::shared_ptr<Slot> slot_for(const std::string& name);
+  /// Record for `bt`, resolving and caching it on first call.
+  const internal::NameRecord* record_for(BTrigger& bt);
+
+  /// Snapshot of all records (in registration order) taken under
+  /// intern_mu_ and released before any slot mutex is locked, so
+  /// aggregation never holds a table-wide lock while locking slots.
+  std::vector<const internal::NameRecord*> records_snapshot() const;
 
   /// Tries to assemble a full group around `bt` from `slot->postponed`.
   /// Called with slot->mu held.  On success fills `group`, marks waiters
   /// matched, notifies them, and returns the arriving thread's rank slot
   /// assignment via `out_rank`; collects hit info for the observer.
-  bool try_match(Slot& slot, BTrigger& bt, int rank, int arity, bool scoped,
-                 std::shared_ptr<internal::GroupState>& group, int& out_rank,
-                 HitInfo& info);
+  bool try_match(internal::Slot& slot, BTrigger& bt, int rank, int arity,
+                 bool scoped, std::shared_ptr<internal::GroupState>& group,
+                 int& out_rank, HitInfo& info);
 
   /// Rank-order release protocol; returns after this thread is allowed to
   /// proceed.  Called with no locks held.
   static void await_turn(internal::GroupState& group, int rank, bool scoped);
 
-  mutable std::mutex map_mu_;
-  std::unordered_map<std::string, std::shared_ptr<Slot>> slots_;
+  // ---- interned name table -------------------------------------------
+  // Append-only open addressing: readers probe with plain acquire loads
+  // (no lock, no RMW); first-time interning publishes under intern_mu_.
+  // Past kInternCells/2 names the table stops growing and later names
+  // fall back to the mutex-guarded overflow map (a documented, graceful
+  // degradation — breakpoint-name sets are small and static in practice).
+  static constexpr std::size_t kInternCells = 1u << 14;  // 16384
+
+  std::array<std::atomic<internal::NameRecord*>, kInternCells> cells_{};
+  mutable std::mutex intern_mu_;
+  std::vector<std::unique_ptr<internal::NameRecord>> records_;  // owner
+  std::unordered_map<std::string, internal::NameRecord*>
+      overflow_;  // guarded by intern_mu_
+  std::size_t probe_count_ = 0;  ///< records published into cells_
+
+  // ---- spec overrides ------------------------------------------------
+  // Installed spec maps are kept alive (retired, never freed while
+  // triggers may read them) so records can point straight into them and
+  // the hot path reads one atomic pointer instead of locking a map.
+  mutable std::mutex spec_mu_;
+  std::vector<std::shared_ptr<const SpecMap>> spec_generations_;
 
   mutable std::mutex observer_mu_;
   std::function<void(const HitInfo&)> observer_;
   bool verbose_ = false;  // guarded by observer_mu_
-
-  mutable std::mutex spec_mu_;
-  std::unordered_map<std::string, SpecOverride> spec_;  // guarded by spec_mu_
 };
 
 }  // namespace cbp

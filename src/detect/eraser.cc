@@ -18,66 +18,82 @@ std::set<const void*> current_lockset() {
 void EraserDetector::on_access(const instr::AccessEvent& event) {
   const std::set<const void*> held = current_lockset();
 
-  std::scoped_lock lock(mu_);
-  VarState& var = vars_[event.addr];
+  Shard& shard = shards_[detector_shard(event.addr)];
+  bool report_race = false;
+  RaceReport report;
+  {
+    std::scoped_lock lock(shard.mu);
+    VarState& var = shard.vars[event.addr];
 
-  switch (var.state) {
-    case State::kVirgin:
-      var.state = State::kExclusive;
-      var.owner = event.tid;
-      break;
-    case State::kExclusive:
-      if (event.tid != var.owner) {
-        var.state = event.is_write ? State::kSharedModified : State::kShared;
-        var.candidate_locks = held;
-      }
-      break;
-    case State::kShared:
-      // Intersect candidate set with currently held locks.
-      for (auto it = var.candidate_locks.begin();
-           it != var.candidate_locks.end();) {
-        it = held.count(*it) ? std::next(it) : var.candidate_locks.erase(it);
-      }
-      if (event.is_write) var.state = State::kSharedModified;
-      break;
-    case State::kSharedModified:
-      for (auto it = var.candidate_locks.begin();
-           it != var.candidate_locks.end();) {
-        it = held.count(*it) ? std::next(it) : var.candidate_locks.erase(it);
-      }
-      break;
+    switch (var.state) {
+      case State::kVirgin:
+        var.state = State::kExclusive;
+        var.owner = event.tid;
+        break;
+      case State::kExclusive:
+        if (event.tid != var.owner) {
+          var.state = event.is_write ? State::kSharedModified : State::kShared;
+          var.candidate_locks = held;
+        }
+        break;
+      case State::kShared:
+        // Intersect candidate set with currently held locks.
+        for (auto it = var.candidate_locks.begin();
+             it != var.candidate_locks.end();) {
+          it = held.count(*it) ? std::next(it) : var.candidate_locks.erase(it);
+        }
+        if (event.is_write) var.state = State::kSharedModified;
+        break;
+      case State::kSharedModified:
+        for (auto it = var.candidate_locks.begin();
+             it != var.candidate_locks.end();) {
+          it = held.count(*it) ? std::next(it) : var.candidate_locks.erase(it);
+        }
+        break;
+    }
+
+    if (var.state == State::kSharedModified && var.candidate_locks.empty() &&
+        !var.reported) {
+      var.reported = true;
+      report.addr = event.addr;
+      report.first = var.last_loc;
+      report.first_tid = var.last_tid;
+      report.second = event.loc;
+      report.second_tid = event.tid;
+      report.second_is_write = event.is_write;
+      report_race = true;
+    }
+
+    var.last_loc = event.loc;
+    var.last_tid = event.tid;
   }
 
-  if (var.state == State::kSharedModified && var.candidate_locks.empty() &&
-      !var.reported) {
-    var.reported = true;
-    RaceReport report;
-    report.addr = event.addr;
-    report.first = var.last_loc;
-    report.first_tid = var.last_tid;
-    report.second = event.loc;
-    report.second_tid = event.tid;
-    report.second_is_write = event.is_write;
+  if (report_race) {
+    std::scoped_lock lock(races_mu_);
     races_.push_back(report);
   }
-
-  var.last_loc = event.loc;
-  var.last_tid = event.tid;
 }
 
 std::vector<RaceReport> EraserDetector::races() const {
-  std::scoped_lock lock(mu_);
+  std::scoped_lock lock(races_mu_);
   return races_;
 }
 
 std::size_t EraserDetector::tracked_addresses() const {
-  std::scoped_lock lock(mu_);
-  return vars_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    total += shard.vars.size();
+  }
+  return total;
 }
 
 void EraserDetector::reset() {
-  std::scoped_lock lock(mu_);
-  vars_.clear();
+  for (Shard& shard : shards_) {
+    std::scoped_lock lock(shard.mu);
+    shard.vars.clear();
+  }
+  std::scoped_lock lock(races_mu_);
   races_.clear();
 }
 

@@ -6,14 +6,21 @@
 // with a candidate lockset that is intersected with the thread's held
 // locks on every access once the address is shared; an empty candidate
 // set in the SharedModified state is reported as a potential race.
+//
+// Per-address state is striped across kShardCount independently locked
+// maps (hashed by address), so accesses to disjoint addresses from
+// different threads never serialize on a detector-global mutex.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "detect/reports.h"
+#include "detect/striping.h"
 #include "instrument/hub.h"
 
 namespace cbp::detect {
@@ -41,9 +48,17 @@ class EraserDetector : public instr::Listener {
     bool reported = false;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<const void*, VarState> vars_;  // guarded by mu_
-  std::vector<RaceReport> races_;                   // guarded by mu_
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<const void*, VarState> vars;  // guarded by mu
+  };
+
+  mutable std::array<Shard, kDetectorShards> shards_;
+
+  // Reports are rare; a dedicated mutex keeps them off the access path
+  // (never held together with a shard mutex).
+  mutable std::mutex races_mu_;
+  std::vector<RaceReport> races_;  // guarded by races_mu_
 };
 
 }  // namespace cbp::detect

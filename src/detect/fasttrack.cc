@@ -2,8 +2,27 @@
 
 namespace cbp::detect {
 
+FastTrackDetector::~FastTrackDetector() {
+  for (std::size_t i = 0; i < kMaxChunks; ++i) {
+    delete chunks_[i].load(std::memory_order_acquire);
+  }
+}
+
 VectorClock& FastTrackDetector::thread_clock(rt::ThreadId tid) {
-  VectorClock& clock = threads_[tid];
+  const std::size_t chunk_index = tid / kClockChunk;
+  // Ids beyond the (very generous) table fold back into it; the only
+  // cost is imprecision for such outlier threads, never a crash.
+  const std::size_t folded = chunk_index % kMaxChunks;
+  ClockChunk* chunk = chunks_[folded].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    std::scoped_lock lock(chunks_mu_);
+    chunk = chunks_[folded].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new ClockChunk();
+      chunks_[folded].store(chunk, std::memory_order_release);
+    }
+  }
+  VectorClock& clock = chunk->clocks[tid % kClockChunk].clock;
   if (clock.get(tid) == 0) clock.set(tid, 1);
   return clock;
 }
@@ -11,58 +30,73 @@ VectorClock& FastTrackDetector::thread_clock(rt::ThreadId tid) {
 void FastTrackDetector::report(const void* addr, VarState& var,
                                instr::SourceLoc prior_loc,
                                rt::ThreadId prior_tid,
-                               const instr::AccessEvent& event) {
+                               const instr::AccessEvent& event,
+                               RaceReport& out, bool& fire) {
   if (var.reported) return;
   var.reported = true;
-  RaceReport race;
-  race.addr = addr;
-  race.first = prior_loc;
-  race.first_tid = prior_tid;
-  race.second = event.loc;
-  race.second_tid = event.tid;
-  race.second_is_write = event.is_write;
-  races_.push_back(race);
+  out.addr = addr;
+  out.first = prior_loc;
+  out.first_tid = prior_tid;
+  out.second = event.loc;
+  out.second_tid = event.tid;
+  out.second_is_write = event.is_write;
+  fire = true;
 }
 
 void FastTrackDetector::on_access(const instr::AccessEvent& event) {
-  std::scoped_lock lock(mu_);
   VectorClock& clock = thread_clock(event.tid);
-  VarState& var = vars_[event.addr];
 
-  if (event.is_write) {
-    // Write must be ordered after the previous write and all reads.
-    if (var.write.clock != 0 && !clock.covers(var.write)) {
-      report(event.addr, var, var.write_loc, var.write.tid, event);
-    } else if (!var.reads.leq(clock)) {
-      report(event.addr, var, var.last_read_loc, var.last_read_tid, event);
+  VarShard& shard = var_shards_[detector_shard(event.addr)];
+  RaceReport race;
+  bool fire = false;
+  {
+    std::scoped_lock lock(shard.mu);
+    VarState& var = shard.vars[event.addr];
+
+    if (event.is_write) {
+      // Write must be ordered after the previous write and all reads.
+      if (var.write.clock != 0 && !clock.covers(var.write)) {
+        report(event.addr, var, var.write_loc, var.write.tid, event, race,
+               fire);
+      } else if (!var.reads.leq(clock)) {
+        report(event.addr, var, var.last_read_loc, var.last_read_tid, event,
+               race, fire);
+      }
+      var.write = Epoch{event.tid, clock.get(event.tid)};
+      var.write_loc = event.loc;
+    } else {
+      // Read must be ordered after the previous write.
+      if (var.write.clock != 0 && !clock.covers(var.write)) {
+        report(event.addr, var, var.write_loc, var.write.tid, event, race,
+               fire);
+      }
+      var.reads.set(event.tid, clock.get(event.tid));
+      var.last_read_loc = event.loc;
+      var.last_read_tid = event.tid;
     }
-    var.write = Epoch{event.tid, clock.get(event.tid)};
-    var.write_loc = event.loc;
-  } else {
-    // Read must be ordered after the previous write.
-    if (var.write.clock != 0 && !clock.covers(var.write)) {
-      report(event.addr, var, var.write_loc, var.write.tid, event);
-    }
-    var.reads.set(event.tid, clock.get(event.tid));
-    var.last_read_loc = event.loc;
-    var.last_read_tid = event.tid;
+  }
+
+  if (fire) {
+    std::scoped_lock lock(races_mu_);
+    races_.push_back(race);
   }
 }
 
 void FastTrackDetector::on_sync(const instr::SyncEvent& event) {
   using Kind = instr::SyncEvent::Kind;
-  std::scoped_lock lock(mu_);
   VectorClock& clock = thread_clock(event.tid);
+  SyncShard& shard = sync_shards_[detector_shard(event.obj)];
+  std::scoped_lock lock(shard.mu);
   switch (event.kind) {
     case Kind::kLockAcquired:
     case Kind::kWaitExit:
       // Acquire edge: pull in everything the sync object has seen.
-      clock.join(locks_[event.obj]);
+      clock.join(shard.clocks[event.obj]);
       break;
     case Kind::kLockReleased:
     case Kind::kNotify: {
       // Release edge: publish this thread's knowledge, then advance.
-      VectorClock& obj_clock = locks_[event.obj];
+      VectorClock& obj_clock = shard.clocks[event.obj];
       obj_clock.join(clock);
       clock.tick(event.tid);
       break;
@@ -76,15 +110,28 @@ void FastTrackDetector::on_sync(const instr::SyncEvent& event) {
 }
 
 std::vector<RaceReport> FastTrackDetector::races() const {
-  std::scoped_lock lock(mu_);
+  std::scoped_lock lock(races_mu_);
   return races_;
 }
 
 void FastTrackDetector::reset() {
-  std::scoped_lock lock(mu_);
-  threads_.clear();
-  locks_.clear();
-  vars_.clear();
+  // Safe only while no instrumented workload is running (the documented
+  // contract for all detector resets).
+  for (std::size_t i = 0; i < kMaxChunks; ++i) {
+    ClockChunk* chunk = chunks_[i].load(std::memory_order_acquire);
+    if (chunk != nullptr) {
+      for (PaddedClock& padded : chunk->clocks) padded.clock.clear();
+    }
+  }
+  for (VarShard& shard : var_shards_) {
+    std::scoped_lock lock(shard.mu);
+    shard.vars.clear();
+  }
+  for (SyncShard& shard : sync_shards_) {
+    std::scoped_lock lock(shard.mu);
+    shard.clocks.clear();
+  }
+  std::scoped_lock lock(races_mu_);
   races_.clear();
 }
 

@@ -5,13 +5,24 @@
 // condvar notify/wait-exit edges; each shared address keeps its last
 // write epoch and a read clock.  A read not ordered after the last write,
 // or a write not ordered after all previous accesses, is a race.
+//
+// Concurrency: the detector state is striped.  A thread's own vector
+// clock is touched only by events of that thread (events dispatch
+// synchronously in the acting thread), so thread clocks live in a
+// lock-free chunked array and need no mutex at all.  Per-address and
+// per-sync-object state is sharded kDetectorShards ways with per-shard
+// locks, so accesses to disjoint addresses never serialize globally.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "detect/reports.h"
+#include "detect/striping.h"
 #include "detect/vector_clock.h"
 #include "instrument/hub.h"
 
@@ -19,6 +30,9 @@ namespace cbp::detect {
 
 class FastTrackDetector : public instr::Listener {
  public:
+  FastTrackDetector() = default;
+  ~FastTrackDetector() override;
+
   void on_access(const instr::AccessEvent& event) override;
   void on_sync(const instr::SyncEvent& event) override;
 
@@ -36,17 +50,48 @@ class FastTrackDetector : public instr::Listener {
     bool reported = false;
   };
 
-  /// Thread clock, creating the initial self-component lazily.
+  // ---- per-thread clocks (no lock: owner-thread access only) ---------
+  // Chunked so publication is a single atomic pointer store and lookups
+  // are two dependent loads; padding avoids false sharing between the
+  // clocks of adjacent thread ids.
+  static constexpr std::size_t kClockChunk = 64;    // clocks per chunk
+  static constexpr std::size_t kMaxChunks = 1024;   // 65536 thread ids
+
+  struct alignas(64) PaddedClock {
+    VectorClock clock;
+  };
+  struct ClockChunk {
+    std::array<PaddedClock, kClockChunk> clocks;
+  };
+
+  /// Thread clock, creating the initial self-component lazily.  Must be
+  /// called only from the thread that owns `tid` (the dispatch thread).
   VectorClock& thread_clock(rt::ThreadId tid);
 
-  void report(const void* addr, VarState& var, instr::SourceLoc prior_loc,
-              rt::ThreadId prior_tid, const instr::AccessEvent& event);
+  // ---- sharded per-address / per-sync-object state -------------------
+  struct alignas(64) VarShard {
+    mutable std::mutex mu;
+    std::unordered_map<const void*, VarState> vars;  // guarded by mu
+  };
+  struct alignas(64) SyncShard {
+    mutable std::mutex mu;
+    std::unordered_map<const void*, VectorClock> clocks;  // guarded by mu
+  };
 
-  mutable std::mutex mu_;
-  std::unordered_map<rt::ThreadId, VectorClock> threads_;  // guarded by mu_
-  std::unordered_map<const void*, VectorClock> locks_;     // guarded by mu_
-  std::unordered_map<const void*, VarState> vars_;         // guarded by mu_
-  std::vector<RaceReport> races_;                          // guarded by mu_
+  static void report(const void* addr, VarState& var,
+                     instr::SourceLoc prior_loc, rt::ThreadId prior_tid,
+                     const instr::AccessEvent& event, RaceReport& out,
+                     bool& fire);
+
+  std::array<std::atomic<ClockChunk*>, kMaxChunks> chunks_{};
+  std::mutex chunks_mu_;  // chunk allocation only
+
+  mutable std::array<VarShard, kDetectorShards> var_shards_;
+  mutable std::array<SyncShard, kDetectorShards> sync_shards_;
+
+  // Never held together with a shard mutex.
+  mutable std::mutex races_mu_;
+  std::vector<RaceReport> races_;  // guarded by races_mu_
 };
 
 }  // namespace cbp::detect

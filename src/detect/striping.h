@@ -1,0 +1,22 @@
+// Shared striping policy for the passive detectors: per-address state is
+// split across kDetectorShards independently locked maps so accesses to
+// disjoint addresses from different threads never serialize on a
+// detector-global mutex.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cbp::detect {
+
+constexpr std::size_t kDetectorShards = 16;  // power of two
+
+/// Shard index for an address: multiplicative hash over the 16-byte
+/// granule so neighbouring variables spread across shards.
+inline std::size_t detector_shard(const void* addr) {
+  auto v = reinterpret_cast<std::uintptr_t>(addr) >> 4;
+  v *= 0x9E3779B97F4A7C15ull;
+  return (v >> 60) & (kDetectorShards - 1);
+}
+
+}  // namespace cbp::detect

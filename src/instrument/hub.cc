@@ -1,7 +1,7 @@
 #include "instrument/hub.h"
 
-#include <algorithm>
-#include <mutex>
+#include <thread>
+#include <utility>
 
 namespace cbp::instr {
 
@@ -10,17 +10,110 @@ Hub& Hub::instance() {
   return hub;
 }
 
+Hub::Hub() : current_(std::make_shared<const Snapshot>()) {
+  snapshot_.store(current_.get());
+}
+
+void Hub::publish(std::shared_ptr<const Snapshot> next, bool drain) {
+  retired_.push_back(std::move(current_));
+  current_ = std::move(next);
+  // seq_cst store: orders against the readers' seq_cst pin (see
+  // dispatch()) so the grace wait below cannot miss a reader that
+  // went on to load a retired snapshot.
+  snapshot_.store(current_.get(), std::memory_order_seq_cst);
+  if (!drain) return;
+  // Grace period: flip the reader parity and wait for the old slot to
+  // drain (see the scheme note on pins_ in hub.h).  When the old
+  // slot reaches zero, every reader that could have loaded a retired
+  // snapshot has unpinned — the acquire load synchronizes with their
+  // release decrements — so the retired snapshots can be freed and the
+  // caller may destroy a removed listener.  Readers arriving after the
+  // flip pin the other slot, so this wait strictly drains and cannot
+  // be starved by a saturated dispatch load.
+  const unsigned old_parity = parity_.load(std::memory_order_relaxed);
+  parity_.store(1 - old_parity, std::memory_order_seq_cst);
+  while (pins_[old_parity].value.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  retired_.clear();
+}
+
 void Hub::add_listener(Listener* listener) {
-  std::unique_lock lock(mu_);
-  listeners_.push_back(listener);
+  std::scoped_lock lock(reg_mu_);
+  auto next = std::make_shared<Snapshot>(*current_);
+  next->push_back(listener);
+  // No drain: the old snapshot is a subset of the new one, so readers
+  // still on it see only registered listeners; waiting here could stall
+  // registration behind a listener that blocks inside its callback
+  // (fuzz confirmers hold threads at instrumentation points for
+  // seconds at a time).
+  publish(std::move(next), /*drain=*/false);
+  // Publish the snapshot before flipping the fast-path flag: a dispatch
+  // that sees active_ == true must find the listener in the snapshot.
   active_.store(true, std::memory_order_release);
 }
 
 void Hub::remove_listener(Listener* listener) {
-  std::unique_lock lock(mu_);
-  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
-                   listeners_.end());
-  active_.store(!listeners_.empty(), std::memory_order_release);
+  std::scoped_lock lock(reg_mu_);
+  auto next = std::make_shared<Snapshot>();
+  next->reserve(current_->size());
+  for (Listener* l : *current_) {
+    if (l != listener) next->push_back(l);
+  }
+  active_.store(!next->empty(), std::memory_order_release);
+  // Draining publish: returns only after every dispatch that could
+  // still observe `listener` — through any retired snapshot — has
+  // exited, so the caller may destroy the listener immediately after
+  // we return.
+  publish(std::move(next), /*drain=*/true);
+}
+
+namespace {
+
+// Listener callbacks may throw (confirmers escape a reproduced deadlock
+// by throwing through the dispatch), so the unpin must fire on unwind
+// too or the grace-period accounting leaks a pin forever.
+class ScopedUnpin {
+ public:
+  explicit ScopedUnpin(std::atomic<std::uint64_t>& count) : count_(count) {}
+  ~ScopedUnpin() { count_.fetch_sub(1, std::memory_order_release); }
+  ScopedUnpin(const ScopedUnpin&) = delete;
+  ScopedUnpin& operator=(const ScopedUnpin&) = delete;
+
+ private:
+  std::atomic<std::uint64_t>& count_;
+};
+
+}  // namespace
+
+template <class Event, void (Listener::*Fn)(const Event&)>
+void Hub::dispatch(const Event& event) {
+  // Pin the parity slot, then RE-VALIDATE the parity before touching
+  // the snapshot.  The re-check closes the stale-pin hole: a thread
+  // preempted between reading parity_ and pinning could otherwise pin
+  // the inactive slot (after an intervening flip), which the next
+  // grace period does not wait on — it would then free the snapshot
+  // this thread is about to dispatch over.  A validated pin is always
+  // on the slot the next flip retires, so the publisher counts us; a
+  // failed validation unpins and retries before any snapshot access.
+  // Retries require a concurrent remove_listener (rare) to have
+  // flipped in the window, so the loop terminates in practice
+  // immediately.
+  unsigned parity;
+  for (;;) {
+    parity = parity_.load(std::memory_order_seq_cst);
+    pins_[parity].value.fetch_add(1, std::memory_order_seq_cst);
+    if (parity_.load(std::memory_order_seq_cst) == parity) break;
+    pins_[parity].value.fetch_sub(1, std::memory_order_release);
+  }
+  // Release unpin (on return OR unwind): the publisher's load of the
+  // drained slot sees all our snapshot uses before freeing it.
+  ScopedUnpin unpin(pins_[parity].value);
+  // The validation read synchronizes with the publisher's parity flip,
+  // which is ordered after its snapshot swap — so this load can never
+  // observe a pointer the in-progress grace period is about to free.
+  const Snapshot* snap = snapshot_.load(std::memory_order_seq_cst);
+  for (Listener* listener : *snap) (listener->*Fn)(event);
 }
 
 void Hub::access(const void* addr, bool is_write, SourceLoc loc) {
@@ -30,8 +123,7 @@ void Hub::access(const void* addr, bool is_write, SourceLoc loc) {
   event.is_write = is_write;
   event.loc = loc;
   event.tid = rt::this_thread_id();
-  std::shared_lock lock(mu_);
-  for (Listener* listener : listeners_) listener->on_access(event);
+  dispatch<AccessEvent, &Listener::on_access>(event);
 }
 
 void Hub::sync(SyncEvent::Kind kind, const void* obj, SourceLoc loc) {
@@ -41,8 +133,7 @@ void Hub::sync(SyncEvent::Kind kind, const void* obj, SourceLoc loc) {
   event.obj = obj;
   event.loc = loc;
   event.tid = rt::this_thread_id();
-  std::shared_lock lock(mu_);
-  for (Listener* listener : listeners_) listener->on_sync(event);
+  dispatch<SyncEvent, &Listener::on_sync>(event);
 }
 
 }  // namespace cbp::instr

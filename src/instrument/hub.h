@@ -8,9 +8,11 @@
 // detectors recording the event.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
-#include <shared_mutex>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "instrument/source_loc.h"
@@ -57,16 +59,32 @@ class Listener {
 /// Process-wide hub.  Registration is rare; dispatch is the hot path and
 /// short-circuits when no listener is attached.
 ///
-/// Contract: add/remove listeners at workload boundaries (before workers
-/// start or after they quiesce).  Dispatch holds the hub lock shared, so
-/// registration under a saturated dispatch load may wait arbitrarily
-/// long on reader-preferring rwlock implementations.
+/// Dispatch is RCU-style: the listener list is an immutable snapshot
+/// swapped atomically on add/remove.  Readers never take a mutex — with
+/// no listener attached the cost is one atomic load; with listeners it
+/// is a reader pin (one atomic increment), an atomic snapshot-pointer
+/// load, and an unpin (all plain atomics, no CAS loop, no lock).
+/// Registration copies the list aside and publishes the new snapshot;
+/// it can therefore never be starved by a saturated dispatch load (the
+/// old reader-preferring rwlock could).
+///
+/// Contract: remove_listener() is safe while dispatches are in flight —
+/// it blocks until every dispatch that could still observe the removed
+/// listener has drained (an RCU grace period), so the caller may destroy
+/// the listener as soon as remove_listener() returns.  Two exclusions
+/// remain: a listener must not remove itself from inside its own
+/// callback (the grace period would wait on the running dispatch —
+/// self-deadlock), and concurrent add/remove of the *same* listener
+/// object is a caller bug.
 class Hub {
  public:
   static Hub& instance();
 
   void add_listener(Listener* listener);
+
+  /// Blocks until no in-flight dispatch can still see `listener`.
   void remove_listener(Listener* listener);
+
   [[nodiscard]] bool has_listeners() const {
     return active_.load(std::memory_order_acquire);
   }
@@ -78,13 +96,65 @@ class Hub {
   void sync(SyncEvent::Kind kind, const void* obj, SourceLoc loc);
 
  private:
-  Hub() = default;
+  Hub();
 
-  // Dispatch holds mu_ shared (listeners may sleep to inject noise without
-  // serializing other threads); add/remove hold it exclusive, so a
-  // listener can never dangle while a dispatch is in flight.
-  mutable std::shared_mutex mu_;
-  std::vector<Listener*> listeners_;  // guarded by mu_
+  using Snapshot = std::vector<Listener*>;
+
+  /// Publishes `next` as the current snapshot.  If `drain`, waits out
+  /// the grace period and frees every retired snapshot; otherwise the
+  /// old snapshot is parked on retired_ (used by add_listener, where
+  /// the old list is a subset of the new one and waiting could stall
+  /// registration behind a listener that blocks inside its callback).
+  /// Caller holds reg_mu_.
+  void publish(std::shared_ptr<const Snapshot> next, bool drain);
+
+  template <class Event, void (Listener::*Fn)(const Event&)>
+  void dispatch(const Event& event);
+
+  /// Current immutable listener list for dispatch.  The object itself is
+  /// kept alive by current_ (below); retired snapshots are freed only
+  /// after their grace period, so this raw pointer is always valid to
+  /// dereference while the reader holds its pin.
+  std::atomic<const Snapshot*> snapshot_;
+
+  /// Two-slot reader pin counts (userspace-RCU style grace periods).
+  /// A dispatch reads parity_, increments pins_[parity], RE-READS
+  /// parity_ to validate the pin (retrying on mismatch), loads the
+  /// snapshot pointer, and decrements the same slot when done — all
+  /// seq_cst except the release decrement.  A draining publisher swaps
+  /// the snapshot, flips parity_, and waits for the OLD slot to reach
+  /// zero.  Soundness: a validated pin's re-read saw the slot still
+  /// current, so any later flip retires exactly that slot and the
+  /// publisher's wait counts the reader until its decrement; if the
+  /// flip instead preceded the validation read, the reader's snapshot
+  /// load is ordered after the publisher's swap and sees the new list,
+  /// never retired memory.  The validation step is what makes a pin
+  /// trustworthy — without it a thread preempted between its parity
+  /// read and its increment can pin the slot the next grace period
+  /// does not wait on.  Liveness: readers arriving after the flip
+  /// either land in the other slot or fail validation and move there,
+  /// so the awaited count strictly drains — a saturated dispatch load
+  /// cannot starve the writer (the failure mode of a single in-flight
+  /// counter).  Padded: the slots are reader-hot.
+  struct alignas(64) PinCount {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<PinCount, 2> pins_;
+  std::atomic<unsigned> parity_{0};
+
+  /// Owns the published snapshot.  Guarded by reg_mu_; never touched by
+  /// dispatch.
+  std::shared_ptr<const Snapshot> current_;
+
+  /// Snapshots replaced without a grace wait (by add_listener), kept
+  /// alive until the next draining publish proves no reader can still
+  /// hold them.  Guarded by reg_mu_.
+  std::vector<std::shared_ptr<const Snapshot>> retired_;
+
+  /// Serializes the copy-on-write publishers only; never touched by
+  /// dispatch.
+  std::mutex reg_mu_;
+
   std::atomic<bool> active_{false};
 };
 

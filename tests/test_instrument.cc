@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -118,6 +120,57 @@ TEST(Hub, MultipleListenersAllReceive) {
   Hub::instance().access(&x, true, SourceLoc::current());
   EXPECT_EQ(first.accesses.size(), 1u);
   EXPECT_EQ(second.accesses.size(), 1u);
+}
+
+// Regression test for the RCU-style dispatch snapshot: registering and
+// unregistering a listener must be safe while other threads are inside
+// access(), and remove_listener() must not return before every in-flight
+// dispatch that could still observe the listener has drained (so the
+// listener can be destroyed immediately afterwards).
+TEST(Hub, RegisterUnregisterWhileDispatching) {
+  class CountingListener : public Listener {
+   public:
+    void on_access(const AccessEvent&) override {
+      events.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::atomic<std::uint64_t> events{0};
+  };
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> dispatched{0};
+  constexpr int kWorkers = 4;
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int i = 0; i < kWorkers; ++i) {
+    workers.emplace_back([&] {
+      int x = 0;
+      const SourceLoc loc = SourceLoc::current();
+      while (!stop.load(std::memory_order_relaxed)) {
+        Hub::instance().access(&x, true, loc);
+        dispatched.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::uint64_t total_observed = 0;
+  for (int cycle = 0; cycle < 200; ++cycle) {
+    // A fresh listener every cycle: if remove_listener() returned while a
+    // dispatch still held the old snapshot, the destructor would race with
+    // on_access() and TSan (or a crash) would catch it.
+    auto listener = std::make_unique<CountingListener>();
+    Hub::instance().add_listener(listener.get());
+    std::this_thread::yield();
+    Hub::instance().remove_listener(listener.get());
+    total_observed += listener->events.load(std::memory_order_relaxed);
+    listener.reset();
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& worker : workers) worker.join();
+
+  EXPECT_FALSE(Hub::instance().has_listeners());
+  // Every event a listener saw was produced by a worker dispatch.
+  EXPECT_LE(total_observed, dispatched.load(std::memory_order_relaxed));
 }
 
 TEST(Hub, EventsCarryDistinctThreadIds) {
