@@ -36,6 +36,7 @@
 #include "detect/fasttrack.h"
 #include "instrument/shared_var.h"
 #include "instrument/tracked_mutex.h"
+#include "obs/trace.h"
 #include "runtime/clock.h"
 #include "runtime/latch.h"
 
@@ -197,6 +198,77 @@ void BM_TriggerMatchedPair(benchmark::State& state) {
   Engine::instance().reset();
 }
 BENCHMARK(BM_TriggerMatchedPair)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Observability layer (src/obs): the tracing budget.  The always-on
+// claim requires the *off* paths to stay flat when the obs layer is
+// compiled in (tracing is a runtime switch, default off); the *on*
+// paths bound what a trace costs per event.
+// ---------------------------------------------------------------------------
+
+#ifndef CBP_DISABLE_OBS
+void BM_TriggerSpecDisabledCachedTracingOn(benchmark::State& state) {
+  // The budget case from the issue: with event tracing *enabled*, the
+  // cached spec-disabled fast path must not grow — it returns before
+  // any event is recorded, so this should match the tracing-off twin.
+  if (state.thread_index() == 0) {
+    Config::set_enabled(true);
+    Engine::instance().reset();
+    obs::Trace::set_enabled(true);
+    BreakpointSpec::parse("micro-specoff-tron off").install();
+  }
+  int obj = 0;
+  ConflictTrigger trigger("micro-specoff-tron", &obj);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trigger.trigger_here(true, std::chrono::milliseconds(100)));
+  }
+  if (state.thread_index() == 0) {
+    obs::Trace::set_enabled(false);
+    obs::Trace::clear();
+    BreakpointSpec::clear_installed();
+    Engine::instance().reset();
+  }
+}
+BENCHMARK(BM_TriggerSpecDisabledCachedTracingOn)->ThreadRange(1, kMaxThreads);
+
+void BM_TriggerLocalRejectTracingOn(benchmark::State& state) {
+  // A local reject with tracing on records one kLocalReject event per
+  // call: reject-path cost + one ring push.
+  if (state.thread_index() == 0) {
+    Config::set_enabled(true);
+    Engine::instance().reset();
+    obs::Trace::set_enabled(true);
+  }
+  PredicateTrigger trigger(
+      "micro-reject-tron", [] { return false; },
+      [](const BTrigger&) { return true; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trigger.trigger_here(true, std::chrono::milliseconds(100)));
+  }
+  if (state.thread_index() == 0) {
+    obs::Trace::set_enabled(false);
+    obs::Trace::clear();
+    Engine::instance().reset();
+  }
+}
+BENCHMARK(BM_TriggerLocalRejectTracingOn)->ThreadRange(1, kMaxThreads);
+
+void BM_TraceRecordEvent(benchmark::State& state) {
+  // The raw per-event cost: clock read + relaxed stores into the
+  // caller's own ring (SPSC, no fences on this side).
+  if (state.thread_index() == 0) obs::Trace::set_enabled(true);
+  for (auto _ : state) {
+    obs::Trace::record(obs::EventKind::kArrival, 1, -1, 0);
+  }
+  if (state.thread_index() == 0) {
+    obs::Trace::set_enabled(false);
+    obs::Trace::clear();
+  }
+}
+BENCHMARK(BM_TraceRecordEvent)->ThreadRange(1, kMaxThreads);
+#endif  // CBP_DISABLE_OBS
 
 // ---------------------------------------------------------------------------
 // Hub / instrumentation layer

@@ -140,9 +140,10 @@ class BTrigger {
 
   // ---- Local-predicate refinements (paper §6.3) -------------------------
 
-  /// Do not postpone for the first `n` arrivals at this breakpoint name
-  /// (cache4j's `ignoreFirst=7200`).  Matching a postponed peer is still
-  /// allowed — only the wait is skipped.
+  /// Do not participate for the first `n` arrivals at this breakpoint
+  /// name (cache4j's `ignoreFirst=7200`).  An arrival inside the window
+  /// is skipped entirely: it neither postpones nor matches a postponed
+  /// peer, so an exact arrival counter sees zero hits during warm-up.
   BTrigger& ignore_first(std::uint64_t n) {
     ignore_first_ = n;
     return *this;

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "core/config.h"
+#include "obs/trace.h"
 
 namespace cbp {
 
@@ -42,6 +43,7 @@ void OrderingGuard::release() {
     group_->acked[static_cast<std::size_t>(rank_)] = 1;
   }
   group_->cv.notify_all();
+  CBP_OBS_EVENT(obs::EventKind::kGuardAck, group_->name_id, rank_);
   group_.reset();
   rank_ = -1;
 }
@@ -163,6 +165,12 @@ const internal::NameRecord* Engine::intern(const std::string& name) {
   } else {
     overflow_.emplace(name, record);
   }
+#ifndef CBP_DISABLE_OBS
+  // Register the id -> name mapping so trace exports can resolve events
+  // even if the trace is enabled after interning (cold path, once per
+  // name per process).
+  obs::Trace::set_name(record->id, name);
+#endif
   return record;
 }
 
@@ -191,7 +199,6 @@ std::vector<const internal::NameRecord*> Engine::records_snapshot() const {
 bool Engine::try_match(internal::Slot& slot, BTrigger& bt, int rank, int arity,
                        bool scoped, std::shared_ptr<internal::GroupState>& group,
                        int& out_rank, HitInfo& info) {
-  (void)scoped;
   const rt::ThreadId my_tid = rt::this_thread_id();
 
   // Candidate waiters: same arity, different thread, not yet taken.
@@ -220,6 +227,13 @@ bool Engine::try_match(internal::Slot& slot, BTrigger& bt, int rank, int arity,
       mine = 1;
     }
     group = std::make_shared<internal::GroupState>(2);
+    // Each rank's scoped-ness is fixed here, before any participant can
+    // observe the group: the peer's comes from its Waiter record, ours
+    // from the trigger call itself.  await_turn no longer writes it, so
+    // a rank can never read a flag the owner hadn't published yet.
+    group->uses_guard[static_cast<std::size_t>(peer_rank)] =
+        peer->scoped ? 1 : 0;
+    group->uses_guard[static_cast<std::size_t>(mine)] = scoped ? 1 : 0;
     peer->matched = true;
     peer->matched_rank = peer_rank;
     peer->group = group;
@@ -262,6 +276,7 @@ bool Engine::try_match(internal::Slot& slot, BTrigger& bt, int rank, int arity,
       }
     }
     group = std::make_shared<internal::GroupState>(arity);
+    group->uses_guard[static_cast<std::size_t>(rank)] = scoped ? 1 : 0;
     info.arity = arity;
     info.threads.assign(static_cast<std::size_t>(arity), 0);
     info.threads[static_cast<std::size_t>(rank)] = my_tid;
@@ -271,15 +286,30 @@ bool Engine::try_match(internal::Slot& slot, BTrigger& bt, int rank, int arity,
       w->matched = true;
       w->matched_rank = r;
       w->group = group;
+      group->uses_guard[static_cast<std::size_t>(r)] = w->scoped ? 1 : 0;
       chosen.push_back(w);
       info.threads[static_cast<std::size_t>(r)] = w->tid;
     }
     out_rank = rank;
   }
 
+  group->name_id = record_for(bt)->id;
+  group->match_time = rt::Clock::now();
   slot.stats.hits += 1;
   info.name = bt.name();
   info.description = bt.describe();
+  if (CBP_OBS_ENABLED()) {
+    // One kMatch per rank, stamped by the matcher with each
+    // participant's tid (the waiters are asleep; their postponement
+    // spans close against these events).  detail carries the arity.
+    const auto detail = static_cast<std::uint16_t>(info.arity);
+    obs::Trace::record_for(my_tid, obs::EventKind::kMatch, group->name_id,
+                           out_rank, detail);
+    for (const internal::Waiter* w : chosen) {
+      obs::Trace::record_for(w->tid, obs::EventKind::kMatch, group->name_id,
+                             w->matched_rank, detail);
+    }
+  }
   slot.cv.notify_all();
   return true;
 }
@@ -290,22 +320,30 @@ void Engine::await_turn(internal::GroupState& group, int rank, bool scoped) {
       rt::Clock::now() + rt::TimeScale::apply(Config::guard_wait_cap());
 
   std::unique_lock lock(group.mu);
-  group.uses_guard[static_cast<std::size_t>(rank)] = scoped ? 1 : 0;
+  // uses_guard was fixed by try_match before the group was published, so
+  // each lower rank's protocol is known up front: a scoped rank is waited
+  // on via its guard ack (which implies it released), a plain rank via
+  // released[q] plus the order delay.  The old scheme — each rank writing
+  // its own flag on entry — let a later rank read uses_guard[q] == 0 for
+  // a scoped q that had released but not yet been observed to be scoped,
+  // skipping the ack wait entirely.
   for (int q = 0; q < rank; ++q) {
     const auto qi = static_cast<std::size_t>(q);
+    if (group.uses_guard[qi]) {
+      if (!group.cv.wait_until(lock, cap_deadline,
+                               [&] { return group.acked[qi] != 0; })) {
+        break;  // cap exceeded: degrade to proceeding (never hang)
+      }
+      continue;
+    }
     if (!group.cv.wait_until(lock, cap_deadline,
                              [&] { return group.released[qi] != 0; })) {
       break;  // cap exceeded: degrade to proceeding (never hang)
     }
-    if (group.uses_guard[qi]) {
-      group.cv.wait_until(lock, cap_deadline,
-                          [&] { return group.acked[qi] != 0; });
-    } else {
-      const auto turn_at = group.release_time[qi] + order_delay;
-      const auto deadline = std::min(turn_at, cap_deadline);
-      // Plain bounded sleep: no event ends it early by design.
-      group.cv.wait_until(lock, deadline, [] { return false; });
-    }
+    const auto turn_at = group.release_time[qi] + order_delay;
+    const auto deadline = std::min(turn_at, cap_deadline);
+    // Plain bounded sleep: no event ends it early by design.
+    group.cv.wait_until(lock, deadline, [] { return false; });
   }
   group.released[static_cast<std::size_t>(rank)] = 1;
   group.release_time[static_cast<std::size_t>(rank)] = rt::Clock::now();
@@ -355,19 +393,28 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
     slot->stats.calls += 1;
     if (!local_ok) {
       slot->stats.local_rejects += 1;
+      CBP_OBS_EVENT(obs::EventKind::kLocalReject, record->id, -1);
       return {};
     }
     slot->stats.arrivals += 1;
+    CBP_OBS_EVENT(obs::EventKind::kArrival, record->id, -1);
     if (slot->stats.hits >= bound) {
       slot->stats.bounded += 1;
+      return {};
+    }
+    if (slot->stats.arrivals <= ignore_first) {
+      // ignore_first suppresses the arrival entirely (§6.3): it neither
+      // postpones *nor* matches a postponed peer.  This check must come
+      // before try_match — an arrival inside the ignore window used to
+      // be able to complete a match, which made `ignore_first = n` with
+      // an exact arrival counter still hit during the warm-up phase.
+      slot->stats.ignored += 1;
+      CBP_OBS_EVENT(obs::EventKind::kIgnore, record->id, -1);
       return {};
     }
 
     if (try_match(*slot, bt, rank, arity, scoped, group, my_rank, info)) {
       fire_observer = true;  // last-arriving participant reports the hit
-    } else if (slot->stats.arrivals <= ignore_first) {
-      slot->stats.ignored += 1;
-      return {};
     } else {
       internal::Waiter waiter;
       waiter.trigger = &bt;
@@ -377,12 +424,16 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
       waiter.scoped = scoped;
       slot->postponed.push_back(&waiter);
       slot->stats.postponed += 1;
+      CBP_OBS_EVENT(obs::EventKind::kPostpone, record->id, rank);
 
       const auto scaled = rt::TimeScale::apply(timeout);
       rt::Stopwatch wait_clock;
       slot->cv.wait_for(lock, scaled,
                         [&] { return waiter.matched || waiter.cancelled; });
-      slot->stats.total_wait_us += wait_clock.elapsed_us();
+      const std::int64_t wait_us = wait_clock.elapsed_us();
+      slot->stats.total_wait_us += wait_us;
+      slot->stats.wait_hist.record(
+          wait_us > 0 ? static_cast<std::uint64_t>(wait_us) : 0);
 
       auto it =
           std::find(slot->postponed.begin(), slot->postponed.end(), &waiter);
@@ -391,8 +442,10 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
       if (!waiter.matched) {
         if (waiter.cancelled) {
           slot->stats.cancelled += 1;
+          CBP_OBS_EVENT(obs::EventKind::kCancel, record->id, rank);
         } else {
           slot->stats.timeouts += 1;
+          CBP_OBS_EVENT(obs::EventKind::kTimeout, record->id, rank);
         }
         return {};
       }
@@ -411,13 +464,32 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
       verbose = verbose_;
     }
     if (verbose) {
-      std::cerr << "[cbp] hit: " << info.description << " (breakpoint '"
-                << info.name << "')\n";
+      // One formatted string, one stream insertion: concurrent hits used
+      // to interleave their three operands mid-line on stderr.
+      std::string line;
+      line.reserve(info.description.size() + info.name.size() + 32);
+      line += "[cbp] hit: ";
+      line += info.description;
+      line += " (breakpoint '";
+      line += info.name;
+      line += "')\n";
+      std::cerr << line;
     }
     if (observer) observer(info);
   }
 
   await_turn(*group, my_rank, scoped);
+  CBP_OBS_EVENT(obs::EventKind::kRelease, group->name_id, my_rank);
+
+  {
+    // Ordering latency: group creation (match) to this rank's release.
+    const auto order_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                              rt::Clock::now() - group->match_time)
+                              .count();
+    std::scoped_lock lock(slot->mu);
+    slot->stats.order_hist.record(
+        order_us > 0 ? static_cast<std::uint64_t>(order_us) : 0);
+  }
 
   TriggerResult result;
   result.hit = true;

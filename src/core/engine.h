@@ -34,6 +34,7 @@
 #include "core/btrigger.h"
 #include "core/spec.h"
 #include "core/stats.h"
+#include "obs/event.h"
 #include "runtime/clock.h"
 #include "runtime/thread_registry.h"
 
@@ -43,10 +44,17 @@ namespace internal {
 
 /// Shared state of one breakpoint hit (a matched group of k threads).
 /// Release protocol: rank r may proceed once, for every q < r,
-///   released[q] && (uses_guard[q] ? acked[q]
-///                                 : now >= release_time[q] + order_delay)
+///   uses_guard[q] ? acked[q]
+///                 : released[q] && now >= release_time[q] + order_delay
 /// with everything capped by Config::guard_wait_cap() so a leaked guard
 /// degrades to a delay, never a hang.
+///
+/// `uses_guard`, `name_id` and `match_time` are written exactly once, by
+/// try_match while it still holds the slot mutex — i.e. before any
+/// participant can observe the group — and are immutable afterwards, so
+/// await_turn can never read a stale scoped-ness flag for a rank that has
+/// already released (the bug fixed in this file's history: the flag used
+/// to be written lazily by each rank's own await_turn).
 struct GroupState {
   explicit GroupState(int arity_in)
       : arity(arity_in),
@@ -58,9 +66,11 @@ struct GroupState {
   std::mutex mu;
   std::condition_variable cv;
   const int arity;
+  std::uint32_t name_id = obs::kNoName;     // fixed before publication
+  rt::TimePoint match_time{};               // fixed before publication
   std::vector<char> released;               // guarded by mu
   std::vector<char> acked;                  // guarded by mu
-  std::vector<char> uses_guard;             // guarded by mu
+  std::vector<char> uses_guard;             // fixed before publication
   std::vector<rt::TimePoint> release_time;  // guarded by mu
 };
 

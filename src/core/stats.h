@@ -3,9 +3,15 @@
 // The harness derives the paper's "BP hit (%)" column (§5, Tables 1/2)
 // from these counters; the engine also uses `arrivals` and `hits` to
 // enforce the ignore_first / bound local-predicate refinements (§6.3).
+// The two histograms are the observability layer's latency view
+// (DESIGN.md §5d): how long threads actually sat in Postponed, and how
+// long a matched participant waited between the match and its rank's
+// release — the quantities a user tunes T (§6.2) against.
 #pragma once
 
 #include <cstdint>
+
+#include "obs/histogram.h"
 
 namespace cbp {
 
@@ -24,6 +30,13 @@ struct BreakpointStats {
   std::uint64_t participants = 0;   ///< threads that returned hit == true
   std::int64_t total_wait_us = 0;   ///< wall time spent in Postponed
 
+  /// Postponed wait time per stay (us), all outcomes (match/timeout/
+  /// cancel).
+  obs::LogHistogram wait_hist;
+  /// Match-to-release ordering latency per participant (us): group
+  /// creation in try_match until the participant's rank was released.
+  obs::LogHistogram order_hist;
+
   BreakpointStats& operator+=(const BreakpointStats& o) {
     calls += o.calls;
     local_rejects += o.local_rejects;
@@ -36,6 +49,8 @@ struct BreakpointStats {
     hits += o.hits;
     participants += o.participants;
     total_wait_us += o.total_wait_us;
+    wait_hist += o.wait_hist;
+    order_hist += o.order_hist;
     return *this;
   }
 };

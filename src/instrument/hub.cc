@@ -3,6 +3,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace cbp::instr {
 
 Hub& Hub::instance() {
@@ -118,6 +120,15 @@ void Hub::dispatch(const Event& event) {
 
 void Hub::access(const void* addr, bool is_write, SourceLoc loc) {
   if (!has_listeners()) return;
+  // Trace checks sit behind the no-listener early return on purpose:
+  // kHubAccess/kHubSync record *dispatches*, and the idle fast path
+  // stays a single acquire load (bench_micro_overhead budgets it).
+#ifndef CBP_DISABLE_OBS
+  if (obs::Trace::hub_events()) {
+    obs::Trace::record(obs::EventKind::kHubAccess, obs::kNoName, -1,
+                       is_write ? 1 : 0);
+  }
+#endif
   AccessEvent event;
   event.addr = addr;
   event.is_write = is_write;
@@ -128,6 +139,12 @@ void Hub::access(const void* addr, bool is_write, SourceLoc loc) {
 
 void Hub::sync(SyncEvent::Kind kind, const void* obj, SourceLoc loc) {
   if (!has_listeners()) return;
+#ifndef CBP_DISABLE_OBS
+  if (obs::Trace::hub_events()) {
+    obs::Trace::record(obs::EventKind::kHubSync, obs::kNoName, -1,
+                       static_cast<std::uint16_t>(kind));
+  }
+#endif
   SyncEvent event;
   event.kind = kind;
   event.obj = obj;

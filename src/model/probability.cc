@@ -63,6 +63,27 @@ double p_hit_btrigger_approx(std::uint64_t n_steps, std::uint64_t m_visits,
   return p > 1.0 ? 1.0 : p;
 }
 
+ModelInputs ModelInputs::sanitized() const {
+  ModelInputs s = *this;
+  if (s.n_steps == 0) s.n_steps = 1;
+  if (s.m_visits == 0) s.m_visits = 1;
+  if (s.big_m_visits < s.m_visits) s.big_m_visits = s.m_visits;
+  if (s.big_m_visits > s.n_steps) s.n_steps = s.big_m_visits;
+  if (s.pause_steps == 0) s.pause_steps = 1;
+  return s;
+}
+
+PredictedRates predicted_hit_rates(const ModelInputs& inputs) {
+  const ModelInputs s = inputs.sanitized();
+  PredictedRates rates;
+  rates.unaided = p_hit_unaided(s.n_steps, s.m_visits);
+  rates.btrigger =
+      p_hit_btrigger(s.n_steps, s.m_visits, s.big_m_visits, s.pause_steps);
+  rates.gain =
+      gain_factor(s.n_steps, s.m_visits, s.big_m_visits, s.pause_steps);
+  return rates;
+}
+
 double gain_factor(std::uint64_t n_steps, std::uint64_t m_visits,
                    std::uint64_t big_m_visits, std::uint64_t pause_steps) {
   const double n = static_cast<double>(n_steps);

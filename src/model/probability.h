@@ -49,4 +49,34 @@ double p_hit_btrigger_approx(std::uint64_t n_steps, std::uint64_t m_visits,
 double gain_factor(std::uint64_t n_steps, std::uint64_t m_visits,
                    std::uint64_t big_m_visits, std::uint64_t pause_steps);
 
+// ---------------------------------------------------------------------------
+// Observed-estimate front end (used by the obs telemetry report, §6.2).
+//
+// Live runs don't hand us the model's N, M, m, T directly; the engine's
+// counters and the event trace yield *estimates* that may be degenerate
+// (m > M, M > N, T == 0).  ModelInputs::sanitized() folds them into the
+// model's domain so the closed forms above stay meaningful, and
+// predicted_hit_rates evaluates both regimes on the sanitized inputs.
+// ---------------------------------------------------------------------------
+
+/// Estimated model inputs for one breakpoint.
+struct ModelInputs {
+  std::uint64_t n_steps = 0;      ///< N: steps per thread per run
+  std::uint64_t m_visits = 0;     ///< m: full-predicate states per thread
+  std::uint64_t big_m_visits = 0; ///< M: local-predicate states per thread
+  std::uint64_t pause_steps = 0;  ///< T: postponement measured in steps
+
+  /// Clamps into the model's domain: N >= 1, 1 <= m <= M <= N, T >= 1.
+  [[nodiscard]] ModelInputs sanitized() const;
+};
+
+/// Predicted hit probabilities for one run under both regimes.
+struct PredictedRates {
+  double unaided = 0.0;   ///< p_hit_unaided on the sanitized inputs
+  double btrigger = 0.0;  ///< p_hit_btrigger lower bound
+  double gain = 1.0;      ///< gain_factor
+};
+
+PredictedRates predicted_hit_rates(const ModelInputs& inputs);
+
 }  // namespace cbp::model

@@ -1,0 +1,55 @@
+// Event vocabulary of the breakpoint observability layer (DESIGN.md §5d).
+//
+// One Event is recorded per interesting transition in the trigger state
+// machine (engine.cc) and, optionally, per instrumentation-hub dispatch.
+// Events are fixed-size POD stamped with the interned breakpoint name id
+// (core/engine.h NameRecord::id), the acting thread, the rank within the
+// hit (when meaningful) and a monotonic timestamp, so a post-hoc reader
+// can reconstruct exactly why a breakpoint missed: who arrived, who was
+// ignored, who postponed and for how long, who matched whom, and in what
+// order the group released.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "runtime/thread_registry.h"
+
+namespace cbp::obs {
+
+/// Transitions of the BTRIGGER state machine plus hub dispatches.
+enum class EventKind : std::uint8_t {
+  kArrival = 0,   ///< passed the local predicate (engine "arrivals")
+  kLocalReject,   ///< predicate_local() returned false
+  kIgnore,        ///< arrival inside the ignore_first window (§6.3)
+  kPostpone,      ///< entered the Postponed set
+  kMatch,         ///< selected into a matched group (one event per rank)
+  kTimeout,       ///< left Postponed without a match
+  kCancel,        ///< woken early by Engine::cancel_all, no match
+  kRelease,       ///< this rank's turn arrived (await_turn completed)
+  kGuardAck,      ///< OrderingGuard released (scoped ordering ack)
+  kHubAccess,     ///< instrumentation hub shared-memory access dispatch
+  kHubSync,       ///< instrumentation hub sync-operation dispatch
+};
+
+inline constexpr int kEventKindCount = 11;
+
+/// Stable lowercase name for exports ("arrival", "local-reject", ...).
+std::string_view kind_name(EventKind kind);
+
+/// Reserved name id meaning "not a breakpoint" (hub events).
+inline constexpr std::uint32_t kNoName = 0xffffffffu;
+
+/// One trace record.  `rank` is -1 when the event has no rank (arrival,
+/// reject, ignore, hub events).  `detail` is kind-specific: the arity for
+/// kMatch, the SyncEvent kind for kHubSync, 0 otherwise.
+struct Event {
+  std::uint64_t time_ns = 0;  ///< monotonic, relative to the trace epoch
+  std::uint32_t name_id = kNoName;
+  rt::ThreadId tid = 0;
+  EventKind kind = EventKind::kArrival;
+  std::int8_t rank = -1;
+  std::uint16_t detail = 0;
+};
+
+}  // namespace cbp::obs

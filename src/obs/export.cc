@@ -1,0 +1,235 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace cbp::obs {
+
+std::vector<NamedEvent> resolve(const TraceSnapshot& snapshot) {
+  std::vector<NamedEvent> out;
+  out.reserve(snapshot.events.size());
+  // Cache id -> name: name_of takes the registry lock.
+  std::map<std::uint32_t, std::string> cache;
+  for (const Event& e : snapshot.events) {
+    auto it = cache.find(e.name_id);
+    if (it == cache.end()) {
+      it = cache.emplace(e.name_id, Trace::name_of(e.name_id)).first;
+    }
+    out.push_back(NamedEvent{e, it->second});
+  }
+  return out;
+}
+
+std::vector<NamedEvent> filter_by_name(std::vector<NamedEvent> events,
+                                       const std::string& name) {
+  events.erase(std::remove_if(events.begin(), events.end(),
+                              [&](const NamedEvent& e) {
+                                return e.name != name;
+                              }),
+               events.end());
+  return events;
+}
+
+void write_json_dump(std::ostream& out, const std::vector<NamedEvent>& events,
+                     std::uint64_t dropped) {
+  out << "{\"trace\":\"cbp\",\"dropped\":" << dropped << ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const NamedEvent& e = events[i];
+    out << (i == 0 ? "\n" : ",\n")
+        << "  {\"t_ns\":" << e.event.time_ns << ",\"name\":\""
+        << json::escape(e.name) << "\",\"tid\":" << e.event.tid
+        << ",\"kind\":\"" << kind_name(e.event.kind)
+        << "\",\"rank\":" << static_cast<int>(e.event.rank)
+        << ",\"detail\":" << e.event.detail << "}";
+  }
+  out << (events.empty() ? "]}\n" : "\n]}\n");
+}
+
+namespace {
+
+/// One Chrome trace record, ready to serialize.  Collected first so the
+/// stream can be emitted in non-decreasing "ts" order (chrome and the
+/// golden test both want monotonic timestamps).
+struct ChromeRecord {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  bool duration = false;  // "X" (span) vs "i" (instant)
+  std::string name;       // record name ("postponed", "match", ...)
+  std::string breakpoint;
+  rt::ThreadId tid = 0;
+  int rank = -1;
+  std::string outcome;  // for spans: match/timeout/cancel/open
+};
+
+/// Nanoseconds as a decimal microsecond literal ("289057" -> "289.057").
+/// The fraction must be zero-padded: streaming `ns % 1000` raw would
+/// render 289057 ns as "289.57" — a different (and non-monotonic)
+/// number once parsed.
+std::string us_literal(std::uint64_t ns) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buffer;
+}
+
+void serialize(std::ostream& out, const ChromeRecord& r, bool first) {
+  out << (first ? "\n" : ",\n") << "  {\"name\":\""
+      << json::escape(r.name) << "\",\"cat\":\"cbp\",\"ph\":\""
+      << (r.duration ? 'X' : 'i') << "\",\"ts\":" << us_literal(r.ts_ns)
+      << ",";
+  if (r.duration) {
+    out << "\"dur\":" << us_literal(r.dur_ns) << ",";
+  } else {
+    out << "\"s\":\"t\",";
+  }
+  out << "\"pid\":1,\"tid\":" << r.tid << ",\"args\":{\"breakpoint\":\""
+      << json::escape(r.breakpoint) << "\"";
+  if (r.rank >= 0) out << ",\"rank\":" << r.rank;
+  if (!r.outcome.empty()) {
+    out << ",\"outcome\":\"" << json::escape(r.outcome) << "\"";
+  }
+  out << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<NamedEvent>& events,
+                        std::uint64_t dropped) {
+  std::vector<ChromeRecord> records;
+  records.reserve(events.size());
+  // Pending postpone per (tid, breakpoint): closed by the next match /
+  // timeout / cancel event carrying the same thread and name (the
+  // matcher stamps kMatch with the *participant's* tid, so a waiter's
+  // span closes even though the waiter never records the match itself).
+  std::map<std::pair<rt::ThreadId, std::string>, std::size_t> pending;
+  std::uint64_t last_ts = 0;
+  for (const NamedEvent& e : events) {
+    last_ts = std::max(last_ts, e.event.time_ns);
+    const auto key = std::make_pair(e.event.tid, e.name);
+    const EventKind kind = e.event.kind;
+    if (kind == EventKind::kPostpone) {
+      ChromeRecord r;
+      r.ts_ns = e.event.time_ns;
+      r.duration = true;
+      r.name = "postponed";
+      r.breakpoint = e.name;
+      r.tid = e.event.tid;
+      r.rank = e.event.rank;
+      r.outcome = "open";
+      pending[key] = records.size();
+      records.push_back(std::move(r));
+      continue;
+    }
+    if (kind == EventKind::kMatch || kind == EventKind::kTimeout ||
+        kind == EventKind::kCancel) {
+      auto it = pending.find(key);
+      if (it != pending.end()) {
+        ChromeRecord& span = records[it->second];
+        span.dur_ns = e.event.time_ns - span.ts_ns;
+        span.outcome = std::string(kind_name(kind));
+        if (kind == EventKind::kMatch) span.rank = e.event.rank;
+        pending.erase(it);
+      }
+      if (kind == EventKind::kTimeout || kind == EventKind::kCancel) {
+        continue;  // span outcome covers it; no extra instant
+      }
+    }
+    ChromeRecord r;
+    r.ts_ns = e.event.time_ns;
+    r.name = std::string(kind_name(kind));
+    r.breakpoint = e.name;
+    r.tid = e.event.tid;
+    r.rank = e.event.rank;
+    records.push_back(std::move(r));
+  }
+  // Close dangling spans at the trace horizon.
+  for (const auto& [key, index] : pending) {
+    records[index].dur_ns = last_ts - records[index].ts_ns;
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const ChromeRecord& a, const ChromeRecord& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"cbp-trace\","
+      << "\"dropped\":" << dropped << "},\"traceEvents\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    serialize(out, records[i], i == 0);
+  }
+  out << (records.empty() ? "]}\n" : "\n]}\n");
+}
+
+bool read_json_dump(std::istream& in, std::vector<NamedEvent>& events,
+                    std::uint64_t& dropped, std::string& error) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  json::ValuePtr root = json::parse(buffer.str(), error);
+  if (root == nullptr) return false;
+  if (!root->is_object()) {
+    error = "top-level value is not an object";
+    return false;
+  }
+  const json::Value* tag = root->get("trace");
+  if (tag == nullptr || !tag->is_string() || tag->string != "cbp") {
+    error = "not a cbp trace dump (missing \"trace\":\"cbp\")";
+    return false;
+  }
+  if (const json::Value* d = root->get("dropped"); d != nullptr && d->is_number()) {
+    dropped += static_cast<std::uint64_t>(d->number);
+  }
+  const json::Value* list = root->get("events");
+  if (list == nullptr || !list->is_array()) {
+    error = "missing \"events\" array";
+    return false;
+  }
+  for (const json::ValuePtr& item : list->array) {
+    if (!item->is_object()) {
+      error = "event is not an object";
+      return false;
+    }
+    NamedEvent e;
+    const json::Value* t = item->get("t_ns");
+    const json::Value* name = item->get("name");
+    const json::Value* tid = item->get("tid");
+    const json::Value* kind = item->get("kind");
+    if (t == nullptr || !t->is_number() || name == nullptr ||
+        !name->is_string() || tid == nullptr || !tid->is_number() ||
+        kind == nullptr || !kind->is_string()) {
+      error = "event missing t_ns/name/tid/kind";
+      return false;
+    }
+    e.event.time_ns = static_cast<std::uint64_t>(t->number);
+    e.name = name->string;
+    e.event.tid = static_cast<rt::ThreadId>(tid->number);
+    bool known = false;
+    for (int k = 0; k < kEventKindCount; ++k) {
+      if (kind_name(static_cast<EventKind>(k)) == kind->string) {
+        e.event.kind = static_cast<EventKind>(k);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      error = "unknown event kind '" + kind->string + "'";
+      return false;
+    }
+    if (const json::Value* r = item->get("rank"); r != nullptr && r->is_number()) {
+      e.event.rank = static_cast<std::int8_t>(r->number);
+    }
+    if (const json::Value* d = item->get("detail");
+        d != nullptr && d->is_number()) {
+      e.event.detail = static_cast<std::uint16_t>(d->number);
+    }
+    events.push_back(std::move(e));
+  }
+  return true;
+}
+
+}  // namespace cbp::obs

@@ -1,0 +1,54 @@
+// Trace exporters (DESIGN.md §5d): plain JSON event dumps and Chrome
+// trace-event format (chrome://tracing / Perfetto "Open trace file").
+//
+// The plain JSON dump is the interchange format: `cbp-trace` can re-read
+// one (read_json_dump), merge several, filter by breakpoint name and
+// re-emit either format.  The Chrome export renders each postpone →
+// (match | timeout | cancel) span as a complete ("X") duration event on
+// the waiting thread's track and everything else as instant ("i")
+// events, so a hit reads as overlapping "postponed" bars capped by
+// match/release markers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/trace.h"
+
+namespace cbp::obs {
+
+/// A resolved event: the interned id replaced by the breakpoint name so
+/// exports are self-contained.
+struct NamedEvent {
+  Event event;
+  std::string name;
+};
+
+/// Resolves names for a snapshot via Trace::name_of.
+std::vector<NamedEvent> resolve(const TraceSnapshot& snapshot);
+
+/// Keeps only events whose breakpoint name equals `name` (hub events are
+/// kept only when `name` is "<hub>").
+std::vector<NamedEvent> filter_by_name(std::vector<NamedEvent> events,
+                                       const std::string& name);
+
+/// Plain JSON dump:
+/// {"trace":"cbp","dropped":N,"events":[{"t_ns":..,"name":"..","tid":..,
+///  "kind":"..","rank":..,"detail":..},...]}
+void write_json_dump(std::ostream& out, const std::vector<NamedEvent>& events,
+                     std::uint64_t dropped);
+
+/// Chrome trace-event JSON object ({"traceEvents":[...]}).  Timestamps
+/// are microseconds ("ts"/"dur"), emitted in non-decreasing order.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<NamedEvent>& events,
+                        std::uint64_t dropped);
+
+/// Parses a dump produced by write_json_dump.  Returns false (and sets
+/// `error`) on malformed input.  `dropped` accumulates.
+bool read_json_dump(std::istream& in, std::vector<NamedEvent>& events,
+                    std::uint64_t& dropped, std::string& error);
+
+}  // namespace cbp::obs

@@ -1,0 +1,79 @@
+// Log2-bucket latency histogram (DESIGN.md §5d).
+//
+// Bucket b counts samples whose value v (in microseconds) satisfies
+// 2^(b-1) <= v < 2^b, with bucket 0 holding v == 0.  Recording is one
+// bit-scan and one increment, cheap enough to sit on the engine's
+// postponement and release paths under the already-held slot mutex.  A
+// histogram is a plain value: snapshots copy it, operator+= merges it —
+// the same contract as BreakpointStats, which embeds two of these.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace cbp::obs {
+
+struct LogHistogram {
+  static constexpr int kBuckets = 64;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;  ///< in the recorded unit (microseconds)
+  std::uint64_t max = 0;
+
+  static constexpr int bucket_of(std::uint64_t value) {
+    return value == 0 ? 0 : 64 - std::countl_zero(value);
+  }
+
+  /// Inclusive upper bound of bucket b (v < 2^b, so 2^b - 1).
+  static constexpr std::uint64_t bucket_upper(int b) {
+    return b == 0 ? 0
+           : b >= 64 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t value) {
+    const int b = bucket_of(value);
+    buckets[static_cast<std::size_t>(b >= kBuckets ? kBuckets - 1 : b)] += 1;
+    count += 1;
+    sum += value;
+    if (value > max) max = value;
+  }
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Value below which fraction `p` (0..1) of samples fall, estimated as
+  /// the upper bound of the bucket containing that quantile.
+  [[nodiscard]] std::uint64_t percentile(double p) const {
+    if (count == 0) return 0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    const double target = p * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets[static_cast<std::size_t>(b)];
+      if (static_cast<double>(seen) >= target && seen > 0) {
+        const std::uint64_t upper = bucket_upper(b);
+        return upper < max ? upper : max;  // never report past the max seen
+      }
+    }
+    return max;
+  }
+
+  LogHistogram& operator+=(const LogHistogram& o) {
+    for (int b = 0; b < kBuckets; ++b) {
+      buckets[static_cast<std::size_t>(b)] +=
+          o.buckets[static_cast<std::size_t>(b)];
+    }
+    count += o.count;
+    sum += o.sum;
+    if (o.max > max) max = o.max;
+    return *this;
+  }
+};
+
+}  // namespace cbp::obs

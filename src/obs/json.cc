@@ -1,0 +1,232 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cbp::obs::json {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string& error)
+      : text_(text), error_(error) {}
+
+  ValuePtr run() {
+    skip_ws();
+    ValuePtr v = value();
+    if (v == nullptr) return nullptr;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after top-level value");
+    }
+    return v;
+  }
+
+ private:
+  ValuePtr fail(const std::string& what) {
+    error_ = what + " at offset " + std::to_string(pos_);
+    return nullptr;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  ValuePtr value() {
+    if (depth_ > 256) return fail("nesting too deep");
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return literal("true", [](Value& v) {
+        v.type = Value::Type::kBool;
+        v.boolean = true;
+      });
+      case 'f': return literal("false", [](Value& v) {
+        v.type = Value::Type::kBool;
+        v.boolean = false;
+      });
+      case 'n': return literal("null", [](Value& v) {
+        v.type = Value::Type::kNull;
+      });
+      default: return number();
+    }
+  }
+
+  template <class Fn>
+  ValuePtr literal(const char* word, Fn fill) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!consume(*p)) return fail("bad literal");
+    }
+    auto v = std::make_shared<Value>();
+    fill(*v);
+    return v;
+  }
+
+  ValuePtr number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (consume('.')) {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("bad number");
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kNumber;
+    v->number = parsed;
+    return v;
+  }
+
+  bool string_raw(std::string& out) {
+    if (!consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            // Pass the escape through undecoded (names we emit are ASCII).
+            if (pos_ + 4 > text_.size()) return false;
+            out += "\\u" + text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return false;
+  }
+
+  ValuePtr string_value() {
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kString;
+    if (!string_raw(v->string)) return fail("bad string");
+    return v;
+  }
+
+  ValuePtr array() {
+    ++depth_;
+    consume('[');
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kArray;
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      ValuePtr item = value();
+      if (item == nullptr) return nullptr;
+      v->array.push_back(std::move(item));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']'");
+    }
+    --depth_;
+    return v;
+  }
+
+  ValuePtr object() {
+    ++depth_;
+    consume('{');
+    auto v = std::make_shared<Value>();
+    v->type = Value::Type::kObject;
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string_raw(key)) return fail("expected object key");
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      ValuePtr item = value();
+      if (item == nullptr) return nullptr;
+      v->object.emplace(std::move(key), std::move(item));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}'");
+    }
+    --depth_;
+    return v;
+  }
+
+  const std::string& text_;
+  std::string& error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+ValuePtr parse(const std::string& text, std::string& error) {
+  return Parser(text, error).run();
+}
+
+std::string escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace cbp::obs::json

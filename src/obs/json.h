@@ -1,0 +1,47 @@
+// Minimal JSON DOM used by the observability exporters and their tests:
+// enough to re-read cbp's own dumps and to validate that a Chrome-trace
+// export is well-formed JSON.  Not a general-purpose library — no
+// \uXXXX decoding beyond pass-through, numbers parsed as double.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cbp::obs::json {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;
+
+  [[nodiscard]] bool is_object() const { return type == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type == Type::kArray; }
+  [[nodiscard]] bool is_string() const { return type == Type::kString; }
+  [[nodiscard]] bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member or nullptr.
+  [[nodiscard]] const Value* get(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : it->second.get();
+  }
+};
+
+/// Parses `text`; returns nullptr and sets `error` on malformed input.
+/// Trailing non-whitespace after the top-level value is an error.
+ValuePtr parse(const std::string& text, std::string& error);
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string escape(const std::string& raw);
+
+}  // namespace cbp::obs::json

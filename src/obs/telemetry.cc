@@ -1,0 +1,142 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace cbp::obs {
+
+namespace {
+
+/// True for event kinds that mark one trigger_here call reaching the
+/// slot (used to estimate the per-thread step time).
+bool is_trigger_entry(EventKind kind) {
+  return kind == EventKind::kArrival || kind == EventKind::kLocalReject;
+}
+
+/// Mean gap (ns) between successive trigger events of the same thread
+/// for the named breakpoint; 0 when the trace has no two such events.
+std::uint64_t mean_step_gap_ns(const std::string& name,
+                               const TraceSnapshot& trace) {
+  // name_of takes the registry lock; cache the id -> matches verdict.
+  std::map<std::uint32_t, bool> matches;
+  std::map<rt::ThreadId, std::uint64_t> last_ts;
+  std::uint64_t total_gap = 0;
+  std::uint64_t gaps = 0;
+  for (const Event& e : trace.events) {  // sorted by time_ns
+    if (!is_trigger_entry(e.kind)) continue;
+    auto it = matches.find(e.name_id);
+    if (it == matches.end()) {
+      it = matches.emplace(e.name_id, Trace::name_of(e.name_id) == name).first;
+    }
+    if (!it->second) continue;
+    auto [pos, fresh] = last_ts.emplace(e.tid, e.time_ns);
+    if (!fresh) {
+      if (e.time_ns > pos->second) {
+        total_gap += e.time_ns - pos->second;
+        ++gaps;
+      }
+      pos->second = e.time_ns;
+    }
+  }
+  return gaps == 0 ? 0 : total_gap / gaps;
+}
+
+}  // namespace
+
+model::ModelInputs estimate_inputs(const TelemetryInput& input,
+                                   const TraceSnapshot& trace) {
+  const std::uint64_t threads = std::max<std::uint64_t>(input.threads, 1);
+  const std::uint64_t runs = std::max<std::uint64_t>(input.runs, 1);
+  const std::uint64_t per_thread = threads * runs;
+  model::ModelInputs m;
+  m.n_steps = input.stats.calls / per_thread;
+  m.big_m_visits = input.stats.arrivals / per_thread;
+  m.m_visits = std::max<std::uint64_t>(input.stats.hits / runs, 1);
+  // T in "steps": mean Postponed stay divided by the mean gap between
+  // successive trigger events on one thread (one trigger ~ one pass
+  // through the instrumented loop ~ one model step for this site).
+  const std::uint64_t gap_ns = mean_step_gap_ns(input.name, trace);
+  if (gap_ns > 0 && input.stats.postponed > 0 &&
+      input.stats.total_wait_us > 0) {
+    const std::uint64_t wait_ns =
+        static_cast<std::uint64_t>(input.stats.total_wait_us) * 1000 /
+        input.stats.postponed;
+    m.pause_steps = wait_ns / gap_ns;
+  }
+  return m;
+}
+
+BreakpointTelemetry analyze(const TelemetryInput& input,
+                            const TraceSnapshot& trace) {
+  BreakpointTelemetry row;
+  row.name = input.name;
+  row.stats = input.stats;
+  row.inputs = estimate_inputs(input, trace);
+  row.predicted = model::predicted_hit_rates(row.inputs);
+  row.runs = input.runs;
+  row.runs_hit = input.runs_hit;
+  if (input.runs > 0) {
+    row.observed_from_runs = true;
+    row.observed = static_cast<double>(input.runs_hit) /
+                   static_cast<double>(input.runs);
+  } else {
+    const std::uint64_t eligible =
+        input.stats.arrivals > input.stats.ignored
+            ? input.stats.arrivals - input.stats.ignored
+            : 0;
+    row.observed =
+        eligible == 0
+            ? 0.0
+            : std::min(1.0, static_cast<double>(input.stats.participants) /
+                                static_cast<double>(eligible));
+  }
+  row.wait_p50_us = input.stats.wait_hist.percentile(0.50);
+  row.wait_p99_us = input.stats.wait_hist.percentile(0.99);
+  row.order_p99_us = input.stats.order_hist.percentile(0.99);
+  return row;
+}
+
+std::string render_report(const std::vector<BreakpointTelemetry>& rows) {
+  std::ostringstream out;
+  out << "hit-probability telemetry (predicted = \xc2\xa7"
+         "3 model on estimated N/M/m/T)\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-24s %10s %8s %5s %8s %11s %11s %9s %10s  %s\n",
+                "breakpoint", "N", "M", "m", "T(steps)", "p(unaided)",
+                "p(btrigger)", "gain", "observed", "basis");
+  out << line;
+  for (const BreakpointTelemetry& r : rows) {
+    const model::ModelInputs s = r.inputs.sanitized();
+    char basis[64];
+    if (r.observed_from_runs) {
+      std::snprintf(basis, sizeof(basis), "%llu/%llu runs",
+                    static_cast<unsigned long long>(r.runs_hit),
+                    static_cast<unsigned long long>(r.runs));
+    } else {
+      std::snprintf(basis, sizeof(basis), "per-arrival");
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-24s %10llu %8llu %5llu %8llu %11.4f %11.4f %8.1fx "
+                  "%10.4f  %s\n",
+                  r.name.c_str(), static_cast<unsigned long long>(s.n_steps),
+                  static_cast<unsigned long long>(s.big_m_visits),
+                  static_cast<unsigned long long>(s.m_visits),
+                  static_cast<unsigned long long>(s.pause_steps),
+                  r.predicted.unaided, r.predicted.btrigger, r.predicted.gain,
+                  r.observed, basis);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "%-24s   wait p50 %llu us, p99 %llu us; "
+                  "match-to-release p99 %llu us\n",
+                  "", static_cast<unsigned long long>(r.wait_p50_us),
+                  static_cast<unsigned long long>(r.wait_p99_us),
+                  static_cast<unsigned long long>(r.order_p99_us));
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace cbp::obs

@@ -1,0 +1,72 @@
+// Hit-probability telemetry (DESIGN.md §5d).
+//
+// Folds a breakpoint's live counters and event trace into the §3 model's
+// inputs (N, M, m, T), evaluates the closed forms, and renders a
+// predicted-vs-observed table.  The estimators are deliberately coarse —
+// the model assumes uniformly random visits, which real programs only
+// approximate — but they make the gain factor tangible: "the model says
+// pausing here multiplies your hit rate by ~40x, and the run agrees".
+//
+// The caller hands us counters and run outcomes explicitly rather than an
+// Engine reference: cbp_core links against cbp_obs, so obs code cannot
+// call back into the engine without a cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "model/probability.h"
+#include "obs/trace.h"
+
+namespace cbp::obs {
+
+/// Everything the telemetry needs about one breakpoint.
+struct TelemetryInput {
+  std::string name;
+  BreakpointStats stats;
+  /// Threads exercising the breakpoint (the model's "two threads" N/M/m
+  /// are per thread, so totals are divided by this).  Minimum 1.
+  unsigned threads = 2;
+  /// Run outcomes, when the caller repeated the workload: `runs` total,
+  /// `runs_hit` of them with at least one hit.  When runs == 0 the
+  /// observed rate falls back to per-arrival frequency.
+  std::uint64_t runs = 0;
+  std::uint64_t runs_hit = 0;
+};
+
+/// One row of the predicted-vs-observed table.
+struct BreakpointTelemetry {
+  std::string name;
+  model::ModelInputs inputs;        ///< estimated (pre-sanitize) N, m, M, T
+  model::PredictedRates predicted;  ///< §3 closed forms on the estimates
+  double observed = 0.0;            ///< measured hit rate, in [0, 1]
+  bool observed_from_runs = false;  ///< true: runs_hit/runs; false: per-arrival
+  std::uint64_t runs = 0;
+  std::uint64_t runs_hit = 0;
+  std::uint64_t wait_p50_us = 0;  ///< median Postponed stay
+  std::uint64_t wait_p99_us = 0;
+  std::uint64_t order_p99_us = 0;  ///< match-to-release tail latency
+  BreakpointStats stats;
+};
+
+/// Estimates the §3 model inputs from counters plus the trace:
+///   N ~= calls per thread, M ~= arrivals per thread, m ~= hits (>= 1),
+///   T ~= mean Postponed wait divided by the mean gap between successive
+///        trigger events for this name (wait expressed in "steps").
+/// Events for other breakpoints in `trace` are ignored.
+model::ModelInputs estimate_inputs(const TelemetryInput& input,
+                                   const TraceSnapshot& trace);
+
+/// Full analysis of one breakpoint: estimates, predictions, observation.
+BreakpointTelemetry analyze(const TelemetryInput& input,
+                            const TraceSnapshot& trace);
+
+/// Renders the predicted-vs-observed table, one row per breakpoint:
+///
+///   breakpoint   N      M    m  T(steps)  p(unaided)  p(btrigger)  gain  observed
+///   cache.race   52411  96   2  1840      0.0001      0.0721       660x  0.0800
+std::string render_report(const std::vector<BreakpointTelemetry>& rows);
+
+}  // namespace cbp::obs

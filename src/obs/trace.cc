@@ -1,0 +1,169 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace cbp::obs {
+
+std::string_view kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kArrival: return "arrival";
+    case EventKind::kLocalReject: return "local-reject";
+    case EventKind::kIgnore: return "ignore";
+    case EventKind::kPostpone: return "postpone";
+    case EventKind::kMatch: return "match";
+    case EventKind::kTimeout: return "timeout";
+    case EventKind::kCancel: return "cancel";
+    case EventKind::kRelease: return "release";
+    case EventKind::kGuardAck: return "guard-ack";
+    case EventKind::kHubAccess: return "hub-access";
+    case EventKind::kHubSync: return "hub-sync";
+  }
+  return "unknown";
+}
+
+namespace internal {
+
+void Ring::collect_into(std::vector<Event>& out, std::uint64_t& dropped) const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t floor = floor_.load(std::memory_order_relaxed);
+  std::uint64_t begin = head > kCapacity ? head - kCapacity : 0;
+  const std::uint64_t window_begin = begin;
+  begin = std::max(begin, floor);
+  std::vector<Event> copied;
+  copied.reserve(static_cast<std::size_t>(head - begin));
+  for (std::uint64_t i = begin; i < head; ++i) {
+    copied.push_back(slots_[i & (kCapacity - 1)].load());
+  }
+  // Re-check: any slot the writer lapped while we copied may be torn;
+  // keep only events still inside the retained window and count the
+  // rest as dropped alongside the pre-collection overwrites.
+  const std::uint64_t head_after = head_.load(std::memory_order_acquire);
+  const std::uint64_t safe_begin =
+      head_after > kCapacity ? head_after - kCapacity : 0;
+  std::uint64_t kept = 0;
+  for (std::uint64_t i = begin; i < head; ++i) {
+    if (i < safe_begin) continue;  // overwritten mid-copy
+    out.push_back(copied[static_cast<std::size_t>(i - begin)]);
+    ++kept;
+  }
+  dropped += (head - begin) - kept;  // lapped mid-copy
+  // Events overwritten before collection (cleared ones don't count).
+  dropped += window_begin > floor ? window_begin - floor : 0;
+}
+
+namespace {
+
+/// Registry of all rings ever created.  Rings are immortal: a collector
+/// may still be reading a ring whose owner thread has exited.
+struct Registry {
+  std::mutex mu;
+  std::vector<Ring*> rings;  // guarded by mu (push); read via snapshot
+  std::vector<std::string> names;  // guarded by mu
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // immortal (leak on purpose)
+  return *r;
+}
+
+Ring& this_thread_ring() {
+  thread_local Ring* ring = nullptr;
+  if (ring == nullptr) {
+    ring = new Ring();  // immortal
+    Registry& reg = registry();
+    std::scoped_lock lock(reg.mu);
+    reg.rings.push_back(ring);
+  }
+  return *ring;
+}
+
+rt::TimePoint trace_epoch() {
+  static const rt::TimePoint epoch = rt::Clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+}  // namespace internal
+
+std::uint64_t Trace::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          rt::Clock::now() - internal::trace_epoch())
+          .count());
+}
+
+void Trace::record(EventKind kind, std::uint32_t name_id, int rank,
+                   std::uint16_t detail) {
+  record_for(rt::this_thread_id(), kind, name_id, rank, detail);
+}
+
+void Trace::record_for(rt::ThreadId tid, EventKind kind,
+                       std::uint32_t name_id, int rank,
+                       std::uint16_t detail) {
+  Event e;
+  e.time_ns = now_ns();
+  e.name_id = name_id;
+  e.tid = tid;
+  e.kind = kind;
+  e.rank = static_cast<std::int8_t>(rank);
+  e.detail = detail;
+  internal::this_thread_ring().push(e);
+}
+
+void Trace::inject_for_test(const Event& event) {
+  internal::this_thread_ring().push(event);
+}
+
+void Trace::set_name(std::uint32_t id, const std::string& name) {
+  internal::Registry& reg = internal::registry();
+  std::scoped_lock lock(reg.mu);
+  if (reg.names.size() <= id) reg.names.resize(id + 1);
+  reg.names[id] = name;
+}
+
+std::string Trace::name_of(std::uint32_t id) {
+  if (id == kNoName) return "<hub>";
+  internal::Registry& reg = internal::registry();
+  std::scoped_lock lock(reg.mu);
+  if (id < reg.names.size() && !reg.names[id].empty()) return reg.names[id];
+  return "#" + std::to_string(id);
+}
+
+TraceSnapshot Trace::collect() {
+  std::vector<internal::Ring*> rings;
+  {
+    internal::Registry& reg = internal::registry();
+    std::scoped_lock lock(reg.mu);
+    rings = reg.rings;
+  }
+  TraceSnapshot snapshot;
+  for (const internal::Ring* ring : rings) {
+    ring->collect_into(snapshot.events, snapshot.dropped);
+  }
+  std::stable_sort(snapshot.events.begin(), snapshot.events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.time_ns != b.time_ns) return a.time_ns < b.time_ns;
+                     return a.tid < b.tid;
+                   });
+  return snapshot;
+}
+
+void Trace::clear() {
+  // The writer owns each ring's head, so clearing never touches it;
+  // instead every ring's collection floor advances to its current head
+  // (collector-side state only).  Name registrations survive, like the
+  // engine's interned records survive Engine::reset().  Callers must
+  // ensure no thread is concurrently recording, or freshly-recorded
+  // events may land below the floor and be cleared too.
+  std::vector<internal::Ring*> rings;
+  {
+    internal::Registry& reg = internal::registry();
+    std::scoped_lock lock(reg.mu);
+    rings = reg.rings;
+  }
+  for (internal::Ring* ring : rings) ring->forget();
+}
+
+}  // namespace cbp::obs

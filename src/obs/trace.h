@@ -1,0 +1,192 @@
+// Lock-free per-thread event trace (DESIGN.md §5d).
+//
+// Each thread that records events owns one fixed-capacity ring buffer.
+// The writer never takes a lock and never blocks: it stores the event's
+// fields with relaxed atomics into its own ring and publishes the new
+// head with one release store.  When the ring is full the oldest events
+// are overwritten (the trace keeps the most recent window; nothing on
+// the hot path ever waits for a collector).  A collector thread may
+// drain concurrently: it snapshots the head, copies the retained window,
+// then re-reads the head and discards any slot the writer lapped in the
+// meantime — overwritten events are *counted* (Ring::dropped), never
+// silently lost from the accounting.
+//
+// Gating:
+//   * runtime — Trace::set_enabled(true); disabled recording is one
+//     relaxed atomic load (the engine's ns-scale fast paths are reached
+//     only behind that check);
+//   * compile time — building with -DCBP_DISABLE_OBS turns CBP_OBS_EVENT
+//     into a no-op with zero footprint, mirroring core/macros.h.
+//
+// Rings are immortal once created (a thread may exit while a collector
+// is reading its ring); the registry grows by one pointer per recording
+// thread per process lifetime.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+#include "runtime/clock.h"
+#include "runtime/thread_registry.h"
+
+namespace cbp::obs {
+
+namespace internal {
+
+/// Torn-read-safe Event cell: every field is a relaxed atomic, so a
+/// collector racing the writer reads garbage-free (possibly stale)
+/// values and TSan stays quiet.  Validity is decided by the head
+/// re-check in Ring::collect_into, not by the cell itself.
+struct AtomicEvent {
+  std::atomic<std::uint64_t> time_ns{0};
+  std::atomic<std::uint32_t> name_id{kNoName};
+  std::atomic<rt::ThreadId> tid{0};
+  std::atomic<std::uint8_t> kind{0};
+  std::atomic<std::int8_t> rank{-1};
+  std::atomic<std::uint16_t> detail{0};
+
+  void store(const Event& e) {
+    time_ns.store(e.time_ns, std::memory_order_relaxed);
+    name_id.store(e.name_id, std::memory_order_relaxed);
+    tid.store(e.tid, std::memory_order_relaxed);
+    kind.store(static_cast<std::uint8_t>(e.kind), std::memory_order_relaxed);
+    rank.store(e.rank, std::memory_order_relaxed);
+    detail.store(e.detail, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Event load() const {
+    Event e;
+    e.time_ns = time_ns.load(std::memory_order_relaxed);
+    e.name_id = name_id.load(std::memory_order_relaxed);
+    e.tid = tid.load(std::memory_order_relaxed);
+    e.kind = static_cast<EventKind>(kind.load(std::memory_order_relaxed));
+    e.rank = rank.load(std::memory_order_relaxed);
+    e.detail = detail.load(std::memory_order_relaxed);
+    return e;
+  }
+};
+
+/// Single-writer ring.  `head` is the monotonic count of events ever
+/// pushed; slot i holds event number i mod kCapacity.
+class Ring {
+ public:
+  static constexpr std::size_t kCapacity = 1u << 13;  // 8192 events
+
+  void push(const Event& e) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    slots_[h & (kCapacity - 1)].store(e);
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  /// Copies the retained window into `out` and adds the overwritten
+  /// count to `dropped`.  Safe concurrently with push().
+  void collect_into(std::vector<Event>& out, std::uint64_t& dropped) const;
+
+  /// Moves the collection floor to the current head: already-recorded
+  /// events stop being reported (and stop counting as dropped).  Called
+  /// by Trace::clear(); only touches collector-side state, so the
+  /// owning writer is unaffected.
+  void forget() {
+    floor_.store(head_.load(std::memory_order_acquire),
+                 std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> floor_{0};  ///< events below this are cleared
+  std::array<AtomicEvent, kCapacity> slots_{};
+};
+
+}  // namespace internal
+
+/// Merged snapshot of every thread's ring.
+struct TraceSnapshot {
+  std::vector<Event> events;   ///< sorted by (time_ns, tid)
+  std::uint64_t dropped = 0;   ///< events overwritten before collection
+};
+
+/// Process-wide trace facade.  All methods are thread-safe.
+class Trace {
+ public:
+  /// Master switch for event recording.  Off by default: a disabled
+  /// record() call is one relaxed load and a predicted branch.
+  static void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Additionally record instrumentation-hub dispatches (kHubAccess /
+  /// kHubSync).  These are far hotter than trigger events, so they get
+  /// their own switch; it has no effect unless the trace is enabled.
+  static void set_hub_events(bool on) {
+    hub_events_.store(on, std::memory_order_relaxed);
+  }
+  static bool hub_events() {
+    return enabled() && hub_events_.load(std::memory_order_relaxed);
+  }
+
+  /// Records an event stamped with the calling thread and the current
+  /// monotonic time.  Caller is expected to have checked enabled().
+  static void record(EventKind kind, std::uint32_t name_id, int rank,
+                     std::uint16_t detail = 0);
+
+  /// Records an event on behalf of another thread (the matcher stamps
+  /// kMatch for every selected participant).  Written into the calling
+  /// thread's ring; Event::tid carries the participant.
+  static void record_for(rt::ThreadId tid, EventKind kind,
+                         std::uint32_t name_id, int rank,
+                         std::uint16_t detail = 0);
+
+  /// Test hook: appends a fully-specified event (timestamp included)
+  /// into the calling thread's ring, bypassing the clock.  Lets golden
+  /// tests build deterministic traces.
+  static void inject_for_test(const Event& event);
+
+  /// Registers the human-readable name for an interned id (called by
+  /// the engine's cold intern path).
+  static void set_name(std::uint32_t id, const std::string& name);
+
+  /// Name for an id ("<hub>" for kNoName, "#<id>" if never registered).
+  static std::string name_of(std::uint32_t id);
+
+  /// Merged, time-sorted snapshot of all rings.
+  static TraceSnapshot collect();
+
+  /// Forgets all recorded events and name registrations.  Only safe when
+  /// no thread is concurrently recording (harness boundaries, tests).
+  static void clear();
+
+  /// Nanoseconds since the process trace epoch (first use).
+  static std::uint64_t now_ns();
+
+ private:
+  static inline std::atomic<bool> enabled_{false};
+  static inline std::atomic<bool> hub_events_{false};
+};
+
+}  // namespace cbp::obs
+
+// Recording macro used at instrumentation points.  Mirrors core/macros.h:
+// compiling with -DCBP_DISABLE_OBS removes the layer entirely while
+// keeping the operands type-checked.
+#ifdef CBP_DISABLE_OBS
+#define CBP_OBS_ENABLED() (false)
+#define CBP_OBS_EVENT(kind, name_id, rank)                               \
+  do {                                                                   \
+    if (false) {                                                         \
+      ::cbp::obs::Trace::record((kind), (name_id), (rank));              \
+    }                                                                    \
+  } while (0)
+#else
+#define CBP_OBS_ENABLED() (::cbp::obs::Trace::enabled())
+#define CBP_OBS_EVENT(kind, name_id, rank)                               \
+  do {                                                                   \
+    if (::cbp::obs::Trace::enabled()) {                                  \
+      ::cbp::obs::Trace::record((kind), (name_id), (rank));              \
+    }                                                                    \
+  } while (0)
+#endif  // CBP_DISABLE_OBS

@@ -334,21 +334,28 @@ TEST_F(EngineTest, IgnoreFirstSkipsEarlyPostponements) {
   EXPECT_EQ(stats.postponed, 0u);
 }
 
-TEST_F(EngineTest, IgnoredArrivalCanStillCompleteAMatch) {
+TEST_F(EngineTest, IgnoredArrivalNeverMatchesNorPostpones) {
+  // An arrival inside the ignore_first window is skipped entirely: it
+  // must not complete a match against a postponed peer (it used to —
+  // the ignore check ran after try_match), and it must not postpone.
   int obj = 0;
   rt::Latch postponed(1);
   std::thread waiter([&] {
     ConflictTrigger t("bp", &obj);  // no refinement: this one postpones
     postponed.count_down();
-    EXPECT_TRUE(t.trigger_here(true, 2000ms));
+    EXPECT_FALSE(t.trigger_here(true, 200ms));  // times out: peer ignored
   });
   postponed.wait();
   std::this_thread::sleep_for(20ms);
   ConflictTrigger t("bp", &obj);
-  t.ignore_first(1'000'000);  // would never postpone...
-  EXPECT_TRUE(t.trigger_here(false, 10ms));  // ...but matching still works
+  t.ignore_first(1'000'000);  // every arrival falls in the window
+  EXPECT_FALSE(t.trigger_here(false, 10ms));
   waiter.join();
-  EXPECT_EQ(Engine::instance().stats("bp").hits, 1u);
+  const BreakpointStats stats = Engine::instance().stats("bp");
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.ignored, 1u);
+  EXPECT_EQ(stats.postponed, 1u);  // only the unrefined waiter
+  EXPECT_EQ(stats.timeouts, 1u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,461 @@
+// Tests for the observability layer (src/obs): ring-buffer trace,
+// log2 histograms, JSON/Chrome exporters, telemetry estimates, and the
+// engine integration (events recorded along the trigger state machine).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/cbp.h"
+#include "obs/export.h"
+#include "obs/histogram.h"
+#include "obs/json.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "runtime/latch.h"
+
+namespace cbp {
+namespace {
+
+using namespace std::chrono_literals;
+using obs::Event;
+using obs::EventKind;
+
+Event make_event(std::uint64_t time_ns, std::uint32_t name_id,
+                 rt::ThreadId tid, EventKind kind, int rank = -1,
+                 std::uint16_t detail = 0) {
+  Event e;
+  e.time_ns = time_ns;
+  e.name_id = name_id;
+  e.tid = tid;
+  e.kind = kind;
+  e.rank = static_cast<std::int8_t>(rank);
+  e.detail = detail;
+  return e;
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Trace::set_enabled(false);
+    obs::Trace::set_hub_events(false);
+    obs::Trace::clear();
+    Engine::instance().reset();
+    Engine::instance().set_hit_observer(nullptr);
+    Config::set_enabled(true);
+    Config::set_order_delay(std::chrono::microseconds(200));
+    rt::TimeScale::set(1.0);
+  }
+  void TearDown() override {
+    obs::Trace::set_enabled(false);
+    obs::Trace::set_hub_events(false);
+    obs::Trace::clear();
+    Engine::instance().reset();
+    Engine::instance().set_hit_observer(nullptr);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// LogHistogram
+// ---------------------------------------------------------------------------
+
+TEST(LogHistogram, RecordsMeanMaxAndPercentiles) {
+  obs::LogHistogram h;
+  for (std::uint64_t v : {1u, 2u, 4u, 100u}) h.record(v);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.max, 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), (1.0 + 2.0 + 4.0 + 100.0) / 4.0);
+  EXPECT_LE(h.percentile(0.50), 4u);
+  // The tail percentile is clamped to the observed max, not the bucket
+  // upper bound (which would be 127 for the value 100).
+  EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(LogHistogram, ZeroAndHugeValuesLandInValidBuckets) {
+  obs::LogHistogram h;
+  h.record(0);
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.max, ~std::uint64_t{0});
+  EXPECT_EQ(h.percentile(0.0), 0u);
+}
+
+TEST(LogHistogram, MergeAddsCounts) {
+  obs::LogHistogram a, b;
+  a.record(10);
+  b.record(1000);
+  a += b;
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_EQ(a.max, 1000u);
+  EXPECT_EQ(a.sum, 1010u);
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring: collection, clearing, overwrite accounting
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, InjectedEventsComeBackSortedByTime) {
+  obs::Trace::inject_for_test(make_event(300, 1, 9, EventKind::kArrival));
+  obs::Trace::inject_for_test(make_event(100, 1, 9, EventKind::kArrival));
+  obs::Trace::inject_for_test(make_event(200, 1, 9, EventKind::kPostpone, 0));
+  const obs::TraceSnapshot snapshot = obs::Trace::collect();
+  ASSERT_EQ(snapshot.events.size(), 3u);
+  EXPECT_EQ(snapshot.events[0].time_ns, 100u);
+  EXPECT_EQ(snapshot.events[1].time_ns, 200u);
+  EXPECT_EQ(snapshot.events[2].time_ns, 300u);
+  EXPECT_EQ(snapshot.dropped, 0u);
+}
+
+TEST_F(ObsTest, ClearForgetsRecordedEvents) {
+  obs::Trace::inject_for_test(make_event(1, 1, 9, EventKind::kArrival));
+  obs::Trace::clear();
+  obs::Trace::inject_for_test(make_event(2, 1, 9, EventKind::kIgnore));
+  const obs::TraceSnapshot snapshot = obs::Trace::collect();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_EQ(snapshot.events[0].kind, EventKind::kIgnore);
+  EXPECT_EQ(snapshot.dropped, 0u);  // cleared events are not "dropped"
+}
+
+TEST_F(ObsTest, OverwrittenEventsAreCountedAsDropped) {
+  constexpr std::uint64_t kExtra = 100;
+  const std::uint64_t total = obs::internal::Ring::kCapacity + kExtra;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    obs::Trace::inject_for_test(make_event(i, 1, 9, EventKind::kArrival));
+  }
+  const obs::TraceSnapshot snapshot = obs::Trace::collect();
+  EXPECT_EQ(snapshot.events.size(), obs::internal::Ring::kCapacity);
+  EXPECT_EQ(snapshot.dropped, kExtra);
+  // The retained window is the most recent events, not the oldest.
+  EXPECT_EQ(snapshot.events.front().time_ns, kExtra);
+}
+
+TEST_F(ObsTest, NameRegistryResolvesAndFallsBack) {
+  obs::Trace::set_name(42, "some-breakpoint");
+  EXPECT_EQ(obs::Trace::name_of(42), "some-breakpoint");
+  EXPECT_EQ(obs::Trace::name_of(43), "#43");
+  EXPECT_EQ(obs::Trace::name_of(obs::kNoName), "<hub>");
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: the trigger state machine emits events
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, DisabledTraceRecordsNothing) {
+  int obj = 0;
+  ConflictTrigger t("obs-off", &obj);
+  EXPECT_FALSE(t.trigger_here(true, 1ms));
+  EXPECT_TRUE(obs::Trace::collect().events.empty());
+}
+
+TEST_F(ObsTest, TwoThreadHitProducesTheExpectedEventSequence) {
+#ifdef CBP_DISABLE_OBS
+  GTEST_SKIP() << "obs layer compiled out";
+#endif
+  obs::Trace::set_enabled(true);
+  int obj = 0;
+  rt::Latch postponed(1);
+  std::thread waiter([&] {
+    ConflictTrigger t("obs-hit", &obj);
+    postponed.count_down();
+    EXPECT_TRUE(t.trigger_here(true, 2000ms));
+  });
+  postponed.wait();
+  std::this_thread::sleep_for(20ms);
+  ConflictTrigger t("obs-hit", &obj);
+  EXPECT_TRUE(t.trigger_here(false, 2000ms));
+  waiter.join();
+
+  const auto events = obs::resolve(obs::Trace::collect());
+  auto count = [&](EventKind kind) {
+    std::size_t n = 0;
+    for (const auto& e : events) {
+      if (e.name == "obs-hit" && e.event.kind == kind) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count(EventKind::kArrival), 2u);
+  EXPECT_EQ(count(EventKind::kPostpone), 1u);
+  EXPECT_EQ(count(EventKind::kMatch), 2u);  // one per rank
+  EXPECT_EQ(count(EventKind::kRelease), 2u);
+  EXPECT_EQ(count(EventKind::kTimeout), 0u);
+}
+
+TEST_F(ObsTest, TimeoutAndIgnoreAreRecorded) {
+#ifdef CBP_DISABLE_OBS
+  GTEST_SKIP() << "obs layer compiled out";
+#endif
+  obs::Trace::set_enabled(true);
+  int obj = 0;
+  {
+    ConflictTrigger t("obs-timeout", &obj);
+    EXPECT_FALSE(t.trigger_here(true, 2ms));
+  }
+  {
+    ConflictTrigger t("obs-ignored", &obj);
+    t.ignore_first(10);
+    EXPECT_FALSE(t.trigger_here(true, 2ms));
+  }
+  const auto events = obs::resolve(obs::Trace::collect());
+  bool saw_timeout = false, saw_ignore = false;
+  for (const auto& e : events) {
+    if (e.name == "obs-timeout" && e.event.kind == EventKind::kTimeout) {
+      saw_timeout = true;
+    }
+    if (e.name == "obs-ignored" && e.event.kind == EventKind::kIgnore) {
+      saw_ignore = true;
+    }
+  }
+  EXPECT_TRUE(saw_timeout);
+  EXPECT_TRUE(saw_ignore);
+}
+
+TEST_F(ObsTest, HistogramsFoldIntoBreakpointStats) {
+  int obj = 0;
+  ConflictTrigger t("obs-hist", &obj);
+  EXPECT_FALSE(t.trigger_here(true, 5ms));
+  const BreakpointStats stats = Engine::instance().stats("obs-hist");
+  EXPECT_EQ(stats.wait_hist.count, 1u);
+  // The recorded wait is the (scaled) postponement, ~5ms here.
+  EXPECT_GE(stats.wait_hist.max, 2'000u);
+  EXPECT_EQ(stats.order_hist.count, 0u);  // no hit, no ordering latency
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser
+// ---------------------------------------------------------------------------
+
+TEST(ObsJson, ParsesNestedDocument) {
+  std::string error;
+  const auto root = obs::json::parse(
+      R"({"a":[1,2.5,-3],"b":{"c":"x\ny"},"d":true,"e":null})", error);
+  ASSERT_NE(root, nullptr) << error;
+  ASSERT_TRUE(root->is_object());
+  const obs::json::Value* a = root->get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1]->number, 2.5);
+  const obs::json::Value* b = root->get("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->get("c")->string, "x\ny");
+}
+
+TEST(ObsJson, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_EQ(obs::json::parse("{\"a\":}", error), nullptr);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(obs::json::parse("[1,2", error), nullptr);
+  EXPECT_EQ(obs::json::parse("{} trailing", error), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+std::vector<obs::NamedEvent> sample_events() {
+  std::vector<obs::NamedEvent> events;
+  auto add = [&](std::uint64_t t, rt::ThreadId tid, EventKind kind,
+                 int rank = -1, std::uint16_t detail = 0) {
+    events.push_back(
+        obs::NamedEvent{make_event(t, 7, tid, kind, rank, detail), "bp"});
+  };
+  add(1000, 1, EventKind::kArrival);
+  add(2000, 1, EventKind::kPostpone, 0);
+  add(3000, 2, EventKind::kArrival);
+  add(4000, 1, EventKind::kMatch, 0, 2);
+  add(4000, 2, EventKind::kMatch, 1, 2);
+  add(5000, 1, EventKind::kRelease, 0);
+  add(6000, 2, EventKind::kRelease, 1);
+  return events;
+}
+
+TEST(ObsExport, JsonDumpRoundTrips) {
+  const auto events = sample_events();
+  std::ostringstream out;
+  obs::write_json_dump(out, events, /*dropped=*/3);
+
+  std::istringstream in(out.str());
+  std::vector<obs::NamedEvent> back;
+  std::uint64_t dropped = 0;
+  std::string error;
+  ASSERT_TRUE(obs::read_json_dump(in, back, dropped, error)) << error;
+  EXPECT_EQ(dropped, 3u);
+  ASSERT_EQ(back.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(back[i].event.time_ns, events[i].event.time_ns);
+    EXPECT_EQ(back[i].event.tid, events[i].event.tid);
+    EXPECT_EQ(back[i].event.kind, events[i].event.kind);
+    EXPECT_EQ(back[i].event.rank, events[i].event.rank);
+    EXPECT_EQ(back[i].event.detail, events[i].event.detail);
+    EXPECT_EQ(back[i].name, events[i].name);
+  }
+}
+
+TEST(ObsExport, ReadRejectsForeignJson) {
+  std::istringstream in(R"({"events":[]})");  // missing the cbp tag
+  std::vector<obs::NamedEvent> events;
+  std::uint64_t dropped = 0;
+  std::string error;
+  EXPECT_FALSE(obs::read_json_dump(in, events, dropped, error));
+  EXPECT_NE(error.find("cbp"), std::string::npos);
+}
+
+TEST(ObsExport, ChromeTraceIsValidJsonWithMonotonicTimestamps) {
+  const auto events = sample_events();
+  std::ostringstream out;
+  obs::write_chrome_trace(out, events, /*dropped=*/0);
+
+  std::string error;
+  const auto root = obs::json::parse(out.str(), error);
+  ASSERT_NE(root, nullptr) << error;
+  const obs::json::Value* trace_events = root->get("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->is_array());
+  ASSERT_FALSE(trace_events->array.empty());
+  double last_ts = 0.0;
+  bool saw_span = false;
+  for (const auto& record : trace_events->array) {
+    ASSERT_TRUE(record->is_object());
+    const obs::json::Value* ts = record->get("ts");
+    ASSERT_NE(ts, nullptr);
+    ASSERT_TRUE(ts->is_number());
+    EXPECT_GE(ts->number, last_ts);
+    last_ts = ts->number;
+    const obs::json::Value* ph = record->get("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "X") {
+      saw_span = true;
+      ASSERT_NE(record->get("dur"), nullptr);
+      EXPECT_EQ(record->get("args")->get("outcome")->string, "match");
+    }
+  }
+  EXPECT_TRUE(saw_span);  // the postpone..match pair became a span
+}
+
+TEST(ObsExport, FilterKeepsOnlyTheNamedBreakpoint) {
+  auto events = sample_events();
+  events.push_back(
+      obs::NamedEvent{make_event(7000, 8, 3, EventKind::kArrival), "other"});
+  const auto filtered = obs::filter_by_name(std::move(events), "other");
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].name, "other");
+}
+
+// ---------------------------------------------------------------------------
+// Golden file: deterministic injected trace -> byte-stable Chrome export.
+// Regenerate with: CBP_REGEN_GOLDEN=1 ./test_obs
+//   --gtest_filter=ObsGolden.ChromeExportMatchesGoldenFile
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, ChromeExportMatchesGoldenFile) {
+  obs::Trace::set_name(7, "golden-bp");
+  auto inject = [&](std::uint64_t t, rt::ThreadId tid, EventKind kind,
+                    int rank = -1, std::uint16_t detail = 0) {
+    obs::Trace::inject_for_test(make_event(t, 7, tid, kind, rank, detail));
+  };
+  inject(800, 5, EventKind::kIgnore);
+  inject(1000, 1, EventKind::kArrival);
+  inject(1500, 3, EventKind::kArrival);
+  inject(1600, 3, EventKind::kPostpone, 1);
+  inject(2000, 1, EventKind::kPostpone, 0);
+  inject(2500, 2, EventKind::kLocalReject);
+  inject(3000, 2, EventKind::kArrival);
+  inject(4000, 1, EventKind::kMatch, 0, 2);
+  inject(4000, 2, EventKind::kMatch, 1, 2);
+  inject(5000, 1, EventKind::kRelease, 0);
+  inject(6000, 2, EventKind::kRelease, 1);
+  inject(6500, 1, EventKind::kGuardAck, 0);
+  inject(9000, 3, EventKind::kTimeout, 1);
+
+  const obs::TraceSnapshot snapshot = obs::Trace::collect();
+  std::ostringstream out;
+  obs::write_chrome_trace(out, obs::resolve(snapshot), snapshot.dropped);
+
+  const std::string golden_path =
+      std::string(CBP_SOURCE_DIR) + "/tests/golden/trace_chrome.json";
+  if (std::getenv("CBP_REGEN_GOLDEN") != nullptr) {
+    std::ofstream regen(golden_path);
+    ASSERT_TRUE(regen.is_open());
+    regen << out.str();
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.is_open()) << "missing golden file " << golden_path;
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(out.str(), expected.str());
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+TEST(ObsTelemetry, ObservedRatePrefersRunCounts) {
+  obs::TelemetryInput input;
+  input.name = "bp";
+  input.runs = 10;
+  input.runs_hit = 3;
+  input.stats.calls = 1000;
+  input.stats.arrivals = 100;
+  input.stats.hits = 3;
+  const auto row = obs::analyze(input, obs::TraceSnapshot{});
+  EXPECT_TRUE(row.observed_from_runs);
+  EXPECT_DOUBLE_EQ(row.observed, 0.3);
+  EXPECT_GE(row.predicted.unaided, 0.0);
+  EXPECT_LE(row.predicted.unaided, 1.0);
+  // With the estimated T at its floor the model degenerates to the
+  // unaided rate; allow for rounding in the closed form.
+  EXPECT_GE(row.predicted.btrigger, row.predicted.unaided - 1e-9);
+}
+
+TEST(ObsTelemetry, FallsBackToPerArrivalRate) {
+  obs::TelemetryInput input;
+  input.name = "bp";
+  input.stats.arrivals = 50;
+  input.stats.ignored = 10;
+  input.stats.participants = 8;
+  const auto row = obs::analyze(input, obs::TraceSnapshot{});
+  EXPECT_FALSE(row.observed_from_runs);
+  EXPECT_DOUBLE_EQ(row.observed, 0.2);  // 8 / (50 - 10)
+}
+
+TEST(ObsTelemetry, PauseStepsEstimatedFromTraceGaps) {
+  obs::TelemetryInput input;
+  input.name = "bp";
+  input.threads = 1;
+  input.runs = 1;
+  input.stats.calls = 4;
+  input.stats.arrivals = 4;
+  input.stats.postponed = 1;
+  input.stats.total_wait_us = 10;  // 10'000 ns mean wait
+  obs::TraceSnapshot trace;
+  obs::Trace::set_name(3, "bp");
+  // Same thread arrives every 1000 ns -> T = 10'000 / 1000 = 10 steps.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    trace.events.push_back(make_event(1000 * i, 3, 1, EventKind::kArrival));
+  }
+  const auto inputs = obs::estimate_inputs(input, trace);
+  EXPECT_EQ(inputs.pause_steps, 10u);
+  EXPECT_EQ(inputs.n_steps, 4u);
+}
+
+TEST(ObsTelemetry, ReportRendersOneRowPerBreakpoint) {
+  obs::TelemetryInput input;
+  input.name = "render-bp";
+  input.runs = 4;
+  input.runs_hit = 2;
+  input.stats.calls = 400;
+  input.stats.arrivals = 40;
+  input.stats.hits = 2;
+  const auto row = obs::analyze(input, obs::TraceSnapshot{});
+  const std::string report = obs::render_report({row});
+  EXPECT_NE(report.find("render-bp"), std::string::npos);
+  EXPECT_NE(report.find("p(btrigger)"), std::string::npos);
+  EXPECT_NE(report.find("2/4 runs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbp

@@ -57,6 +57,37 @@ TEST_P(IgnoreFirstSweep, ExactlyFirstNArrivalsSkipPostponement) {
 INSTANTIATE_TEST_SUITE_P(Sweep, IgnoreFirstSweep,
                          ::testing::Values(0, 1, 5, 12, 100));
 
+TEST(IgnoreFirstOrdering, ArrivalInsideWindowDoesNotMatchPostponedPeer) {
+  // Regression for the trigger-order bug: try_match used to run before
+  // the ignore_first check, so an arrival inside the ignore window could
+  // still complete a match against a postponed peer — with an exact
+  // arrival counter the warm-up phase nevertheless recorded hits.  The
+  // check now precedes matching: the in-window arrival neither matches
+  // nor postpones, and the peer times out.
+  Engine::instance().reset();
+  Config::set_enabled(true);
+  rt::TimeScale::set(1.0);
+  int obj = 0;
+  rt::Latch postponed(1);
+  std::thread waiter([&] {
+    ConflictTrigger t("ignore-order", &obj);  // no window: this postpones
+    postponed.count_down();
+    EXPECT_FALSE(t.trigger_here(true, 300ms));
+  });
+  postponed.wait();
+  std::this_thread::sleep_for(20ms);
+  ConflictTrigger t("ignore-order", &obj);
+  t.ignore_first(2);  // this arrival is #2: exactly the window edge
+  EXPECT_FALSE(t.trigger_here(false, 10ms));
+  waiter.join();
+  const auto stats = Engine::instance().stats("ignore-order");
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.ignored, 1u);
+  EXPECT_EQ(stats.postponed, 1u);
+  EXPECT_EQ(stats.timeouts, 1u);
+  Engine::instance().reset();
+}
+
 // ---------------------------------------------------------------------------
 // bound sweep: the breakpoint stops participating after exactly n hits.
 // ---------------------------------------------------------------------------

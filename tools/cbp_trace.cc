@@ -1,0 +1,206 @@
+// cbp-trace: collector / exporter / telemetry front end for the
+// breakpoint observability layer (DESIGN.md §5d).
+//
+// Two modes:
+//
+//   Demo — run a built-in replica workload with event tracing enabled
+//   and export the merged trace:
+//
+//     cbp-trace --demo=cache --runs=10 --format=chrome
+//               --out=trace.json --report
+//
+//   Merge — read one or more JSON dumps previously written by this tool
+//   (or by obs::write_json_dump) and re-export them merged, optionally
+//   filtered to one breakpoint:
+//
+//     cbp-trace --format=chrome --filter=cache4j-race1 a.json b.json
+//
+// The --report table is the §3 model closed over *estimated* inputs
+// (see obs/telemetry.h): predicted unaided and BTRIGGER hit rates, the
+// gain factor, and the hit rate actually observed over the demo runs.
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/cache/cache.h"
+#include "apps/replica.h"
+#include "apps/webserver/jigsaw.h"
+#include "core/cbp.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "runtime/clock.h"
+
+namespace {
+
+struct Options {
+  std::string demo;            // "", "cache", "jigsaw"
+  int runs = 10;
+  std::string format = "json";  // "json" | "chrome"
+  std::string filter;
+  std::string out;
+  bool report = false;
+  std::vector<std::string> inputs;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] [dump.json ...]\n"
+      << "  --demo=cache|jigsaw   run a built-in workload with tracing on\n"
+      << "  --runs=N              demo repetitions (default 10)\n"
+      << "  --format=json|chrome  export format (default json)\n"
+      << "  --filter=NAME         keep only events of breakpoint NAME\n"
+      << "  --out=FILE            write the export to FILE (default stdout)\n"
+      << "  --report              print the predicted-vs-observed table\n"
+      << "With no --demo, positional arguments are JSON dumps to merge.\n";
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const std::string& prefix, std::string& out) {
+      if (arg.rfind(prefix, 0) != 0) return false;
+      out = arg.substr(prefix.size());
+      return true;
+    };
+    std::string value;
+    if (value_of("--demo=", options.demo)) continue;
+    if (value_of("--runs=", value)) {
+      options.runs = std::max(1, std::atoi(value.c_str()));
+      continue;
+    }
+    if (value_of("--format=", options.format)) continue;
+    if (value_of("--filter=", options.filter)) continue;
+    if (value_of("--out=", options.out)) continue;
+    if (arg == "--report") {
+      options.report = true;
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') return false;
+    options.inputs.push_back(arg);
+  }
+  if (options.format != "json" && options.format != "chrome") return false;
+  if (!options.demo.empty() && options.demo != "cache" &&
+      options.demo != "jigsaw") {
+    return false;
+  }
+  if (options.demo.empty() && options.inputs.empty()) return false;
+  return true;
+}
+
+/// Runs one replica workload `runs` times with tracing enabled and
+/// returns the telemetry input describing what happened.
+cbp::obs::TelemetryInput run_demo(const Options& options) {
+  using namespace cbp;
+  using namespace std::chrono_literals;
+
+  Config::set_enabled(true);
+  rt::TimeScale::set(1.0);
+  obs::Trace::set_enabled(true);
+
+  apps::RunOptions run_options;
+  run_options.breakpoints = true;
+  run_options.pause = 20ms;  // keep a CI demo under a second per run
+
+  obs::TelemetryInput input;
+  input.name = options.demo == "cache" ? apps::cache::kRace1
+                                       : apps::webserver::kRace1;
+  input.threads = 2;  // both race1 replicas race two threads at the bp
+  std::uint64_t previous_hits = 0;
+  for (int run = 0; run < options.runs; ++run) {
+    run_options.seed = static_cast<std::uint64_t>(run) + 1;
+    if (options.demo == "cache") {
+      apps::cache::run_race1(run_options);
+    } else {
+      apps::webserver::run_race1(run_options);
+    }
+    const std::uint64_t hits = Engine::instance().stats(input.name).hits;
+    if (hits > previous_hits) input.runs_hit += 1;
+    previous_hits = hits;
+    input.runs += 1;
+  }
+  input.stats = Engine::instance().stats(input.name);
+  return input;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) return usage(argv[0]);
+
+  std::vector<cbp::obs::NamedEvent> events;
+  std::uint64_t dropped = 0;
+  cbp::obs::TraceSnapshot snapshot;
+  cbp::obs::TelemetryInput telemetry_input;
+
+  if (!options.demo.empty()) {
+    telemetry_input = run_demo(options);
+    snapshot = cbp::obs::Trace::collect();
+    dropped = snapshot.dropped;
+    events = cbp::obs::resolve(snapshot);
+  } else {
+    for (const std::string& path : options.inputs) {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "cbp-trace: cannot open " << path << "\n";
+        return 1;
+      }
+      std::string error;
+      if (!cbp::obs::read_json_dump(in, events, dropped, error)) {
+        std::cerr << "cbp-trace: " << path << ": " << error << "\n";
+        return 1;
+      }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const cbp::obs::NamedEvent& a,
+                        const cbp::obs::NamedEvent& b) {
+                       if (a.event.time_ns != b.event.time_ns) {
+                         return a.event.time_ns < b.event.time_ns;
+                       }
+                       return a.event.tid < b.event.tid;
+                     });
+  }
+
+  if (!options.filter.empty()) {
+    events = cbp::obs::filter_by_name(std::move(events), options.filter);
+  }
+
+  std::ostringstream body;
+  if (options.format == "chrome") {
+    cbp::obs::write_chrome_trace(body, events, dropped);
+  } else {
+    cbp::obs::write_json_dump(body, events, dropped);
+  }
+
+  if (options.out.empty()) {
+    std::cout << body.str();
+  } else {
+    std::ofstream out(options.out);
+    if (!out) {
+      std::cerr << "cbp-trace: cannot write " << options.out << "\n";
+      return 1;
+    }
+    out << body.str();
+  }
+
+  if (options.report) {
+    if (options.demo.empty()) {
+      std::cerr << "cbp-trace: --report requires --demo (live counters)\n";
+      return 1;
+    }
+    const cbp::obs::BreakpointTelemetry row =
+        cbp::obs::analyze(telemetry_input, snapshot);
+    // Export on stdout, table on stderr — unless the export went to a
+    // file, in which case the table is the stdout payload.
+    std::ostream& sink = options.out.empty() ? std::cerr : std::cout;
+    sink << cbp::obs::render_report({row});
+  }
+  return 0;
+}
