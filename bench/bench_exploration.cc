@@ -77,11 +77,15 @@ bool run_under_trace(const Trace& trace, int increments) {
 
 int main(int argc, char** argv) {
   std::printf("=== Ablation: systematic exploration vs one breakpoint ===\n");
-  (void)bench::setup(argc, argv, /*default_runs=*/1);
+  const auto config = bench::setup(argc, argv, /*default_runs=*/1);
 
   harness::TextTable table({"N (ops/thread)", "Interleavings",
                             "Schedules to witness (full)",
                             "Schedules (ctx-bounded)", "Breakpoint runs"});
+  // The explorer replays schedules through the process-global
+  // instrumentation hub, so the search itself runs serially; the JSON
+  // report still records the search-cost curve for trend tracking.
+  bench::JsonReport report("exploration", config.time_scale);
 
   for (const int increments : {1, 2, 3, 4}) {
     const auto r0 = role_ops(0, increments);
@@ -113,8 +117,16 @@ int main(int argc, char** argv) {
              ? std::to_string(ctx.schedules_run + ctx.schedules_skipped)
              : "not found",
          "1"});
+    const std::string key = "N=" + std::to_string(increments);
+    report.add(key + "/interleavings", 1, static_cast<double>(total), "count");
+    report.add(key + "/schedules_full", 1,
+               static_cast<double>(unbounded.schedules_run), "count");
+    report.add(key + "/schedules_ctx_bounded", 1,
+               static_cast<double>(ctx.schedules_run + ctx.schedules_skipped),
+               "count");
   }
 
+  report.flush(config.json_path);
   table.print(std::cout);
   std::printf("\nThe explorer re-executes the program once per candidate "
               "schedule (CHESS-style, context bounding helps but still "

@@ -29,15 +29,16 @@ int main(int argc, char** argv) {
     apps::RunOptions options;
     options.pause = std::chrono::milliseconds(t);
     options.stall_after = std::chrono::milliseconds(8000);
-    const auto result =
-        harness::run_repeated(apps::crawler::run_race1, options, config.runs);
+    const auto result = harness::run_repeated_parallel(
+        apps::crawler::run_race1, options, config.runs, config.jobs);
     std::string paper = t == 100 ? "0.87" : (t == 1000 ? "1.00" : "-");
     table.add_row({"hedc race1", std::to_string(t) + "ms",
                    harness::fmt_prob(result.bug_probability()),
                    harness::fmt_seconds(result.mean_runtime_s), paper});
-    report.add("hedc_race1/T=" + std::to_string(t) + "ms", 1,
+    report.add("hedc_race1/T=" + std::to_string(t) + "ms", config.jobs,
                result.bug_probability(), "probability");
-    report.add("hedc_race1/T=" + std::to_string(t) + "ms/runtime", 1,
+    report.add("hedc_race1/T=" + std::to_string(t) + "ms/runtime",
+               config.jobs,
                result.mean_runtime_s, "s");
   }
 
@@ -51,14 +52,17 @@ int main(int argc, char** argv) {
       swing.refined = true;
       return apps::swinglike::run_deadlock1(swing);
     };
-    const auto result = harness::run_repeated(runner, options, config.runs);
+    const auto result = harness::run_repeated_parallel(runner, options,
+                                                       config.runs,
+                                                       config.jobs);
     std::string paper = t == 100 ? "0.63" : (t == 1000 ? "0.99" : "-");
     table.add_row({"swing deadlock1", std::to_string(t) + "ms",
                    harness::fmt_prob(result.bug_probability()),
                    harness::fmt_seconds(result.mean_runtime_s), paper});
-    report.add("swing_deadlock1/T=" + std::to_string(t) + "ms", 1,
+    report.add("swing_deadlock1/T=" + std::to_string(t) + "ms", config.jobs,
                result.bug_probability(), "probability");
-    report.add("swing_deadlock1/T=" + std::to_string(t) + "ms/runtime", 1,
+    report.add("swing_deadlock1/T=" + std::to_string(t) + "ms/runtime",
+               config.jobs,
                result.mean_runtime_s, "s");
   }
 

@@ -24,6 +24,14 @@ int main(int argc, char** argv) {
 
   harness::TextTable table({"Subject", "Refinement", "Runtime(s)", "P(bug)",
                             "Speedup"});
+  bench::JsonReport report("precision", config.time_scale);
+
+  // One row per (subject, refinement): probability and mean runtime.
+  auto record = [&](const std::string& key,
+                    const cbp::harness::RepeatedResult& result) {
+    report.add(key, config.jobs, result.bug_probability(), "probability");
+    report.add(key + "/runtime", config.jobs, result.mean_runtime_s, "s");
+  };
 
   apps::RunOptions options;
   options.pause = std::chrono::milliseconds(100);
@@ -38,8 +46,12 @@ int main(int argc, char** argv) {
       return apps::cache::run_atomicity1(o,
                                          apps::cache::kWarmupConstructions);
     };
-    const auto base = harness::run_repeated(unrefined, options, config.runs);
-    const auto fast = harness::run_repeated(refined, options, config.runs);
+    const auto base = harness::run_repeated_parallel(
+        unrefined, options, config.runs, config.jobs);
+    const auto fast = harness::run_repeated_parallel(
+        refined, options, config.runs, config.jobs);
+    record("cache4j_atomicity1/none", base);
+    record("cache4j_atomicity1/ignore_first", fast);
     table.add_row({"cache4j atomicity1", "none",
                    harness::fmt_seconds(base.mean_runtime_s),
                    harness::fmt_prob(base.bug_probability()), "1.0x"});
@@ -62,8 +74,12 @@ int main(int argc, char** argv) {
       return apps::kernels::run_moldyn_race1(o,
                                              apps::kernels::kMoldynRace1Bound);
     };
-    const auto base = harness::run_repeated(unbounded, options, config.runs);
-    const auto fast = harness::run_repeated(bounded, options, config.runs);
+    const auto base = harness::run_repeated_parallel(
+        unbounded, options, config.runs, config.jobs);
+    const auto fast = harness::run_repeated_parallel(
+        bounded, options, config.runs, config.jobs);
+    record("moldyn_race1/none", base);
+    record("moldyn_race1/bound", fast);
     table.add_row({"moldyn race1", "none",
                    harness::fmt_seconds(base.mean_runtime_s),
                    harness::fmt_prob(base.bug_probability()), "1.0x"});
@@ -92,10 +108,12 @@ int main(int argc, char** argv) {
     };
     apps::RunOptions swing_options = options;
     swing_options.pause = std::chrono::milliseconds(500);
-    const auto base =
-        harness::run_repeated(unrefined, swing_options, config.runs);
-    const auto fast =
-        harness::run_repeated(refined, swing_options, config.runs);
+    const auto base = harness::run_repeated_parallel(
+        unrefined, swing_options, config.runs, config.jobs);
+    const auto fast = harness::run_repeated_parallel(
+        refined, swing_options, config.runs, config.jobs);
+    record("swing_deadlock1/none", base);
+    record("swing_deadlock1/lock_type_held", fast);
     table.add_row({"swing deadlock1", "none",
                    harness::fmt_seconds(base.mean_runtime_s),
                    harness::fmt_prob(base.bug_probability()), "1.0x"});
@@ -108,6 +126,7 @@ int main(int argc, char** argv) {
                        "x"});
   }
 
+  report.flush(config.json_path);
   table.print(std::cout);
   std::printf("\nShape to check: each refinement cuts the runtime sharply "
               "while P(bug) stays at (or rises to) ~1.0 — §6.3's claim.\n");

@@ -31,11 +31,11 @@ int main(int argc, char** argv) {
     options.work_scale = row.work_scale;
     options.stall_after = std::chrono::milliseconds(4000);
 
-    const auto overhead =
-        harness::measure_overhead(row.runner, options, config.runs);
+    const auto overhead = harness::measure_overhead(row.runner, options,
+                                                    config.runs, config.jobs);
     options.breakpoints = true;
-    const auto repeated =
-        harness::run_repeated(row.runner, options, config.runs);
+    const auto repeated = harness::run_repeated_parallel(
+        row.runner, options, config.runs, config.jobs);
 
     // The paper omits runtime/overhead for stall bugs ("stalls due to
     // missed notifications are detected by large timeouts; therefore,
@@ -52,9 +52,11 @@ int main(int argc, char** argv) {
                    harness::fmt_prob(repeated.bug_probability()),
                    harness::fmt_prob(row.paper_prob), row.comment});
     const std::string key = std::string(row.benchmark) + "/" + row.bug;
-    report.add(key, 1, repeated.bug_probability(), "probability");
+    report.add(key, config.jobs, repeated.bug_probability(), "probability");
+    report.add(key + "/wall_clock", config.jobs, repeated.wall_clock_s, "s");
     if (!stall_row) {
-      report.add(key + "/overhead", 1, overhead.overhead_percent(), "%");
+      report.add(key + "/overhead", config.jobs, overhead.overhead_percent(),
+                 "%");
     }
   }
 

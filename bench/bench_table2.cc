@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   harness::TextTable table({"Benchmark", "LoC", "Error", "MTTE(s)",
                             "Paper MTTE(s)", "#CBR", "Errors/Runs",
                             "Comments"});
+  bench::JsonReport report("table2", config.time_scale);
 
   for (const harness::Table2Case& row : harness::table2_cases()) {
     apps::RunOptions options;
@@ -29,10 +30,10 @@ int main(int argc, char** argv) {
     options.stall_after = std::chrono::milliseconds(4000);
     options.breakpoints = true;
 
-    const auto mtte = harness::measure_mtte(row.runner, options,
-                                            /*errors_wanted=*/config.runs,
-                                            /*max_iterations=*/
-                                            config.runs * 50);
+    const auto mtte = harness::measure_mtte_parallel(
+        row.runner, options,
+        /*errors_wanted=*/config.runs,
+        /*max_iterations=*/config.runs * 50, config.jobs);
 
     table.add_row(
         {row.benchmark, row.paper_loc, row.error,
@@ -41,8 +42,13 @@ int main(int argc, char** argv) {
          std::to_string(row.breakpoints),
          std::to_string(mtte.errors) + "/" + std::to_string(mtte.iterations),
          row.comment});
+    report.add(row.benchmark + "/mtte", config.jobs, mtte.mtte_s, "s");
+    report.add(row.benchmark + "/errors", config.jobs, mtte.errors, "count");
+    report.add(row.benchmark + "/iterations", config.jobs, mtte.iterations,
+               "count");
   }
 
+  report.flush(config.json_path);
   table.print(std::cout);
   std::printf("\n#CBR = number of concurrent breakpoints required to make "
               "the bug repeatedly reproducible (as inserted in the "

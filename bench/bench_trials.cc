@@ -1,0 +1,110 @@
+// Serial vs parallel trial execution: the same repeated-trial batches
+// (Table 1 rows) run once through the serial scheduler and once through
+// run_repeated_parallel, comparing
+//
+//   * wall clock     — the point of the parallel scheduler: trials are
+//     dominated by scaled nominal pauses, so N workers overlap N sleeps;
+//   * determinism    — trial i carries seed base+i on both paths, so the
+//     per-seed verdict streams are comparable seed by seed;
+//   * probabilities  — hit/bug rates must agree statistically (95%
+//     Wilson intervals overlap); timing-sensitive replicas can flip a
+//     marginal race under hardware contention, so exact-count equality
+//     is not required.
+//
+// Exits non-zero when any row's serial and parallel intervals fail to
+// overlap — CI runs this as a smoke check of the parallel scheduler.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "harness/experiment.h"
+#include "harness/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace cbp;
+  std::printf("=== Serial vs parallel trial scheduler ===\n");
+  auto config = bench::setup(argc, argv, /*default_runs=*/16);
+  // This bench exists to exercise the parallel path: without an explicit
+  // --trial-jobs, compare against 8 workers.
+  const int jobs = config.jobs > 1 ? config.jobs : 8;
+
+  harness::TextTable table({"Benchmark", "Serial(s)", "Parallel(s)", "Speedup",
+                            "P(bug) ser/par", "P(hit) ser/par", "Seeds match",
+                            "CI overlap"});
+  bench::JsonReport report("trials", config.time_scale);
+
+  double serial_total = 0.0;
+  double parallel_total = 0.0;
+  bool all_overlap = true;
+
+  for (const harness::Table1Case& row : harness::table1_cases()) {
+    apps::RunOptions options;
+    options.pause = row.pause;
+    options.work_scale = row.work_scale;
+    options.stall_after = std::chrono::milliseconds(4000);
+    options.breakpoints = true;
+
+    const auto serial =
+        harness::run_repeated(row.runner, options, config.runs);
+    const auto parallel =
+        harness::run_repeated_parallel(row.runner, options, config.runs, jobs);
+
+    int matching = 0;
+    for (int i = 0; i < config.runs; ++i) {
+      const auto& s = serial.trials[static_cast<std::size_t>(i)];
+      const auto& p = parallel.trials[static_cast<std::size_t>(i)];
+      if (s.seed == p.seed && s.buggy == p.buggy && s.hit == p.hit) ++matching;
+    }
+    const bool overlap =
+        serial.bug_probability_ci().overlaps(parallel.bug_probability_ci()) &&
+        serial.hit_probability_ci().overlaps(parallel.hit_probability_ci());
+    all_overlap = all_overlap && overlap;
+    serial_total += serial.wall_clock_s;
+    parallel_total += parallel.wall_clock_s;
+
+    const double speedup =
+        parallel.wall_clock_s <= 0.0
+            ? 0.0
+            : serial.wall_clock_s / parallel.wall_clock_s;
+    const std::string key = std::string(row.benchmark) + "/" + row.bug;
+    table.add_row(
+        {key, harness::fmt_seconds(serial.wall_clock_s),
+         harness::fmt_seconds(parallel.wall_clock_s),
+         harness::fmt_percent(speedup) + "x",
+         harness::fmt_prob(serial.bug_probability()) + "/" +
+             harness::fmt_prob(parallel.bug_probability()),
+         harness::fmt_prob(serial.hit_probability()) + "/" +
+             harness::fmt_prob(parallel.hit_probability()),
+         std::to_string(matching) + "/" + std::to_string(config.runs),
+         overlap ? "yes" : "NO"});
+    report.add(key + "/serial_wall_clock", 1, serial.wall_clock_s, "s");
+    report.add(key + "/parallel_wall_clock", jobs, parallel.wall_clock_s, "s");
+    report.add(key + "/speedup", jobs, speedup, "x");
+    report.add(key + "/bug_probability_serial", 1, serial.bug_probability(),
+               "probability");
+    report.add(key + "/bug_probability_parallel", jobs,
+               parallel.bug_probability(), "probability");
+    report.add(key + "/seeds_match", jobs,
+               static_cast<double>(matching) / config.runs, "fraction");
+  }
+
+  const double total_speedup =
+      parallel_total <= 0.0 ? 0.0 : serial_total / parallel_total;
+  report.add("total/serial_wall_clock", 1, serial_total, "s");
+  report.add("total/parallel_wall_clock", jobs, parallel_total, "s");
+  report.add("total/speedup", jobs, total_speedup, "x");
+  report.flush(config.json_path);
+
+  table.print(std::cout);
+  std::printf("\nTotal wall clock: serial %.3fs, parallel (%d jobs) %.3fs "
+              "-> %.1fx.\n",
+              serial_total, jobs, parallel_total, total_speedup);
+  if (!all_overlap) {
+    std::printf("FAIL: a serial/parallel probability interval pair does not "
+                "overlap.\n");
+    return 1;
+  }
+  return 0;
+}

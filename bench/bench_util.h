@@ -1,6 +1,14 @@
 // Shared setup for the experiment benches: scales the paper's nominal
 // pause times down so the full evaluation runs in seconds, and parses
-// the optional CLI overrides  <runs> <time_scale> [--json <path>].
+// the optional CLI overrides
+//   <runs> <time_scale> [--json <path>] [--trial-jobs=N]
+//
+// --trial-jobs=N routes every repeated-trial measurement through the
+// parallel scheduler (harness::run_repeated_parallel): N workers, each
+// with a private engine, deterministic base+i seeds.  Default 1 keeps
+// the historical serial behaviour.  The trial workloads are dominated by
+// nominal pauses (scaled sleeps), so trials overlap profitably even
+// beyond the core count.
 //
 // With --json <path>, a bench appends rows to a JsonReport and writes a
 // machine-readable summary on exit, so successive runs form a perf
@@ -25,6 +33,7 @@ struct BenchConfig {
   int runs = 30;            ///< per-configuration repetitions
   double time_scale = 0.02; ///< nominal 100 ms pause -> 2 ms
   std::string json_path;    ///< empty = no JSON output
+  int jobs = 1;             ///< parallel trial workers (1 = serial)
 };
 
 /// Accumulates (name, threads, value, unit) rows and writes them as one
@@ -89,12 +98,35 @@ inline std::string take_json_flag(int& argc, char** argv) {
   return {};
 }
 
+/// Extracts `--trial-jobs=N` (or `--trial-jobs N`) from argv; returns N
+/// clamped to >= 1, or 1 if absent.
+inline int take_jobs_flag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    int consumed = 0;
+    int jobs = 0;
+    if (std::strncmp(argv[i], "--trial-jobs=", 13) == 0) {
+      jobs = std::atoi(argv[i] + 13);
+      consumed = 1;
+    } else if (std::strcmp(argv[i], "--trial-jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[i + 1]);
+      consumed = 2;
+    }
+    if (consumed > 0) {
+      for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+      argc -= consumed;
+      return jobs < 1 ? 1 : jobs;
+    }
+  }
+  return 1;
+}
+
 inline BenchConfig setup(int argc, char** argv, int default_runs = 30,
                          double default_scale = 0.02) {
   BenchConfig config;
   config.runs = default_runs;
   config.time_scale = default_scale;
   config.json_path = take_json_flag(argc, argv);
+  config.jobs = take_jobs_flag(argc, argv);
   if (argc > 1) config.runs = std::atoi(argv[1]);
   if (argc > 2) config.time_scale = std::atof(argv[2]);
   rt::TimeScale::set(config.time_scale);
@@ -102,8 +134,9 @@ inline BenchConfig setup(int argc, char** argv, int default_runs = 30,
   Config::set_order_delay(std::chrono::microseconds(200));
   Config::set_guard_wait_cap(std::chrono::milliseconds(2000));
   std::printf("(runs=%d per configuration, time_scale=%.3f: the paper's "
-              "nominal waits run %.0fx faster)\n\n",
-              config.runs, config.time_scale, 1.0 / config.time_scale);
+              "nominal waits run %.0fx faster; trial-jobs=%d%s)\n\n",
+              config.runs, config.time_scale, 1.0 / config.time_scale,
+              config.jobs, config.jobs > 1 ? " — parallel trials" : "");
   return config;
 }
 

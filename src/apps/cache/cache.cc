@@ -5,6 +5,7 @@
 
 #include "core/cbp.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 
 namespace cbp::apps::cache {
@@ -119,8 +120,8 @@ RunOutcome run_race(const RunOptions& options, const std::string& bug) {
       (void)cache.get(10'000 + i);  // guaranteed hits -> hits_ bumps
     }
   };
-  std::thread a(worker, 0);
-  std::thread b(worker, 1000);
+  rt::Thread a(worker, 0);
+  rt::Thread b(worker, 1000);
   gate.open();
   a.join();
   b.join();
@@ -190,11 +191,11 @@ RunOutcome run_atomicity1(const RunOptions& options,
   constexpr int kKey = 777'777;
   int observed = -1;
   rt::StartGate gate;
-  std::thread writer([&] {
+  rt::Thread writer([&] {
     gate.wait();
     cache.put(kKey, 42);
   });
-  std::thread reader([&] {
+  rt::Thread reader([&] {
     gate.wait();
     // Retry until the entry is published, then the breakpoint aligns the
     // read into the publication/initialization window.

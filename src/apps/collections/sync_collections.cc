@@ -6,6 +6,7 @@
 
 #include "core/cbp.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 
 namespace cbp::apps::collections {
@@ -156,7 +157,7 @@ RunOutcome run_list_atomicity1(const RunOptions& options) {
 
   std::string error;
   rt::StartGate gate;
-  std::thread reader([&] {
+  rt::Thread reader([&] {
     gate.wait();
     try {
       // Compound client operation: size() then get(size-1) — not atomic.
@@ -172,7 +173,7 @@ RunOutcome run_list_atomicity1(const RunOptions& options) {
       error = e.what();
     }
   });
-  std::thread clearer([&] {
+  rt::Thread clearer([&] {
     gate.wait();
     std::this_thread::sleep_for(
         rt::TimeScale::apply(std::chrono::microseconds(500)));
@@ -201,7 +202,7 @@ RunOutcome run_crossed_deadlock(Collection& a, Collection& b, BulkCopy copy) {
   rt::Stopwatch clock;
   std::atomic<bool> stalled{false};
   rt::StartGate gate;
-  std::thread t1([&] {
+  rt::Thread t1([&] {
     gate.wait();
     try {
       copy(a, b);
@@ -209,7 +210,7 @@ RunOutcome run_crossed_deadlock(Collection& a, Collection& b, BulkCopy copy) {
       stalled = true;
     }
   });
-  std::thread t2([&] {
+  rt::Thread t2([&] {
     gate.wait();
     try {
       copy(b, a);
@@ -272,8 +273,8 @@ RunOutcome run_map_atomicity1(const RunOptions& options) {
       puts.fetch_add(1);
     }
   };
-  std::thread t1(put_if_absent, 111, std::chrono::microseconds(0));
-  std::thread t2(put_if_absent, 222, std::chrono::microseconds(500));
+  rt::Thread t1(put_if_absent, 111, std::chrono::microseconds(0));
+  rt::Thread t2(put_if_absent, 222, std::chrono::microseconds(500));
   gate.open();
   t1.join();
   t2.join();
@@ -329,8 +330,8 @@ RunOutcome run_set_atomicity1(const RunOptions& options) {
       error = e.what();
     }
   };
-  std::thread t1(add_if_absent, std::chrono::microseconds(0));
-  std::thread t2(add_if_absent, std::chrono::microseconds(500));
+  rt::Thread t1(add_if_absent, std::chrono::microseconds(0));
+  rt::Thread t2(add_if_absent, std::chrono::microseconds(500));
   gate.open();
   t1.join();
   t2.join();

@@ -6,6 +6,7 @@
 #include "core/cbp.h"
 #include "instrument/shared_var.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 
 namespace cbp::apps::compress {
@@ -34,7 +35,7 @@ RunOutcome run_crash(const RunOptions& options) {
   std::string crash;
   rt::StartGate gate;
 
-  std::thread consumer([&] {
+  rt::Thread consumer([&] {
     gate.wait();
     try {
       for (int i = 0; i < blocks; ++i) {
@@ -60,7 +61,7 @@ RunOutcome run_crash(const RunOptions& options) {
     }
   });
 
-  std::thread terminator([&] {
+  rt::Thread terminator([&] {
     gate.wait();
     // bp1 peer: read the consumer's progress (racily) to decide whether
     // teardown is safe — ordered FIRST so the read is stale.

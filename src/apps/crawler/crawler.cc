@@ -8,6 +8,7 @@
 #include "instrument/shared_var.h"
 #include "instrument/tracked_mutex.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 #include "runtime/rng.h"
 
@@ -51,7 +52,7 @@ RunOutcome run_race1(const RunOptions& options) {
   rt::StartGate gate;
 
   rt::Rng worker_rng = rng.split();
-  std::thread worker([&] {
+  rt::Thread worker([&] {
     gate.wait();
     network_jitter(worker_rng, kRace1JitterOver100ms);
     // Racy read of the cancellation flag — the stale decision is already
@@ -68,7 +69,7 @@ RunOutcome run_race1(const RunOptions& options) {
   });
 
   rt::Rng canceller_rng = rng.split();
-  std::thread canceller([&] {
+  rt::Thread canceller([&] {
     gate.wait();
     network_jitter(canceller_rng, kRace1JitterOver100ms);
     ConflictTrigger trigger(kRace1, task.cancelled.address());
@@ -121,8 +122,8 @@ RunOutcome run_race2(const RunOptions& options) {
       fetches.racy_update([](int n) { return n + 1; });
     }
   };
-  std::thread a(worker_body, rng.split());
-  std::thread b(worker_body, rng.split());
+  rt::Thread a(worker_body, rng.split());
+  rt::Thread b(worker_body, rng.split());
   gate.open();
   a.join();
   b.join();

@@ -4,6 +4,7 @@
 
 #include "core/cbp.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 
 namespace cbp::apps::httpdlike {
@@ -81,8 +82,8 @@ RunOutcome run_log_corruption(const RunOptions& options) {
       log.log_request(base + i, options.breakpoints);
     }
   };
-  std::thread a(worker, 100);
-  std::thread b(worker, 200);
+  rt::Thread a(worker, 100);
+  rt::Thread b(worker, 200);
   gate.open();
   a.join();
   b.join();
@@ -153,7 +154,7 @@ RunOutcome run_buffer_overflow(const RunOptions& options) {
     }
   };
 
-  std::thread w1([&] {
+  rt::Thread w1([&] {
     gate.wait();
     try {
       append(/*is_first=*/true);
@@ -161,7 +162,7 @@ RunOutcome run_buffer_overflow(const RunOptions& options) {
       crash = e.what();
     }
   });
-  std::thread w2([&] {
+  rt::Thread w2([&] {
     gate.wait();
     try {
       append(/*is_first=*/false);

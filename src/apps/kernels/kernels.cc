@@ -6,6 +6,7 @@
 #include "core/cbp.h"
 #include "instrument/shared_var.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 #include "runtime/rng.h"
 
@@ -59,8 +60,8 @@ RunOutcome run_reduction_race(const RunOptions& options,
       racy_accumulate(accumulator, breakpoint, bound, 1);
     }
   };
-  std::thread a(worker, 11);
-  std::thread b(worker, 23);
+  rt::Thread a(worker, 11);
+  rt::Thread b(worker, 23);
   gate.open();
   a.join();
   b.join();
@@ -125,8 +126,8 @@ RunOutcome run_raytracer(const RunOptions& options, const char* breakpoint,
       racy_accumulate(checksum, breakpoint, UINT64_MAX, row_sum);
     }
   };
-  std::thread a(render_half, 0);
-  std::thread b(render_half, rows);
+  rt::Thread a(render_half, 0);
+  rt::Thread b(render_half, rows);
   gate.open();
   a.join();
   b.join();

@@ -5,6 +5,7 @@
 
 #include "core/cbp.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 #include "runtime/rng.h"
 
@@ -74,7 +75,7 @@ void AsyncAppender::arm_contention_pair(Site first, Site second) {
 MethodologyIIOutcome run_methodology2(const MethodologyIIOptions& options) {
   Config::set_enabled(options.breakpoints);
   Config::set_default_timeout(options.pause);
-  auto& engine = Engine::instance();
+  auto& engine = Engine::current();
   const std::uint64_t hits_before =
       engine.stats(kContentionBreakpoint).hits;
 
@@ -91,7 +92,7 @@ MethodologyIIOutcome run_methodology2(const MethodologyIIOptions& options) {
   std::atomic<bool> appender_done{false};
   rt::StartGate gate;
 
-  std::thread appender_thread([&] {
+  rt::Thread appender_thread([&] {
     gate.wait();
     try {
       for (int i = 0; i < options.events; ++i) {
@@ -105,7 +106,7 @@ MethodologyIIOutcome run_methodology2(const MethodologyIIOptions& options) {
   });
 
   rt::Rng config_rng = rng.split();
-  std::thread config_thread([&] {
+  rt::Thread config_thread([&] {
     gate.wait();
     // Let the pipeline reach its steady state (buffer full, appender
     // blocked) before reconfiguring, then add random jitter — the grow
@@ -126,7 +127,7 @@ MethodologyIIOutcome run_methodology2(const MethodologyIIOptions& options) {
   });
 
   rt::Rng dispatch_rng = rng.split();
-  std::thread dispatcher([&] {
+  rt::Thread dispatcher([&] {
     gate.wait();
     for (;;) {
       // A little natural dawdle before each pass widens the window in

@@ -5,6 +5,7 @@
 
 #include "core/cbp.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 
 namespace cbp::apps::logging {
@@ -23,7 +24,7 @@ RunOutcome run_two_legs(Leg1 leg1, Leg2 leg2) {
   rt::Stopwatch clock;
   std::atomic<bool> stalled{false};
   rt::StartGate gate;
-  std::thread t1([&] {
+  rt::Thread t1([&] {
     gate.wait();
     try {
       leg1();
@@ -31,7 +32,7 @@ RunOutcome run_two_legs(Leg1 leg1, Leg2 leg2) {
       stalled = true;
     }
   });
-  std::thread t2([&] {
+  rt::Thread t2([&] {
     gate.wait();
     try {
       leg2();
@@ -139,7 +140,7 @@ RunOutcome run_log4j_race2(const RunOptions& options) {
     gate.wait();
     for (int i = 0; i < ops; ++i) hierarchy.count_event(true);
   };
-  std::thread a(worker), b(worker);
+  rt::Thread a(worker), b(worker);
   gate.open();
   a.join();
   b.join();

@@ -5,6 +5,7 @@
 
 #include "core/cbp.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 
 namespace cbp::apps::minidb {
@@ -83,14 +84,14 @@ RunOutcome run_log_omission(const RunOptions& options) {
   std::atomic<int> committed{0};
   rt::StartGate gate;
 
-  std::thread writer([&] {
+  rt::Thread writer([&] {
     gate.wait();
     for (int i = 0; i < commits; ++i) {
       committed.fetch_add(1);  // the transaction itself always commits
       (void)binlog.write_event(i, options.breakpoints);
     }
   });
-  std::thread rotator([&] {
+  rt::Thread rotator([&] {
     gate.wait();
     binlog.rotate(options.breakpoints);
   });
@@ -134,11 +135,11 @@ RunOutcome run_log_disorder(const RunOptions& options) {
     }
     (void)binlog.write_event(seq, /*armed=*/false);
   };
-  std::thread t1([&] {
+  rt::Thread t1([&] {
     transaction(/*binlog_append_goes_first=*/false,
                 std::chrono::microseconds(0));
   });
-  std::thread t2([&] {
+  rt::Thread t2([&] {
     // Staggered so t1 reliably commits to storage first...
     transaction(/*binlog_append_goes_first=*/true,
                 std::chrono::microseconds(200));
@@ -169,7 +170,7 @@ RunOutcome run_crash(const RunOptions& options) {
   std::string crash;
   rt::StartGate gate;
 
-  std::thread query([&] {
+  rt::Thread query([&] {
     gate.wait();
     try {
       // bp1: align query start with the connection teardown.
@@ -191,7 +192,7 @@ RunOutcome run_crash(const RunOptions& options) {
       crash = e.what();
     }
   });
-  std::thread closer([&] {
+  rt::Thread closer([&] {
     gate.wait();
     ConflictTrigger bp1(kCrashBp1, &thd_valid);
     bp1.trigger_here(/*is_first_action=*/true);
@@ -248,9 +249,9 @@ RunOutcome run_group_commit_race(const RunOptions& options) {
     pending.write(0);
   };
 
-  std::thread c1(committer, 0);
-  std::thread c2(committer, 1);
-  std::thread flush_thread(leader);
+  rt::Thread c1(committer, 0);
+  rt::Thread c2(committer, 1);
+  rt::Thread flush_thread(leader);
   gate.open();
   c1.join();
   c2.join();

@@ -5,6 +5,7 @@
 
 #include "core/cbp.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 
 namespace cbp::apps::pool {
@@ -64,7 +65,7 @@ RunOutcome run_missed_notify1(const RunOptions& options) {
   ObjectPool object_pool(0);  // empty: the borrower must wait
   std::atomic<bool> stalled{false};
   rt::StartGate gate;
-  std::thread borrower([&] {
+  rt::Thread borrower([&] {
     gate.wait();
     try {
       (void)object_pool.borrow(options.stall_after, options.breakpoints);
@@ -72,7 +73,7 @@ RunOutcome run_missed_notify1(const RunOptions& options) {
       stalled = true;
     }
   });
-  std::thread returner([&] {
+  rt::Thread returner([&] {
     gate.wait();
     object_pool.return_object(options.breakpoints);
   });

@@ -5,6 +5,7 @@
 
 #include "core/cbp.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 
 namespace cbp::apps::strbuf {
@@ -72,7 +73,7 @@ RunOutcome run_atomicity1(const RunOptions& options) {
   std::string error;
   rt::StartGate gate;
 
-  std::thread appender([&] {
+  rt::Thread appender([&] {
     gate.wait();
     try {
       for (int i = 0; i < rounds; ++i) accumulator.append(shared);
@@ -80,7 +81,7 @@ RunOutcome run_atomicity1(const RunOptions& options) {
       error = e.what();
     }
   });
-  std::thread truncator([&] {
+  rt::Thread truncator([&] {
     gate.wait();
     // A little real work before the truncation, as in the library's
     // normal use; the breakpoint is what creates the overlap.

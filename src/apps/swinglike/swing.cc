@@ -5,6 +5,7 @@
 
 #include "core/cbp.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 #include "runtime/rng.h"
 
@@ -71,7 +72,7 @@ RunOutcome run_deadlock1(const SwingOptions& options) {
   rt::StartGate gate;
 
   rt::Rng component_rng = rng.split();
-  std::thread component([&] {
+  rt::Thread component([&] {
     gate.wait();
     try {
       // Many caret-free contexts first: without the refinement each of
@@ -91,7 +92,7 @@ RunOutcome run_deadlock1(const SwingOptions& options) {
   });
 
   rt::Rng edt_rng = rng.split();
-  std::thread event_dispatch([&] {
+  rt::Thread event_dispatch([&] {
     gate.wait();
     try {
       jitter_sleep(edt_rng, kJitterOver100ms);

@@ -5,6 +5,7 @@
 
 #include "core/cbp.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 
 namespace cbp::apps::textindex {
@@ -41,7 +42,7 @@ RunOutcome run_deadlock1(const RunOptions& options) {
   index.arm_deadlock(true);
   std::atomic<bool> stalled{false};
   rt::StartGate gate;
-  std::thread closer([&] {
+  rt::Thread closer([&] {
     gate.wait();
     try {
       index.writer_close(options.stall_after);
@@ -49,7 +50,7 @@ RunOutcome run_deadlock1(const RunOptions& options) {
       stalled = true;
     }
   });
-  std::thread refresher([&] {
+  rt::Thread refresher([&] {
     gate.wait();
     try {
       index.maybe_refresh(options.stall_after);

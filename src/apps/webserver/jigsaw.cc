@@ -5,6 +5,7 @@
 
 #include "core/cbp.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 
 namespace cbp::apps::webserver {
@@ -159,7 +160,7 @@ RunOutcome run_two_legs(Leg1 leg1, Leg2 leg2) {
   rt::Stopwatch clock;
   std::atomic<bool> stalled{false};
   rt::StartGate gate;
-  std::thread t1([&] {
+  rt::Thread t1([&] {
     gate.wait();
     try {
       leg1();
@@ -167,7 +168,7 @@ RunOutcome run_two_legs(Leg1 leg1, Leg2 leg2) {
       stalled = true;
     }
   });
-  std::thread t2([&] {
+  rt::Thread t2([&] {
     gate.wait();
     try {
       leg2();
@@ -212,7 +213,7 @@ RunOutcome run_missed_notify1(const RunOptions& options) {
   DroppableEvent shutdown_event;
   std::atomic<bool> stalled{false};
   rt::StartGate gate;
-  std::thread waiter([&] {
+  rt::Thread waiter([&] {
     gate.wait();
     try {
       shutdown_event.wait(options.stall_after, options.breakpoints);
@@ -220,7 +221,7 @@ RunOutcome run_missed_notify1(const RunOptions& options) {
       stalled = true;
     }
   });
-  std::thread notifier([&] {
+  rt::Thread notifier([&] {
     gate.wait();
     shutdown_event.notify(options.breakpoints);
   });
@@ -243,7 +244,7 @@ RunOutcome run_race1(const RunOptions& options) {
   factory.arm("race1");
   std::atomic<bool> stalled{false};
   rt::StartGate gate;
-  std::thread worker([&] {
+  rt::Thread worker([&] {
     gate.wait();
     try {
       factory.worker_idle(options.stall_after);
@@ -251,7 +252,7 @@ RunOutcome run_race1(const RunOptions& options) {
       stalled = true;
     }
   });
-  std::thread shutdown([&] {
+  rt::Thread shutdown([&] {
     gate.wait();
     factory.begin_shutdown();
   });
@@ -276,7 +277,7 @@ RunOutcome run_server_stress(const RunOptions& options, int clients) {
   rt::StartGate gate;
 
   const int requests = std::max(2, static_cast<int>(6 * options.work_scale));
-  std::vector<std::thread> client_threads;
+  std::vector<rt::Thread> client_threads;
   client_threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     client_threads.emplace_back([&] {
@@ -292,7 +293,7 @@ RunOutcome run_server_stress(const RunOptions& options, int clients) {
       }
     });
   }
-  std::thread admin([&] {
+  rt::Thread admin([&] {
     gate.wait();
     try {
       // The administrative command arrives mid-run, while clients are
@@ -326,7 +327,7 @@ RunOutcome run_race2(const RunOptions& options) {
     gate.wait();
     for (int i = 0; i < ops; ++i) factory.count_request();
   };
-  std::thread a(client), b(client);
+  rt::Thread a(client), b(client);
   gate.open();
   a.join();
   b.join();

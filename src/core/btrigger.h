@@ -78,7 +78,9 @@ class BTrigger {
 
   // The cached interned-name record may be copied along with the name:
   // records are immortal (see core/engine.h), so the pointer is always
-  // valid for an equal name.
+  // dereferenceable, and the engine re-validates it against its own tag
+  // on every trigger — a record cached under one engine is re-resolved
+  // when the trigger next runs under another.
   BTrigger(const BTrigger& other)
       : name_(other.name_),
         ignore_first_(other.ignore_first_),
@@ -170,7 +172,10 @@ class BTrigger {
 
   /// Interned-name record, resolved by the engine on first trigger and
   /// cached so later triggers skip the name lookup entirely.  Atomic so
-  /// a trigger object shared between threads stays race-free.
+  /// a trigger object shared between threads stays race-free.  The
+  /// record carries its owning engine's tag; Engine::record_for treats
+  /// a tag mismatch as a cache miss, so the cache follows the trigger
+  /// between engines (multi-engine trials) without ever dangling.
   mutable std::atomic<const internal::NameRecord*> record_{nullptr};
 };
 

@@ -54,7 +54,7 @@ void OrderingGuard::release() {
 
 bool BTrigger::trigger_here(bool is_first_action,
                             std::chrono::milliseconds timeout) {
-  return Engine::instance()
+  return Engine::current()
       .trigger(*this, is_first_action ? 0 : 1, 2,
                std::chrono::duration_cast<std::chrono::microseconds>(timeout),
                /*scoped=*/false)
@@ -62,7 +62,7 @@ bool BTrigger::trigger_here(bool is_first_action,
 }
 
 bool BTrigger::trigger_here(bool is_first_action) {
-  return Engine::instance()
+  return Engine::current()
       .trigger(*this, is_first_action ? 0 : 1, 2, Config::default_timeout(),
                /*scoped=*/false)
       .hit;
@@ -70,21 +70,21 @@ bool BTrigger::trigger_here(bool is_first_action) {
 
 TriggerResult BTrigger::trigger_here_scoped(bool is_first_action,
                                             std::chrono::milliseconds timeout) {
-  return Engine::instance().trigger(
+  return Engine::current().trigger(
       *this, is_first_action ? 0 : 1, 2,
       std::chrono::duration_cast<std::chrono::microseconds>(timeout),
       /*scoped=*/true);
 }
 
 TriggerResult BTrigger::trigger_here_scoped(bool is_first_action) {
-  return Engine::instance().trigger(*this, is_first_action ? 0 : 1, 2,
+  return Engine::current().trigger(*this, is_first_action ? 0 : 1, 2,
                                     Config::default_timeout(),
                                     /*scoped=*/true);
 }
 
 bool BTrigger::trigger_here_ranked(int rank, int arity,
                                    std::chrono::milliseconds timeout) {
-  return Engine::instance()
+  return Engine::current()
       .trigger(*this, rank, arity,
                std::chrono::duration_cast<std::chrono::microseconds>(timeout),
                /*scoped=*/false)
@@ -93,7 +93,7 @@ bool BTrigger::trigger_here_ranked(int rank, int arity,
 
 TriggerResult BTrigger::trigger_here_ranked_scoped(
     int rank, int arity, std::chrono::milliseconds timeout) {
-  return Engine::instance().trigger(
+  return Engine::current().trigger(
       *this, rank, arity,
       std::chrono::duration_cast<std::chrono::microseconds>(timeout),
       /*scoped=*/true);
@@ -104,8 +104,8 @@ TriggerResult BTrigger::trigger_here_ranked_scoped(
 // ---------------------------------------------------------------------------
 
 Engine& Engine::instance() {
-  static Engine engine;
-  return engine;
+  static Engine* engine = new Engine();  // immortal: never destroyed
+  return *engine;
 }
 
 namespace {
@@ -114,7 +114,45 @@ std::size_t name_hash(std::string_view name) {
   return std::hash<std::string_view>{}(name);
 }
 
+/// Engine tags: process-unique, never reused, never zero (a zero
+/// engine_tag in a NameRecord would match no engine).
+std::atomic<std::uint64_t> g_next_engine_tag{1};
+
+/// Name ids: one global counter across all engines, so an id appearing
+/// in the obs trace names exactly one (engine, name) pair even when
+/// parallel trial workers intern the same breakpoint names.
+std::atomic<std::uint32_t> g_next_name_id{0};
+
+/// Graveyard of records whose engine died.  Records must be immortal —
+/// BTriggers cache raw pointers and validate them by reading
+/// record->engine_tag, which must stay dereferenceable forever.  A
+/// dead engine's tag is never reused, so a graveyard record can fail
+/// the validation but never pass it.
+std::mutex g_graveyard_mu;
+std::vector<std::unique_ptr<internal::NameRecord>>& graveyard() {
+  static auto* g = new std::vector<std::unique_ptr<internal::NameRecord>>();
+  return *g;
+}
+
 }  // namespace
+
+Engine::Engine()
+    : tag_(g_next_engine_tag.fetch_add(1, std::memory_order_relaxed)) {}
+
+Engine::~Engine() {
+  // Contract: no thread is inside trigger() on this engine (callers join
+  // their trial threads first), but BTriggers that outlive the engine
+  // may still hold cached record pointers — retire the records instead
+  // of freeing them.  Their spec pointers are nulled because the spec
+  // generations they point into die with the engine.
+  cancel_all();
+  std::scoped_lock lock(intern_mu_, g_graveyard_mu);
+  for (auto& record : records_) {
+    record->spec.store(nullptr, std::memory_order_relaxed);
+    graveyard().push_back(std::move(record));
+  }
+  records_.clear();
+}
 
 const internal::NameRecord* Engine::find_interned(std::string_view name,
                                                   std::size_t hash) const {
@@ -149,7 +187,8 @@ const internal::NameRecord* Engine::intern(const std::string& name) {
   internal::NameRecord* record = owned.get();
   record->name = name;
   record->hash = hash;
-  record->id = static_cast<std::uint32_t>(records_.size());
+  record->id = g_next_name_id.fetch_add(1, std::memory_order_relaxed);
+  record->engine_tag = tag_;
   // No spec fix-up needed here: set_spec() interns every spec'd name
   // eagerly, so a name first interned by a trigger cannot have a
   // pending override.
@@ -175,13 +214,29 @@ const internal::NameRecord* Engine::intern(const std::string& name) {
 }
 
 const internal::NameRecord* Engine::record_for(BTrigger& bt) {
+  // The cached pointer may belong to another engine (a trigger object
+  // reused across trials, or shared between concurrently-running
+  // engines): validate it against this engine's tag.  Records are
+  // immortal process-wide and tags are never reused, so the check is a
+  // safe dereference and a stale record can only ever *fail* it.  On
+  // mismatch we intern here and re-cache; a trigger ping-ponged between
+  // two live engines just re-resolves each time, still returning the
+  // record of the engine actually running the call.
   const internal::NameRecord* record =
       bt.record_.load(std::memory_order_acquire);
-  if (record == nullptr) {
+  if (record == nullptr || record->engine_tag != tag_) {
     record = intern(bt.name());
     bt.record_.store(record, std::memory_order_release);
   }
   return record;
+}
+
+std::vector<std::uint32_t> Engine::interned_ids() const {
+  std::vector<std::uint32_t> ids;
+  for (const internal::NameRecord* record : records_snapshot()) {
+    ids.push_back(record->id);
+  }
+  return ids;
 }
 
 std::vector<const internal::NameRecord*> Engine::records_snapshot() const {
@@ -314,10 +369,10 @@ bool Engine::try_match(internal::Slot& slot, BTrigger& bt, int rank, int arity,
   return true;
 }
 
-void Engine::await_turn(internal::GroupState& group, int rank, bool scoped) {
-  const auto order_delay = rt::TimeScale::apply(Config::order_delay());
-  const auto cap_deadline =
-      rt::Clock::now() + rt::TimeScale::apply(Config::guard_wait_cap());
+void Engine::await_turn(internal::GroupState& group, int rank,
+                        bool scoped) const {
+  const auto order_delay = scaled(Config::order_delay());
+  const auto cap_deadline = rt::Clock::now() + scaled(Config::guard_wait_cap());
 
   std::unique_lock lock(group.mu);
   // uses_guard was fixed by try_match before the group was published, so
@@ -426,9 +481,9 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
       slot->stats.postponed += 1;
       CBP_OBS_EVENT(obs::EventKind::kPostpone, record->id, rank);
 
-      const auto scaled = rt::TimeScale::apply(timeout);
+      const auto scaled_timeout = scaled(timeout);
       rt::Stopwatch wait_clock;
-      slot->cv.wait_for(lock, scaled,
+      slot->cv.wait_for(lock, scaled_timeout,
                         [&] { return waiter.matched || waiter.cancelled; });
       const std::int64_t wait_us = wait_clock.elapsed_us();
       slot->stats.total_wait_us += wait_us;

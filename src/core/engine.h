@@ -36,6 +36,7 @@
 #include "core/stats.h"
 #include "obs/event.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/thread_registry.h"
 
 namespace cbp {
@@ -98,12 +99,18 @@ struct Slot {
 
 /// An interned breakpoint name.  Created once on first use and never
 /// destroyed or moved for the life of the process, so raw pointers to it
-/// may be cached freely (BTrigger does).  `spec` points into the
-/// currently installed spec map (kept alive by the engine) or is null.
+/// may be cached freely (BTrigger does): records of a destroyed engine
+/// are donated to an immortal graveyard rather than freed.  `spec`
+/// points into the currently installed spec map (kept alive by the
+/// owning engine) or is null.  `engine_tag` identifies the owning engine
+/// (process-unique, never reused); BTrigger's cached pointer is
+/// validated against it so a record cached under engine A is never used
+/// by a trigger running under engine B.
 struct NameRecord {
   std::string name;
   std::size_t hash = 0;       ///< cached std::hash<string_view>(name)
-  std::uint32_t id = 0;       ///< dense intern index (registration order)
+  std::uint32_t id = 0;       ///< process-unique intern id (see next_name_id)
+  std::uint64_t engine_tag = 0;  ///< owning engine's tag (immutable)
   std::atomic<const SpecOverride*> spec{nullptr};
   std::unique_ptr<Slot> slot = std::make_unique<Slot>();
 };
@@ -119,10 +126,39 @@ struct HitInfo {
   std::vector<rt::ThreadId> threads;  ///< indexed by rank
 };
 
-/// Process-wide breakpoint engine.  All public methods are thread-safe.
+/// Breakpoint engine.  All public methods are thread-safe.
+///
+/// Engines are first-class objects: the process-wide default is
+/// `instance()`, and harness workers may own private engines so many
+/// trials run concurrently with fully isolated intern tables, slots,
+/// stats, specs and observers.  Trigger calls route through `current()`:
+/// the engine bound to the calling thread (via ScopedEngine /
+/// rt::ScopedContext, inherited by rt::Thread children), falling back to
+/// the default instance.  A private engine must outlive every thread
+/// that triggers under it (join all trial threads before destroying it
+/// — the same contract reset() already has); its interned records then
+/// retire to an immortal graveyard so raw pointers cached by BTriggers
+/// never dangle.
 class Engine {
  public:
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The process-wide default engine (never destroyed).
   static Engine& instance();
+
+  /// The engine bound to the calling thread, or instance() if none.
+  static Engine& current() {
+    if (void* bound = rt::bound_context()) {
+      return *static_cast<Engine*>(bound);
+    }
+    return instance();
+  }
+
+  /// Process-unique identity of this engine (never reused).
+  [[nodiscard]] std::uint64_t tag() const { return tag_; }
 
   /// Core entry point used by BTrigger::trigger_here*.
   /// `timeout` is nominal; rt::TimeScale is applied internally.
@@ -130,8 +166,15 @@ class Engine {
                         std::chrono::microseconds timeout, bool scoped);
 
   /// Interns `name`, creating its record on first use.  The returned
-  /// pointer is stable for the process lifetime (it survives reset()).
+  /// pointer is stable for the process lifetime (it survives reset()
+  /// and even this engine's destruction — see the graveyard note).
   const internal::NameRecord* intern(const std::string& name);
+
+  /// Process-unique ids of every name interned by this engine (in
+  /// registration order).  Lets a collector attribute obs trace events
+  /// to one engine: ids are allocated from a global counter, so two
+  /// engines never share an id even for equal names.
+  [[nodiscard]] std::vector<std::uint32_t> interned_ids() const;
 
   /// Snapshot of the counters for one breakpoint name.
   [[nodiscard]] BreakpointStats stats(const std::string& name) const;
@@ -167,10 +210,31 @@ class Engine {
   /// Normally called through BreakpointSpec::install().
   void set_spec(std::unordered_map<std::string, SpecOverride> spec);
 
- private:
-  Engine() = default;
+  /// Per-engine override of the global rt::TimeScale, applied to every
+  /// nominal wait this engine performs (postponement timeout, order
+  /// delay, guard cap).  <= 0 (the default) means "follow the global
+  /// scale"; a positive value pins this engine regardless of concurrent
+  /// TimeScale::set calls from other workers' trials.
+  void set_time_scale(double scale) {
+    time_scale_.store(scale, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double time_scale() const {
+    return time_scale_.load(std::memory_order_relaxed);
+  }
 
+ private:
   using SpecMap = std::unordered_map<std::string, SpecOverride>;
+
+  /// Applies this engine's time scale (or the global one) to a nominal
+  /// duration.
+  [[nodiscard]] rt::Duration scaled(rt::Duration nominal) const {
+    const double s = time_scale_.load(std::memory_order_relaxed);
+    if (s <= 0.0) return rt::TimeScale::apply(nominal);
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(nominal).count();
+    return std::chrono::nanoseconds(
+        static_cast<std::int64_t>(static_cast<double>(ns) * s));
+  }
 
   /// Lock-free find in the open-addressing intern table; null on miss.
   const internal::NameRecord* find_interned(std::string_view name,
@@ -193,8 +257,9 @@ class Engine {
                  int& out_rank, HitInfo& info);
 
   /// Rank-order release protocol; returns after this thread is allowed to
-  /// proceed.  Called with no locks held.
-  static void await_turn(internal::GroupState& group, int rank, bool scoped);
+  /// proceed.  Called with no locks held.  Member (not static) so the
+  /// waits honour this engine's time scale.
+  void await_turn(internal::GroupState& group, int rank, bool scoped) const;
 
   // ---- interned name table -------------------------------------------
   // Append-only open addressing: readers probe with plain acquire loads
@@ -221,6 +286,20 @@ class Engine {
   mutable std::mutex observer_mu_;
   std::function<void(const HitInfo&)> observer_;
   bool verbose_ = false;  // guarded by observer_mu_
+
+  const std::uint64_t tag_;          ///< process-unique, assigned at birth
+  std::atomic<double> time_scale_{0.0};  ///< <= 0: follow rt::TimeScale
+};
+
+/// RAII binding of an engine to the calling thread: trigger calls made
+/// by this thread — and by rt::Thread children spawned while the
+/// binding is live — route to `engine` instead of Engine::instance().
+class ScopedEngine {
+ public:
+  explicit ScopedEngine(Engine& engine) : scope_(&engine) {}
+
+ private:
+  rt::ScopedContext scope_;
 };
 
 }  // namespace cbp

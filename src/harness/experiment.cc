@@ -1,58 +1,190 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <thread>
 
 #include "core/cbp.h"
 #include "runtime/clock.h"
+#include "runtime/thread_registry.h"
 
 namespace cbp::harness {
+
+ProbabilityInterval wilson_interval(int successes, int trials, double z) {
+  if (trials <= 0) return {0.0, 1.0};
+  const double n = trials;
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+namespace {
+
+/// Shared accounting: folds the per-trial verdicts into the aggregate
+/// counters (same arithmetic for the serial and parallel paths).
+void finalize(RepeatedResult& result) {
+  double total_runtime = 0.0;
+  for (const TrialOutcome& trial : result.trials) {
+    if (trial.buggy) ++result.buggy_runs;
+    if (trial.hit) ++result.hit_runs;
+    total_runtime += trial.runtime_seconds;
+  }
+  result.mean_runtime_s =
+      result.runs == 0 ? 0.0 : total_runtime / result.runs;
+}
+
+/// One trial against `engine`: fresh reset, deterministic seed, verdict.
+TrialOutcome run_one_trial(Engine& engine, const Runner& runner,
+                           apps::RunOptions& options, std::uint64_t seed) {
+  engine.reset();  // each trial models a fresh process
+  options.seed = seed;
+  const apps::RunOutcome outcome = runner(options);
+  TrialOutcome trial;
+  trial.seed = seed;
+  trial.buggy = outcome.buggy();
+  trial.hit = engine.total_stats().hits > 0;
+  trial.runtime_seconds = outcome.runtime_seconds;
+  return trial;
+}
+
+}  // namespace
 
 RepeatedResult run_repeated(const Runner& runner, apps::RunOptions options,
                             int runs) {
   RepeatedResult result;
   result.runs = runs;
-  double total_runtime = 0.0;
-  auto& engine = Engine::instance();
+  result.trials.resize(static_cast<std::size_t>(std::max(0, runs)));
+  Engine& engine = Engine::current();
+  const std::uint64_t base = options.seed;
+  rt::Stopwatch wall;
   for (int i = 0; i < runs; ++i) {
-    engine.reset();  // each run models a fresh process
-    options.seed = static_cast<std::uint64_t>(i + 1);
-    const apps::RunOutcome outcome = runner(options);
-    if (outcome.buggy()) ++result.buggy_runs;
-    if (engine.total_stats().hits > 0) ++result.hit_runs;
-    total_runtime += outcome.runtime_seconds;
+    result.trials[static_cast<std::size_t>(i)] =
+        run_one_trial(engine, runner, options,
+                      base + static_cast<std::uint64_t>(i));
   }
   engine.reset();
-  result.mean_runtime_s = runs == 0 ? 0.0 : total_runtime / runs;
+  result.wall_clock_s = wall.elapsed_seconds();
+  finalize(result);
+  return result;
+}
+
+RepeatedResult run_repeated_parallel(const Runner& runner,
+                                     apps::RunOptions options, int runs,
+                                     int jobs) {
+  jobs = std::min(jobs, runs);
+  if (jobs <= 1) return run_repeated(runner, options, runs);
+
+  RepeatedResult result;
+  result.runs = runs;
+  result.trials.resize(static_cast<std::size_t>(runs));
+  const std::uint64_t base = options.seed;
+  std::atomic<int> next_trial{0};
+  rt::ParallelRegion region;  // pin the thread-id epoch for the duration
+  rt::Stopwatch wall;
+
+  // Workers are plain std::threads (no context inheritance wanted here:
+  // each binds its own private engine).  Trial index -> seed is fixed
+  // before any worker starts, so which worker claims a trial changes
+  // nothing about the trial itself.  trials[] slots are written by
+  // exactly one worker and read only after the join barrier.
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    workers.emplace_back([&, options]() mutable {
+      Engine engine;
+      ScopedEngine bind(engine);
+      for (int i = next_trial.fetch_add(1, std::memory_order_relaxed);
+           i < runs; i = next_trial.fetch_add(1, std::memory_order_relaxed)) {
+        result.trials[static_cast<std::size_t>(i)] =
+            run_one_trial(engine, runner, options,
+                          base + static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  result.wall_clock_s = wall.elapsed_seconds();
+  finalize(result);
   return result;
 }
 
 OverheadResult measure_overhead(const Runner& runner,
-                                apps::RunOptions options, int runs) {
+                                apps::RunOptions options, int runs,
+                                int jobs) {
   OverheadResult result;
   apps::RunOptions normal = options;
   normal.breakpoints = false;
-  result.normal_s = run_repeated(runner, normal, runs).mean_runtime_s;
+  result.normal_s =
+      run_repeated_parallel(runner, normal, runs, jobs).mean_runtime_s;
   apps::RunOptions with_ctr = options;
   with_ctr.breakpoints = true;
-  result.with_ctr_s = run_repeated(runner, with_ctr, runs).mean_runtime_s;
+  result.with_ctr_s =
+      run_repeated_parallel(runner, with_ctr, runs, jobs).mean_runtime_s;
   return result;
 }
 
 MtteResult measure_mtte(const Runner& runner, apps::RunOptions options,
                         int errors_wanted, int max_iterations) {
   MtteResult result;
-  auto& engine = Engine::instance();
+  Engine& engine = Engine::current();
+  const std::uint64_t base = options.seed;
   rt::Stopwatch clock;
   for (int i = 0; i < max_iterations && result.errors < errors_wanted; ++i) {
     engine.reset();
-    options.seed = static_cast<std::uint64_t>(i + 1);
+    options.seed = base + static_cast<std::uint64_t>(i);
     const apps::RunOutcome outcome = runner(options);
     ++result.iterations;
     if (outcome.buggy()) ++result.errors;
   }
   engine.reset();
+  result.mtte_s =
+      result.errors == 0 ? 0.0 : clock.elapsed_seconds() / result.errors;
+  return result;
+}
+
+MtteResult measure_mtte_parallel(const Runner& runner,
+                                 apps::RunOptions options, int errors_wanted,
+                                 int max_iterations, int jobs) {
+  jobs = std::min(jobs, max_iterations);
+  if (jobs <= 1) {
+    return measure_mtte(runner, options, errors_wanted, max_iterations);
+  }
+
+  MtteResult result;
+  const std::uint64_t base = options.seed;
+  std::atomic<int> next_iteration{0};
+  std::atomic<int> errors{0};
+  std::atomic<int> iterations{0};
+  rt::ParallelRegion region;
+  rt::Stopwatch clock;
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    workers.emplace_back([&, options]() mutable {
+      Engine engine;
+      ScopedEngine bind(engine);
+      while (errors.load(std::memory_order_relaxed) < errors_wanted) {
+        const int i = next_iteration.fetch_add(1, std::memory_order_relaxed);
+        if (i >= max_iterations) break;
+        engine.reset();
+        options.seed = base + static_cast<std::uint64_t>(i);
+        const apps::RunOutcome outcome = runner(options);
+        iterations.fetch_add(1, std::memory_order_relaxed);
+        if (outcome.buggy()) errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  result.errors = std::min(errors.load(), errors_wanted);
+  result.iterations = iterations.load();
   result.mtte_s =
       result.errors == 0 ? 0.0 : clock.elapsed_seconds() / result.errors;
   return result;

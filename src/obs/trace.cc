@@ -150,6 +150,18 @@ TraceSnapshot Trace::collect() {
   return snapshot;
 }
 
+TraceSnapshot Trace::collect_for(const std::vector<std::uint32_t>& name_ids) {
+  TraceSnapshot snapshot = collect();
+  // dropped is a ring-level count: overwritten slots can't be attributed
+  // to an engine, so the per-engine view keeps the global number as an
+  // upper bound on what it may be missing.
+  std::erase_if(snapshot.events, [&](const Event& e) {
+    return std::find(name_ids.begin(), name_ids.end(), e.name_id) ==
+           name_ids.end();
+  });
+  return snapshot;
+}
+
 void Trace::clear() {
   // The writer owns each ring's head, so clearing never touches it;
   // instead every ring's collection floor advances to its current head

@@ -156,6 +156,14 @@ class Trace {
   /// Merged, time-sorted snapshot of all rings.
   static TraceSnapshot collect();
 
+  /// Like collect(), but keeps only events whose name id is in
+  /// `name_ids` — the per-engine view.  Name ids are process-unique
+  /// (engines allocate them from one global counter), so passing
+  /// Engine::interned_ids() yields exactly that engine's events even
+  /// while parallel trial workers write into the same per-thread rings.
+  /// Hub events (kNoName) are engine-less and always excluded here.
+  static TraceSnapshot collect_for(const std::vector<std::uint32_t>& name_ids);
+
   /// Forgets all recorded events and name registrations.  Only safe when
   /// no thread is concurrently recording (harness boundaries, tests).
   static void clear();

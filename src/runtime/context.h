@@ -1,0 +1,85 @@
+// Thread-bound execution context, inheritable across thread creation.
+//
+// The trigger engine became instantiable (core/engine.h): a harness
+// worker can own a private Engine and run one trial against it while
+// other workers run trials against theirs.  The binding "this thread's
+// triggers go to engine E" is a thread-local pointer — but the replicas
+// under test spawn their own worker threads with plain std::thread,
+// which does not propagate thread-locals.  rt::Thread is a drop-in
+// std::thread replacement that captures the creator's bound context and
+// installs it in the child before the body runs, so an entire trial's
+// thread tree shares one engine without the replica code knowing
+// engines exist.
+//
+// The context is an opaque void* at this layer (runtime sits below
+// core); core/engine.h owns the only cast.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <utility>
+
+namespace cbp::rt {
+
+namespace internal {
+inline thread_local void* t_bound_context = nullptr;
+}  // namespace internal
+
+/// Context bound to the calling thread (null = none; users fall back to
+/// their process-wide default).
+inline void* bound_context() noexcept { return internal::t_bound_context; }
+
+/// Binds `context` to the calling thread.  Prefer ScopedContext.
+inline void bind_context(void* context) noexcept {
+  internal::t_bound_context = context;
+}
+
+/// RAII binding: installs `context` for the calling thread and restores
+/// the previous binding on destruction.
+class ScopedContext {
+ public:
+  explicit ScopedContext(void* context) : previous_(bound_context()) {
+    bind_context(context);
+  }
+  ~ScopedContext() { bind_context(previous_); }
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  void* previous_;
+};
+
+/// std::thread drop-in whose body runs under the creator's bound
+/// context.  Replicas spawn their internal threads through this so a
+/// trial bound to a private engine stays on that engine throughout.
+class Thread {
+ public:
+  Thread() noexcept = default;
+
+  template <class F, class... Args>
+  explicit Thread(F&& f, Args&&... args)
+      : impl_([context = bound_context(),
+               fn = std::bind_front(std::forward<F>(f),
+                                    std::forward<Args>(args)...)]() mutable {
+          ScopedContext scope(context);
+          std::move(fn)();
+        }) {}
+
+  Thread(Thread&&) noexcept = default;
+  Thread& operator=(Thread&&) = default;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  void join() { impl_.join(); }
+  void detach() { impl_.detach(); }
+  [[nodiscard]] bool joinable() const noexcept { return impl_.joinable(); }
+  [[nodiscard]] std::thread::id get_id() const noexcept {
+    return impl_.get_id();
+  }
+  void swap(Thread& other) noexcept { impl_.swap(other.impl_); }
+
+ private:
+  std::thread impl_;
+};
+
+}  // namespace cbp::rt

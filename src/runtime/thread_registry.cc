@@ -60,11 +60,29 @@ std::string thread_name(ThreadId id) {
 
 ThreadId thread_count() { return g_next_id.load(std::memory_order_relaxed); }
 
-void reset_thread_epoch() {
+namespace {
+std::atomic<int> g_parallel_regions{0};
+}  // namespace
+
+bool reset_thread_epoch() {
+  if (g_parallel_regions.load(std::memory_order_acquire) > 0) return false;
   std::scoped_lock lock(g_names_mu);
   g_names.clear();
   g_next_id.store(0, std::memory_order_relaxed);
   g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  return true;
+}
+
+ParallelRegion::ParallelRegion() {
+  g_parallel_regions.fetch_add(1, std::memory_order_acq_rel);
+}
+
+ParallelRegion::~ParallelRegion() {
+  g_parallel_regions.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+bool ParallelRegion::active() {
+  return g_parallel_regions.load(std::memory_order_acquire) > 0;
 }
 
 }  // namespace cbp::rt

@@ -29,7 +29,25 @@ std::string thread_name(ThreadId id);
 ThreadId thread_count();
 
 /// Restarts id numbering.  Only safe between experiments, when no worker
-/// thread that received an id in the old epoch is still running.
-void reset_thread_epoch();
+/// thread that received an id in the old epoch is still running.  While
+/// a ParallelRegion is active the call is a no-op (returns false): other
+/// workers' trials are mid-flight and an epoch bump would let two live
+/// threads share one id, cross-talking every id-keyed structure (slot
+/// waiter sets, vector clocks, trace attribution).
+bool reset_thread_epoch();
+
+/// Marks a parallel experiment region (harness worker pools).  Ids keep
+/// monotonically increasing across trials inside a region; only the
+/// region's end makes epoch resets legal again.
+class ParallelRegion {
+ public:
+  ParallelRegion();
+  ~ParallelRegion();
+  ParallelRegion(const ParallelRegion&) = delete;
+  ParallelRegion& operator=(const ParallelRegion&) = delete;
+
+  /// True while any ParallelRegion object is alive (any thread).
+  static bool active();
+};
 
 }  // namespace cbp::rt

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -66,6 +68,124 @@ TEST_F(HarnessTest, RunRepeatedVariesSeeds) {
   EXPECT_EQ(seeds, (std::vector<std::uint64_t>{1, 2, 3}));
 }
 
+TEST_F(HarnessTest, RunRepeatedRespectsSeedBase) {
+  // Regression: run_repeated used to clobber the caller's seed with
+  // i + 1; trial i must run with seed base + i.
+  std::vector<std::uint64_t> seeds;
+  auto runner = [&](const apps::RunOptions& options) {
+    seeds.push_back(options.seed);
+    return apps::RunOutcome{};
+  };
+  apps::RunOptions options;
+  options.seed = 100;
+  (void)run_repeated(runner, options, 3);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{100, 101, 102}));
+
+  // Two different bases must produce two different trial streams.
+  std::vector<std::uint64_t> other;
+  auto other_runner = [&](const apps::RunOptions& o) {
+    other.push_back(o.seed);
+    return apps::RunOutcome{};
+  };
+  options.seed = 500;
+  (void)run_repeated(other_runner, options, 3);
+  EXPECT_EQ(other, (std::vector<std::uint64_t>{500, 501, 502}));
+  EXPECT_NE(seeds, other);
+}
+
+TEST_F(HarnessTest, MeasureMtteRespectsSeedBase) {
+  std::vector<std::uint64_t> seeds;
+  auto runner = [&](const apps::RunOptions& options) {
+    seeds.push_back(options.seed);
+    apps::RunOutcome outcome;
+    outcome.artifact = rt::Artifact::kCrash;
+    return outcome;
+  };
+  apps::RunOptions options;
+  options.seed = 40;
+  (void)measure_mtte(runner, options, /*errors_wanted=*/3);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{40, 41, 42}));
+}
+
+TEST_F(HarnessTest, RunRepeatedParallelCoversAllSeedsOnce) {
+  std::mutex mu;
+  std::vector<std::uint64_t> seeds;
+  auto runner = [&](const apps::RunOptions& options) {
+    std::lock_guard<std::mutex> lock(mu);
+    seeds.push_back(options.seed);
+    return apps::RunOutcome{};
+  };
+  apps::RunOptions options;
+  options.seed = 10;
+  const auto result = run_repeated_parallel(runner, options, 8, /*jobs=*/4);
+  EXPECT_EQ(result.runs, 8);
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{10, 11, 12, 13, 14, 15, 16,
+                                               17}));
+  // trials[] is indexed by trial, not by completion order.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(result.trials[static_cast<std::size_t>(i)].seed,
+              10u + static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST_F(HarnessTest, RunRepeatedParallelMatchesSerialVerdicts) {
+  // Verdicts depend only on the seed, so the parallel schedule must
+  // reproduce the serial result exactly, trial by trial.
+  auto runner = [](const apps::RunOptions& options) {
+    apps::RunOutcome outcome;
+    if (options.seed % 3 == 0) outcome.artifact = rt::Artifact::kCrash;
+    outcome.runtime_seconds = 0.001;
+    return outcome;
+  };
+  apps::RunOptions options;
+  options.seed = 1;
+  const auto serial = run_repeated(runner, options, 9);
+  const auto parallel = run_repeated_parallel(runner, options, 9, /*jobs=*/3);
+  EXPECT_EQ(parallel.buggy_runs, serial.buggy_runs);
+  EXPECT_EQ(parallel.hit_runs, serial.hit_runs);
+  for (int i = 0; i < 9; ++i) {
+    const auto& s = serial.trials[static_cast<std::size_t>(i)];
+    const auto& p = parallel.trials[static_cast<std::size_t>(i)];
+    EXPECT_EQ(p.seed, s.seed);
+    EXPECT_EQ(p.buggy, s.buggy);
+  }
+}
+
+TEST_F(HarnessTest, RunRepeatedParallelFallsBackToSerial) {
+  std::vector<std::uint64_t> seeds;  // safe: jobs<=1 runs on this thread
+  auto runner = [&](const apps::RunOptions& options) {
+    seeds.push_back(options.seed);
+    return apps::RunOutcome{};
+  };
+  (void)run_repeated_parallel(runner, {}, 3, /*jobs=*/1);
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST_F(HarnessTest, RunRepeatedParallelIsolatesEngineHits) {
+  // Each parallel trial scores its hit on the worker's private engine;
+  // the default engine must stay untouched.
+  auto runner = [](const apps::RunOptions&) {
+    int obj = 0;
+    // rt::Thread children inherit the worker's engine binding; plain
+    // std::threads would race on the default engine instead.
+    rt::Thread a([&] {
+      ConflictTrigger t("parallel-bp", &obj);
+      (void)t.trigger_here(true, std::chrono::milliseconds(2000));
+    });
+    rt::Thread b([&] {
+      ConflictTrigger t("parallel-bp", &obj);
+      (void)t.trigger_here(false, std::chrono::milliseconds(2000));
+    });
+    a.join();
+    b.join();
+    return apps::RunOutcome{};
+  };
+  const auto result = run_repeated_parallel(runner, {}, 4, /*jobs=*/2);
+  EXPECT_EQ(result.hit_runs, 4);
+  EXPECT_EQ(Engine::instance().total_stats().hits, 0u);
+}
+
 TEST_F(HarnessTest, RunRepeatedResetsEngineBetweenRuns) {
   // A breakpoint hit in run i must not leak its statistics into run i+1
   // (each paper run is a fresh process).
@@ -122,6 +242,81 @@ TEST_F(HarnessTest, MeasureMtteRespectsIterationCap) {
   EXPECT_EQ(mtte.errors, 0);
   EXPECT_EQ(mtte.iterations, 4);
   EXPECT_DOUBLE_EQ(mtte.mtte_s, 0.0);
+}
+
+TEST_F(HarnessTest, MeasureMtteParallelStopsAtErrorBudget) {
+  // Every third seed is buggy, deterministically, so 3 workers reach the
+  // budget regardless of scheduling.
+  auto runner = [](const apps::RunOptions& options) {
+    apps::RunOutcome outcome;
+    if (options.seed % 3 == 0) outcome.artifact = rt::Artifact::kCrash;
+    return outcome;
+  };
+  apps::RunOptions options;
+  options.seed = 1;
+  const auto mtte = measure_mtte_parallel(runner, options,
+                                          /*errors_wanted=*/4,
+                                          /*max_iterations=*/1000,
+                                          /*jobs=*/3);
+  EXPECT_EQ(mtte.errors, 4);
+  EXPECT_GE(mtte.iterations, 4);
+  EXPECT_LT(mtte.iterations, 1000);
+  EXPECT_GT(mtte.mtte_s, 0.0);
+}
+
+TEST_F(HarnessTest, MeasureMtteParallelRespectsIterationCap) {
+  const auto mtte = measure_mtte_parallel(never_buggy, {}, /*errors_wanted=*/1,
+                                          /*max_iterations=*/8, /*jobs=*/4);
+  EXPECT_EQ(mtte.errors, 0);
+  EXPECT_EQ(mtte.iterations, 8);
+  EXPECT_DOUBLE_EQ(mtte.mtte_s, 0.0);
+}
+
+TEST_F(HarnessTest, WilsonIntervalBracketsTheProportion) {
+  const auto ci = wilson_interval(5, 10);
+  EXPECT_LT(ci.low, 0.5);
+  EXPECT_GT(ci.high, 0.5);
+  EXPECT_GT(ci.low, 0.0);
+  EXPECT_LT(ci.high, 1.0);
+
+  // Degenerate proportions stay inside [0, 1] (the normal approximation
+  // would not).
+  const auto all = wilson_interval(10, 10);
+  EXPECT_GT(all.low, 0.5);
+  EXPECT_DOUBLE_EQ(all.high, 1.0);
+  const auto none = wilson_interval(0, 10);
+  EXPECT_DOUBLE_EQ(none.low, 0.0);
+  EXPECT_LT(none.high, 0.5);
+
+  // No data: the interval is vacuous, not a crash.
+  const auto empty = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(empty.low, 0.0);
+  EXPECT_DOUBLE_EQ(empty.high, 1.0);
+}
+
+TEST_F(HarnessTest, WilsonIntervalNarrowsWithMoreTrials) {
+  const auto small = wilson_interval(5, 10);
+  const auto large = wilson_interval(500, 1000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST_F(HarnessTest, ProbabilityIntervalOverlaps) {
+  const ProbabilityInterval a{0.2, 0.5};
+  const ProbabilityInterval b{0.4, 0.8};
+  const ProbabilityInterval c{0.6, 0.9};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(b.overlaps(c));
+}
+
+TEST_F(HarnessTest, RepeatedResultExposesWilsonIntervals) {
+  const auto result = run_repeated(always_buggy, {}, 10);
+  const auto ci = result.bug_probability_ci();
+  EXPECT_GT(ci.low, 0.5);
+  EXPECT_DOUBLE_EQ(ci.high, 1.0);
+  const auto hit_ci = result.hit_probability_ci();
+  EXPECT_DOUBLE_EQ(hit_ci.low, 0.0);  // no breakpoints hit
 }
 
 TEST_F(HarnessTest, TextTableAlignsColumns) {

@@ -1,0 +1,289 @@
+// Multi-engine isolation: two live engines with the same breakpoint
+// name must not share hits, stats, specs, or observability events; the
+// thread-bound "current engine" must follow ScopedEngine / rt::Thread
+// inheritance; and cached BTrigger records must migrate safely between
+// engines (including a destroyed one).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "core/cbp.h"
+#include "obs/trace.h"
+#include "runtime/clock.h"
+#include "runtime/context.h"
+
+namespace cbp {
+namespace {
+
+using namespace std::chrono_literals;
+
+class MultiEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Engine::instance().reset();
+    Config::set_enabled(true);
+    rt::TimeScale::set(1.0);
+  }
+  void TearDown() override {
+    Engine::instance().reset();
+    rt::TimeScale::set(1.0);
+    obs::Trace::set_enabled(false);
+  }
+};
+
+/// Local predicate always fails: a call is counted (calls,
+/// local_rejects) but returns immediately — ideal for exercising the
+/// intern/caching machinery without any waiting.
+struct NeverLocal : BTrigger {
+  using BTrigger::BTrigger;
+  [[nodiscard]] bool predicate_local() const override { return false; }
+  [[nodiscard]] bool predicate_global(const BTrigger&) const override {
+    return false;
+  }
+};
+
+/// Postpones (local holds) but never matches (global fails).
+struct NeverGlobal : BTrigger {
+  using BTrigger::BTrigger;
+  [[nodiscard]] bool predicate_global(const BTrigger&) const override {
+    return false;
+  }
+};
+
+/// Produces one hit of breakpoint `name` on whatever engine is bound to
+/// the calling thread (children inherit it via rt::Thread).
+void hit_once(const std::string& name) {
+  int obj = 0;
+  rt::Thread a([&] {
+    ConflictTrigger t(name, &obj);
+    EXPECT_TRUE(t.trigger_here(true, 2000ms));
+  });
+  rt::Thread b([&] {
+    ConflictTrigger t(name, &obj);
+    EXPECT_TRUE(t.trigger_here(false, 2000ms));
+  });
+  a.join();
+  b.join();
+}
+
+TEST_F(MultiEngineTest, CurrentFallsBackToInstance) {
+  EXPECT_EQ(&Engine::current(), &Engine::instance());
+}
+
+TEST_F(MultiEngineTest, ScopedEngineBindsAndNests) {
+  Engine a;
+  Engine b;
+  {
+    ScopedEngine bind_a(a);
+    EXPECT_EQ(&Engine::current(), &a);
+    {
+      ScopedEngine bind_b(b);
+      EXPECT_EQ(&Engine::current(), &b);
+    }
+    EXPECT_EQ(&Engine::current(), &a);
+  }
+  EXPECT_EQ(&Engine::current(), &Engine::instance());
+}
+
+TEST_F(MultiEngineTest, EngineTagsAreUnique) {
+  Engine a;
+  Engine b;
+  EXPECT_NE(a.tag(), b.tag());
+  EXPECT_NE(a.tag(), Engine::instance().tag());
+  EXPECT_NE(a.tag(), 0u);
+}
+
+TEST_F(MultiEngineTest, RtThreadInheritsBinding) {
+  Engine a;
+  ScopedEngine bind(a);
+  Engine* seen_by_child = nullptr;
+  Engine* seen_by_grandchild = nullptr;
+  rt::Thread child([&] {
+    seen_by_child = &Engine::current();
+    rt::Thread grandchild([&] { seen_by_grandchild = &Engine::current(); });
+    grandchild.join();
+  });
+  child.join();
+  EXPECT_EQ(seen_by_child, &a);
+  EXPECT_EQ(seen_by_grandchild, &a);
+}
+
+TEST_F(MultiEngineTest, PlainStdThreadDoesNotInherit) {
+  Engine a;
+  ScopedEngine bind(a);
+  Engine* seen = nullptr;
+  std::thread child([&] { seen = &Engine::current(); });
+  child.join();
+  EXPECT_EQ(seen, &Engine::instance());
+}
+
+TEST_F(MultiEngineTest, SameNameIsolatedAcrossEngines) {
+  Engine a;
+  Engine b;
+  const std::string name = "shared-bp-name";
+  {
+    ScopedEngine bind(a);
+    hit_once(name);
+  }
+  EXPECT_EQ(a.stats(name).hits, 1u);
+  EXPECT_EQ(b.stats(name).hits, 0u);
+  EXPECT_EQ(Engine::instance().stats(name).hits, 0u);
+  EXPECT_EQ(a.total_stats().participants, 2u);
+  EXPECT_EQ(b.total_stats().participants, 0u);
+}
+
+TEST_F(MultiEngineTest, InternedIdsAreDisjointForEqualNames) {
+  Engine a;
+  Engine b;
+  a.intern("dup-name");
+  b.intern("dup-name");
+  Engine::instance().intern("dup-name");
+  const auto ids_a = a.interned_ids();
+  const auto ids_b = b.interned_ids();
+  ASSERT_EQ(ids_a.size(), 1u);
+  ASSERT_EQ(ids_b.size(), 1u);
+  EXPECT_NE(ids_a[0], ids_b[0]);
+  const auto ids_default = Engine::instance().interned_ids();
+  EXPECT_EQ(std::count(ids_default.begin(), ids_default.end(), ids_a[0]), 0);
+}
+
+TEST_F(MultiEngineTest, CachedRecordMigratesBetweenEngines) {
+  Engine a;
+  Engine b;
+  NeverLocal t("migrating-bp");
+  {
+    ScopedEngine bind(a);
+    (void)t.trigger_here(true, 0ms);
+    (void)t.trigger_here(true, 0ms);
+  }
+  {
+    ScopedEngine bind(b);
+    (void)t.trigger_here(true, 0ms);
+  }
+  (void)t.trigger_here(true, 0ms);  // back on the default engine
+  EXPECT_EQ(a.stats("migrating-bp").local_rejects, 2u);
+  EXPECT_EQ(b.stats("migrating-bp").local_rejects, 1u);
+  EXPECT_EQ(Engine::instance().stats("migrating-bp").local_rejects, 1u);
+}
+
+TEST_F(MultiEngineTest, CachedRecordSurvivesEngineDestruction) {
+  NeverLocal t("graveyard-bp");
+  {
+    Engine doomed;
+    ScopedEngine bind(doomed);
+    (void)t.trigger_here(true, 0ms);
+    EXPECT_EQ(doomed.stats("graveyard-bp").local_rejects, 1u);
+  }
+  // The record cached inside `t` now belongs to a dead engine; the next
+  // trigger must re-resolve against the default engine, not crash.
+  (void)t.trigger_here(true, 0ms);
+  EXPECT_EQ(Engine::instance().stats("graveyard-bp").local_rejects, 1u);
+}
+
+TEST_F(MultiEngineTest, SpecsDoNotCrossTalk) {
+  Engine a;
+  Engine b;
+  const std::string name = "spec-isolated-bp";
+  SpecOverride off;
+  off.disabled = true;
+  a.set_spec({{name, off}});
+  {
+    ScopedEngine bind(a);
+    NeverLocal t(name);
+    (void)t.trigger_here(true, 0ms);
+  }
+  {
+    ScopedEngine bind(b);
+    NeverLocal t(name);
+    (void)t.trigger_here(true, 0ms);
+  }
+  // Disabled on A: the call is suppressed before any counter moves.
+  EXPECT_EQ(a.stats(name).calls, 0u);
+  EXPECT_EQ(b.stats(name).calls, 1u);
+}
+
+TEST_F(MultiEngineTest, PerEngineTimeScaleShortensPostponement) {
+  Engine a;
+  a.set_time_scale(0.001);  // nominal 2000 ms -> 2 ms
+  ScopedEngine bind(a);
+  NeverGlobal t("fast-timeout-bp");
+  const rt::Stopwatch clock;
+  EXPECT_FALSE(t.trigger_here(true, 2000ms));
+  EXPECT_LT(clock.elapsed_seconds(), 1.0);
+  EXPECT_EQ(a.stats("fast-timeout-bp").timeouts, 1u);
+}
+
+TEST_F(MultiEngineTest, TraceEventsAttributeToOwningEngine) {
+  obs::Trace::set_enabled(true);
+  (void)obs::Trace::collect();  // drain events from earlier tests
+  Engine a;
+  const std::string name = "traced-bp";
+  {
+    ScopedEngine bind(a);
+    hit_once(name);
+  }
+  hit_once(name);  // same name, default engine
+
+  const auto ids_a = a.interned_ids();
+  const std::set<std::uint32_t> id_set(ids_a.begin(), ids_a.end());
+  const auto snapshot_a = obs::Trace::collect_for(ids_a);
+  ASSERT_FALSE(snapshot_a.events.empty());
+  for (const auto& event : snapshot_a.events) {
+    EXPECT_EQ(id_set.count(event.name_id), 1u);
+  }
+
+  // The default engine's events for the same name carry different ids.
+  const auto snapshot_default =
+      obs::Trace::collect_for(Engine::instance().interned_ids());
+  ASSERT_FALSE(snapshot_default.events.empty());
+  for (const auto& event : snapshot_default.events) {
+    EXPECT_EQ(id_set.count(event.name_id), 0u);
+  }
+}
+
+TEST_F(MultiEngineTest, ResetAndInternStressWhileDefaultEngineTriggers) {
+  // A private engine churning reset()/intern() must never disturb
+  // default-engine threads that are mid-trigger on the same names.
+  std::atomic<bool> stop{false};
+  std::atomic<int> default_hits{0};
+  std::thread default_driver([&] {
+    int obj = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::thread a([&] {
+        ConflictTrigger t("stress-bp", &obj);
+        if (t.trigger_here(true, 500ms)) {
+          default_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      std::thread b([&] {
+        ConflictTrigger t("stress-bp", &obj);
+        (void)t.trigger_here(false, 500ms);
+      });
+      a.join();
+      b.join();
+    }
+  });
+
+  // Churn until the default engine has scored a few hits (cap the
+  // iterations so a broken default path can't spin forever).
+  Engine churn;
+  for (int i = 0; i < 20000 && default_hits.load() < 3; ++i) {
+    ScopedEngine bind(churn);
+    churn.intern("stress-bp");
+    NeverLocal t("stress-bp-" + std::to_string(i % 7));
+    (void)t.trigger_here(true, 0ms);
+    churn.reset();
+  }
+  stop.store(true);
+  default_driver.join();
+  EXPECT_GT(default_hits.load(), 0);
+  EXPECT_EQ(churn.total_stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace cbp

@@ -10,6 +10,7 @@
 
 #include "runtime/channel.h"
 #include "runtime/clock.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
 #include "runtime/lock_tracker.h"
 #include "runtime/rng.h"
@@ -155,6 +156,88 @@ TEST(ThreadRegistry, UnnamedThreadGetsSyntheticName) {
   t.join();
   EXPECT_FALSE(name.empty());
   EXPECT_EQ(name[0], 'T');
+}
+
+TEST(ThreadRegistry, ResetEpochBlockedInsideParallelRegion) {
+  EXPECT_FALSE(ParallelRegion::active());
+  EXPECT_TRUE(reset_thread_epoch());
+  {
+    ParallelRegion region;
+    EXPECT_TRUE(ParallelRegion::active());
+    EXPECT_FALSE(reset_thread_epoch());  // no-op while trials in flight
+    {
+      ParallelRegion nested;
+      EXPECT_FALSE(reset_thread_epoch());
+    }
+    EXPECT_FALSE(reset_thread_epoch());  // outer region still live
+  }
+  EXPECT_FALSE(ParallelRegion::active());
+  EXPECT_TRUE(reset_thread_epoch());
+}
+
+// ---------------------------------------------------------------------------
+// Thread-bound context
+// ---------------------------------------------------------------------------
+
+TEST(Context, DefaultsToNull) { EXPECT_EQ(bound_context(), nullptr); }
+
+TEST(Context, ScopedContextBindsAndRestores) {
+  int marker = 0;
+  {
+    ScopedContext outer(&marker);
+    EXPECT_EQ(bound_context(), &marker);
+    int inner_marker = 0;
+    {
+      ScopedContext inner(&inner_marker);
+      EXPECT_EQ(bound_context(), &inner_marker);
+    }
+    EXPECT_EQ(bound_context(), &marker);
+  }
+  EXPECT_EQ(bound_context(), nullptr);
+}
+
+TEST(Context, RtThreadInheritsCreatorContext) {
+  int marker = 0;
+  void* seen_by_child = nullptr;
+  void* seen_by_grandchild = nullptr;
+  {
+    ScopedContext scope(&marker);
+    Thread child([&] {
+      seen_by_child = bound_context();
+      Thread grandchild([&] { seen_by_grandchild = bound_context(); });
+      grandchild.join();
+    });
+    child.join();
+  }
+  EXPECT_EQ(seen_by_child, &marker);
+  EXPECT_EQ(seen_by_grandchild, &marker);
+}
+
+TEST(Context, RtThreadSnapshotsContextAtCreation) {
+  // The context captured is the creator's at spawn time, not at join
+  // time, and plain std::thread children see no context at all.
+  int marker = 0;
+  void* seen = reinterpret_cast<void*>(1);
+  Thread child;
+  {
+    ScopedContext scope(&marker);
+    child = Thread([&] { seen = bound_context(); });
+  }
+  child.join();
+  EXPECT_EQ(seen, &marker);
+
+  void* plain_seen = reinterpret_cast<void*>(1);
+  ScopedContext scope(&marker);
+  std::thread plain([&] { plain_seen = bound_context(); });
+  plain.join();
+  EXPECT_EQ(plain_seen, nullptr);
+}
+
+TEST(Context, RtThreadPassesArguments) {
+  int result = 0;
+  Thread t([](int a, int b, int* out) { *out = a + b; }, 20, 22, &result);
+  t.join();
+  EXPECT_EQ(result, 42);
 }
 
 // ---------------------------------------------------------------------------

@@ -81,7 +81,7 @@ class SaGoldenTest : public ::testing::Test {
 TEST_F(SaGoldenTest, CacheStaticCandidates) {
   const AnalysisResult result = analyze_paths({src_path("src/apps/cache")});
   const Candidate* counter = find_candidate(
-      result, Candidate::Kind::kConflict, "counter", 22, 27);
+      result, Candidate::Kind::kConflict, "counter", 23, 28);
   ASSERT_NE(counter, nullptr) << render_list(result.candidates);
   EXPECT_FALSE(counter->a_is_write);
   EXPECT_TRUE(counter->b_is_write);
@@ -94,11 +94,11 @@ TEST_F(SaGoldenTest, CacheStaticCandidates) {
   // The atomicity1 shape: payload written after publication, read by a
   // concurrent get.
   EXPECT_NE(find_candidate(result, Candidate::Kind::kConflict, "payload",
-                           59, 84),
+                           60, 85),
             nullptr)
       << render_list(result.candidates);
   EXPECT_NE(
-      find_candidate(result, Candidate::Kind::kConflict, "ready", 60, 83),
+      find_candidate(result, Candidate::Kind::kConflict, "ready", 61, 84),
       nullptr)
       << render_list(result.candidates);
 }
@@ -147,21 +147,21 @@ TEST_F(SaGoldenTest, JigsawStaticCandidates) {
   const AnalysisResult result =
       analyze_paths({src_path("src/apps/webserver")});
   const Candidate* fig2 = find_candidate(
-      result, Candidate::Kind::kDeadlock, "csList <-> this", 67, 80);
+      result, Candidate::Kind::kDeadlock, "csList <-> this", 68, 81);
   ASSERT_NE(fig2, nullptr) << render_list(result.candidates);
   EXPECT_FALSE(fig2->existing.empty());  // DeadlockTrigger sits nearby
   EXPECT_TRUE(result.lock_graph_has_cycle);
 
   EXPECT_NE(find_candidate(result, Candidate::Kind::kDeadlock,
-                           "config <-> status", 91, 103),
+                           "config <-> status", 92, 104),
             nullptr)
       << render_list(result.candidates);
   EXPECT_NE(find_candidate(result, Candidate::Kind::kConflict, "stopping_",
-                           111, 134),
+                           112, 135),
             nullptr)
       << render_list(result.candidates);
   EXPECT_NE(find_candidate(result, Candidate::Kind::kConflict,
-                           "request_count_", 142, 147),
+                           "request_count_", 143, 148),
             nullptr)
       << render_list(result.candidates);
 }
@@ -170,7 +170,7 @@ TEST_F(SaGoldenTest, JigsawStaticCandidateMatchesLockOrderDetector) {
   const AnalysisResult result =
       analyze_paths({src_path("src/apps/webserver")});
   const Candidate* fig2 = find_candidate(
-      result, Candidate::Kind::kDeadlock, "csList <-> this", 67, 80);
+      result, Candidate::Kind::kDeadlock, "csList <-> this", 68, 81);
   ASSERT_NE(fig2, nullptr);
   const std::set<std::uint32_t> static_lines{fig2->site_a.line,
                                              fig2->site_b.line};
@@ -205,7 +205,7 @@ TEST_F(SaGoldenTest, LoggingStaticCandidates) {
   // The paper's (236, 309) pair: set_buffer_size's acquisition vs the
   // dispatcher's.
   EXPECT_NE(find_candidate(result, Candidate::Kind::kContention,
-                           "AsyncAppender.buffer", 35, 50),
+                           "AsyncAppender.buffer", 36, 51),
             nullptr)
       << render_list(result.candidates);
   // loggers.cc contributes crossed-lock candidates too.

@@ -20,11 +20,14 @@
 // gain factor, and the hit rate actually observed over the demo runs.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/cache/cache.h"
@@ -35,12 +38,14 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "runtime/clock.h"
+#include "runtime/thread_registry.h"
 
 namespace {
 
 struct Options {
   std::string demo;            // "", "cache", "jigsaw"
   int runs = 10;
+  int jobs = 1;                // demo runs in parallel when > 1
   std::string format = "json";  // "json" | "chrome"
   std::string filter;
   std::string out;
@@ -53,6 +58,8 @@ int usage(const char* argv0) {
       << "usage: " << argv0 << " [options] [dump.json ...]\n"
       << "  --demo=cache|jigsaw   run a built-in workload with tracing on\n"
       << "  --runs=N              demo repetitions (default 10)\n"
+      << "  --trial-jobs=N        run the demo repetitions on N workers,\n"
+      << "                        each with a private engine (default 1)\n"
       << "  --format=json|chrome  export format (default json)\n"
       << "  --filter=NAME         keep only events of breakpoint NAME\n"
       << "  --out=FILE            write the export to FILE (default stdout)\n"
@@ -73,6 +80,10 @@ bool parse_args(int argc, char** argv, Options& options) {
     if (value_of("--demo=", options.demo)) continue;
     if (value_of("--runs=", value)) {
       options.runs = std::max(1, std::atoi(value.c_str()));
+      continue;
+    }
+    if (value_of("--trial-jobs=", value)) {
+      options.jobs = std::max(1, std::atoi(value.c_str()));
       continue;
     }
     if (value_of("--format=", options.format)) continue;
@@ -112,20 +123,67 @@ cbp::obs::TelemetryInput run_demo(const Options& options) {
   input.name = options.demo == "cache" ? apps::cache::kRace1
                                        : apps::webserver::kRace1;
   input.threads = 2;  // both race1 replicas race two threads at the bp
-  std::uint64_t previous_hits = 0;
-  for (int run = 0; run < options.runs; ++run) {
-    run_options.seed = static_cast<std::uint64_t>(run) + 1;
-    if (options.demo == "cache") {
-      apps::cache::run_race1(run_options);
-    } else {
-      apps::webserver::run_race1(run_options);
+
+  const int jobs = std::min(options.jobs, options.runs);
+  if (jobs <= 1) {
+    std::uint64_t previous_hits = 0;
+    for (int run = 0; run < options.runs; ++run) {
+      run_options.seed = static_cast<std::uint64_t>(run) + 1;
+      if (options.demo == "cache") {
+        apps::cache::run_race1(run_options);
+      } else {
+        apps::webserver::run_race1(run_options);
+      }
+      const std::uint64_t hits = Engine::instance().stats(input.name).hits;
+      if (hits > previous_hits) input.runs_hit += 1;
+      previous_hits = hits;
+      input.runs += 1;
     }
-    const std::uint64_t hits = Engine::instance().stats(input.name).hits;
-    if (hits > previous_hits) input.runs_hit += 1;
-    previous_hits = hits;
-    input.runs += 1;
+    input.stats = Engine::instance().stats(input.name);
+    return input;
   }
-  input.stats = Engine::instance().stats(input.name);
+
+  // Parallel demo: workers with private engines claim run indices from a
+  // shared counter; run i keeps the serial path's seed i+1.  Hit counting
+  // compares each worker's own engine hits before/after a run, and the
+  // per-engine stats are summed at the join — the merged trace still
+  // attributes every event to the right engine because interned ids are
+  // process-unique.
+  std::atomic<int> next_run{0};
+  std::atomic<std::uint64_t> runs_hit{0};
+  std::mutex merge_mu;
+  BreakpointStats total;
+  rt::ParallelRegion region;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    workers.emplace_back([&, run_options]() mutable {
+      Engine engine;
+      ScopedEngine bind(engine);
+      std::uint64_t previous_hits = 0;
+      std::uint64_t local_hit_runs = 0;
+      for (int run = next_run.fetch_add(1); run < options.runs;
+           run = next_run.fetch_add(1)) {
+        run_options.seed = static_cast<std::uint64_t>(run) + 1;
+        if (options.demo == "cache") {
+          apps::cache::run_race1(run_options);
+        } else {
+          apps::webserver::run_race1(run_options);
+        }
+        const std::uint64_t hits = engine.stats(input.name).hits;
+        if (hits > previous_hits) ++local_hit_runs;
+        previous_hits = hits;
+      }
+      runs_hit.fetch_add(local_hit_runs);
+      const BreakpointStats stats = engine.stats(input.name);
+      std::lock_guard<std::mutex> lock(merge_mu);
+      total += stats;
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  input.runs = static_cast<std::uint64_t>(options.runs);
+  input.runs_hit = runs_hit.load();
+  input.stats = total;
   return input;
 }
 
