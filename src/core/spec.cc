@@ -50,6 +50,21 @@ BreakpointSpec BreakpointSpec::parse(const std::string& text) {
         entry.ignore_first = parse_number(value, "ignore_first");
       } else if (key == "bound") {
         entry.bound = parse_number(value, "bound");
+      } else if (key == "confirmed") {
+        entry.confirmed = true;
+      } else if (key == "predicted") {
+        try {
+          std::size_t consumed = 0;
+          const double p = std::stod(value, &consumed);
+          if (consumed != value.size() || p < 0.0 || p > 1.0) {
+            throw std::invalid_argument(value);
+          }
+          entry.predicted = p;
+        } catch (const std::exception&) {
+          throw std::invalid_argument(
+              "breakpoint spec: bad value for 'predicted': '" + value +
+              "' (expected a probability in [0, 1])");
+        }
       } else if (key == "from") {
         if (value == "static") {
           entry.from = SpecOrigin::kStatic;

@@ -10,7 +10,7 @@
 // Format, one breakpoint per line ('#' comments):
 //
 //   <name> [off] [pause=<ms>] [flip] [ignore_first=<n>] [bound=<n>]
-//          [from=<static|dynamic>]
+//          [from=<static|dynamic>] [predicted=<p>] [confirmed]
 //
 // e.g.
 //   # jigsaw deadlock, resolve in the documented buggy order
@@ -25,6 +25,11 @@
 // cbp-sa mined candidates, `dynamic` for detector-reported sites; the
 // cbp-sa emitter precedes each entry with a `# candidate:` comment
 // describing the mined pair (comments are ignored by the parser).
+// `predicted=` carries the placement layer's expected hit probability
+// (the §3 model's btrigger bound, or the Wilson center of a recorded
+// run) and `confirmed` marks entries a dynamic detector or telemetry
+// row corroborated — both provenance metadata the engine ignores at
+// trigger time but the harness can read back to check predictions.
 //
 // Overrides are applied inside the engine at trigger time, so they
 // compose with (and take precedence over) whatever the inserted code
@@ -52,6 +57,11 @@ struct SpecOverride {
   std::optional<std::uint64_t> ignore_first; ///< `ignore_first=<n>`
   std::optional<std::uint64_t> bound;        ///< `bound=<n>`
   SpecOrigin from = SpecOrigin::kUnspecified;  ///< `from=<static|dynamic>`
+  /// `predicted=<p>`: expected hit probability in [0, 1] (provenance
+  /// metadata; not consulted at trigger time).
+  std::optional<double> predicted;
+  /// `confirmed`: a dynamic report or telemetry row corroborated the pair.
+  bool confirmed = false;
 };
 
 /// Parses spec text; throws std::invalid_argument on malformed input

@@ -1,0 +1,109 @@
+#include "detect/json_export.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cbp::detect {
+namespace {
+
+std::string_view basename_of(std::string_view file) {
+  const auto slash = file.rfind('/');
+  return slash == std::string_view::npos ? file : file.substr(slash + 1);
+}
+
+/// JSON string escaping, matching obs::json::escape so the obs parser
+/// round-trips the output.
+void append_escaped(std::string_view text, std::ostringstream& out) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void append_site(const char* key_prefix, const instr::SourceLoc& loc,
+                 std::ostringstream& out) {
+  out << '"' << key_prefix << "file\":";
+  append_escaped(basename_of(loc.file), out);
+  out << ",\"" << key_prefix << "line\":" << loc.line;
+}
+
+void append_pair(const instr::SourceLoc& a, const instr::SourceLoc& b,
+                 std::ostringstream& out) {
+  out << "\"file_a\":";
+  append_escaped(basename_of(a.file), out);
+  out << ",\"line_a\":" << a.line << ",\"file_b\":";
+  append_escaped(basename_of(b.file), out);
+  out << ",\"line_b\":" << b.line;
+}
+
+}  // namespace
+
+std::string write_json(const DetectorDump& dump) {
+  std::ostringstream out;
+  out << "{\"detector_dump\":1,\"races\":[";
+  for (std::size_t i = 0; i < dump.races.size(); ++i) {
+    const RaceReport& r = dump.races[i];
+    if (i != 0) out << ',';
+    out << '{';
+    append_pair(r.first, r.second, out);
+    out << ",\"second_is_write\":" << (r.second_is_write ? "true" : "false")
+        << '}';
+  }
+  out << "],\"contentions\":[";
+  for (std::size_t i = 0; i < dump.contentions.size(); ++i) {
+    const ContentionReport& c = dump.contentions[i];
+    if (i != 0) out << ',';
+    out << '{';
+    append_pair(c.site_a, c.site_b, out);
+    out << ",\"occurrences\":" << c.occurrences << '}';
+  }
+  out << "],\"deadlocks\":[";
+  for (std::size_t i = 0; i < dump.deadlocks.size(); ++i) {
+    if (i != 0) out << ',';
+    out << "{\"legs\":[";
+    const DeadlockReport& d = dump.deadlocks[i];
+    for (std::size_t j = 0; j < d.legs.size(); ++j) {
+      const DeadlockReport::Leg& leg = d.legs[j];
+      if (j != 0) out << ',';
+      out << "{\"held\":";
+      append_escaped(leg.held_tag, out);
+      out << ",\"wanted\":";
+      append_escaped(leg.wanted_tag, out);
+      out << ',';
+      append_site("", leg.site, out);
+      out << '}';
+    }
+    out << "]}";
+  }
+  out << "],\"atomicity\":[";
+  for (std::size_t i = 0; i < dump.atomicity.size(); ++i) {
+    const AtomicityReport& a = dump.atomicity[i];
+    if (i != 0) out << ',';
+    out << '{';
+    append_site("begin_", a.block_begin, out);
+    out << ',';
+    append_site("end_", a.block_end, out);
+    out << ',';
+    append_site("interleaver_", a.interleaver, out);
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace cbp::detect

@@ -1,0 +1,45 @@
+// JSON export for dynamic detector reports — the file format the
+// placement layer (src/sa/placement) fuses with static candidates.
+//
+// The dump is a plain aggregate so callers assemble it from whichever
+// detectors they ran; write_json renders it deterministically (input
+// order preserved, keys fixed).  Hand-rolled emission keeps cbp_detect
+// free of the obs JSON dependency; the escaping matches obs::json so
+// the obs parser reads the output back faithfully.
+//
+// Schema (version pins the contract for the placement parser):
+//   { "detector_dump": 1,
+//     "races":      [{"file_a", "line_a", "file_b", "line_b",
+//                     "second_is_write"}],
+//     "contentions":[{"file_a", "line_a", "file_b", "line_b",
+//                     "occurrences"}],
+//     "deadlocks":  [{"legs": [{"held", "wanted", "file", "line"}]}],
+//     "atomicity":  [{"begin_file", "begin_line", "end_file", "end_line",
+//                     "interleaver_file", "interleaver_line"}] }
+//
+// Sites are exported as basename + line (SourceLoc::str() components):
+// the placement layer joins them against static candidate sites, which
+// also display by basename.  Addresses are run-local and meaningless
+// across processes, so they are not exported.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detect/atomicity.h"
+#include "detect/reports.h"
+
+namespace cbp::detect {
+
+/// Reports collected from one instrumented run, ready for export.
+struct DetectorDump {
+  std::vector<RaceReport> races;
+  std::vector<ContentionReport> contentions;
+  std::vector<DeadlockReport> deadlocks;
+  std::vector<AtomicityReport> atomicity;
+};
+
+/// Serializes the dump as JSON (see schema above).
+std::string write_json(const DetectorDump& dump);
+
+}  // namespace cbp::detect

@@ -73,7 +73,8 @@ struct DeadlockReport {
 /// source text alone — no execution required.  Owns its strings so
 /// reports outlive the analysis that produced them.
 struct CandidateReport {
-  enum class Kind : std::uint8_t { kConflict, kContention, kDeadlock };
+  enum class Kind : std::uint8_t { kConflict, kContention, kDeadlock,
+                                   kAtomicity };
 
   Kind kind = Kind::kConflict;
   std::string breakpoint;  ///< generated spec name (`sa-...`)
@@ -109,6 +110,11 @@ struct CandidateReport {
         out = "Deadlock candidate (static): crossed lock order on " +
               subject + " at\n  " + first().str() + ", and\n  " +
               second().str() + ".";
+        break;
+      case Kind::kAtomicity:
+        out = "Atomicity-violation candidate (static) on '" + subject +
+              "': lock released between\n  read at " + first().str() +
+              ", and\n  write at " + second().str() + ".";
         break;
     }
     if (!existing.empty()) {

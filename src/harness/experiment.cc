@@ -8,21 +8,16 @@
 #include <thread>
 
 #include "core/cbp.h"
+#include "model/probability.h"
 #include "runtime/clock.h"
 #include "runtime/thread_registry.h"
 
 namespace cbp::harness {
 
 ProbabilityInterval wilson_interval(int successes, int trials, double z) {
-  if (trials <= 0) return {0.0, 1.0};
-  const double n = trials;
-  const double p = static_cast<double>(successes) / n;
-  const double z2 = z * z;
-  const double denom = 1.0 + z2 / n;
-  const double center = (p + z2 / (2.0 * n)) / denom;
-  const double half =
-      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
-  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+  // One implementation, owned by the model layer (placement shares it).
+  const model::Interval w = model::wilson_interval(successes, trials, z);
+  return {w.low, w.high};
 }
 
 namespace {

@@ -1,5 +1,6 @@
 #include "model/probability.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace cbp::model {
@@ -82,6 +83,18 @@ PredictedRates predicted_hit_rates(const ModelInputs& inputs) {
   rates.gain =
       gain_factor(s.n_steps, s.m_visits, s.big_m_visits, s.pause_steps);
   return rates;
+}
+
+Interval wilson_interval(int successes, int trials, double z) {
+  if (trials <= 0) return {0.0, 1.0};
+  const double n = trials;
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
 }
 
 double gain_factor(std::uint64_t n_steps, std::uint64_t m_visits,

@@ -79,4 +79,16 @@ struct PredictedRates {
 
 PredictedRates predicted_hit_rates(const ModelInputs& inputs);
 
+/// A two-sided probability interval [low, high] in [0, 1].
+struct Interval {
+  double low = 0.0;
+  double high = 1.0;
+};
+
+/// Wilson score interval for `successes` out of `trials` Bernoulli
+/// trials (z = 1.96 gives 95%).  Degenerate trials <= 0 yields [0, 1].
+/// The statistical companion to the closed forms above: predictions are
+/// checked against observed hit counts through this interval.
+Interval wilson_interval(int successes, int trials, double z = 1.96);
+
 }  // namespace cbp::model

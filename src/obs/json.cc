@@ -101,6 +101,45 @@ class Parser {
     return v;
   }
 
+  /// Consumes exactly four hex digits of a \uXXXX escape.
+  bool hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      unsigned digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<unsigned>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<unsigned>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      out = (out << 4) | digit;
+    }
+    return true;
+  }
+
+  static void append_utf8(unsigned code, std::string& out) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
   bool string_raw(std::string& out) {
     if (!consume('"')) return false;
     while (pos_ < text_.size()) {
@@ -119,10 +158,24 @@ class Parser {
           case 'r': out.push_back('\r'); break;
           case 't': out.push_back('\t'); break;
           case 'u': {
-            // Pass the escape through undecoded (names we emit are ASCII).
-            if (pos_ + 4 > text_.size()) return false;
-            out += "\\u" + text_.substr(pos_, 4);
-            pos_ += 4;
+            unsigned code = 0;
+            if (!hex4(code)) return false;
+            // Surrogate pair: a high surrogate must be followed by
+            // \uDC00-\uDFFF; the pair combines into one code point.
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return false;
+              }
+              pos_ += 2;
+              unsigned low = 0;
+              if (!hex4(low)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) return false;
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              return false;  // unpaired low surrogate
+            }
+            append_utf8(code, out);
             break;
           }
           default: return false;

@@ -1,7 +1,9 @@
-// Minimal JSON DOM used by the observability exporters and their tests:
-// enough to re-read cbp's own dumps and to validate that a Chrome-trace
-// export is well-formed JSON.  Not a general-purpose library — no
-// \uXXXX decoding beyond pass-through, numbers parsed as double.
+// Minimal JSON DOM used by the observability exporters, the placement
+// fusion inputs, and their tests: enough to re-read cbp's own dumps and
+// to validate that a Chrome-trace export is well-formed JSON.  Strings
+// decode all escapes including \uXXXX (surrogate pairs combine and
+// encode as UTF-8; bad hex or unpaired surrogates are parse errors).
+// Not a general-purpose library — numbers parsed as double.
 #pragma once
 
 #include <map>

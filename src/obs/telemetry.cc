@@ -15,8 +15,8 @@ bool is_trigger_entry(EventKind kind) {
   return kind == EventKind::kArrival || kind == EventKind::kLocalReject;
 }
 
-/// Mean gap (ns) between successive trigger events of the same thread
-/// for the named breakpoint; 0 when the trace has no two such events.
+}  // namespace
+
 std::uint64_t mean_step_gap_ns(const std::string& name,
                                const TraceSnapshot& trace) {
   // name_of takes the registry lock; cache the id -> matches verdict.
@@ -42,8 +42,6 @@ std::uint64_t mean_step_gap_ns(const std::string& name,
   }
   return gaps == 0 ? 0 : total_gap / gaps;
 }
-
-}  // namespace
 
 model::ModelInputs estimate_inputs(const TelemetryInput& input,
                                    const TraceSnapshot& trace) {
@@ -95,6 +93,7 @@ BreakpointTelemetry analyze(const TelemetryInput& input,
   row.wait_p50_us = input.stats.wait_hist.percentile(0.50);
   row.wait_p99_us = input.stats.wait_hist.percentile(0.99);
   row.order_p99_us = input.stats.order_hist.percentile(0.99);
+  row.step_gap_ns = mean_step_gap_ns(input.name, trace);
   return row;
 }
 

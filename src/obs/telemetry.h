@@ -48,8 +48,18 @@ struct BreakpointTelemetry {
   std::uint64_t wait_p50_us = 0;  ///< median Postponed stay
   std::uint64_t wait_p99_us = 0;
   std::uint64_t order_p99_us = 0;  ///< match-to-release tail latency
+  /// Mean gap between successive trigger events on one thread (the
+  /// "step" the T estimate divides by); 0 when the trace was too thin.
+  /// Exported so the placement layer can convert steps back to wall
+  /// time when deriving a pause for a new spec.
+  std::uint64_t step_gap_ns = 0;
   BreakpointStats stats;
 };
+
+/// Mean gap (ns) between successive trigger events of the same thread
+/// for the named breakpoint; 0 when the trace has no two such events.
+std::uint64_t mean_step_gap_ns(const std::string& name,
+                               const TraceSnapshot& trace);
 
 /// Estimates the §3 model inputs from counters plus the trace:
 ///   N ~= calls per thread, M ~= arrivals per thread, m ~= hits (>= 1),

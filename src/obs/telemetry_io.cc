@@ -1,0 +1,113 @@
+#include "obs/telemetry_io.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace cbp::obs {
+namespace {
+
+std::uint64_t get_u64(const json::Value& row, const char* key) {
+  const json::Value* v = row.get(key);
+  if (v == nullptr || !v->is_number() || v->number < 0) return 0;
+  return static_cast<std::uint64_t>(v->number);
+}
+
+double get_double(const json::Value& row, const char* key) {
+  const json::Value* v = row.get(key);
+  return v != nullptr && v->is_number() ? v->number : 0.0;
+}
+
+void emit(std::ostringstream& out, const char* key, std::uint64_t value,
+          bool first = false) {
+  if (!first) out << ',';
+  out << '"' << key << "\":" << value;
+}
+
+}  // namespace
+
+std::string write_telemetry_json(
+    const std::vector<BreakpointTelemetry>& rows) {
+  std::ostringstream out;
+  out << "{\"telemetry\":\"cbp\",\"version\":1,\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BreakpointTelemetry& r = rows[i];
+    if (i != 0) out << ',';
+    out << "{\"name\":\"" << json::escape(r.name) << '"';
+    emit(out, "runs", r.runs);
+    emit(out, "runs_hit", r.runs_hit);
+    emit(out, "n_steps", r.inputs.n_steps);
+    emit(out, "m_visits", r.inputs.m_visits);
+    emit(out, "big_m_visits", r.inputs.big_m_visits);
+    emit(out, "pause_steps", r.inputs.pause_steps);
+    emit(out, "step_gap_ns", r.step_gap_ns);
+    emit(out, "arrivals", r.stats.arrivals);
+    emit(out, "participants", r.stats.participants);
+    emit(out, "ignored", r.stats.ignored);
+    emit(out, "postponed", r.stats.postponed);
+    emit(out, "timeouts", r.stats.timeouts);
+    out << ",\"total_wait_us\":" << r.stats.total_wait_us;
+    out << ",\"predicted_btrigger\":" << r.predicted.btrigger;
+    out << ",\"observed\":" << r.observed;
+    emit(out, "wait_p50_us", r.wait_p50_us);
+    emit(out, "wait_p99_us", r.wait_p99_us);
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool read_telemetry_json(const std::string& text,
+                         std::vector<BreakpointTelemetry>& rows,
+                         std::string& error) {
+  const json::ValuePtr root = json::parse(text, error);
+  if (root == nullptr) return false;
+  const json::Value* marker = root->get("telemetry");
+  if (marker == nullptr || !marker->is_string() ||
+      marker->string != "cbp") {
+    error = "not a cbp telemetry dump (missing \"telemetry\":\"cbp\")";
+    return false;
+  }
+  const json::Value* list = root->get("rows");
+  if (list == nullptr || !list->is_array()) {
+    error = "missing \"rows\" array";
+    return false;
+  }
+  for (const json::ValuePtr& item : list->array) {
+    if (item == nullptr || !item->is_object()) {
+      error = "non-object row";
+      return false;
+    }
+    const json::Value* name = item->get("name");
+    if (name == nullptr || !name->is_string()) {
+      error = "row without a string \"name\"";
+      return false;
+    }
+    BreakpointTelemetry row;
+    row.name = name->string;
+    row.runs = get_u64(*item, "runs");
+    row.runs_hit = get_u64(*item, "runs_hit");
+    row.inputs.n_steps = get_u64(*item, "n_steps");
+    row.inputs.m_visits = get_u64(*item, "m_visits");
+    row.inputs.big_m_visits = get_u64(*item, "big_m_visits");
+    row.inputs.pause_steps = get_u64(*item, "pause_steps");
+    row.step_gap_ns = get_u64(*item, "step_gap_ns");
+    row.stats.arrivals = get_u64(*item, "arrivals");
+    row.stats.participants = get_u64(*item, "participants");
+    row.stats.ignored = get_u64(*item, "ignored");
+    row.stats.postponed = get_u64(*item, "postponed");
+    row.stats.timeouts = get_u64(*item, "timeouts");
+    row.stats.total_wait_us =
+        static_cast<std::int64_t>(get_double(*item, "total_wait_us"));
+    row.predicted.btrigger = get_double(*item, "predicted_btrigger");
+    row.observed = get_double(*item, "observed");
+    row.observed_from_runs = row.runs > 0;
+    row.wait_p50_us = get_u64(*item, "wait_p50_us");
+    row.wait_p99_us = get_u64(*item, "wait_p99_us");
+    rows.push_back(std::move(row));
+  }
+  return true;
+}
+
+}  // namespace cbp::obs

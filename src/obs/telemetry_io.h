@@ -1,0 +1,41 @@
+// Telemetry JSON round-trip — the obs side of the placement feedback
+// loop (DESIGN.md §5f).
+//
+// One recorded batch of runs produces BreakpointTelemetry rows
+// (telemetry.h); write_telemetry_json serializes the fields the
+// placement layer needs to re-derive T/ignore_first offline, and
+// read_telemetry_json parses them back.  The reader tolerates missing
+// optional fields (older dumps) but rejects files without the
+// `"telemetry":"cbp"` marker.
+//
+// Schema:
+//   { "telemetry": "cbp", "version": 1,
+//     "rows": [{ "name", "runs", "runs_hit",
+//                "n_steps", "m_visits", "big_m_visits", "pause_steps",
+//                "step_gap_ns", "arrivals", "participants", "ignored",
+//                "postponed", "timeouts", "total_wait_us",
+//                "predicted_btrigger", "observed",
+//                "wait_p50_us", "wait_p99_us" }] }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+
+namespace cbp::obs {
+
+/// Serializes rows (deterministic key order, input row order).
+std::string write_telemetry_json(
+    const std::vector<BreakpointTelemetry>& rows);
+
+/// Parses a dump written by write_telemetry_json.  On success returns
+/// true and fills `rows`; on failure returns false and sets `error`.
+/// Round-tripped rows carry the model inputs, counters, and observation
+/// fields listed in the schema; trace-only fields (histograms,
+/// order_p99_us) do not survive the trip and read back as defaults.
+bool read_telemetry_json(const std::string& text,
+                         std::vector<BreakpointTelemetry>& rows,
+                         std::string& error);
+
+}  // namespace cbp::obs

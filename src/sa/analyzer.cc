@@ -6,6 +6,8 @@
 #include <map>
 #include <sstream>
 
+#include "sa/atomicity_pass.h"
+#include "sa/call_graph.h"
 #include "sa/lock_graph_pass.h"
 #include "sa/lockset_pass.h"
 #include "sa/rank.h"
@@ -43,6 +45,7 @@ AnalysisResult analyze_units(
                 return a.path < b.path;
               });
     UnitModel model = extract_unit(name, files);
+    if (options.interprocedural) propagate_locksets(model);
     std::vector<Candidate> found = lockset_pass(model);
     std::vector<Candidate> crossed = lock_graph_pass(model);
     found.insert(found.end(), crossed.begin(), crossed.end());
@@ -50,6 +53,14 @@ AnalysisResult analyze_units(
       std::vector<Candidate> contended = contention_pass(model);
       found.insert(found.end(), contended.begin(), contended.end());
     }
+    if (options.include_atomicity) {
+      std::vector<Candidate> atomic = atomicity_pass(model);
+      found.insert(found.end(), atomic.begin(), atomic.end());
+    }
+    std::vector<LockCycle> cycles = find_lock_cycles(model);
+    result.cycles.insert(result.cycles.end(), cycles.begin(), cycles.end());
+    // The boolean stays on the uncapped DFS (find_lock_cycles bounds
+    // length and count; a pathological >8-cycle must still set it).
     result.lock_graph_has_cycle =
         result.lock_graph_has_cycle || lock_graph_has_cycle(model);
     result.candidates.insert(result.candidates.end(), found.begin(),
@@ -57,6 +68,14 @@ AnalysisResult analyze_units(
     result.units.push_back(std::move(model));
   }
   rank_candidates(result.candidates, result.units);
+  // Per-unit cycle lists are ranked; re-rank globally across units.
+  std::sort(result.cycles.begin(), result.cycles.end(),
+            [](const LockCycle& a, const LockCycle& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.unit != b.unit) return a.unit < b.unit;
+              if (a.locks != b.locks) return a.locks < b.locks;
+              return a.sites < b.sites;
+            });
   return result;
 }
 

@@ -17,11 +17,18 @@ namespace cbp::sa {
 
 struct AnalysisOptions {
   bool include_contention = true;  ///< emit lock-contention candidates
+  bool include_atomicity = true;   ///< emit atomicity-violation candidates
+  /// Propagate locksets over the call graph before the per-site passes
+  /// (locks held at every call site of a function flow into its body).
+  /// Off by default: goldens pin the intraprocedural baseline, and the
+  /// propagation is a strict widening — enable via `cbp-sa --interproc`.
+  bool interprocedural = false;
 };
 
 struct AnalysisResult {
   std::vector<UnitModel> units;       ///< one per directory, sorted
   std::vector<Candidate> candidates;  ///< ranked, best first
+  std::vector<LockCycle> cycles;      ///< ranked lock-order cycles, all units
   bool lock_graph_has_cycle = false;  ///< any unit, any cycle length
 };
 

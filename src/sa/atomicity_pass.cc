@@ -1,0 +1,65 @@
+#include "sa/atomicity_pass.h"
+
+#include <set>
+#include <string>
+
+namespace cbp::sa {
+namespace {
+
+/// Token of the acquisition instance of `mutex` active at the access,
+/// or 0 when the mutex is not held there.  Inherited holds return -1.
+int hold_token(const Access& access, const std::string& mutex) {
+  for (const HeldLock& held : access.holds) {
+    if (held.mutex == mutex) return held.token;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<Candidate> atomicity_pass(const UnitModel& model) {
+  std::vector<Candidate> out;
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < model.accesses.size(); ++i) {
+    const Access& read = model.accesses[i];
+    if (read.is_write || read.function.empty()) continue;
+    for (std::size_t j = 0; j < model.accesses.size(); ++j) {
+      const Access& write = model.accesses[j];
+      if (!write.is_write) continue;
+      if (write.var != read.var || write.function != read.function) continue;
+      if (write.site.file != read.site.file) continue;
+      if (write.site.line <= read.site.line) continue;  // read feeds write
+      // The spanning mutex: held at both sites, by different local
+      // acquisition instances (released and re-taken in between).
+      std::string spanning;
+      for (const std::string& mutex : read.lockset) {
+        const int t_read = hold_token(read, mutex);
+        const int t_write = hold_token(write, mutex);
+        if (t_read > 0 && t_write > 0 && t_read != t_write) {
+          spanning = mutex;
+          break;
+        }
+      }
+      if (spanning.empty()) continue;
+      const std::string key = read.var + "|" + read.site.str() + "|" +
+                              write.site.str();
+      if (!seen.insert(key).second) continue;
+      Candidate c;
+      c.kind = Candidate::Kind::kAtomicity;
+      c.unit = model.name;
+      c.subject = read.var;
+      c.site_a = read.site;
+      c.site_b = write.site;
+      c.a_is_write = false;
+      c.b_is_write = true;
+      c.locks_a = read.lockset;
+      c.locks_b = write.lockset;
+      c.mutex_a = spanning;
+      c.mutex_b = spanning;
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace cbp::sa

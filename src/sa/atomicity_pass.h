@@ -1,0 +1,26 @@
+// Static atomicity-violation pass.
+//
+// The dynamic AtomicityCandidateDetector flags a read–check–write of one
+// SharedVar that spans a lock release: thread A reads x under m, drops
+// m, re-takes m, and writes x — any interleaved writer between the two
+// critical sections invalidates the check.  This pass finds the same
+// shape statically: a read and a later write of the same variable, in
+// the same function and file, both under the same mutex but under
+// *different acquisition instances* of it (the extractor tokens every
+// acquisition; differing tokens mean the lock was released and
+// re-acquired between the sites).  Interprocedurally-inherited holds
+// carry token -1 — one instance per function — and are excluded, since
+// a caller-held lock spans the whole callee.
+#pragma once
+
+#include <vector>
+
+#include "sa/model.h"
+
+namespace cbp::sa {
+
+/// Atomicity-violation candidates for one unit (site_a = the read,
+/// site_b = the write it feeds).
+std::vector<Candidate> atomicity_pass(const UnitModel& model);
+
+}  // namespace cbp::sa

@@ -1,0 +1,160 @@
+#include "sa/call_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace cbp::sa {
+namespace {
+
+std::vector<std::string> sorted_union(const std::vector<std::string>& a,
+                                      const std::vector<std::string>& b) {
+  std::vector<std::string> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::string> sorted_intersection(
+    const std::vector<std::string>& a, const std::vector<std::string>& b) {
+  std::vector<std::string> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+CallGraph build_call_graph(const UnitModel& model) {
+  CallGraph graph;
+  for (const CallSite& call : model.calls) {
+    if (!model.has_function(call.callee)) continue;  // out-of-unit target
+    graph.callers[call.callee].push_back(call);
+  }
+
+  // Universe for the TOP initialisation of called functions; functions
+  // nobody in the unit calls start (and stay) empty.
+  std::vector<std::string> universe;
+  for (const MutexDecl& m : model.mutexes) universe.push_back(m.name);
+  std::sort(universe.begin(), universe.end());
+  for (const auto& [callee, unused] : graph.callers) {
+    (void)unused;
+    graph.entry_locks[callee] = universe;
+  }
+
+  // Greatest fixpoint: every update shrinks a set, so the loop is
+  // bounded by (#functions × #mutexes) iterations.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [callee, sites] : graph.callers) {
+      bool first = true;
+      std::vector<std::string> meet;
+      for (const CallSite& site : sites) {
+        std::vector<std::string> in = site.locks_held;
+        const auto caller_entry = graph.entry_locks.find(site.caller);
+        if (caller_entry != graph.entry_locks.end()) {
+          in = sorted_union(in, caller_entry->second);
+        } else {
+          std::sort(in.begin(), in.end());
+          in.erase(std::unique(in.begin(), in.end()), in.end());
+        }
+        meet = first ? in : sorted_intersection(meet, in);
+        first = false;
+      }
+      if (meet != graph.entry_locks[callee]) {
+        graph.entry_locks[callee] = std::move(meet);
+        changed = true;
+      }
+    }
+  }
+  return graph;
+}
+
+CallGraph propagate_locksets(UnitModel& model) {
+  CallGraph graph = build_call_graph(model);
+  const auto entry = [&graph](const std::string& fn)
+      -> const std::vector<std::string>* {
+    if (fn.empty()) return nullptr;
+    const auto it = graph.entry_locks.find(fn);
+    return it == graph.entry_locks.end() || it->second.empty() ? nullptr
+                                                               : &it->second;
+  };
+
+  for (Access& access : model.accesses) {
+    const std::vector<std::string>* inherited = entry(access.function);
+    if (inherited == nullptr) continue;
+    for (const std::string& mutex : *inherited) {
+      if (std::find(access.lockset.begin(), access.lockset.end(), mutex) !=
+          access.lockset.end()) {
+        continue;  // already held locally at the site
+      }
+      access.lockset.push_back(mutex);
+      access.holds.push_back(HeldLock{mutex, -1});
+    }
+    std::sort(access.lockset.begin(), access.lockset.end());
+  }
+
+  for (Acquire& acquire : model.acquires) {
+    const std::vector<std::string>* inherited = entry(acquire.function);
+    if (inherited == nullptr) continue;
+    for (const std::string& mutex : *inherited) {
+      if (mutex == acquire.mutex) continue;
+      if (std::find(acquire.held.begin(), acquire.held.end(), mutex) !=
+          acquire.held.end()) {
+        continue;
+      }
+      acquire.held.push_back(mutex);
+    }
+    std::sort(acquire.held.begin(), acquire.held.end());
+  }
+  return graph;
+}
+
+std::string render_call_graph(const UnitModel& model, const CallGraph& graph) {
+  std::ostringstream out;
+  std::size_t in_unit = 0;
+  for (const auto& [callee, sites] : graph.callers) in_unit += sites.size();
+  out << "unit " << model.name << ": " << model.functions.size()
+      << " function" << (model.functions.size() == 1 ? "" : "s") << ", "
+      << in_unit << " in-unit call site"
+      << (in_unit == 1 ? "" : "s") << "\n";
+
+  // Edges, sorted by callee then site, one line per call.
+  for (const auto& [callee, sites] : graph.callers) {
+    std::vector<CallSite> sorted = sites;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const CallSite& a, const CallSite& b) {
+                if (!(a.site == b.site)) return a.site < b.site;
+                return a.caller < b.caller;
+              });
+    for (const CallSite& call : sorted) {
+      out << "  " << (call.caller.empty() ? "<file>" : call.caller) << " -> "
+          << callee << " at " << call.site.str() << " locks_held={";
+      for (std::size_t i = 0; i < call.locks_held.size(); ++i) {
+        if (i != 0) out << ",";
+        out << call.locks_held[i];
+      }
+      out << "}\n";
+    }
+  }
+
+  bool header = false;
+  for (const auto& [fn, locks] : graph.entry_locks) {
+    if (locks.empty()) continue;
+    if (!header) {
+      out << "entry locksets (held at every in-unit call site):\n";
+      header = true;
+    }
+    out << "  " << fn << ": {";
+    for (std::size_t i = 0; i < locks.size(); ++i) {
+      if (i != 0) out << ",";
+      out << locks[i];
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace cbp::sa

@@ -1,0 +1,54 @@
+// Name-based call graph + interprocedural lockset propagation.
+//
+// The extractor records which function every access/acquire sits in and
+// every `callee(...)` call site with the lockset held at the call.  This
+// pass joins them: a function's *entry lockset* is the set of mutexes
+// held at EVERY call site that reaches it —
+//
+//   entry(f) = ∩ over call sites s of f:  locks_held(s) ∪ entry(caller(s))
+//
+// computed as a greatest fixpoint (functions start at TOP = all mutexes
+// in the unit, so recursion converges from above; a function with no
+// in-unit callers gets the empty set — it may be a thread entry point).
+// The intersection keeps the propagation sound under name-based
+// identity: a lock flows into a callee only when every path in.
+//
+// After convergence, the model is augmented in place: entry locks join
+// each access's lockset (so the intraprocedural lockset/lock-graph
+// passes see through helper functions for free) and each acquire's held
+// set (so crossed lock orders split across functions become visible).
+// Inherited holds carry token -1 — one acquisition instance per
+// function — so the atomicity pass never mistakes them for a
+// release/re-acquire.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sa/model.h"
+
+namespace cbp::sa {
+
+/// The call graph of one unit, restricted to functions defined in it.
+struct CallGraph {
+  /// callee -> call sites targeting it (order: as extracted).
+  std::map<std::string, std::vector<CallSite>> callers;
+  /// function -> entry lockset (sorted); absent == empty.
+  std::map<std::string, std::vector<std::string>> entry_locks;
+};
+
+/// Builds the unit's call graph and solves the entry-lockset fixpoint.
+/// Does not modify `model`.
+CallGraph build_call_graph(const UnitModel& model);
+
+/// Builds the call graph and folds the solved entry locksets into the
+/// model's accesses and acquires (see file comment).  Returns the graph
+/// for reporting.
+CallGraph propagate_locksets(UnitModel& model);
+
+/// Stable text rendering of one unit's call graph and entry locksets
+/// (the `cbp-sa --calls` output).
+std::string render_call_graph(const UnitModel& model, const CallGraph& graph);
+
+}  // namespace cbp::sa

@@ -7,10 +7,12 @@ namespace cbp::sa {
 namespace {
 
 /// One lock active in a brace scope.  `alias` is the TrackedLock
-/// variable name for RAII acquisitions ("" for manual lock() calls).
+/// variable name for RAII acquisitions ("" for manual lock() calls);
+/// `token` identifies the acquisition instance (atomicity pass).
 struct ScopeLock {
   std::string mutex;
   std::string alias;
+  int token = 0;
 };
 
 bool is_wait_method(const std::string& m) {
@@ -26,6 +28,22 @@ const char* trigger_kind(const std::string& ident) {
   return nullptr;
 }
 
+/// Keywords that look like `ident (` but never name a function.
+bool is_control_keyword(const std::string& ident) {
+  static const std::set<std::string> kKeywords{
+      "if",     "for",    "while",  "switch",  "catch",   "return",
+      "sizeof", "throw",  "new",    "delete",  "alignof", "decltype",
+      "static_assert",    "assert", "co_return", "co_await", "co_yield"};
+  return kKeywords.count(ident) != 0;
+}
+
+/// Specifier tokens allowed between a function's `)` and its body `{`.
+bool is_function_specifier(const std::string& ident) {
+  return ident == "const" || ident == "noexcept" || ident == "override" ||
+         ident == "final" || ident == "mutable" || ident == "volatile" ||
+         ident == "try";
+}
+
 class FileExtractor {
  public:
   FileExtractor(const std::string& path, const std::vector<Token>& tokens,
@@ -39,8 +57,16 @@ class FileExtractor {
       const Token& tk = t_[i];
       if (tk.is_punct("{")) {
         scopes_.emplace_back();
+        if (i == pending_body_) {
+          open_functions_.push_back(
+              OpenFunction{pending_function_, scopes_.size()});
+        }
         ++i;
       } else if (tk.is_punct("}")) {
+        if (!open_functions_.empty() &&
+            open_functions_.back().depth == scopes_.size()) {
+          open_functions_.pop_back();
+        }
         if (scopes_.size() > 1) scopes_.pop_back();
         ++i;
       } else if (tk.kind == TokKind::kIdent) {
@@ -56,8 +82,19 @@ class FileExtractor {
   }
 
  private:
+  /// A function whose body brace scope is currently open.
+  struct OpenFunction {
+    std::string name;
+    std::size_t depth;  ///< scopes_.size() while the body is open
+  };
+
   [[nodiscard]] SiteRef site(std::uint32_t line) const {
     return SiteRef{path_, line};
+  }
+
+  [[nodiscard]] const std::string& current_function() const {
+    static const std::string kNone;
+    return open_functions_.empty() ? kNone : open_functions_.back().name;
   }
 
   /// Index just past the '>' matching the '<' at `i`, or i + 1 if the
@@ -86,6 +123,22 @@ class FileExtractor {
     return t_.size();
   }
 
+  /// Index of the token past a balanced '(...)' or '{...}' group whose
+  /// opener is at `i` (used to skip constructor-initializer arguments).
+  [[nodiscard]] std::size_t skip_group(std::size_t i) const {
+    const bool paren = t_[i].is_punct("(");
+    const char* open = paren ? "(" : "{";
+    const char* close = paren ? ")" : "}";
+    int depth = 0;
+    for (std::size_t j = i; j < t_.size(); ++j) {
+      if (t_[j].is_punct(open)) ++depth;
+      if (t_[j].is_punct(close)) {
+        if (--depth == 0) return j + 1;
+      }
+    }
+    return t_.size();
+  }
+
   /// Last identifier in tokens [begin, end): the trailing component of a
   /// receiver chain like `this->mu_` or `obj.inner.lock_`.
   [[nodiscard]] std::string last_ident(std::size_t begin,
@@ -107,6 +160,17 @@ class FileExtractor {
     return held;
   }
 
+  /// Acquisition instances active at the current point (atomicity pass).
+  [[nodiscard]] std::vector<HeldLock> holds() const {
+    std::vector<HeldLock> out;
+    for (const auto& level : scopes_) {
+      for (const ScopeLock& lock : level) {
+        out.push_back(HeldLock{lock.mutex, lock.token});
+      }
+    }
+    return out;
+  }
+
   [[nodiscard]] bool is_var(const std::string& name) const {
     for (const VarDecl& v : m_.vars) {
       if (v.name == name) return true;
@@ -124,7 +188,8 @@ class FileExtractor {
                       bool blocking) {
     std::vector<std::string> held = lockset();
     held.erase(std::remove(held.begin(), held.end(), mutex), held.end());
-    m_.acquires.push_back(Acquire{mutex, site(line), blocking, std::move(held)});
+    m_.acquires.push_back(Acquire{mutex, site(line), blocking,
+                                  std::move(held), current_function()});
   }
 
   /// First argument of the call whose '(' is at `open`: last identifier
@@ -159,13 +224,144 @@ class FileExtractor {
     const std::string& ident = t_[i].text;
     if (ident == "SharedVar") return handle_var_decl(i);
     if (ident == "TrackedMutex") return handle_mutex_decl(i);
-    if (!decls_only_) {
-      if (ident == "TrackedLock") return handle_tracked_lock(i);
-      if (const char* kind = trigger_kind(ident)) {
-        return handle_annotation(i, kind);
+    if (decls_only_) {
+      maybe_string_const(i);
+      maybe_function(i);
+      return i + 1;
+    }
+    if (ident == "TrackedLock") return handle_tracked_lock(i);
+    if (const char* kind = trigger_kind(ident)) {
+      return handle_annotation(i, kind);
+    }
+    maybe_function(i);
+    return i + 1;
+  }
+
+  /// `kName = "literal"` — a string constant (annotation names resolve
+  /// through these to the runtime breakpoint name they designate).
+  /// Requires a single '=' (not `==`) and a terminating ';'.
+  void maybe_string_const(std::size_t i) {
+    if (i + 3 >= t_.size()) return;
+    if (!t_[i + 1].is_punct("=") || t_[i + 2].kind != TokKind::kString ||
+        !t_[i + 3].is_punct(";")) {
+      return;
+    }
+    if (i > 0 && t_[i - 1].is_punct("=")) return;  // `a == "x"` comparison
+    m_.consts.emplace(t_[i].text, t_[i + 2].text);
+  }
+
+  /// Function-definition and call-site detection at `ident (`.
+  ///
+  /// Definition: the matched ')' is followed — possibly across cv/ref
+  /// qualifiers, noexcept(...), override/final, a trailing return type,
+  /// or a constructor initializer list — by a body '{'.  The body brace
+  /// index is remembered so run() binds the right scope (constructor
+  /// member initializers may open earlier braces).
+  ///
+  /// Call: everything else, provided the previous token cannot start a
+  /// declaration (a type name, '*', '&', '~') — that filter keeps
+  /// prototypes like `void put(int);` out of the call graph.
+  void maybe_function(std::size_t i) {
+    const std::string& ident = t_[i].text;
+    if (is_control_keyword(ident)) return;
+    if (i + 1 >= t_.size() || !t_[i + 1].is_punct("(")) return;
+    if (i > 0 && (t_[i - 1].is_punct(".") || t_[i - 1].is_punct("->") ||
+                  t_[i - 1].is_punct("~"))) {
+      return;  // method calls are handled at the '.'; skip destructors
+    }
+    const std::size_t close = match_paren(i + 1);
+    if (close >= t_.size()) return;
+
+    const std::size_t body = find_body_brace(close + 1);
+    if (body != 0) {
+      if (decls_only_) {
+        if (!m_.has_function(ident)) {
+          m_.functions.push_back(FunctionDecl{ident, site(t_[i].line)});
+        }
+      } else {
+        pending_function_ = ident;
+        pending_body_ = body;
+      }
+      return;
+    }
+
+    if (decls_only_) return;
+    // Call site: reject declaration shapes (preceded by a type).
+    if (i > 0) {
+      const Token& prev = t_[i - 1];
+      if (prev.kind == TokKind::kIdent && !is_control_keyword(prev.text)) {
+        return;
+      }
+      if (prev.is_punct("*") || prev.is_punct("&") || prev.is_punct(">") ||
+          prev.is_punct("::")) {
+        return;
       }
     }
-    return i + 1;
+    m_.calls.push_back(
+        CallSite{current_function(), ident, site(t_[i].line), lockset()});
+  }
+
+  /// Scans forward from just past a parameter list's ')': returns the
+  /// token index of the function body's '{', or 0 when the tokens do not
+  /// form a definition.  Bounded so malformed input cannot spin.
+  [[nodiscard]] std::size_t find_body_brace(std::size_t j) const {
+    for (std::size_t steps = 0; j < t_.size() && steps < 256; ++steps) {
+      const Token& tk = t_[j];
+      if (tk.is_punct("{")) return j;
+      if (tk.is_punct(";")) return 0;
+      if (tk.kind == TokKind::kIdent && is_function_specifier(tk.text)) {
+        if (tk.text == "noexcept" && j + 1 < t_.size() &&
+            t_[j + 1].is_punct("(")) {
+          j = match_paren(j + 1) + 1;
+        } else {
+          ++j;
+        }
+        continue;
+      }
+      if (tk.is_punct("&")) {  // ref-qualifier
+        ++j;
+        continue;
+      }
+      if (tk.is_punct("->")) {  // trailing return type
+        ++j;
+        while (j < t_.size() && (t_[j].kind == TokKind::kIdent ||
+                                 t_[j].is_punct("::") || t_[j].is_punct("*") ||
+                                 t_[j].is_punct("&"))) {
+          if (t_[j].kind == TokKind::kIdent && j + 1 < t_.size() &&
+              t_[j + 1].is_punct("<")) {
+            ++j;
+            j = skip_template_args(j);
+          } else {
+            ++j;
+          }
+        }
+        continue;
+      }
+      if (tk.is_punct(":")) {  // constructor initializer list
+        ++j;
+        while (j < t_.size()) {
+          // `member(args)` or `member{args}`, comma-separated.
+          while (j < t_.size() && (t_[j].kind == TokKind::kIdent ||
+                                   t_[j].is_punct("::"))) {
+            ++j;
+          }
+          if (j < t_.size() && t_[j].is_punct("<")) j = skip_template_args(j);
+          if (j >= t_.size() ||
+              !(t_[j].is_punct("(") || t_[j].is_punct("{"))) {
+            return 0;
+          }
+          j = skip_group(j);
+          if (j < t_.size() && t_[j].is_punct(",")) {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        continue;
+      }
+      return 0;
+    }
+    return 0;
   }
 
   /// `SharedVar<T> [&*] name` — member, local, or reference parameter.
@@ -229,7 +425,7 @@ class FileExtractor {
     ensure_mutex(mutex, t_[i].line);
     record_acquire(mutex, t_[i].line, /*blocking=*/true);
     if (!alias.empty()) {
-      scopes_.back().push_back(ScopeLock{mutex, alias});
+      scopes_.back().push_back(ScopeLock{mutex, alias, next_token_++});
     }
     return close + 1;
   }
@@ -257,12 +453,14 @@ class FileExtractor {
     if (method == "read" || method == "write" || method == "racy_update") {
       if (is_var(recv)) {
         if (method != "write") {
-          m_.accesses.push_back(
-              Access{recv, site(line), /*is_write=*/false, lockset()});
+          m_.accesses.push_back(Access{recv, site(line), /*is_write=*/false,
+                                       lockset(), holds(),
+                                       current_function()});
         }
         if (method != "read") {
-          m_.accesses.push_back(
-              Access{recv, site(line), /*is_write=*/true, lockset()});
+          m_.accesses.push_back(Access{recv, site(line), /*is_write=*/true,
+                                       lockset(), holds(),
+                                       current_function()});
         }
       }
     } else if (method == "lock" || method == "lock_or_stall" ||
@@ -274,7 +472,7 @@ class FileExtractor {
       if (method == "lock_or_stall" || known) {
         ensure_mutex(recv, line);
         record_acquire(recv, line, /*blocking=*/method != "try_lock");
-        scopes_.back().push_back(ScopeLock{recv, ""});
+        scopes_.back().push_back(ScopeLock{recv, "", next_token_++});
       }
     } else if (method == "unlock") {
       release(recv);
@@ -305,6 +503,10 @@ class FileExtractor {
   const bool decls_only_;
   UnitModel& m_;
   std::vector<std::vector<ScopeLock>> scopes_;
+  std::vector<OpenFunction> open_functions_;
+  std::string pending_function_;
+  std::size_t pending_body_ = 0;  ///< token index of the next body '{'
+  int next_token_ = 1;            ///< acquisition-instance counter
 };
 
 }  // namespace
@@ -327,7 +529,7 @@ UnitModel extract_unit(std::string unit_name,
     FileExtractor(files[i].path, token_streams[i], /*decls_only=*/true, model)
         .run();
   }
-  // Phase 2: sites, locksets, waits, annotations.
+  // Phase 2: sites, locksets, waits, annotations, calls.
   for (std::size_t i = 0; i < files.size(); ++i) {
     FileExtractor(files[i].path, token_streams[i], /*decls_only=*/false, model)
         .run();

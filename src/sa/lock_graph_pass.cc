@@ -1,7 +1,10 @@
 #include "sa/lock_graph_pass.h"
 
+#include <algorithm>
+#include <functional>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 
 namespace cbp::sa {
@@ -57,6 +60,96 @@ std::vector<Candidate> lock_graph_pass(const UnitModel& model) {
     }
   }
   return out;
+}
+
+std::vector<LockCycle> find_lock_cycles(const UnitModel& model) {
+  constexpr std::size_t kMaxLength = 8;
+  constexpr std::size_t kMaxCycles = 64;
+
+  // Dedup parallel edges: keep the earliest witness site per (held ->
+  // wanted) pair, then index by source for the DFS.
+  std::map<std::pair<std::string, std::string>, SiteRef> witness;
+  for (const Edge& edge : build_edges(model)) {
+    const auto key = std::make_pair(edge.held, edge.wanted);
+    const auto it = witness.find(key);
+    if (it == witness.end() || edge.site < it->second) witness[key] = edge.site;
+  }
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, unused] : witness) {
+    (void)unused;
+    adj[key.first].push_back(key.second);
+  }
+
+  // Elementary cycles, each enumerated exactly once: DFS from every
+  // start node visiting only nodes >= start, so the recorded cycle
+  // begins at its lexicographically-smallest lock.
+  std::vector<LockCycle> cycles;
+  std::vector<std::string> path;
+  std::set<std::string> on_path;
+  const std::function<void(const std::string&, const std::string&)> dfs =
+      [&](const std::string& start, const std::string& node) {
+        if (cycles.size() >= kMaxCycles) return;
+        const auto it = adj.find(node);
+        if (it == adj.end()) return;
+        for (const std::string& next : it->second) {
+          if (cycles.size() >= kMaxCycles) return;
+          if (next == start && path.size() >= 2) {
+            LockCycle cycle;
+            cycle.unit = model.name;
+            cycle.locks = path;
+            for (std::size_t i = 0; i < path.size(); ++i) {
+              cycle.displays.push_back(model.mutex_display(path[i]));
+              cycle.sites.push_back(
+                  witness.at({path[i], path[(i + 1) % path.size()]}));
+            }
+            cycle.score = 100 - 10 * (static_cast<int>(path.size()) - 2);
+            cycles.push_back(std::move(cycle));
+            continue;
+          }
+          if (next <= start || on_path.count(next) != 0) continue;
+          if (path.size() >= kMaxLength) continue;
+          path.push_back(next);
+          on_path.insert(next);
+          dfs(start, next);
+          on_path.erase(next);
+          path.pop_back();
+        }
+      };
+  for (const auto& [start, unused] : adj) {
+    (void)unused;
+    path = {start};
+    on_path = {start};
+    dfs(start, start);
+  }
+
+  std::sort(cycles.begin(), cycles.end(),
+            [](const LockCycle& a, const LockCycle& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.locks != b.locks) return a.locks < b.locks;
+              return a.sites < b.sites;
+            });
+  return cycles;
+}
+
+std::string render_cycles(const std::vector<LockCycle>& cycles) {
+  std::ostringstream out;
+  out << "cbp-sa: " << cycles.size() << " lock-order cycle"
+      << (cycles.size() == 1 ? "" : "s") << "\n";
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    const LockCycle& c = cycles[i];
+    out << "\n[" << (i + 1) << "] score=" << c.score << " unit=" << c.unit
+        << " length=" << c.length() << "\n  cycle:";
+    for (std::size_t j = 0; j < c.displays.size(); ++j) {
+      out << (j == 0 ? " " : " -> ") << c.displays[j];
+    }
+    out << " -> " << c.displays.front() << "\n";
+    for (std::size_t j = 0; j < c.locks.size(); ++j) {
+      out << "  hold " << c.displays[j] << ", acquire "
+          << c.displays[(j + 1) % c.locks.size()] << " at " << c.sites[j].str()
+          << "\n";
+    }
+  }
+  return out.str();
 }
 
 bool lock_graph_has_cycle(const UnitModel& model) {

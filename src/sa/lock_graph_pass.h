@@ -7,6 +7,7 @@
 // would report after observing both orders at runtime.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "sa/model.h"
@@ -20,5 +21,19 @@ std::vector<Candidate> lock_graph_pass(const UnitModel& model);
 /// (any length) — longer cycles are surfaced in the report summary even
 /// though only 2-cycles become concrete breakpoint candidates.
 bool lock_graph_has_cycle(const UnitModel& model);
+
+/// All elementary cycles of the unit's lock-order graph, ranked (best
+/// first): shorter cycles score higher (score = 100 - 10*(length-2)),
+/// ties broken lexicographically by lock names.  Each cycle starts at
+/// its lexicographically-smallest lock and carries a witness site chain
+/// (sites[i] = where locks[(i+1)%n] is acquired while locks[i] is
+/// held).  Capped at 64 cycles and length 8 per unit; recursive
+/// self-acquisitions never form edges (see build_edges) so self-cycles
+/// cannot appear.
+std::vector<LockCycle> find_lock_cycles(const UnitModel& model);
+
+/// Stable text rendering of ranked cycles (the `cbp-sa --deadlock`
+/// output), one block per cycle with the witness chain.
+std::string render_cycles(const std::vector<LockCycle>& cycles);
 
 }  // namespace cbp::sa

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,21 @@ struct MutexDecl {
   SiteRef decl;
 };
 
+/// One acquisition *instance* a site is executed under: the mutex name
+/// plus a token identifying which textual acquisition produced it.  Two
+/// holds of the same mutex with different tokens mean the lock was
+/// released and re-acquired in between — the atomicity pass's signal.
+/// Token -1 marks locks inherited interprocedurally (one entry per
+/// function, so inherited holds never fake a release/re-acquire).
+struct HeldLock {
+  std::string mutex;
+  int token = 0;
+
+  friend bool operator==(const HeldLock& a, const HeldLock& b) {
+    return a.token == b.token && a.mutex == b.mutex;
+  }
+};
+
 /// One instrumented read or write of a shared variable, with the
 /// statically-enclosing lockset at the access site.
 struct Access {
@@ -58,6 +74,8 @@ struct Access {
   SiteRef site;
   bool is_write = false;
   std::vector<std::string> lockset;  ///< sorted, deduplicated mutex names
+  std::vector<HeldLock> holds;       ///< acquisition instances (unsorted)
+  std::string function;  ///< enclosing function name; "" at file scope
 };
 
 /// One lock-acquisition site (TrackedLock ctor, .lock(), .lock_or_stall(),
@@ -67,6 +85,24 @@ struct Acquire {
   SiteRef site;
   bool blocking = true;  ///< false for try_lock (cannot deadlock)
   std::vector<std::string> held;  ///< sorted; excludes `mutex` itself
+  std::string function;  ///< enclosing function name; "" at file scope
+};
+
+/// A function definition seen in the unit (name-based, like everything
+/// else: overloads and same-named methods of different classes merge).
+struct FunctionDecl {
+  std::string name;
+  SiteRef decl;
+};
+
+/// A call site `callee(...)` inside `caller`, with the lockset held at
+/// the call.  Callees are recorded unfiltered; the call-graph pass keeps
+/// only calls to functions defined in the unit.
+struct CallSite {
+  std::string caller;  ///< enclosing function; "" at file scope
+  std::string callee;
+  SiteRef site;
+  std::vector<std::string> locks_held;  ///< sorted, deduplicated
 };
 
 /// One condition wait site (`cv.wait*(mu, ...)`).
@@ -95,6 +131,18 @@ struct UnitModel {
   std::vector<Acquire> acquires;
   std::vector<Wait> waits;
   std::vector<Annotation> annotations;
+  std::vector<FunctionDecl> functions;
+  std::vector<CallSite> calls;
+  /// String constants (`kName = "literal"`), used to resolve annotation
+  /// identifiers like kRace1 to the runtime breakpoint name they carry.
+  std::map<std::string, std::string> consts;
+
+  [[nodiscard]] bool has_function(const std::string& name_in) const {
+    for (const FunctionDecl& f : functions) {
+      if (f.name == name_in) return true;
+    }
+    return false;
+  }
 
   [[nodiscard]] const MutexDecl* find_mutex(const std::string& name_in) const {
     for (const MutexDecl& m : mutexes) {
@@ -114,7 +162,12 @@ struct UnitModel {
 /// detectors' Race/Contention/Deadlock reports, i.e. an (l1, l2, phi)
 /// pair the engine can plant a concurrent breakpoint on.
 struct Candidate {
-  enum class Kind : std::uint8_t { kConflict, kContention, kDeadlock };
+  enum class Kind : std::uint8_t {
+    kConflict,
+    kContention,
+    kDeadlock,
+    kAtomicity,
+  };
 
   Kind kind = Kind::kConflict;
   std::string unit;
@@ -129,7 +182,24 @@ struct Candidate {
   std::string mutex_b;  ///< deadlocks: lock acquired at site_b
   int score = 0;          ///< filled by the ranking pass
   std::string existing;   ///< nearby already-inserted breakpoint, if any
+  /// `existing` resolved to the runtime breakpoint name it denotes (via
+  /// the unit's string-constant table); empty when unresolvable.
+  std::string existing_runtime;
   std::string spec_name;  ///< generated breakpoint name (ranking pass)
+};
+
+/// One directed cycle in a unit's static lock-order graph, with the
+/// witness acquisition chain: sites[i] is where locks[(i+1) % n] is
+/// acquired while locks[i] is held.  `displays` carries the declared
+/// tags (when present) aligned with `locks`.
+struct LockCycle {
+  std::string unit;
+  std::vector<std::string> locks;     ///< raw mutex names, cycle order
+  std::vector<std::string> displays;  ///< tag or name, aligned with locks
+  std::vector<SiteRef> sites;         ///< witness acquisition sites
+  int score = 0;
+
+  [[nodiscard]] std::size_t length() const { return locks.size(); }
 };
 
 [[nodiscard]] inline std::string kind_str(Candidate::Kind kind) {
@@ -140,6 +210,8 @@ struct Candidate {
       return "contention";
     case Candidate::Kind::kDeadlock:
       return "deadlock";
+    case Candidate::Kind::kAtomicity:
+      return "atomicity";
   }
   return "?";
 }

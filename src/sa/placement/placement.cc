@@ -1,0 +1,265 @@
+#include "sa/placement/placement.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace cbp::sa::placement {
+namespace {
+
+std::string get_string(const obs::json::Value& v, const char* key) {
+  const obs::json::Value* field = v.get(key);
+  return field != nullptr && field->is_string() ? field->string : "";
+}
+
+std::uint32_t get_line(const obs::json::Value& v, const char* key) {
+  const obs::json::Value* field = v.get(key);
+  if (field == nullptr || !field->is_number() || field->number < 0) return 0;
+  return static_cast<std::uint32_t>(field->number);
+}
+
+void add_pair(const char* kind, const obs::json::Value& row,
+              const char* prefix_a, const char* prefix_b,
+              std::vector<RecordedSitePair>& pairs) {
+  RecordedSitePair p;
+  p.kind = kind;
+  p.file_a = get_string(row, (std::string(prefix_a) + "file").c_str());
+  p.line_a = get_line(row, (std::string(prefix_a) + "line").c_str());
+  p.file_b = get_string(row, (std::string(prefix_b) + "file").c_str());
+  p.line_b = get_line(row, (std::string(prefix_b) + "line").c_str());
+  if (p.line_a != 0 && p.line_b != 0) pairs.push_back(std::move(p));
+}
+
+/// Unordered site-pair match: the candidate's two sites equal the
+/// recorded pair's two sites in either orientation.
+bool sites_match(const Candidate& c, const RecordedSitePair& p) {
+  const auto same = [](const SiteRef& s, const std::string& file,
+                       std::uint32_t line) {
+    return s.line == line && s.basename() == file;
+  };
+  return (same(c.site_a, p.file_a, p.line_a) &&
+          same(c.site_b, p.file_b, p.line_b)) ||
+         (same(c.site_a, p.file_b, p.line_b) &&
+          same(c.site_b, p.file_a, p.line_a));
+}
+
+}  // namespace
+
+bool parse_detector_json(const std::string& text,
+                         std::vector<RecordedSitePair>& pairs,
+                         std::string& error) {
+  const obs::json::ValuePtr root = obs::json::parse(text, error);
+  if (root == nullptr) return false;
+  if (root->get("detector_dump") == nullptr) {
+    error = "not a detector dump (missing \"detector_dump\")";
+    return false;
+  }
+  struct Section {
+    const char* key;
+    const char* kind;
+  };
+  for (const Section s : {Section{"races", "race"},
+                          Section{"contentions", "contention"}}) {
+    const obs::json::Value* list = root->get(s.key);
+    if (list == nullptr) continue;
+    if (!list->is_array()) {
+      error = std::string("\"") + s.key + "\" is not an array";
+      return false;
+    }
+    for (const obs::json::ValuePtr& item : list->array) {
+      if (item == nullptr || !item->is_object()) continue;
+      RecordedSitePair p;
+      p.kind = s.kind;
+      p.file_a = get_string(*item, "file_a");
+      p.line_a = get_line(*item, "line_a");
+      p.file_b = get_string(*item, "file_b");
+      p.line_b = get_line(*item, "line_b");
+      if (p.line_a != 0 && p.line_b != 0) pairs.push_back(std::move(p));
+    }
+  }
+  if (const obs::json::Value* list = root->get("deadlocks");
+      list != nullptr && list->is_array()) {
+    for (const obs::json::ValuePtr& item : list->array) {
+      if (item == nullptr) continue;
+      const obs::json::Value* legs = item->get("legs");
+      if (legs == nullptr || !legs->is_array()) continue;
+      // Adjacent legs pair up: leg i's site with leg i+1's (cyclically),
+      // which for a 2-cycle yields the crossed acquisition pair.
+      const std::size_t n = legs->array.size();
+      for (std::size_t i = 0; n >= 2 && i < n; ++i) {
+        const obs::json::Value* a = legs->array[i].get();
+        const obs::json::Value* b = legs->array[(i + 1) % n].get();
+        if (a == nullptr || b == nullptr) continue;
+        RecordedSitePair p;
+        p.kind = "deadlock";
+        p.file_a = get_string(*a, "file");
+        p.line_a = get_line(*a, "line");
+        p.file_b = get_string(*b, "file");
+        p.line_b = get_line(*b, "line");
+        if (p.line_a != 0 && p.line_b != 0) pairs.push_back(std::move(p));
+        if (n == 2) break;  // both orientations match the same candidates
+      }
+    }
+  }
+  if (const obs::json::Value* list = root->get("atomicity");
+      list != nullptr && list->is_array()) {
+    for (const obs::json::ValuePtr& item : list->array) {
+      if (item == nullptr || !item->is_object()) continue;
+      add_pair("atomicity", *item, "begin_", "end_", pairs);
+    }
+  }
+  return true;
+}
+
+std::uint64_t derive_ignore_first(const obs::BreakpointTelemetry& row) {
+  const std::uint64_t runs = std::max<std::uint64_t>(row.runs, 1);
+  const std::uint64_t arrivals = row.stats.arrivals;
+  const std::uint64_t participants = row.stats.participants;
+  if (arrivals <= participants) return 0;
+  // Warmup arrivals per run: everything that arrived but never became a
+  // participant.  Small counts are noise, not a warmup phase.
+  const std::uint64_t warmup = (arrivals - participants) / runs;
+  if (warmup < 32) return 0;
+  // Back off so jitter in the warmup count can't skip the real arrival.
+  const std::uint64_t slack = std::max<std::uint64_t>(2, warmup / 64);
+  return warmup - slack;
+}
+
+std::uint64_t derive_pause_ms(const obs::BreakpointTelemetry& row,
+                              const PlacementOptions& options) {
+  if (row.step_gap_ns == 0) return options.default_pause_ms;
+  const model::ModelInputs base = row.inputs.sanitized();
+  // T-doubling search: grow the pause until the §3 btrigger bound
+  // reaches the target or saturates (marginal gain < 0.005/doubling).
+  std::uint64_t t = std::max<std::uint64_t>(base.pause_steps, 1);
+  double p = model::p_hit_btrigger(base.n_steps, base.m_visits,
+                                   base.big_m_visits, t);
+  for (int i = 0; i < 20 && p < options.target_hit; ++i) {
+    const double next = model::p_hit_btrigger(base.n_steps, base.m_visits,
+                                              base.big_m_visits, t * 2);
+    if (next - p < 0.005) break;
+    t *= 2;
+    p = next;
+  }
+  const std::uint64_t ms = t * row.step_gap_ns / 1000000;
+  return std::clamp(ms, options.min_pause_ms, options.max_pause_ms);
+}
+
+PlacementPlan fuse(const AnalysisResult& analysis,
+                   const std::vector<RecordedSitePair>& recorded,
+                   const std::vector<obs::BreakpointTelemetry>& telemetry,
+                   const PlacementOptions& options) {
+  PlacementPlan plan;
+  for (const Candidate& c : analysis.candidates) {
+    PlacementEntry entry;
+    entry.breakpoint =
+        c.existing_runtime.empty() ? c.spec_name : c.existing_runtime;
+    entry.kind = c.kind;
+    entry.subject = c.subject;
+    entry.site_a = c.site_a.str();
+    entry.site_b = c.site_b.str();
+    entry.static_score = c.score;
+    entry.pause_ms = options.default_pause_ms;
+    for (const RecordedSitePair& pair : recorded) {
+      if (sites_match(c, pair)) {
+        entry.dynamic_confirmed = true;
+        break;
+      }
+    }
+    for (const obs::BreakpointTelemetry& row : telemetry) {
+      if (row.name != entry.breakpoint) continue;
+      entry.has_telemetry = true;
+      entry.pause_ms = derive_pause_ms(row, options);
+      entry.ignore_first = derive_ignore_first(row);
+      if (row.runs > 0) {
+        const model::Interval wilson = model::wilson_interval(
+            static_cast<int>(row.runs_hit), static_cast<int>(row.runs));
+        entry.has_prediction = true;
+        entry.predicted_low = wilson.low;
+        entry.predicted_high = wilson.high;
+        entry.predicted_center = (wilson.low + wilson.high) / 2.0;
+      }
+      break;
+    }
+    plan.entries.push_back(std::move(entry));
+  }
+
+  std::sort(plan.entries.begin(), plan.entries.end(),
+            [](const PlacementEntry& a, const PlacementEntry& b) {
+              if (a.tier() != b.tier()) return a.tier() > b.tier();
+              if (a.predicted_center != b.predicted_center) {
+                return a.predicted_center > b.predicted_center;
+              }
+              if (a.static_score != b.static_score) {
+                return a.static_score > b.static_score;
+              }
+              return a.breakpoint < b.breakpoint;
+            });
+  // One spec entry per breakpoint name; the strongest evidence (first
+  // after the sort) wins.
+  std::set<std::string> seen;
+  std::vector<PlacementEntry> unique;
+  for (PlacementEntry& entry : plan.entries) {
+    if (seen.insert(entry.breakpoint).second) {
+      unique.push_back(std::move(entry));
+    }
+  }
+  plan.entries = std::move(unique);
+  return plan;
+}
+
+std::string render_plan(const PlacementPlan& plan) {
+  std::ostringstream out;
+  out << "placement plan: " << plan.entries.size() << " breakpoint"
+      << (plan.entries.size() == 1 ? "" : "s") << " (ranked by evidence)\n";
+  for (std::size_t i = 0; i < plan.entries.size(); ++i) {
+    const PlacementEntry& e = plan.entries[i];
+    out << "\n[" << (i + 1) << "] " << e.breakpoint << "\n  "
+        << kind_str(e.kind) << " '" << e.subject << "' " << e.site_a
+        << " <-> " << e.site_b << "\n  evidence: static score "
+        << e.static_score;
+    if (e.dynamic_confirmed) out << ", detector-confirmed";
+    if (e.has_telemetry) out << ", telemetry-recorded";
+    out << " (tier " << e.tier() << ")\n  derived: pause=" << e.pause_ms
+        << "ms";
+    if (e.ignore_first > 0) out << " ignore_first=" << e.ignore_first;
+    if (e.has_prediction) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    " predicted hit %.4f (95%% CI [%.4f, %.4f])",
+                    e.predicted_center, e.predicted_low, e.predicted_high);
+      out << buf;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string render_plan_spec(const PlacementPlan& plan) {
+  std::ostringstream out;
+  out << "# cbp-sa placement plan: static candidates fused with dynamic\n"
+      << "# detector reports and recorded telemetry; pause/ignore_first\n"
+      << "# derived from the \xc2\xa7" "3 model inputs.  Ready to run:\n"
+      << "# load via BreakpointSpec::parse / install().\n";
+  for (const PlacementEntry& e : plan.entries) {
+    out << "# placement: " << kind_str(e.kind) << " '" << e.subject << "' "
+        << e.site_a << " <-> " << e.site_b << " tier=" << e.tier()
+        << " score=" << e.static_score << "\n";
+    out << e.breakpoint << " pause=" << e.pause_ms;
+    if (e.ignore_first > 0) out << " ignore_first=" << e.ignore_first;
+    out << " from=static";
+    if (e.has_prediction) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " predicted=%.4f", e.predicted_center);
+      out << buf;
+    }
+    if (e.dynamic_confirmed || e.has_telemetry) out << " confirmed";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cbp::sa::placement

@@ -1,0 +1,115 @@
+// Closed-loop predictive breakpoint placement (DESIGN.md §5f).
+//
+// The paper's Methodology II loop — pick sites, tune T, re-run — is
+// closed here: static candidates (src/sa passes), dynamic detector
+// reports (src/detect JSON export), and obs telemetry (recorded
+// predicted-vs-observed runs) fuse into one ranked PlacementPlan whose
+// entries are ready-to-run specs.
+//
+// Evidence tiers (strongest first):
+//   2  telemetry  — a recorded run exercised this breakpoint; T and
+//                   ignore_first are derived from the §3 model inputs
+//                   the obs layer estimated, and the prediction is the
+//                   Wilson interval of the recorded hit rate;
+//   1  dynamic    — a detector reported the same (l1, l2) site pair;
+//   0  static     — mined from source text alone.
+// Within a tier, predicted hit probability then static score rank.
+//
+// Derivations (telemetry entries):
+//   ignore_first — warmup arrivals per run, (arrivals - participants) /
+//                  runs, backed off slightly so the real arrival is
+//                  never skipped; small counts round to 0 (§6.3).
+//   pause (T)    — start from the recorded pause in steps, double until
+//                  the §3 btrigger bound reaches the target hit rate or
+//                  stops improving, then convert steps to wall time via
+//                  the recorded per-step gap and clamp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/probability.h"
+#include "obs/telemetry.h"
+#include "sa/analyzer.h"
+#include "sa/model.h"
+
+namespace cbp::sa::placement {
+
+/// One site pair from a dynamic detector dump (detect/json_export.h),
+/// flattened: races/contentions/atomicity map (a, b) to their two
+/// sites, deadlocks contribute one pair per adjacent leg pair.
+struct RecordedSitePair {
+  std::string kind;  ///< "race", "contention", "deadlock", "atomicity"
+  std::string file_a;  ///< basename
+  std::uint32_t line_a = 0;
+  std::string file_b;
+  std::uint32_t line_b = 0;
+};
+
+/// Parses a detect::write_json dump.  Returns false + error on
+/// malformed input or a missing "detector_dump" marker.
+bool parse_detector_json(const std::string& text,
+                         std::vector<RecordedSitePair>& pairs,
+                         std::string& error);
+
+struct PlacementOptions {
+  double target_hit = 0.9;  ///< pause search stops at this btrigger bound
+  std::uint64_t min_pause_ms = 20;
+  std::uint64_t max_pause_ms = 2000;
+  std::uint64_t default_pause_ms = 100;  ///< no-telemetry fallback
+};
+
+/// One ranked placement: a breakpoint name plus its derived knobs and
+/// the evidence that put it there.
+struct PlacementEntry {
+  std::string breakpoint;  ///< runtime name (resolved annotation) or spec name
+  Candidate::Kind kind = Candidate::Kind::kConflict;
+  std::string subject;
+  std::string site_a;  ///< display form basename:line
+  std::string site_b;
+  int static_score = 0;
+  bool dynamic_confirmed = false;  ///< a detector reported the same pair
+  bool has_telemetry = false;      ///< a recorded run exercised the name
+  std::uint64_t pause_ms = 0;      ///< derived T, wall-clock
+  std::uint64_t ignore_first = 0;  ///< derived §6.3 refinement (0 = none)
+  /// Predicted hit probability; for telemetry entries the 95% Wilson
+  /// interval of the recorded runs, with `center` its midpoint.  For
+  /// the rest the model has no inputs: [0, 1] and no center emitted.
+  bool has_prediction = false;
+  double predicted_low = 0.0;
+  double predicted_high = 1.0;
+  double predicted_center = 0.0;
+
+  [[nodiscard]] int tier() const {
+    return (has_telemetry ? 2 : 0) + (dynamic_confirmed ? 1 : 0);
+  }
+};
+
+struct PlacementPlan {
+  std::vector<PlacementEntry> entries;  ///< ranked, best first
+};
+
+/// Derives the §6.3 ignore_first refinement from a recorded run (see
+/// file comment).
+std::uint64_t derive_ignore_first(const obs::BreakpointTelemetry& row);
+
+/// Derives the pause (T) in wall-clock ms from a recorded run.
+std::uint64_t derive_pause_ms(const obs::BreakpointTelemetry& row,
+                              const PlacementOptions& options);
+
+/// Fuses static candidates with recorded evidence into a ranked plan.
+/// One entry per breakpoint name (strongest evidence wins).
+PlacementPlan fuse(const AnalysisResult& analysis,
+                   const std::vector<RecordedSitePair>& recorded,
+                   const std::vector<obs::BreakpointTelemetry>& telemetry,
+                   const PlacementOptions& options = {});
+
+/// Human-readable plan, one block per entry.
+std::string render_plan(const PlacementPlan& plan);
+
+/// Spec-file form: `# placement:` provenance comments plus one
+/// ready-to-run entry per breakpoint, parseable by BreakpointSpec.
+std::string render_plan_spec(const PlacementPlan& plan);
+
+}  // namespace cbp::sa::placement

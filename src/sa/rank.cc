@@ -38,15 +38,21 @@ int score_candidate(const Candidate& c) {
     case Candidate::Kind::kDeadlock:
       score = 95;
       break;
+    case Candidate::Kind::kAtomicity:
+      score = 98;  // below an unguarded race, above a deadlock crossing
+      break;
     case Candidate::Kind::kContention:
       score = 60;
       break;
   }
   // Fewer guarding/held locks first: an unguarded pair is the strongest
   // static signal.  (For deadlocks the crossing lock itself is expected
-  // in each held set; only extra locks count against the pair.)
+  // in each held set, and for atomicity candidates the spanning lock is
+  // by construction in both; only extra locks count against the pair.)
   int guard_locks = static_cast<int>(c.locks_a.size() + c.locks_b.size());
-  if (c.kind == Candidate::Kind::kDeadlock && guard_locks >= 2) {
+  if ((c.kind == Candidate::Kind::kDeadlock ||
+       c.kind == Candidate::Kind::kAtomicity) &&
+      guard_locks >= 2) {
     guard_locks -= 2;
   }
   score -= 8 * guard_locks;
@@ -81,8 +87,32 @@ std::string locks_str(const std::vector<std::string>& locks) {
 }
 
 const char* rw(const Candidate& c, bool first) {
-  if (c.kind != Candidate::Kind::kConflict) return "-";
+  if (c.kind != Candidate::Kind::kConflict &&
+      c.kind != Candidate::Kind::kAtomicity) {
+    return "-";
+  }
   return (first ? c.a_is_write : c.b_is_write) ? "w" : "r";
+}
+
+/// Resolves an annotation's first-argument identifier (e.g. kRace1) to
+/// the runtime breakpoint name it carries, via the unit's string-constant
+/// table.  A literal argument is already the runtime name.
+std::string resolve_runtime_name(const std::string& existing,
+                                 const std::string& unit,
+                                 const std::vector<UnitModel>& units) {
+  if (existing.empty()) return "";
+  for (const UnitModel& u : units) {
+    if (u.name != unit) continue;
+    const auto it = u.consts.find(existing);
+    if (it != u.consts.end()) return it->second;
+  }
+  // String literals in annotations never look like identifiers with a
+  // 'k' prefix; treat anything containing '-' or ' ' as already-literal.
+  if (existing.find('-') != std::string::npos ||
+      existing.find(' ') != std::string::npos) {
+    return existing;
+  }
+  return "";
 }
 
 }  // namespace
@@ -92,6 +122,7 @@ void rank_candidates(std::vector<Candidate>& candidates,
   for (Candidate& c : candidates) {
     if (const Annotation* ann = nearby_annotation(c, units)) {
       c.existing = ann->name;
+      c.existing_runtime = resolve_runtime_name(c.existing, c.unit, units);
     }
     c.score = score_candidate(c);
   }
@@ -131,6 +162,9 @@ std::vector<detect::CandidateReport> to_reports(
       case Candidate::Kind::kDeadlock:
         report.kind = detect::CandidateReport::Kind::kDeadlock;
         break;
+      case Candidate::Kind::kAtomicity:
+        report.kind = detect::CandidateReport::Kind::kAtomicity;
+        break;
     }
     report.breakpoint = c.spec_name;
     report.subject = c.subject;
@@ -152,18 +186,20 @@ std::string render_report(const std::vector<Candidate>& candidates,
   std::size_t conflicts = 0;
   std::size_t deadlocks = 0;
   std::size_t contentions = 0;
+  std::size_t atomicities = 0;
   for (const Candidate& c : candidates) {
     switch (c.kind) {
       case Candidate::Kind::kConflict: ++conflicts; break;
       case Candidate::Kind::kDeadlock: ++deadlocks; break;
       case Candidate::Kind::kContention: ++contentions; break;
+      case Candidate::Kind::kAtomicity: ++atomicities; break;
     }
   }
   std::ostringstream out;
   out << "cbp-sa: " << candidates.size() << " breakpoint candidate"
       << (candidates.size() == 1 ? "" : "s") << " (" << conflicts
-      << " conflict, " << deadlocks << " deadlock, " << contentions
-      << " contention)\n";
+      << " conflict, " << atomicities << " atomicity, " << deadlocks
+      << " deadlock, " << contentions << " contention)\n";
   const std::vector<detect::CandidateReport> reports = to_reports(candidates);
   const std::size_t limit =
       top == 0 ? reports.size() : std::min(top, reports.size());

@@ -23,24 +23,29 @@ class Lexer {
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = true;
       } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
         ++pos_;
       } else if (c == '/' && peek(1) == '/') {
         skip_to_eol();
       } else if (c == '/' && peek(1) == '*') {
         skip_block_comment();
-      } else if (c == '#' && at_line_start(out)) {
+        line_start_ = false;
+      } else if (c == '#' && line_start_) {
         skip_preprocessor();
-      } else if (ident_start(c)) {
-        lex_ident_or_raw_string(out);
-      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-        lex_number(out);
-      } else if (c == '"') {
-        lex_string(out, /*raw=*/false);
-      } else if (c == '\'') {
-        lex_char(out);
       } else {
-        lex_punct(out);
+        if (ident_start(c)) {
+          lex_ident_or_raw_string(out);
+        } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+          lex_number(out);
+        } else if (c == '"') {
+          lex_string(out, /*raw=*/false);
+        } else if (c == '\'') {
+          lex_char(out);
+        } else {
+          lex_punct(out);
+        }
+        line_start_ = false;
       }
     }
     return out;
@@ -49,12 +54,6 @@ class Lexer {
  private:
   [[nodiscard]] char peek(std::size_t ahead) const {
     return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
-  }
-
-  /// A '#' opens a preprocessor directive only if nothing but whitespace
-  /// precedes it on the line; approximate via the last token's line.
-  [[nodiscard]] bool at_line_start(const std::vector<Token>& out) const {
-    return out.empty() || out.back().line != line_;
   }
 
   void skip_to_eol() {
@@ -213,6 +212,12 @@ class Lexer {
   std::string_view src_;
   std::size_t pos_ = 0;
   std::uint32_t line_ = 1;
+  /// True while nothing but whitespace has appeared on the current line.
+  /// A '#' opens a preprocessor directive only at line start; tokens,
+  /// block comments, and multi-line strings all clear the flag (the old
+  /// last-token-line heuristic misread `/* note */ #define X` — and any
+  /// '#' after a multi-line string or comment — as a directive).
+  bool line_start_ = true;
 };
 
 }  // namespace

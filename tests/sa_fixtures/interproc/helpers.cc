@@ -1,0 +1,84 @@
+// Interprocedural-analysis fixture (not compiled; parsed by cbp-sa).
+//
+// Exercises the call-graph lockset propagation along three axes:
+//
+//   * helper deadlock — take_b()/take_a() each acquire one lock, so no
+//     intraprocedural edge exists; every caller of take_b holds A and
+//     every caller of take_a holds B, so propagation reveals the
+//     crossed A/B order (and the cycle);
+//   * all-callers-hold suppression — guarded_update() writes a field
+//     with no local lock, but both callers hold A, so the conflict with
+//     reader() disappears under --interproc;
+//   * mixed callers — racy_update_fn() has one locked and one unlocked
+//     caller; the entry-lockset intersection stays empty and the
+//     conflict survives.
+//
+// check_then_act() is the static atomicity shape: read and write of one
+// field under two different acquisitions of the same lock.
+//
+// No includes: the extractor pattern-matches the instrumentation
+// vocabulary from tokens alone and never compiles this file.
+
+TrackedMutex mu_a{"A"};
+TrackedMutex mu_b{"B"};
+SharedVar<int> shared_counter;
+SharedVar<int> guarded_field;
+SharedVar<int> racy_field;
+
+void take_b() {
+  TrackedLock lb(mu_b);
+  shared_counter.write(1);
+}
+
+void take_a() {
+  TrackedLock la(mu_a);
+  shared_counter.read();
+}
+
+void cross_ab() {
+  TrackedLock la(mu_a);
+  take_b();
+}
+
+void cross_ab_again() {
+  TrackedLock la(mu_a);
+  take_b();
+}
+
+void cross_ba() {
+  TrackedLock lb(mu_b);
+  take_a();
+}
+
+void guarded_update() { guarded_field.write(2); }
+
+void racy_update_fn() { racy_field.write(3); }
+
+void caller_one() {
+  TrackedLock l(mu_a);
+  guarded_update();
+  racy_update_fn();
+}
+
+void caller_two() {
+  TrackedLock l(mu_a);
+  guarded_update();
+}
+
+void caller_three() { racy_update_fn(); }
+
+void reader() {
+  TrackedLock l(mu_a);
+  guarded_field.read();
+  racy_field.read();
+}
+
+int check_then_act() {
+  mu_b.lock();
+  const int seen = shared_counter.read();
+  mu_b.unlock();
+  mu_b.lock();
+  shared_counter.write(seen + 1);
+  mu_b.unlock();
+  return seen;
+}

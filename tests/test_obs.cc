@@ -251,6 +251,44 @@ TEST(ObsJson, RejectsMalformedInput) {
   EXPECT_EQ(obs::json::parse("{} trailing", error), nullptr);
 }
 
+TEST(ObsJson, DecodesUnicodeEscapesToUtf8) {
+  std::string error;
+  // Raw strings: the \uXXXX sequences below reach the parser verbatim.
+  const auto root = obs::json::parse(
+      R"({"ascii":"\u0041\u007a","nul":"\u0000x","latin":"\u00e9",)"
+      R"("cjk":"\u4e2d","pair":"\ud83d\ude00"})",
+      error);
+  ASSERT_NE(root, nullptr) << error;
+  EXPECT_EQ(root->get("ascii")->string, "Az");
+  EXPECT_EQ(root->get("nul")->string, std::string("\0x", 2));
+  EXPECT_EQ(root->get("latin")->string, "\xc3\xa9");        // 2-byte UTF-8
+  EXPECT_EQ(root->get("cjk")->string, "\xe4\xb8\xad");      // 3-byte UTF-8
+  EXPECT_EQ(root->get("pair")->string, "\xf0\x9f\x98\x80")  // 4-byte UTF-8
+      << "surrogate pair must combine into one code point";
+}
+
+TEST(ObsJson, RejectsBadUnicodeEscapes) {
+  std::string error;
+  EXPECT_EQ(obs::json::parse(R"({"a":"\u12"})", error), nullptr);
+  EXPECT_EQ(obs::json::parse(R"({"a":"\uzzzz"})", error), nullptr);
+  // Unpaired surrogates in either direction.
+  EXPECT_EQ(obs::json::parse(R"({"a":"\ud83d"})", error), nullptr);
+  EXPECT_EQ(obs::json::parse(R"({"a":"\ud83dx"})", error), nullptr);
+  EXPECT_EQ(obs::json::parse(R"({"a":"\ud83dA"})", error), nullptr);
+  EXPECT_EQ(obs::json::parse(R"({"a":"\ude00"})", error), nullptr);
+}
+
+TEST(ObsJson, EscapeRoundTripsControlCharacters) {
+  // The writer escapes control bytes as \u00XX; the reader must decode
+  // them back to the identical string.
+  const std::string raw("tab\t nul\0 bell\a quote\" back\\ nl\n", 33);
+  std::string error;
+  const auto root =
+      obs::json::parse("{\"s\":\"" + obs::json::escape(raw) + "\"}", error);
+  ASSERT_NE(root, nullptr) << error;
+  EXPECT_EQ(root->get("s")->string, raw);
+}
+
 // ---------------------------------------------------------------------------
 // Exporters
 // ---------------------------------------------------------------------------

@@ -1,0 +1,342 @@
+// Tests for the closed-loop placement layer (src/sa/placement): detector
+// dump parsing, telemetry JSON round-trip, the T / ignore_first
+// derivations, evidence-tier fusion and ranking, and the emitted plan's
+// round-trip through BreakpointSpec::parse.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "detect/json_export.h"
+#include "obs/telemetry_io.h"
+#include "sa/analyzer.h"
+#include "sa/placement/placement.h"
+#include "sa/rank.h"
+
+namespace cbp::sa::placement {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Detector dump parsing
+// ---------------------------------------------------------------------------
+
+TEST(DetectorJson, ParsesEverySection) {
+  detect::DetectorDump dump;
+  detect::RaceReport race;
+  race.first.file = "src/apps/cache/cache.cc";
+  race.first.line = 23;
+  race.second.file = "cache.cc";
+  race.second.line = 28;
+  race.second_is_write = true;
+  dump.races.push_back(race);
+
+  detect::ContentionReport contention;
+  contention.site_a.file = "a.cc";
+  contention.site_a.line = 10;
+  contention.site_b.file = "a.cc";
+  contention.site_b.line = 20;
+  contention.occurrences = 3;
+  dump.contentions.push_back(contention);
+
+  detect::DeadlockReport deadlock;
+  detect::DeadlockReport::Leg leg1;
+  leg1.site.file = "j.cc";
+  leg1.site.line = 68;
+  detect::DeadlockReport::Leg leg2;
+  leg2.site.file = "j.cc";
+  leg2.site.line = 81;
+  deadlock.legs = {leg1, leg2};
+  dump.deadlocks.push_back(deadlock);
+
+  detect::AtomicityReport atomicity;
+  atomicity.block_begin.file = "c.cc";
+  atomicity.block_begin.line = 78;
+  atomicity.block_end.file = "c.cc";
+  atomicity.block_end.line = 81;
+  atomicity.interleaver.file = "c.cc";
+  atomicity.interleaver.line = 30;
+  dump.atomicity.push_back(atomicity);
+
+  std::vector<RecordedSitePair> pairs;
+  std::string error;
+  ASSERT_TRUE(parse_detector_json(detect::write_json(dump), pairs, error))
+      << error;
+  ASSERT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs[0].kind, "race");
+  EXPECT_EQ(pairs[0].file_a, "cache.cc");  // exported as basename
+  EXPECT_EQ(pairs[0].line_a, 23u);
+  EXPECT_EQ(pairs[0].line_b, 28u);
+  EXPECT_EQ(pairs[1].kind, "contention");
+  EXPECT_EQ(pairs[2].kind, "deadlock");
+  EXPECT_EQ(pairs[2].file_a, "j.cc");
+  EXPECT_EQ(pairs[2].line_a, 68u);
+  EXPECT_EQ(pairs[2].line_b, 81u);
+  EXPECT_EQ(pairs[3].kind, "atomicity");
+  EXPECT_EQ(pairs[3].line_a, 78u);
+  EXPECT_EQ(pairs[3].line_b, 81u);
+}
+
+TEST(DetectorJson, RejectsForeignAndMalformedInput) {
+  std::vector<RecordedSitePair> pairs;
+  std::string error;
+  EXPECT_FALSE(parse_detector_json("{\"races\":[]}", pairs, error));
+  EXPECT_NE(error.find("detector_dump"), std::string::npos);
+  EXPECT_FALSE(parse_detector_json("{broken", pairs, error));
+  EXPECT_FALSE(parse_detector_json(
+      "{\"detector_dump\":1,\"races\":\"nope\"}", pairs, error));
+}
+
+TEST(DetectorJson, EmptyDumpParsesToNoPairs) {
+  std::vector<RecordedSitePair> pairs;
+  std::string error;
+  ASSERT_TRUE(parse_detector_json(detect::write_json({}), pairs, error))
+      << error;
+  EXPECT_TRUE(pairs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry JSON round-trip
+// ---------------------------------------------------------------------------
+
+obs::BreakpointTelemetry sample_row() {
+  obs::BreakpointTelemetry row;
+  row.name = "cache4j-atomicity1";
+  row.inputs.n_steps = 5000;
+  row.inputs.m_visits = 2;
+  row.inputs.big_m_visits = 300;
+  row.inputs.pause_steps = 40;
+  row.predicted.btrigger = 0.42;
+  row.observed = 0.9;
+  row.observed_from_runs = true;
+  row.runs = 10;
+  row.runs_hit = 9;
+  row.wait_p50_us = 1500;
+  row.wait_p99_us = 9000;
+  row.step_gap_ns = 250000;
+  row.stats.arrivals = 3020;
+  row.stats.participants = 18;
+  row.stats.ignored = 2960;
+  row.stats.postponed = 60;
+  row.stats.timeouts = 42;
+  row.stats.total_wait_us = 123456;
+  return row;
+}
+
+TEST(TelemetryJson, RoundTrips) {
+  const obs::BreakpointTelemetry row = sample_row();
+  std::vector<obs::BreakpointTelemetry> back;
+  std::string error;
+  ASSERT_TRUE(
+      obs::read_telemetry_json(obs::write_telemetry_json({row}), back, error))
+      << error;
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].name, row.name);
+  EXPECT_EQ(back[0].inputs.n_steps, row.inputs.n_steps);
+  EXPECT_EQ(back[0].inputs.m_visits, row.inputs.m_visits);
+  EXPECT_EQ(back[0].inputs.big_m_visits, row.inputs.big_m_visits);
+  EXPECT_EQ(back[0].inputs.pause_steps, row.inputs.pause_steps);
+  EXPECT_EQ(back[0].step_gap_ns, row.step_gap_ns);
+  EXPECT_EQ(back[0].runs, row.runs);
+  EXPECT_EQ(back[0].runs_hit, row.runs_hit);
+  EXPECT_TRUE(back[0].observed_from_runs);
+  EXPECT_DOUBLE_EQ(back[0].observed, row.observed);
+  EXPECT_EQ(back[0].stats.arrivals, row.stats.arrivals);
+  EXPECT_EQ(back[0].stats.participants, row.stats.participants);
+  EXPECT_EQ(back[0].wait_p50_us, row.wait_p50_us);
+  EXPECT_EQ(back[0].wait_p99_us, row.wait_p99_us);
+}
+
+TEST(TelemetryJson, RejectsForeignJson) {
+  std::vector<obs::BreakpointTelemetry> rows;
+  std::string error;
+  EXPECT_FALSE(obs::read_telemetry_json("{\"rows\":[]}", rows, error));
+  EXPECT_FALSE(obs::read_telemetry_json("[1,2,3]", rows, error));
+  EXPECT_FALSE(obs::read_telemetry_json("nonsense", rows, error));
+}
+
+// ---------------------------------------------------------------------------
+// Derivations
+// ---------------------------------------------------------------------------
+
+TEST(Derive, IgnoreFirstBacksOffTheWarmupCount) {
+  obs::BreakpointTelemetry row;
+  row.runs = 10;
+  row.stats.arrivals = 3020;     // ~302 per run
+  row.stats.participants = 20;   // ~2 per run
+  // warmup = 300/run; slack = max(2, 300/64) = 4.
+  EXPECT_EQ(derive_ignore_first(row), 296u);
+}
+
+TEST(Derive, SmallWarmupCountsAreNoise) {
+  obs::BreakpointTelemetry row;
+  row.runs = 10;
+  row.stats.arrivals = 330;  // 31 warmup arrivals per run: below threshold
+  row.stats.participants = 20;
+  EXPECT_EQ(derive_ignore_first(row), 0u);
+  row.stats.arrivals = 15;  // fewer arrivals than participants
+  EXPECT_EQ(derive_ignore_first(row), 0u);
+}
+
+TEST(Derive, PauseFallsBackWithoutAStepGap) {
+  obs::BreakpointTelemetry row;  // step_gap_ns == 0: trace too thin
+  PlacementOptions options;
+  options.default_pause_ms = 123;
+  EXPECT_EQ(derive_pause_ms(row, options), 123u);
+}
+
+TEST(Derive, PauseGrowsTowardTheTargetAndClamps) {
+  obs::BreakpointTelemetry row = sample_row();
+  PlacementOptions options;
+  const std::uint64_t derived = derive_pause_ms(row, options);
+  EXPECT_GE(derived, options.min_pause_ms);
+  EXPECT_LE(derived, options.max_pause_ms);
+
+  // sample_row's recorded T is 40 steps * 250us = 10ms; the btrigger
+  // bound saturates immediately (N >> mT), so the search keeps the
+  // recorded T and the floor clamps it up.
+  EXPECT_EQ(derived, options.min_pause_ms);
+
+  // A recorded T above the cap clamps down, whatever the model says.
+  row.inputs.pause_steps = 20000;
+  row.step_gap_ns = 1000000;  // recorded T = 20 s
+  EXPECT_EQ(derive_pause_ms(row, options), options.max_pause_ms);
+}
+
+// ---------------------------------------------------------------------------
+// Fusion
+// ---------------------------------------------------------------------------
+
+/// Two unguarded conflicts in one unit; "v_" additionally has a
+/// detector-confirmed site pair and a telemetry row under its spec name.
+AnalysisResult two_conflict_analysis() {
+  return analyze_sources("unit", {{"r.cc", R"cpp(
+struct S {
+  instr::SharedVar<int> v_;
+  instr::SharedVar<int> w_;
+};
+void a(S& s) { s.v_.write(1); }
+void b(S& s) { (void)s.v_.read(); }
+void c(S& s) { s.w_.write(1); }
+void d(S& s) { (void)s.w_.read(); }
+)cpp"}});
+}
+
+const Candidate* subject_candidate(const AnalysisResult& analysis,
+                                   const std::string& subject) {
+  for (const Candidate& c : analysis.candidates) {
+    if (c.subject == subject) return &c;
+  }
+  return nullptr;
+}
+
+TEST(Fuse, EvidenceTiersOutrankStaticScore) {
+  const AnalysisResult analysis = two_conflict_analysis();
+  const Candidate* v = subject_candidate(analysis, "v_");
+  ASSERT_NE(v, nullptr);
+
+  RecordedSitePair pair;
+  pair.kind = "race";
+  pair.file_a = "r.cc";
+  pair.line_a = v->site_a.line;
+  pair.file_b = "r.cc";
+  pair.line_b = v->site_b.line;
+
+  obs::BreakpointTelemetry row = sample_row();
+  row.name = v->spec_name;
+
+  const PlacementPlan plan = fuse(analysis, {pair}, {row});
+  ASSERT_EQ(plan.entries.size(), 2u);
+  // v_ carries telemetry AND a detector confirmation: tier 3, first.
+  EXPECT_EQ(plan.entries[0].breakpoint, v->spec_name);
+  EXPECT_EQ(plan.entries[0].tier(), 3);
+  EXPECT_TRUE(plan.entries[0].dynamic_confirmed);
+  EXPECT_TRUE(plan.entries[0].has_telemetry);
+  ASSERT_TRUE(plan.entries[0].has_prediction);
+  EXPECT_GT(plan.entries[0].predicted_center, 0.5);  // 9/10 recorded hits
+  EXPECT_LT(plan.entries[0].predicted_low, plan.entries[0].predicted_high);
+  EXPECT_EQ(plan.entries[0].ignore_first, 296u);
+  EXPECT_EQ(plan.entries[1].tier(), 0);
+  EXPECT_FALSE(plan.entries[1].has_prediction);
+}
+
+TEST(Fuse, ReversedSitePairStillConfirms) {
+  const AnalysisResult analysis = two_conflict_analysis();
+  const Candidate* v = subject_candidate(analysis, "v_");
+  ASSERT_NE(v, nullptr);
+  RecordedSitePair pair;
+  pair.kind = "race";
+  pair.file_a = "r.cc";
+  pair.line_a = v->site_b.line;  // swapped orientation
+  pair.file_b = "r.cc";
+  pair.line_b = v->site_a.line;
+  const PlacementPlan plan = fuse(analysis, {pair}, {});
+  ASSERT_EQ(plan.entries.size(), 2u);
+  EXPECT_EQ(plan.entries[0].breakpoint, v->spec_name);
+  EXPECT_EQ(plan.entries[0].tier(), 1);
+}
+
+TEST(Fuse, UnmatchedEvidenceLeavesStaticTier) {
+  const AnalysisResult analysis = two_conflict_analysis();
+  RecordedSitePair pair;
+  pair.kind = "race";
+  pair.file_a = "other.cc";
+  pair.line_a = 1;
+  pair.file_b = "other.cc";
+  pair.line_b = 2;
+  obs::BreakpointTelemetry row = sample_row();
+  row.name = "not-a-candidate";
+  const PlacementPlan plan = fuse(analysis, {pair}, {row});
+  ASSERT_EQ(plan.entries.size(), 2u);
+  for (const PlacementEntry& entry : plan.entries) {
+    EXPECT_EQ(entry.tier(), 0);
+    EXPECT_EQ(entry.pause_ms, PlacementOptions{}.default_pause_ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Emitters
+// ---------------------------------------------------------------------------
+
+TEST(Emit, PlanSpecRoundTripsThroughBreakpointSpecParse) {
+  const AnalysisResult analysis = two_conflict_analysis();
+  const Candidate* v = subject_candidate(analysis, "v_");
+  ASSERT_NE(v, nullptr);
+  obs::BreakpointTelemetry row = sample_row();
+  row.name = v->spec_name;
+  const PlacementPlan plan = fuse(analysis, {}, {row});
+  const std::string spec_text = render_plan_spec(plan);
+  EXPECT_NE(spec_text.find("# placement:"), std::string::npos);
+
+  const BreakpointSpec spec = BreakpointSpec::parse(spec_text);
+  EXPECT_EQ(spec.size(), plan.entries.size());
+  const SpecOverride* entry = spec.find(v->spec_name);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->from, SpecOrigin::kStatic);
+  EXPECT_TRUE(entry->confirmed);  // telemetry-backed
+  ASSERT_TRUE(entry->pause.has_value());
+  EXPECT_EQ(entry->pause->count(),
+            static_cast<long>(plan.entries[0].pause_ms));
+  EXPECT_EQ(entry->ignore_first, 296u);
+  ASSERT_TRUE(entry->predicted.has_value());
+  EXPECT_NEAR(*entry->predicted, plan.entries[0].predicted_center, 1e-4);
+}
+
+TEST(Emit, HumanPlanNamesTheEvidence) {
+  const AnalysisResult analysis = two_conflict_analysis();
+  const Candidate* v = subject_candidate(analysis, "v_");
+  ASSERT_NE(v, nullptr);
+  obs::BreakpointTelemetry row = sample_row();
+  row.name = v->spec_name;
+  const PlacementPlan plan = fuse(analysis, {}, {row});
+  const std::string text = render_plan(plan);
+  EXPECT_NE(text.find("placement plan: 2 breakpoints"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("telemetry-recorded"), std::string::npos);
+  EXPECT_NE(text.find("ignore_first=296"), std::string::npos);
+  EXPECT_NE(text.find("95% CI"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cbp::sa::placement

@@ -11,6 +11,7 @@
 
 #include "core/spec.h"
 #include "sa/analyzer.h"
+#include "sa/call_graph.h"
 #include "sa/lock_graph_pass.h"
 #include "sa/lockset_pass.h"
 #include "sa/rank.h"
@@ -578,6 +579,405 @@ TEST(Emit, ListOutputIsStable) {
       analyze_sources("unit", {{"r.cc", kCrossedLocks}});
   EXPECT_EQ(render_list(once.candidates), render_list(twice.candidates));
   EXPECT_NE(render_list(once.candidates).find("deadlock"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer line-start rule: '#' opens a directive only at line start
+// ---------------------------------------------------------------------------
+
+TEST(Tokenizer, HashMidLineIsNotADirective) {
+  // Before the line-start rule, the '#' swallowed the rest of the line —
+  // including real code after a block comment.
+  const auto tokens = tokenize("a /* note */ #define X 1\nreal;\n");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_TRUE(tokens[0].is_ident("a"));
+  EXPECT_TRUE(tokens[1].is_punct("#"));
+  EXPECT_TRUE(tokens[2].is_ident("define"));
+  EXPECT_TRUE(tokens[5].is_ident("real"));
+  EXPECT_EQ(tokens[5].line, 2u);
+}
+
+TEST(Tokenizer, IndentedDirectivesStillSkip) {
+  const auto tokens = tokenize("  #pragma once\n\t#endif\nreal;\n");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].is_ident("real"));
+  EXPECT_EQ(tokens[0].line, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Extractor: functions, call sites, string constants
+// ---------------------------------------------------------------------------
+
+TEST(Extractor, FunctionsCallSitesAndConsts) {
+  const UnitModel m = extract_snippet(R"cpp(
+constexpr const char* kName = "unit-race1";
+struct S {
+  instr::TrackedMutex mu_;
+  instr::SharedVar<int> v_;
+};
+void helper(S& s) { s.v_.write(1); }
+void outer(S& s) {
+  instr::TrackedLock l(s.mu_);
+  helper(s);
+}
+)cpp");
+  EXPECT_TRUE(m.has_function("helper"));
+  EXPECT_TRUE(m.has_function("outer"));
+  ASSERT_EQ(m.calls.size(), 1u);
+  EXPECT_EQ(m.calls[0].caller, "outer");
+  EXPECT_EQ(m.calls[0].callee, "helper");
+  EXPECT_EQ(m.calls[0].site.line, 10u);
+  EXPECT_EQ(m.calls[0].locks_held, std::vector<std::string>{"mu_"});
+  ASSERT_EQ(m.consts.count("kName"), 1u);
+  EXPECT_EQ(m.consts.at("kName"), "unit-race1");
+  // Accesses know the function they sit in.
+  const Access* write = find_access(m, "v_", 7, /*is_write=*/true);
+  ASSERT_NE(write, nullptr);
+  EXPECT_EQ(write->function, "helper");
+}
+
+TEST(Extractor, MethodCallsAndControlKeywordsAreNotCallSites) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S { instr::SharedVar<int> v_; };
+void target(S& s) { s.v_.write(1); }
+void f(S& s) {
+  if (true) { while (false) {} }
+  s.v_.read();
+  return target(s);
+}
+)cpp");
+  ASSERT_EQ(m.calls.size(), 1u);
+  EXPECT_EQ(m.calls[0].callee, "target");
+  EXPECT_EQ(m.calls[0].caller, "f");
+}
+
+// ---------------------------------------------------------------------------
+// Call graph + interprocedural lockset propagation
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHelperChain = R"cpp(
+struct S {
+  instr::TrackedMutex a_;
+  instr::TrackedMutex b_;
+  instr::SharedVar<int> v_;
+};
+void leaf(S& s) { s.v_.write(1); }
+void mid(S& s) { leaf(s); }
+void top1(S& s, ms t) {
+  instr::TrackedLock l(s.a_);
+  mid(s);
+}
+void top2(S& s, ms t) {
+  instr::TrackedLock l(s.a_);
+  s.b_.lock_or_stall(t);
+  mid(s);
+  s.b_.unlock();
+}
+)cpp";
+
+TEST(CallGraph, EntryLocksetsSolveTheIntersectionFixpoint) {
+  const UnitModel m = extract_snippet(kHelperChain);
+  const CallGraph graph = build_call_graph(m);
+  // mid is called holding {a_} (top1) and {a_, b_} (top2): meet = {a_}.
+  ASSERT_EQ(graph.entry_locks.count("mid"), 1u);
+  EXPECT_EQ(graph.entry_locks.at("mid"), std::vector<std::string>{"a_"});
+  // leaf inherits transitively through mid's entry lockset.
+  ASSERT_EQ(graph.entry_locks.count("leaf"), 1u);
+  EXPECT_EQ(graph.entry_locks.at("leaf"), std::vector<std::string>{"a_"});
+  // top1/top2 have no in-unit callers: no entry lockset.
+  EXPECT_EQ(graph.entry_locks.count("top1"), 0u);
+  EXPECT_EQ(graph.entry_locks.count("top2"), 0u);
+}
+
+TEST(CallGraph, MixedCallersYieldEmptyEntryLockset) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex a_;
+  instr::SharedVar<int> v_;
+};
+void touch(S& s) { s.v_.write(1); }
+void locked(S& s) {
+  instr::TrackedLock l(s.a_);
+  touch(s);
+}
+void unlocked(S& s) { touch(s); }
+)cpp");
+  const CallGraph graph = build_call_graph(m);
+  const auto it = graph.entry_locks.find("touch");
+  EXPECT_TRUE(it == graph.entry_locks.end() || it->second.empty());
+}
+
+TEST(CallGraph, PropagationSuppressesAllCallersHoldConflicts) {
+  // Both writers of v_ run under a_ once entry locksets flow in, so the
+  // conflict pair disappears under --interproc but exists without it.
+  const char* code = R"cpp(
+struct S {
+  instr::TrackedMutex a_;
+  instr::SharedVar<int> v_;
+};
+void touch(S& s) { s.v_.write(1); }
+void locked1(S& s) {
+  instr::TrackedLock l(s.a_);
+  touch(s);
+}
+void direct(S& s) {
+  instr::TrackedLock l(s.a_);
+  s.v_.write(2);
+}
+)cpp";
+  AnalysisOptions interproc;
+  interproc.interprocedural = true;
+  const AnalysisResult without =
+      analyze_sources("unit", {{"r.cc", code}});
+  const AnalysisResult with =
+      analyze_sources("unit", {{"r.cc", code}}, interproc);
+  EXPECT_FALSE(without.candidates.empty());
+  EXPECT_TRUE(with.candidates.empty()) << render_list(with.candidates);
+}
+
+TEST(CallGraph, PropagationRevealsCrossFunctionDeadlock) {
+  // take_a/take_b each acquire one lock — no intraprocedural edge — but
+  // their callers hold the opposite lock: the crossed order appears only
+  // after propagation.
+  const char* code = R"cpp(
+struct S {
+  instr::TrackedMutex a_;
+  instr::TrackedMutex b_;
+};
+void take_b(S& s, ms t) {
+  s.b_.lock_or_stall(t);
+  s.b_.unlock();
+}
+void take_a(S& s, ms t) {
+  s.a_.lock_or_stall(t);
+  s.a_.unlock();
+}
+void cross1(S& s, ms t) {
+  instr::TrackedLock l(s.a_);
+  take_b(s, t);
+}
+void cross2(S& s, ms t) {
+  instr::TrackedLock l(s.b_);
+  take_a(s, t);
+}
+)cpp";
+  AnalysisOptions interproc;
+  interproc.interprocedural = true;
+  const AnalysisResult without =
+      analyze_sources("unit", {{"r.cc", code}});
+  const AnalysisResult with =
+      analyze_sources("unit", {{"r.cc", code}}, interproc);
+  EXPECT_TRUE(without.candidates.empty()) << render_list(without.candidates);
+  EXPECT_FALSE(without.lock_graph_has_cycle);
+  ASSERT_EQ(with.candidates.size(), 1u) << render_list(with.candidates);
+  EXPECT_EQ(with.candidates[0].kind, Candidate::Kind::kDeadlock);
+  EXPECT_TRUE(with.lock_graph_has_cycle);
+  ASSERT_EQ(with.cycles.size(), 1u);
+  EXPECT_EQ(with.cycles[0].length(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Ranked cycle enumeration (--deadlock)
+// ---------------------------------------------------------------------------
+
+TEST(LockCycles, ThreeNodeCycleCarriesWitnessChain) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex a_;
+  instr::TrackedMutex b_;
+  instr::TrackedMutex c_;
+};
+void f(S& s, ms t) {
+  instr::TrackedLock l(s.a_);
+  s.b_.lock_or_stall(t);
+  s.b_.unlock();
+}
+void g(S& s, ms t) {
+  instr::TrackedLock l(s.b_);
+  s.c_.lock_or_stall(t);
+  s.c_.unlock();
+}
+void h(S& s, ms t) {
+  instr::TrackedLock l(s.c_);
+  s.a_.lock_or_stall(t);
+  s.a_.unlock();
+}
+)cpp");
+  const auto cycles = find_lock_cycles(m);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].length(), 3u);
+  EXPECT_EQ(cycles[0].score, 90);  // 100 - 10*(3-2)
+  ASSERT_EQ(cycles[0].locks.size(), 3u);
+  EXPECT_EQ(cycles[0].locks[0], "a_");  // starts at the smallest lock
+  ASSERT_EQ(cycles[0].sites.size(), 3u);
+  // sites[i]: where locks[i+1] is acquired while locks[i] is held.
+  EXPECT_EQ(cycles[0].sites[0].line, 9u);   // b_ wanted under a_
+  EXPECT_EQ(cycles[0].sites[1].line, 14u);  // c_ wanted under b_
+  EXPECT_EQ(cycles[0].sites[2].line, 19u);  // a_ wanted under c_
+  const std::string rendered = render_cycles(cycles);
+  EXPECT_NE(rendered.find("a_ -> b_ -> c_ -> a_"), std::string::npos)
+      << rendered;
+}
+
+TEST(LockCycles, TwoCycleOutranksThreeCycle) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex a_;
+  instr::TrackedMutex b_;
+  instr::TrackedMutex x_;
+  instr::TrackedMutex y_;
+  instr::TrackedMutex z_;
+};
+void f(S& s, ms t) {
+  instr::TrackedLock l(s.a_);
+  s.b_.lock_or_stall(t);
+  s.b_.unlock();
+}
+void g(S& s, ms t) {
+  instr::TrackedLock l(s.b_);
+  s.a_.lock_or_stall(t);
+  s.a_.unlock();
+}
+void p(S& s, ms t) {
+  instr::TrackedLock l(s.x_);
+  s.y_.lock_or_stall(t);
+  s.y_.unlock();
+}
+void q(S& s, ms t) {
+  instr::TrackedLock l(s.y_);
+  s.z_.lock_or_stall(t);
+  s.z_.unlock();
+}
+void r(S& s, ms t) {
+  instr::TrackedLock l(s.z_);
+  s.x_.lock_or_stall(t);
+  s.x_.unlock();
+}
+)cpp");
+  const auto cycles = find_lock_cycles(m);
+  ASSERT_EQ(cycles.size(), 2u);
+  EXPECT_EQ(cycles[0].length(), 2u);
+  EXPECT_EQ(cycles[0].score, 100);
+  EXPECT_EQ(cycles[1].length(), 3u);
+  EXPECT_EQ(cycles[1].score, 90);
+}
+
+TEST(LockCycles, TryLockAndSelfAcquireFormNoCycles) {
+  const UnitModel m = extract_snippet(R"cpp(
+struct S {
+  instr::TrackedMutex a_;
+  instr::TrackedMutex b_;
+};
+void f(S& s) {
+  instr::TrackedLock l(s.a_);
+  if (s.b_.try_lock()) { s.b_.unlock(); }
+}
+void g(S& s, ms t) {
+  instr::TrackedLock l(s.b_);
+  s.a_.lock_or_stall(t);
+  s.a_.unlock();
+}
+void recursive(S& s, ms t) {
+  instr::TrackedLock l(s.a_);
+  s.a_.lock_or_stall(t);
+  s.a_.unlock();
+}
+)cpp");
+  EXPECT_TRUE(find_lock_cycles(m).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Atomicity pass
+// ---------------------------------------------------------------------------
+
+TEST(AtomicityPass, ReleasedLockBetweenReadAndWriteIsACandidate) {
+  const AnalysisResult result = analyze_sources("unit", {{"r.cc", R"cpp(
+struct S {
+  instr::TrackedMutex mu_;
+  instr::SharedVar<int> v_;
+};
+int check_then_act(S& s) {
+  s.mu_.lock();
+  const int seen = s.v_.read();
+  s.mu_.unlock();
+  s.mu_.lock();
+  s.v_.write(seen + 1);
+  s.mu_.unlock();
+  return seen;
+}
+)cpp"}});
+  ASSERT_EQ(result.candidates.size(), 1u) << render_list(result.candidates);
+  const Candidate& c = result.candidates[0];
+  EXPECT_EQ(c.kind, Candidate::Kind::kAtomicity);
+  EXPECT_EQ(c.subject, "v_");
+  EXPECT_EQ(c.site_a.line, 8u);   // the read
+  EXPECT_EQ(c.site_b.line, 11u);  // the write it feeds
+  EXPECT_FALSE(c.a_is_write);
+  EXPECT_TRUE(c.b_is_write);
+}
+
+TEST(AtomicityPass, SingleCriticalSectionIsNotACandidate) {
+  const AnalysisResult result = analyze_sources("unit", {{"r.cc", R"cpp(
+struct S {
+  instr::TrackedMutex mu_;
+  instr::SharedVar<int> v_;
+};
+void atomic_update(S& s) {
+  instr::TrackedLock l(s.mu_);
+  const int seen = s.v_.read();
+  s.v_.write(seen + 1);
+}
+)cpp"}});
+  EXPECT_TRUE(result.candidates.empty()) << render_list(result.candidates);
+}
+
+TEST(AtomicityPass, InheritedCallerLockDoesNotSplit) {
+  // Under --interproc the helper's read and write both inherit mu_ from
+  // the caller, but the inherited hold is ONE acquisition spanning the
+  // whole callee — not a release/re-acquire.
+  AnalysisOptions interproc;
+  interproc.interprocedural = true;
+  const AnalysisResult result = analyze_sources("unit", {{"r.cc", R"cpp(
+struct S {
+  instr::TrackedMutex mu_;
+  instr::SharedVar<int> v_;
+};
+void helper(S& s) {
+  const int seen = s.v_.read();
+  s.v_.write(seen + 1);
+}
+void caller(S& s) {
+  instr::TrackedLock l(s.mu_);
+  helper(s);
+}
+)cpp"}},
+                                               interproc);
+  for (const Candidate& c : result.candidates) {
+    EXPECT_NE(c.kind, Candidate::Kind::kAtomicity) << render_list({c});
+  }
+}
+
+TEST(AtomicityPass, NoAtomicityOptionSuppresses) {
+  const char* code = R"cpp(
+struct S {
+  instr::TrackedMutex mu_;
+  instr::SharedVar<int> v_;
+};
+int f(S& s) {
+  s.mu_.lock();
+  const int seen = s.v_.read();
+  s.mu_.unlock();
+  s.mu_.lock();
+  s.v_.write(seen + 1);
+  s.mu_.unlock();
+  return seen;
+}
+)cpp";
+  AnalysisOptions options;
+  options.include_atomicity = false;
+  const AnalysisResult result =
+      analyze_sources("unit", {{"r.cc", code}}, options);
+  EXPECT_TRUE(result.candidates.empty()) << render_list(result.candidates);
 }
 
 }  // namespace

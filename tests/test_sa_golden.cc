@@ -301,6 +301,34 @@ TEST_P(SaGoldenListTest, ListMatchesGolden) {
       << " — regenerate with: cbp-sa --list " << app_dir;
 }
 
+// The interprocedural fixture exercises lockset propagation end to end
+// (helper deadlock revealed, all-callers-hold suppression, mixed-caller
+// conflict kept, check-then-act atomicity); its --interproc --list
+// output is pinned the same way.  Regenerate with
+//   build/tools/cbp-sa --interproc --list tests/sa_fixtures/interproc
+TEST_F(SaGoldenTest, InterprocFixtureListMatchesGolden) {
+  const std::string golden_path = src_path("tests/golden/interproc.list");
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in) << "missing golden file " << golden_path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  AnalysisOptions options;
+  options.interprocedural = true;
+  const AnalysisResult result =
+      analyze_paths({src_path("tests/sa_fixtures/interproc")}, options);
+  EXPECT_EQ(render_list(result.candidates), buffer.str())
+      << "candidate list drifted from " << golden_path
+      << " — regenerate with: cbp-sa --interproc --list "
+         "tests/sa_fixtures/interproc";
+
+  // The fixture's crossed helper locks also surface as a ranked cycle.
+  ASSERT_EQ(result.cycles.size(), 1u);
+  EXPECT_EQ(result.cycles[0].length(), 2u);
+  EXPECT_EQ(result.cycles[0].locks,
+            (std::vector<std::string>{"mu_a", "mu_b"}));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Apps, SaGoldenListTest,
     ::testing::Values(

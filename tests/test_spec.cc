@@ -75,6 +75,34 @@ TEST_F(SpecTest, ParsesFromProvenanceKey) {
   EXPECT_EQ(spec.find("untagged")->from, SpecOrigin::kUnspecified);
 }
 
+TEST_F(SpecTest, ParsesPredictedAndConfirmed) {
+  const auto spec = BreakpointSpec::parse(
+      "# placement plan: cbp-sa --fuse output\n"
+      "cache4j-atomicity1 from=static predicted=0.9034 confirmed\n"
+      "plain-entry pause=200\n");
+  const SpecOverride* fused = spec.find("cache4j-atomicity1");
+  ASSERT_NE(fused, nullptr);
+  EXPECT_EQ(fused->from, SpecOrigin::kStatic);
+  ASSERT_TRUE(fused->predicted.has_value());
+  EXPECT_NEAR(*fused->predicted, 0.9034, 1e-9);
+  EXPECT_TRUE(fused->confirmed);
+  const SpecOverride* plain = spec.find("plain-entry");
+  ASSERT_NE(plain, nullptr);
+  EXPECT_FALSE(plain->predicted.has_value());
+  EXPECT_FALSE(plain->confirmed);
+}
+
+TEST_F(SpecTest, RejectsBadPredictedValue) {
+  EXPECT_THROW((void)BreakpointSpec::parse("bp predicted=1.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)BreakpointSpec::parse("bp predicted=-0.1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)BreakpointSpec::parse("bp predicted=abc\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)BreakpointSpec::parse("bp predicted=\n"),
+               std::invalid_argument);
+}
+
 TEST_F(SpecTest, RejectsBadFromValue) {
   EXPECT_THROW((void)BreakpointSpec::parse("bp from=guess\n"),
                std::invalid_argument);

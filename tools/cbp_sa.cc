@@ -8,8 +8,15 @@
 //   cbp-sa src/apps                      # human-readable ranked report
 //   cbp-sa --spec src/apps/cache         # emit a loadable breakpoint spec
 //   cbp-sa --list src/apps/cache         # stable machine-readable list
+//   cbp-sa --calls src/apps/cache        # call graph + entry locksets
+//   cbp-sa --deadlock src/apps           # ranked lock-order cycles
+//   cbp-sa --atomicity src/apps          # atomicity-violation candidates
+//   cbp-sa --interproc --list src        # propagate locksets over calls
+//   cbp-sa --fuse detector.json --telemetry t.json src/apps/cache
+//                                        # closed-loop placement plan
 //   cbp-sa --check tests/golden/cache.list src/apps/cache
 //                                        # CI self-lint: fail on drift
+//                                        # (--check composes with any mode)
 #include <cctype>
 #include <cstring>
 #include <filesystem>
@@ -19,7 +26,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry_io.h"
 #include "sa/analyzer.h"
+#include "sa/call_graph.h"
+#include "sa/lock_graph_pass.h"
+#include "sa/placement/placement.h"
 #include "sa/rank.h"
 
 namespace {
@@ -30,10 +41,19 @@ int usage(const char* argv0) {
       << "  --report          human-readable ranked candidates (default)\n"
       << "  --spec            emit breakpoint spec (BreakpointSpec format)\n"
       << "  --list            machine-readable candidate list\n"
-      << "  --check <golden>  compare --list output against a golden file;\n"
-      << "                    exit 1 and print a diff summary on drift\n"
+      << "  --calls           call graph + interprocedural entry locksets\n"
+      << "  --deadlock        ranked lock-order cycles with witness chains\n"
+      << "  --atomicity       atomicity-violation candidates only\n"
+      << "  --fuse <json>     fuse candidates with a detector dump into a\n"
+      << "                    placement plan (spec form; --report for the\n"
+      << "                    human-readable plan)\n"
+      << "  --telemetry <json> recorded obs telemetry for --fuse\n"
+      << "  --interproc       propagate locksets over the call graph\n"
+      << "  --check <golden>  compare the active mode's output against a\n"
+      << "                    golden file; exit 1 + diff summary on drift\n"
       << "  --top <n>         limit report/spec to the top n candidates\n"
-      << "  --no-contention   suppress lock-contention candidates\n";
+      << "  --no-contention   suppress lock-contention candidates\n"
+      << "  --no-atomicity    suppress atomicity-violation candidates\n";
   return 2;
 }
 
@@ -50,17 +70,23 @@ bool parse_count(const std::string& text, std::size_t& out) {
   return true;
 }
 
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
 /// Line-by-line comparison with a readable drift summary.
 bool check_against_golden(const std::string& actual,
                           const std::string& golden_path) {
-  std::ifstream in(golden_path);
-  if (!in) {
+  std::string expected;
+  if (!read_file(golden_path, expected)) {
     std::cerr << "cbp-sa: cannot read golden file '" << golden_path << "'\n";
     return false;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string expected = buffer.str();
   if (expected == actual) return true;
 
   std::istringstream want(expected);
@@ -83,16 +109,21 @@ bool check_against_golden(const std::string& actual,
       ++shown;
     }
   }
-  std::cerr << "cbp-sa: candidate list drifted from golden '" << golden_path
-            << "' — regenerate with --list if the change is intended\n";
+  std::cerr << "cbp-sa: output drifted from golden '" << golden_path
+            << "' — regenerate (tools/regen_goldens.sh) if intended\n";
   return false;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kReport, kSpec, kList } mode = Mode::kReport;
+  enum class Mode { kReport, kSpec, kList, kCalls, kDeadlock, kAtomicity,
+                    kFuse };
+  Mode mode = Mode::kReport;
+  bool explicit_report = false;
   std::string golden;
+  std::string detector_path;
+  std::string telemetry_path;
   std::size_t top = 0;
   cbp::sa::AnalysisOptions options;
   std::vector<std::string> paths;
@@ -101,13 +132,28 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--report") {
       mode = Mode::kReport;
+      explicit_report = true;
     } else if (arg == "--spec") {
       mode = Mode::kSpec;
     } else if (arg == "--list") {
       mode = Mode::kList;
+    } else if (arg == "--calls") {
+      mode = Mode::kCalls;
+    } else if (arg == "--deadlock") {
+      mode = Mode::kDeadlock;
+    } else if (arg == "--atomicity") {
+      mode = Mode::kAtomicity;
+    } else if (arg == "--fuse") {
+      if (++i >= argc) return usage(argv[0]);
+      if (mode != Mode::kReport || !explicit_report) mode = Mode::kFuse;
+      detector_path = argv[i];
+    } else if (arg == "--telemetry") {
+      if (++i >= argc) return usage(argv[0]);
+      telemetry_path = argv[i];
+    } else if (arg == "--interproc") {
+      options.interprocedural = true;
     } else if (arg == "--check") {
       if (++i >= argc) return usage(argv[0]);
-      mode = Mode::kList;
       golden = argv[i];
     } else if (arg == "--top") {
       if (++i >= argc) return usage(argv[0]);
@@ -118,6 +164,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-contention") {
       options.include_contention = false;
+    } else if (arg == "--no-atomicity") {
+      options.include_atomicity = false;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -129,6 +177,12 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) return usage(argv[0]);
+  // `--check <golden>` without an explicit mode keeps the historical
+  // behaviour of checking the --list output.
+  if (!golden.empty() && mode == Mode::kReport && !explicit_report &&
+      detector_path.empty()) {
+    mode = Mode::kList;
+  }
   for (const std::string& path : paths) {
     std::error_code ec;
     if (!std::filesystem::exists(path, ec)) {
@@ -140,26 +194,85 @@ int main(int argc, char** argv) {
   const cbp::sa::AnalysisResult result =
       cbp::sa::analyze_paths(paths, options);
 
+  std::string output;
   switch (mode) {
     case Mode::kReport: {
-      std::cout << cbp::sa::render_report(result.candidates, top);
+      std::ostringstream out;
+      out << cbp::sa::render_report(result.candidates, top);
       if (result.lock_graph_has_cycle) {
-        std::cout << "\nlock-order graph: cycle detected (see deadlock "
-                     "candidates above)\n";
+        out << "\nlock-order graph: cycle detected (see deadlock "
+               "candidates above; --deadlock for ranked cycles)\n";
       }
+      output = out.str();
       break;
     }
     case Mode::kSpec:
-      std::cout << cbp::sa::render_spec(result.candidates, top);
+      output = cbp::sa::render_spec(result.candidates, top);
       break;
-    case Mode::kList: {
-      const std::string list = cbp::sa::render_list(result.candidates);
-      if (!golden.empty()) {
-        return check_against_golden(list, golden) ? 0 : 1;
+    case Mode::kList:
+      output = cbp::sa::render_list(result.candidates);
+      break;
+    case Mode::kCalls: {
+      std::ostringstream out;
+      for (const cbp::sa::UnitModel& unit : result.units) {
+        out << cbp::sa::render_call_graph(unit,
+                                          cbp::sa::build_call_graph(unit));
       }
-      std::cout << list;
+      output = out.str();
       break;
     }
+    case Mode::kDeadlock:
+      output = cbp::sa::render_cycles(result.cycles);
+      break;
+    case Mode::kAtomicity: {
+      std::vector<cbp::sa::Candidate> atomic;
+      for (const cbp::sa::Candidate& c : result.candidates) {
+        if (c.kind == cbp::sa::Candidate::Kind::kAtomicity) {
+          atomic.push_back(c);
+        }
+      }
+      output = cbp::sa::render_list(atomic);
+      break;
+    }
+    case Mode::kFuse:
+      break;  // handled below (needs the input files)
   }
+
+  if (mode == Mode::kFuse || !detector_path.empty()) {
+    std::string text;
+    if (!read_file(detector_path, text)) {
+      std::cerr << "cbp-sa: cannot read detector dump '" << detector_path
+                << "'\n";
+      return 2;
+    }
+    std::string error;
+    std::vector<cbp::sa::placement::RecordedSitePair> recorded;
+    if (!cbp::sa::placement::parse_detector_json(text, recorded, error)) {
+      std::cerr << "cbp-sa: bad detector dump: " << error << "\n";
+      return 2;
+    }
+    std::vector<cbp::obs::BreakpointTelemetry> telemetry;
+    if (!telemetry_path.empty()) {
+      if (!read_file(telemetry_path, text)) {
+        std::cerr << "cbp-sa: cannot read telemetry '" << telemetry_path
+                  << "'\n";
+        return 2;
+      }
+      if (!cbp::obs::read_telemetry_json(text, telemetry, error)) {
+        std::cerr << "cbp-sa: bad telemetry: " << error << "\n";
+        return 2;
+      }
+    }
+    const cbp::sa::placement::PlacementPlan plan =
+        cbp::sa::placement::fuse(result, recorded, telemetry);
+    output = mode == Mode::kFuse
+                 ? cbp::sa::placement::render_plan_spec(plan)
+                 : cbp::sa::placement::render_plan(plan);
+  }
+
+  if (!golden.empty()) {
+    return check_against_golden(output, golden) ? 0 : 1;
+  }
+  std::cout << output;
   return 0;
 }

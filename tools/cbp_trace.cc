@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -34,8 +35,14 @@
 #include "apps/replica.h"
 #include "apps/webserver/jigsaw.h"
 #include "core/cbp.h"
+#include "detect/contention.h"
+#include "detect/eraser.h"
+#include "detect/json_export.h"
+#include "detect/lock_order.h"
+#include "instrument/hub.h"
 #include "obs/export.h"
 #include "obs/telemetry.h"
+#include "obs/telemetry_io.h"
 #include "obs/trace.h"
 #include "runtime/clock.h"
 #include "runtime/thread_registry.h"
@@ -43,20 +50,23 @@
 namespace {
 
 struct Options {
-  std::string demo;            // "", "cache", "jigsaw"
+  std::string demo;            // "", "cache", "cache-atomicity", "jigsaw"
   int runs = 10;
   int jobs = 1;                // demo runs in parallel when > 1
   std::string format = "json";  // "json" | "chrome"
   std::string filter;
   std::string out;
   bool report = false;
+  std::string detect_out;     // demo: run detectors, write JSON dump here
+  std::string telemetry_out;  // demo: write telemetry JSON here
   std::vector<std::string> inputs;
 };
 
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options] [dump.json ...]\n"
-      << "  --demo=cache|jigsaw   run a built-in workload with tracing on\n"
+      << "  --demo=cache|cache-atomicity|jigsaw\n"
+      << "                        run a built-in workload with tracing on\n"
       << "  --runs=N              demo repetitions (default 10)\n"
       << "  --trial-jobs=N        run the demo repetitions on N workers,\n"
       << "                        each with a private engine (default 1)\n"
@@ -64,6 +74,11 @@ int usage(const char* argv0) {
       << "  --filter=NAME         keep only events of breakpoint NAME\n"
       << "  --out=FILE            write the export to FILE (default stdout)\n"
       << "  --report              print the predicted-vs-observed table\n"
+      << "  --detect-out=FILE     (demo) run Eraser/LockOrder/Contention\n"
+      << "                        detectors alongside and dump their\n"
+      << "                        reports as JSON (cbp-sa --fuse input)\n"
+      << "  --telemetry-out=FILE  (demo) write the telemetry row as JSON\n"
+      << "                        (cbp-sa --fuse --telemetry input)\n"
       << "With no --demo, positional arguments are JSON dumps to merge.\n";
   return 2;
 }
@@ -89,6 +104,8 @@ bool parse_args(int argc, char** argv, Options& options) {
     if (value_of("--format=", options.format)) continue;
     if (value_of("--filter=", options.filter)) continue;
     if (value_of("--out=", options.out)) continue;
+    if (value_of("--detect-out=", options.detect_out)) continue;
+    if (value_of("--telemetry-out=", options.telemetry_out)) continue;
     if (arg == "--report") {
       options.report = true;
       continue;
@@ -98,18 +115,57 @@ bool parse_args(int argc, char** argv, Options& options) {
   }
   if (options.format != "json" && options.format != "chrome") return false;
   if (!options.demo.empty() && options.demo != "cache" &&
-      options.demo != "jigsaw") {
+      options.demo != "cache-atomicity" && options.demo != "jigsaw") {
     return false;
   }
   if (options.demo.empty() && options.inputs.empty()) return false;
+  if (options.demo.empty() &&
+      (!options.detect_out.empty() || !options.telemetry_out.empty())) {
+    return false;  // both exports describe a live demo run
+  }
+  return true;
+}
+
+bool write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cbp-trace: cannot write " << path << "\n";
+    return false;
+  }
+  out << body;
   return true;
 }
 
 /// Runs one replica workload `runs` times with tracing enabled and
-/// returns the telemetry input describing what happened.
-cbp::obs::TelemetryInput run_demo(const Options& options) {
+/// returns the telemetry input describing what happened.  When `dump`
+/// is non-null the dynamic detectors listen along and their reports are
+/// collected into it (the cbp-sa --fuse input).
+cbp::obs::TelemetryInput run_demo(const Options& options,
+                                  cbp::detect::DetectorDump* dump) {
   using namespace cbp;
   using namespace std::chrono_literals;
+
+  detect::EraserDetector eraser;
+  detect::LockOrderDetector lock_order;
+  detect::ContentionDetector contention;
+  std::vector<std::unique_ptr<instr::ScopedListener>> listeners;
+  if (dump != nullptr) {
+    listeners.push_back(std::make_unique<instr::ScopedListener>(eraser));
+    listeners.push_back(std::make_unique<instr::ScopedListener>(lock_order));
+    listeners.push_back(std::make_unique<instr::ScopedListener>(contention));
+  }
+  struct Collect {
+    cbp::detect::DetectorDump* dump;
+    detect::EraserDetector& eraser;
+    detect::LockOrderDetector& lock_order;
+    detect::ContentionDetector& contention;
+    ~Collect() {
+      if (dump == nullptr) return;
+      dump->races = eraser.races();
+      dump->deadlocks = lock_order.deadlocks();
+      dump->contentions = contention.contentions();
+    }
+  } collect{dump, eraser, lock_order, contention};
 
   Config::set_enabled(true);
   rt::TimeScale::set(1.0);
@@ -120,26 +176,48 @@ cbp::obs::TelemetryInput run_demo(const Options& options) {
   run_options.pause = 20ms;  // keep a CI demo under a second per run
 
   obs::TelemetryInput input;
-  input.name = options.demo == "cache" ? apps::cache::kRace1
-                                       : apps::webserver::kRace1;
-  input.threads = 2;  // both race1 replicas race two threads at the bp
+  input.name = options.demo == "cache"             ? apps::cache::kRace1
+               : options.demo == "cache-atomicity" ? apps::cache::kAtomicity1
+                                                   : apps::webserver::kRace1;
+  input.threads = 2;  // all demo replicas race two threads at the bp
+
+  // The atomicity demo uses the §6.3 programmatic ignore_first to skip
+  // the warm-up constructions.  That refinement compares against the
+  // engine's *cumulative* arrival counter, so the demo resets its
+  // engine between runs (like harness::run_repeated) and accumulates
+  // stats manually — the obs trace ring is global and unaffected.
+  const bool per_run_reset = options.demo == "cache-atomicity";
+  auto run_one = [&options](const apps::RunOptions& o) {
+    if (options.demo == "cache") {
+      apps::cache::run_race1(o);
+    } else if (options.demo == "cache-atomicity") {
+      (void)apps::cache::run_atomicity1(o,
+                                        apps::cache::kWarmupConstructions);
+    } else {
+      apps::webserver::run_race1(o);
+    }
+  };
 
   const int jobs = std::min(options.jobs, options.runs);
   if (jobs <= 1) {
+    BreakpointStats total;
     std::uint64_t previous_hits = 0;
     for (int run = 0; run < options.runs; ++run) {
       run_options.seed = static_cast<std::uint64_t>(run) + 1;
-      if (options.demo == "cache") {
-        apps::cache::run_race1(run_options);
+      if (per_run_reset) Engine::instance().reset();
+      run_one(run_options);
+      const BreakpointStats stats = Engine::instance().stats(input.name);
+      if (per_run_reset) {
+        if (stats.hits > 0) input.runs_hit += 1;
+        total += stats;
       } else {
-        apps::webserver::run_race1(run_options);
+        if (stats.hits > previous_hits) input.runs_hit += 1;
+        previous_hits = stats.hits;
       }
-      const std::uint64_t hits = Engine::instance().stats(input.name).hits;
-      if (hits > previous_hits) input.runs_hit += 1;
-      previous_hits = hits;
       input.runs += 1;
     }
-    input.stats = Engine::instance().stats(input.name);
+    input.stats = per_run_reset ? total : Engine::instance().stats(input.name);
+    if (per_run_reset) Engine::instance().reset();
     return input;
   }
 
@@ -160,22 +238,26 @@ cbp::obs::TelemetryInput run_demo(const Options& options) {
     workers.emplace_back([&, run_options]() mutable {
       Engine engine;
       ScopedEngine bind(engine);
+      BreakpointStats local_total;
       std::uint64_t previous_hits = 0;
       std::uint64_t local_hit_runs = 0;
       for (int run = next_run.fetch_add(1); run < options.runs;
            run = next_run.fetch_add(1)) {
         run_options.seed = static_cast<std::uint64_t>(run) + 1;
-        if (options.demo == "cache") {
-          apps::cache::run_race1(run_options);
+        if (per_run_reset) engine.reset();
+        run_one(run_options);
+        const BreakpointStats stats = engine.stats(input.name);
+        if (per_run_reset) {
+          if (stats.hits > 0) ++local_hit_runs;
+          local_total += stats;
         } else {
-          apps::webserver::run_race1(run_options);
+          if (stats.hits > previous_hits) ++local_hit_runs;
+          previous_hits = stats.hits;
         }
-        const std::uint64_t hits = engine.stats(input.name).hits;
-        if (hits > previous_hits) ++local_hit_runs;
-        previous_hits = hits;
       }
       runs_hit.fetch_add(local_hit_runs);
-      const BreakpointStats stats = engine.stats(input.name);
+      const BreakpointStats stats =
+          per_run_reset ? local_total : engine.stats(input.name);
       std::lock_guard<std::mutex> lock(merge_mu);
       total += stats;
     });
@@ -199,10 +281,24 @@ int main(int argc, char** argv) {
   cbp::obs::TelemetryInput telemetry_input;
 
   if (!options.demo.empty()) {
-    telemetry_input = run_demo(options);
+    cbp::detect::DetectorDump dump;
+    telemetry_input = run_demo(
+        options, options.detect_out.empty() ? nullptr : &dump);
     snapshot = cbp::obs::Trace::collect();
     dropped = snapshot.dropped;
     events = cbp::obs::resolve(snapshot);
+    if (!options.detect_out.empty() &&
+        !write_text_file(options.detect_out, cbp::detect::write_json(dump))) {
+      return 1;
+    }
+    if (!options.telemetry_out.empty()) {
+      const cbp::obs::BreakpointTelemetry row =
+          cbp::obs::analyze(telemetry_input, snapshot);
+      if (!write_text_file(options.telemetry_out,
+                           cbp::obs::write_telemetry_json({row}))) {
+        return 1;
+      }
+    }
   } else {
     for (const std::string& path : options.inputs) {
       std::ifstream in(path);

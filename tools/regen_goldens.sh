@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Regenerates every checked-in golden file from the current sources.
+#
+#   tools/regen_goldens.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build and must already be configured; the
+# script builds the targets it needs (cbp-sa, test_obs) itself.  Run it
+# from anywhere — paths resolve relative to the repo root.  Review the
+# resulting diff before committing: these files are drift detectors, so
+# a change here should always correspond to an intentional change in
+# the analyzer or the exporter.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  echo "error: '$build_dir' is not a configured build directory" >&2
+  echo "hint: cmake -B build -S '$repo_root' first" >&2
+  exit 1
+fi
+
+cmake --build "$build_dir" --target cbp-sa test_obs -- -j "$(nproc)"
+
+cbp_sa="$build_dir/tools/cbp-sa"
+golden="$repo_root/tests/golden"
+cd "$repo_root"
+
+# Per-app candidate lists (test_sa_golden + the CI self-lint job).
+"$cbp_sa" --list src/apps/cache     > "$golden/cache.list"
+"$cbp_sa" --list src/apps/webserver > "$golden/jigsaw.list"
+"$cbp_sa" --list src/apps/logging   > "$golden/logging.list"
+
+# Interprocedural fixture: entry-lockset propagation + cross-function
+# deadlock cycle over tests/sa_fixtures/interproc.
+"$cbp_sa" --interproc --list tests/sa_fixtures/interproc \
+    > "$golden/interproc.list"
+
+# Self-analysis findings over the repo's own sources.
+"$cbp_sa" --deadlock  src > "$golden/self_deadlock.txt"
+"$cbp_sa" --atomicity src > "$golden/self_atomicity.txt"
+
+# Chrome-trace exporter golden (deterministic injected trace).
+CBP_REGEN_GOLDEN=1 "$build_dir/tests/test_obs" \
+    --gtest_filter='ObsTest.ChromeExportMatchesGoldenFile' >/dev/null
+
+echo "regenerated goldens under tests/golden/:"
+git -C "$repo_root" status --short -- tests/golden || true
