@@ -11,14 +11,16 @@
 
 #include <cstdio>
 #include <iostream>
-#include <thread>
+#include <optional>
 
 #include "bench_util.h"
 #include "fuzz/explore.h"
 #include "harness/experiment.h"
 #include "instrument/shared_var.h"
 #include "replay/replayer.h"
+#include "runtime/context.h"
 #include "runtime/latch.h"
+#include "runtime/vclock.h"
 
 namespace {
 
@@ -50,12 +52,20 @@ Trace witness_trace(int increments) {
 }
 
 /// Replays the two-thread increment workload under `trace`; true iff an
-/// update was lost.
-bool run_under_trace(const Trace& trace, int increments) {
+/// update was lost.  Under --clock=virtual each replay runs inside a
+/// private discrete-event clock: the replayer's 300 µs pacing sleeps and
+/// divergence timeouts become virtual, so the search pays only CPU.
+bool run_under_trace(const Trace& trace, int increments, rt::ClockMode mode) {
   instr::SharedVar<int> counter{0};
   replay::Replayer replayer(trace);
   replayer.set_step_delay(std::chrono::microseconds(300));
   instr::ScopedListener registration(replayer);
+  std::optional<rt::VirtualClock> vclock;
+  std::optional<rt::ScopedClock> bound;
+  if (mode == rt::ClockMode::kVirtual) {
+    vclock.emplace();
+    bound.emplace(&*vclock);
+  }
   rt::StartGate gate;
   auto worker = [&](int role) {
     replayer.bind_this_thread(role);
@@ -65,8 +75,8 @@ bool run_under_trace(const Trace& trace, int increments) {
       counter.write(value + 1);
     }
   };
-  std::thread a(worker, 0);
-  std::thread b(worker, 1);
+  rt::Thread a(worker, 0);
+  rt::Thread b(worker, 1);
   gate.open();
   a.join();
   b.join();
@@ -96,7 +106,8 @@ int main(int argc, char** argv) {
     // "Found the failure" = this replayed schedule loses an update AND is
     // the observed witness interleaving.
     auto is_the_failure = [&](const Trace& trace) {
-      return trace.ops == witness.ops && run_under_trace(trace, increments);
+      return trace.ops == witness.ops &&
+             run_under_trace(trace, increments, config.clock);
     };
 
     fuzz::ExploreOptions full;

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
     apps::RunOptions options;
     options.pause = std::chrono::milliseconds(t);
     options.stall_after = std::chrono::milliseconds(8000);
+    options.clock = config.clock;
     const auto result = harness::run_repeated_parallel(
         apps::crawler::run_race1, options, config.runs, config.jobs);
     std::string paper = t == 100 ? "0.87" : (t == 1000 ? "1.00" : "-");
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
     apps::RunOptions options;
     options.pause = std::chrono::milliseconds(t);
     options.stall_after = std::chrono::milliseconds(8000);
+    options.clock = config.clock;
     auto runner = [](const apps::RunOptions& run_options) {
       apps::swinglike::SwingOptions swing;
       swing.base = run_options;

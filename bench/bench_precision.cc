@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   apps::RunOptions options;
   options.pause = std::chrono::milliseconds(100);
   options.stall_after = std::chrono::milliseconds(8000);
+  options.clock = config.clock;
 
   // --- cache4j: ignoreFirst -------------------------------------------------
   {

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
     options.pause = row.pause;
     options.work_scale = row.work_scale;
     options.stall_after = std::chrono::milliseconds(4000);
+    options.clock = config.clock;
 
     const auto overhead = harness::measure_overhead(row.runner, options,
                                                     config.runs, config.jobs);

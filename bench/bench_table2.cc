@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
     options.pause = std::chrono::milliseconds(100);
     options.stall_after = std::chrono::milliseconds(4000);
     options.breakpoints = true;
+    options.clock = config.clock;
 
     const auto mtte = harness::measure_mtte_parallel(
         row.runner, options,

@@ -11,8 +11,18 @@
 //     marginal race under hardware contention, so exact-count equality
 //     is not required.
 //
-// Exits non-zero when any row's serial and parallel intervals fail to
-// overlap — CI runs this as a smoke check of the parallel scheduler.
+// Under --clock=virtual the comparison changes shape (DESIGN.md §5g):
+// trials run at the paper's *nominal* T (time_scale 1.0) on a per-trial
+// discrete-event clock, against a scaled-clock serial baseline at the
+// suite's default scale.  Virtual trials are deterministic, so the
+// serial and parallel virtual legs must agree *exactly* seed by seed,
+// while the virtual-vs-scaled probabilities are gated statistically
+// (Wilson overlap).  The JSON report from this mode is committed as
+// BENCH_vtime.json.
+//
+// Exits non-zero when any row's probability intervals fail to overlap
+// (or, under --clock=virtual, when the serial and parallel virtual legs
+// diverge) — CI runs both modes as smoke checks of the schedulers.
 
 #include <cstdio>
 #include <iostream>
@@ -22,14 +32,24 @@
 #include "harness/experiment.h"
 #include "harness/registry.h"
 
-int main(int argc, char** argv) {
-  using namespace cbp;
-  std::printf("=== Serial vs parallel trial scheduler ===\n");
-  auto config = bench::setup(argc, argv, /*default_runs=*/16);
-  // This bench exists to exercise the parallel path: without an explicit
-  // --trial-jobs, compare against 8 workers.
-  const int jobs = config.jobs > 1 ? config.jobs : 8;
+namespace {
 
+using namespace cbp;
+
+/// Fraction of trials whose (seed, buggy, hit) verdicts match exactly.
+int matching_trials(const harness::RepeatedResult& a,
+                    const harness::RepeatedResult& b, int runs) {
+  int matching = 0;
+  for (int i = 0; i < runs; ++i) {
+    const auto& x = a.trials[static_cast<std::size_t>(i)];
+    const auto& y = b.trials[static_cast<std::size_t>(i)];
+    if (x.seed == y.seed && x.buggy == y.buggy && x.hit == y.hit) ++matching;
+  }
+  return matching;
+}
+
+/// Historical mode: serial vs parallel under one clock policy.
+int run_serial_vs_parallel(const bench::BenchConfig& config, int jobs) {
   harness::TextTable table({"Benchmark", "Serial(s)", "Parallel(s)", "Speedup",
                             "P(bug) ser/par", "P(hit) ser/par", "Seeds match",
                             "CI overlap"});
@@ -45,18 +65,14 @@ int main(int argc, char** argv) {
     options.work_scale = row.work_scale;
     options.stall_after = std::chrono::milliseconds(4000);
     options.breakpoints = true;
+    options.clock = config.clock;
 
     const auto serial =
         harness::run_repeated(row.runner, options, config.runs);
     const auto parallel =
         harness::run_repeated_parallel(row.runner, options, config.runs, jobs);
 
-    int matching = 0;
-    for (int i = 0; i < config.runs; ++i) {
-      const auto& s = serial.trials[static_cast<std::size_t>(i)];
-      const auto& p = parallel.trials[static_cast<std::size_t>(i)];
-      if (s.seed == p.seed && s.buggy == p.buggy && s.hit == p.hit) ++matching;
-    }
+    const int matching = matching_trials(serial, parallel, config.runs);
     const bool overlap =
         serial.bug_probability_ci().overlaps(parallel.bug_probability_ci()) &&
         serial.hit_probability_ci().overlaps(parallel.hit_probability_ci());
@@ -107,4 +123,138 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+/// Scale for the scaled-clock baseline legs of the virtual comparison:
+/// the suite default, so the baseline matches BENCH_trials.json numbers.
+constexpr double kScaledBaselineScale = 0.02;
+
+/// --clock=virtual mode: nominal-T virtual trials (serial and parallel)
+/// against a scaled serial baseline.
+int run_virtual_comparison(const bench::BenchConfig& config, int jobs) {
+  harness::TextTable table({"Benchmark", "Scaled(s)", "Virt-ser(s)",
+                            "Virt-par(s)", "Par speedup", "vs scaled",
+                            "P(bug) sc/vi", "Virt par==ser", "CI overlap"});
+  bench::JsonReport report("vtime", /*time_scale=*/1.0);
+
+  double scaled_total = 0.0;
+  double vserial_total = 0.0;
+  double vparallel_total = 0.0;
+  bool all_overlap = true;
+  bool all_deterministic = true;
+
+  for (const harness::Table1Case& row : harness::table1_cases()) {
+    apps::RunOptions options;
+    options.pause = row.pause;
+    options.work_scale = row.work_scale;
+    options.stall_after = std::chrono::milliseconds(4000);
+    options.breakpoints = true;
+
+    // Baseline: the historical serial scaled run (kernel waits at the
+    // suite's default scale) — the reference the virtual probabilities
+    // must agree with.
+    options.clock = rt::ClockMode::kScaled;
+    harness::RepeatedResult scaled;
+    {
+      rt::ScopedTimeScale scale(kScaledBaselineScale);
+      scaled = harness::run_repeated(row.runner, options, config.runs);
+    }
+
+    // Virtual legs at the paper's nominal T (TimeScale is 1.0 here, and
+    // the per-trial discrete-event clock makes the waits free anyway).
+    options.clock = rt::ClockMode::kVirtual;
+    const auto vserial =
+        harness::run_repeated(row.runner, options, config.runs);
+    const auto vparallel =
+        harness::run_repeated_parallel(row.runner, options, config.runs, jobs);
+
+    const int matching = matching_trials(vserial, vparallel, config.runs);
+    const bool deterministic = matching == config.runs;
+    all_deterministic = all_deterministic && deterministic;
+    const bool overlap =
+        scaled.bug_probability_ci().overlaps(vserial.bug_probability_ci()) &&
+        scaled.hit_probability_ci().overlaps(vserial.hit_probability_ci());
+    all_overlap = all_overlap && overlap;
+    scaled_total += scaled.wall_clock_s;
+    vserial_total += vserial.wall_clock_s;
+    vparallel_total += vparallel.wall_clock_s;
+
+    const double par_speedup =
+        vparallel.wall_clock_s <= 0.0
+            ? 0.0
+            : vserial.wall_clock_s / vparallel.wall_clock_s;
+    const double vs_scaled =
+        vserial.wall_clock_s <= 0.0
+            ? 0.0
+            : scaled.wall_clock_s / vserial.wall_clock_s;
+    const std::string key = std::string(row.benchmark) + "/" + row.bug;
+    table.add_row(
+        {key, harness::fmt_seconds(scaled.wall_clock_s),
+         harness::fmt_seconds(vserial.wall_clock_s),
+         harness::fmt_seconds(vparallel.wall_clock_s),
+         harness::fmt_percent(par_speedup) + "x",
+         harness::fmt_percent(vs_scaled) + "x",
+         harness::fmt_prob(scaled.bug_probability()) + "/" +
+             harness::fmt_prob(vserial.bug_probability()),
+         deterministic ? "yes" : "NO",
+         overlap ? "yes" : "NO"});
+    report.add(key + "/scaled_serial_wall_clock", 1, scaled.wall_clock_s, "s");
+    report.add(key + "/virtual_serial_wall_clock", 1, vserial.wall_clock_s,
+               "s");
+    report.add(key + "/virtual_parallel_wall_clock", jobs,
+               vparallel.wall_clock_s, "s");
+    report.add(key + "/speedup", jobs, par_speedup, "x");
+    report.add(key + "/virtual_vs_scaled_speedup", 1, vs_scaled, "x");
+    report.add(key + "/bug_probability_scaled", 1, scaled.bug_probability(),
+               "probability");
+    report.add(key + "/bug_probability_virtual", 1, vserial.bug_probability(),
+               "probability");
+    report.add(key + "/virtual_seeds_match", jobs,
+               static_cast<double>(matching) / config.runs, "fraction");
+  }
+
+  const double total_par_speedup =
+      vparallel_total <= 0.0 ? 0.0 : vserial_total / vparallel_total;
+  const double total_vs_scaled =
+      vserial_total <= 0.0 ? 0.0 : scaled_total / vserial_total;
+  report.add("total/scaled_serial_wall_clock", 1, scaled_total, "s");
+  report.add("total/virtual_serial_wall_clock", 1, vserial_total, "s");
+  report.add("total/virtual_parallel_wall_clock", jobs, vparallel_total, "s");
+  report.add("total/speedup", jobs, total_par_speedup, "x");
+  report.add("total/virtual_vs_scaled_speedup", 1, total_vs_scaled, "x");
+  report.flush(config.json_path);
+
+  table.print(std::cout);
+  std::printf("\nTotal wall clock: scaled serial %.3fs, virtual serial "
+              "%.3fs, virtual parallel (%d jobs) %.3fs -> parallel speedup "
+              "%.2fx, virtual vs scaled %.1fx (at nominal T).\n",
+              scaled_total, vserial_total, jobs, vparallel_total,
+              total_par_speedup, total_vs_scaled);
+  int failures = 0;
+  if (!all_overlap) {
+    std::printf("FAIL: a scaled/virtual probability interval pair does not "
+                "overlap.\n");
+    ++failures;
+  }
+  if (!all_deterministic) {
+    std::printf("FAIL: serial and parallel virtual legs disagree on a "
+                "per-seed verdict (virtual trials must be deterministic).\n");
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Serial vs parallel trial scheduler ===\n");
+  auto config = bench::setup(argc, argv, /*default_runs=*/16);
+  // This bench exists to exercise the parallel path: without an explicit
+  // --trial-jobs, compare against 8 workers.
+  const int jobs = config.jobs > 1 ? config.jobs : 8;
+
+  if (config.clock == rt::ClockMode::kVirtual) {
+    return run_virtual_comparison(config, jobs);
+  }
+  return run_serial_vs_parallel(config, jobs);
 }

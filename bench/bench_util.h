@@ -1,7 +1,7 @@
 // Shared setup for the experiment benches: scales the paper's nominal
 // pause times down so the full evaluation runs in seconds, and parses
 // the optional CLI overrides
-//   <runs> <time_scale> [--json <path>] [--trial-jobs=N]
+//   <runs> <time_scale> [--json <path>] [--trial-jobs=N] [--clock=MODE]
 //
 // --trial-jobs=N routes every repeated-trial measurement through the
 // parallel scheduler (harness::run_repeated_parallel): N workers, each
@@ -9,6 +9,15 @@
 // the historical serial behaviour.  The trial workloads are dominated by
 // nominal pauses (scaled sleeps), so trials overlap profitably even
 // beyond the core count.
+//
+// --clock=real|scaled|virtual picks the trial timing policy (DESIGN.md
+// §5g).  `scaled` is the historical default (kernel waits multiplied by
+// <time_scale>); `virtual` runs every trial under a per-trial
+// discrete-event clock where nominal waits are free — the bench then
+// *ignores* <time_scale> and runs at the paper's nominal values (scale
+// 1.0), because scaling exists only to make kernel waits affordable;
+// `real` pins the scale at 1.0 with kernel waits (the paper's actual
+// cost, for calibration runs).
 //
 // With --json <path>, a bench appends rows to a JsonReport and writes a
 // machine-readable summary on exit, so successive runs form a perf
@@ -34,6 +43,17 @@ struct BenchConfig {
   double time_scale = 0.02; ///< nominal 100 ms pause -> 2 ms
   std::string json_path;    ///< empty = no JSON output
   int jobs = 1;             ///< parallel trial workers (1 = serial)
+  rt::ClockMode clock = rt::ClockMode::kScaled;  ///< trial timing policy
+
+  /// Short name for table/report labels ("real", "scaled", "virtual").
+  [[nodiscard]] const char* clock_name() const {
+    switch (clock) {
+      case rt::ClockMode::kReal: return "real";
+      case rt::ClockMode::kVirtual: return "virtual";
+      case rt::ClockMode::kScaled: break;
+    }
+    return "scaled";
+  }
 };
 
 /// Accumulates (name, threads, value, unit) rows and writes them as one
@@ -120,6 +140,35 @@ inline int take_jobs_flag(int& argc, char** argv) {
   return 1;
 }
 
+/// Extracts `--clock=MODE` (or `--clock MODE`) from argv; MODE is one of
+/// real | scaled | virtual.  Unknown modes abort with a usage message
+/// rather than silently falling back to a different timing policy.
+inline rt::ClockMode take_clock_flag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    int consumed = 0;
+    if (std::strncmp(argv[i], "--clock=", 8) == 0) {
+      value = argv[i] + 8;
+      consumed = 1;
+    } else if (std::strcmp(argv[i], "--clock") == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+      consumed = 2;
+    }
+    if (consumed > 0) {
+      for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+      argc -= consumed;
+      if (std::strcmp(value, "real") == 0) return rt::ClockMode::kReal;
+      if (std::strcmp(value, "scaled") == 0) return rt::ClockMode::kScaled;
+      if (std::strcmp(value, "virtual") == 0) return rt::ClockMode::kVirtual;
+      std::fprintf(stderr,
+                   "error: --clock=%s (expected real|scaled|virtual)\n",
+                   value);
+      std::exit(2);
+    }
+  }
+  return rt::ClockMode::kScaled;
+}
+
 inline BenchConfig setup(int argc, char** argv, int default_runs = 30,
                          double default_scale = 0.02) {
   BenchConfig config;
@@ -127,16 +176,24 @@ inline BenchConfig setup(int argc, char** argv, int default_runs = 30,
   config.time_scale = default_scale;
   config.json_path = take_json_flag(argc, argv);
   config.jobs = take_jobs_flag(argc, argv);
+  config.clock = take_clock_flag(argc, argv);
   if (argc > 1) config.runs = std::atoi(argv[1]);
   if (argc > 2) config.time_scale = std::atof(argv[2]);
+  if (config.clock != rt::ClockMode::kScaled) {
+    // real: kernel waits at the paper's nominal values by definition.
+    // virtual: waits are free, so there is nothing for scaling to
+    // amortize — run the actual nominal values and measure those.
+    config.time_scale = 1.0;
+  }
   rt::TimeScale::set(config.time_scale);
   Config::set_enabled(true);
   Config::set_order_delay(std::chrono::microseconds(200));
   Config::set_guard_wait_cap(std::chrono::milliseconds(2000));
-  std::printf("(runs=%d per configuration, time_scale=%.3f: the paper's "
-              "nominal waits run %.0fx faster; trial-jobs=%d%s)\n\n",
-              config.runs, config.time_scale, 1.0 / config.time_scale,
-              config.jobs, config.jobs > 1 ? " — parallel trials" : "");
+  std::printf("(runs=%d per configuration, clock=%s, time_scale=%.3f: the "
+              "paper's nominal waits run %.0fx faster; trial-jobs=%d%s)\n\n",
+              config.runs, config.clock_name(), config.time_scale,
+              1.0 / config.time_scale, config.jobs,
+              config.jobs > 1 ? " — parallel trials" : "");
   return config;
 }
 

@@ -8,6 +8,7 @@
 #include "runtime/clock.h"
 #include "runtime/context.h"
 #include "runtime/latch.h"
+#include "runtime/vclock.h"
 
 namespace cbp::apps::collections {
 namespace {
@@ -175,8 +176,7 @@ RunOutcome run_list_atomicity1(const RunOptions& options) {
   });
   rt::Thread clearer([&] {
     gate.wait();
-    std::this_thread::sleep_for(
-        rt::TimeScale::apply(std::chrono::microseconds(500)));
+    rt::clock_sleep_for(std::chrono::microseconds(500));
     AtomicityTrigger trigger(kListAtomicity1, &list);
     trigger.trigger_here(/*is_first_action=*/true);
     list.clear();
@@ -264,7 +264,7 @@ RunOutcome run_map_atomicity1(const RunOptions& options) {
     // Natural arrivals are skewed (clients do not start in lockstep);
     // the breakpoint's postponement is what bridges the skew.
     if (stagger.count() > 0) {
-      std::this_thread::sleep_for(rt::TimeScale::apply(stagger));
+      rt::clock_sleep_for(stagger);
     }
     if (!map.contains(kKey)) {
       AtomicityTrigger trigger(kMapAtomicity1, &map);
@@ -317,7 +317,7 @@ RunOutcome run_set_atomicity1(const RunOptions& options) {
   auto add_if_absent = [&](std::chrono::microseconds stagger) {
     gate.wait();
     if (stagger.count() > 0) {
-      std::this_thread::sleep_for(rt::TimeScale::apply(stagger));
+      rt::clock_sleep_for(stagger);
     }
     try {
       if (!set.contains(kValue)) {

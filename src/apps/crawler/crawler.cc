@@ -11,6 +11,7 @@
 #include "runtime/context.h"
 #include "runtime/latch.h"
 #include "runtime/rng.h"
+#include "runtime/vclock.h"
 
 namespace cbp::apps::crawler {
 namespace {
@@ -21,15 +22,17 @@ void configure(const RunOptions& options) {
 }
 
 /// Sleeps a uniform random duration in [0, jitter_multiple * 100ms),
-/// TimeScale-adjusted — the synthetic "network".
+/// clock-adjusted — the synthetic "network".  The draw is on the
+/// *nominal* window and only the sleep goes through the clock policy,
+/// so a seed consumes the same randomness under real, scaled and
+/// virtual clocks (and the old raw sleep_for no longer bypasses the
+/// virtual clock).
 void network_jitter(rt::Rng& rng, double jitter_multiple) {
-  const auto window = rt::TimeScale::apply(
-      std::chrono::duration_cast<rt::Duration>(
-          std::chrono::duration<double, std::milli>(100.0 * jitter_multiple)));
-  const auto ns =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(window).count();
+  const auto window = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double, std::milli>(100.0 * jitter_multiple));
+  const auto ns = window.count();
   if (ns <= 0) return;
-  std::this_thread::sleep_for(std::chrono::nanoseconds(
+  rt::clock_sleep_for(std::chrono::nanoseconds(
       rng.next_below(static_cast<std::uint64_t>(ns) + 1)));
 }
 

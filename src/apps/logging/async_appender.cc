@@ -7,6 +7,7 @@
 #include "runtime/clock.h"
 #include "runtime/context.h"
 #include "runtime/latch.h"
+#include "runtime/vclock.h"
 #include "runtime/rng.h"
 
 namespace cbp::apps::logging {
@@ -97,7 +98,7 @@ MethodologyIIOutcome run_methodology2(const MethodologyIIOptions& options) {
     try {
       for (int i = 0; i < options.events; ++i) {
         appender.append(i, options.stall_after);
-        std::this_thread::sleep_for(rt::TimeScale::apply(options.append_gap));
+        rt::clock_sleep_for(options.append_gap);
       }
     } catch (const rt::StallError&) {
       stalled = true;
@@ -111,18 +112,19 @@ MethodologyIIOutcome run_methodology2(const MethodologyIIOptions& options) {
     // Let the pipeline reach its steady state (buffer full, appender
     // blocked) before reconfiguring, then add random jitter — the grow
     // fires "mid-workload" like the original bug reports describe.
-    const auto base = rt::TimeScale::apply(
-        std::chrono::duration_cast<rt::Duration>(options.pause) / 2);
+    // The jitter draw is on the nominal window and the whole delay goes
+    // through the clock policy: the old code mixed scaled components
+    // into a raw sleep_for, which both bypassed a virtual clock and
+    // made the RNG stream depend on the time scale.
     const auto max_ns =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            rt::TimeScale::apply(options.jitter))
+        std::chrono::duration_cast<std::chrono::nanoseconds>(options.jitter)
             .count();
-    auto delay = base;
+    auto delay = std::chrono::duration_cast<rt::Duration>(options.pause) / 2;
     if (max_ns > 0) {
       delay += std::chrono::nanoseconds(
           config_rng.next_below(static_cast<std::uint64_t>(max_ns) + 1));
     }
-    std::this_thread::sleep_for(delay);
+    rt::clock_sleep_for(delay);
     appender.set_buffer_size(options.grown_buffer);
   });
 
@@ -132,13 +134,13 @@ MethodologyIIOutcome run_methodology2(const MethodologyIIOptions& options) {
     for (;;) {
       // A little natural dawdle before each pass widens the window in
       // which set_buffer_size can sneak in (the ~5% natural stall).
+      // Nominal draw, clock-policy sleep — see the config thread above.
       const auto max_ns =
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              rt::TimeScale::apply(options.jitter))
+          std::chrono::duration_cast<std::chrono::nanoseconds>(options.jitter)
               .count() /
           4;
       if (max_ns > 0) {
-        std::this_thread::sleep_for(std::chrono::nanoseconds(
+        rt::clock_sleep_for(std::chrono::nanoseconds(
             dispatch_rng.next_below(static_cast<std::uint64_t>(max_ns) +
                                     1)));
       }

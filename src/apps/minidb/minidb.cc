@@ -7,6 +7,7 @@
 #include "runtime/clock.h"
 #include "runtime/context.h"
 #include "runtime/latch.h"
+#include "runtime/vclock.h"
 
 namespace cbp::apps::minidb {
 namespace {
@@ -126,7 +127,7 @@ RunOutcome run_log_disorder(const RunOptions& options) {
                          std::chrono::microseconds stagger) {
     gate.wait();
     if (stagger.count() > 0) {
-      std::this_thread::sleep_for(rt::TimeScale::apply(stagger));
+      rt::clock_sleep_for(stagger);
     }
     const int seq = commit_order.fetch_add(1);  // storage commit
     if (options.breakpoints) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "runtime/clock.h"
 #include "runtime/sim_crash.h"
 
 namespace cbp::apps {
@@ -36,6 +37,13 @@ struct RunOptions {
 
   /// Nominal stall-detection threshold for lock/condition waits.
   std::chrono::milliseconds stall_after{2000};
+
+  /// Timing policy for the trial (DESIGN.md §5g).  kScaled is the
+  /// historical behaviour (kernel waits scaled by rt::TimeScale);
+  /// kVirtual runs the trial under a per-trial discrete-event clock
+  /// where every nominal wait is free and the schedule is
+  /// deterministic; kReal pins the scale to 1.0.
+  rt::ClockMode clock = rt::ClockMode::kScaled;
 };
 
 /// Deterministic CPU work standing in for the real programs' per-

@@ -8,19 +8,20 @@
 #include "runtime/context.h"
 #include "runtime/latch.h"
 #include "runtime/rng.h"
+#include "runtime/vclock.h"
 
 namespace cbp::apps::swinglike {
 namespace {
 
+// Draws on the *nominal* window and routes the sleep through the clock
+// policy (see crawler.cc): same randomness under every clock mode, and
+// no raw sleep_for bypassing a virtual clock.
 void jitter_sleep(rt::Rng& rng, double multiple_of_100ms) {
-  const auto window = rt::TimeScale::apply(
-      std::chrono::duration_cast<rt::Duration>(
-          std::chrono::duration<double, std::milli>(100.0 *
-                                                    multiple_of_100ms)));
-  const auto ns =
-      std::chrono::duration_cast<std::chrono::nanoseconds>(window).count();
+  const auto window = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double, std::milli>(100.0 * multiple_of_100ms));
+  const auto ns = window.count();
   if (ns <= 0) return;
-  std::this_thread::sleep_for(std::chrono::nanoseconds(
+  rt::clock_sleep_for(std::chrono::nanoseconds(
       rng.next_below(static_cast<std::uint64_t>(ns) + 1)));
 }
 

@@ -1,0 +1,49 @@
+#include "core/config.h"
+
+#include "core/engine.h"
+
+namespace cbp {
+
+// All Config calls resolve the bound engine first: trials on private
+// engines (harness workers) configure themselves without touching the
+// process default, and unbound threads keep the historical behaviour of
+// configuring Engine::instance().
+
+void Config::set_enabled(bool on) {
+  Engine::current().settings().enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Config::enabled() {
+  return Engine::current().settings().is_enabled();
+}
+
+void Config::set_default_timeout(std::chrono::milliseconds t) {
+  Engine::current().settings().default_timeout_us.store(
+      std::chrono::duration_cast<std::chrono::microseconds>(t).count(),
+      std::memory_order_relaxed);
+}
+
+std::chrono::microseconds Config::default_timeout() {
+  return Engine::current().settings().default_timeout();
+}
+
+void Config::set_order_delay(std::chrono::microseconds d) {
+  Engine::current().settings().order_delay_us.store(
+      d.count(), std::memory_order_relaxed);
+}
+
+std::chrono::microseconds Config::order_delay() {
+  return Engine::current().settings().order_delay();
+}
+
+void Config::set_guard_wait_cap(std::chrono::milliseconds t) {
+  Engine::current().settings().guard_wait_cap_us.store(
+      std::chrono::duration_cast<std::chrono::microseconds>(t).count(),
+      std::memory_order_relaxed);
+}
+
+std::chrono::microseconds Config::guard_wait_cap() {
+  return Engine::current().settings().guard_wait_cap();
+}
+
+}  // namespace cbp

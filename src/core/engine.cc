@@ -42,7 +42,7 @@ void OrderingGuard::release() {
     std::scoped_lock lock(group_->mu);
     group_->acked[static_cast<std::size_t>(rank_)] = 1;
   }
-  group_->cv.notify_all();
+  rt::clock_notify_all(group_->cv);
   CBP_OBS_EVENT(obs::EventKind::kGuardAck, group_->name_id, rank_);
   group_.reset();
   rank_ = -1;
@@ -62,8 +62,10 @@ bool BTrigger::trigger_here(bool is_first_action,
 }
 
 bool BTrigger::trigger_here(bool is_first_action) {
-  return Engine::current()
-      .trigger(*this, is_first_action ? 0 : 1, 2, Config::default_timeout(),
+  Engine& engine = Engine::current();
+  return engine
+      .trigger(*this, is_first_action ? 0 : 1, 2,
+               engine.settings().default_timeout(),
                /*scoped=*/false)
       .hit;
 }
@@ -77,9 +79,10 @@ TriggerResult BTrigger::trigger_here_scoped(bool is_first_action,
 }
 
 TriggerResult BTrigger::trigger_here_scoped(bool is_first_action) {
-  return Engine::current().trigger(*this, is_first_action ? 0 : 1, 2,
-                                    Config::default_timeout(),
-                                    /*scoped=*/true);
+  Engine& engine = Engine::current();
+  return engine.trigger(*this, is_first_action ? 0 : 1, 2,
+                        engine.settings().default_timeout(),
+                        /*scoped=*/true);
 }
 
 bool BTrigger::trigger_here_ranked(int rank, int arity,
@@ -103,8 +106,21 @@ TriggerResult BTrigger::trigger_here_ranked_scoped(
 // Engine: interned name table
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Set once instance() has constructed the default engine; null before
+/// (and during) that construction.  Engine's constructor reads it to
+/// inherit settings without recursing into instance().
+std::atomic<Engine*> g_default_engine{nullptr};
+
+}  // namespace
+
 Engine& Engine::instance() {
-  static Engine* engine = new Engine();  // immortal: never destroyed
+  static Engine* engine = [] {
+    auto* e = new Engine();  // immortal: never destroyed
+    g_default_engine.store(e, std::memory_order_release);
+    return e;
+  }();
   return *engine;
 }
 
@@ -137,7 +153,19 @@ std::vector<std::unique_ptr<internal::NameRecord>>& graveyard() {
 }  // namespace
 
 Engine::Engine()
-    : tag_(g_next_engine_tag.fetch_add(1, std::memory_order_relaxed)) {}
+    : tag_(g_next_engine_tag.fetch_add(1, std::memory_order_relaxed)) {
+  // Inherit the runtime knobs visible to the creating thread: its bound
+  // engine if any, else the process default.  Harness workers create
+  // their private engines on unbound threads, so bench-level Config
+  // writes made before the pool spawned still reach every worker.
+  Engine* parent = nullptr;
+  if (void* bound = rt::bound_context()) {
+    parent = static_cast<Engine*>(bound);
+  } else {
+    parent = g_default_engine.load(std::memory_order_acquire);
+  }
+  if (parent != nullptr && parent != this) settings_.inherit(parent->settings_);
+}
 
 Engine::~Engine() {
   // Contract: no thread is inside trigger() on this engine (callers join
@@ -349,7 +377,7 @@ bool Engine::try_match(internal::Slot& slot, BTrigger& bt, int rank, int arity,
   }
 
   group->name_id = record_for(bt)->id;
-  group->match_time = rt::Clock::now();
+  group->match_time = rt::clock_now();
   slot.stats.hits += 1;
   info.name = bt.name();
   info.description = bt.describe();
@@ -365,14 +393,15 @@ bool Engine::try_match(internal::Slot& slot, BTrigger& bt, int rank, int arity,
                              w->matched_rank, detail);
     }
   }
-  slot.cv.notify_all();
+  rt::clock_notify_all(slot.cv);
   return true;
 }
 
 void Engine::await_turn(internal::GroupState& group, int rank,
                         bool scoped) const {
-  const auto order_delay = scaled(Config::order_delay());
-  const auto cap_deadline = rt::Clock::now() + scaled(Config::guard_wait_cap());
+  const auto order_delay = scaled(settings_.order_delay());
+  const auto cap_deadline =
+      rt::clock_now() + scaled(settings_.guard_wait_cap());
 
   std::unique_lock lock(group.mu);
   // uses_guard was fixed by try_match before the group was published, so
@@ -385,32 +414,34 @@ void Engine::await_turn(internal::GroupState& group, int rank,
   for (int q = 0; q < rank; ++q) {
     const auto qi = static_cast<std::size_t>(q);
     if (group.uses_guard[qi]) {
-      if (!group.cv.wait_until(lock, cap_deadline,
-                               [&] { return group.acked[qi] != 0; })) {
+      if (!rt::clock_wait_until(group.cv, lock, cap_deadline,
+                                [&] { return group.acked[qi] != 0; })) {
         break;  // cap exceeded: degrade to proceeding (never hang)
       }
       continue;
     }
-    if (!group.cv.wait_until(lock, cap_deadline,
-                             [&] { return group.released[qi] != 0; })) {
+    if (!rt::clock_wait_until(group.cv, lock, cap_deadline,
+                              [&] { return group.released[qi] != 0; })) {
       break;  // cap exceeded: degrade to proceeding (never hang)
     }
     const auto turn_at = group.release_time[qi] + order_delay;
     const auto deadline = std::min(turn_at, cap_deadline);
     // Plain bounded sleep: no event ends it early by design.
-    group.cv.wait_until(lock, deadline, [] { return false; });
+    rt::clock_wait_until(group.cv, lock, deadline, [] { return false; });
   }
   group.released[static_cast<std::size_t>(rank)] = 1;
-  group.release_time[static_cast<std::size_t>(rank)] = rt::Clock::now();
+  group.release_time[static_cast<std::size_t>(rank)] = rt::clock_now();
   if (!scoped) group.acked[static_cast<std::size_t>(rank)] = 1;
   lock.unlock();
-  group.cv.notify_all();
+  rt::clock_notify_all(group.cv);
 }
 
 TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
                               std::chrono::microseconds timeout, bool scoped) {
   assert(arity >= 2 && rank >= 0 && rank < arity);
-  if (!Config::enabled()) return {};
+  // This engine's own knob, not Config::enabled(): the facade would
+  // re-resolve Engine::current(), and this is the disabled fast path.
+  if (!settings_.is_enabled()) return {};
 
   const internal::NameRecord* record = record_for(bt);
 
@@ -482,9 +513,9 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
       CBP_OBS_EVENT(obs::EventKind::kPostpone, record->id, rank);
 
       const auto scaled_timeout = scaled(timeout);
-      rt::Stopwatch wait_clock;
-      slot->cv.wait_for(lock, scaled_timeout,
-                        [&] { return waiter.matched || waiter.cancelled; });
+      rt::Stopwatch wait_clock;  // follows the active clock
+      rt::clock_wait_for(slot->cv, lock, scaled_timeout,
+                         [&] { return waiter.matched || waiter.cancelled; });
       const std::int64_t wait_us = wait_clock.elapsed_us();
       slot->stats.total_wait_us += wait_us;
       slot->stats.wait_hist.record(
@@ -539,7 +570,7 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
   {
     // Ordering latency: group creation (match) to this rank's release.
     const auto order_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                              rt::Clock::now() - group->match_time)
+                              rt::clock_now() - group->match_time)
                               .count();
     std::scoped_lock lock(slot->mu);
     slot->stats.order_hist.record(
@@ -602,7 +633,7 @@ void Engine::cancel_all() {
       std::scoped_lock lock(slot->mu);
       for (internal::Waiter* w : slot->postponed) w->cancelled = true;
     }
-    slot->cv.notify_all();
+    rt::clock_notify_all(slot->cv);
   }
 }
 

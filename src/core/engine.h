@@ -32,12 +32,14 @@
 #include <vector>
 
 #include "core/btrigger.h"
+#include "core/config.h"
 #include "core/spec.h"
 #include "core/stats.h"
 #include "obs/event.h"
 #include "runtime/clock.h"
 #include "runtime/context.h"
 #include "runtime/thread_registry.h"
+#include "runtime/vclock.h"
 
 namespace cbp {
 
@@ -160,6 +162,15 @@ class Engine {
   /// Process-unique identity of this engine (never reused).
   [[nodiscard]] std::uint64_t tag() const { return tag_; }
 
+  /// This engine's runtime knobs (core/config.h).  The static Config
+  /// facade reads/writes the *bound* engine's copy, so one trial's
+  /// enable/disable or pause-time changes never leak into trials
+  /// running concurrently on other workers' engines.
+  [[nodiscard]] RuntimeSettings& settings() noexcept { return settings_; }
+  [[nodiscard]] const RuntimeSettings& settings() const noexcept {
+    return settings_;
+  }
+
   /// Core entry point used by BTrigger::trigger_here*.
   /// `timeout` is nominal; rt::TimeScale is applied internally.
   TriggerResult trigger(BTrigger& bt, int rank, int arity,
@@ -225,15 +236,13 @@ class Engine {
  private:
   using SpecMap = std::unordered_map<std::string, SpecOverride>;
 
-  /// Applies this engine's time scale (or the global one) to a nominal
-  /// duration.
+  /// Applies the active clock's policy to a nominal duration, with this
+  /// engine's pinned scale (if any) as the hint: under a real/scaled
+  /// clock this is the historical TimeScale multiply; under a virtual
+  /// clock nominal durations pass through verbatim (waits are free).
   [[nodiscard]] rt::Duration scaled(rt::Duration nominal) const {
-    const double s = time_scale_.load(std::memory_order_relaxed);
-    if (s <= 0.0) return rt::TimeScale::apply(nominal);
-    const auto ns =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(nominal).count();
-    return std::chrono::nanoseconds(
-        static_cast<std::int64_t>(static_cast<double>(ns) * s));
+    return rt::clock_adjust(nominal,
+                            time_scale_.load(std::memory_order_relaxed));
   }
 
   /// Lock-free find in the open-addressing intern table; null on miss.
@@ -289,6 +298,7 @@ class Engine {
 
   const std::uint64_t tag_;          ///< process-unique, assigned at birth
   std::atomic<double> time_scale_{0.0};  ///< <= 0: follow rt::TimeScale
+  RuntimeSettings settings_;  ///< engine-scoped knobs (core/config.h)
 };
 
 /// RAII binding of an engine to the calling thread: trigger calls made

@@ -8,6 +8,7 @@
 #include "detect/lock_order.h"
 #include "runtime/clock.h"
 #include "runtime/lock_tracker.h"
+#include "runtime/vclock.h"
 
 namespace cbp::fuzz {
 
@@ -97,15 +98,15 @@ void RaceConfirmer::on_access(const instr::AccessEvent& event) {
     bug.tid_a = peer->tid;
     bug.tid_b = event.tid;
     confirmed_bugs_.push_back(bug);
-    cv_.notify_all();
+    rt::clock_notify_all(cv_);
     return;  // both threads proceed; the racy state is live right now
   }
 
   // Otherwise pause here to give the peer a chance to arrive.
   Pending self{event.addr, event.tid, event.loc, false};
   pending_.push_back(&self);
-  cv_.wait_for(lock, rt::TimeScale::apply(pause_),
-               [&] { return self.matched; });
+  rt::clock_wait_for(cv_, lock, rt::clock_adjust(pause_),
+                     [&] { return self.matched; });
   pending_.erase(std::remove(pending_.begin(), pending_.end(), &self),
                  pending_.end());
 }
@@ -155,7 +156,7 @@ void DeadlockConfirmer::on_sync(const instr::SyncEvent& event) {
     bug.tid_a = peer->tid;
     bug.tid_b = event.tid;
     confirmed_bugs_.push_back(bug);
-    cv_.notify_all();
+    rt::clock_notify_all(cv_);
     // Escape before this thread acquires the second lock: the crossing
     // is proven and actually proceeding would deadlock the process.
     throw DeadlockConfirmedError();
@@ -163,8 +164,8 @@ void DeadlockConfirmer::on_sync(const instr::SyncEvent& event) {
 
   Pending self{wanted, event.tid, event.loc, false};
   pending_.push_back(&self);
-  cv_.wait_for(lock, rt::TimeScale::apply(pause_),
-               [&] { return self.matched; });
+  rt::clock_wait_for(cv_, lock, rt::clock_adjust(pause_),
+                     [&] { return self.matched; });
   pending_.erase(std::remove(pending_.begin(), pending_.end(), &self),
                  pending_.end());
   if (self.matched) throw DeadlockConfirmedError();
@@ -192,7 +193,7 @@ void AtomicityConfirmer::on_access(const instr::AccessEvent& event) {
     // The intended-atomic block opens for this thread.
     std::scoped_lock lock(mu_);
     open_[event.tid] = OpenBlock{event.addr, false};
-    cv_.notify_all();  // a waiting interleaver may now match
+    rt::clock_notify_all(cv_);  // a waiting interleaver may now match
     return;
   }
 
@@ -209,8 +210,8 @@ void AtomicityConfirmer::on_access(const instr::AccessEvent& event) {
     OpenBlock* block = other_open();
     if (block == nullptr) {
       // Give a block a chance to open around us.
-      cv_.wait_for(lock, rt::TimeScale::apply(pause_),
-                   [&] { return other_open() != nullptr; });
+      rt::clock_wait_for(cv_, lock, rt::clock_adjust(pause_),
+                         [&] { return other_open() != nullptr; });
       block = other_open();
     }
     if (block != nullptr) {
@@ -223,7 +224,7 @@ void AtomicityConfirmer::on_access(const instr::AccessEvent& event) {
       bug.object = event.addr;
       bug.tid_b = event.tid;
       confirmed_bugs_.push_back(bug);
-      cv_.notify_all();
+      rt::clock_notify_all(cv_);
       // Proceed: this access now executes INSIDE the peer's block — the
       // violation is live.
     }
@@ -238,8 +239,8 @@ void AtomicityConfirmer::on_access(const instr::AccessEvent& event) {
       if (it == open_.end() || it->second.addr != event.addr) return;
       if (!it->second.matched) {
         // Pause at the block end, inviting the interleaver in.
-        cv_.wait_for(lock, rt::TimeScale::apply(pause_),
-                     [&] { return open_[event.tid].matched; });
+        rt::clock_wait_for(cv_, lock, rt::clock_adjust(pause_),
+                           [&] { return open_[event.tid].matched; });
       }
       matched = it->second.matched;
       open_.erase(it);
@@ -248,8 +249,7 @@ void AtomicityConfirmer::on_access(const instr::AccessEvent& event) {
       // Ordering delay: let the interleaver's access actually execute
       // before the block-end access resumes (cf. the engine's
       // order_delay for the plain trigger API).
-      std::this_thread::sleep_for(
-          rt::TimeScale::apply(std::chrono::milliseconds(2)));
+      rt::clock_sleep_for(std::chrono::milliseconds(2));
     }
   }
 }

@@ -2,7 +2,7 @@
 
 #include <thread>
 
-#include "runtime/clock.h"
+#include "runtime/vclock.h"
 
 namespace cbp::fuzz {
 
@@ -19,7 +19,10 @@ void NoiseInjector::maybe_sleep() {
     sleep_for = std::chrono::microseconds(rng_.next_in(lo, hi));
   }
   injected_.fetch_add(1, std::memory_order_relaxed);
-  std::this_thread::sleep_for(rt::TimeScale::apply(sleep_for));
+  // Note the draw above is on the *nominal* window: the clock policy
+  // scales the sleep, not the randomness, so seeds reproduce the same
+  // decision sequence under real, scaled and virtual clocks.
+  rt::clock_sleep_for(sleep_for);
 }
 
 void NoiseInjector::on_access(const instr::AccessEvent& event) {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <thread>
 
-#include "runtime/clock.h"
+#include "runtime/vclock.h"
 
 namespace cbp::fuzz {
 
@@ -38,8 +38,7 @@ void PctLiteScheduler::perturb(rt::ThreadId tid) {
     }
   }
   if (behind > 0) {
-    std::this_thread::sleep_for(
-        rt::TimeScale::apply(options_.delay_unit * behind));
+    rt::clock_sleep_for(options_.delay_unit * behind);
   }
 }
 

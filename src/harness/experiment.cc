@@ -11,6 +11,7 @@
 #include "model/probability.h"
 #include "runtime/clock.h"
 #include "runtime/thread_registry.h"
+#include "runtime/vclock.h"
 
 namespace cbp::harness {
 
@@ -35,12 +36,34 @@ void finalize(RepeatedResult& result) {
       result.runs == 0 ? 0.0 : total_runtime / result.runs;
 }
 
+/// Runs the replica under the trial's clock policy (options.clock).
+/// kVirtual gets a *fresh* discrete-event clock per trial — trials stay
+/// independent and deterministic regardless of which worker runs them —
+/// bound to this thread and inherited by the replica's rt::Thread tree.
+apps::RunOutcome run_with_clock(const Runner& runner,
+                                apps::RunOptions& options) {
+  switch (options.clock) {
+    case rt::ClockMode::kVirtual: {
+      rt::VirtualClock vclock;
+      rt::ScopedClock bind(&vclock);
+      return runner(options);
+    }
+    case rt::ClockMode::kReal: {
+      rt::ScopedClock bind(&rt::real_clock());
+      return runner(options);
+    }
+    case rt::ClockMode::kScaled:
+      break;  // historical behaviour: global TimeScale, no binding
+  }
+  return runner(options);
+}
+
 /// One trial against `engine`: fresh reset, deterministic seed, verdict.
 TrialOutcome run_one_trial(Engine& engine, const Runner& runner,
                            apps::RunOptions& options, std::uint64_t seed) {
   engine.reset();  // each trial models a fresh process
   options.seed = seed;
-  const apps::RunOutcome outcome = runner(options);
+  const apps::RunOutcome outcome = run_with_clock(runner, options);
   TrialOutcome trial;
   trial.seed = seed;
   trial.buggy = outcome.buggy();
@@ -133,7 +156,7 @@ MtteResult measure_mtte(const Runner& runner, apps::RunOptions options,
   for (int i = 0; i < max_iterations && result.errors < errors_wanted; ++i) {
     engine.reset();
     options.seed = base + static_cast<std::uint64_t>(i);
-    const apps::RunOutcome outcome = runner(options);
+    const apps::RunOutcome outcome = run_with_clock(runner, options);
     ++result.iterations;
     if (outcome.buggy()) ++result.errors;
   }
@@ -170,7 +193,7 @@ MtteResult measure_mtte_parallel(const Runner& runner,
         if (i >= max_iterations) break;
         engine.reset();
         options.seed = base + static_cast<std::uint64_t>(i);
-        const apps::RunOutcome outcome = runner(options);
+        const apps::RunOutcome outcome = run_with_clock(runner, options);
         iterations.fetch_add(1, std::memory_order_relaxed);
         if (outcome.buggy()) errors.fetch_add(1, std::memory_order_relaxed);
       }

@@ -6,6 +6,16 @@
 // lock-order-graph detector and by the paper's isLockTypeHeld refinement.
 // TrackedCondVar does the same for wait/notify, which the lock-contention
 // detector and missed-notification analyses consume.
+//
+// Both are clock-aware (runtime/vclock.h).  Replicas deliberately hold
+// tracked mutexes across engine postponements — that is the bug pattern
+// under study — so under a virtual clock the *acquisition* itself must
+// be schedulable: a blocked locker registers on the mutex's channel and
+// yields instead of parking in the kernel, and every unlock (including
+// the implicit one inside a condition wait) notifies that channel.
+// Stall thresholds become virtual deadlines, which is what turns the
+// multi-second deadlock/missed-notify detections of the jigsaw and
+// log4j replicas into free fast-forwards.
 #pragma once
 
 #include <atomic>
@@ -19,6 +29,7 @@
 #include "runtime/clock.h"
 #include "runtime/lock_tracker.h"
 #include "runtime/sim_crash.h"
+#include "runtime/vclock.h"
 
 namespace cbp::instr {
 
@@ -31,18 +42,18 @@ class TrackedMutex {
 
   void lock(SourceLoc loc = SourceLoc::current()) {
     Hub::instance().sync(SyncEvent::Kind::kLockRequest, this, loc);
-    mu_.lock();
+    rt::clock_lock(mu_);
     rt::note_lock_acquired(this, tag_);
     Hub::instance().sync(SyncEvent::Kind::kLockAcquired, this, loc);
   }
 
   /// Acquires like lock(), but throws rt::StallError once the (nominal,
-  /// TimeScale-adjusted) stall threshold elapses — the point at which a
+  /// clock-adjusted) stall threshold elapses — the point at which a
   /// replica declares "deadlock conditions met".
   void lock_or_stall(std::chrono::milliseconds stall_after,
                      SourceLoc loc = SourceLoc::current()) {
     Hub::instance().sync(SyncEvent::Kind::kLockRequest, this, loc);
-    if (!mu_.try_lock_for(rt::TimeScale::apply(stall_after))) {
+    if (!rt::clock_lock(mu_, rt::clock_adjust(stall_after))) {
       throw rt::StallError("lock wait exceeded stall threshold at " +
                            loc.str());
     }
@@ -61,6 +72,7 @@ class TrackedMutex {
     Hub::instance().sync(SyncEvent::Kind::kLockReleased, this, loc);
     rt::note_lock_released(this);
     mu_.unlock();
+    rt::clock_notify_unlock(mu_);
   }
 
   [[nodiscard]] std::string_view tag() const { return tag_; }
@@ -116,7 +128,11 @@ class TrackedCondVar {
     rt::note_lock_released(&mu);
     {
       std::unique_lock<std::timed_mutex> lock(mu.mu_, std::adopt_lock);
-      cv_.wait(lock, std::move(pred));
+      if (auto* vc = rt::bound_virtual_clock()) {
+        wait_virtual(*vc, lock, mu, rt::VirtualClock::kNoDeadline, pred);
+      } else {
+        cv_.wait(lock, std::move(pred));
+      }
       lock.release();  // ownership returns to the TrackedMutex holder
     }
     rt::note_lock_acquired(&mu, mu.tag());
@@ -124,7 +140,9 @@ class TrackedCondVar {
     Hub::instance().sync(SyncEvent::Kind::kWaitExit, this, loc);
   }
 
-  /// Timed wait; returns the final predicate value.
+  /// Timed wait; returns the final predicate value.  `timeout` is in
+  /// the active clock's timebase (callers apply rt::clock_adjust to
+  /// nominal values, as they used to apply rt::TimeScale::apply).
   template <class Rep, class Period, class Predicate>
   bool wait_for(TrackedMutex& mu, std::chrono::duration<Rep, Period> timeout,
                 Predicate pred, SourceLoc loc = SourceLoc::current()) {
@@ -134,7 +152,16 @@ class TrackedCondVar {
     bool result;
     {
       std::unique_lock<std::timed_mutex> lock(mu.mu_, std::adopt_lock);
-      result = cv_.wait_for(lock, timeout, std::move(pred));
+      if (auto* vc = rt::bound_virtual_clock()) {
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            timeout)
+                            .count();
+        const std::int64_t deadline =
+            ns <= 0 ? vc->now_ns() : vc->now_ns() + ns;
+        result = wait_virtual(*vc, lock, mu, deadline, pred);
+      } else {
+        result = cv_.wait_for(lock, timeout, std::move(pred));
+      }
       lock.release();
     }
     rt::note_lock_acquired(&mu, mu.tag());
@@ -145,15 +172,14 @@ class TrackedCondVar {
 
   /// Waits like wait(), but declares a stall ("missed notification
   /// conditions met") by throwing rt::StallError when the (nominal,
-  /// TimeScale-adjusted) threshold elapses with the predicate still
-  /// false.  This is how replicas detect missed-notify bugs the way the
-  /// paper does — "stalls due to missed notifications are detected by
-  /// large timeouts".
+  /// clock-adjusted) threshold elapses with the predicate still false.
+  /// This is how replicas detect missed-notify bugs the way the paper
+  /// does — "stalls due to missed notifications are detected by large
+  /// timeouts".
   template <class Predicate>
   void wait_or_stall(TrackedMutex& mu, std::chrono::milliseconds stall_after,
                      Predicate pred, SourceLoc loc = SourceLoc::current()) {
-    if (!wait_for(mu, rt::TimeScale::apply(stall_after), std::move(pred),
-                  loc)) {
+    if (!wait_for(mu, rt::clock_adjust(stall_after), std::move(pred), loc)) {
       throw rt::StallError("condition wait exceeded stall threshold at " +
                            loc.str());
     }
@@ -164,13 +190,13 @@ class TrackedCondVar {
   /// notification leaves the thread blocked even if the logical
   /// condition has since become true (exactly the bug class of log4j's
   /// AsyncAppender).  Throws rt::StallError after the (nominal,
-  /// TimeScale-adjusted) threshold.
+  /// clock-adjusted) threshold.
   void wait_notified_or_stall(TrackedMutex& mu,
                               std::chrono::milliseconds stall_after,
                               SourceLoc loc = SourceLoc::current()) {
     const std::uint64_t seen = epoch_.load(std::memory_order_acquire);
     const bool notified =
-        wait_for(mu, rt::TimeScale::apply(stall_after),
+        wait_for(mu, rt::clock_adjust(stall_after),
                  [&] {
                    return epoch_.load(std::memory_order_acquire) != seen;
                  },
@@ -184,16 +210,41 @@ class TrackedCondVar {
   void notify_one(SourceLoc loc = SourceLoc::current()) {
     Hub::instance().sync(SyncEvent::Kind::kNotify, this, loc);
     epoch_.fetch_add(1, std::memory_order_acq_rel);
-    cv_.notify_one();
+    rt::clock_notify_one(cv_);
   }
 
   void notify_all(SourceLoc loc = SourceLoc::current()) {
     Hub::instance().sync(SyncEvent::Kind::kNotify, this, loc);
     epoch_.fetch_add(1, std::memory_order_acq_rel);
-    cv_.notify_all();
+    rt::clock_notify_all(cv_);
   }
 
  private:
+  /// Virtual-mode predicate wait.  Differs from the generic helper in
+  /// one load-bearing way: the mutex being released here is a *tracked*
+  /// mutex other threads may be virtually blocked on, so the unlock
+  /// half must notify the mutex channel and the reacquire half must go
+  /// through the schedulable try-lock loop (a suspended thread can hold
+  /// the mutex across its own yield).
+  template <class Lock, class Predicate>
+  bool wait_virtual(rt::VirtualClock& vc, Lock& lock, TrackedMutex& mu,
+                    std::int64_t deadline_ns, Predicate& pred) {
+    for (;;) {
+      if (pred()) return true;
+      if (deadline_ns != rt::VirtualClock::kNoDeadline &&
+          vc.now_ns() >= deadline_ns) {
+        return pred();
+      }
+      lock.unlock();
+      rt::clock_notify_unlock(mu.mu_);
+      const bool notified = vc.wait(&cv_, deadline_ns);
+      while (!lock.try_lock()) {
+        vc.wait(&mu.mu_, rt::VirtualClock::kNoDeadline);
+      }
+      if (!notified) return pred();
+    }
+  }
+
   std::condition_variable_any cv_;
   std::atomic<std::uint64_t> epoch_{0};  ///< notification edge counter
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <mutex>
 
+#include "runtime/vclock.h"
+
 namespace cbp::obs {
 
 std::string_view kind_name(EventKind kind) {
@@ -88,6 +90,14 @@ rt::TimePoint trace_epoch() {
 }  // namespace internal
 
 std::uint64_t Trace::now_ns() {
+  // Timestamps follow the *active* clock (DESIGN.md §5g): under a
+  // virtual clock a trial's events are stamped with virtual time, and
+  // the strictly-monotonic stamp breaks ties by execution order — the
+  // serialized schedule makes the resulting event order reproducible
+  // run-to-run, which real nanosecond timestamps can never be.
+  if (rt::VirtualClock* vc = rt::bound_virtual_clock()) {
+    return static_cast<std::uint64_t>(vc->unique_now_ns());
+  }
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           rt::Clock::now() - internal::trace_epoch())

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "runtime/vclock.h"
+
 namespace cbp::replay {
 
 Replayer::Replayer(Trace trace, std::chrono::milliseconds divergence_timeout)
@@ -33,7 +35,7 @@ int Replayer::object_of(const void* obj) {
 void Replayer::gate(const TraceOp& op) {
   std::unique_lock lock(mu_);
   if (failed_open_) return;
-  const bool my_turn = cv_.wait_for(lock, divergence_timeout_, [&] {
+  const bool my_turn = rt::clock_wait_for(cv_, lock, divergence_timeout_, [&] {
     if (failed_open_) return true;
     if (cursor_ >= trace_.ops.size()) return true;  // trace exhausted
     return trace_.ops[cursor_] == op;
@@ -43,21 +45,24 @@ void Replayer::gate(const TraceOp& op) {
     // Divergence: the run no longer matches the recording.  Fail open so
     // the program can finish; report via diverged().
     failed_open_ = true;
-    cv_.notify_all();
+    rt::clock_notify_all(cv_);
     return;
   }
   if (cursor_ < trace_.ops.size() && trace_.ops[cursor_] == op) {
-    if (step_delay_.count() > 0) {
+    if (step_delay_.count() > 0 && rt::bound_virtual_clock() == nullptr) {
       // Space consecutive gate passages so the previous thread's access
       // has executed before this one's gate returns.  Sleeping under mu_
       // is intentional: it serializes gate passages, which is the point.
+      // Under a virtual clock the trial is already serialized, so the
+      // pacing sleep is unnecessary (and sleeping while holding mu_
+      // would stall peers blocked on the native mutex).
       const auto earliest = last_advance_ + step_delay_;
       const auto now = std::chrono::steady_clock::now();
       if (now < earliest) std::this_thread::sleep_for(earliest - now);
     }
     ++cursor_;
     last_advance_ = std::chrono::steady_clock::now();
-    cv_.notify_all();
+    rt::clock_notify_all(cv_);
   }
 }
 

@@ -3,6 +3,11 @@
 // Several replicas (crawler, compressor, servers) are producer/consumer
 // systems; this channel is their correctly-synchronized backbone so the
 // *seeded* bug in each replica is the only concurrency defect present.
+//
+// Waits/notifies route through the clock helpers (runtime/vclock.h): a
+// trial under a virtual clock schedules blocked senders/receivers
+// instead of parking them in the kernel; unclocked use is the plain
+// condition-variable protocol.
 #pragma once
 
 #include <condition_variable>
@@ -11,6 +16,8 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+
+#include "runtime/vclock.h"
 
 namespace cbp::rt {
 
@@ -22,11 +29,11 @@ class Channel {
   /// Blocks until space is available; returns false if the channel closed.
   bool send(T value) {
     std::unique_lock lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    clock_wait(not_full_, lock,
+               [this] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(value));
-    not_empty_.notify_one();
+    clock_notify_one(not_empty_);
     return true;
   }
 
@@ -35,18 +42,19 @@ class Channel {
     std::scoped_lock lock(mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(value));
-    not_empty_.notify_one();
+    clock_notify_one(not_empty_);
     return true;
   }
 
   /// Blocks until an item arrives; nullopt when closed and drained.
   std::optional<T> receive() {
     std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    clock_wait(not_empty_, lock,
+               [this] { return closed_ || !items_.empty(); });
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    clock_notify_one(not_full_);
     return value;
   }
 
@@ -54,14 +62,14 @@ class Channel {
   template <class Rep, class Period>
   std::optional<T> receive_for(std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mu_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [this] { return closed_ || !items_.empty(); })) {
+    if (!clock_wait_for(not_empty_, lock, timeout,
+                        [this] { return closed_ || !items_.empty(); })) {
       return std::nullopt;
     }
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    clock_notify_one(not_full_);
     return value;
   }
 
@@ -69,8 +77,8 @@ class Channel {
   void close() {
     std::scoped_lock lock(mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    clock_notify_all(not_empty_);
+    clock_notify_all(not_full_);
   }
 
   [[nodiscard]] bool closed() const {

@@ -4,6 +4,11 @@
 // evaluation runnable in minutes we run every wait through a global
 // `time_scale()` knob; benches report both the nominal (paper) value and
 // the scaled value actually used.
+//
+// Since the virtual-time work (DESIGN.md §5g) the scale is one of three
+// ClockMode policies: `real` (scale pinned at 1.0), `scaled` (this
+// knob), and `virtual` (a per-trial discrete-event clock that makes
+// waits free — see runtime/vclock.h).
 #pragma once
 
 #include <atomic>
@@ -16,6 +21,14 @@ using Clock = std::chrono::steady_clock;
 using Duration = Clock::duration;
 using TimePoint = Clock::time_point;
 
+/// How nominal durations become waits; carried in apps::RunOptions and
+/// realized by a ClockSource (runtime/vclock.h).
+enum class ClockMode : std::uint8_t {
+  kReal,     ///< nominal durations verbatim (kernel waits, scale 1.0)
+  kScaled,   ///< nominal * TimeScale (kernel waits) — historical default
+  kVirtual,  ///< discrete-event virtual time (waits are free)
+};
+
 /// Process-wide multiplier applied to nominal pause/timeout durations.
 /// 1.0 means "use the paper's nominal values verbatim".
 class TimeScale {
@@ -27,13 +40,29 @@ class TimeScale {
     return scale_.load(std::memory_order_relaxed);
   }
 
-  /// Applies the current scale to a nominal duration.
-  static Duration apply(Duration nominal) noexcept {
-    const double s = get();
+  /// Applies `scale` to a nominal duration, with documented floors for
+  /// the degenerate cases:
+  ///   * scale <= 0 (or NaN) collapses to Duration::zero() — callers
+  ///     skip the kernel wait instead of issuing one with an
+  ///     implementation-defined non-positive timeout;
+  ///   * a positive nominal whose scaled value would truncate below
+  ///     1 ns is clamped to 1 ns, so "wait a little" never silently
+  ///     becomes "don't wait at all" (a zero-duration kernel wait still
+  ///     costs a syscall and loses the happens-later edge the caller
+  ///     asked for).
+  static Duration apply_scale(Duration nominal, double scale) noexcept {
     const auto ns =
         std::chrono::duration_cast<std::chrono::nanoseconds>(nominal).count();
-    const auto scaled = static_cast<std::int64_t>(static_cast<double>(ns) * s);
-    return std::chrono::nanoseconds(scaled);
+    if (ns <= 0 || !(scale > 0.0)) return Duration::zero();
+    const double scaled = static_cast<double>(ns) * scale;
+    const auto floored =
+        scaled < 1.0 ? std::int64_t{1} : static_cast<std::int64_t>(scaled);
+    return std::chrono::nanoseconds(floored);
+  }
+
+  /// Applies the current global scale to a nominal duration.
+  static Duration apply(Duration nominal) noexcept {
+    return apply_scale(nominal, get());
   }
 
  private:
@@ -54,14 +83,23 @@ class ScopedTimeScale {
   double previous_;
 };
 
-/// Monotonic stopwatch.
+/// The active clock's current timestamp: the thread-bound ClockSource
+/// when one is bound (runtime/vclock.h), Clock::now() otherwise.
+/// Declared here so Stopwatch (and anyone holding only clock.h) can
+/// follow the active clock; defined in vclock.cc.
+[[nodiscard]] TimePoint clock_now();
+
+/// Monotonic stopwatch over the *active* clock: inside a virtual-clock
+/// binding it measures virtual time (replica runtimes, engine wait
+/// accounting); outside one it is the plain steady-clock stopwatch the
+/// benches use for wall-clock.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(clock_now()) {}
 
-  void restart() { start_ = Clock::now(); }
+  void restart() { start_ = clock_now(); }
 
-  [[nodiscard]] Duration elapsed() const { return Clock::now() - start_; }
+  [[nodiscard]] Duration elapsed() const { return clock_now() - start_; }
 
   [[nodiscard]] double elapsed_seconds() const {
     return std::chrono::duration<double>(elapsed()).count();

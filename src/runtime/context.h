@@ -11,13 +11,27 @@
 // thread tree shares one engine without the replica code knowing
 // engines exist.
 //
+// The same propagation carries the bound ClockSource (runtime/vclock.h).
+// Under a virtual clock the child's scheduler slot is registered *here,
+// on the creating thread* — spawning is a deterministic event in the
+// serialized trial, so the ready-queue order of new threads is fixed by
+// program order, not by which OS thread happens to start first.  join()
+// is likewise clock-aware: the joiner parks on the child's exit signal
+// through the clock (releasing the run grant) and only then performs
+// the real join, which by that point cannot block the trial.
+//
 // The context is an opaque void* at this layer (runtime sits below
 // core); core/engine.h owns the only cast.
 #pragma once
 
+#include <condition_variable>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
+
+#include "runtime/vclock.h"
 
 namespace cbp::rt {
 
@@ -50,36 +64,77 @@ class ScopedContext {
 };
 
 /// std::thread drop-in whose body runs under the creator's bound
-/// context.  Replicas spawn their internal threads through this so a
-/// trial bound to a private engine stays on that engine throughout.
+/// context and clock.  Replicas spawn their internal threads through
+/// this so a trial bound to a private engine (and, under
+/// --clock=virtual, a private clock) stays on them throughout.
 class Thread {
  public:
   Thread() noexcept = default;
 
   template <class F, class... Args>
-  explicit Thread(F&& f, Args&&... args)
-      : impl_([context = bound_context(),
-               fn = std::bind_front(std::forward<F>(f),
-                                    std::forward<Args>(args)...)]() mutable {
+  explicit Thread(F&& f, Args&&... args) {
+    ClockSource* clock = bound_clock();
+    VirtualClock::ThreadSlot* slot = nullptr;
+    if (clock != nullptr && clock->mode() == ClockMode::kVirtual) {
+      // Register on the creating thread: program order fixes the slot's
+      // position in the ready queue before the OS thread even exists.
+      slot = static_cast<VirtualClock*>(clock)->register_thread();
+      exit_ = std::make_shared<ExitSignal>();
+    }
+    impl_ = std::thread(
+        [context = bound_context(), clock, slot, exit = exit_,
+         fn = std::bind_front(std::forward<F>(f),
+                              std::forward<Args>(args)...)]() mutable {
           ScopedContext scope(context);
+          AdoptedClock adopted(clock, slot);
           std::move(fn)();
-        }) {}
+          if (exit) {
+            // Signal completion while still attached, so a joiner
+            // parked through the clock wakes before we give up the
+            // grant (AdoptedClock detaches on scope exit, just after).
+            {
+              std::scoped_lock lock(exit->mu);
+              exit->done = true;
+            }
+            clock_notify_all(exit->cv);
+          }
+        });
+  }
 
   Thread(Thread&&) noexcept = default;
   Thread& operator=(Thread&&) = default;
   Thread(const Thread&) = delete;
   Thread& operator=(const Thread&) = delete;
 
-  void join() { impl_.join(); }
+  void join() {
+    if (exit_) {
+      // Park virtually until the child has signalled; the real join
+      // below then only waits out the child's OS teardown, during
+      // which it touches nothing the clock schedules.
+      std::unique_lock lock(exit_->mu);
+      clock_wait(exit_->cv, lock, [&] { return exit_->done; });
+    }
+    impl_.join();
+  }
   void detach() { impl_.detach(); }
   [[nodiscard]] bool joinable() const noexcept { return impl_.joinable(); }
   [[nodiscard]] std::thread::id get_id() const noexcept {
     return impl_.get_id();
   }
-  void swap(Thread& other) noexcept { impl_.swap(other.impl_); }
+  void swap(Thread& other) noexcept {
+    impl_.swap(other.impl_);
+    exit_.swap(other.exit_);
+  }
 
  private:
+  struct ExitSignal {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
   std::thread impl_;
+  std::shared_ptr<ExitSignal> exit_;
 };
 
 }  // namespace cbp::rt

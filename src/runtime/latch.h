@@ -1,11 +1,18 @@
 // Small synchronization helpers used by replicas, tests and benches:
 // a counting latch, a reusable barrier, and a one-shot starting gate that
 // maximizes thread overlap at experiment start.
+//
+// All waits/notifies route through the clock helpers (runtime/vclock.h)
+// so a trial running under a virtual clock schedules these blocks
+// instead of parking in the kernel; with no clock bound they compile
+// down to the plain condition-variable protocol.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
+
+#include "runtime/vclock.h"
 
 namespace cbp::rt {
 
@@ -17,12 +24,12 @@ class Latch {
   void count_down(std::ptrdiff_t n = 1) {
     std::scoped_lock lock(mu_);
     count_ -= n;
-    if (count_ <= 0) cv_.notify_all();
+    if (count_ <= 0) clock_notify_all(cv_);
   }
 
   void wait() {
     std::unique_lock lock(mu_);
-    cv_.wait(lock, [this] { return count_ <= 0; });
+    clock_wait(cv_, lock, [this] { return count_ <= 0; });
   }
 
   bool try_wait() {
@@ -33,7 +40,8 @@ class Latch {
   template <class Rep, class Period>
   bool wait_for(std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mu_);
-    return cv_.wait_for(lock, timeout, [this] { return count_ <= 0; });
+    return clock_wait_for(cv_, lock, timeout,
+                          [this] { return count_ <= 0; });
   }
 
  private:
@@ -54,10 +62,10 @@ class Barrier {
     if (++arrived_ == parties_) {
       arrived_ = 0;
       ++generation_;
-      cv_.notify_all();
+      clock_notify_all(cv_);
       return;
     }
-    cv_.wait(lock, [this, gen] { return generation_ != gen; });
+    clock_wait(cv_, lock, [this, gen] { return generation_ != gen; });
   }
 
  private:
@@ -73,13 +81,13 @@ class StartGate {
  public:
   void wait() {
     std::unique_lock lock(mu_);
-    cv_.wait(lock, [this] { return open_; });
+    clock_wait(cv_, lock, [this] { return open_; });
   }
 
   void open() {
     std::scoped_lock lock(mu_);
     open_ = true;
-    cv_.notify_all();
+    clock_notify_all(cv_);
   }
 
  private:

@@ -1,0 +1,293 @@
+#include "runtime/vclock.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+namespace cbp::rt {
+
+namespace {
+
+std::atomic<std::int64_t> g_stall_guard_ms{45000};
+
+}  // namespace
+
+RealClock& real_clock() {
+  static RealClock clock;
+  return clock;
+}
+
+/// Scheduling state of one attached thread.  All fields are guarded by
+/// the owning clock's mu_.
+struct VirtualClock::ThreadSlot {
+  enum class State {
+    kReady,     ///< runnable, queued behind ready_seq order
+    kRunning,   ///< holds the grant (at most one slot at a time)
+    kWaiting,   ///< blocked on a channel and/or virtual deadline
+    kDetached,  ///< left the clock; kept for diagnostics
+  };
+
+  std::uint64_t id = 0;  ///< registration order (stable identity)
+  State state = State::kReady;
+  const void* channel = nullptr;
+  std::int64_t deadline_ns = VirtualClock::kNoDeadline;
+  std::uint64_t wait_seq = 0;   ///< order of wait registration
+  std::uint64_t ready_seq = 0;  ///< order in the ready queue
+  bool notified = false;        ///< wake reason for the current wait
+};
+
+VirtualClock::VirtualClock() : base_(Clock::now()) {}
+
+VirtualClock::~VirtualClock() = default;
+
+std::int64_t VirtualClock::unique_now_ns() {
+  // Single writer in steady state (the running thread), but keep it
+  // safe for foreign observers with a CAS loop.
+  const std::int64_t now = vnow_ns_.load(std::memory_order_relaxed);
+  std::int64_t prev = stamp_ns_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::int64_t next = std::max(now, prev + 1);
+    if (stamp_ns_.compare_exchange_weak(prev, next,
+                                        std::memory_order_relaxed)) {
+      return next;
+    }
+  }
+}
+
+void VirtualClock::set_stall_guard(std::chrono::milliseconds guard) {
+  g_stall_guard_ms.store(guard.count(), std::memory_order_relaxed);
+}
+
+std::chrono::milliseconds VirtualClock::stall_guard() {
+  return std::chrono::milliseconds(
+      g_stall_guard_ms.load(std::memory_order_relaxed));
+}
+
+void VirtualClock::schedule_locked() {
+  running_ = nullptr;
+
+  // Lowest ready_seq wins: FIFO over wake order, which is itself
+  // deterministic because only the single running thread creates
+  // ready-queue entries.
+  ThreadSlot* next = nullptr;
+  for (const auto& slot : slots_) {
+    if (slot->state != ThreadSlot::State::kReady) continue;
+    if (next == nullptr || slot->ready_seq < next->ready_seq) {
+      next = slot.get();
+    }
+  }
+
+  if (next == nullptr) {
+    // Nothing runnable: fast-forward.  The earliest (deadline_ns,
+    // wait_seq) timed waiter defines the next instant; untimed waiters
+    // never pull time forward (starvation rule — a thread that never
+    // blocks with a deadline is simply not here, and a thread blocked
+    // without a deadline resolves only via notify).
+    ThreadSlot* earliest = nullptr;
+    for (const auto& slot : slots_) {
+      if (slot->state != ThreadSlot::State::kWaiting) continue;
+      if (slot->deadline_ns == kNoDeadline) continue;
+      if (earliest == nullptr || slot->deadline_ns < earliest->deadline_ns ||
+          (slot->deadline_ns == earliest->deadline_ns &&
+           slot->wait_seq < earliest->wait_seq)) {
+        earliest = slot.get();
+      }
+    }
+    if (earliest == nullptr) return;  // quiescent; next attach/notify drives
+    const std::int64_t now = vnow_ns_.load(std::memory_order_relaxed);
+    if (earliest->deadline_ns > now) {
+      vnow_ns_.store(earliest->deadline_ns, std::memory_order_relaxed);
+      advances_.fetch_add(1, std::memory_order_relaxed);
+    }
+    earliest->state = ThreadSlot::State::kReady;
+    earliest->notified = false;  // woke by expiry
+    earliest->ready_seq = next_ready_seq_++;
+    next = earliest;
+  }
+
+  next->state = ThreadSlot::State::kRunning;
+  running_ = next;
+  cv_.notify_all();
+}
+
+VirtualClock::ThreadSlot* VirtualClock::register_thread() {
+  std::unique_lock lock(mu_);
+  auto slot = std::make_unique<ThreadSlot>();
+  slot->id = slots_.size();
+  slot->ready_seq = next_ready_seq_++;
+  ThreadSlot* raw = slot.get();
+  slots_.push_back(std::move(slot));
+  if (running_ == nullptr) {
+    // First attach (or attach into a quiescent clock): grant directly.
+    raw->state = ThreadSlot::State::kRunning;
+    running_ = raw;
+  }
+  return raw;
+}
+
+void VirtualClock::adopt_thread(ThreadSlot* slot) {
+  std::unique_lock lock(mu_);
+  const auto guard = stall_guard();
+  if (!cv_.wait_for(lock, guard, [&] {
+        return slot->state == ThreadSlot::State::kRunning;
+      })) {
+    std::ostringstream os;
+    os << "VirtualClock: thread " << slot->id << " waited "
+       << guard.count() << " ms for its first grant; an attached thread is "
+       << "blocked outside the clock (untracked blocking operation)";
+    throw VirtualClockStall(os.str());
+  }
+}
+
+void VirtualClock::detach_thread(ThreadSlot* slot) {
+  std::unique_lock lock(mu_);
+  const bool was_running = (running_ == slot);
+  slot->state = ThreadSlot::State::kDetached;
+  slot->channel = nullptr;
+  if (was_running) {
+    schedule_locked();
+  } else if (running_ == nullptr) {
+    // Abnormal exit (e.g. stall-guard unwind while Waiting): give the
+    // grant away so the rest of the trial can drain.
+    schedule_locked();
+  }
+}
+
+bool VirtualClock::wait(const void* channel, std::int64_t deadline_ns) {
+  std::unique_lock lock(mu_);
+  ThreadSlot* self = internal::t_clock_slot;
+  if (deadline_ns != kNoDeadline &&
+      vnow_ns_.load(std::memory_order_relaxed) >= deadline_ns) {
+    return false;
+  }
+  self->state = ThreadSlot::State::kWaiting;
+  self->channel = channel;
+  self->deadline_ns = deadline_ns;
+  self->wait_seq = next_wait_seq_++;
+  self->notified = false;
+  schedule_locked();
+
+  const auto guard = stall_guard();
+  if (!cv_.wait_for(lock, guard, [&] {
+        return self->state == ThreadSlot::State::kRunning;
+      })) {
+    // Leave a diagnostic trail: who holds the grant, who waits on what.
+    std::ostringstream os;
+    os << "VirtualClock: thread " << self->id << " starved for "
+       << guard.count() << " ms (channel=" << channel
+       << ", deadline=" << deadline_ns << "); slots:";
+    for (const auto& slot : slots_) {
+      os << " [" << slot->id << ":"
+         << static_cast<int>(slot->state)
+         << (slot.get() == running_ ? "*" : "") << "]";
+    }
+    os << " — an attached thread is blocked outside the clock";
+    self->state = ThreadSlot::State::kDetached;  // stop being schedulable
+    throw VirtualClockStall(os.str());
+  }
+  self->channel = nullptr;
+  self->deadline_ns = kNoDeadline;
+  return self->notified;
+}
+
+void VirtualClock::notify(const void* channel) {
+  std::unique_lock lock(mu_);
+  // Wake in wait-registration order so the ready queue mirrors the
+  // order threads went to sleep — deterministic under serialization.
+  std::vector<ThreadSlot*> woken;
+  for (const auto& slot : slots_) {
+    if (slot->state == ThreadSlot::State::kWaiting &&
+        slot->channel == channel) {
+      woken.push_back(slot.get());
+    }
+  }
+  std::sort(woken.begin(), woken.end(),
+            [](const ThreadSlot* a, const ThreadSlot* b) {
+              return a->wait_seq < b->wait_seq;
+            });
+  for (ThreadSlot* slot : woken) {
+    slot->state = ThreadSlot::State::kReady;
+    slot->notified = true;
+    slot->ready_seq = next_ready_seq_++;
+  }
+  // Foreign notifier into an otherwise-idle clock (e.g. cancel_all from
+  // the harness between trial phases): hand the grant out ourselves.
+  if (running_ == nullptr && !woken.empty()) schedule_locked();
+}
+
+// ---- bindings -------------------------------------------------------------
+
+ScopedClock::ScopedClock(ClockSource* clock)
+    : previous_(internal::t_bound_clock),
+      previous_slot_(internal::t_clock_slot) {
+  internal::t_bound_clock = clock;
+  internal::t_clock_slot = nullptr;
+  if (clock != nullptr && clock->mode() == ClockMode::kVirtual) {
+    auto* vc = static_cast<VirtualClock*>(clock);
+    slot_ = vc->register_thread();
+    internal::t_clock_slot = slot_;
+    vc->adopt_thread(slot_);
+  }
+}
+
+ScopedClock::~ScopedClock() {
+  if (slot_ != nullptr) {
+    static_cast<VirtualClock*>(internal::t_bound_clock)
+        ->detach_thread(slot_);
+  }
+  internal::t_bound_clock = previous_;
+  internal::t_clock_slot = previous_slot_;
+}
+
+AdoptedClock::AdoptedClock(ClockSource* clock, VirtualClock::ThreadSlot* slot)
+    : previous_(internal::t_bound_clock),
+      previous_slot_(internal::t_clock_slot),
+      slot_(slot) {
+  internal::t_bound_clock = clock;
+  internal::t_clock_slot = slot;
+  if (slot != nullptr) {
+    static_cast<VirtualClock*>(clock)->adopt_thread(slot);
+  }
+}
+
+AdoptedClock::~AdoptedClock() {
+  if (slot_ != nullptr) {
+    static_cast<VirtualClock*>(internal::t_bound_clock)
+        ->detach_thread(slot_);
+  }
+  internal::t_bound_clock = previous_;
+  internal::t_clock_slot = previous_slot_;
+}
+
+// ---- helpers --------------------------------------------------------------
+
+TimePoint clock_now() {
+  if (ClockSource* clock = bound_clock()) return clock->now();
+  return Clock::now();
+}
+
+Duration clock_adjust(Duration nominal, double scale_hint) {
+  if (ClockSource* clock = bound_clock()) {
+    return clock->adjust(nominal, scale_hint);
+  }
+  if (scale_hint > 0.0) return TimeScale::apply_scale(nominal, scale_hint);
+  return TimeScale::apply(nominal);
+}
+
+void clock_sleep_for(Duration nominal, double scale_hint) {
+  if (VirtualClock* vc = bound_virtual_clock()) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        vc->adjust(nominal, scale_hint))
+                        .count();
+    if (ns <= 0) return;
+    // A fresh channel address no notifier knows: resolves only by
+    // deadline expiry, i.e. a pure virtual sleep.
+    int unique = 0;
+    vc->wait(&unique, vc->now_ns() + ns);
+    return;
+  }
+  const Duration adjusted = clock_adjust(nominal, scale_hint);
+  if (adjusted > Duration::zero()) std::this_thread::sleep_for(adjusted);
+}
+
+}  // namespace cbp::rt

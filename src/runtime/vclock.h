@@ -1,0 +1,406 @@
+// Clock sources and the discrete-event virtual clock (DESIGN.md §5g).
+//
+// Every nominal duration in the system (postponement timeout T, stall
+// thresholds, ignore-first windows, app think-time, noise) historically
+// became a *kernel* wait scaled by rt::TimeScale.  That makes trials pay
+// real wall-clock for the paper's pause times: BENCH_trials.json showed
+// sub-1x parallel speedups on short trials because workers sat in
+// sleep/wait_for, not on the CPU.
+//
+// ClockSource turns "how does a nominal duration become a wait" into a
+// policy object with three modes:
+//
+//   * real    — nominal durations verbatim (scale pinned to 1.0);
+//   * scaled  — the historical behaviour: TimeScale (or a per-engine
+//     pin) multiplies every nominal duration before a kernel wait;
+//   * virtual — a per-trial discrete-event clock.  A thread that would
+//     block with a timeout registers a virtual deadline instead of
+//     calling the kernel; when every attached thread of the trial is
+//     blocked, the clock fast-forwards to the earliest deadline and
+//     wakes exactly that waiter, deterministically ordered by
+//     (deadline, registration seq).  Pause time T costs nothing.
+//
+// The virtual clock is *cooperative*: at most one attached thread is
+// Running at any instant, and the grant is handed off at wait points in
+// a deterministic order.  That is what makes virtual trials replayable:
+// every state transition (postpone, match, notify, expiry) is executed
+// by the single running thread, so identical seeds produce identical
+// stats and identical trace event order, independent of hardware timing
+// and of --trial-jobs.  Parallelism comes from running many trials —
+// each with its own clock — concurrently, not from within one trial.
+//
+// Contract: while a virtual clock is bound, every blocking operation of
+// the attached thread tree must route through the clock helpers below
+// (the rt primitives, instrumented mutexes, the engine and the fuzz
+// layer all do).  An untracked block would freeze the trial; block()
+// carries a real-time stall guard that aborts with a diagnostic instead
+// of hanging.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/clock.h"
+
+namespace cbp::rt {
+
+/// Abstract timing policy.  `now()` is the active clock's timestamp
+/// (obs traces and replica stopwatches read it so event order follows
+/// the clock actually driving the run); `adjust()` maps a nominal
+/// duration to the duration actually waited.
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+  [[nodiscard]] virtual ClockMode mode() const noexcept = 0;
+  [[nodiscard]] virtual TimePoint now() const = 0;
+  /// Policy scaling of a nominal duration.  `scale_hint` > 0 overrides
+  /// the global TimeScale (the per-engine pin); virtual time ignores
+  /// scaling entirely — waits are free, so nominal values are used
+  /// verbatim.
+  [[nodiscard]] virtual Duration adjust(Duration nominal,
+                                        double scale_hint) const = 0;
+};
+
+/// The `real` policy: kernel waits at nominal durations, scale pinned
+/// to 1.0 regardless of the global TimeScale.  Stateless; share the
+/// singleton via real_clock().
+class RealClock final : public ClockSource {
+ public:
+  [[nodiscard]] ClockMode mode() const noexcept override {
+    return ClockMode::kReal;
+  }
+  [[nodiscard]] TimePoint now() const override { return Clock::now(); }
+  [[nodiscard]] Duration adjust(Duration nominal,
+                                double /*scale_hint*/) const override {
+    return nominal < Duration::zero() ? Duration::zero() : nominal;
+  }
+};
+
+/// Process-wide RealClock instance (it has no state to isolate).
+[[nodiscard]] RealClock& real_clock();
+
+/// Thrown when a thread attached to a VirtualClock waits longer than the
+/// real-time stall guard without the clock making progress — the
+/// signature of an *untracked* blocking operation somewhere in the
+/// thread tree (see the file comment).  Deliberately not StallError:
+/// replicas catch that one as a simulated artifact.
+class VirtualClockStall : public std::runtime_error {
+ public:
+  explicit VirtualClockStall(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Discrete-event virtual clock; one per trial.  All methods are
+/// thread-safe.  See the file comment for the execution model.
+class VirtualClock final : public ClockSource {
+ public:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  VirtualClock();
+  ~VirtualClock() override;
+  VirtualClock(const VirtualClock&) = delete;
+  VirtualClock& operator=(const VirtualClock&) = delete;
+
+  [[nodiscard]] ClockMode mode() const noexcept override {
+    return ClockMode::kVirtual;
+  }
+  [[nodiscard]] TimePoint now() const override {
+    return base_ + std::chrono::nanoseconds(
+                       vnow_ns_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] Duration adjust(Duration nominal,
+                                double /*scale_hint*/) const override {
+    return nominal < Duration::zero() ? Duration::zero() : nominal;
+  }
+
+  /// Virtual nanoseconds since the clock's birth.
+  [[nodiscard]] std::int64_t now_ns() const {
+    return vnow_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Strictly monotonic stamp for trace events: equals now_ns() except
+  /// that ties are broken by execution order.  Because execution under
+  /// the clock is serialized, consecutive calls observe a deterministic
+  /// total order — this is what makes obs event order reproducible.
+  [[nodiscard]] std::int64_t unique_now_ns();
+
+  /// Number of fast-forwards performed so far.
+  [[nodiscard]] std::uint64_t advances() const {
+    return advances_.load(std::memory_order_relaxed);
+  }
+
+  // ---- thread lifecycle ------------------------------------------------
+  // A slot is created by the *spawning* thread (deterministic ready
+  // order), adopted on the new thread, and detached when the thread
+  // leaves the clock.  ScopedClock / rt::Thread drive these; user code
+  // never calls them directly.
+
+  struct ThreadSlot;
+
+  /// Registers a new schedulable thread.  If no thread is currently
+  /// running (first attach), the slot is granted immediately; otherwise
+  /// it queues as Ready behind the current wake order.
+  ThreadSlot* register_thread();
+
+  /// Called on the slot's own thread: installs it as the calling
+  /// thread's identity and blocks until the scheduler grants it.
+  void adopt_thread(ThreadSlot* slot);
+
+  /// Removes the calling thread from scheduling and hands the grant to
+  /// the next ready thread (fast-forwarding if everyone is waiting).
+  void detach_thread(ThreadSlot* slot);
+
+  // ---- waiting ---------------------------------------------------------
+
+  /// Blocks the calling (running) thread until `channel` is notified or
+  /// virtual time reaches `deadline_ns` (kNoDeadline = wait for notify
+  /// only).  Returns true when notified, false on deadline expiry.  The
+  /// caller must not hold any lock a *runnable* thread could need — cv
+  /// wrappers release the user mutex first (clock helpers below do).
+  bool wait(const void* channel, std::int64_t deadline_ns);
+
+  /// Marks every waiter on `channel` ready (they re-check their
+  /// predicates when granted, in wait-registration order).  Callable
+  /// from attached and foreign threads alike.
+  void notify(const void* channel);
+
+  /// Real-time limit a blocked attached thread will tolerate without a
+  /// grant before throwing VirtualClockStall.  Process-wide; tests
+  /// shrink it to fail fast.
+  static void set_stall_guard(std::chrono::milliseconds guard);
+  static std::chrono::milliseconds stall_guard();
+
+ private:
+  /// Picks the next thread to run: the lowest ready_seq Ready slot, or —
+  /// when every attached thread is Waiting — fast-forwards vnow to the
+  /// earliest (deadline, wait_seq) and readies that waiter.  Called with
+  /// mu_ held whenever the grant is released.
+  void schedule_locked();
+
+  const TimePoint base_;  ///< real time at clock birth (timestamp origin)
+  std::atomic<std::int64_t> vnow_ns_{0};
+  std::atomic<std::int64_t> stamp_ns_{-1};  ///< last unique_now_ns issued
+  std::atomic<std::uint64_t> advances_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<ThreadSlot>> slots_;  // guarded by mu_
+  ThreadSlot* running_ = nullptr;                   // guarded by mu_
+  std::uint64_t next_ready_seq_ = 0;                // guarded by mu_
+  std::uint64_t next_wait_seq_ = 0;                 // guarded by mu_
+};
+
+// ---- thread-bound active clock ------------------------------------------
+// Mirrors the engine's thread-bound context (runtime/context.h): a trial
+// binds its clock to the trial's main thread and rt::Thread propagates
+// the binding (and the slot registration) to every spawned child.
+
+namespace internal {
+inline thread_local ClockSource* t_bound_clock = nullptr;
+inline thread_local VirtualClock::ThreadSlot* t_clock_slot = nullptr;
+}  // namespace internal
+
+/// The clock bound to the calling thread, or null (= real/scaled
+/// behaviour driven by the global TimeScale).
+[[nodiscard]] inline ClockSource* bound_clock() noexcept {
+  return internal::t_bound_clock;
+}
+
+/// The bound clock iff it is a virtual clock.
+[[nodiscard]] inline VirtualClock* bound_virtual_clock() noexcept {
+  ClockSource* clock = internal::t_bound_clock;
+  if (clock != nullptr && clock->mode() == ClockMode::kVirtual) {
+    return static_cast<VirtualClock*>(clock);
+  }
+  return nullptr;
+}
+
+/// RAII: binds `clock` to the calling thread; when the clock is
+/// virtual, also registers + adopts the thread as its first schedulable
+/// thread.  Null `clock` is a no-op binding (keeps call sites simple).
+class ScopedClock {
+ public:
+  explicit ScopedClock(ClockSource* clock);
+  ~ScopedClock();
+  ScopedClock(const ScopedClock&) = delete;
+  ScopedClock& operator=(const ScopedClock&) = delete;
+
+ private:
+  ClockSource* previous_;
+  VirtualClock::ThreadSlot* previous_slot_;
+  VirtualClock::ThreadSlot* slot_ = nullptr;
+};
+
+/// Child-thread side of the binding: installs an already-registered
+/// slot (created by the spawning thread, so ready order is
+/// deterministic) and adopts it.  Used by rt::Thread's wrapper.
+class AdoptedClock {
+ public:
+  AdoptedClock(ClockSource* clock, VirtualClock::ThreadSlot* slot);
+  ~AdoptedClock();
+  AdoptedClock(const AdoptedClock&) = delete;
+  AdoptedClock& operator=(const AdoptedClock&) = delete;
+
+ private:
+  ClockSource* previous_;
+  VirtualClock::ThreadSlot* previous_slot_;
+  VirtualClock::ThreadSlot* slot_;
+};
+
+// ---- clock-aware timing helpers ------------------------------------------
+// These are the only faces the rest of the codebase needs: they fall
+// through to the historical TimeScale/kernel behaviour when no virtual
+// clock is bound, so real-mode hot paths are one thread-local load and
+// a predicted branch away from their previous shape.
+
+/// Applies the active clock's policy to a nominal duration:
+/// TimeScale::apply (or the per-engine `scale_hint` pin) outside a
+/// virtual clock; the nominal value verbatim inside one.
+[[nodiscard]] Duration clock_adjust(Duration nominal, double scale_hint = 0.0);
+
+/// Sleeps for the policy-adjusted equivalent of `nominal`.  Under a
+/// virtual clock this registers a deadline and yields — zero kernel
+/// time.  Zero/negative adjusted durations skip the kernel entirely.
+void clock_sleep_for(Duration nominal, double scale_hint = 0.0);
+
+/// clock_now() is declared in runtime/clock.h (Stopwatch reads it).
+
+/// Notifies both worlds: the native condition variable and — when the
+/// caller runs under a virtual clock — the clock channel keyed by the
+/// cv's address.  Every notify site whose waiters use clock_wait* must
+/// go through these.
+template <class CV>
+void clock_notify_all(CV& cv) {
+  cv.notify_all();
+  if (VirtualClock* vc = bound_virtual_clock()) vc->notify(&cv);
+}
+
+template <class CV>
+void clock_notify_one(CV& cv) {
+  cv.notify_one();
+  // Virtual waiters re-check their predicates on grant, so waking all
+  // of them preserves notify_one semantics (one consumes, others
+  // re-wait) while keeping the wake order deterministic.
+  if (VirtualClock* vc = bound_virtual_clock()) vc->notify(&cv);
+}
+
+namespace internal {
+
+/// Virtual-mode predicate wait: release the user lock, yield to the
+/// scheduler until the cv's channel is notified or `deadline_ns`
+/// passes, re-acquire, re-check.  Mirrors cv.wait_until semantics.
+template <class Lock, class Pred>
+bool vc_wait(VirtualClock& vc, const void* channel, Lock& lock,
+             std::int64_t deadline_ns, Pred& pred) {
+  for (;;) {
+    if (pred()) return true;
+    if (deadline_ns != VirtualClock::kNoDeadline &&
+        vc.now_ns() >= deadline_ns) {
+      return pred();
+    }
+    lock.unlock();
+    const bool notified = vc.wait(channel, deadline_ns);
+    lock.lock();
+    if (!notified) return pred();  // deadline expired
+  }
+}
+
+}  // namespace internal
+
+/// cv.wait_for with the active clock's notion of time.  `adjusted` is
+/// already in the active clock's timebase (callers apply clock_adjust
+/// to nominal values first, exactly like the old TimeScale::apply +
+/// wait_for pairing).
+template <class CV, class Lock, class Pred>
+bool clock_wait_for(CV& cv, Lock& lock, Duration adjusted, Pred pred) {
+  if (VirtualClock* vc = bound_virtual_clock()) {
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(adjusted).count();
+    const std::int64_t deadline =
+        ns <= 0 ? vc->now_ns() : vc->now_ns() + ns;
+    return internal::vc_wait(*vc, &cv, lock, deadline, pred);
+  }
+  return cv.wait_for(lock, adjusted, std::move(pred));
+}
+
+/// cv.wait_until against the active clock's timeline (`deadline` must
+/// come from clock_now() arithmetic).
+template <class CV, class Lock, class Pred>
+bool clock_wait_until(CV& cv, Lock& lock, TimePoint deadline, Pred pred) {
+  if (VirtualClock* vc = bound_virtual_clock()) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        deadline - vc->now())
+                        .count();
+    const std::int64_t deadline_ns =
+        ns <= 0 ? vc->now_ns() : vc->now_ns() + ns;
+    return internal::vc_wait(*vc, &cv, lock, deadline_ns, pred);
+  }
+  return cv.wait_until(lock, deadline, std::move(pred));
+}
+
+/// Untimed cv.wait.  Virtual-mode waiters with no deadline still count
+/// as blocked, but the clock never fast-forwards *for* them: an
+/// untimed wait resolves only through a notify.
+template <class CV, class Lock, class Pred>
+void clock_wait(CV& cv, Lock& lock, Pred pred) {
+  if (VirtualClock* vc = bound_virtual_clock()) {
+    internal::vc_wait(*vc, &cv, lock, VirtualClock::kNoDeadline, pred);
+    return;
+  }
+  cv.wait(lock, std::move(pred));
+}
+
+/// Mutex acquisition under the active clock.  `mu` must expose
+/// try_lock(); `channel` is notified by the unlock site (see
+/// clock_notify_unlock).  Returns false when `adjusted` elapses first
+/// (kNoDeadline semantics when adjusted < 0: wait forever).
+template <class Mutex>
+bool clock_lock(Mutex& mu, Duration adjusted) {
+  VirtualClock* vc = bound_virtual_clock();
+  if (vc == nullptr) {
+    if (adjusted < Duration::zero()) {
+      mu.lock();
+      return true;
+    }
+    return mu.try_lock_for(adjusted);
+  }
+  const std::int64_t deadline =
+      adjusted < Duration::zero()
+          ? VirtualClock::kNoDeadline
+          : vc->now_ns() + std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               adjusted)
+                               .count();
+  while (!mu.try_lock()) {
+    if (deadline != VirtualClock::kNoDeadline && vc->now_ns() >= deadline) {
+      return false;
+    }
+    vc->wait(&mu, deadline);
+  }
+  return true;
+}
+
+/// Untimed clock_lock: block until acquired.
+template <class Mutex>
+void clock_lock(Mutex& mu) {
+  VirtualClock* vc = bound_virtual_clock();
+  if (vc == nullptr) {
+    mu.lock();
+    return;
+  }
+  while (!mu.try_lock()) vc->wait(&mu, VirtualClock::kNoDeadline);
+}
+
+/// Unlock-side pairing of clock_lock: wakes virtual waiters blocked on
+/// acquiring `mu`.  Call *after* the native unlock.
+template <class Mutex>
+void clock_notify_unlock(Mutex& mu) {
+  if (VirtualClock* vc = bound_virtual_clock()) vc->notify(&mu);
+}
+
+}  // namespace cbp::rt

@@ -205,7 +205,7 @@ TEST_F(SaGoldenTest, LoggingStaticCandidates) {
   // The paper's (236, 309) pair: set_buffer_size's acquisition vs the
   // dispatcher's.
   EXPECT_NE(find_candidate(result, Candidate::Kind::kContention,
-                           "AsyncAppender.buffer", 36, 51),
+                           "AsyncAppender.buffer", 37, 52),
             nullptr)
       << render_list(result.candidates);
   // loggers.cc contributes crossed-lock candidates too.

@@ -1,0 +1,446 @@
+// Virtual-time trial execution (DESIGN.md §5g).
+//
+// Three layers of coverage:
+//   * TimeScale floor clamps (degenerate scales must not produce
+//     negative or sub-nanosecond kernel waits);
+//   * VirtualClock scheduler unit tests — fast-forward order by
+//     (deadline, registration seq), the starvation rule (a running or
+//     untimed-waiting thread is never fast-forwarded past), notify vs
+//     expiry, the real-time stall guard for untracked blocking;
+//   * whole-trial determinism — the same seed produces identical
+//     BreakpointStats counters under real/scaled/virtual clocks on the
+//     cache4j and jigsaw replicas, identical obs event *order* across
+//     repeated virtual runs, and identical per-trial verdicts across
+//     --trial-jobs=1 vs 8.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/cache/cache.h"
+#include "apps/webserver/jigsaw.h"
+#include "core/engine.h"
+#include "core/stats.h"
+#include "harness/experiment.h"
+#include "obs/trace.h"
+#include "runtime/clock.h"
+#include "runtime/context.h"
+#include "runtime/thread_registry.h"
+#include "runtime/vclock.h"
+
+namespace cbp {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// TimeScale floors (degenerate scale / nominal values)
+// ---------------------------------------------------------------------------
+
+TEST(TimeScaleFloorTest, NonPositiveScaleYieldsZero) {
+  EXPECT_EQ(rt::TimeScale::apply_scale(1ms, 0.0), rt::Duration::zero());
+  EXPECT_EQ(rt::TimeScale::apply_scale(1ms, -2.5), rt::Duration::zero());
+  EXPECT_EQ(rt::TimeScale::apply_scale(1ms, std::nan("")),
+            rt::Duration::zero());
+}
+
+TEST(TimeScaleFloorTest, NonPositiveNominalYieldsZero) {
+  EXPECT_EQ(rt::TimeScale::apply_scale(rt::Duration::zero(), 2.0),
+            rt::Duration::zero());
+  EXPECT_EQ(rt::TimeScale::apply_scale(-1ms, 2.0), rt::Duration::zero());
+}
+
+TEST(TimeScaleFloorTest, SubNanosecondResultFloorsToOneNanosecond) {
+  // 100ns * 1e-6 = 0.0001ns: a naive cast truncates to a zero-length
+  // kernel wait, turning a "brief pause" into a busy spin at the call
+  // site.  The documented floor is 1ns.
+  EXPECT_EQ(rt::TimeScale::apply_scale(std::chrono::nanoseconds(100), 1e-6),
+            std::chrono::nanoseconds(1));
+  EXPECT_EQ(rt::TimeScale::apply_scale(1ms, 1e-12),
+            std::chrono::nanoseconds(1));
+}
+
+TEST(TimeScaleFloorTest, OrdinaryScalesAreExact) {
+  EXPECT_EQ(rt::TimeScale::apply_scale(1ms, 0.001),
+            std::chrono::microseconds(1));
+  EXPECT_EQ(rt::TimeScale::apply_scale(100ms, 2.0), 200ms);
+  EXPECT_EQ(rt::TimeScale::apply_scale(100ms, 1.0), 100ms);
+}
+
+// ---------------------------------------------------------------------------
+// VirtualClock scheduler
+// ---------------------------------------------------------------------------
+
+TEST(VirtualClockTest, SleepAdvancesVirtualTimeNotRealTime) {
+  rt::VirtualClock vc;
+  const auto real_start = std::chrono::steady_clock::now();
+  {
+    rt::ScopedClock bind(&vc);
+    rt::clock_sleep_for(10s);  // ten *virtual* seconds
+  }
+  const auto real_elapsed = std::chrono::steady_clock::now() - real_start;
+  EXPECT_EQ(vc.now_ns(), 10'000'000'000);
+  EXPECT_EQ(vc.advances(), 1u);
+  EXPECT_LT(real_elapsed, 5s);  // generous CI slack; the sleep was free
+}
+
+TEST(VirtualClockTest, FastForwardWakesByDeadlineThenRegistrationOrder) {
+  rt::VirtualClock vc;
+  std::vector<int> order;  // writes serialized by the clock's run grant
+  {
+    rt::ScopedClock bind(&vc);
+    rt::Thread a([&] { rt::clock_sleep_for(30ms); order.push_back(0); });
+    rt::Thread b([&] { rt::clock_sleep_for(10ms); order.push_back(1); });
+    rt::Thread c([&] { rt::clock_sleep_for(10ms); order.push_back(2); });
+    rt::Thread d([&] { rt::clock_sleep_for(20ms); order.push_back(3); });
+    a.join();
+    b.join();
+    c.join();
+    d.join();
+  }
+  // Earliest deadline first; the 10ms tie resolves by wait registration
+  // order, which is creation order here (children run FIFO).
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 0}));
+  EXPECT_EQ(vc.now_ns(), 30'000'000);
+  EXPECT_EQ(vc.advances(), 3u);  // 10ms, 20ms, 30ms (the tie is no advance)
+}
+
+TEST(VirtualClockTest, RunningThreadIsNeverFastForwardedPast) {
+  rt::VirtualClock vc;
+  {
+    rt::ScopedClock bind(&vc);
+    std::atomic<bool> child_ran{false};
+    rt::Thread sleeper([&] {
+      rt::clock_sleep_for(10ms);
+      child_ran.store(true);
+    });
+    // This thread holds the run grant and never blocks.  The starvation
+    // rule: virtual time must not move while anything is runnable, no
+    // matter how much real time passes.
+    const auto spin_until = std::chrono::steady_clock::now() + 50ms;
+    while (std::chrono::steady_clock::now() < spin_until) {
+    }
+    EXPECT_EQ(vc.now_ns(), 0);
+    EXPECT_EQ(vc.advances(), 0u);
+    EXPECT_FALSE(child_ran.load());
+    sleeper.join();  // now we block; the sleeper runs and expires
+    EXPECT_TRUE(child_ran.load());
+  }
+  EXPECT_EQ(vc.now_ns(), 10'000'000);
+}
+
+TEST(VirtualClockTest, UntimedWaitResolvesByNotifyWithoutAdvancingTime) {
+  rt::VirtualClock vc;
+  {
+    rt::ScopedClock bind(&vc);
+    std::mutex mu;
+    std::condition_variable cv;
+    bool flag = false;
+    rt::Thread waiter([&] {
+      std::unique_lock lock(mu);
+      rt::clock_wait(cv, lock, [&] { return flag; });
+    });
+    {
+      std::scoped_lock lock(mu);
+      flag = true;
+    }
+    rt::clock_notify_all(cv);
+    waiter.join();
+  }
+  // An untimed wait has no deadline for the clock to fast-forward to.
+  EXPECT_EQ(vc.now_ns(), 0);
+  EXPECT_EQ(vc.advances(), 0u);
+}
+
+TEST(VirtualClockTest, NotifyWakesTimedWaiterBeforeItsDeadline) {
+  rt::VirtualClock vc;
+  bool timed_out = true;
+  {
+    rt::ScopedClock bind(&vc);
+    std::mutex mu;
+    std::condition_variable cv;
+    bool flag = false;
+    rt::Thread waiter([&] {
+      std::unique_lock lock(mu);
+      timed_out = !rt::clock_wait_for(cv, lock, 50ms, [&] { return flag; });
+    });
+    rt::clock_sleep_for(1ms);  // yield so the waiter registers its wait
+    {
+      std::scoped_lock lock(mu);
+      flag = true;
+    }
+    rt::clock_notify_all(cv);
+    waiter.join();
+  }
+  EXPECT_FALSE(timed_out);
+  // Time stopped at our 1ms sleep, not the waiter's 50ms deadline.
+  EXPECT_EQ(vc.now_ns(), 1'000'000);
+}
+
+TEST(VirtualClockTest, TimedWaitExpiresAtExactlyItsVirtualDeadline) {
+  rt::VirtualClock vc;
+  bool timed_out = false;
+  {
+    rt::ScopedClock bind(&vc);
+    std::mutex mu;
+    std::condition_variable cv;
+    rt::Thread waiter([&] {
+      std::unique_lock lock(mu);
+      timed_out = !rt::clock_wait_for(cv, lock, 20ms, [] { return false; });
+    });
+    waiter.join();
+  }
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(vc.now_ns(), 20'000'000);
+}
+
+TEST(VirtualClockTest, UniqueStampsAreStrictlyMonotonic) {
+  rt::VirtualClock vc;
+  std::int64_t prev = -1;
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t stamp = vc.unique_now_ns();
+    EXPECT_GT(stamp, prev);
+    prev = stamp;
+  }
+  rt::ScopedClock bind(&vc);
+  rt::clock_sleep_for(1ms);
+  EXPECT_GE(vc.unique_now_ns(), 1'000'000);
+}
+
+TEST(VirtualClockTest, StopwatchFollowsTheBoundClock) {
+  rt::VirtualClock vc;
+  rt::ScopedClock bind(&vc);
+  rt::Stopwatch watch;
+  rt::clock_sleep_for(2s);
+  EXPECT_DOUBLE_EQ(watch.elapsed_seconds(), 2.0);
+}
+
+TEST(VirtualClockTest, UntrackedBlockingTripsTheStallGuard) {
+  const auto saved_guard = rt::VirtualClock::stall_guard();
+  rt::VirtualClock::set_stall_guard(100ms);
+  {
+    rt::VirtualClock vc;
+    rt::ScopedClock bind(&vc);
+    rt::Thread sleeper([&] {
+      // Deliberately bypasses the clock: a kernel sleep while holding
+      // the run grant.  Every other attached thread starves in real
+      // time, which is exactly what the guard exists to diagnose.
+      std::this_thread::sleep_for(400ms);
+    });
+    EXPECT_THROW(sleeper.join(), rt::VirtualClockStall);
+    std::this_thread::sleep_for(500ms);  // let the sleeper finish & detach
+    sleeper.join();  // exit flag set by now; the native join completes
+  }
+  rt::VirtualClock::set_stall_guard(saved_guard);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-trial determinism across clock modes
+// ---------------------------------------------------------------------------
+
+/// Everything observable about one trial that determinism claims cover.
+struct TrialRecord {
+  BreakpointStats stats;
+  bool buggy = false;
+  /// Canonical event sequence in trace order: kind/name/rank/detail plus
+  /// the thread normalized by order of first appearance and the virtual
+  /// timestamp.  Comparable across runs of the *same* clock mode.
+  std::vector<std::string> ordered;
+  /// The same events as a sorted multiset without thread or timestamp:
+  /// comparable across clock *modes*, where kernel timing may swap which
+  /// worker postpones and which one matches (the set of transitions is
+  /// schedule-invariant even when their interleaving is not).
+  std::vector<std::string> content;
+};
+
+void canonicalize(const obs::TraceSnapshot& snapshot, TrialRecord& record) {
+  std::unordered_map<rt::ThreadId, int> tids;
+  for (const obs::Event& event : snapshot.events) {
+    const auto [it, inserted] =
+        tids.try_emplace(event.tid, static_cast<int>(tids.size()));
+    std::ostringstream os;
+    // Resolve the interned id to its breakpoint *name*: ids come from a
+    // process-global counter, so two identical runs (each with a fresh
+    // engine) intern the same name under different ids.
+    os << obs::kind_name(event.kind) << ":" << obs::Trace::name_of(event.name_id)
+       << ":r" << static_cast<int>(event.rank) << ":d" << event.detail;
+    record.content.push_back(os.str());
+    os << ":t" << it->second << ":@" << event.time_ns;
+    record.ordered.push_back(os.str());
+  }
+  std::sort(record.content.begin(), record.content.end());
+}
+
+TrialRecord run_trial(const harness::Runner& runner, rt::ClockMode mode,
+                      std::uint64_t seed) {
+  apps::RunOptions options;
+  options.pause = 100ms;  // generous T: pairs must rendezvous in any mode
+  options.seed = seed;
+  options.work_scale = 0.25;
+  options.clock = mode;
+
+  Engine engine;
+  ScopedEngine bind(engine);
+  rt::reset_thread_epoch();
+  obs::Trace::clear();
+  obs::Trace::set_enabled(true);
+
+  apps::RunOutcome outcome;
+  switch (mode) {
+    case rt::ClockMode::kVirtual: {
+      rt::VirtualClock vclock;
+      rt::ScopedClock clock_bind(&vclock);
+      outcome = runner(options);
+      break;
+    }
+    case rt::ClockMode::kReal: {
+      rt::ScopedClock clock_bind(&rt::real_clock());
+      outcome = runner(options);
+      break;
+    }
+    case rt::ClockMode::kScaled:
+      outcome = runner(options);
+      break;
+  }
+  obs::Trace::set_enabled(false);
+
+  TrialRecord record;
+  record.stats = engine.total_stats();
+  record.buggy = outcome.buggy();
+  canonicalize(obs::Trace::collect(), record);
+  obs::Trace::clear();
+  return record;
+}
+
+void expect_counters_eq(const TrialRecord& a, const TrialRecord& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.stats.calls, b.stats.calls) << label;
+  EXPECT_EQ(a.stats.local_rejects, b.stats.local_rejects) << label;
+  EXPECT_EQ(a.stats.arrivals, b.stats.arrivals) << label;
+  EXPECT_EQ(a.stats.ignored, b.stats.ignored) << label;
+  EXPECT_EQ(a.stats.bounded, b.stats.bounded) << label;
+  EXPECT_EQ(a.stats.postponed, b.stats.postponed) << label;
+  EXPECT_EQ(a.stats.timeouts, b.stats.timeouts) << label;
+  EXPECT_EQ(a.stats.cancelled, b.stats.cancelled) << label;
+  EXPECT_EQ(a.stats.hits, b.stats.hits) << label;
+  EXPECT_EQ(a.stats.participants, b.stats.participants) << label;
+  EXPECT_EQ(a.buggy, b.buggy) << label;
+}
+
+class ClockDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Fail fast (with the scheduler's diagnostic) instead of eating the
+    // full 45s default if a virtual trial ever wedges.
+    saved_guard_ = rt::VirtualClock::stall_guard();
+    rt::VirtualClock::set_stall_guard(10'000ms);
+  }
+  void TearDown() override { rt::VirtualClock::set_stall_guard(saved_guard_); }
+
+ private:
+  std::chrono::milliseconds saved_guard_{};
+};
+
+TEST_F(ClockDeterminismTest, CacheRace1AgreesAcrossClockModes) {
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    const TrialRecord real =
+        run_trial(apps::cache::run_race1, rt::ClockMode::kReal, seed);
+    const TrialRecord scaled =
+        run_trial(apps::cache::run_race1, rt::ClockMode::kScaled, seed);
+    const TrialRecord virt =
+        run_trial(apps::cache::run_race1, rt::ClockMode::kVirtual, seed);
+    const std::string label = "cache/race1 seed " + std::to_string(seed);
+    expect_counters_eq(real, virt, label + " (real vs virtual)");
+    expect_counters_eq(scaled, virt, label + " (scaled vs virtual)");
+    EXPECT_GT(virt.stats.hits, 0u) << label;
+    // The transitions themselves are mode-invariant; their global
+    // interleaving is a virtual-only guarantee (checked below).
+    EXPECT_EQ(real.content, virt.content) << label;
+    EXPECT_EQ(scaled.content, virt.content) << label;
+  }
+}
+
+TEST_F(ClockDeterminismTest, JigsawRace2AgreesAcrossClockModes) {
+  for (const std::uint64_t seed : {3u, 11u}) {
+    const TrialRecord real =
+        run_trial(apps::webserver::run_race2, rt::ClockMode::kReal, seed);
+    const TrialRecord scaled =
+        run_trial(apps::webserver::run_race2, rt::ClockMode::kScaled, seed);
+    const TrialRecord virt =
+        run_trial(apps::webserver::run_race2, rt::ClockMode::kVirtual, seed);
+    const std::string label = "jigsaw/race2 seed " + std::to_string(seed);
+    expect_counters_eq(real, virt, label + " (real vs virtual)");
+    expect_counters_eq(scaled, virt, label + " (scaled vs virtual)");
+    EXPECT_GT(virt.stats.hits, 0u) << label;
+    EXPECT_EQ(real.content, virt.content) << label;
+    EXPECT_EQ(scaled.content, virt.content) << label;
+  }
+}
+
+TEST_F(ClockDeterminismTest, VirtualTraceOrderIsExactlyReproducible) {
+  // Under the virtual clock the trial is serialized, so the *total*
+  // event order — not just per-thread order — is a function of the seed.
+  for (const std::uint64_t seed : {1u, 5u}) {
+    const TrialRecord first =
+        run_trial(apps::cache::run_race1, rt::ClockMode::kVirtual, seed);
+    const TrialRecord second =
+        run_trial(apps::cache::run_race1, rt::ClockMode::kVirtual, seed);
+    ASSERT_FALSE(first.ordered.empty());
+    EXPECT_EQ(first.ordered, second.ordered)
+        << "cache/race1 seed " << seed;
+    expect_counters_eq(first, second, "virtual repeat");
+    EXPECT_EQ(first.stats.total_wait_us, second.stats.total_wait_us);
+  }
+  const TrialRecord first =
+      run_trial(apps::webserver::run_race2, rt::ClockMode::kVirtual, 9);
+  const TrialRecord second =
+      run_trial(apps::webserver::run_race2, rt::ClockMode::kVirtual, 9);
+  ASSERT_FALSE(first.ordered.empty());
+  EXPECT_EQ(first.ordered, second.ordered) << "jigsaw/race2 seed 9";
+}
+
+TEST_F(ClockDeterminismTest, VirtualTrialsIdenticalAcrossJobCounts) {
+  apps::RunOptions options;
+  options.pause = 100ms;
+  options.work_scale = 0.25;
+  options.clock = rt::ClockMode::kVirtual;
+  const int runs = 8;
+
+  const harness::RepeatedResult serial =
+      harness::run_repeated(apps::cache::run_race1, options, runs);
+  const harness::RepeatedResult serial_again =
+      harness::run_repeated(apps::cache::run_race1, options, runs);
+  const harness::RepeatedResult parallel = harness::run_repeated_parallel(
+      apps::cache::run_race1, options, runs, /*jobs=*/8);
+
+  ASSERT_EQ(serial.trials.size(), static_cast<std::size_t>(runs));
+  ASSERT_EQ(parallel.trials.size(), static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    const auto& s1 = serial.trials[static_cast<std::size_t>(i)];
+    const auto& s2 = serial_again.trials[static_cast<std::size_t>(i)];
+    const auto& p = parallel.trials[static_cast<std::size_t>(i)];
+    EXPECT_EQ(s1.seed, p.seed) << i;
+    EXPECT_EQ(s1.hit, s2.hit) << i;
+    EXPECT_EQ(s1.buggy, s2.buggy) << i;
+    EXPECT_EQ(s1.hit, p.hit) << i;
+    EXPECT_EQ(s1.buggy, p.buggy) << i;
+    // Trial runtime is *virtual* seconds — a deterministic function of
+    // the seed, so it reproduces exactly, worker assignment be damned.
+    EXPECT_DOUBLE_EQ(s1.runtime_seconds, s2.runtime_seconds) << i;
+    EXPECT_DOUBLE_EQ(s1.runtime_seconds, p.runtime_seconds) << i;
+  }
+  EXPECT_EQ(serial.hit_runs, parallel.hit_runs);
+  EXPECT_EQ(serial.buggy_runs, parallel.buggy_runs);
+}
+
+}  // namespace
+}  // namespace cbp

@@ -26,6 +26,7 @@
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -46,6 +47,7 @@
 #include "obs/trace.h"
 #include "runtime/clock.h"
 #include "runtime/thread_registry.h"
+#include "runtime/vclock.h"
 
 namespace {
 
@@ -53,6 +55,11 @@ struct Options {
   std::string demo;            // "", "cache", "cache-atomicity", "jigsaw"
   int runs = 10;
   int jobs = 1;                // demo runs in parallel when > 1
+  // Demo timing policy.  The demo pins TimeScale at 1.0, so `real` and
+  // `scaled` coincide; `virtual` runs each repetition under a private
+  // discrete-event clock (DESIGN.md §5g) — pauses are free and the
+  // trace timestamps are virtual nanoseconds.
+  cbp::rt::ClockMode clock = cbp::rt::ClockMode::kReal;
   std::string format = "json";  // "json" | "chrome"
   std::string filter;
   std::string out;
@@ -70,6 +77,10 @@ int usage(const char* argv0) {
       << "  --runs=N              demo repetitions (default 10)\n"
       << "  --trial-jobs=N        run the demo repetitions on N workers,\n"
       << "                        each with a private engine (default 1)\n"
+      << "  --clock=real|scaled|virtual\n"
+      << "                        demo timing policy (default real; the\n"
+      << "                        demo runs at scale 1.0, so scaled is an\n"
+      << "                        alias); virtual makes pauses free\n"
       << "  --format=json|chrome  export format (default json)\n"
       << "  --filter=NAME         keep only events of breakpoint NAME\n"
       << "  --out=FILE            write the export to FILE (default stdout)\n"
@@ -99,6 +110,18 @@ bool parse_args(int argc, char** argv, Options& options) {
     }
     if (value_of("--trial-jobs=", value)) {
       options.jobs = std::max(1, std::atoi(value.c_str()));
+      continue;
+    }
+    if (value_of("--clock=", value)) {
+      if (value == "real") {
+        options.clock = cbp::rt::ClockMode::kReal;
+      } else if (value == "scaled") {
+        options.clock = cbp::rt::ClockMode::kScaled;
+      } else if (value == "virtual") {
+        options.clock = cbp::rt::ClockMode::kVirtual;
+      } else {
+        return false;
+      }
       continue;
     }
     if (value_of("--format=", options.format)) continue;
@@ -174,6 +197,7 @@ cbp::obs::TelemetryInput run_demo(const Options& options,
   apps::RunOptions run_options;
   run_options.breakpoints = true;
   run_options.pause = 20ms;  // keep a CI demo under a second per run
+  run_options.clock = options.clock;
 
   obs::TelemetryInput input;
   input.name = options.demo == "cache"             ? apps::cache::kRace1
@@ -188,6 +212,14 @@ cbp::obs::TelemetryInput run_demo(const Options& options,
   // stats manually — the obs trace ring is global and unaffected.
   const bool per_run_reset = options.demo == "cache-atomicity";
   auto run_one = [&options](const apps::RunOptions& o) {
+    // Each virtual repetition gets its own discrete-event clock, exactly
+    // like one harness trial (the replica's rt::Threads inherit it).
+    std::optional<rt::VirtualClock> vclock;
+    std::optional<rt::ScopedClock> bound;
+    if (o.clock == rt::ClockMode::kVirtual) {
+      vclock.emplace();
+      bound.emplace(&*vclock);
+    }
     if (options.demo == "cache") {
       apps::cache::run_race1(o);
     } else if (options.demo == "cache-atomicity") {

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Perf gate: diff a fresh `bench_micro_overhead --json` run against the
+committed reference (BENCH_micro.json), failing on regressions beyond a
+noise band.
+
+Usage:
+    perf_gate.py FRESH.json REFERENCE.json [--band=0.15] [--ref-key=optimized]
+
+FRESH.json is what the bench writes (rows under "results"); the
+reference's current tree lives under "optimized" (see BENCH_micro.json's
+note).  Rows are matched by benchmark name; names present on only one
+side are reported but do not fail the gate (new benchmarks land before
+their baseline does).
+
+Exit status: 0 when every matched row's ns_per_op is within
+[ref * (1 - band), ref * (1 + band)]; 1 when any row is slower than
+ref * (1 + band).  Rows *faster* than the band only warn — that means
+the committed baseline is stale and should be regenerated, not that the
+build regressed.
+"""
+
+import json
+import sys
+
+
+def rows_by_name(rows):
+    return {row["name"]: float(row["ns_per_op"]) for row in rows}
+
+
+def main(argv):
+    band = 0.15
+    ref_key = "optimized"
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--band="):
+            band = float(arg.split("=", 1)[1])
+        elif arg.startswith("--ref-key="):
+            ref_key = arg.split("=", 1)[1]
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    with open(paths[0]) as f:
+        fresh = rows_by_name(json.load(f)["results"])
+    with open(paths[1]) as f:
+        reference = rows_by_name(json.load(f)[ref_key])
+
+    regressions = []
+    improvements = []
+    for name in sorted(fresh.keys() | reference.keys()):
+        if name not in reference:
+            print(f"  new (no baseline):      {name}")
+            continue
+        if name not in fresh:
+            print(f"  missing from fresh run: {name}")
+            continue
+        got, want = fresh[name], reference[name]
+        delta = (got - want) / want
+        verdict = "ok"
+        if delta > band:
+            verdict = "REGRESSION"
+            regressions.append(name)
+        elif delta < -band:
+            verdict = "faster (stale baseline?)"
+            improvements.append(name)
+        print(f"  {name}: {got:.2f} ns vs {want:.2f} ns "
+              f"({delta:+.1%}) {verdict}")
+
+    if improvements:
+        print(f"note: {len(improvements)} row(s) beat the baseline by more "
+              f"than {band:.0%} — consider regenerating the reference.")
+    if regressions:
+        print(f"FAIL: {len(regressions)} row(s) regressed beyond "
+              f"{band:.0%}: {', '.join(regressions)}")
+        return 1
+    print(f"perf gate passed: {len(fresh)} rows within ±{band:.0%}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
