@@ -104,11 +104,29 @@ class JsonReport {
   std::vector<Row> rows_;
 };
 
+/// Prints the shared usage line and exits with status 2 (the same hard
+/// failure take_clock_flag has always used for a bad mode: a mistyped
+/// invocation must never silently run a different experiment).
+[[noreturn]] inline void usage_error(const char* program,
+                                     const char* message) {
+  std::fprintf(stderr,
+               "error: %s\nusage: %s [<runs> <time_scale>] [--json <path>] "
+               "[--trial-jobs=N] [--clock=real|scaled|virtual]\n",
+               message, program);
+  std::exit(2);
+}
+
 /// Extracts `--json <path>` from argv (compacting it away so positional
-/// parsing still works) and returns the path, or "" if absent.
+/// parsing still works) and returns the path, or "" if absent.  A
+/// trailing `--json` with no path is a usage error, not a silently
+/// ignored flag (it used to leave the caller without the report it
+/// asked for).
 inline std::string take_json_flag(int& argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        usage_error(argv[0], "--json requires a path argument");
+      }
       std::string path = argv[i + 1];
       for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
       argc -= 2;
@@ -119,7 +137,9 @@ inline std::string take_json_flag(int& argc, char** argv) {
 }
 
 /// Extracts `--trial-jobs=N` (or `--trial-jobs N`) from argv; returns N
-/// clamped to >= 1, or 1 if absent.
+/// clamped to >= 1, or 1 if absent.  A trailing `--trial-jobs` with no
+/// value is a usage error (it used to fall through as a positional and
+/// be parsed as runs=0).
 inline int take_jobs_flag(int& argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     int consumed = 0;
@@ -127,7 +147,10 @@ inline int take_jobs_flag(int& argc, char** argv) {
     if (std::strncmp(argv[i], "--trial-jobs=", 13) == 0) {
       jobs = std::atoi(argv[i] + 13);
       consumed = 1;
-    } else if (std::strcmp(argv[i], "--trial-jobs") == 0 && i + 1 < argc) {
+    } else if (std::strcmp(argv[i], "--trial-jobs") == 0) {
+      if (i + 1 >= argc) {
+        usage_error(argv[0], "--trial-jobs requires a value");
+      }
       jobs = std::atoi(argv[i + 1]);
       consumed = 2;
     }
@@ -150,7 +173,8 @@ inline rt::ClockMode take_clock_flag(int& argc, char** argv) {
     if (std::strncmp(argv[i], "--clock=", 8) == 0) {
       value = argv[i] + 8;
       consumed = 1;
-    } else if (std::strcmp(argv[i], "--clock") == 0 && i + 1 < argc) {
+    } else if (std::strcmp(argv[i], "--clock") == 0) {
+      if (i + 1 >= argc) usage_error(argv[0], "--clock requires a mode");
       value = argv[i + 1];
       consumed = 2;
     }
@@ -177,8 +201,27 @@ inline BenchConfig setup(int argc, char** argv, int default_runs = 30,
   config.json_path = take_json_flag(argc, argv);
   config.jobs = take_jobs_flag(argc, argv);
   config.clock = take_clock_flag(argc, argv);
-  if (argc > 1) config.runs = std::atoi(argv[1]);
-  if (argc > 2) config.time_scale = std::atof(argv[2]);
+  // Positional overrides are validated like the flags: a non-numeric or
+  // non-positive value is a usage error (raw atoi/atof used to turn a
+  // typo like `bench_table2 -runs` into runs=0, i.e. an empty run that
+  // "passed").
+  if (argc > 1) {
+    char* end = nullptr;
+    const long runs = std::strtol(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || runs <= 0) {
+      usage_error(argv[0], "<runs> must be a positive integer");
+    }
+    config.runs = static_cast<int>(runs);
+  }
+  if (argc > 2) {
+    char* end = nullptr;
+    const double scale = std::strtod(argv[2], &end);
+    if (end == argv[2] || *end != '\0' || !(scale > 0.0)) {
+      usage_error(argv[0], "<time_scale> must be a positive number");
+    }
+    config.time_scale = scale;
+  }
+  if (argc > 3) usage_error(argv[0], "unexpected extra arguments");
   if (config.clock != rt::ClockMode::kScaled) {
     // real: kernel waits at the paper's nominal values by definition.
     // virtual: waits are free, so there is nothing for scaling to

@@ -1,0 +1,310 @@
+#include "apps/httpdlike/prefork.h"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "apps/replica.h"
+#include "broker/broker.h"
+#include "broker/client.h"
+#include "core/engine.h"
+#include "core/spec.h"
+#include "core/triggers.h"
+#include "runtime/rng.h"
+
+namespace cbp::apps::httpdlike {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+constexpr int kMaxWorkers = 16;
+constexpr int kMaxSlots = 64;
+constexpr std::size_t kLogBytes = 1u << 16;
+
+/// Everything the workers share, in one MAP_SHARED|MAP_ANONYMOUS page
+/// set mapped before fork (so the mapping — and every object address in
+/// it — is identical in all processes).  Zero-initialized by mmap;
+/// std::atomic of a zeroed integral is a valid zero.
+struct Shared {
+  struct Slot {
+    std::atomic<int> state;   ///< 0 = free, 1 = claimed
+    std::atomic<int> claims;  ///< concurrent claimants (the race probe)
+  };
+  Slot slots[kMaxSlots];
+  std::atomic<int> races;  ///< double-claims observed on the admin slot
+
+  // Two-half access log (Apache #25520 in shared memory).
+  std::atomic<int> log_lock;  ///< spinlock; held per *half*, not per line
+  std::atomic<std::uint32_t> log_len;
+  char log[kLogBytes];
+
+  // Per-worker engine counters, written back just before _exit.
+  struct WorkerStats {
+    std::atomic<std::uint64_t> hits;
+    std::atomic<std::uint64_t> peer_lost;
+    std::atomic<std::uint64_t> timeouts;
+    std::atomic<int> finished;
+  };
+  WorkerStats worker_stats[kMaxWorkers];
+};
+static_assert(std::atomic<int>::is_always_lock_free);
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+
+void shm_log_append(Shared& shm, const char* data, std::size_t size) {
+  while (shm.log_lock.exchange(1, std::memory_order_acquire) != 0) {
+  }
+  const std::uint32_t len = shm.log_len.load(std::memory_order_relaxed);
+  if (len + size <= kLogBytes) {
+    std::memcpy(shm.log + len, data, size);
+    shm.log_len.store(len + static_cast<std::uint32_t>(size),
+                      std::memory_order_relaxed);
+  }
+  shm.log_lock.store(0, std::memory_order_release);
+}
+
+/// The seeded #25520 transplant: one request logged as two separately
+/// locked appends ("R<w>q<i> " then "O<w>q<i>;"); kPreforkLogBp parks
+/// between them so two *processes'* halves interleave.
+void log_request(Shared& shm, int worker, int request, bool armed,
+                 std::chrono::milliseconds pause) {
+  char half[32];
+  int n = std::snprintf(half, sizeof(half), "R%dq%d ", worker, request);
+  shm_log_append(shm, half, static_cast<std::size_t>(n));
+
+  if (armed) {
+    ConflictTrigger between(kPreforkLogBp, &shm.log_lock);
+    between.trigger_here(/*is_first_action=*/true, pause);
+  }
+
+  n = std::snprintf(half, sizeof(half), "O%dq%d;", worker, request);
+  shm_log_append(shm, half, static_cast<std::size_t>(n));
+}
+
+/// Counts interleaved lines: a healthy line is exactly "R<x> O<x>".
+int count_corrupt_lines(const Shared& shm) {
+  const std::uint32_t len = shm.log_len.load(std::memory_order_relaxed);
+  const std::string buffer(shm.log, len);
+  int corrupt = 0;
+  std::size_t start = 0;
+  while (start < buffer.size()) {
+    std::size_t end = buffer.find(';', start);
+    if (end == std::string::npos) end = buffer.size();
+    const std::string line = buffer.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const std::size_t space = line.find(' ');
+    bool ok = space != std::string::npos && line[0] == 'R' &&
+              space + 1 < line.size() && line[space + 1] == 'O' &&
+              line.find(' ', space + 1) == std::string::npos &&
+              line.substr(1, space - 1) == line.substr(space + 2);
+    if (!ok) ++corrupt;
+  }
+  return corrupt;
+}
+
+/// One worker process's request loop.  Never returns; ends in _exit.
+[[noreturn]] void worker_main(Shared& shm, int worker,
+                              const PreforkOptions& options,
+                              const std::string& socket_path) {
+  Engine& engine = Engine::instance();
+
+  std::shared_ptr<broker::BrokerClient> client;
+  if (options.breakpoints) {
+    BreakpointSpec::parse(std::string(kScoreboardBp) +
+                          " scope=process-group\n" + kPreforkLogBp +
+                          " scope=process-group\n")
+        .install();
+    client = broker::BrokerClient::connect(
+        socket_path, std::chrono::milliseconds(5000), engine.tag());
+    if (client) engine.set_transport(client);
+  }
+
+  rt::Rng rng(options.seed * 1000003u + static_cast<std::uint64_t>(worker));
+  const bool killer = options.kill_worker_on_hit && worker == 0;
+
+  for (int i = 0; i < options.requests_per_worker; ++i) {
+    const bool admin =
+        rng.next_below(static_cast<std::uint64_t>(options.admin_period)) == 0;
+    if (!admin) {
+      // Correct path: CAS-claim a random non-admin slot.
+      const int slot_index =
+          1 + static_cast<int>(rng.next_below(
+                  static_cast<std::uint64_t>(options.scoreboard_slots - 1)));
+      Shared::Slot& slot = shm.slots[slot_index];
+      int expected = 0;
+      if (slot.state.compare_exchange_strong(expected, 1,
+                                             std::memory_order_acq_rel)) {
+        busy_work(50);
+        slot.state.store(0, std::memory_order_release);
+      }
+      continue;
+    }
+
+    // Admin path: the seeded check-then-claim race on slot 0.
+    Shared::Slot& slot = shm.slots[0];
+    const int observed = slot.state.load(std::memory_order_acquire);  // check
+    if (observed != 0) continue;
+
+    // The breakpoint sits inside the TOCTOU window, after the check and
+    // before the claim; "my check passed" is its local predicate over
+    // the shared mmap (core/transport.h: the joint condition a global
+    // predicate can't express across address spaces).
+    if (options.breakpoints) {
+      ConflictTrigger window(kScoreboardBp, &slot);
+      if (killer) {
+        TriggerResult result = window.trigger_here_scoped(
+            /*is_first_action=*/true, options.pause);
+        if (result.hit) {
+          // Die holding the guard: DONE is never sent, the broker sees
+          // EOF mid-protocol, and the peer must be released as
+          // peer-lost.  _exit skips destructors, so the guard's release
+          // never runs — exactly a crashed worker.
+          shm.worker_stats[worker].finished.store(2,
+                                                  std::memory_order_release);
+          _exit(42);
+        }
+      } else {
+        // In kill mode survivors declare the second rank, so the killer
+        // always holds rank 0 — granted first, peer parked — and its
+        // death is observed *mid-protocol*.  Otherwise everyone
+        // declares rank 0 and the broker's earlier-arrival rule orders
+        // the pair, as the in-process engine does.
+        window.trigger_here(
+            /*is_first_action=*/!options.kill_worker_on_hit, options.pause);
+      }
+    }
+
+    const int previous =
+        slot.claims.fetch_add(1, std::memory_order_acq_rel);  // claim
+    if (previous != 0) shm.races.fetch_add(1, std::memory_order_relaxed);
+    slot.state.store(1, std::memory_order_release);
+    // Hold the claim long enough that a just-released peer's claim
+    // lands inside it (the real bug's "request being served" span).
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    busy_work(2000);
+    slot.state.store(0, std::memory_order_release);
+    slot.claims.fetch_sub(1, std::memory_order_acq_rel);
+
+    log_request(shm, worker, i, options.breakpoints, options.pause);
+  }
+
+  const BreakpointStats stats = engine.total_stats();
+  shm.worker_stats[worker].hits.store(stats.hits, std::memory_order_release);
+  shm.worker_stats[worker].peer_lost.store(stats.peer_lost,
+                                           std::memory_order_release);
+  shm.worker_stats[worker].timeouts.store(stats.timeouts,
+                                          std::memory_order_release);
+  shm.worker_stats[worker].finished.store(1, std::memory_order_release);
+  if (client) client->shutdown();
+  _exit(0);
+}
+
+}  // namespace
+
+PreforkOutcome run_prefork_scoreboard(const PreforkOptions& options) {
+  PreforkOutcome outcome;
+  const int workers = std::min(std::max(options.workers, 2), kMaxWorkers);
+
+  std::string socket_path = options.socket_path;
+  if (socket_path.empty()) {
+    socket_path =
+        "/tmp/cbp-prefork-" + std::to_string(::getpid()) + ".sock";
+  }
+
+  void* mapping = ::mmap(nullptr, sizeof(Shared), PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mapping == MAP_FAILED) {
+    outcome.detail = "mmap failed";
+    return outcome;
+  }
+  auto* shm = static_cast<Shared*>(mapping);
+
+  const auto started = SteadyClock::now();
+
+  // fork *before* the broker starts its threads: the parent must be
+  // single-threaded at every fork (prefork.h).
+  std::vector<pid_t> pids;
+  for (int w = 0; w < workers; ++w) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      worker_main(*shm, w, options, socket_path);  // never returns
+    }
+    if (pid < 0) {
+      for (pid_t p : pids) ::kill(p, SIGKILL);
+      for (pid_t p : pids) ::waitpid(p, nullptr, 0);
+      ::munmap(mapping, sizeof(Shared));
+      outcome.detail = "fork failed";
+      return outcome;
+    }
+    pids.push_back(pid);
+  }
+
+  broker::Broker broker_server({socket_path, std::chrono::milliseconds(2000)});
+  const bool broker_up = !options.breakpoints || broker_server.start();
+  if (!broker_up) outcome.detail = "broker start failed";
+
+  // Reap with a watchdog: a wedged worker is SIGKILLed, never waited on
+  // forever (the acceptance criterion for peer loss is a *release*, and
+  // this is the backstop proving we never rely on a hang).
+  const auto deadline = SteadyClock::now() + options.watchdog;
+  std::vector<pid_t> alive = pids;
+  while (!alive.empty() && SteadyClock::now() < deadline) {
+    for (std::size_t i = 0; i < alive.size();) {
+      int status = 0;
+      const pid_t r = ::waitpid(alive[i], &status, WNOHANG);
+      if (r == alive[i]) {
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 42) {
+          outcome.worker_killed = true;
+        }
+        alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (!alive.empty()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  if (!alive.empty()) {
+    outcome.wedged = true;
+    outcome.detail = "watchdog: killed " + std::to_string(alive.size()) +
+                     " wedged worker(s)";
+    for (pid_t p : alive) ::kill(p, SIGKILL);
+    for (pid_t p : alive) ::waitpid(p, nullptr, 0);
+  }
+
+  outcome.runtime_seconds =
+      std::chrono::duration<double>(SteadyClock::now() - started).count();
+
+  if (broker_up && options.breakpoints) {
+    const broker::BrokerStats bstats = broker_server.stats();
+    outcome.broker_matches = bstats.matches;
+    outcome.broker_timeouts = bstats.timeouts;
+    outcome.broker_peer_lost = bstats.peer_lost;
+    broker_server.stop();
+  }
+
+  outcome.scoreboard_races = shm->races.load(std::memory_order_acquire);
+  outcome.corrupt_log_lines = count_corrupt_lines(*shm);
+  for (int w = 0; w < workers; ++w) {
+    outcome.worker_hits +=
+        shm->worker_stats[w].hits.load(std::memory_order_acquire);
+    outcome.worker_peer_lost +=
+        shm->worker_stats[w].peer_lost.load(std::memory_order_acquire);
+    outcome.worker_timeouts +=
+        shm->worker_stats[w].timeouts.load(std::memory_order_acquire);
+  }
+
+  ::munmap(mapping, sizeof(Shared));
+  return outcome;
+}
+
+}  // namespace cbp::apps::httpdlike

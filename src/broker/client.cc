@@ -1,0 +1,282 @@
+#include "broker/client.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "broker/wire.h"
+
+namespace cbp::broker {
+
+using SteadyClock = std::chrono::steady_clock;
+
+struct BrokerClient::Impl {
+  /// One in-flight postponement, keyed by token.  All fields guarded by
+  /// mu; a single broadcast cv is plenty at breakpoint frequencies.
+  struct Pending {
+    bool granted = false;
+    bool timed_out = false;
+    bool cancelled = false;
+    bool failed = false;
+    int rank = -1;
+    GrantOutcome outcome = GrantOutcome::kOk;
+  };
+
+  int fd = -1;
+  std::thread reader;
+
+  std::mutex write_mu;
+  bool write_closed = false;  // guarded by write_mu
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::unordered_map<std::uint64_t, Pending> pending;  // guarded by mu
+  bool reader_dead = false;                            // guarded by mu
+  bool shutting_down = false;                          // guarded by mu
+
+  std::atomic<std::uint64_t> next_token{1};
+
+  bool send(const Message& m) {
+    std::scoped_lock lock(write_mu);
+    if (write_closed || fd < 0) return false;
+    return write_frame(fd, m);
+  }
+
+  void reader_loop() {
+    for (;;) {
+      std::optional<Message> msg = read_frame(fd);
+      if (!msg) break;  // EOF, error, or malformed frame
+      switch (msg->type) {
+        case MsgType::kMatched: {
+          // Informational: the grant is what releases the caller.
+          std::scoped_lock lock(mu);
+          auto it = pending.find(msg->token);
+          if (it != pending.end()) it->second.rank = msg->rank;
+          break;
+        }
+        case MsgType::kGrant: {
+          bool orphaned = false;
+          {
+            std::scoped_lock lock(mu);
+            auto it = pending.find(msg->token);
+            if (it == pending.end()) {
+              orphaned = true;  // failsafe already gave up on this token
+            } else {
+              it->second.granted = true;
+              it->second.rank = msg->rank;
+              it->second.outcome = static_cast<GrantOutcome>(msg->flags);
+              cv.notify_all();
+            }
+          }
+          if (orphaned) {
+            // Complete on the group's behalf so the remaining ranks
+            // advance instead of waiting for the broker's grant cap.
+            Message done;
+            done.type = MsgType::kDone;
+            done.token = msg->token;
+            send(done);
+          }
+          break;
+        }
+        case MsgType::kTimeout: {
+          std::scoped_lock lock(mu);
+          auto it = pending.find(msg->token);
+          if (it != pending.end()) {
+            it->second.timed_out = true;
+            cv.notify_all();
+          }
+          break;
+        }
+        case MsgType::kCancelled: {
+          std::scoped_lock lock(mu);
+          auto it = pending.find(msg->token);
+          if (it != pending.end()) {
+            it->second.cancelled = true;
+            cv.notify_all();
+          }
+          break;
+        }
+        default:
+          break;  // client-only or unknown: ignore
+      }
+    }
+    // Broker gone: every in-flight and future postponement fails fast.
+    std::scoped_lock lock(mu);
+    reader_dead = true;
+    for (auto& [token, p] : pending) p.failed = true;
+    cv.notify_all();
+  }
+};
+
+std::shared_ptr<BrokerClient> BrokerClient::connect(
+    const std::string& socket_path, std::chrono::milliseconds retry_for,
+    std::uint64_t engine_tag) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) return nullptr;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const auto deadline = SteadyClock::now() + retry_for;
+  int fd = -1;
+  for (;;) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return nullptr;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+    // The broker may simply not be listening yet (workers fork before
+    // the parent starts it): retry until the window closes.
+    if (SteadyClock::now() >= deadline) return nullptr;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  auto client = std::shared_ptr<BrokerClient>(new BrokerClient());
+  client->impl_ = std::make_unique<Impl>();
+  client->impl_->fd = fd;
+
+  Message hello;
+  hello.type = MsgType::kHello;
+  hello.a = static_cast<std::uint64_t>(::getpid());
+  hello.b = engine_tag;
+  if (!client->impl_->send(hello)) {
+    ::close(fd);
+    client->impl_->fd = -1;
+    return nullptr;
+  }
+
+  Impl* impl = client->impl_.get();  // joined before impl_ is destroyed
+  impl->reader = std::thread([impl] { impl->reader_loop(); });
+  return client;
+}
+
+BrokerClient::~BrokerClient() { shutdown(); }
+
+void BrokerClient::shutdown() {
+  if (!impl_) return;
+  {
+    std::scoped_lock lock(impl_->mu);
+    if (impl_->shutting_down) return;
+    impl_->shutting_down = true;
+  }
+  {
+    std::scoped_lock lock(impl_->write_mu);
+    impl_->write_closed = true;
+  }
+  if (impl_->fd >= 0) ::shutdown(impl_->fd, SHUT_RDWR);  // wakes the reader
+  if (impl_->reader.joinable()) impl_->reader.join();
+  if (impl_->fd >= 0) {
+    ::close(impl_->fd);
+    impl_->fd = -1;
+  }
+}
+
+bool BrokerClient::connected() const {
+  if (!impl_) return false;
+  std::scoped_lock lock(impl_->mu);
+  return !impl_->reader_dead && !impl_->shutting_down;
+}
+
+RemoteTriggerResult BrokerClient::trigger_remote(
+    const RemoteTriggerRequest& request) {
+  RemoteTriggerResult result;  // defaults to kError
+  if (!impl_) return result;
+
+  const std::uint64_t token =
+      impl_->next_token.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::scoped_lock lock(impl_->mu);
+    if (impl_->reader_dead || impl_->shutting_down) return result;
+    impl_->pending.emplace(token, Impl::Pending{});
+  }
+
+  Message arrive;
+  arrive.type = MsgType::kArrive;
+  arrive.token = token;
+  arrive.a = static_cast<std::uint64_t>(request.timeout.count());
+  arrive.rank = request.rank;
+  arrive.arity = request.arity;
+  arrive.flags = request.scoped ? kFlagScoped : 0;
+  arrive.name = request.name;
+  if (!impl_->send(arrive)) {
+    std::scoped_lock lock(impl_->mu);
+    impl_->pending.erase(token);
+    return result;
+  }
+
+  // Failsafe: the broker owns the timeout, but a wedged broker must
+  // turn into kError here, never a hang (core/transport.h).
+  const auto deadline = SteadyClock::now() + request.timeout + kGrantSlack;
+
+  Impl::Pending snapshot;
+  {
+    std::unique_lock lock(impl_->mu);
+    const bool terminal = impl_->cv.wait_until(lock, deadline, [&] {
+      auto it = impl_->pending.find(token);
+      if (it == impl_->pending.end()) return true;  // defensive
+      const Impl::Pending& p = it->second;
+      return p.granted || p.timed_out || p.cancelled || p.failed;
+    });
+    auto it = impl_->pending.find(token);
+    if (it != impl_->pending.end()) {
+      snapshot = it->second;
+      impl_->pending.erase(it);
+    } else {
+      snapshot.failed = true;
+    }
+    if (!terminal) {
+      // Failsafe expired: disown the token (a late GRANT is answered
+      // with DONE by the reader) and tell the broker we are gone.
+      lock.unlock();
+      Message cancel;
+      cancel.type = MsgType::kCancel;
+      cancel.token = token;
+      impl_->send(cancel);
+      return result;
+    }
+  }
+
+  if (snapshot.failed) return result;
+  if (snapshot.timed_out) {
+    result.outcome = RemoteOutcome::kTimeout;
+    return result;
+  }
+  if (snapshot.cancelled) {
+    result.outcome = RemoteOutcome::kCancelled;
+    return result;
+  }
+
+  result.rank = snapshot.rank;
+  result.outcome = snapshot.outcome == GrantOutcome::kPeerLost
+                       ? RemoteOutcome::kPeerLost
+                       : RemoteOutcome::kHit;
+  if (request.scoped) {
+    // DONE is deferred to the OrderingGuard release; the callback keeps
+    // the client alive even if the engine detaches the transport.
+    auto self = shared_from_this();
+    result.complete = [self, token] {
+      Message done;
+      done.type = MsgType::kDone;
+      done.token = token;
+      self->impl_->send(done);
+    };
+  } else {
+    Message done;
+    done.type = MsgType::kDone;
+    done.token = token;
+    impl_->send(done);
+  }
+  return result;
+}
+
+}  // namespace cbp::broker

@@ -1,0 +1,68 @@
+// BrokerClient: the TransportPolicy a child engine attaches to route
+// `scope=process-group` breakpoints through the machine's trigger
+// broker (src/broker/broker.h).
+//
+// One connection per client, one client per process (typically created
+// right after fork and handed to Engine::set_transport).  A background
+// reader thread demultiplexes broker frames to in-flight postponements
+// by token; trigger_remote is fully synchronous from the engine's point
+// of view: arrive, park, and come back with a terminal outcome.
+//
+// Liveness guarantees (core/transport.h's contract):
+//   * the postponement bound is enforced broker-side, but a client-side
+//     failsafe (timeout + kGrantSlack) also runs, so a dead or wedged
+//     broker turns into kError, never a hang;
+//   * broker EOF fails every in-flight and future postponement with
+//     kError immediately (the engine then counts them cancelled);
+//   * a GRANT for a token the client no longer tracks (failsafe fired
+//     first) is answered with DONE so the rest of the group advances.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/transport.h"
+
+namespace cbp::broker {
+
+class BrokerClient : public TransportPolicy,
+                     public std::enable_shared_from_this<BrokerClient> {
+ public:
+  /// Extra real time past the request timeout before the client-side
+  /// failsafe gives up on the broker (covers match + grant latency and
+  /// the broker's own grant cap).
+  static constexpr std::chrono::milliseconds kGrantSlack{10000};
+
+  /// Connects to the broker socket, retrying for up to `retry_for`
+  /// (workers typically start concurrently with the broker).  Sends the
+  /// HELLO identity frame and starts the reader thread.  Null on
+  /// failure.
+  static std::shared_ptr<BrokerClient> connect(
+      const std::string& socket_path,
+      std::chrono::milliseconds retry_for = std::chrono::milliseconds(5000),
+      std::uint64_t engine_tag = 0);
+
+  ~BrokerClient() override;
+  BrokerClient(const BrokerClient&) = delete;
+  BrokerClient& operator=(const BrokerClient&) = delete;
+
+  /// TransportPolicy: one full remote postponement.  Thread-safe.
+  RemoteTriggerResult trigger_remote(
+      const RemoteTriggerRequest& request) override;
+
+  /// Closes the connection; all in-flight postponements fail with
+  /// kError.  Idempotent; also run by the destructor.
+  void shutdown();
+
+  [[nodiscard]] bool connected() const;
+
+ private:
+  BrokerClient() = default;
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cbp::broker

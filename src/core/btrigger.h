@@ -20,6 +20,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -41,6 +42,11 @@ class [[nodiscard]] OrderingGuard {
  public:
   OrderingGuard() = default;
   OrderingGuard(std::shared_ptr<internal::GroupState> group, int rank);
+  /// Transport-backed guard (process-group hits, core/transport.h):
+  /// release() invokes `on_release` exactly once — in practice sending
+  /// the DONE that lets the next rank's *process* proceed — instead of
+  /// acking a local GroupState.
+  OrderingGuard(std::function<void()> on_release, int rank);
   ~OrderingGuard();
 
   OrderingGuard(OrderingGuard&& other) noexcept;
@@ -49,7 +55,9 @@ class [[nodiscard]] OrderingGuard {
   OrderingGuard& operator=(const OrderingGuard&) = delete;
 
   /// True if this guard corresponds to an actual breakpoint hit.
-  [[nodiscard]] bool active() const { return group_ != nullptr; }
+  [[nodiscard]] bool active() const {
+    return group_ != nullptr || on_release_ != nullptr;
+  }
 
   /// Rank of this thread within the hit (0 executes first).
   [[nodiscard]] int rank() const { return rank_; }
@@ -59,12 +67,17 @@ class [[nodiscard]] OrderingGuard {
 
  private:
   std::shared_ptr<internal::GroupState> group_;
+  std::function<void()> on_release_;  ///< transport-backed guards only
   int rank_ = -1;
 };
 
 /// Result of a scoped trigger call.
 struct TriggerResult {
   bool hit = false;
+  /// Process-group hits only: the match completed but a peer process
+  /// died before finishing the release protocol — the broker released
+  /// this side instead of letting it hang (core/transport.h).
+  bool peer_lost = false;
   OrderingGuard guard;  ///< active iff hit
 
   explicit operator bool() const { return hit; }

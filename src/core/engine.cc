@@ -17,11 +17,17 @@ OrderingGuard::OrderingGuard(std::shared_ptr<internal::GroupState> group,
                              int rank)
     : group_(std::move(group)), rank_(rank) {}
 
+OrderingGuard::OrderingGuard(std::function<void()> on_release, int rank)
+    : on_release_(std::move(on_release)), rank_(rank) {}
+
 OrderingGuard::~OrderingGuard() { release(); }
 
 OrderingGuard::OrderingGuard(OrderingGuard&& other) noexcept
-    : group_(std::move(other.group_)), rank_(other.rank_) {
+    : group_(std::move(other.group_)),
+      on_release_(std::move(other.on_release_)),
+      rank_(other.rank_) {
   other.group_.reset();
+  other.on_release_ = nullptr;
   other.rank_ = -1;
 }
 
@@ -29,14 +35,25 @@ OrderingGuard& OrderingGuard::operator=(OrderingGuard&& other) noexcept {
   if (this != &other) {
     release();
     group_ = std::move(other.group_);
+    on_release_ = std::move(other.on_release_);
     rank_ = other.rank_;
     other.group_.reset();
+    other.on_release_ = nullptr;
     other.rank_ = -1;
   }
   return *this;
 }
 
 void OrderingGuard::release() {
+  if (on_release_) {
+    // Transport-backed guard: completion is a message (DONE to the
+    // broker), not a GroupState ack.
+    std::function<void()> complete = std::move(on_release_);
+    on_release_ = nullptr;
+    rank_ = -1;
+    complete();
+    return;
+  }
   if (!group_) return;
   {
     std::scoped_lock lock(group_->mu);
@@ -452,6 +469,7 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
   // breakpoint costs two dependent atomic loads.
   std::uint64_t ignore_first = bt.ignore_first_count();
   std::uint64_t bound = bt.bound_count();
+  bool process_group = false;
   if (const SpecOverride* entry = record->spec.load(std::memory_order_acquire)) {
     if (entry->disabled) return {};
     if (entry->pause) {
@@ -461,6 +479,19 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
     if (entry->flip_order && arity == 2) rank = 1 - rank;
     if (entry->ignore_first) ignore_first = *entry->ignore_first;
     if (entry->bound) bound = *entry->bound;
+    process_group = entry->scope == SpecScope::kProcessGroup;
+  }
+
+  // Process-group dispatch (core/transport.h): only a spec entry can ask
+  // for it, so purely local breakpoints never read the transport.  A
+  // remote park is a kernel wait — under a bound virtual clock (which
+  // cannot schedule a foreign process) the entry degrades to local
+  // matching, as it does when no transport is attached.
+  if (process_group && rt::bound_virtual_clock() == nullptr) {
+    if (std::shared_ptr<TransportPolicy> remote_transport = transport()) {
+      return trigger_remote(*record, bt, rank, arity, timeout, scoped,
+                            ignore_first, bound, *remote_transport);
+    }
   }
 
   internal::Slot* slot = record->slot.get();
@@ -583,6 +614,133 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
   return result;
 }
 
+TriggerResult Engine::trigger_remote(const internal::NameRecord& record,
+                                     BTrigger& bt, int rank, int arity,
+                                     std::chrono::microseconds timeout,
+                                     bool scoped, std::uint64_t ignore_first,
+                                     std::uint64_t bound,
+                                     TransportPolicy& transport) {
+  internal::Slot* slot = record.slot.get();
+
+  // Local refinements stay in-process (core/transport.h): each process
+  // keeps its own warm-up window, hit budget and counters, exactly as if
+  // the paper's library were loaded into every process separately.
+  const bool local_ok = bt.predicate_local();
+  {
+    std::scoped_lock lock(slot->mu);
+    slot->stats.calls += 1;
+    if (!local_ok) {
+      slot->stats.local_rejects += 1;
+      CBP_OBS_EVENT(obs::EventKind::kLocalReject, record.id, -1);
+      return {};
+    }
+    slot->stats.arrivals += 1;
+    CBP_OBS_EVENT(obs::EventKind::kArrival, record.id, -1);
+    if (slot->stats.hits >= bound) {
+      slot->stats.bounded += 1;
+      return {};
+    }
+    if (slot->stats.arrivals <= ignore_first) {
+      slot->stats.ignored += 1;
+      CBP_OBS_EVENT(obs::EventKind::kIgnore, record.id, -1);
+      return {};
+    }
+    slot->stats.postponed += 1;
+    CBP_OBS_EVENT(obs::EventKind::kPostpone, record.id, rank);
+  }
+
+  RemoteTriggerRequest request;
+  request.name = record.name;
+  request.rank = rank;
+  request.arity = arity;
+  request.scoped = scoped;
+  // The park is a real kernel wait; apply this engine's scale and floor
+  // at 1 ms so the broker always sees a positive bound.
+  request.timeout = std::max(
+      std::chrono::milliseconds(1),
+      std::chrono::duration_cast<std::chrono::milliseconds>(scaled(timeout)));
+
+  rt::Stopwatch wait_clock;
+  RemoteTriggerResult remote = transport.trigger_remote(request);
+  const std::int64_t wait_us = wait_clock.elapsed_us();
+
+  {
+    std::scoped_lock lock(slot->mu);
+    slot->stats.total_wait_us += wait_us;
+    slot->stats.wait_hist.record(
+        wait_us > 0 ? static_cast<std::uint64_t>(wait_us) : 0);
+    switch (remote.outcome) {
+      case RemoteOutcome::kTimeout:
+        slot->stats.timeouts += 1;
+        CBP_OBS_EVENT(obs::EventKind::kTimeout, record.id, rank);
+        break;
+      case RemoteOutcome::kCancelled:
+      case RemoteOutcome::kError:
+        slot->stats.cancelled += 1;
+        CBP_OBS_EVENT(obs::EventKind::kCancel, record.id, rank);
+        break;
+      case RemoteOutcome::kPeerLost:
+        slot->stats.peer_lost += 1;
+        [[fallthrough]];
+      case RemoteOutcome::kHit:
+        // Per-process view: `hits` counts groups this process joined —
+        // the value `bound` compares against, so the budget is spent by
+        // participation, not by cluster-wide totals.
+        slot->stats.hits += 1;
+        slot->stats.participants += 1;
+        if (CBP_OBS_ENABLED()) {
+          obs::Trace::record_for(rt::this_thread_id(), obs::EventKind::kMatch,
+                                 record.id, remote.rank,
+                                 static_cast<std::uint16_t>(arity));
+        }
+        break;
+    }
+  }
+  if (!remote.hit()) return {};
+
+  // Each participating process reports the hit to its own observer; the
+  // peer processes' thread ids are unknowable here, so only this rank's
+  // slot in `threads` is filled in.
+  HitInfo info;
+  info.name = bt.name();
+  info.description = bt.describe();
+  info.arity = arity;
+  info.threads.assign(static_cast<std::size_t>(arity), 0);
+  if (remote.rank >= 0 && remote.rank < arity) {
+    info.threads[static_cast<std::size_t>(remote.rank)] = rt::this_thread_id();
+  }
+  std::function<void(const HitInfo&)> observer;
+  bool verbose = false;
+  {
+    std::scoped_lock lock(observer_mu_);
+    observer = observer_;
+    verbose = verbose_;
+  }
+  if (verbose) {
+    std::string line;
+    line.reserve(info.description.size() + info.name.size() + 32);
+    line += "[cbp] hit: ";
+    line += info.description;
+    line += " (breakpoint '";
+    line += info.name;
+    line += "')\n";
+    std::cerr << line;
+  }
+  if (observer) observer(info);
+
+  CBP_OBS_EVENT(obs::EventKind::kRelease, record.id, remote.rank);
+
+  TriggerResult result;
+  result.hit = true;
+  result.peer_lost = remote.outcome == RemoteOutcome::kPeerLost;
+  if (scoped && remote.complete) {
+    result.guard = OrderingGuard(std::move(remote.complete), remote.rank);
+  } else if (remote.complete) {
+    remote.complete();  // transport completed scoped-ly; honour it now
+  }
+  return result;
+}
+
 // ---------------------------------------------------------------------------
 // Engine: aggregation and administration (cold paths)
 // ---------------------------------------------------------------------------
@@ -654,6 +812,16 @@ void Engine::reset() {
     spec_generations_.erase(spec_generations_.begin(),
                             spec_generations_.end() - 1);
   }
+}
+
+void Engine::set_transport(std::shared_ptr<TransportPolicy> transport) {
+  std::scoped_lock lock(transport_mu_);
+  transport_ = std::move(transport);
+}
+
+std::shared_ptr<TransportPolicy> Engine::transport() const {
+  std::scoped_lock lock(transport_mu_);
+  return transport_;
 }
 
 void Engine::set_hit_observer(std::function<void(const HitInfo&)> observer) {

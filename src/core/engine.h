@@ -35,6 +35,7 @@
 #include "core/config.h"
 #include "core/spec.h"
 #include "core/stats.h"
+#include "core/transport.h"
 #include "obs/event.h"
 #include "runtime/clock.h"
 #include "runtime/context.h"
@@ -221,6 +222,16 @@ class Engine {
   /// Normally called through BreakpointSpec::install().
   void set_spec(std::unordered_map<std::string, SpecOverride> spec);
 
+  /// Attaches (or, with nullptr, detaches) the transport used by
+  /// `scope=process-group` spec entries (core/transport.h).  Local
+  /// breakpoints never consult it; with no transport attached a
+  /// process-group entry falls back to local matching, so the hot path
+  /// is untouched until a spec actually asks for distribution.  The
+  /// transport is shared_ptr-held: in-flight remote postponements keep
+  /// it alive across a detach.
+  void set_transport(std::shared_ptr<TransportPolicy> transport);
+  [[nodiscard]] std::shared_ptr<TransportPolicy> transport() const;
+
   /// Per-engine override of the global rt::TimeScale, applied to every
   /// nominal wait this engine performs (postponement timeout, order
   /// delay, guard cap).  <= 0 (the default) means "follow the global
@@ -270,6 +281,16 @@ class Engine {
   /// waits honour this engine's time scale.
   void await_turn(internal::GroupState& group, int rank, bool scoped) const;
 
+  /// Process-group dispatch: the whole postponement/match/release
+  /// protocol runs through `transport` (the broker), with the local
+  /// refinements already applied by trigger().  Called with no locks
+  /// held; does its own stats accounting on `record`'s slot.
+  TriggerResult trigger_remote(const internal::NameRecord& record,
+                               BTrigger& bt, int rank, int arity,
+                               std::chrono::microseconds timeout, bool scoped,
+                               std::uint64_t ignore_first, std::uint64_t bound,
+                               TransportPolicy& transport);
+
   // ---- interned name table -------------------------------------------
   // Append-only open addressing: readers probe with plain acquire loads
   // (no lock, no RMW); first-time interning publishes under intern_mu_.
@@ -295,6 +316,12 @@ class Engine {
   mutable std::mutex observer_mu_;
   std::function<void(const HitInfo&)> observer_;
   bool verbose_ = false;  // guarded by observer_mu_
+
+  // ---- process-group transport ----------------------------------------
+  // Read once per process-group trigger (cold relative to the local
+  // path); local triggers never touch it.
+  mutable std::mutex transport_mu_;
+  std::shared_ptr<TransportPolicy> transport_;  // guarded by transport_mu_
 
   const std::uint64_t tag_;          ///< process-unique, assigned at birth
   std::atomic<double> time_scale_{0.0};  ///< <= 0: follow rt::TimeScale

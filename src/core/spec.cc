@@ -65,6 +65,16 @@ BreakpointSpec BreakpointSpec::parse(const std::string& text) {
               "breakpoint spec: bad value for 'predicted': '" + value +
               "' (expected a probability in [0, 1])");
         }
+      } else if (key == "scope") {
+        if (value == "local") {
+          entry.scope = SpecScope::kLocal;
+        } else if (value == "process-group") {
+          entry.scope = SpecScope::kProcessGroup;
+        } else {
+          throw std::invalid_argument(
+              "breakpoint spec: bad value for 'scope': '" + value +
+              "' (expected local|process-group)");
+        }
       } else if (key == "from") {
         if (value == "static") {
           entry.from = SpecOrigin::kStatic;

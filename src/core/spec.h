@@ -10,6 +10,7 @@
 // Format, one breakpoint per line ('#' comments):
 //
 //   <name> [off] [pause=<ms>] [flip] [ignore_first=<n>] [bound=<n>]
+//          [scope=<local|process-group>]
 //          [from=<static|dynamic>] [predicted=<p>] [confirmed]
 //
 // e.g.
@@ -49,6 +50,15 @@ namespace cbp {
 /// Provenance only — the engine treats both identically at trigger time.
 enum class SpecOrigin : std::uint8_t { kUnspecified, kStatic, kDynamic };
 
+/// Matching scope of a breakpoint (core/transport.h).  kLocal is the
+/// paper's in-process rendezvous; kProcessGroup forwards the
+/// arrival/postpone/match/release protocol to the machine's trigger
+/// broker so `(l1, l2, phi)` can match threads living in different
+/// processes.  Process-group entries fall back to local matching when
+/// no transport is attached (single-process runs of a distributed
+/// spec still work).
+enum class SpecScope : std::uint8_t { kLocal, kProcessGroup };
+
 /// Per-breakpoint-name overrides.
 struct SpecOverride {
   bool disabled = false;                     ///< `off`
@@ -56,6 +66,7 @@ struct SpecOverride {
   bool flip_order = false;                   ///< `flip` (binary ranks only)
   std::optional<std::uint64_t> ignore_first; ///< `ignore_first=<n>`
   std::optional<std::uint64_t> bound;        ///< `bound=<n>`
+  SpecScope scope = SpecScope::kLocal;       ///< `scope=<local|process-group>`
   SpecOrigin from = SpecOrigin::kUnspecified;  ///< `from=<static|dynamic>`
   /// `predicted=<p>`: expected hit probability in [0, 1] (provenance
   /// metadata; not consulted at trigger time).

@@ -28,6 +28,11 @@ struct BreakpointStats {
   std::uint64_t cancelled = 0;      ///< woken early by Engine::cancel_all
   std::uint64_t hits = 0;           ///< matched groups (one per pair/k-set)
   std::uint64_t participants = 0;   ///< threads that returned hit == true
+  /// Process-group matches whose peer process died mid-protocol: the
+  /// broker released this side with a peer-lost grant (core/transport.h).
+  /// Always 0 for purely local breakpoints.  Note the per-process view:
+  /// a remote `hits` counts groups *this* process participated in.
+  std::uint64_t peer_lost = 0;
   std::int64_t total_wait_us = 0;   ///< wall time spent in Postponed
 
   /// Postponed wait time per stay (us), all outcomes (match/timeout/
@@ -48,6 +53,7 @@ struct BreakpointStats {
     cancelled += o.cancelled;
     hits += o.hits;
     participants += o.participants;
+    peer_lost += o.peer_lost;
     total_wait_us += o.total_wait_us;
     wait_hist += o.wait_hist;
     order_hist += o.order_hist;

@@ -1,0 +1,560 @@
+// Trigger broker tests (src/broker): wire-protocol encode/decode, the
+// in-process broker/client protocol (match, rank order, timeout,
+// cancel, peer loss, grant cap, broker death), raw-socket protocol
+// errors, and fork-based cross-process smoke at the engine level — two
+// worker processes matching a scope=process-group breakpoint through a
+// real unix-domain socket, including the peer-death release path.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "broker/broker.h"
+#include "broker/client.h"
+#include "broker/wire.h"
+#include "core/cbp.h"
+#include "core/spec.h"
+#include "core/triggers.h"
+#include "runtime/clock.h"
+
+namespace cbp {
+namespace {
+
+using namespace std::chrono_literals;
+using SteadyClock = std::chrono::steady_clock;
+
+std::string test_socket_path(const char* tag) {
+  static std::atomic<int> counter{0};
+  return "/tmp/cbp-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+TEST(WireTest, EncodeDecodeRoundTrip) {
+  broker::Message m;
+  m.type = broker::MsgType::kArrive;
+  m.token = 0x0123456789abcdefULL;
+  m.a = 5000;
+  m.b = 42;
+  m.rank = 1;
+  m.arity = 3;
+  m.flags = broker::kFlagScoped;
+  m.name = "prefork-scoreboard";
+
+  const std::vector<std::uint8_t> frame = broker::encode(m);
+  ASSERT_GE(frame.size(), 4u + broker::kHeaderSize);
+  // The 4-byte LE prefix states the payload length exactly.
+  const std::uint32_t payload =
+      frame[0] | (frame[1] << 8) | (frame[2] << 16) |
+      (static_cast<std::uint32_t>(frame[3]) << 24);
+  ASSERT_EQ(payload, frame.size() - 4);
+
+  const auto out = broker::decode(frame.data() + 4, payload);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->type, m.type);
+  EXPECT_EQ(out->token, m.token);
+  EXPECT_EQ(out->a, m.a);
+  EXPECT_EQ(out->b, m.b);
+  EXPECT_EQ(out->rank, m.rank);
+  EXPECT_EQ(out->arity, m.arity);
+  EXPECT_EQ(out->flags, m.flags);
+  EXPECT_EQ(out->name, m.name);
+}
+
+TEST(WireTest, EncodeDecodeEmptyNameAndNegativeRank) {
+  broker::Message m;
+  m.type = broker::MsgType::kGrant;
+  m.rank = -1;
+  m.name.clear();
+  const std::vector<std::uint8_t> frame = broker::encode(m);
+  const auto out = broker::decode(frame.data() + 4, frame.size() - 4);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->rank, -1);
+  EXPECT_TRUE(out->name.empty());
+}
+
+TEST(WireTest, DecodeRejectsMalformedPayloads) {
+  broker::Message m;
+  m.type = broker::MsgType::kArrive;
+  m.name = "bp";
+  std::vector<std::uint8_t> frame = broker::encode(m);
+  const std::uint8_t* payload = frame.data() + 4;
+  const std::size_t size = frame.size() - 4;
+
+  // Truncated: shorter than the fixed header, or name bytes cut off.
+  EXPECT_FALSE(broker::decode(payload, broker::kHeaderSize - 1).has_value());
+  EXPECT_FALSE(broker::decode(payload, size - 1).has_value());
+  // Oversized: trailing bytes past the declared name are an error too
+  // (the length prefix and name_len must agree exactly).
+  std::vector<std::uint8_t> padded(payload, payload + size);
+  padded.push_back(0);
+  EXPECT_FALSE(broker::decode(padded.data(), padded.size()).has_value());
+  // Unknown message type.
+  std::vector<std::uint8_t> bad_type(payload, payload + size);
+  bad_type[0] = 99;
+  EXPECT_FALSE(broker::decode(bad_type.data(), bad_type.size()).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// In-process broker + client protocol
+// ---------------------------------------------------------------------------
+
+RemoteTriggerRequest make_request(const std::string& name, int rank,
+                                  std::chrono::milliseconds timeout,
+                                  bool scoped = false, int arity = 2) {
+  RemoteTriggerRequest request;
+  request.name = name;
+  request.rank = rank;
+  request.arity = arity;
+  request.timeout = timeout;
+  request.scoped = scoped;
+  return request;
+}
+
+TEST(BrokerClientProtocolTest, TwoClientsMatchInDeclaredRankOrder) {
+  const std::string path = test_socket_path("match");
+  broker::Broker server({path});
+  ASSERT_TRUE(server.start());
+
+  auto a = broker::BrokerClient::connect(path);
+  auto b = broker::BrokerClient::connect(path);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  RemoteTriggerResult ra, rb;
+  std::thread ta([&] { ra = a->trigger_remote(make_request("bp", 0, 5000ms)); });
+  std::thread tb([&] { rb = b->trigger_remote(make_request("bp", 1, 5000ms)); });
+  ta.join();
+  tb.join();
+
+  EXPECT_EQ(ra.outcome, RemoteOutcome::kHit);
+  EXPECT_EQ(rb.outcome, RemoteOutcome::kHit);
+  EXPECT_EQ(ra.rank, 0);
+  EXPECT_EQ(rb.rank, 1);
+  EXPECT_TRUE(ra.hit());
+  EXPECT_TRUE(rb.hit());
+
+  const broker::BrokerStats stats = server.stats();
+  EXPECT_EQ(stats.connections, 2u);
+  EXPECT_EQ(stats.arrivals, 2u);
+  EXPECT_EQ(stats.matches, 1u);
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.peer_lost, 0u);
+
+  a->shutdown();
+  b->shutdown();
+  server.stop();
+}
+
+TEST(BrokerClientProtocolTest, EqualDeclaredRanksOrderByArrival) {
+  const std::string path = test_socket_path("rank-tie");
+  broker::Broker server({path});
+  ASSERT_TRUE(server.start());
+
+  auto a = broker::BrokerClient::connect(path);
+  auto b = broker::BrokerClient::connect(path);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  RemoteTriggerResult ra, rb;
+  std::thread ta([&] { ra = a->trigger_remote(make_request("tie", 0, 5000ms)); });
+  // Make A's arrival strictly earlier: the broker breaks the declared-
+  // rank tie the way the in-process engine does — earlier-postponed
+  // goes first.
+  std::this_thread::sleep_for(150ms);
+  std::thread tb([&] { rb = b->trigger_remote(make_request("tie", 0, 5000ms)); });
+  ta.join();
+  tb.join();
+
+  EXPECT_EQ(ra.outcome, RemoteOutcome::kHit);
+  EXPECT_EQ(rb.outcome, RemoteOutcome::kHit);
+  EXPECT_EQ(ra.rank, 0);
+  EXPECT_EQ(rb.rank, 1);
+
+  a->shutdown();
+  b->shutdown();
+  server.stop();
+}
+
+TEST(BrokerClientProtocolTest, UnmatchedArrivalTimesOutBrokerSide) {
+  const std::string path = test_socket_path("timeout");
+  broker::Broker server({path});
+  ASSERT_TRUE(server.start());
+
+  auto a = broker::BrokerClient::connect(path);
+  ASSERT_NE(a, nullptr);
+
+  const auto start = SteadyClock::now();
+  const RemoteTriggerResult result =
+      a->trigger_remote(make_request("lonely", 0, 100ms));
+  const auto elapsed = SteadyClock::now() - start;
+
+  EXPECT_EQ(result.outcome, RemoteOutcome::kTimeout);
+  EXPECT_FALSE(result.hit());
+  EXPECT_GE(elapsed, 90ms);   // parked (about) the full bound
+  EXPECT_LT(elapsed, 5s);     // ...but nowhere near the client failsafe
+  EXPECT_EQ(server.stats().timeouts, 1u);
+
+  a->shutdown();
+  server.stop();
+}
+
+TEST(BrokerClientProtocolTest, ScopedPeerDeathReleasesSurvivorAsPeerLost) {
+  const std::string path = test_socket_path("peer-lost");
+  broker::Broker server({path});
+  ASSERT_TRUE(server.start());
+
+  auto doomed = broker::BrokerClient::connect(path);
+  auto survivor = broker::BrokerClient::connect(path);
+  ASSERT_NE(doomed, nullptr);
+  ASSERT_NE(survivor, nullptr);
+
+  RemoteTriggerResult rd, rs;
+  std::thread td([&] {
+    rd = doomed->trigger_remote(make_request("crash", 0, 5000ms,
+                                             /*scoped=*/true));
+  });
+  std::thread ts([&] {
+    rs = survivor->trigger_remote(make_request("crash", 1, 5000ms));
+  });
+
+  // Rank 0 is granted first and holds the group (scoped: DONE deferred
+  // to `complete`, which we never call — a crashed process).
+  td.join();
+  ASSERT_EQ(rd.outcome, RemoteOutcome::kHit);
+  ASSERT_TRUE(rd.complete != nullptr);
+  doomed->shutdown();  // EOF mid-protocol: the broker must free rank 1
+
+  ts.join();
+  EXPECT_EQ(rs.outcome, RemoteOutcome::kPeerLost);
+  EXPECT_TRUE(rs.hit());  // a peer-lost release still counts as a hit
+  EXPECT_GE(server.stats().peer_lost, 1u);
+
+  survivor->shutdown();
+  server.stop();
+}
+
+TEST(BrokerClientProtocolTest, LeakedGuardForceAdvancesAfterGrantCap) {
+  const std::string path = test_socket_path("grant-cap");
+  broker::BrokerOptions options;
+  options.socket_path = path;
+  options.grant_cap = 100ms;  // fast cap for the test
+  broker::Broker server(options);
+  ASSERT_TRUE(server.start());
+
+  auto leaker = broker::BrokerClient::connect(path);
+  auto waiter = broker::BrokerClient::connect(path);
+  ASSERT_NE(leaker, nullptr);
+  ASSERT_NE(waiter, nullptr);
+
+  RemoteTriggerResult rl, rw;
+  std::thread tl([&] {
+    rl = leaker->trigger_remote(make_request("leak", 0, 5000ms,
+                                             /*scoped=*/true));
+  });
+  std::thread tw([&] {
+    rw = waiter->trigger_remote(make_request("leak", 1, 5000ms));
+  });
+
+  tl.join();  // rank 0 granted; its `complete` is never invoked but the
+  tw.join();  // process stays alive — only the grant cap can free rank 1
+
+  ASSERT_EQ(rl.outcome, RemoteOutcome::kHit);
+  EXPECT_EQ(rw.outcome, RemoteOutcome::kHit);  // forced advance, peer alive
+  EXPECT_EQ(rw.rank, 1);
+  EXPECT_GE(server.stats().forced_advances, 1u);
+  EXPECT_EQ(server.stats().peer_lost, 0u);
+
+  leaker->shutdown();
+  waiter->shutdown();
+  server.stop();
+}
+
+TEST(BrokerClientProtocolTest, BrokerDeathFailsInFlightPostponement) {
+  const std::string path = test_socket_path("broker-death");
+  auto server = std::make_unique<broker::Broker>(
+      broker::BrokerOptions{path, 2000ms});
+  ASSERT_TRUE(server->start());
+
+  auto a = broker::BrokerClient::connect(path);
+  ASSERT_NE(a, nullptr);
+
+  RemoteTriggerResult result;
+  std::thread t([&] {
+    result = a->trigger_remote(make_request("orphan", 0, 30000ms));
+  });
+  std::this_thread::sleep_for(100ms);  // let the arrival park
+  const auto stop_start = SteadyClock::now();
+  server->stop();  // clients see EOF
+  t.join();
+  const auto elapsed = SteadyClock::now() - stop_start;
+
+  EXPECT_EQ(result.outcome, RemoteOutcome::kError);
+  EXPECT_LT(elapsed, 10s);  // failed fast, not after timeout + slack
+  EXPECT_FALSE(a->connected());
+  // Future postponements fail immediately too.
+  EXPECT_EQ(a->trigger_remote(make_request("orphan", 0, 100ms)).outcome,
+            RemoteOutcome::kError);
+  a->shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Raw-socket protocol behaviour (no BrokerClient in the way)
+// ---------------------------------------------------------------------------
+
+int raw_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(BrokerRawWireTest, CancelIsAcknowledgedAndBadArityIsNaked) {
+  const std::string path = test_socket_path("raw");
+  broker::Broker server({path});
+  ASSERT_TRUE(server.start());
+  const int fd = raw_connect(path);
+  ASSERT_GE(fd, 0);
+
+  broker::Message hello;
+  hello.type = broker::MsgType::kHello;
+  hello.a = static_cast<std::uint64_t>(::getpid());
+  ASSERT_TRUE(broker::write_frame(fd, hello));
+
+  broker::Message arrive;
+  arrive.type = broker::MsgType::kArrive;
+  arrive.token = 7;
+  arrive.a = 30000;  // long bound: only CANCEL can end it
+  arrive.rank = 0;
+  arrive.arity = 2;
+  arrive.name = "raw-bp";
+  ASSERT_TRUE(broker::write_frame(fd, arrive));
+
+  broker::Message cancel;
+  cancel.type = broker::MsgType::kCancel;
+  cancel.token = 7;
+  ASSERT_TRUE(broker::write_frame(fd, cancel));
+
+  auto ack = broker::read_frame(fd);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->type, broker::MsgType::kCancelled);
+  EXPECT_EQ(ack->token, 7u);
+  EXPECT_EQ(server.stats().cancellations, 1u);
+
+  // An arrival with nonsense arity is nak'ed (kCancelled) rather than
+  // parked forever or crashing the broker.
+  broker::Message bad = arrive;
+  bad.token = 8;
+  bad.arity = 0;
+  ASSERT_TRUE(broker::write_frame(fd, bad));
+  auto nak = broker::read_frame(fd);
+  ASSERT_TRUE(nak.has_value());
+  EXPECT_EQ(nak->type, broker::MsgType::kCancelled);
+  EXPECT_EQ(nak->token, 8u);
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+
+  ::close(fd);
+  server.stop();
+}
+
+TEST(BrokerRawWireTest, OversizedFrameDropsTheConnection) {
+  const std::string path = test_socket_path("oversized");
+  broker::Broker server({path});
+  ASSERT_TRUE(server.start());
+  const int fd = raw_connect(path);
+  ASSERT_GE(fd, 0);
+
+  // A length prefix past kMaxFrame: protocol error, connection dropped.
+  const std::uint32_t huge = broker::kMaxFrame + 1;
+  const std::uint8_t prefix[4] = {
+      static_cast<std::uint8_t>(huge & 0xff),
+      static_cast<std::uint8_t>((huge >> 8) & 0xff),
+      static_cast<std::uint8_t>((huge >> 16) & 0xff),
+      static_cast<std::uint8_t>((huge >> 24) & 0xff)};
+  ASSERT_TRUE(broker::write_exact(fd, prefix, sizeof(prefix)));
+
+  EXPECT_FALSE(broker::read_frame(fd).has_value());  // EOF: we were dropped
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+
+  ::close(fd);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level behaviour
+// ---------------------------------------------------------------------------
+
+class BrokerEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Engine::instance().reset();
+    BreakpointSpec::clear_installed();
+    Config::set_enabled(true);
+    Config::set_order_delay(1ms);
+    rt::TimeScale::set(1.0);
+  }
+  void TearDown() override {
+    Engine::instance().set_transport(nullptr);
+    BreakpointSpec::clear_installed();
+    Engine::instance().reset();
+  }
+};
+
+// scope=process-group with *no* transport attached must fall back to
+// local matching, not error out or hang: the spec can ship before the
+// broker does.
+TEST_F(BrokerEngineTest, ProcessGroupScopeFallsBackToLocalWithoutTransport) {
+  BreakpointSpec::parse("fallback-bp scope=process-group\n").install();
+  int probe = 0;
+  bool first = false, second = false;
+  std::thread t1([&] {
+    ConflictTrigger t("fallback-bp", &probe);
+    first = t.trigger_here(/*is_first_action=*/true, 2000ms);
+  });
+  std::thread t2([&] {
+    ConflictTrigger t("fallback-bp", &probe);
+    second = t.trigger_here(/*is_first_action=*/false, 2000ms);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_TRUE(first);
+  EXPECT_TRUE(second);
+  // The local path counts one hit per matched *pair* (the remote path
+  // counts one per process — each address space keeps its own stats).
+  EXPECT_EQ(Engine::instance().total_stats().hits, 1u);
+  EXPECT_EQ(Engine::instance().total_stats().peer_lost, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fork-based cross-process smoke (the CI multi-process broker test)
+// ---------------------------------------------------------------------------
+
+/// Reaps `pid` with a deadline; SIGKILLs and fails on expiry so a broker
+/// bug shows up as a test failure, never a ctest hang.
+int wait_with_deadline(pid_t pid, std::chrono::seconds budget) {
+  const auto deadline = SteadyClock::now() + budget;
+  for (;;) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) {
+      return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+    }
+    if (SteadyClock::now() >= deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      return 125;  // sentinel: wedged
+    }
+    std::this_thread::sleep_for(2ms);
+  }
+}
+
+/// Child body for the fork tests: fresh engine state, process-group
+/// spec, broker transport, one trigger.  Communicates via exit code
+/// only (no gtest in the child): 3 = connect failed, 4 = no hit.
+[[noreturn]] void fork_child(const std::string& path, const char* bp_name,
+                             bool is_first, bool die_holding_guard) {
+  Engine& engine = Engine::instance();
+  engine.reset();
+  BreakpointSpec::clear_installed();
+  Config::set_enabled(true);
+  rt::TimeScale::set(1.0);
+  BreakpointSpec::parse(std::string(bp_name) + " scope=process-group\n")
+      .install();
+  auto client = broker::BrokerClient::connect(path, 5000ms, engine.tag());
+  if (!client) _exit(3);
+  engine.set_transport(client);
+
+  ConflictTrigger trigger(bp_name, nullptr);
+  if (die_holding_guard) {
+    TriggerResult result = trigger.trigger_here_scoped(is_first, 5000ms);
+    if (result.hit) _exit(42);  // die mid-protocol, DONE never sent
+    _exit(4);
+  }
+  TriggerResult result = trigger.trigger_here_scoped(is_first, 5000ms);
+  const bool hit = result.hit;
+  const bool peer_lost = result.peer_lost;
+  result.guard.release();
+  client->shutdown();
+  if (!hit) _exit(4);
+  _exit(peer_lost ? 5 : 0);
+}
+
+TEST(BrokerForkTest, TwoProcessesMatchThroughTheBroker) {
+  const std::string path = test_socket_path("fork-match");
+  // fork *before* the broker starts its threads (prefork discipline:
+  // the parent is single-threaded at every fork).
+  pid_t kids[2];
+  for (int w = 0; w < 2; ++w) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) fork_child(path, "fork-match-bp", w == 0, false);
+    kids[w] = pid;
+  }
+  broker::Broker server({path});
+  ASSERT_TRUE(server.start());
+
+  const int status0 = wait_with_deadline(kids[0], 30s);
+  const int status1 = wait_with_deadline(kids[1], 30s);
+  EXPECT_EQ(status0, 0);
+  EXPECT_EQ(status1, 0);
+
+  const broker::BrokerStats stats = server.stats();
+  EXPECT_EQ(stats.matches, 1u);
+  EXPECT_EQ(stats.arrivals, 2u);
+  EXPECT_EQ(stats.peer_lost, 0u);
+  EXPECT_EQ(stats.timeouts, 0u);
+  server.stop();
+}
+
+TEST(BrokerForkTest, KilledWorkerReleasesItsPeerAsPeerLost) {
+  const std::string path = test_socket_path("fork-kill");
+  pid_t kids[2];
+  for (int w = 0; w < 2; ++w) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Worker 0 declares rank 0 (granted first) and dies holding the
+      // guard; worker 1 parks for its grant and must be released as
+      // peer-lost — never left to hang.
+      fork_child(path, "fork-kill-bp", w == 0, /*die_holding_guard=*/w == 0);
+    }
+    kids[w] = pid;
+  }
+  broker::Broker server({path});
+  ASSERT_TRUE(server.start());
+
+  const int status0 = wait_with_deadline(kids[0], 30s);
+  const int status1 = wait_with_deadline(kids[1], 30s);
+  EXPECT_EQ(status0, 42);  // died mid-protocol as designed
+  EXPECT_EQ(status1, 5);   // survivor: hit with peer_lost set
+
+  const broker::BrokerStats stats = server.stats();
+  EXPECT_EQ(stats.matches, 1u);
+  EXPECT_GE(stats.peer_lost, 1u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace cbp

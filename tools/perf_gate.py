@@ -1,30 +1,59 @@
 #!/usr/bin/env python3
-"""Perf gate: diff a fresh `bench_micro_overhead --json` run against the
+"""Perf gate: diff fresh `bench_micro_overhead --json` runs against the
 committed reference (BENCH_micro.json), failing on regressions beyond a
 noise band.
 
 Usage:
-    perf_gate.py FRESH.json REFERENCE.json [--band=0.15] [--ref-key=optimized]
+    perf_gate.py FRESH.json [FRESH2.json ...] REFERENCE.json
+                 [--band=0.15] [--ref-key=optimized]
 
-FRESH.json is what the bench writes (rows under "results"); the
-reference's current tree lives under "optimized" (see BENCH_micro.json's
-note).  Rows are matched by benchmark name; names present on only one
-side are reported but do not fail the gate (new benchmarks land before
-their baseline does).
+Each FRESH.json is what the bench writes (rows under "results"); the
+last positional is the reference, whose current tree lives under
+"optimized" (see BENCH_micro.json's note).  When several fresh runs are
+given, each row gates on its *minimum* across them: timing noise on a
+shared machine is one-sided (interference only ever adds time), so the
+min across repeats is the best estimator of true cost, while a real
+regression shifts every repeat — including the min — past the band.
+One fresh run keeps the old single-sample behavior.
+
+Rows are matched by benchmark name:
+
+  * names only in the fresh run are a warning (new benchmarks land
+    before their baseline does);
+  * names only in the reference are a named FAILURE — a benchmark that
+    was removed or renamed without touching the baseline would otherwise
+    silently drop out of the gate;
+  * rows without a usable ns_per_op (other units, malformed entries)
+    are skipped with a warning — never a traceback.
 
 Exit status: 0 when every matched row's ns_per_op is within
 [ref * (1 - band), ref * (1 + band)]; 1 when any row is slower than
-ref * (1 + band).  Rows *faster* than the band only warn — that means
-the committed baseline is stale and should be regenerated, not that the
-build regressed.
+ref * (1 + band) or missing from the fresh run.  Rows *faster* than the
+band only warn — that means the committed baseline is stale and should
+be regenerated, not that the build regressed.
 """
 
 import json
 import sys
 
 
-def rows_by_name(rows):
-    return {row["name"]: float(row["ns_per_op"]) for row in rows}
+def rows_by_name(rows, source):
+    """Maps name -> ns_per_op, warning (not raising) on unusable rows."""
+    out = {}
+    for row in rows:
+        name = row.get("name")
+        if name is None:
+            print(f"warning: {source}: row without a name skipped: {row!r}")
+            continue
+        value = row.get("ns_per_op")
+        if value is None:
+            print(f"warning: {source}: no ns_per_op for {name}; skipped")
+            continue
+        try:
+            out[name] = float(value)
+        except (TypeError, ValueError):
+            print(f"warning: {source}: bad ns_per_op for {name}: {value!r}")
+    return out
 
 
 def main(argv):
@@ -38,23 +67,41 @@ def main(argv):
             ref_key = arg.split("=", 1)[1]
         else:
             paths.append(arg)
-    if len(paths) != 2:
+    if len(paths) < 2:
         print(__doc__, file=sys.stderr)
         return 2
 
-    with open(paths[0]) as f:
-        fresh = rows_by_name(json.load(f)["results"])
-    with open(paths[1]) as f:
-        reference = rows_by_name(json.load(f)[ref_key])
+    fresh_paths, reference_path = paths[:-1], paths[-1]
+    with open(reference_path) as f:
+        reference_doc = json.load(f)
+    if ref_key not in reference_doc:
+        print(f"FAIL: {reference_path} has no '{ref_key}' key")
+        return 1
+    reference = rows_by_name(reference_doc[ref_key], reference_path)
+
+    # Per-row min across the fresh runs (see module docstring).
+    fresh = {}
+    for path in fresh_paths:
+        with open(path) as f:
+            fresh_doc = json.load(f)
+        if "results" not in fresh_doc:
+            print(f"FAIL: {path} has no 'results' key")
+            return 1
+        for name, value in rows_by_name(fresh_doc["results"], path).items():
+            fresh[name] = min(value, fresh.get(name, value))
+    if len(fresh_paths) > 1:
+        print(f"gating on per-row min across {len(fresh_paths)} fresh runs")
 
     regressions = []
     improvements = []
+    missing = []
     for name in sorted(fresh.keys() | reference.keys()):
         if name not in reference:
-            print(f"  new (no baseline):      {name}")
+            print(f"  warning: new (no baseline): {name}")
             continue
         if name not in fresh:
-            print(f"  missing from fresh run: {name}")
+            print(f"  MISSING from fresh run:     {name}")
+            missing.append(name)
             continue
         got, want = fresh[name], reference[name]
         delta = (got - want) / want
@@ -71,9 +118,16 @@ def main(argv):
     if improvements:
         print(f"note: {len(improvements)} row(s) beat the baseline by more "
               f"than {band:.0%} — consider regenerating the reference.")
+    failed = False
+    if missing:
+        print(f"FAIL: {len(missing)} baseline row(s) missing from the fresh "
+              f"run (removed or renamed benchmark?): {', '.join(missing)}")
+        failed = True
     if regressions:
         print(f"FAIL: {len(regressions)} row(s) regressed beyond "
               f"{band:.0%}: {', '.join(regressions)}")
+        failed = True
+    if failed:
         return 1
     print(f"perf gate passed: {len(fresh)} rows within ±{band:.0%}.")
     return 0
