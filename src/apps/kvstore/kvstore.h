@@ -1,0 +1,214 @@
+// Sharded in-memory KV store replica: the "production service at load"
+// benchmark subject (DESIGN.md §5i).  A hash map split into
+// independently locked shards serves a Zipfian-distributed keyspace for
+// a pool of 10^5+ client sessions multiplexed onto a worker pool — the
+// shape of a cache/session-store tier, where breakpoint probes sit on
+// paths exercised millions of times per second and the armed-but-not-
+// matching cost is what production can afford.
+//
+// Two concurrency bugs are seeded (both real patterns from sharded
+// stores), each with a named concurrent breakpoint on its racing pair:
+//
+//  * kResizeRace — get() reads the shard's bucket-table pointer without
+//    the shard lock (lock-free read path); resize() publishes the grown
+//    table and then poisons the retired one.  A reader that loaded the
+//    old pointer just before publication scans poisoned slots.  The
+//    poison value stands in for the real bug's use-after-free so the
+//    artifact is observable without undefined behaviour (the retired
+//    table's memory is kept alive; see cache.cc's -999 idiom).
+//
+//  * kEvictToctou — evict_if_cold() samples an entry's hot flag under
+//    the shard lock, drops the lock to do eviction bookkeeping, then
+//    reacquires and erases WITHOUT re-checking.  A put() that lands in
+//    the window marks the entry hot and writes a fresh value; the stale
+//    coldness decision then destroys it — a lost update.
+//
+// Slots are open-addressed and every slot field is an atomic accessed
+// relaxed: the seeded races keep their racy *semantics* (stale pointer,
+// stale decision) while reads/writes stay torn-free, so the replica is
+// clean under TSan/ASan and the artifact detectors (poisoned_reads,
+// lost_updates) count real manifestations, not UB fallout.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "apps/replica.h"
+
+namespace cbp::apps::kvstore {
+
+/// Breakpoint names for the two seeded bugs.
+inline constexpr char kResizeRace[] = "kvstore-resize-race";
+inline constexpr char kEvictToctou[] = "kvstore-evict-toctou";
+
+inline constexpr std::int64_t kMiss = -1;     ///< get(): key absent
+inline constexpr std::int64_t kPoison = -999; ///< value read from a retired
+                                              ///< table mid-poison (bug 1)
+
+struct StoreOptions {
+  std::size_t shard_count = 16;          ///< power of two
+  std::size_t initial_capacity = 1024;   ///< slots per shard, power of two
+  double max_load = 0.5;                 ///< resize when exceeded
+  bool armed = false;                    ///< insert the trigger calls
+  std::chrono::milliseconds pause{100};  ///< T for the armed triggers
+};
+
+class KvStore {
+ public:
+  explicit KvStore(const StoreOptions& options);
+  ~KvStore();
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Lock-free read (bug 1's second action lives here).  Returns the
+  /// value, kMiss, or kPoison when the race manifests (also counted in
+  /// poisoned_reads()).
+  std::int64_t get(std::uint64_t key);
+
+  /// Insert-or-update under the shard lock; marks the entry hot (bug 2's
+  /// first action fires just before the write).  Triggers a resize when
+  /// the shard's load factor crosses max_load.
+  void put(std::uint64_t key, std::int64_t value);
+
+  /// Evicts `key` iff it was sampled cold — with the sampled decision
+  /// escaping the shard lock (bug 2's second action sits in the window).
+  /// Returns true if an entry was erased.  An erase that destroys an
+  /// entry whose hot flag had come back on is counted in lost_updates().
+  bool evict_if_cold(std::uint64_t key);
+
+  /// Aging pass: clears every entry's hot flag (the evictor runs this
+  /// between scans; a put in between re-marks its key hot).
+  void age_all();
+
+  /// Live entries across all shards (locks each shard briefly).
+  [[nodiscard]] std::size_t size() const;
+
+  // Artifact / activity counters (relaxed atomics, read after joining).
+  [[nodiscard]] std::uint64_t poisoned_reads() const {
+    return poisoned_reads_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t lost_updates() const {
+    return lost_updates_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t resizes() const {
+    return resizes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Slot sentinels: workload keys have their top two bits cleared
+  // (zipfian.h rank_to_key), so neither value can collide with a key.
+  static constexpr std::uint64_t kEmptyKey = ~0ULL;
+  static constexpr std::uint64_t kTombstoneKey = ~0ULL - 1;
+
+  struct Slot {
+    std::atomic<std::uint64_t> key{kEmptyKey};
+    std::atomic<std::int64_t> value{0};
+    std::atomic<bool> hot{false};
+  };
+
+  /// Fixed-capacity open-addressed table.  Structure is immutable after
+  /// construction; only slot fields mutate.  Retired tables are kept
+  /// alive (poisoned, never freed mid-run) so the lock-free reader's
+  /// stale pointer is always dereferenceable.
+  struct Table {
+    explicit Table(std::size_t capacity) : slots(capacity), mask(capacity - 1) {}
+    std::vector<Slot> slots;
+    std::size_t mask;
+  };
+
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::atomic<Table*> table{nullptr};  ///< published for lock-free get()
+    std::unique_ptr<Table> live;                   // guarded by mu
+    std::vector<std::unique_ptr<Table>> retired;   // guarded by mu
+    std::size_t entries = 0;                       // live keys; guarded by mu
+    std::size_t tombstones = 0;                    // guarded by mu
+    /// True while a resize is between publish and poison — the reader-
+    /// side breakpoint's local predicate, so an armed get() on a
+    /// quiescent shard is a pure local-reject.
+    std::atomic<bool> resize_pending{false};
+  };
+
+  Shard& shard_for(std::uint64_t key);
+  static std::size_t probe_start(std::uint64_t key, std::size_t mask);
+  /// Grows shard.live 2x, publishes, then poisons the retired table.
+  /// Caller holds shard.mu.
+  void resize(Shard& shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_bits_;
+  double max_load_;
+  bool armed_;
+  std::chrono::milliseconds pause_;
+  std::atomic<std::uint64_t> poisoned_reads_{0};
+  std::atomic<std::uint64_t> lost_updates_{0};
+  std::atomic<std::uint64_t> resizes_{0};
+  /// Key currently inside an armed eviction window (kEmptyKey = none).
+  /// The put-side breakpoint's local predicate: a put participates only
+  /// while its key is under eviction — every other armed put is a pure
+  /// local-reject, which is what keeps kArmedMatching throughput sane
+  /// (an unfiltered put probe would postpone T per call).  One window at
+  /// a time: the workloads run a single evictor thread.
+  std::atomic<std::uint64_t> evict_window_key_{kEmptyKey};
+};
+
+// ---------------------------------------------------------------------------
+// High-traffic workload (bench/bench_hightraffic.cc and tests drive this)
+// ---------------------------------------------------------------------------
+
+/// What the worker pool runs with the breakpoint machinery in.
+enum class Mode {
+  kOff,             ///< no trigger calls at all (instrumentation-off)
+  kSpecsDisabled,   ///< triggers inserted, spec marks both names `off`
+  kArmedUnmatched,  ///< armed at full load, predicates/bounds never match
+  kArmedMatching,   ///< resizes + evictions on: real hits, small bound
+};
+
+struct WorkloadOptions {
+  Mode mode = Mode::kOff;
+  int threads = 4;                     ///< worker pool size
+  std::size_t keys = 1u << 20;         ///< Zipfian keyspace (ranks)
+  std::size_t sessions = 1u << 17;     ///< client sessions (10^5+ default)
+  std::uint64_t ops_per_thread = 1u << 20;
+  double get_fraction = 0.95;
+  double theta = 0.99;                 ///< Zipfian skew
+  std::uint64_t seed = 1;
+  int work_per_op = 32;                ///< busy_work per request (parse cost)
+  std::chrono::milliseconds pause{100};  ///< T for kArmedMatching
+  std::uint64_t match_bound = 8;       ///< spec bound= for kArmedMatching
+};
+
+struct WorkloadResult {
+  double seconds = 0.0;
+  std::uint64_t ops = 0;
+  double ns_per_op = 0.0;
+  std::uint64_t hits = 0;            ///< engine hits across both names
+  std::uint64_t trigger_calls = 0;   ///< engine calls across both names
+  std::uint64_t poisoned_reads = 0;
+  std::uint64_t lost_updates = 0;
+  std::uint64_t resizes = 0;
+};
+
+/// Runs the session-pool workload on the calling thread's engine.
+/// Deterministic key streams per (seed, session); installs/clears the
+/// spec appropriate for `mode` around the run.
+WorkloadResult run_workload(const WorkloadOptions& options);
+
+// ---------------------------------------------------------------------------
+// Seeded-bug repro entry points (harness-compatible; see replica.h)
+// ---------------------------------------------------------------------------
+
+/// Bug 1: lock-free lookup vs. shard resize.  Artifact: a reader
+/// observed kPoison from a retired table (kRaceObserved).
+RunOutcome run_resize_race(const RunOptions& options);
+
+/// Bug 2: check-then-erase hot-key eviction vs. put.  Artifact: an
+/// eviction destroyed a re-hottened entry — lost update (kWrongResult).
+RunOutcome run_evict_toctou(const RunOptions& options);
+
+}  // namespace cbp::apps::kvstore

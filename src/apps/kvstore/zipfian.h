@@ -1,0 +1,89 @@
+// Bounded Zipfian rank generator (Gray et al., "Quickly Generating
+// Billion-Record Synthetic Databases", SIGMOD '94 — the construction the
+// YCSB workload generator uses).  Draws ranks in [0, n) where rank 0 is
+// the most popular and popularity decays as 1/(r+1)^theta; theta=0.99 is
+// the YCSB default and gives the classic "1% of keys take ~most of the
+// traffic" shape the kvstore replica needs to model a hot-key workload.
+//
+// The generator is deterministic given the rt::Rng it draws from, and
+// next() is const: one generator (with its precomputed zeta sums) is
+// shared read-only by every session/worker while each session keeps its
+// own Rng stream.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "runtime/rng.h"
+
+namespace cbp::apps::kvstore {
+
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(std::uint64_t n, double theta = 0.99)
+      : n_(n),
+        theta_(theta),
+        zetan_(zeta(n, theta)),
+        alpha_(1.0 / (1.0 - theta)),
+        pow_half_theta_(std::pow(0.5, theta)),
+        eta_((1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+             (1.0 - zeta(2, theta) / zetan_)) {}
+
+  /// Next rank in [0, n), drawn from `rng`.
+  [[nodiscard]] std::uint64_t next(rt::Rng& rng) const {
+    const double u = rng.next_double();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + pow_half_theta_) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;  // clamp pow() edge cases
+  }
+
+  /// Partial harmonic sum zeta(n, theta) = sum_{i=1..n} 1/i^theta.
+  /// O(n); the constructor calls it once, tests use it to derive the
+  /// analytic probability mass of a rank prefix.
+  [[nodiscard]] static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] double theta() const { return theta_; }
+  [[nodiscard]] double zetan() const { return zetan_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double pow_half_theta_;
+  double eta_;
+};
+
+/// Maps a Zipf rank to a store key.  SplitMix64 finalizer: bijective, so
+/// distinct ranks stay distinct keys, while scattering the hot low ranks
+/// across the whole hash space (and therefore across store shards —
+/// popularity must not correlate with placement).  The top two bits are
+/// cleared so a key can never collide with the store's slot sentinels.
+[[nodiscard]] constexpr std::uint64_t rank_to_key(std::uint64_t rank) {
+  std::uint64_t z = rank + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return (z ^ (z >> 31)) >> 2;
+}
+
+/// Mixes a run seed and a session index into an independent Rng stream.
+/// Per-*session* (not per-thread) streams make the aggregate key
+/// sequence a function of the seed alone, no matter how sessions are
+/// sharded over workers or how many harness trial-jobs run concurrently.
+[[nodiscard]] inline rt::Rng session_rng(std::uint64_t seed,
+                                         std::uint64_t session) {
+  rt::Rng mix(seed ^ (session * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL));
+  return mix.split();
+}
+
+}  // namespace cbp::apps::kvstore

@@ -194,6 +194,7 @@ Engine::~Engine() {
   std::scoped_lock lock(intern_mu_, g_graveyard_mu);
   for (auto& record : records_) {
     record->spec.store(nullptr, std::memory_order_relaxed);
+    record->cold_bounded.store(nullptr, std::memory_order_relaxed);
     graveyard().push_back(std::move(record));
   }
   records_.clear();
@@ -395,19 +396,25 @@ bool Engine::try_match(internal::Slot& slot, BTrigger& bt, int rank, int arity,
 
   group->name_id = record_for(bt)->id;
   group->match_time = rt::clock_now();
-  slot.stats.hits += 1;
+  // Incremented under the slot mutex (match exclusivity), loaded
+  // lock-free by trigger()'s bound pre-screen.
+  slot.hot.hits.fetch_add(1, std::memory_order_relaxed);
   info.name = bt.name();
   info.description = bt.describe();
   if (CBP_OBS_ENABLED()) {
     // One kMatch per rank, stamped by the matcher with each
     // participant's tid (the waiters are asleep; their postponement
     // spans close against these events).  detail carries the arity.
+    // The k events describe one instant, so one clock read stamps the
+    // whole run (Trace::stamp; under a virtual clock each event still
+    // gets its own unique deterministic stamp).
     const auto detail = static_cast<std::uint16_t>(info.arity);
-    obs::Trace::record_for(my_tid, obs::EventKind::kMatch, group->name_id,
-                           out_rank, detail);
+    const std::uint64_t stamp = obs::Trace::stamp();
+    obs::Trace::record_for_at(stamp, my_tid, obs::EventKind::kMatch,
+                              group->name_id, out_rank, detail);
     for (const internal::Waiter* w : chosen) {
-      obs::Trace::record_for(w->tid, obs::EventKind::kMatch, group->name_id,
-                             w->matched_rank, detail);
+      obs::Trace::record_for_at(stamp, w->tid, obs::EventKind::kMatch,
+                                group->name_id, w->matched_rank, detail);
     }
   }
   rt::clock_notify_all(slot.cv);
@@ -470,7 +477,9 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
   std::uint64_t ignore_first = bt.ignore_first_count();
   std::uint64_t bound = bt.bound_count();
   bool process_group = false;
-  if (const SpecOverride* entry = record->spec.load(std::memory_order_acquire)) {
+  bool spec_bound = false;
+  const SpecOverride* entry = record->spec.load(std::memory_order_acquire);
+  if (entry != nullptr) {
     if (entry->disabled) return {};
     if (entry->pause) {
       timeout =
@@ -478,7 +487,10 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
     }
     if (entry->flip_order && arity == 2) rank = 1 - rank;
     if (entry->ignore_first) ignore_first = *entry->ignore_first;
-    if (entry->bound) bound = *entry->bound;
+    if (entry->bound) {
+      bound = *entry->bound;
+      spec_bound = true;
+    }
     process_group = entry->scope == SpecScope::kProcessGroup;
   }
 
@@ -500,6 +512,55 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
   // expensive, though it must not block).
   const bool local_ok = bt.predicate_local();
 
+  // ---- armed fast path: no slot mutex (DESIGN.md §5i) ----------------
+  // The three non-matching outcomes account themselves with relaxed
+  // atomics and return; only a call that may actually rendezvous pays
+  // for the lock.
+  internal::HotCounters& hot = slot->hot;
+  hot.calls.fetch_add(1, std::memory_order_relaxed);
+  if (!local_ok) {
+    hot.local_rejects.fetch_add(1, std::memory_order_relaxed);
+    CBP_OBS_EVENT(obs::EventKind::kLocalReject, record->id, -1);
+    return {};
+  }
+  const std::uint64_t arrival =
+      hot.arrivals.fetch_add(1, std::memory_order_relaxed) + 1;
+  // An arrival and its immediate verdict (ignore) describe one instant:
+  // one clock read stamps both (Trace::stamp batching).
+  std::uint64_t obs_stamp = 0;
+  if (CBP_OBS_ENABLED()) {
+    obs_stamp = obs::Trace::stamp();
+    obs::Trace::record_at(obs_stamp, obs::EventKind::kArrival, record->id, -1);
+  }
+  // Cold-spec pre-screen: a previous call in this spec generation saw
+  // the spec's hit budget exhausted and published the sticky, so this
+  // call can skip even the hits load.  Only spec-derived bounds stick —
+  // programmatic bounds may differ between same-name trigger objects.
+  if (spec_bound &&
+      record->cold_bounded.load(std::memory_order_relaxed) == entry) {
+    hot.bounded.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  if (hot.hits.load(std::memory_order_relaxed) >= bound) {
+    hot.bounded.fetch_add(1, std::memory_order_relaxed);
+    if (spec_bound) {
+      record->cold_bounded.store(entry, std::memory_order_relaxed);
+    }
+    return {};
+  }
+  if (arrival <= ignore_first) {
+    // ignore_first suppresses the arrival entirely (§6.3): it neither
+    // postpones *nor* matches a postponed peer.  This check must come
+    // before try_match — an arrival inside the ignore window used to
+    // be able to complete a match, which made `ignore_first = n` with
+    // an exact arrival counter still hit during the warm-up phase.
+    hot.ignored.fetch_add(1, std::memory_order_relaxed);
+    if (CBP_OBS_ENABLED()) {
+      obs::Trace::record_at(obs_stamp, obs::EventKind::kIgnore, record->id, -1);
+    }
+    return {};
+  }
+
   std::shared_ptr<internal::GroupState> group;
   int my_rank = rank;
   HitInfo info;
@@ -507,26 +568,14 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
 
   {
     std::unique_lock lock(slot->mu);
-    slot->stats.calls += 1;
-    if (!local_ok) {
-      slot->stats.local_rejects += 1;
-      CBP_OBS_EVENT(obs::EventKind::kLocalReject, record->id, -1);
-      return {};
-    }
-    slot->stats.arrivals += 1;
-    CBP_OBS_EVENT(obs::EventKind::kArrival, record->id, -1);
-    if (slot->stats.hits >= bound) {
-      slot->stats.bounded += 1;
-      return {};
-    }
-    if (slot->stats.arrivals <= ignore_first) {
-      // ignore_first suppresses the arrival entirely (§6.3): it neither
-      // postpones *nor* matches a postponed peer.  This check must come
-      // before try_match — an arrival inside the ignore window used to
-      // be able to complete a match, which made `ignore_first = n` with
-      // an exact arrival counter still hit during the warm-up phase.
-      slot->stats.ignored += 1;
-      CBP_OBS_EVENT(obs::EventKind::kIgnore, record->id, -1);
+    // Exact bound re-check: hits only grows while mu is held, so a call
+    // whose lock-free pre-screen read a stale value bounds out here and
+    // `bound = n` still means at most n matched groups.
+    if (hot.hits.load(std::memory_order_relaxed) >= bound) {
+      hot.bounded.fetch_add(1, std::memory_order_relaxed);
+      if (spec_bound) {
+        record->cold_bounded.store(entry, std::memory_order_relaxed);
+      }
       return {};
     }
 
@@ -540,7 +589,7 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
       waiter.arity = arity;
       waiter.scoped = scoped;
       slot->postponed.push_back(&waiter);
-      slot->stats.postponed += 1;
+      slot->cold.postponed += 1;
       CBP_OBS_EVENT(obs::EventKind::kPostpone, record->id, rank);
 
       const auto scaled_timeout = scaled(timeout);
@@ -548,8 +597,8 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
       rt::clock_wait_for(slot->cv, lock, scaled_timeout,
                          [&] { return waiter.matched || waiter.cancelled; });
       const std::int64_t wait_us = wait_clock.elapsed_us();
-      slot->stats.total_wait_us += wait_us;
-      slot->stats.wait_hist.record(
+      slot->cold.total_wait_us += wait_us;
+      slot->cold.wait_hist.record(
           wait_us > 0 ? static_cast<std::uint64_t>(wait_us) : 0);
 
       auto it =
@@ -558,10 +607,10 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
 
       if (!waiter.matched) {
         if (waiter.cancelled) {
-          slot->stats.cancelled += 1;
+          slot->cold.cancelled += 1;
           CBP_OBS_EVENT(obs::EventKind::kCancel, record->id, rank);
         } else {
-          slot->stats.timeouts += 1;
+          slot->cold.timeouts += 1;
           CBP_OBS_EVENT(obs::EventKind::kTimeout, record->id, rank);
         }
         return {};
@@ -569,7 +618,7 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
       group = waiter.group;
       my_rank = waiter.matched_rank;
     }
-    slot->stats.participants += 1;
+    slot->cold.participants += 1;
   }
 
   if (fire_observer) {
@@ -604,7 +653,7 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
                               rt::clock_now() - group->match_time)
                               .count();
     std::scoped_lock lock(slot->mu);
-    slot->stats.order_hist.record(
+    slot->cold.order_hist.record(
         order_us > 0 ? static_cast<std::uint64_t>(order_us) : 0);
   }
 
@@ -624,28 +673,33 @@ TriggerResult Engine::trigger_remote(const internal::NameRecord& record,
 
   // Local refinements stay in-process (core/transport.h): each process
   // keeps its own warm-up window, hit budget and counters, exactly as if
-  // the paper's library were loaded into every process separately.
+  // the paper's library were loaded into every process separately.  The
+  // same lock-free counter discipline as the local path (the remote
+  // path is cold — a kernel round-trip follows — but snapshots must see
+  // one coherent set of counters).
   const bool local_ok = bt.predicate_local();
+  internal::HotCounters& hot = slot->hot;
+  hot.calls.fetch_add(1, std::memory_order_relaxed);
+  if (!local_ok) {
+    hot.local_rejects.fetch_add(1, std::memory_order_relaxed);
+    CBP_OBS_EVENT(obs::EventKind::kLocalReject, record.id, -1);
+    return {};
+  }
+  const std::uint64_t arrival =
+      hot.arrivals.fetch_add(1, std::memory_order_relaxed) + 1;
+  CBP_OBS_EVENT(obs::EventKind::kArrival, record.id, -1);
   {
     std::scoped_lock lock(slot->mu);
-    slot->stats.calls += 1;
-    if (!local_ok) {
-      slot->stats.local_rejects += 1;
-      CBP_OBS_EVENT(obs::EventKind::kLocalReject, record.id, -1);
+    if (hot.hits.load(std::memory_order_relaxed) >= bound) {
+      hot.bounded.fetch_add(1, std::memory_order_relaxed);
       return {};
     }
-    slot->stats.arrivals += 1;
-    CBP_OBS_EVENT(obs::EventKind::kArrival, record.id, -1);
-    if (slot->stats.hits >= bound) {
-      slot->stats.bounded += 1;
-      return {};
-    }
-    if (slot->stats.arrivals <= ignore_first) {
-      slot->stats.ignored += 1;
+    if (arrival <= ignore_first) {
+      hot.ignored.fetch_add(1, std::memory_order_relaxed);
       CBP_OBS_EVENT(obs::EventKind::kIgnore, record.id, -1);
       return {};
     }
-    slot->stats.postponed += 1;
+    slot->cold.postponed += 1;
     CBP_OBS_EVENT(obs::EventKind::kPostpone, record.id, rank);
   }
 
@@ -666,28 +720,28 @@ TriggerResult Engine::trigger_remote(const internal::NameRecord& record,
 
   {
     std::scoped_lock lock(slot->mu);
-    slot->stats.total_wait_us += wait_us;
-    slot->stats.wait_hist.record(
+    slot->cold.total_wait_us += wait_us;
+    slot->cold.wait_hist.record(
         wait_us > 0 ? static_cast<std::uint64_t>(wait_us) : 0);
     switch (remote.outcome) {
       case RemoteOutcome::kTimeout:
-        slot->stats.timeouts += 1;
+        slot->cold.timeouts += 1;
         CBP_OBS_EVENT(obs::EventKind::kTimeout, record.id, rank);
         break;
       case RemoteOutcome::kCancelled:
       case RemoteOutcome::kError:
-        slot->stats.cancelled += 1;
+        slot->cold.cancelled += 1;
         CBP_OBS_EVENT(obs::EventKind::kCancel, record.id, rank);
         break;
       case RemoteOutcome::kPeerLost:
-        slot->stats.peer_lost += 1;
+        slot->cold.peer_lost += 1;
         [[fallthrough]];
       case RemoteOutcome::kHit:
         // Per-process view: `hits` counts groups this process joined —
         // the value `bound` compares against, so the budget is spent by
         // participation, not by cluster-wide totals.
-        slot->stats.hits += 1;
-        slot->stats.participants += 1;
+        hot.hits.fetch_add(1, std::memory_order_relaxed);
+        slot->cold.participants += 1;
         if (CBP_OBS_ENABLED()) {
           obs::Trace::record_for(rt::this_thread_id(), obs::EventKind::kMatch,
                                  record.id, remote.rank,
@@ -745,6 +799,27 @@ TriggerResult Engine::trigger_remote(const internal::NameRecord& record,
 // Engine: aggregation and administration (cold paths)
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Merges a slot's lock-free hot counters and mutex-guarded slow-path
+/// counters into one plain snapshot.
+BreakpointStats snapshot_slot(const internal::Slot& slot) {
+  BreakpointStats out;
+  {
+    std::scoped_lock lock(slot.mu);
+    out = slot.cold;
+  }
+  out.calls = slot.hot.calls.load(std::memory_order_relaxed);
+  out.local_rejects = slot.hot.local_rejects.load(std::memory_order_relaxed);
+  out.arrivals = slot.hot.arrivals.load(std::memory_order_relaxed);
+  out.ignored = slot.hot.ignored.load(std::memory_order_relaxed);
+  out.bounded = slot.hot.bounded.load(std::memory_order_relaxed);
+  out.hits = slot.hot.hits.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace
+
 BreakpointStats Engine::stats(const std::string& name) const {
   const internal::NameRecord* record = find_interned(name, name_hash(name));
   if (record == nullptr) {
@@ -753,8 +828,7 @@ BreakpointStats Engine::stats(const std::string& name) const {
     if (it == overflow_.end()) return {};
     record = it->second;
   }
-  std::scoped_lock lock(record->slot->mu);
-  return record->slot->stats;
+  return snapshot_slot(*record->slot);
 }
 
 BreakpointStats Engine::total_stats() const {
@@ -762,8 +836,7 @@ BreakpointStats Engine::total_stats() const {
   // is held while slot mutexes are taken.
   BreakpointStats total;
   for (const internal::NameRecord* record : records_snapshot()) {
-    std::scoped_lock lock(record->slot->mu);
-    total += record->slot->stats;
+    total += snapshot_slot(*record->slot);
   }
   return total;
 }
@@ -773,12 +846,9 @@ std::vector<std::string> Engine::names() const {
   // "seen" means the engine actually counted a call for it.
   std::vector<std::string> out;
   for (const internal::NameRecord* record : records_snapshot()) {
-    std::uint64_t calls = 0;
-    {
-      std::scoped_lock lock(record->slot->mu);
-      calls = record->slot->stats.calls;
+    if (record->slot->hot.calls.load(std::memory_order_relaxed) > 0) {
+      out.push_back(record->name);
     }
-    if (calls > 0) out.push_back(record->name);
   }
   std::sort(out.begin(), out.end());
   return out;
@@ -802,8 +872,18 @@ void Engine::reset() {
   // no thread is concurrently inside trigger().
   for (const internal::NameRecord* record : records_snapshot()) {
     internal::Slot* slot = record->slot.get();
+    // The bounded sticky refers to hit budgets that are being zeroed;
+    // clear it before old spec generations are freed below so it can
+    // never compare equal to (let alone alias) a dead entry.
+    record->cold_bounded.store(nullptr, std::memory_order_relaxed);
     std::scoped_lock lock(slot->mu);
-    slot->stats = {};
+    slot->cold = {};
+    slot->hot.calls.store(0, std::memory_order_relaxed);
+    slot->hot.local_rejects.store(0, std::memory_order_relaxed);
+    slot->hot.arrivals.store(0, std::memory_order_relaxed);
+    slot->hot.ignored.store(0, std::memory_order_relaxed);
+    slot->hot.bounded.store(0, std::memory_order_relaxed);
+    slot->hot.hits.store(0, std::memory_order_relaxed);
   }
   // Spec generations retired before the current one can only be freed
   // here, when no trigger can be reading them.
@@ -847,6 +927,11 @@ void Engine::set_spec(std::unordered_map<std::string, SpecOverride> spec) {
       auto it = generation->find(record->name);
       record->spec.store(it == generation->end() ? nullptr : &it->second,
                          std::memory_order_release);
+      // The sticky is keyed by spec-entry identity, so installing a new
+      // generation (fresh map, fresh addresses) already invalidates it;
+      // clearing keeps the protocol explicit and frees a concurrent
+      // trigger from ever comparing against a superseded entry.
+      record->cold_bounded.store(nullptr, std::memory_order_relaxed);
     }
   }
   // Keep the map (and any predecessors a concurrent trigger might still

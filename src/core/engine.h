@@ -91,13 +91,48 @@ struct Waiter {
   std::shared_ptr<GroupState> group;
 };
 
+/// Armed-fast-path counters (DESIGN.md §5i).  Every counter a trigger
+/// call can bump *without* rendezvousing lives here as a relaxed atomic,
+/// so the three non-matching outcomes — local reject, bounded-out,
+/// ignore-window — return without touching the slot mutex:
+///
+///   * `arrivals` doubles as the ignore_first window: fetch_add hands
+///     each passing arrival a unique index, so exactly the first
+///     `ignore_first` arrivals are ignored, same as the old under-lock
+///     counter;
+///   * `hits` is only ever *incremented* under the slot mutex (match
+///     exclusivity needs it), but is *read* lock-free by the bound
+///     pre-screen; trigger() re-checks it under the mutex before
+///     matching, so `bound` stays exact — the lock-free read can only
+///     send a call to the slow path spuriously, never let an over-budget
+///     call match.
+///
+/// Snapshots (Engine::stats et al.) merge these with the mutex-guarded
+/// slow-path counters into a plain BreakpointStats; a snapshot taken
+/// while triggers are in flight may catch a call between its calls++ and
+/// its outcome counter — quiescent reads (the documented stats contract)
+/// are exact.
+struct HotCounters {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> local_rejects{0};
+  std::atomic<std::uint64_t> arrivals{0};
+  std::atomic<std::uint64_t> ignored{0};
+  std::atomic<std::uint64_t> bounded{0};
+  std::atomic<std::uint64_t> hits{0};  ///< written under mu, read lock-free
+};
+
 /// Per-breakpoint-name rendezvous state.  The mutex is per-name: two
-/// distinct breakpoints never contend on it.
+/// distinct breakpoints never contend on it.  Counters the fast path
+/// bumps live in `hot`; `cold` keeps only the slow-path fields
+/// (postponed/timeouts/cancelled/participants/peer_lost/waits/
+/// histograms — its fast-path fields stay zero and are overwritten from
+/// `hot` when a snapshot is taken).
 struct Slot {
   mutable std::mutex mu;
   std::condition_variable cv;
   std::vector<Waiter*> postponed;  // guarded by mu
-  BreakpointStats stats;           // guarded by mu
+  HotCounters hot;                 // lock-free (see above)
+  BreakpointStats cold;            // guarded by mu; slow-path fields only
 };
 
 /// An interned breakpoint name.  Created once on first use and never
@@ -115,6 +150,18 @@ struct NameRecord {
   std::uint32_t id = 0;       ///< process-unique intern id (see next_name_id)
   std::uint64_t engine_tag = 0;  ///< owning engine's tag (immutable)
   std::atomic<const SpecOverride*> spec{nullptr};
+  /// Cold-spec pre-screen (DESIGN.md §5i): the spec entry whose `bound`
+  /// this name was observed to have exhausted, or null.  A trigger that
+  /// reads `spec == cold_bounded` returns bounded-out after its counter
+  /// updates without even loading `hot.hits`.  The entry pointer *is*
+  /// the epoch: set_spec() installs entries of a fresh generation map
+  /// (new addresses — old generations stay alive until reset()), so any
+  /// published sticky mismatches the moment an override changes, and
+  /// reset() clears it explicitly before freeing old generations —
+  /// a stale fast-path reject is impossible by construction.  Mutable:
+  /// the hot path publishes it through the const record pointer it
+  /// caches.
+  mutable std::atomic<const SpecOverride*> cold_bounded{nullptr};
   std::unique_ptr<Slot> slot = std::make_unique<Slot>();
 };
 

@@ -1,22 +1,50 @@
 // Shared striping policy for the passive detectors: per-address state is
 // split across kDetectorShards independently locked maps so accesses to
 // disjoint addresses from different threads never serialize on a
-// detector-global mutex.
+// detector-global mutex.  Shard structs (eraser.h, fasttrack.h) are
+// alignas(64): each shard's lock lives on its own cacheline, so bumping
+// the shard count never introduces false sharing between neighbours.
+//
+// The shard count is a compile-time knob: configure with
+// -DCBP_DETECTOR_SHARDS=<n> (cmake option of the same name; power of
+// two, up to 64).  The default of 16 matches the historical layout.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 
 namespace cbp::detect {
 
-constexpr std::size_t kDetectorShards = 16;  // power of two
+#ifndef CBP_DETECTOR_SHARDS
+#define CBP_DETECTOR_SHARDS 16
+#endif
 
-/// Shard index for an address: multiplicative hash over the 16-byte
-/// granule so neighbouring variables spread across shards.
+constexpr std::size_t kDetectorShards = CBP_DETECTOR_SHARDS;
+static_assert(kDetectorShards >= 1 && kDetectorShards <= 64 &&
+                  std::has_single_bit(kDetectorShards),
+              "CBP_DETECTOR_SHARDS must be a power of two in [1, 64]");
+
+/// Shard index under an arbitrary power-of-two shard count.  The
+/// multiplicative hash concentrates its mixing in the HIGH bits, so the
+/// index is taken as the top log2(count) bits of the product.  (The old
+/// form `(v >> 60) & (count - 1)` hard-coded a 4-bit extraction: for
+/// any count > 16 the mask reached into bits the shift had already
+/// discarded, so shards 16+ could never be selected and stayed
+/// permanently empty.)
+constexpr std::size_t detector_shard_index(std::uintptr_t addr,
+                                           std::size_t count) {
+  if (count <= 1) return 0;
+  const std::uintptr_t v =
+      (addr >> 4) * 0x9E3779B97F4A7C15ull;  // 16-byte granule, then mix
+  const int bits = std::bit_width(count) - 1;  // log2 of the power of two
+  return static_cast<std::size_t>(v >> (64 - bits));
+}
+
+/// Shard index for an address under the configured shard count.
 inline std::size_t detector_shard(const void* addr) {
-  auto v = reinterpret_cast<std::uintptr_t>(addr) >> 4;
-  v *= 0x9E3779B97F4A7C15ull;
-  return (v >> 60) & (kDetectorShards - 1);
+  return detector_shard_index(reinterpret_cast<std::uintptr_t>(addr),
+                              kDetectorShards);
 }
 
 }  // namespace cbp::detect

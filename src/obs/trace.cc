@@ -109,11 +109,37 @@ void Trace::record(EventKind kind, std::uint32_t name_id, int rank,
   record_for(rt::this_thread_id(), kind, name_id, rank, detail);
 }
 
+std::uint64_t Trace::stamp() {
+  // Under a virtual clock every unique_now_ns() call consumes a virtual
+  // tick; record_for_at re-stamps per event there anyway, so reading the
+  // clock here would waste ticks and skew virtual traces.
+  return rt::bound_virtual_clock() != nullptr ? 0 : now_ns();
+}
+
 void Trace::record_for(rt::ThreadId tid, EventKind kind,
                        std::uint32_t name_id, int rank,
                        std::uint16_t detail) {
+  record_for_at(stamp(), tid, kind, name_id, rank, detail);
+}
+
+void Trace::record_at(std::uint64_t stamp_ns, EventKind kind,
+                      std::uint32_t name_id, int rank, std::uint16_t detail) {
+  record_for_at(stamp_ns, rt::this_thread_id(), kind, name_id, rank, detail);
+}
+
+void Trace::record_for_at(std::uint64_t stamp_ns, rt::ThreadId tid,
+                          EventKind kind, std::uint32_t name_id, int rank,
+                          std::uint16_t detail) {
   Event e;
-  e.time_ns = now_ns();
+  // Virtual time overrides a shared stamp: determinism needs every event
+  // strictly ordered by its own unique virtual nanosecond (trace sorting
+  // and cross-run diffs rely on it), and unique_now_ns is a counter
+  // bump, not a clock read — there is nothing to amortize.
+  if (rt::VirtualClock* vc = rt::bound_virtual_clock()) {
+    e.time_ns = static_cast<std::uint64_t>(vc->unique_now_ns());
+  } else {
+    e.time_ns = stamp_ns;
+  }
   e.name_id = name_id;
   e.tid = tid;
   e.kind = kind;

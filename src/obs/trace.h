@@ -141,6 +141,31 @@ class Trace {
                          std::uint32_t name_id, int rank,
                          std::uint16_t detail = 0);
 
+  // ---- batched timestamping (DESIGN.md §5i) ---------------------------
+  // A trigger call that records several events describing one instant
+  // (the k kMatch events of a match, an arrival and its ignore verdict)
+  // reads the clock once via stamp() and hands the value to the *_at
+  // overloads, amortizing now_ns() across the run.  Under a bound
+  // virtual clock the provided stamp is IGNORED and each event gets its
+  // own unique_now_ns() — virtual traces stay strictly monotonic and
+  // deterministic, which shared stamps would break.
+
+  /// One clock read usable for a run of record_*_at calls.  Returns 0
+  /// under a bound virtual clock (the *_at overloads ignore the stamp
+  /// there, and reading would burn a unique virtual tick).
+  static std::uint64_t stamp();
+
+  /// record() with a caller-provided timestamp (real clocks only; see
+  /// above).
+  static void record_at(std::uint64_t stamp_ns, EventKind kind,
+                        std::uint32_t name_id, int rank,
+                        std::uint16_t detail = 0);
+
+  /// record_for() with a caller-provided timestamp.
+  static void record_for_at(std::uint64_t stamp_ns, rt::ThreadId tid,
+                            EventKind kind, std::uint32_t name_id, int rank,
+                            std::uint16_t detail = 0);
+
   /// Test hook: appends a fully-specified event (timestamp included)
   /// into the calling thread's ring, bypassing the clock.  Lets golden
   /// tests build deterministic traces.

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/cbp.h"
@@ -553,6 +554,77 @@ TEST_F(EngineTest, FourThreadsFormTwoDistinctPairs) {
   d.join();
   EXPECT_EQ(hits.load(), 4);
   EXPECT_EQ(Engine::instance().stats("pairs").hits, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Cold-spec pre-screen invalidation (DESIGN.md 5i)
+// ---------------------------------------------------------------------------
+
+// A spec with an exhausted bound publishes a sticky "cold" marker on the
+// interned record so later armed calls skip even the hits load.  The
+// marker is keyed by spec-entry identity: installing a NEW spec for the
+// same name (after trigger objects have long cached the record) must
+// drop it — a stale fast-path reject would silently disarm the freshly
+// configured breakpoint.
+TEST_F(EngineTest, NewSpecGenerationInvalidatesColdBoundPreScreen) {
+  int obj = 0;
+  {
+    std::unordered_map<std::string, SpecOverride> spec;
+    spec["bp"].bound = 0;  // hit budget already exhausted
+    Engine::instance().set_spec(spec);
+  }
+  // Reused trigger: the record (and the sticky) cache stays warm.
+  ConflictTrigger t("bp", &obj);
+  rt::Stopwatch sw;
+  EXPECT_FALSE(t.trigger_here(true, 1000ms));
+  EXPECT_FALSE(t.trigger_here(true, 1000ms));  // sticky fast path
+  EXPECT_LT(sw.elapsed_us(), 100'000);
+  EXPECT_EQ(Engine::instance().stats("bp").bounded, 2u);
+
+  // Lift the bound by installing a new generation: the same cached
+  // record must rendezvous again immediately.
+  {
+    std::unordered_map<std::string, SpecOverride> spec;
+    spec["bp"].bound = 8;
+    Engine::instance().set_spec(spec);
+  }
+  std::thread a([&] {
+    ConflictTrigger x("bp", &obj);
+    EXPECT_TRUE(x.trigger_here(true, 2000ms));
+  });
+  std::thread b([&] {
+    ConflictTrigger y("bp", &obj);
+    EXPECT_TRUE(y.trigger_here(false, 2000ms));
+  });
+  a.join();
+  b.join();
+  const auto stats = Engine::instance().stats("bp");
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.bounded, 2u);  // no new bounded-out rejects
+}
+
+TEST_F(EngineTest, ClearingSpecRestoresParticipation) {
+  int obj = 0;
+  {
+    std::unordered_map<std::string, SpecOverride> spec;
+    spec["bp"].bound = 0;
+    Engine::instance().set_spec(spec);
+  }
+  ConflictTrigger t("bp", &obj);
+  EXPECT_FALSE(t.trigger_here(true, 1000ms));
+  EXPECT_EQ(Engine::instance().stats("bp").bounded, 1u);
+
+  // Remove the spec entirely: the programmatic default (no bound) rules
+  // again, so a lone arrival postpones for its timeout instead of being
+  // bounded out by a leftover sticky.
+  Engine::instance().set_spec({});
+  rt::Stopwatch sw;
+  EXPECT_FALSE(t.trigger_here(true, 60ms));
+  EXPECT_GE(sw.elapsed_us(), 50'000);  // actually waited: participated
+  const auto stats = Engine::instance().stats("bp");
+  EXPECT_EQ(stats.postponed, 1u);
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.bounded, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,131 @@
+// Detector striping (detect/striping.h): the shard-index function must
+// spread addresses evenly at EVERY supported shard count.  The original
+// form `(v >> 60) & (count - 1)` extracted four bits and then masked
+// wider: above 16 shards the mask reached into bits the shift had
+// discarded, so shards 16..63 were structurally unreachable — a 64-shard
+// build silently degenerated to 16 lock stripes.  These tests pin the
+// fix with occupancy and uniformity checks over synthetic address
+// populations, plus the compatibility guarantee at the historical count.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "detect/striping.h"
+#include "runtime/rng.h"
+
+namespace cbp::detect {
+namespace {
+
+constexpr std::size_t kAddresses = 1'000'000;
+
+/// Synthetic address populations shaped like real shared-variable sets.
+std::vector<std::uintptr_t> synthetic_addresses() {
+  std::vector<std::uintptr_t> addrs;
+  addrs.reserve(kAddresses);
+  // Heap-like: 16-byte-aligned allocations walking up from a base.
+  for (std::size_t i = 0; i < kAddresses / 2; ++i) {
+    addrs.push_back(0x5570'0000'0000ULL + i * 16);
+  }
+  // Struct-field-like: 64-byte-strided objects with mixed small offsets.
+  for (std::size_t i = 0; i < kAddresses / 4; ++i) {
+    addrs.push_back(0x7f3a'0000'0000ULL + i * 64 + (i % 3) * 8);
+  }
+  // Scattered: uniform random addresses (ASLR'd globals, mmap regions).
+  rt::Rng rng(20260808);
+  while (addrs.size() < kAddresses) {
+    addrs.push_back(static_cast<std::uintptr_t>(rng.next_u64()));
+  }
+  return addrs;
+}
+
+/// Chi-square-style uniformity check: every shard's occupancy within
+/// `tolerance` of the uniform expectation, and the aggregate normalized
+/// chi-square statistic small.
+void expect_uniform(const std::vector<std::uintptr_t>& addrs,
+                    std::size_t count, double tolerance) {
+  std::vector<std::size_t> occupancy(count, 0);
+  for (const std::uintptr_t addr : addrs) {
+    const std::size_t shard = detector_shard_index(addr, count);
+    ASSERT_LT(shard, count);
+    ++occupancy[shard];
+  }
+  const double expected =
+      static_cast<double>(addrs.size()) / static_cast<double>(count);
+  double chi2 = 0.0;
+  for (std::size_t s = 0; s < count; ++s) {
+    EXPECT_GT(occupancy[s], 0u) << "shard " << s << " of " << count
+                                << " never selected (the pre-fix failure "
+                                   "mode for counts above 16)";
+    const double dev = static_cast<double>(occupancy[s]) - expected;
+    EXPECT_LT(std::abs(dev) / expected, tolerance)
+        << "shard " << s << " occupancy " << occupancy[s] << " vs expected "
+        << expected;
+    chi2 += dev * dev / expected;
+  }
+  // For genuinely uniform assignment chi2 ~ (count-1) +- a few sqrt;
+  // a generous multiple still catches any structural skew.
+  EXPECT_LT(chi2, 8.0 * static_cast<double>(count));
+}
+
+TEST(Striping, UniformAtSixteenShards) {
+  expect_uniform(synthetic_addresses(), 16, 0.10);
+}
+
+TEST(Striping, UniformAtSixtyFourShards) {
+  // The regression this file exists for: all 64 shards populated, with
+  // no mass collapse onto the first 16.
+  expect_uniform(synthetic_addresses(), 64, 0.15);
+}
+
+TEST(Striping, AllCountsReachAllShards) {
+  const std::vector<std::uintptr_t> addrs = synthetic_addresses();
+  for (std::size_t count : {1u, 2u, 4u, 8u, 32u}) {
+    std::vector<bool> seen(count, false);
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+      seen[detector_shard_index(addrs[i], count)] = true;
+    }
+    for (std::size_t s = 0; s < count; ++s) {
+      EXPECT_TRUE(seen[s]) << "count " << count << " shard " << s;
+    }
+  }
+}
+
+TEST(Striping, SixteenShardResultMatchesHistoricalLayout) {
+  // At the historical count the new top-bits extraction is bit-for-bit
+  // the old `(v >> 60) & 15`: existing 16-shard deployments keep their
+  // address->shard assignment (and their detector state locality).
+  rt::Rng rng(7);
+  for (int i = 0; i < 100'000; ++i) {
+    const auto addr = static_cast<std::uintptr_t>(rng.next_u64());
+    const std::uintptr_t v = (addr >> 4) * 0x9E3779B97F4A7C15ull;
+    EXPECT_EQ(detector_shard_index(addr, 16), (v >> 60) & 15u);
+  }
+}
+
+TEST(Striping, NearbyAddressesSpread) {
+  // Fields of one cacheline-sized object should not all map to one
+  // shard; count distinct shards over a 64-entry array of 16-byte slots.
+  std::array<bool, 16> seen{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    seen[detector_shard(reinterpret_cast<const void*>(
+        0x6000'0000'0000ULL + i * 16))] = true;
+  }
+  int distinct = 0;
+  for (const bool b : seen) distinct += b ? 1 : 0;
+  EXPECT_GE(distinct, 8);
+}
+
+TEST(Striping, DefaultShardCountIsConfiguredValue) {
+  EXPECT_EQ(kDetectorShards, static_cast<std::size_t>(CBP_DETECTOR_SHARDS));
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_LT(detector_shard(reinterpret_cast<const void*>(
+                  0x1000ULL + static_cast<std::uintptr_t>(i) * 24)),
+              kDetectorShards);
+  }
+}
+
+}  // namespace
+}  // namespace cbp::detect

@@ -1,44 +1,65 @@
 #!/usr/bin/env python3
-"""Perf gate: diff fresh `bench_micro_overhead --json` runs against the
-committed reference (BENCH_micro.json), failing on regressions beyond a
-noise band.
+"""Perf gate: diff fresh `--json` bench runs against committed reference
+files (BENCH_micro.json, BENCH_hightraffic.json, ...), failing on
+regressions beyond a noise band.
 
-Usage:
+Usage (modern, any number of baselines in one invocation):
+    perf_gate.py FRESH.json [FRESH2.json ...]
+                 --baseline=REF.json[=BAND] [--baseline=REF2.json[=BAND]]
+                 [--band=0.15] [--ref-key=optimized]
+
+Usage (legacy, preserved verbatim):
     perf_gate.py FRESH.json [FRESH2.json ...] REFERENCE.json
                  [--band=0.15] [--ref-key=optimized]
 
-Each FRESH.json is what the bench writes (rows under "results"); the
-last positional is the reference, whose current tree lives under
-"optimized" (see BENCH_micro.json's note).  When several fresh runs are
-given, each row gates on its *minimum* across them: timing noise on a
-shared machine is one-sided (interference only ever adds time), so the
-min across repeats is the best estimator of true cost, while a real
-regression shifts every repeat — including the min — past the band.
-One fresh run keeps the old single-sample behavior.
+Each FRESH.json is what a bench writes (rows under "results"); a
+baseline file holds its current tree's rows under the --ref-key key
+("optimized" by default; see BENCH_micro.json's note).  A row's cost is
+read from an "ns_per_op" field, or — for benches using the shared
+JsonReport schema — from "value" when the row's "unit" is "ns_per_op";
+rows in other units (probabilities, ratios) are not timing rows and are
+skipped without comment.
 
-Rows are matched by benchmark name:
+When several fresh runs are given, each row gates on its *minimum*
+across them: timing noise on a shared machine is one-sided (interference
+only ever adds time), so the min across repeats is the best estimator of
+true cost, while a real regression shifts every repeat — including the
+min — past the band.  One fresh run keeps the old single-sample
+behavior.
 
-  * names only in the fresh run are a warning (new benchmarks land
+Each baseline is reported in its own section and may carry its own band
+(`--baseline=FILE=0.25` gates FILE's rows at ±25%); baselines without a
+suffix use the global --band.  Rows are matched by benchmark name:
+
+  * names found in no baseline are a warning (new benchmarks land
     before their baseline does);
-  * names only in the reference are a named FAILURE — a benchmark that
+  * names only in a baseline are a named FAILURE — a benchmark that
     was removed or renamed without touching the baseline would otherwise
     silently drop out of the gate;
-  * rows without a usable ns_per_op (other units, malformed entries)
-    are skipped with a warning — never a traceback.
+  * rows slower than ref * (1 + band) are a FAILURE; rows *faster* than
+    ref * (1 - band) only warn — that means the committed baseline is
+    stale and should be regenerated, not that the build regressed.
 
-Exit status: 0 when every matched row's ns_per_op is within
-[ref * (1 - band), ref * (1 + band)]; 1 when any row is slower than
-ref * (1 + band) or missing from the fresh run.  Rows *faster* than the
-band only warn — that means the committed baseline is stale and should
-be regenerated, not that the build regressed.
+Exit codes:
+    0  every matched row is within its band for every baseline
+    1  a regression, a baseline row missing from the fresh runs, or a
+       malformed reference file
+    2  usage error (no baseline given, unreadable arguments)
 """
 
 import json
 import sys
 
 
-def rows_by_name(rows, source):
-    """Maps name -> ns_per_op, warning (not raising) on unusable rows."""
+def timing_rows(rows, source):
+    """Maps name -> ns_per_op.
+
+    Accepts both row shapes: {"name", "ns_per_op"} (bench_micro_overhead)
+    and {"name", "value", "unit": "ns_per_op"} (the shared JsonReport
+    schema).  Rows whose unit says they are not timings are skipped
+    silently; rows that *should* carry a timing but don't get a warning,
+    never a traceback.
+    """
     out = {}
     for row in rows:
         name = row.get("name")
@@ -46,6 +67,12 @@ def rows_by_name(rows, source):
             print(f"warning: {source}: row without a name skipped: {row!r}")
             continue
         value = row.get("ns_per_op")
+        if value is None:
+            unit = row.get("unit")
+            if unit == "ns_per_op":
+                value = row.get("value")
+            elif unit is not None:
+                continue  # a probability/ratio row, not a timing
         if value is None:
             print(f"warning: {source}: no ns_per_op for {name}; skipped")
             continue
@@ -56,49 +83,39 @@ def rows_by_name(rows, source):
     return out
 
 
-def main(argv):
-    band = 0.15
-    ref_key = "optimized"
-    paths = []
-    for arg in argv[1:]:
-        if arg.startswith("--band="):
-            band = float(arg.split("=", 1)[1])
-        elif arg.startswith("--ref-key="):
-            ref_key = arg.split("=", 1)[1]
-        else:
-            paths.append(arg)
-    if len(paths) < 2:
-        print(__doc__, file=sys.stderr)
-        return 2
+def parse_baseline_arg(arg, default_band):
+    """Splits --baseline=FILE[=BAND] into (path, band)."""
+    path, sep, band_text = arg.rpartition("=")
+    if sep:
+        try:
+            return path, float(band_text)
+        except ValueError:
+            pass  # the '=' belonged to the file name
+    return arg, default_band
 
-    fresh_paths, reference_path = paths[:-1], paths[-1]
-    with open(reference_path) as f:
-        reference_doc = json.load(f)
+
+def gate_against(reference_path, band, ref_key, fresh):
+    """Compares the merged fresh rows against one baseline file.
+
+    Returns (failed, names_known_here): whether this baseline's gate
+    failed, and the set of row names the baseline defines.
+    """
+    print(f"\n== {reference_path} (band ±{band:.0%})")
+    try:
+        with open(reference_path) as f:
+            reference_doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"FAIL: cannot read {reference_path}: {error}")
+        return True, set()
     if ref_key not in reference_doc:
         print(f"FAIL: {reference_path} has no '{ref_key}' key")
-        return 1
-    reference = rows_by_name(reference_doc[ref_key], reference_path)
-
-    # Per-row min across the fresh runs (see module docstring).
-    fresh = {}
-    for path in fresh_paths:
-        with open(path) as f:
-            fresh_doc = json.load(f)
-        if "results" not in fresh_doc:
-            print(f"FAIL: {path} has no 'results' key")
-            return 1
-        for name, value in rows_by_name(fresh_doc["results"], path).items():
-            fresh[name] = min(value, fresh.get(name, value))
-    if len(fresh_paths) > 1:
-        print(f"gating on per-row min across {len(fresh_paths)} fresh runs")
+        return True, set()
+    reference = timing_rows(reference_doc[ref_key], reference_path)
 
     regressions = []
     improvements = []
     missing = []
-    for name in sorted(fresh.keys() | reference.keys()):
-        if name not in reference:
-            print(f"  warning: new (no baseline): {name}")
-            continue
+    for name in sorted(reference.keys()):
         if name not in fresh:
             print(f"  MISSING from fresh run:     {name}")
             missing.append(name)
@@ -116,8 +133,8 @@ def main(argv):
               f"({delta:+.1%}) {verdict}")
 
     if improvements:
-        print(f"note: {len(improvements)} row(s) beat the baseline by more "
-              f"than {band:.0%} — consider regenerating the reference.")
+        print(f"note: {len(improvements)} row(s) beat this baseline by more "
+              f"than {band:.0%} — consider regenerating it.")
     failed = False
     if missing:
         print(f"FAIL: {len(missing)} baseline row(s) missing from the fresh "
@@ -127,9 +144,73 @@ def main(argv):
         print(f"FAIL: {len(regressions)} row(s) regressed beyond "
               f"{band:.0%}: {', '.join(regressions)}")
         failed = True
+    if not failed:
+        matched = len(reference) - len(missing)
+        print(f"{reference_path}: {matched} rows within ±{band:.0%}.")
+    return failed, set(reference.keys())
+
+
+def main(argv):
+    band = 0.15
+    ref_key = "optimized"
+    baseline_args = []
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--band="):
+            band = float(arg.split("=", 1)[1])
+        elif arg.startswith("--ref-key="):
+            ref_key = arg.split("=", 1)[1]
+        elif arg.startswith("--baseline="):
+            baseline_args.append(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+
+    if baseline_args:
+        fresh_paths = paths
+        baselines = [parse_baseline_arg(a, band) for a in baseline_args]
+    elif len(paths) >= 2:
+        # Legacy form: the last positional is the (single) reference.
+        fresh_paths = paths[:-1]
+        baselines = [(paths[-1], band)]
+    else:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if not fresh_paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    # Per-row min across the fresh runs (see module docstring).
+    fresh = {}
+    for path in fresh_paths:
+        try:
+            with open(path) as f:
+                fresh_doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"FAIL: cannot read {path}: {error}")
+            return 1
+        if "results" not in fresh_doc:
+            print(f"FAIL: {path} has no 'results' key")
+            return 1
+        for name, value in timing_rows(fresh_doc["results"], path).items():
+            fresh[name] = min(value, fresh.get(name, value))
+    if len(fresh_paths) > 1:
+        print(f"gating on per-row min across {len(fresh_paths)} fresh runs")
+
+    failed = False
+    known = set()
+    for reference_path, file_band in baselines:
+        file_failed, names = gate_against(reference_path, file_band, ref_key,
+                                          fresh)
+        failed = failed or file_failed
+        known |= names
+
+    for name in sorted(fresh.keys() - known):
+        print(f"warning: new (no baseline): {name}")
+
     if failed:
         return 1
-    print(f"perf gate passed: {len(fresh)} rows within ±{band:.0%}.")
+    print(f"\nperf gate passed: {len(fresh)} fresh rows, "
+          f"{len(baselines)} baseline file(s).")
     return 0
 
 
