@@ -200,6 +200,94 @@ void BM_TriggerMatchedPair(benchmark::State& state) {
 BENCHMARK(BM_TriggerMatchedPair)->Unit(benchmark::kMicrosecond);
 
 // ---------------------------------------------------------------------------
+// Pattern breakpoints (core/pattern.h): what an armed k-site automaton
+// costs on the paths that never pause — the production-affordability
+// question for pattern sites, mirroring the 2-site rows above.
+// ---------------------------------------------------------------------------
+
+/// BTrigger with a trivially-true global predicate (patterns never call
+/// it; the variables carry the cross-thread constraint).
+class PatternProbeTrigger : public BTrigger {
+ public:
+  explicit PatternProbeTrigger(std::string name) : BTrigger(std::move(name)) {}
+  [[nodiscard]] bool predicate_global(const BTrigger&) const override {
+    return true;
+  }
+};
+
+void BM_TriggerPatternDormantSite(benchmark::State& state) {
+  // A pattern site with no installed spec entry is a dormant no-op —
+  // the demo's 0-hit control.  Cached trigger: this is the steady-state
+  // cost of shipping pattern sites disabled, and it must track
+  // BM_TriggerSpecDisabledCachedTrigger (same two dependent loads).
+  if (state.thread_index() == 0) {
+    Config::set_enabled(true);
+    Engine::instance().reset();
+  }
+  PatternProbeTrigger trigger("micro-pattern-dormant");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trigger.trigger_here_site("put", std::chrono::milliseconds(100)));
+  }
+  if (state.thread_index() == 0) Engine::instance().reset();
+}
+BENCHMARK(BM_TriggerPatternDormantSite)->ThreadRange(1, kMaxThreads);
+
+void BM_TriggerPatternArmedUnmatched(benchmark::State& state) {
+  // Armed pattern, event out of pattern order (no run can start on the
+  // second site): the automaton is consulted under the slot mutex and
+  // answers kNoMatch — strict pattern order means no pause is paid.
+  // This is the armed-but-never-matching cost of a k-site probe, the
+  // analogue of a 2-site armed probe whose partner never shows up
+  // (minus that probe's postponement T).
+  if (state.thread_index() == 0) {
+    Config::set_enabled(true);
+    Engine::instance().reset();
+    BreakpointSpec::parse(
+        "micro-pattern-armed pattern=check:t1.put:t2.erase:t1 pause=100")
+        .install();
+  }
+  PatternProbeTrigger trigger("micro-pattern-armed");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trigger.trigger_here_site("put", std::chrono::milliseconds(100)));
+  }
+  if (state.thread_index() == 0) {
+    BreakpointSpec::clear_installed();
+    Engine::instance().reset();
+  }
+}
+BENCHMARK(BM_TriggerPatternArmedUnmatched)->ThreadRange(1, kMaxThreads);
+
+void BM_TriggerPatternLocalReject(benchmark::State& state) {
+  // Armed pattern + failing local predicate: the reject happens before
+  // the automaton (lock-free, same §5i screen as the 2-site row), so
+  // this must track BM_TriggerLocalReject.
+  if (state.thread_index() == 0) {
+    Config::set_enabled(true);
+    Engine::instance().reset();
+    BreakpointSpec::parse(
+        "micro-pattern-reject pattern=check:t1.put:t2.erase:t1 pause=100")
+        .install();
+  }
+  class Gated : public PatternProbeTrigger {
+   public:
+    using PatternProbeTrigger::PatternProbeTrigger;
+    [[nodiscard]] bool predicate_local() const override { return false; }
+  };
+  Gated trigger("micro-pattern-reject");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trigger.trigger_here_site("check", std::chrono::milliseconds(100)));
+  }
+  if (state.thread_index() == 0) {
+    BreakpointSpec::clear_installed();
+    Engine::instance().reset();
+  }
+}
+BENCHMARK(BM_TriggerPatternLocalReject)->ThreadRange(1, kMaxThreads);
+
+// ---------------------------------------------------------------------------
 // Observability layer (src/obs): the tracing budget.  The always-on
 // claim requires the *off* paths to stay flat when the obs layer is
 // compiled in (tracing is a runtime switch, default off); the *on*

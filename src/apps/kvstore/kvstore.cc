@@ -98,6 +98,38 @@ class EvictToctouTrigger : public BTrigger {
   bool in_window_ = false;
 };
 
+/// Bug 2 as the 3-event pattern (kEvictPatternExpr): check and erase
+/// fire from the evictor, put from a writer.  Threads are bound by the
+/// pattern's variables, so no predicate_global is needed — but the
+/// put side keeps the same window filter as the rendezvous pair (only
+/// a put on the key under eviction participates; everything else is a
+/// pure local-reject).
+class EvictPatternTrigger : public BTrigger {
+ public:
+  EvictPatternTrigger() : BTrigger(kEvictPattern) {}
+
+  void set(bool evictor, bool in_window) {
+    evictor_ = evictor;
+    in_window_ = in_window;
+  }
+
+  [[nodiscard]] bool predicate_local() const override {
+    return evictor_ || in_window_;
+  }
+  [[nodiscard]] bool predicate_global(const BTrigger&) const override {
+    // Unused on the pattern path (thread identity is what the pattern's
+    // variables constrain), but BTrigger requires it.
+    return true;
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "Pattern: check.put.erase — eviction TOCTOU as 3 ordered events";
+  }
+
+ private:
+  bool evictor_ = false;
+  bool in_window_ = false;
+};
+
 // One reusable trigger object per thread: the names exceed the SSO
 // buffer, so constructing a trigger per operation would heap-allocate on
 // the hot path; a thread_local keeps the interned-record cache warm too.
@@ -107,6 +139,10 @@ ResizeRaceTrigger& resize_trigger() {
 }
 EvictToctouTrigger& evict_trigger() {
   thread_local EvictToctouTrigger t;
+  return t;
+}
+EvictPatternTrigger& pattern_trigger() {
+  thread_local EvictPatternTrigger t;
   return t;
 }
 
@@ -119,6 +155,7 @@ EvictToctouTrigger& evict_trigger() {
 KvStore::KvStore(const StoreOptions& options)
     : max_load_(options.max_load),
       armed_(options.armed),
+      pattern_sites_(options.pattern_sites),
       pause_(options.pause) {
   std::size_t bits = 0;
   while ((1ULL << bits) < options.shard_count) ++bits;
@@ -183,6 +220,16 @@ void KvStore::put(std::uint64_t key, std::int64_t value) {
     t.set(key, /*evictor=*/false,
           evict_window_key_.load(std::memory_order_acquire) == key);
     t.trigger_here(/*is_first_action=*/true, pause_);
+  }
+  if (pattern_sites_) {
+    // Pattern event 2 of 3: the interleaved put.  Consuming it advances
+    // the automaton past the parked erase (the cascade), so the put
+    // lands first and the stale erase destroys it — rank order is event
+    // order.
+    EvictPatternTrigger& t = pattern_trigger();
+    t.set(/*evictor=*/false,
+          evict_window_key_.load(std::memory_order_acquire) == key);
+    t.trigger_here_site("put", pause_);
   }
   std::scoped_lock lock(shard.mu);
   Table& table = *shard.live;
@@ -294,6 +341,19 @@ bool KvStore::evict_if_cold(std::uint64_t key) {
     EvictToctouTrigger& t = evict_trigger();
     t.set(key, /*evictor=*/true, /*in_window=*/true);
     t.trigger_here(/*is_first_action=*/false, pause_);
+  }
+  if (pattern_sites_) {
+    EvictPatternTrigger& t = pattern_trigger();
+    t.set(/*evictor=*/true, /*in_window=*/true);
+    // Pattern event 1 of 3: time of check.  The automaton starts a run,
+    // binds t1 to this thread, and lets it continue (t1 is needed again
+    // for the erase).
+    t.trigger_here_site("check", pause_);
+    evict_window_key_.store(key, std::memory_order_release);
+    // Pattern event 3 of 3: time of use.  Out of order for the run
+    // (check.PUT.erase), so this parks pending until a put advances the
+    // automaton — the §3 pause that holds the window open.
+    t.trigger_here_site("erase", pause_);
   }
   bool erased = false;
   bool lost = false;
@@ -636,6 +696,87 @@ RunOutcome run_evict_toctou(const RunOptions& options) {
   if (store.lost_updates() > 0) {
     outcome.artifact = rt::Artifact::kWrongResult;
     outcome.detail = "eviction destroyed a freshly-written entry " +
+                     std::to_string(store.lost_updates()) + " time(s)";
+  }
+  return outcome;
+}
+
+RunOutcome run_evict_pattern(const RunOptions& options) {
+  Config::set_enabled(true);
+  Config::set_default_timeout(options.pause);
+  if (options.breakpoints) {
+    // The breakpoint exists ONLY through this spec entry — arming is a
+    // text line, exactly the paper's "the spec is the bug report".
+    const std::string text =
+        std::string(kEvictPattern) + " pattern=" + kEvictPatternExpr +
+        " pause=" +
+        std::to_string(static_cast<long long>(options.pause.count())) +
+        " predicted=" + std::to_string(kEvictPatternPredicted);
+    Engine::current().set_spec(BreakpointSpec::parse(text).entries());
+  } else {
+    // Dormant control: same binary, same site calls, no spec — every
+    // trigger_here_site is a no-op.
+    Engine::current().set_spec({});
+  }
+  RunOutcome outcome;
+  rt::Stopwatch clock;
+
+  StoreOptions store_options;
+  store_options.shard_count = 1;
+  store_options.initial_capacity = 1024;
+  store_options.max_load = 0.9;  // no resizes in this scenario
+  store_options.pattern_sites = true;
+  store_options.pause = options.pause;
+  KvStore store(store_options);
+
+  const int keys = std::max(16, static_cast<int>(32 * options.work_scale));
+  {
+    ScopedBreakpointsDisabled quiesce;
+    for (int i = 0; i < keys; ++i) {
+      store.put(rank_to_key(static_cast<std::uint64_t>(i)), i);
+    }
+  }
+
+  const std::uint64_t target = rank_to_key(7);
+  // Evictor-paced choreography, as in run_evict_toctou: every attempt
+  // that samples cold has a put still coming to meet it.
+  const int attempts = std::max(4, static_cast<int>(12 * options.work_scale));
+  rt::Rng put_rng(options.seed);
+  std::atomic<bool> done{false};
+  rt::StartGate gate;
+  rt::Thread evictor([&] {
+    gate.wait();
+    for (int k = 0; k < attempts; ++k) {
+      store.age_all();
+      store.evict_if_cold(target);
+      // Aging cadence — and a clock point, so a run of not-cold skips
+      // can't monopolize a virtual clock's grant.
+      rt::clock_sleep_for(std::chrono::microseconds(100));
+    }
+    done.store(true, std::memory_order_release);
+  });
+  rt::Thread putter([&] {
+    gate.wait();
+    for (int i = 1; !done.load(std::memory_order_acquire); ++i) {
+      store.put(target, i);
+      // Inter-put think time THROUGH THE CLOCK (run_evict_toctou uses
+      // busy_work here): a put outside the eviction window never
+      // blocks on the pattern path, so under a virtual clock a pure
+      // CPU spin would hold the grant forever and starve the evictor.
+      rt::clock_sleep_for(
+          std::chrono::microseconds(200 + put_rng.next_below(400)));
+    }
+  });
+  gate.open();
+  evictor.join();
+  putter.join();
+
+  Engine::current().set_spec({});
+  outcome.runtime_seconds = clock.elapsed_seconds();
+  if (store.lost_updates() > 0) {
+    outcome.artifact = rt::Artifact::kWrongResult;
+    outcome.detail = "pattern check.put.erase completed; eviction destroyed "
+                     "a freshly-written entry " +
                      std::to_string(store.lost_updates()) + " time(s)";
   }
   return outcome;

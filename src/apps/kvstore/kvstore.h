@@ -46,6 +46,21 @@ namespace cbp::apps::kvstore {
 inline constexpr char kResizeRace[] = "kvstore-resize-race";
 inline constexpr char kEvictToctou[] = "kvstore-evict-toctou";
 
+/// Bug 2 as a 3-event pattern breakpoint (core/pattern.h): the same
+/// evict TOCTOU, but expressed as the full event chain instead of a
+/// single racing pair — time-of-check, the interleaved put, then
+/// time-of-use, with the evictor's two events bound to one thread.
+/// A 2-site rendezvous cannot state "the SAME thread that checked now
+/// erases, with a put in between"; the pattern is the bug report.
+inline constexpr char kEvictPattern[] = "kvstore-evict-pattern";
+inline constexpr char kEvictPatternExpr[] = "check:t1.put:t2.erase:t1";
+/// Predicted per-run hit rate carried on the spec entry (`predicted=`):
+/// the evictor-paced choreography holds every window open until a put
+/// arrives, so the §3 btrigger bound is near-certain per run; 0.9
+/// leaves room for scheduler noise.  The demo gates the observed
+/// Wilson interval against this value.
+inline constexpr double kEvictPatternPredicted = 0.9;
+
 inline constexpr std::int64_t kMiss = -1;     ///< get(): key absent
 inline constexpr std::int64_t kPoison = -999; ///< value read from a retired
                                               ///< table mid-poison (bug 1)
@@ -55,6 +70,11 @@ struct StoreOptions {
   std::size_t initial_capacity = 1024;   ///< slots per shard, power of two
   double max_load = 0.5;                 ///< resize when exceeded
   bool armed = false;                    ///< insert the trigger calls
+  /// Insert the kEvictPattern site calls (check/put/erase) instead of
+  /// the kEvictToctou rendezvous pair on the eviction path.  Without an
+  /// installed `pattern=` spec entry the sites are dormant no-ops, so
+  /// the same binary doubles as the demo's 0-hit control.
+  bool pattern_sites = false;
   std::chrono::milliseconds pause{100};  ///< T for the armed triggers
 };
 
@@ -144,6 +164,7 @@ class KvStore {
   std::size_t shard_bits_;
   double max_load_;
   bool armed_;
+  bool pattern_sites_;
   std::chrono::milliseconds pause_;
   std::atomic<std::uint64_t> poisoned_reads_{0};
   std::atomic<std::uint64_t> lost_updates_{0};
@@ -210,5 +231,12 @@ RunOutcome run_resize_race(const RunOptions& options);
 /// Bug 2: check-then-erase hot-key eviction vs. put.  Artifact: an
 /// eviction destroyed a re-hottened entry — lost update (kWrongResult).
 RunOutcome run_evict_toctou(const RunOptions& options);
+
+/// Bug 2 isolated through the 3-event pattern breakpoint: the store is
+/// built with pattern_sites and the kEvictPattern `pattern=` spec entry
+/// (check·put·erase) is installed when options.breakpoints is set —
+/// otherwise the sites stay dormant, the 0-hit control.  Artifact as in
+/// run_evict_toctou.
+RunOutcome run_evict_pattern(const RunOptions& options);
 
 }  // namespace cbp::apps::kvstore

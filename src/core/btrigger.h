@@ -23,6 +23,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 
 namespace cbp {
 
@@ -152,6 +153,18 @@ class BTrigger {
                            std::chrono::milliseconds timeout);
   TriggerResult trigger_here_ranked_scoped(int rank, int arity,
                                            std::chrono::milliseconds timeout);
+
+  // ---- Pattern breakpoints (core/pattern.h) -----------------------------
+
+  /// Declares that this thread just produced pattern event `site` (a
+  /// site label from the breakpoint's `pattern=` spec entry).  Without
+  /// an installed spec entry carrying a pattern this is a dormant no-op
+  /// — the annotated binary runs unchanged, which is the demo's 0-hit
+  /// control.  On a hit every paused participant plus the completing
+  /// caller is released in event order, same as the rendezvous.
+  TriggerResult trigger_here_site(std::string_view site,
+                                  std::chrono::milliseconds timeout);
+  TriggerResult trigger_here_site(std::string_view site);
 
   // ---- Local-predicate refinements (paper §6.3) -------------------------
 

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <iostream>
 
@@ -117,6 +118,20 @@ TriggerResult BTrigger::trigger_here_ranked_scoped(
       *this, rank, arity,
       std::chrono::duration_cast<std::chrono::microseconds>(timeout),
       /*scoped=*/true);
+}
+
+TriggerResult BTrigger::trigger_here_site(std::string_view site,
+                                          std::chrono::milliseconds timeout) {
+  return Engine::current().trigger_site(
+      *this, site,
+      std::chrono::duration_cast<std::chrono::microseconds>(timeout),
+      /*scoped=*/false);
+}
+
+TriggerResult BTrigger::trigger_here_site(std::string_view site) {
+  Engine& engine = Engine::current();
+  return engine.trigger_site(*this, site, engine.settings().default_timeout(),
+                             /*scoped=*/false);
 }
 
 // ---------------------------------------------------------------------------
@@ -302,105 +317,20 @@ bool Engine::try_match(internal::Slot& slot, BTrigger& bt, int rank, int arity,
                        int& out_rank, HitInfo& info) {
   const rt::ThreadId my_tid = rt::this_thread_id();
 
-  // Candidate waiters: same arity, different thread, not yet taken.
-  // predicate_global is user code, but it must be evaluated while the
-  // peer is quiescent in the Postponed set — the slot mutex is exactly
-  // what guarantees that, so predicates are required to be pure and
-  // non-blocking (documented in btrigger.h).
+  // The selection algorithm lives in core/pattern.cc now (the classic
+  // rendezvous is the degenerate single-step pattern); this adapter
+  // keeps the slot-side effects: the hits counter, the per-rank obs
+  // events, and the wake-up.
   std::vector<internal::Waiter*> chosen;  // one per needed rank
-  if (arity == 2) {
-    for (internal::Waiter* w : slot.postponed) {
-      if (w->matched || w->cancelled || w->arity != 2 || w->tid == my_tid) {
-        continue;
-      }
-      if (!bt.predicate_global(*w->trigger)) continue;
-      chosen.push_back(w);
-      break;
-    }
-    if (chosen.empty()) return false;
-    internal::Waiter* peer = chosen.front();
-    // Effective ranks: declared if distinct; otherwise the postponed
-    // (earlier) thread is ordered first.
-    int peer_rank = peer->rank;
-    int mine = rank;
-    if (peer_rank == mine) {
-      peer_rank = 0;
-      mine = 1;
-    }
-    group = std::make_shared<internal::GroupState>(2);
-    // Each rank's scoped-ness is fixed here, before any participant can
-    // observe the group: the peer's comes from its Waiter record, ours
-    // from the trigger call itself.  await_turn no longer writes it, so
-    // a rank can never read a flag the owner hadn't published yet.
-    group->uses_guard[static_cast<std::size_t>(peer_rank)] =
-        peer->scoped ? 1 : 0;
-    group->uses_guard[static_cast<std::size_t>(mine)] = scoped ? 1 : 0;
-    peer->matched = true;
-    peer->matched_rank = peer_rank;
-    peer->group = group;
-    out_rank = mine;
-    info.arity = 2;
-    info.threads.assign(2, 0);
-    info.threads[static_cast<std::size_t>(peer_rank)] = peer->tid;
-    info.threads[static_cast<std::size_t>(mine)] = my_tid;
-  } else {
-    // k-ary rendezvous: need one waiter per rank other than ours, all
-    // from distinct threads, each compatible with the arriving trigger
-    // and pairwise compatible with each other (greedy selection).
-    std::vector<internal::Waiter*> by_rank(static_cast<std::size_t>(arity),
-                                           nullptr);
-    std::vector<rt::ThreadId> used_tids{my_tid};
-    for (internal::Waiter* w : slot.postponed) {
-      if (w->matched || w->cancelled || w->arity != arity) continue;
-      if (w->rank < 0 || w->rank >= arity || w->rank == rank) continue;
-      if (by_rank[static_cast<std::size_t>(w->rank)] != nullptr) continue;
-      if (std::find(used_tids.begin(), used_tids.end(), w->tid) !=
-          used_tids.end()) {
-        continue;
-      }
-      if (!bt.predicate_global(*w->trigger)) continue;
-      bool pairwise_ok = true;
-      for (internal::Waiter* other : by_rank) {
-        if (other != nullptr &&
-            !other->trigger->predicate_global(*w->trigger)) {
-          pairwise_ok = false;
-          break;
-        }
-      }
-      if (!pairwise_ok) continue;
-      by_rank[static_cast<std::size_t>(w->rank)] = w;
-      used_tids.push_back(w->tid);
-    }
-    for (int r = 0; r < arity; ++r) {
-      if (r != rank && by_rank[static_cast<std::size_t>(r)] == nullptr) {
-        return false;
-      }
-    }
-    group = std::make_shared<internal::GroupState>(arity);
-    group->uses_guard[static_cast<std::size_t>(rank)] = scoped ? 1 : 0;
-    info.arity = arity;
-    info.threads.assign(static_cast<std::size_t>(arity), 0);
-    info.threads[static_cast<std::size_t>(rank)] = my_tid;
-    for (int r = 0; r < arity; ++r) {
-      internal::Waiter* w = by_rank[static_cast<std::size_t>(r)];
-      if (w == nullptr) continue;
-      w->matched = true;
-      w->matched_rank = r;
-      w->group = group;
-      group->uses_guard[static_cast<std::size_t>(r)] = w->scoped ? 1 : 0;
-      chosen.push_back(w);
-      info.threads[static_cast<std::size_t>(r)] = w->tid;
-    }
-    out_rank = rank;
+  if (!PatternMatcher::match_rendezvous(slot.postponed, bt, rank, arity,
+                                        scoped, my_tid, record_for(bt)->id,
+                                        group, out_rank, info, chosen)) {
+    return false;
   }
 
-  group->name_id = record_for(bt)->id;
-  group->match_time = rt::clock_now();
   // Incremented under the slot mutex (match exclusivity), loaded
   // lock-free by trigger()'s bound pre-screen.
   slot.hot.hits.fetch_add(1, std::memory_order_relaxed);
-  info.name = bt.name();
-  info.description = bt.describe();
   if (CBP_OBS_ENABLED()) {
     // One kMatch per rank, stamped by the matcher with each
     // participant's tid (the waiters are asleep; their postponement
@@ -423,41 +353,11 @@ bool Engine::try_match(internal::Slot& slot, BTrigger& bt, int rank, int arity,
 
 void Engine::await_turn(internal::GroupState& group, int rank,
                         bool scoped) const {
-  const auto order_delay = scaled(settings_.order_delay());
-  const auto cap_deadline =
-      rt::clock_now() + scaled(settings_.guard_wait_cap());
-
-  std::unique_lock lock(group.mu);
-  // uses_guard was fixed by try_match before the group was published, so
-  // each lower rank's protocol is known up front: a scoped rank is waited
-  // on via its guard ack (which implies it released), a plain rank via
-  // released[q] plus the order delay.  The old scheme — each rank writing
-  // its own flag on entry — let a later rank read uses_guard[q] == 0 for
-  // a scoped q that had released but not yet been observed to be scoped,
-  // skipping the ack wait entirely.
-  for (int q = 0; q < rank; ++q) {
-    const auto qi = static_cast<std::size_t>(q);
-    if (group.uses_guard[qi]) {
-      if (!rt::clock_wait_until(group.cv, lock, cap_deadline,
-                                [&] { return group.acked[qi] != 0; })) {
-        break;  // cap exceeded: degrade to proceeding (never hang)
-      }
-      continue;
-    }
-    if (!rt::clock_wait_until(group.cv, lock, cap_deadline,
-                              [&] { return group.released[qi] != 0; })) {
-      break;  // cap exceeded: degrade to proceeding (never hang)
-    }
-    const auto turn_at = group.release_time[qi] + order_delay;
-    const auto deadline = std::min(turn_at, cap_deadline);
-    // Plain bounded sleep: no event ends it early by design.
-    rt::clock_wait_until(group.cv, lock, deadline, [] { return false; });
-  }
-  group.released[static_cast<std::size_t>(rank)] = 1;
-  group.release_time[static_cast<std::size_t>(rank)] = rt::clock_now();
-  if (!scoped) group.acked[static_cast<std::size_t>(rank)] = 1;
-  lock.unlock();
-  rt::clock_notify_all(group.cv);
+  // Protocol body in core/pattern.cc; this engine contributes only its
+  // clock-adjusted durations.
+  PatternMatcher::await_turn(group, rank, scoped,
+                             scaled(settings_.order_delay()),
+                             scaled(settings_.guard_wait_cap()));
 }
 
 TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
@@ -485,13 +385,35 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
       timeout =
           std::chrono::duration_cast<std::chrono::microseconds>(*entry->pause);
     }
-    if (entry->flip_order && arity == 2) rank = 1 - rank;
+    if (entry->flip_order) {
+      if (arity == 2) {
+        rank = 1 - rank;
+      } else {
+        // `flip` is defined for binary ranks only; spec parsing rejects
+        // flip+pattern, but an arity-k trigger under a flip entry can
+        // only be caught here.  Warn once instead of silently ignoring.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true, std::memory_order_relaxed)) {
+          std::cerr << "[cbp] warning: spec 'flip' on breakpoint '"
+                    << record->name << "' ignored: flip is defined for "
+                    << "2-ary breakpoints, this trigger has arity " << arity
+                    << "\n";
+        }
+      }
+    }
     if (entry->ignore_first) ignore_first = *entry->ignore_first;
     if (entry->bound) {
       bound = *entry->bound;
       spec_bound = true;
     }
     process_group = entry->scope == SpecScope::kProcessGroup;
+    if (entry->pattern != nullptr) {
+      // Pattern breakpoint: the declared rank maps onto the pattern's
+      // site index, so existing ranked insertions join the automaton.
+      if (rank >= static_cast<int>(entry->pattern->site_count())) return {};
+      return trigger_pattern(*record, bt, *entry, rank, timeout, scoped,
+                             ignore_first, bound, spec_bound);
+    }
   }
 
   // Process-group dispatch (core/transport.h): only a spec entry can ask
@@ -649,6 +571,266 @@ TriggerResult Engine::trigger(BTrigger& bt, int rank, int arity,
 
   {
     // Ordering latency: group creation (match) to this rank's release.
+    const auto order_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                              rt::clock_now() - group->match_time)
+                              .count();
+    std::scoped_lock lock(slot->mu);
+    slot->cold.order_hist.record(
+        order_us > 0 ? static_cast<std::uint64_t>(order_us) : 0);
+  }
+
+  TriggerResult result;
+  result.hit = true;
+  if (scoped) result.guard = OrderingGuard(group, my_rank);
+  return result;
+}
+
+TriggerResult Engine::trigger_site(BTrigger& bt, std::string_view site,
+                                   std::chrono::microseconds timeout,
+                                   bool scoped) {
+  if (!settings_.is_enabled()) return {};
+  const internal::NameRecord* record = record_for(bt);
+  const SpecOverride* entry = record->spec.load(std::memory_order_acquire);
+  // A pattern breakpoint exists only through its spec entry: with no
+  // entry (or none carrying a pattern) every site call is a dormant
+  // no-op — nothing is counted, which makes the un-spec'd binary the
+  // 0-hit control run.
+  if (entry == nullptr || entry->pattern == nullptr) return {};
+  if (entry->disabled) return {};
+  const int index = entry->pattern->site_index(site);
+  if (index < 0) return {};
+  if (entry->pause) {
+    timeout =
+        std::chrono::duration_cast<std::chrono::microseconds>(*entry->pause);
+  }
+  std::uint64_t ignore_first = bt.ignore_first_count();
+  std::uint64_t bound = bt.bound_count();
+  bool spec_bound = false;
+  if (entry->ignore_first) ignore_first = *entry->ignore_first;
+  if (entry->bound) {
+    bound = *entry->bound;
+    spec_bound = true;
+  }
+  return trigger_pattern(*record, bt, *entry, index, timeout, scoped,
+                         ignore_first, bound, spec_bound);
+}
+
+TriggerResult Engine::trigger_pattern(const internal::NameRecord& record,
+                                      BTrigger& bt, const SpecOverride& entry,
+                                      int site,
+                                      std::chrono::microseconds timeout,
+                                      bool scoped, std::uint64_t ignore_first,
+                                      std::uint64_t bound, bool spec_bound) {
+  internal::Slot* slot = record.slot.get();
+
+  // Same armed-fast-path counter discipline as trigger(): the three
+  // non-matching outcomes account themselves with relaxed atomics and
+  // return before the slot mutex (DESIGN.md §5i) — the automaton sits
+  // strictly behind the existing early-outs.
+  const bool local_ok = bt.predicate_local();
+  internal::HotCounters& hot = slot->hot;
+  hot.calls.fetch_add(1, std::memory_order_relaxed);
+  if (!local_ok) {
+    hot.local_rejects.fetch_add(1, std::memory_order_relaxed);
+    CBP_OBS_EVENT(obs::EventKind::kLocalReject, record.id, -1);
+    return {};
+  }
+  const std::uint64_t arrival =
+      hot.arrivals.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t obs_stamp = 0;
+  if (CBP_OBS_ENABLED()) {
+    obs_stamp = obs::Trace::stamp();
+    obs::Trace::record_at(obs_stamp, obs::EventKind::kArrival, record.id, -1);
+  }
+  if (spec_bound &&
+      record.cold_bounded.load(std::memory_order_relaxed) == &entry) {
+    hot.bounded.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  if (hot.hits.load(std::memory_order_relaxed) >= bound) {
+    hot.bounded.fetch_add(1, std::memory_order_relaxed);
+    if (spec_bound) {
+      record.cold_bounded.store(&entry, std::memory_order_relaxed);
+    }
+    return {};
+  }
+  if (arrival <= ignore_first) {
+    hot.ignored.fetch_add(1, std::memory_order_relaxed);
+    if (CBP_OBS_ENABLED()) {
+      obs::Trace::record_at(obs_stamp, obs::EventKind::kIgnore, record.id, -1);
+    }
+    return {};
+  }
+
+  std::shared_ptr<internal::GroupState> group;
+  int my_rank = -1;
+  HitInfo info;
+  bool fire_observer = false;
+
+  {
+    std::unique_lock lock(slot->mu);
+    // Exact bound re-check, as in trigger().
+    if (hot.hits.load(std::memory_order_relaxed) >= bound) {
+      hot.bounded.fetch_add(1, std::memory_order_relaxed);
+      if (spec_bound) {
+        record.cold_bounded.store(&entry, std::memory_order_relaxed);
+      }
+      return {};
+    }
+    // (Re)build the matcher when the installed entry changed: new spec
+    // generations have new entry addresses, so pointer identity is the
+    // epoch — the cold_bounded idiom.
+    if (slot->matcher_entry != &entry) {
+      slot->matcher = std::make_unique<PatternMatcher>(entry.pattern,
+                                                       record.id);
+      slot->matcher_entry = &entry;
+    }
+
+    internal::Waiter waiter;
+    waiter.trigger = &bt;
+    waiter.tid = rt::this_thread_id();
+    waiter.rank = site;
+    waiter.arity = 0;  // pattern waiter: invisible to match_rendezvous
+    waiter.scoped = scoped;
+
+    PatternMatcher::Outcome out =
+        slot->matcher->on_event(site, waiter.tid, scoped, bt, &waiter);
+
+    for (const PatternMatcher::Outcome::Advance& a : out.advances) {
+      slot->cold.pattern_partials += 1;
+      if (CBP_OBS_ENABLED()) {
+        obs::Trace::record_for(a.tid, obs::EventKind::kPatternAdvance,
+                               record.id, a.site,
+                               static_cast<std::uint16_t>(a.progress));
+      }
+    }
+    for (int progress : out.aborted) {
+      slot->cold.pattern_aborts += 1;
+      if (CBP_OBS_ENABLED()) {
+        obs::Trace::record(obs::EventKind::kPatternAbort, record.id, site,
+                           static_cast<std::uint16_t>(progress));
+      }
+    }
+    const bool woke_resumed = !out.resumed.empty();
+
+    switch (out.kind) {
+      case PatternMatcher::Outcome::Kind::kNoMatch:
+        slot->cold.pattern_rejects += 1;
+        if (woke_resumed) rt::clock_notify_all(slot->cv);
+        return {};
+      case PatternMatcher::Outcome::Kind::kRecorded:
+        // Event consumed, thread runs on: its pause comes at its last
+        // pattern event; the advance above is the telemetry record.
+        if (woke_resumed) rt::clock_notify_all(slot->cv);
+        return {};
+      case PatternMatcher::Outcome::Kind::kHit: {
+        hot.hits.fetch_add(1, std::memory_order_relaxed);
+        group = out.group;
+        my_rank = out.rank;
+        info = std::move(out.info);
+        fire_observer = true;
+        if (CBP_OBS_ENABLED()) {
+          const auto detail = static_cast<std::uint16_t>(info.arity);
+          const std::uint64_t stamp = obs::Trace::stamp();
+          obs::Trace::record_for_at(stamp, waiter.tid,
+                                    obs::EventKind::kMatch, record.id,
+                                    my_rank, detail);
+          for (const internal::Waiter* w : out.matched) {
+            obs::Trace::record_for_at(stamp, w->tid, obs::EventKind::kMatch,
+                                      record.id, w->matched_rank, detail);
+          }
+        }
+        slot->cold.participants += 1;
+        rt::clock_notify_all(slot->cv);
+        break;
+      }
+      case PatternMatcher::Outcome::Kind::kPark: {
+        slot->postponed.push_back(&waiter);
+        slot->cold.postponed += 1;
+        CBP_OBS_EVENT(obs::EventKind::kPostpone, record.id, site);
+        if (woke_resumed) rt::clock_notify_all(slot->cv);
+
+        const auto scaled_timeout = scaled(timeout);
+        rt::Stopwatch wait_clock;
+        rt::clock_wait_for(slot->cv, lock, scaled_timeout, [&] {
+          return waiter.matched || waiter.cancelled || waiter.resumed;
+        });
+        const std::int64_t wait_us = wait_clock.elapsed_us();
+        slot->cold.total_wait_us += wait_us;
+        slot->cold.wait_hist.record(
+            wait_us > 0 ? static_cast<std::uint64_t>(wait_us) : 0);
+
+        auto it = std::find(slot->postponed.begin(), slot->postponed.end(),
+                            &waiter);
+        if (it != slot->postponed.end()) slot->postponed.erase(it);
+
+        if (waiter.matched) {
+          group = waiter.group;
+          my_rank = waiter.matched_rank;
+          slot->cold.participants += 1;
+          break;
+        }
+        if (waiter.resumed) {
+          // Consumed mid-pattern (the run needs this thread later) or
+          // orphaned by a hit that completed without this event —
+          // either way: continue, no hit.
+          return {};
+        }
+        // Timed out or cancelled: this thread's park is over, and the
+        // partial match it anchored is dead — abort the whole run.
+        if (slot->matcher != nullptr) {
+          PatternMatcher::DetachResult detached =
+              slot->matcher->detach(waiter.run, &waiter);
+          if (detached.aborted) {
+            slot->cold.pattern_aborts += 1;
+            if (CBP_OBS_ENABLED()) {
+              obs::Trace::record(obs::EventKind::kPatternAbort, record.id,
+                                 site,
+                                 static_cast<std::uint16_t>(detached.progress));
+            }
+            for (internal::Waiter* orphan : detached.orphans) {
+              orphan->cancelled = true;
+            }
+            if (!detached.orphans.empty()) rt::clock_notify_all(slot->cv);
+          }
+        }
+        if (waiter.cancelled) {
+          slot->cold.cancelled += 1;
+          CBP_OBS_EVENT(obs::EventKind::kCancel, record.id, site);
+        } else {
+          slot->cold.timeouts += 1;
+          CBP_OBS_EVENT(obs::EventKind::kTimeout, record.id, site);
+        }
+        return {};
+      }
+    }
+  }
+
+  if (fire_observer) {
+    std::function<void(const HitInfo&)> observer;
+    bool verbose = false;
+    {
+      std::scoped_lock lock(observer_mu_);
+      observer = observer_;
+      verbose = verbose_;
+    }
+    if (verbose) {
+      std::string line;
+      line.reserve(info.description.size() + info.name.size() + 32);
+      line += "[cbp] hit: ";
+      line += info.description;
+      line += " (breakpoint '";
+      line += info.name;
+      line += "')\n";
+      std::cerr << line;
+    }
+    if (observer) observer(info);
+  }
+
+  await_turn(*group, my_rank, scoped);
+  CBP_OBS_EVENT(obs::EventKind::kRelease, group->name_id, my_rank);
+
+  {
     const auto order_us = std::chrono::duration_cast<std::chrono::microseconds>(
                               rt::clock_now() - group->match_time)
                               .count();
@@ -878,6 +1060,10 @@ void Engine::reset() {
     record->cold_bounded.store(nullptr, std::memory_order_relaxed);
     std::scoped_lock lock(slot->mu);
     slot->cold = {};
+    // Pattern matchers key on spec-entry identity; the generations they
+    // point into are about to be freed.
+    slot->matcher.reset();
+    slot->matcher_entry = nullptr;
     slot->hot.calls.store(0, std::memory_order_relaxed);
     slot->hot.local_rejects.store(0, std::memory_order_relaxed);
     slot->hot.arrivals.store(0, std::memory_order_relaxed);

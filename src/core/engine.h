@@ -33,6 +33,7 @@
 
 #include "core/btrigger.h"
 #include "core/config.h"
+#include "core/pattern.h"
 #include "core/spec.h"
 #include "core/stats.h"
 #include "core/transport.h"
@@ -46,50 +47,9 @@ namespace cbp {
 
 namespace internal {
 
-/// Shared state of one breakpoint hit (a matched group of k threads).
-/// Release protocol: rank r may proceed once, for every q < r,
-///   uses_guard[q] ? acked[q]
-///                 : released[q] && now >= release_time[q] + order_delay
-/// with everything capped by Config::guard_wait_cap() so a leaked guard
-/// degrades to a delay, never a hang.
-///
-/// `uses_guard`, `name_id` and `match_time` are written exactly once, by
-/// try_match while it still holds the slot mutex — i.e. before any
-/// participant can observe the group — and are immutable afterwards, so
-/// await_turn can never read a stale scoped-ness flag for a rank that has
-/// already released (the bug fixed in this file's history: the flag used
-/// to be written lazily by each rank's own await_turn).
-struct GroupState {
-  explicit GroupState(int arity_in)
-      : arity(arity_in),
-        released(static_cast<std::size_t>(arity_in), 0),
-        acked(static_cast<std::size_t>(arity_in), 0),
-        uses_guard(static_cast<std::size_t>(arity_in), 0),
-        release_time(static_cast<std::size_t>(arity_in)) {}
-
-  std::mutex mu;
-  std::condition_variable cv;
-  const int arity;
-  std::uint32_t name_id = obs::kNoName;     // fixed before publication
-  rt::TimePoint match_time{};               // fixed before publication
-  std::vector<char> released;               // guarded by mu
-  std::vector<char> acked;                  // guarded by mu
-  std::vector<char> uses_guard;             // fixed before publication
-  std::vector<rt::TimePoint> release_time;  // guarded by mu
-};
-
-/// One postponed thread (stack-allocated inside Engine::trigger).
-struct Waiter {
-  BTrigger* trigger = nullptr;
-  rt::ThreadId tid = 0;
-  int rank = 0;
-  int arity = 2;
-  bool scoped = false;
-  bool matched = false;    // guarded by slot mutex
-  bool cancelled = false;  // guarded by slot mutex
-  int matched_rank = -1;
-  std::shared_ptr<GroupState> group;
-};
+// GroupState and Waiter — the shared state of a hit and one postponed
+// thread — live in core/pattern.h now: the PatternMatcher owns the
+// matching machinery and the engine is its caller.
 
 /// Armed-fast-path counters (DESIGN.md §5i).  Every counter a trigger
 /// call can bump *without* rendezvousing lives here as a relaxed atomic,
@@ -133,6 +93,13 @@ struct Slot {
   std::vector<Waiter*> postponed;  // guarded by mu
   HotCounters hot;                 // lock-free (see above)
   BreakpointStats cold;            // guarded by mu; slow-path fields only
+  /// Pattern-matching state, built lazily on the first pattern event
+  /// and keyed by spec-entry identity (same idiom as cold_bounded): a
+  /// new spec generation has new entry addresses, so `matcher_entry !=
+  /// entry` detects any pattern change and rebuilds.  Guarded by mu;
+  /// reset() clears both before freeing old spec generations.
+  std::unique_ptr<PatternMatcher> matcher;
+  const SpecOverride* matcher_entry = nullptr;
 };
 
 /// An interned breakpoint name.  Created once on first use and never
@@ -167,14 +134,7 @@ struct NameRecord {
 
 }  // namespace internal
 
-/// Information passed to the hit observer (one call per hit, made by the
-/// last-arriving participant, outside all engine locks).
-struct HitInfo {
-  std::string name;
-  std::string description;
-  int arity = 2;
-  std::vector<rt::ThreadId> threads;  ///< indexed by rank
-};
+// HitInfo moved to core/pattern.h (the matcher fills it).
 
 /// Breakpoint engine.  All public methods are thread-safe.
 ///
@@ -221,8 +181,21 @@ class Engine {
 
   /// Core entry point used by BTrigger::trigger_here*.
   /// `timeout` is nominal; rt::TimeScale is applied internally.
+  /// When the active spec entry for this name carries a `pattern=`, the
+  /// call is routed to the pattern matcher with `rank` as the site
+  /// index (so existing 2-site insertions participate in a pattern
+  /// without recompiling).
   TriggerResult trigger(BTrigger& bt, int rank, int arity,
                         std::chrono::microseconds timeout, bool scoped);
+
+  /// Pattern entry point used by BTrigger::trigger_here_site: fires the
+  /// named site of this breakpoint's `pattern=` spec entry.  A pattern
+  /// breakpoint exists *only* via its spec entry — with no entry (or no
+  /// pattern in it) this is a dormant no-op that returns without
+  /// counting anything, which is what makes an un-spec'd binary the
+  /// 0-hit control.
+  TriggerResult trigger_site(BTrigger& bt, std::string_view site,
+                             std::chrono::microseconds timeout, bool scoped);
 
   /// Interns `name`, creating its record on first use.  The returned
   /// pointer is stable for the process lifetime (it survives reset()
@@ -315,18 +288,28 @@ class Engine {
   /// aggregation never holds a table-wide lock while locking slots.
   std::vector<const internal::NameRecord*> records_snapshot() const;
 
-  /// Tries to assemble a full group around `bt` from `slot->postponed`.
-  /// Called with slot->mu held.  On success fills `group`, marks waiters
-  /// matched, notifies them, and returns the arriving thread's rank slot
-  /// assignment via `out_rank`; collects hit info for the observer.
+  /// Thin adapter over PatternMatcher::match_rendezvous (the matching
+  /// algorithm itself lives in core/pattern.cc): on success it also
+  /// bumps `hits`, stamps the per-rank obs events and notifies the slot
+  /// cv.  Called with slot->mu held.
   bool try_match(internal::Slot& slot, BTrigger& bt, int rank, int arity,
                  bool scoped, std::shared_ptr<internal::GroupState>& group,
                  int& out_rank, HitInfo& info);
 
-  /// Rank-order release protocol; returns after this thread is allowed to
-  /// proceed.  Called with no locks held.  Member (not static) so the
-  /// waits honour this engine's time scale.
+  /// Thin adapter over PatternMatcher::await_turn that applies this
+  /// engine's time scale to the order delay and guard cap.  Called with
+  /// no locks held.
   void await_turn(internal::GroupState& group, int rank, bool scoped) const;
+
+  /// The pattern slow path: counter discipline identical to trigger()'s
+  /// (calls/local_rejects/arrivals/ignored/bounded are the same hot
+  /// counters), then a matcher dispatch under the slot mutex.  `entry`
+  /// must carry a pattern; `site` is its index in the compiled spec.
+  TriggerResult trigger_pattern(const internal::NameRecord& record,
+                                BTrigger& bt, const SpecOverride& entry,
+                                int site, std::chrono::microseconds timeout,
+                                bool scoped, std::uint64_t ignore_first,
+                                std::uint64_t bound, bool spec_bound);
 
   /// Process-group dispatch: the whole postponement/match/release
   /// protocol runs through `transport` (the broker), with the local

@@ -26,7 +26,9 @@ BreakpointSpec BreakpointSpec::parse(const std::string& text) {
   BreakpointSpec spec;
   std::istringstream lines(text);
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(lines, line)) {
+    ++line_no;
     const std::size_t comment = line.find('#');
     if (comment != std::string::npos) line.erase(comment);
     std::istringstream tokens(line);
@@ -75,6 +77,16 @@ BreakpointSpec BreakpointSpec::parse(const std::string& text) {
               "breakpoint spec: bad value for 'scope': '" + value +
               "' (expected local|process-group)");
         }
+      } else if (key == "pattern") {
+        // The value is one whitespace-free token (the pattern grammar
+        // never needs spaces; the compiler strips them anyway).
+        try {
+          entry.pattern =
+              std::make_shared<const PatternSpec>(PatternSpec::parse(value));
+        } catch (const std::invalid_argument& err) {
+          throw std::invalid_argument("breakpoint spec: bad pattern for '" +
+                                      name + "': " + err.what());
+        }
       } else if (key == "from") {
         if (value == "static") {
           entry.from = SpecOrigin::kStatic;
@@ -90,7 +102,28 @@ BreakpointSpec BreakpointSpec::parse(const std::string& text) {
                                     "' for breakpoint '" + name + "'");
       }
     }
-    spec.entries_[name] = entry;
+    if (entry.pattern != nullptr) {
+      // Incompatible refinements fail loudly at parse time instead of
+      // being silently ignored at trigger time.
+      if (entry.flip_order) {
+        throw std::invalid_argument(
+            "breakpoint spec: 'flip' is undefined for pattern breakpoints "
+            "(breakpoint '" +
+            name + "'): event order is the pattern itself");
+      }
+      if (entry.scope == SpecScope::kProcessGroup) {
+        throw std::invalid_argument(
+            "breakpoint spec: pattern breakpoints are local-scope only for "
+            "now (breakpoint '" +
+            name + "'): the trigger broker speaks rendezvous, not patterns");
+      }
+    }
+    if (!spec.entries_.emplace(name, std::move(entry)).second) {
+      throw std::invalid_argument(
+          "breakpoint spec: duplicate breakpoint '" + name + "' at line " +
+          std::to_string(line_no) +
+          " (each name may be configured only once)");
+    }
   }
   return spec;
 }

@@ -10,7 +10,7 @@
 // Format, one breakpoint per line ('#' comments):
 //
 //   <name> [off] [pause=<ms>] [flip] [ignore_first=<n>] [bound=<n>]
-//          [scope=<local|process-group>]
+//          [scope=<local|process-group>] [pattern=<expr>]
 //          [from=<static|dynamic>] [predicted=<p>] [confirmed]
 //
 // e.g.
@@ -39,9 +39,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "core/pattern.h"
 
 namespace cbp {
 
@@ -73,6 +76,12 @@ struct SpecOverride {
   std::optional<double> predicted;
   /// `confirmed`: a dynamic report or telemetry row corroborated the pair.
   bool confirmed = false;
+  /// `pattern=<expr>`: promotes the breakpoint from a rendezvous to a
+  /// k-site event-pattern automaton (core/pattern.h).  Compiled once at
+  /// parse time and shared by every engine generation holding this
+  /// entry.  Mutually exclusive with `flip` and `scope=process-group`
+  /// (both rejected at parse time).
+  std::shared_ptr<const PatternSpec> pattern;
 };
 
 /// Parses spec text; throws std::invalid_argument on malformed input
@@ -92,6 +101,13 @@ class BreakpointSpec {
 
   /// Removes any active spec.
   static void clear_installed();
+
+  /// All entries, keyed by breakpoint name (demos hand these straight
+  /// to Engine::set_spec).
+  [[nodiscard]] const std::unordered_map<std::string, SpecOverride>& entries()
+      const {
+    return entries_;
+  }
 
  private:
   std::unordered_map<std::string, SpecOverride> entries_;

@@ -33,6 +33,10 @@ struct BreakpointStats {
   /// Always 0 for purely local breakpoints.  Note the per-process view:
   /// a remote `hits` counts groups *this* process participated in.
   std::uint64_t peer_lost = 0;
+  /// Pattern breakpoints (core/pattern.h) only; 0 for rendezvous.
+  std::uint64_t pattern_partials = 0;  ///< automaton advances (events consumed)
+  std::uint64_t pattern_rejects = 0;   ///< events no run could use
+  std::uint64_t pattern_aborts = 0;    ///< partial matches torn down
   std::int64_t total_wait_us = 0;   ///< wall time spent in Postponed
 
   /// Postponed wait time per stay (us), all outcomes (match/timeout/
@@ -54,6 +58,9 @@ struct BreakpointStats {
     hits += o.hits;
     participants += o.participants;
     peer_lost += o.peer_lost;
+    pattern_partials += o.pattern_partials;
+    pattern_rejects += o.pattern_rejects;
+    pattern_aborts += o.pattern_aborts;
     total_wait_us += o.total_wait_us;
     wait_hist += o.wait_hist;
     order_hist += o.order_hist;

@@ -30,9 +30,11 @@ enum class EventKind : std::uint8_t {
   kGuardAck,      ///< OrderingGuard released (scoped ordering ack)
   kHubAccess,     ///< instrumentation hub shared-memory access dispatch
   kHubSync,       ///< instrumentation hub sync-operation dispatch
+  kPatternAdvance,  ///< pattern run consumed an event; detail = progress
+  kPatternAbort,    ///< pattern run torn down mid-match; detail = progress
 };
 
-inline constexpr int kEventKindCount = 11;
+inline constexpr int kEventKindCount = 13;
 
 /// Stable lowercase name for exports ("arrival", "local-reject", ...).
 std::string_view kind_name(EventKind kind);

@@ -94,6 +94,25 @@ BreakpointTelemetry analyze(const TelemetryInput& input,
   row.wait_p99_us = input.stats.wait_hist.percentile(0.99);
   row.order_p99_us = input.stats.order_hist.percentile(0.99);
   row.step_gap_ns = mean_step_gap_ns(input.name, trace);
+  if (input.stats.pattern_partials > 0) {
+    // Per-stage funnel: one kPatternAdvance per consumed event, detail
+    // = the run's progress after consuming (1-based).
+    std::map<std::uint32_t, bool> matches;
+    for (const Event& e : trace.events) {
+      if (e.kind != EventKind::kPatternAdvance) continue;
+      auto it = matches.find(e.name_id);
+      if (it == matches.end()) {
+        it = matches.emplace(e.name_id, Trace::name_of(e.name_id) == input.name)
+                 .first;
+      }
+      if (!it->second || e.detail == 0) continue;
+      const std::size_t stage = e.detail - 1;
+      if (row.pattern_stage_advances.size() <= stage) {
+        row.pattern_stage_advances.resize(stage + 1, 0);
+      }
+      row.pattern_stage_advances[stage] += 1;
+    }
+  }
   return row;
 }
 
@@ -134,6 +153,20 @@ std::string render_report(const std::vector<BreakpointTelemetry>& rows) {
                   static_cast<unsigned long long>(r.wait_p99_us),
                   static_cast<unsigned long long>(r.order_p99_us));
     out << line;
+    if (r.stats.pattern_partials > 0) {
+      // The pattern funnel: stage-reach counts, then the two ways a
+      // partial match ends short of accept.
+      out << "                           pattern stages:";
+      if (r.pattern_stage_advances.empty()) {
+        out << " (trace off; " << r.stats.pattern_partials << " advances)";
+      } else {
+        for (std::size_t i = 0; i < r.pattern_stage_advances.size(); ++i) {
+          out << ' ' << (i + 1) << ':' << r.pattern_stage_advances[i];
+        }
+      }
+      out << "; rejects " << r.stats.pattern_rejects << ", aborts "
+          << r.stats.pattern_aborts << "\n";
+    }
   }
   return out.str();
 }

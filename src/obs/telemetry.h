@@ -53,6 +53,13 @@ struct BreakpointTelemetry {
   /// Exported so the placement layer can convert steps back to wall
   /// time when deriving a pause for a new spec.
   std::uint64_t step_gap_ns = 0;
+  /// Pattern breakpoints only (core/pattern.h): how often each stage of
+  /// the automaton was reached, from the trace's kPatternAdvance events
+  /// (index i = runs that consumed their (i+1)-th event).  A steep
+  /// drop-off between stages shows where partial matches die — the
+  /// per-stage analogue of predicted-vs-observed.  Empty for rendezvous
+  /// breakpoints or when the trace was off.
+  std::vector<std::uint64_t> pattern_stage_advances;
   BreakpointStats stats;
 };
 

@@ -47,6 +47,19 @@ std::string write_telemetry_json(
     emit(out, "ignored", r.stats.ignored);
     emit(out, "postponed", r.stats.postponed);
     emit(out, "timeouts", r.stats.timeouts);
+    if (r.stats.pattern_partials > 0 || r.stats.pattern_rejects > 0 ||
+        r.stats.pattern_aborts > 0) {
+      // Pattern rows only; rendezvous dumps stay byte-identical.
+      emit(out, "pattern_partials", r.stats.pattern_partials);
+      emit(out, "pattern_rejects", r.stats.pattern_rejects);
+      emit(out, "pattern_aborts", r.stats.pattern_aborts);
+      out << ",\"pattern_stages\":[";
+      for (std::size_t s = 0; s < r.pattern_stage_advances.size(); ++s) {
+        if (s != 0) out << ',';
+        out << r.pattern_stage_advances[s];
+      }
+      out << ']';
+    }
     out << ",\"total_wait_us\":" << r.stats.total_wait_us;
     out << ",\"predicted_btrigger\":" << r.predicted.btrigger;
     out << ",\"observed\":" << r.observed;
@@ -98,6 +111,18 @@ bool read_telemetry_json(const std::string& text,
     row.stats.ignored = get_u64(*item, "ignored");
     row.stats.postponed = get_u64(*item, "postponed");
     row.stats.timeouts = get_u64(*item, "timeouts");
+    row.stats.pattern_partials = get_u64(*item, "pattern_partials");
+    row.stats.pattern_rejects = get_u64(*item, "pattern_rejects");
+    row.stats.pattern_aborts = get_u64(*item, "pattern_aborts");
+    const json::Value* stages = item->get("pattern_stages");
+    if (stages != nullptr && stages->is_array()) {
+      for (const json::ValuePtr& stage : stages->array) {
+        row.pattern_stage_advances.push_back(
+            stage != nullptr && stage->is_number() && stage->number >= 0
+                ? static_cast<std::uint64_t>(stage->number)
+                : 0);
+      }
+    }
     row.stats.total_wait_us =
         static_cast<std::int64_t>(get_double(*item, "total_wait_us"));
     row.predicted.btrigger = get_double(*item, "predicted_btrigger");

@@ -20,6 +20,8 @@ std::string_view kind_name(EventKind kind) {
     case EventKind::kGuardAck: return "guard-ack";
     case EventKind::kHubAccess: return "hub-access";
     case EventKind::kHubSync: return "hub-sync";
+    case EventKind::kPatternAdvance: return "pattern-advance";
+    case EventKind::kPatternAbort: return "pattern-abort";
   }
   return "unknown";
 }

@@ -1,6 +1,7 @@
 #include "sa/placement/placement.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <set>
 #include <sstream>
@@ -31,6 +32,35 @@ void add_pair(const char* kind, const obs::json::Value& row,
   p.file_b = get_string(row, (std::string(prefix_b) + "file").c_str());
   p.line_b = get_line(row, (std::string(prefix_b) + "line").c_str());
   if (p.line_a != 0 && p.line_b != 0) pairs.push_back(std::move(p));
+}
+
+/// Lock names appear inside pattern site labels `acq(<name>)`; the
+/// pattern grammar closes a label at the first ')', so anything not an
+/// identifier character (or a paren) folds to '-'.
+std::string sanitize_lock_name(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    const bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) ||
+                    c == '_' || c == '-' || c == '.';
+    out.push_back(ok ? c : '-');
+  }
+  return out.empty() ? std::string("lock") : out;
+}
+
+/// A cycle witness as a pattern: thread i+1 acquires lock i then blocks
+/// acquiring lock i+1 — expressed as the acquisition chain over n
+/// distinct threads, closed by the last thread releasing (the §3 pause
+/// window: every earlier acq is still held when the last one lands).
+std::string cycle_pattern(const LockCycle& cycle) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < cycle.locks.size(); ++i) {
+    if (i != 0) out << '.';
+    out << "acq(" << sanitize_lock_name(cycle.locks[i]) << "):t" << (i + 1);
+  }
+  out << ".rel(" << sanitize_lock_name(cycle.locks.back()) << "):t"
+      << cycle.locks.size();
+  return out.str();
 }
 
 /// Unordered site-pair match: the candidate's two sites equal the
@@ -187,6 +217,47 @@ PlacementPlan fuse(const AnalysisResult& analysis,
     plan.entries.push_back(std::move(entry));
   }
 
+  // Lock-order cycles become pattern placements: the acquisition chain
+  // is exactly the k-site event pattern the matcher runs, so every
+  // cycle — not just the 2-cycles that fit a rendezvous — gets a
+  // ready-to-run entry.
+  for (const LockCycle& cycle : analysis.cycles) {
+    if (cycle.locks.size() < 2) continue;
+    PlacementEntry entry;
+    std::string name = "sa-pattern";
+    for (const std::string& lock : cycle.locks) {
+      name += '-';
+      name += sanitize_lock_name(lock);
+    }
+    entry.breakpoint = std::move(name);
+    entry.kind = Candidate::Kind::kDeadlock;
+    entry.subject = cycle.displays.empty() ? cycle.locks.front()
+                                           : cycle.displays.front();
+    if (!cycle.sites.empty()) {
+      entry.site_a = cycle.sites.front().str();
+      entry.site_b = cycle.sites.back().str();
+    }
+    entry.static_score = cycle.score;
+    entry.pause_ms = options.default_pause_ms;
+    entry.pattern = cycle_pattern(cycle);
+    for (const obs::BreakpointTelemetry& row : telemetry) {
+      if (row.name != entry.breakpoint) continue;
+      entry.has_telemetry = true;
+      entry.pause_ms = derive_pause_ms(row, options);
+      entry.ignore_first = derive_ignore_first(row);
+      if (row.runs > 0) {
+        const model::Interval wilson = model::wilson_interval(
+            static_cast<int>(row.runs_hit), static_cast<int>(row.runs));
+        entry.has_prediction = true;
+        entry.predicted_low = wilson.low;
+        entry.predicted_high = wilson.high;
+        entry.predicted_center = (wilson.low + wilson.high) / 2.0;
+      }
+      break;
+    }
+    plan.entries.push_back(std::move(entry));
+  }
+
   std::sort(plan.entries.begin(), plan.entries.end(),
             [](const PlacementEntry& a, const PlacementEntry& b) {
               if (a.tier() != b.tier()) return a.tier() > b.tier();
@@ -223,8 +294,9 @@ std::string render_plan(const PlacementPlan& plan) {
         << e.static_score;
     if (e.dynamic_confirmed) out << ", detector-confirmed";
     if (e.has_telemetry) out << ", telemetry-recorded";
-    out << " (tier " << e.tier() << ")\n  derived: pause=" << e.pause_ms
-        << "ms";
+    out << " (tier " << e.tier() << ")\n";
+    if (!e.pattern.empty()) out << "  pattern: " << e.pattern << "\n";
+    out << "  derived: pause=" << e.pause_ms << "ms";
     if (e.ignore_first > 0) out << " ignore_first=" << e.ignore_first;
     if (e.has_prediction) {
       char buf[96];
@@ -248,7 +320,9 @@ std::string render_plan_spec(const PlacementPlan& plan) {
     out << "# placement: " << kind_str(e.kind) << " '" << e.subject << "' "
         << e.site_a << " <-> " << e.site_b << " tier=" << e.tier()
         << " score=" << e.static_score << "\n";
-    out << e.breakpoint << " pause=" << e.pause_ms;
+    out << e.breakpoint;
+    if (!e.pattern.empty()) out << " pattern=" << e.pattern;
+    out << " pause=" << e.pause_ms;
     if (e.ignore_first > 0) out << " ignore_first=" << e.ignore_first;
     out << " from=static";
     if (e.has_prediction) {

@@ -80,6 +80,11 @@ struct PlacementEntry {
   double predicted_low = 0.0;
   double predicted_high = 1.0;
   double predicted_center = 0.0;
+  /// Non-empty for pattern placements (core/pattern.h): a lock-order
+  /// cycle witness rendered as its acquisition chain, e.g. a 2-cycle
+  /// becomes `acq(A):t1.acq(B):t2.rel(B):t2`.  Rendered as a
+  /// `pattern=` spec key; empty entries stay plain rendezvous.
+  std::string pattern;
 
   [[nodiscard]] int tier() const {
     return (has_telemetry ? 2 : 0) + (dynamic_confirmed ? 1 : 0);

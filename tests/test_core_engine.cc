@@ -627,5 +627,37 @@ TEST_F(EngineTest, ClearingSpecRestoresParticipation) {
   EXPECT_EQ(stats.bounded, 1u);
 }
 
+// `flip` is defined for binary ranks only: spec parsing rejects
+// flip+pattern outright, but a k-ary trigger under a flip entry can
+// only be caught at trigger time.  It must warn once (not per call),
+// leave the rank unflipped, and otherwise behave normally.
+TEST_F(EngineTest, FlipOnNonBinaryArityWarnsOnceAndIsIgnored) {
+  int obj = 0;
+  {
+    std::unordered_map<std::string, SpecOverride> spec;
+    spec["flip-kary"].flip_order = true;
+    Engine::instance().set_spec(spec);
+  }
+  ConflictTrigger t("flip-kary", &obj);
+
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(t.trigger_here_ranked(0, 3, 20ms));  // lone arrival: timeout
+  const std::string first = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(first.find("flip"), std::string::npos) << first;
+  EXPECT_NE(first.find("flip-kary"), std::string::npos) << first;
+  EXPECT_NE(first.find("arity 3"), std::string::npos) << first;
+
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(t.trigger_here_ranked(0, 3, 20ms));
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");  // once only
+
+  // The flip was ignored, not half-applied: both calls participated as
+  // rank 0 of 3 and timed out like any lone k-ary arrival.
+  const auto stats = Engine::instance().stats("flip-kary");
+  EXPECT_EQ(stats.postponed, 2u);
+  EXPECT_EQ(stats.timeouts, 2u);
+  Engine::instance().set_spec({});
+}
+
 }  // namespace
 }  // namespace cbp

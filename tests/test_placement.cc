@@ -295,6 +295,37 @@ TEST(Fuse, UnmatchedEvidenceLeavesStaticTier) {
   }
 }
 
+TEST(Fuse, LockOrderCycleBecomesPatternEntry) {
+  AnalysisResult analysis;
+  LockCycle cycle;
+  cycle.unit = "unit";
+  cycle.locks = {"mu_a", "mu_b"};
+  cycle.displays = {"S::mu_a", "S::mu_b"};
+  cycle.sites = {{"r.cc", 10}, {"r.cc", 20}};
+  cycle.score = 7;
+  analysis.cycles.push_back(cycle);
+
+  const PlacementPlan plan = fuse(analysis, {}, {});
+  ASSERT_EQ(plan.entries.size(), 1u);
+  const PlacementEntry& entry = plan.entries[0];
+  EXPECT_EQ(entry.breakpoint, "sa-pattern-mu_a-mu_b");
+  EXPECT_EQ(entry.kind, Candidate::Kind::kDeadlock);
+  EXPECT_EQ(entry.subject, "S::mu_a");
+  EXPECT_EQ(entry.pattern, "acq(mu_a):t1.acq(mu_b):t2.rel(mu_b):t2");
+  EXPECT_EQ(entry.static_score, 7);
+  EXPECT_EQ(entry.pause_ms, PlacementOptions{}.default_pause_ms);
+
+  // The emitted spec must carry the pattern= key and compile.
+  const std::string spec_text = render_plan_spec(plan);
+  EXPECT_NE(spec_text.find("pattern=acq(mu_a):t1"), std::string::npos)
+      << spec_text;
+  const BreakpointSpec spec = BreakpointSpec::parse(spec_text);
+  const SpecOverride* parsed = spec.find("sa-pattern-mu_a-mu_b");
+  ASSERT_NE(parsed, nullptr);
+  ASSERT_NE(parsed->pattern, nullptr);
+  EXPECT_EQ(parsed->pattern->site_count(), 3u);
+}
+
 // ---------------------------------------------------------------------------
 // Emitters
 // ---------------------------------------------------------------------------

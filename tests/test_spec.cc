@@ -127,6 +127,80 @@ TEST_F(SpecTest, EmptyTextParsesToEmptySpec) {
   EXPECT_EQ(BreakpointSpec::parse("# only comments\n\n").size(), 0u);
 }
 
+TEST_F(SpecTest, DuplicateNameThrowsWithLineNumber) {
+  try {
+    (void)BreakpointSpec::parse(
+        "# header\n"
+        "bp-dup pause=10\n"
+        "bp-other off\n"
+        "bp-dup bound=3\n");
+    FAIL() << "duplicate breakpoint name must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bp-dup"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+  }
+}
+
+TEST_F(SpecTest, PatternKeyParsesAndRoundTrips) {
+  const auto spec = BreakpointSpec::parse(
+      "bp-pat pattern=check:t1.put:t2.erase:t1 pause=40\n");
+  const SpecOverride* entry = spec.find("bp-pat");
+  ASSERT_NE(entry, nullptr);
+  ASSERT_NE(entry->pattern, nullptr);
+  EXPECT_EQ(entry->pattern->to_string(), "check:t1.put:t2.erase:t1");
+  EXPECT_EQ(entry->pattern->site_count(), 3u);
+  EXPECT_EQ(entry->pattern->min_length(), 3u);
+  EXPECT_EQ(entry->pause, 40ms);
+
+  // Re-parsing the compiled canonical form yields the same pattern —
+  // the spec-file round-trip the placement emitter relies on.
+  const auto again = BreakpointSpec::parse(
+      "bp-pat pattern=" + entry->pattern->to_string() + "\n");
+  ASSERT_NE(again.find("bp-pat")->pattern, nullptr);
+  EXPECT_EQ(again.find("bp-pat")->pattern->to_string(),
+            entry->pattern->to_string());
+}
+
+TEST_F(SpecTest, MalformedPatternValueThrowsWithBreakpointName) {
+  const char* bad[] = {
+      "bp pattern=solo\n",        // accepts fewer than 2 events
+      "bp pattern=a..b\n",        // empty term
+      "bp pattern=(a.b\n",        // unbalanced paren
+      "bp pattern=a:t1.b:\n",     // dangling variable binder
+      "bp pattern=\n",            // empty value
+  };
+  for (const char* text : bad) {
+    try {
+      (void)BreakpointSpec::parse(text);
+      FAIL() << "must throw: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("bp"), std::string::npos)
+          << text << " -> " << e.what();
+    }
+  }
+}
+
+TEST_F(SpecTest, RejectsFlipCombinedWithPattern) {
+  EXPECT_THROW(
+      (void)BreakpointSpec::parse("bp pattern=a:t1.b:t2 flip\n"),
+      std::invalid_argument);
+  // Order of keys must not matter.
+  EXPECT_THROW(
+      (void)BreakpointSpec::parse("bp flip pattern=a:t1.b:t2\n"),
+      std::invalid_argument);
+}
+
+TEST_F(SpecTest, RejectsProcessGroupScopeCombinedWithPattern) {
+  EXPECT_THROW((void)BreakpointSpec::parse(
+                   "bp pattern=a:t1.b:t2 scope=process-group\n"),
+               std::invalid_argument);
+  // Explicit local scope stays fine.
+  const auto spec =
+      BreakpointSpec::parse("bp pattern=a:t1.b:t2 scope=local\n");
+  EXPECT_NE(spec.find("bp")->pattern, nullptr);
+}
+
 // ---------------------------------------------------------------------------
 // Engine effects
 // ---------------------------------------------------------------------------

@@ -33,9 +33,11 @@
 #include <vector>
 
 #include "apps/cache/cache.h"
+#include "apps/kvstore/kvstore.h"
 #include "apps/replica.h"
 #include "apps/webserver/jigsaw.h"
 #include "core/cbp.h"
+#include "model/probability.h"
 #include "detect/contention.h"
 #include "detect/eraser.h"
 #include "detect/json_export.h"
@@ -52,7 +54,7 @@
 namespace {
 
 struct Options {
-  std::string demo;            // "", "cache", "cache-atomicity", "jigsaw"
+  std::string demo;  // "", "cache", "cache-atomicity", "jigsaw", "pattern"
   int runs = 10;
   int jobs = 1;                // demo runs in parallel when > 1
   // Demo timing policy.  The demo pins TimeScale at 1.0, so `real` and
@@ -72,8 +74,12 @@ struct Options {
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options] [dump.json ...]\n"
-      << "  --demo=cache|cache-atomicity|jigsaw\n"
+      << "  --demo=cache|cache-atomicity|jigsaw|pattern\n"
       << "                        run a built-in workload with tracing on\n"
+      << "                        (pattern: the kvstore evict TOCTOU as a\n"
+      << "                        3-event check.put.erase pattern breakpoint,\n"
+      << "                        gated armed-vs-dormant; nonzero exit when\n"
+      << "                        the observed rate misses the prediction)\n"
       << "  --runs=N              demo repetitions (default 10)\n"
       << "  --trial-jobs=N        run the demo repetitions on N workers,\n"
       << "                        each with a private engine (default 1)\n"
@@ -138,7 +144,8 @@ bool parse_args(int argc, char** argv, Options& options) {
   }
   if (options.format != "json" && options.format != "chrome") return false;
   if (!options.demo.empty() && options.demo != "cache" &&
-      options.demo != "cache-atomicity" && options.demo != "jigsaw") {
+      options.demo != "cache-atomicity" && options.demo != "jigsaw" &&
+      options.demo != "pattern") {
     return false;
   }
   if (options.demo.empty() && options.inputs.empty()) return false;
@@ -202,6 +209,7 @@ cbp::obs::TelemetryInput run_demo(const Options& options,
   obs::TelemetryInput input;
   input.name = options.demo == "cache"             ? apps::cache::kRace1
                : options.demo == "cache-atomicity" ? apps::cache::kAtomicity1
+               : options.demo == "pattern"         ? apps::kvstore::kEvictPattern
                                                    : apps::webserver::kRace1;
   input.threads = 2;  // all demo replicas race two threads at the bp
 
@@ -225,6 +233,8 @@ cbp::obs::TelemetryInput run_demo(const Options& options,
     } else if (options.demo == "cache-atomicity") {
       (void)apps::cache::run_atomicity1(o,
                                         apps::cache::kWarmupConstructions);
+    } else if (options.demo == "pattern") {
+      apps::kvstore::run_evict_pattern(o);
     } else {
       apps::webserver::run_race1(o);
     }
@@ -301,6 +311,70 @@ cbp::obs::TelemetryInput run_demo(const Options& options,
   return input;
 }
 
+/// Dormant control for --demo=pattern: the same binary and site calls,
+/// but no spec installed, run in a private engine.  Returns the number
+/// of runs with at least one hit — the acceptance criterion is 0.
+int run_pattern_dormant_hits(const Options& options) {
+  using namespace cbp;
+  using namespace std::chrono_literals;
+  Engine engine;
+  ScopedEngine bind(engine);
+  apps::RunOptions run_options;
+  run_options.breakpoints = false;  // no spec -> sites are no-ops
+  run_options.pause = 20ms;
+  run_options.clock = options.clock;
+  int hit_runs = 0;
+  std::uint64_t previous_hits = 0;
+  for (int run = 0; run < options.runs; ++run) {
+    run_options.seed = static_cast<std::uint64_t>(run) + 1;
+    std::optional<rt::VirtualClock> vclock;
+    std::optional<rt::ScopedClock> bound;
+    if (run_options.clock == rt::ClockMode::kVirtual) {
+      vclock.emplace();
+      bound.emplace(&*vclock);
+    }
+    apps::kvstore::run_evict_pattern(run_options);
+    const BreakpointStats stats =
+        engine.stats(apps::kvstore::kEvictPattern);
+    if (stats.hits > previous_hits) ++hit_runs;
+    previous_hits = stats.hits;
+  }
+  return hit_runs;
+}
+
+/// The --demo=pattern acceptance gate: the armed hit rate's 95% Wilson
+/// interval must contain the spec's predicted rate, and the dormant
+/// control must score 0 hit runs.  Returns 0 on pass.
+int pattern_gate(const Options& options,
+                 const cbp::obs::TelemetryInput& input) {
+  using namespace cbp;
+  const model::Interval wilson =
+      model::wilson_interval(static_cast<int>(input.runs_hit),
+                             static_cast<int>(input.runs));
+  const double predicted = apps::kvstore::kEvictPatternPredicted;
+  const bool rate_ok =
+      wilson.low <= predicted && predicted <= wilson.high;
+  const int dormant_hits = run_pattern_dormant_hits(options);
+  std::cerr << "pattern demo: armed " << input.runs_hit << "/" << input.runs
+            << " runs hit (Wilson 95% [" << wilson.low << ", " << wilson.high
+            << "], predicted " << predicted << "), dormant " << dormant_hits
+            << "/" << options.runs << " runs hit\n";
+  if (input.runs_hit == 0) {
+    std::cerr << "pattern demo: FAIL — the armed pattern never matched\n";
+    return 1;
+  }
+  if (!rate_ok) {
+    std::cerr << "pattern demo: FAIL — predicted rate outside the observed "
+                 "Wilson interval\n";
+    return 1;
+  }
+  if (dormant_hits != 0) {
+    std::cerr << "pattern demo: FAIL — the dormant control hit\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -311,6 +385,7 @@ int main(int argc, char** argv) {
   std::uint64_t dropped = 0;
   cbp::obs::TraceSnapshot snapshot;
   cbp::obs::TelemetryInput telemetry_input;
+  int gate_rc = 0;
 
   if (!options.demo.empty()) {
     cbp::detect::DetectorDump dump;
@@ -330,6 +405,11 @@ int main(int argc, char** argv) {
                            cbp::obs::write_telemetry_json({row}))) {
         return 1;
       }
+    }
+    // The pattern demo is self-gating (exports still happen below so a
+    // failing run leaves its trace behind for diagnosis).
+    if (options.demo == "pattern") {
+      gate_rc = pattern_gate(options, telemetry_input);
     }
   } else {
     for (const std::string& path : options.inputs) {
@@ -388,5 +468,5 @@ int main(int argc, char** argv) {
     std::ostream& sink = options.out.empty() ? std::cerr : std::cout;
     sink << cbp::obs::render_report({row});
   }
-  return 0;
+  return gate_rc;
 }

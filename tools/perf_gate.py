@@ -7,6 +7,7 @@ Usage (modern, any number of baselines in one invocation):
     perf_gate.py FRESH.json [FRESH2.json ...]
                  --baseline=REF.json[=BAND] [--baseline=REF2.json[=BAND]]
                  [--band=0.15] [--ref-key=optimized]
+                 [--require=ROW_NAME ...]
 
 Usage (legacy, preserved verbatim):
     perf_gate.py FRESH.json [FRESH2.json ...] REFERENCE.json
@@ -39,6 +40,11 @@ suffix use the global --band.  Rows are matched by benchmark name:
   * rows slower than ref * (1 + band) are a FAILURE; rows *faster* than
     ref * (1 - band) only warn — that means the committed baseline is
     stale and should be regenerated, not that the build regressed.
+
+Rows named with --require must be present in BOTH a baseline and the
+fresh runs, or the gate fails: load-bearing rows (the armed fast-path
+costs a refactor must preserve) cannot silently fall out of the gate by
+being renamed, filtered out, or dropped from the baseline.
 
 Exit codes:
     0  every matched row is within its band for every baseline
@@ -154,6 +160,7 @@ def main(argv):
     band = 0.15
     ref_key = "optimized"
     baseline_args = []
+    required = []
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--band="):
@@ -162,6 +169,8 @@ def main(argv):
             ref_key = arg.split("=", 1)[1]
         elif arg.startswith("--baseline="):
             baseline_args.append(arg.split("=", 1)[1])
+        elif arg.startswith("--require="):
+            required.append(arg.split("=", 1)[1])
         else:
             paths.append(arg)
 
@@ -206,6 +215,14 @@ def main(argv):
 
     for name in sorted(fresh.keys() - known):
         print(f"warning: new (no baseline): {name}")
+
+    for name in required:
+        if name not in fresh:
+            print(f"FAIL: --require row missing from the fresh runs: {name}")
+            failed = True
+        if name not in known:
+            print(f"FAIL: --require row missing from every baseline: {name}")
+            failed = True
 
     if failed:
         return 1
